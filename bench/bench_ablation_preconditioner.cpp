@@ -1,0 +1,104 @@
+// Ablation: choice of preconditioner for the Schur-complement solve.
+// The paper picks ILU(0) over alternatives like SPAI "because ILU factors
+// are easily computed and effective" (Section 3.5); this harness
+// quantifies that choice against no preconditioning and Jacobi (diagonal)
+// preconditioning, plus a GMRES restart-length sweep.
+//
+// Usage: bench_ablation_preconditioner [--scale=1.0] [--queries=5]
+#include "bench_util.hpp"
+#include "core/bepi.hpp"
+#include "solver/gmres.hpp"
+#include "solver/ilu0.hpp"
+
+namespace {
+
+using namespace bepi;
+
+struct SolveResult {
+  double avg_iterations = 0.0;
+  double avg_seconds = 0.0;
+};
+
+SolveResult SolveSchur(const CsrMatrix& schur, const Preconditioner* m,
+                       index_t restart, index_t num_rhs, std::uint64_t seed) {
+  CsrOperator op(schur);
+  Rng rng(seed);
+  SolveResult result;
+  for (index_t i = 0; i < num_rhs; ++i) {
+    Vector b(static_cast<std::size_t>(schur.rows()), 0.0);
+    b[static_cast<std::size_t>(
+        rng.UniformIndex(0, schur.rows() - 1))] = 0.05;
+    GmresOptions options;
+    options.restart = restart;
+    SolveStats stats;
+    Timer timer;
+    auto x = Gmres(op, b, options, &stats, m);
+    BEPI_CHECK(x.ok());
+    BEPI_CHECK_MSG(stats.converged, "Schur solve failed to converge");
+    result.avg_seconds += timer.Seconds();
+    result.avg_iterations += static_cast<double>(stats.iterations);
+  }
+  result.avg_seconds /= static_cast<double>(num_rhs);
+  result.avg_iterations /= static_cast<double>(num_rhs);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  bench::BenchConfig config = bench::BenchConfig::FromFlags(flags);
+  bench::PrintBanner(
+      "Ablation: Schur-complement preconditioner and GMRES restart", config);
+
+  for (const std::string& name :
+       {std::string("Slashdot-sim"), std::string("Baidu-sim"),
+        std::string("LiveJournal-sim")}) {
+    auto spec = FindDataset(name);
+    BEPI_CHECK(spec.ok());
+    Graph g = bench::LoadDataset(*spec, config);
+    BepiOptions options;
+    options.hub_ratio = spec->hub_ratio;
+    BepiSolver solver(options);
+    BEPI_CHECK_MSG(solver.Preprocess(g).ok(), "preprocess failed");
+    const CsrMatrix& schur = solver.decomposition().schur;
+
+    std::printf("%s (n2=%lld, |S|=%lld)\n", name.c_str(),
+                static_cast<long long>(schur.rows()),
+                static_cast<long long>(schur.nnz()));
+
+    Table table({"preconditioner", "avg iterations", "avg solve (s)"});
+    SolveResult none = SolveSchur(schur, nullptr, 100, config.num_queries,
+                                  config.seed);
+    table.AddRow({"none", Table::Num(none.avg_iterations, 1),
+                  Table::Num(none.avg_seconds)});
+    JacobiPreconditioner jacobi(schur);
+    SolveResult jac = SolveSchur(schur, &jacobi, 100, config.num_queries,
+                                 config.seed);
+    table.AddRow({"Jacobi", Table::Num(jac.avg_iterations, 1),
+                  Table::Num(jac.avg_seconds)});
+    auto ilu = Ilu0::Factor(schur);
+    BEPI_CHECK(ilu.ok());
+    SolveResult ilu_result = SolveSchur(schur, &*ilu, 100,
+                                        config.num_queries, config.seed);
+    table.AddRow({"ILU(0) [paper]", Table::Num(ilu_result.avg_iterations, 1),
+                  Table::Num(ilu_result.avg_seconds)});
+    table.Print();
+
+    Table restarts({"GMRES restart", "avg iterations", "avg solve (s)"});
+    for (index_t restart : {5, 20, 100}) {
+      SolveResult r = SolveSchur(schur, &*ilu, restart, config.num_queries,
+                                 config.seed);
+      restarts.AddRow({Table::Int(restart), Table::Num(r.avg_iterations, 1),
+                       Table::Num(r.avg_seconds)});
+    }
+    restarts.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: ILU(0) needs the fewest iterations and the least\n"
+      "time; Jacobi helps little over no preconditioning (the Schur\n"
+      "complement's diagonal is already ~1); restart length barely matters\n"
+      "at these iteration counts.\n");
+  return 0;
+}

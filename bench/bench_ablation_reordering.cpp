@@ -1,0 +1,52 @@
+// Ablation: what SlashBurn's degree-based hub selection buys. Replaces the
+// hub choice with uniform-random selection at the same ratio k and
+// measures the consequences through the whole BePI pipeline: spoke share,
+// |S|, preprocessing cost, and query time.
+//
+// Usage: bench_ablation_reordering [--scale=1.0] [--queries=5]
+#include "bench_util.hpp"
+#include "core/bepi.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bepi;
+  Flags flags = Flags::Parse(argc, argv);
+  bench::BenchConfig config = bench::BenchConfig::FromFlags(flags);
+  bench::PrintBanner(
+      "Ablation: degree-based (SlashBurn) vs random hub selection", config);
+
+  Table table({"dataset", "selection", "n1 (spokes)", "|S|", "prep (s)",
+               "query (s)"});
+  for (const std::string& name :
+       {std::string("Slashdot-sim"), std::string("Baidu-sim"),
+        std::string("Flickr-sim"), std::string("LiveJournal-sim")}) {
+    auto spec = FindDataset(name);
+    BEPI_CHECK(spec.ok());
+    Graph g = bench::LoadDataset(*spec, config);
+    for (auto [label, selection] :
+         {std::pair<const char*, SlashBurnOptions::HubSelection>{
+              "degree [paper]", SlashBurnOptions::HubSelection::kDegree},
+          {"random", SlashBurnOptions::HubSelection::kRandom}}) {
+      BepiOptions options;
+      options.hub_ratio = spec->hub_ratio;
+      options.hub_selection = selection;
+      BepiSolver solver(options);
+      bench::PreprocessOutcome prep = bench::RunPreprocess(&solver, g);
+      if (!prep.ok()) {
+        table.AddRow({name, label, "-", "-", prep.TimeCell(), "-"});
+        continue;
+      }
+      bench::QueryOutcome q =
+          bench::RunQueries(solver, g, config.num_queries, config.seed);
+      table.AddRow({name, label, Table::IntGrouped(solver.info().n1),
+                    Table::IntGrouped(solver.info().schur_nnz),
+                    prep.TimeCell(), q.TimeCell()});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: random hubs shatter far fewer spokes (smaller n1),\n"
+      "leaving a larger hub block and denser Schur complement — more\n"
+      "preprocessing work and slower queries. Degree-based selection is\n"
+      "what makes the block elimination effective.\n");
+  return 0;
+}

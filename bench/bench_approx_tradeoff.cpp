@@ -1,0 +1,135 @@
+// Accuracy/time trade-off of the approximate methods from the paper's
+// related work (forward push, Monte Carlo) against exact BePI queries.
+// The paper excludes approximate methods from its main evaluation because
+// applications need exact scores; this harness shows what the exactness
+// costs and what the approximations give up.
+//
+// Usage: bench_approx_tradeoff [--scale=1.0] [--queries=3]
+#include "bench_util.hpp"
+#include "core/approx.hpp"
+#include "core/bepi.hpp"
+#include "core/nblin.hpp"
+
+namespace {
+
+using namespace bepi;
+
+/// Max absolute error and top-10 overlap vs a reference vector.
+struct Quality {
+  real_t max_error = 0.0;
+  real_t l1_error = 0.0;
+  int top10_overlap = 0;
+};
+
+Quality Compare(const Vector& reference, const Vector& estimate) {
+  Quality q;
+  Vector diff = estimate;
+  Axpy(-1.0, reference, &diff);
+  q.max_error = NormInf(diff);
+  q.l1_error = Norm1(diff);
+  auto top_ref = TopK(reference, 10);
+  auto top_est = TopK(estimate, 10);
+  for (const auto& [node, score] : top_est) {
+    for (const auto& [ref_node, ref_score] : top_ref) {
+      if (node == ref_node) {
+        ++q.top10_overlap;
+        break;
+      }
+    }
+  }
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  bench::BenchConfig config = bench::BenchConfig::FromFlags(flags);
+  if (!flags.Has("queries")) config.num_queries = 3;
+  bench::PrintBanner(
+      "Approximate methods vs exact BePI (accuracy/time trade-off)", config);
+
+  for (const std::string& name :
+       {std::string("Slashdot-sim"), std::string("Flickr-sim")}) {
+    auto spec = FindDataset(name);
+    BEPI_CHECK(spec.ok());
+    Graph g = bench::LoadDataset(*spec, config);
+
+    BepiOptions bepi_options;
+    bepi_options.hub_ratio = spec->hub_ratio;
+    BepiSolver bepi_solver(bepi_options);
+    BEPI_CHECK(bepi_solver.Preprocess(g).ok());
+
+    std::printf("%s (n=%lld, m=%lld)\n", name.c_str(),
+                static_cast<long long>(g.num_nodes()),
+                static_cast<long long>(g.num_edges()));
+    Table table({"method", "avg query (s)", "max error", "L1 error",
+                 "top-10 overlap"});
+
+    // Reference: exact BePI scores for the sampled seeds.
+    Rng rng(config.seed);
+    std::vector<index_t> seeds;
+    std::vector<Vector> references;
+    double bepi_seconds = 0.0;
+    for (index_t i = 0; i < config.num_queries; ++i) {
+      const index_t seed = rng.UniformIndex(0, g.num_nodes() - 1);
+      seeds.push_back(seed);
+      QueryStats stats;
+      auto r = bepi_solver.Query(seed, &stats);
+      BEPI_CHECK(r.ok());
+      bepi_seconds += stats.seconds;
+      references.push_back(std::move(r).value());
+    }
+    table.AddRow({"BePI (exact)",
+                  Table::Num(bepi_seconds /
+                             static_cast<double>(config.num_queries)),
+                  "0", "0", "10/10"});
+
+    auto evaluate = [&](RwrSolver* solver, const std::string& label) {
+      BEPI_CHECK(solver->Preprocess(g).ok());
+      double seconds = 0.0;
+      Quality total;
+      for (std::size_t i = 0; i < seeds.size(); ++i) {
+        QueryStats stats;
+        auto r = solver->Query(seeds[i], &stats);
+        BEPI_CHECK(r.ok());
+        seconds += stats.seconds;
+        Quality q = Compare(references[i], *r);
+        total.max_error = std::max(total.max_error, q.max_error);
+        total.l1_error += q.l1_error;
+        total.top10_overlap += q.top10_overlap;
+      }
+      const double count = static_cast<double>(seeds.size());
+      table.AddRow({label, Table::Num(seconds / count),
+                    Table::Num(total.max_error),
+                    Table::Num(total.l1_error / count),
+                    Table::Num(total.top10_overlap / count, 1) + "/10"});
+    };
+
+    for (real_t threshold : {1e-4, 1e-6}) {
+      ForwardPushOptions options;
+      options.push_threshold = threshold;
+      ForwardPushSolver push(options);
+      evaluate(&push, "ForwardPush eps=" + Table::Num(threshold, 0));
+    }
+    for (index_t walks : {10000, 100000}) {
+      MonteCarloOptions options;
+      options.num_walks = walks;
+      MonteCarloSolver mc(options);
+      evaluate(&mc, "MonteCarlo " + Table::IntGrouped(walks) + " walks");
+    }
+    for (index_t rank : {32, 128}) {
+      NbLinOptions options;
+      options.rank = rank;
+      NbLinSolver nblin(options);
+      evaluate(&nblin, "NB_LIN rank=" + Table::Int(rank));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: forward push approaches exactness as its threshold\n"
+      "shrinks and can undercut BePI's time only at loose thresholds;\n"
+      "Monte Carlo error decays ~1/sqrt(walks) and misses tail ranks.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Structural profile of the synthetic dataset stand-ins: validates the
+// substitution argument of DESIGN.md by showing that the generated graphs
+// carry the properties the paper's method exploits — heavy-tailed degrees
+// (hubs for SlashBurn), deadend populations (for the deadend reordering),
+// community clustering and small effective diameter (what makes real
+// graphs hard for plain Krylov solvers).
+//
+// Usage: bench_dataset_profile [--scale=1.0] [--samples=30]
+#include "bench_util.hpp"
+#include "graph/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bepi;
+  Flags flags = Flags::Parse(argc, argv);
+  bench::BenchConfig config = bench::BenchConfig::FromFlags(flags);
+  const index_t samples = flags.GetInt("samples", 30);
+  bench::PrintBanner("Structural profile of the dataset stand-ins", config);
+
+  Table table({"dataset", "mean deg", "max deg", "degree Gini",
+               "top-1% share", "clustering", "eff. diameter",
+               "deadend frac"});
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    Graph g = bench::LoadDataset(spec, config);
+    Rng rng(config.seed + 3);
+    DegreeStats degrees = ComputeDegreeStats(g);
+    const real_t clustering =
+        SampledClusteringCoefficient(g, 10 * samples, &rng);
+    const real_t diameter = EffectiveDiameter(g, samples, &rng);
+    table.AddRow(
+        {spec.name, Table::Num(degrees.mean_degree, 1),
+         Table::IntGrouped(degrees.max_degree), Table::Num(degrees.gini, 2),
+         Table::Num(degrees.top1pct_share, 2), Table::Num(clustering, 3),
+         Table::Num(diameter, 1),
+         Table::Num(static_cast<real_t>(g.Deadends().size()) /
+                        static_cast<real_t>(g.num_nodes()),
+                    3)});
+  }
+  table.Print();
+
+  // Degree histogram of one dataset: a heavy tail shows as slowly decaying
+  // bucket counts over ~10 powers of two.
+  auto spec = FindDataset("Flickr-sim");
+  BEPI_CHECK(spec.ok());
+  Graph g = bench::LoadDataset(*spec, config);
+  std::printf("\nFlickr-sim degree histogram (log2 buckets):\n");
+  Table hist({"degree range", "nodes"});
+  auto buckets = DegreeHistogram(g);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    hist.AddRow({"[" + Table::Int(1LL << b) + ", " +
+                     Table::Int((1LL << (b + 1))) + ")",
+                 Table::IntGrouped(buckets[b])});
+  }
+  hist.Print();
+  std::printf(
+      "\nExpected shape: degree Gini ~0.5-0.8 with the top 1%% of nodes\n"
+      "carrying a large edge share (hub-and-spoke), clustering well above\n"
+      "the density baseline (community locality), effective diameter in\n"
+      "the single digits (small world), and deadend fractions matching\n"
+      "the paper's Table 2.\n");
+  return 0;
+}

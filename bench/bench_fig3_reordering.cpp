@@ -1,0 +1,128 @@
+// Reproduces Figure 3: the effect of node reordering on the sparsity
+// pattern of H, shown as ASCII spy plots on the Slashdot stand-in.
+//   (a) original H
+//   (b) deadend reordering (empty bottom-left block, identity bottom-right)
+//   (c) hub-and-spoke reordering only
+//   (d) both (BePI's layout: block-diagonal H11 in the upper left)
+//
+// Usage: bench_fig3_reordering [--grid=48] [--dataset=Slashdot-sim]
+#include "bench_util.hpp"
+#include "core/rwr.hpp"
+#include "graph/deadend.hpp"
+#include "graph/slashburn.hpp"
+
+namespace {
+
+using namespace bepi;
+
+/// Renders the non-zero density of `m` on a grid x grid character raster.
+void SpyPlot(const CsrMatrix& m, index_t grid, const std::string& title) {
+  std::vector<std::vector<index_t>> counts(
+      static_cast<std::size_t>(grid),
+      std::vector<index_t>(static_cast<std::size_t>(grid), 0));
+  const real_t cell_rows =
+      static_cast<real_t>(m.rows()) / static_cast<real_t>(grid);
+  const real_t cell_cols =
+      static_cast<real_t>(m.cols()) / static_cast<real_t>(grid);
+  for (index_t r = 0; r < m.rows(); ++r) {
+    const index_t gr = std::min<index_t>(
+        grid - 1, static_cast<index_t>(static_cast<real_t>(r) / cell_rows));
+    for (index_t p = m.row_ptr()[static_cast<std::size_t>(r)];
+         p < m.row_ptr()[static_cast<std::size_t>(r) + 1]; ++p) {
+      const index_t c = m.col_idx()[static_cast<std::size_t>(p)];
+      const index_t gc = std::min<index_t>(
+          grid - 1, static_cast<index_t>(static_cast<real_t>(c) / cell_cols));
+      counts[static_cast<std::size_t>(gr)][static_cast<std::size_t>(gc)]++;
+    }
+  }
+  index_t max_count = 1;
+  for (const auto& row : counts) {
+    for (index_t c : row) max_count = std::max(max_count, c);
+  }
+  std::printf("%s\n", title.c_str());
+  const char shades[] = {' ', '.', ':', '+', '#', '@'};
+  for (const auto& row : counts) {
+    std::fputs("  |", stdout);
+    for (index_t c : row) {
+      if (c == 0) {
+        std::fputc(' ', stdout);
+        continue;
+      }
+      // Log-scaled shade so sparse regions stay visible.
+      const double level =
+          std::log1p(static_cast<double>(c)) /
+          std::log1p(static_cast<double>(max_count));
+      const int shade = 1 + std::min(4, static_cast<int>(level * 5.0));
+      std::fputc(shades[shade], stdout);
+    }
+    std::fputs("|\n", stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  bench::BenchConfig config = bench::BenchConfig::FromFlags(flags);
+  const index_t grid = flags.GetInt("grid", 48);
+  bench::PrintBanner("Figure 3: node reordering spy plots", config);
+
+  auto spec = FindDataset(flags.GetString("dataset", "Slashdot-sim"));
+  BEPI_CHECK(spec.ok());
+  Graph g = bench::LoadDataset(*spec, config);
+  const real_t c = 0.05;
+  const index_t n = g.num_nodes();
+
+  // (a) original H.
+  CsrMatrix h = BuildH(g, c);
+  SpyPlot(h, grid, "(a) original H");
+
+  // (b) deadend reordering.
+  const DeadendPartition deadends = ReorderDeadends(g);
+  auto normalized_de =
+      PermuteSymmetric(g.RowNormalizedAdjacency(), deadends.perm);
+  BEPI_CHECK(normalized_de.ok());
+  SpyPlot(BuildHFromNormalized(*normalized_de, c), grid,
+          "(b) deadend reordering (zero lower-left block, identity tail)");
+
+  // (c) hub-and-spoke reordering on the whole graph.
+  SlashBurnOptions sb_options;
+  sb_options.k_ratio = spec->hub_ratio;
+  auto sb_only = SlashBurn(g.adjacency(), sb_options);
+  BEPI_CHECK(sb_only.ok());
+  auto normalized_hs =
+      PermuteSymmetric(g.RowNormalizedAdjacency(), sb_only->perm);
+  BEPI_CHECK(normalized_hs.ok());
+  SpyPlot(BuildHFromNormalized(*normalized_hs, c), grid,
+          "(c) hub-and-spoke reordering (block-diagonal upper left)");
+
+  // (d) both: deadend first, then SlashBurn on Ann — BePI's layout.
+  auto a_de = PermuteSymmetric(g.adjacency(), deadends.perm);
+  BEPI_CHECK(a_de.ok());
+  auto ann = ExtractBlock(*a_de, 0, deadends.num_non_deadends, 0,
+                          deadends.num_non_deadends);
+  BEPI_CHECK(ann.ok());
+  auto sb = SlashBurn(*ann, sb_options);
+  BEPI_CHECK(sb.ok());
+  Permutation hub_spoke = IdentityPermutation(n);
+  for (index_t i = 0; i < deadends.num_non_deadends; ++i) {
+    hub_spoke[static_cast<std::size_t>(i)] =
+        sb->perm[static_cast<std::size_t>(i)];
+  }
+  Permutation full = ComposePermutations(hub_spoke, deadends.perm);
+  auto normalized_full = PermuteSymmetric(g.RowNormalizedAdjacency(), full);
+  BEPI_CHECK(normalized_full.ok());
+  SpyPlot(BuildHFromNormalized(*normalized_full, c), grid,
+          "(d) deadend + hub-and-spoke (BePI's H: n1=" +
+              std::to_string(sb->num_spokes) + " spokes, n2=" +
+              std::to_string(sb->num_hubs) + " hubs, n3=" +
+              std::to_string(deadends.num_deadends) + " deadends)");
+
+  std::printf(
+      "Expected shape (paper Fig. 3): (b) empties the deadend rows into an\n"
+      "identity tail; (c) concentrates spoke-spoke entries on the diagonal\n"
+      "of the upper-left block; (d) combines both — H11 is block diagonal\n"
+      "and everything dense crowds into the hub rows/columns.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces Figure 5: scalability in the number of edges. Takes principal
+// submatrices of the WikiLink stand-in (as the paper does), runs every
+// method on each slice, and reports preprocessing time, preprocessed-data
+// memory and query time, plus the fitted log-log slopes for BePI (the
+// paper reports slopes 1.01, 0.99 and 1.1 — near-linear scaling).
+//
+// Usage: bench_fig5_scalability [--scale=1.0] [--slices=5] [--queries=3]
+#include "bench_util.hpp"
+#include "core/bear.hpp"
+#include "core/bepi.hpp"
+#include "core/iterative.hpp"
+#include "core/lu_rwr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bepi;
+  Flags flags = Flags::Parse(argc, argv);
+  bench::BenchConfig config = bench::BenchConfig::FromFlags(flags);
+  if (!flags.Has("queries")) config.num_queries = 3;
+  bench::PrintBanner("Figure 5: scalability vs number of edges", config);
+
+  auto spec = FindDataset("WikiLink-sim");
+  BEPI_CHECK(spec.ok());
+  Graph full = bench::LoadDataset(*spec, config);
+
+  const index_t slices = flags.GetInt("slices", 5);
+  Table table({"nodes", "edges", "BePI prep (s)", "BePI mem (MB)",
+               "BePI query (s)", "Bear prep (s)", "LU prep (s)",
+               "GMRES query (s)", "Power query (s)"});
+
+  std::vector<double> edge_counts, prep_times, mem_sizes, query_times;
+  for (index_t slice = 1; slice <= slices; ++slice) {
+    // Geometric node-count slices so edges span ~an order of magnitude.
+    const double fraction =
+        std::pow(2.0, static_cast<double>(slice - slices));
+    const index_t nodes = std::max<index_t>(
+        64, static_cast<index_t>(fraction * static_cast<double>(
+                                                full.num_nodes())));
+    auto sub = full.PrincipalSubgraph(nodes);
+    BEPI_CHECK(sub.ok());
+    if (sub->num_edges() == 0) continue;
+
+    BepiOptions bepi_options;
+    bepi_options.hub_ratio = spec->hub_ratio;
+    bepi_options.memory_budget_bytes = config.budget_bytes;
+    BepiSolver bepi_solver(bepi_options);
+    bench::PreprocessOutcome prep = bench::RunPreprocess(&bepi_solver, *sub);
+    bench::QueryOutcome query;
+    if (prep.ok()) {
+      query = bench::RunQueries(bepi_solver, *sub, config.num_queries,
+                                config.seed);
+    }
+
+    BearOptions bear_options;
+    bear_options.memory_budget_bytes = config.budget_bytes;
+    BearSolver bear_solver(bear_options);
+    bench::PreprocessOutcome bear_prep = bench::RunPreprocess(
+        &bear_solver, *sub, sub->num_edges() > config.bear_max_edges);
+
+    LuSolverOptions lu_options;
+    lu_options.memory_budget_bytes = config.budget_bytes;
+    LuSolver lu_solver(lu_options);
+    bench::PreprocessOutcome lu_prep = bench::RunPreprocess(
+        &lu_solver, *sub, sub->num_edges() > config.lu_max_edges);
+
+    GmresSolver gmres_solver(GmresSolverOptions{});
+    BEPI_CHECK(gmres_solver.Preprocess(*sub).ok());
+    bench::QueryOutcome gmres_query =
+        bench::RunQueries(gmres_solver, *sub, config.num_queries, config.seed);
+
+    PowerSolver power_solver(RwrOptions{});
+    BEPI_CHECK(power_solver.Preprocess(*sub).ok());
+    bench::QueryOutcome power_query =
+        bench::RunQueries(power_solver, *sub, config.num_queries, config.seed);
+
+    table.AddRow({Table::IntGrouped(sub->num_nodes()),
+                  Table::IntGrouped(sub->num_edges()), prep.TimeCell(),
+                  prep.MemoryCell(), query.TimeCell(), bear_prep.TimeCell(),
+                  lu_prep.TimeCell(), gmres_query.TimeCell(),
+                  power_query.TimeCell()});
+    if (prep.ok() && query.ok()) {
+      edge_counts.push_back(static_cast<double>(sub->num_edges()));
+      prep_times.push_back(prep.seconds);
+      mem_sizes.push_back(static_cast<double>(prep.bytes));
+      query_times.push_back(query.avg_seconds);
+    }
+  }
+  table.Print();
+
+  if (edge_counts.size() >= 2) {
+    std::printf("\nFitted log-log slopes for BePI vs edges "
+                "(paper: 1.01 / 0.99 / 1.1):\n");
+    std::printf("  preprocessing time : %.2f\n",
+                bench::LogLogSlope(edge_counts, prep_times));
+    std::printf("  preprocessed memory: %.2f\n",
+                bench::LogLogSlope(edge_counts, mem_sizes));
+    std::printf("  query time         : %.2f\n",
+                bench::LogLogSlope(edge_counts, query_times));
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 5): BePI scales near-linearly on all\n"
+      "three metrics and processes slices ~100x larger than Bear/LU.\n");
+  return 0;
+}

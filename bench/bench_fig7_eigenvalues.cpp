@@ -1,0 +1,136 @@
+// Reproduces Figure 7: the eigenvalue distribution of the Schur complement
+// S before and after ILU(0) preconditioning, on the Slashdot, Wikipedia
+// and Baidu stand-ins. The paper shows the preconditioned spectrum
+// collapsing into a tight cluster (near 1), the reason preconditioned
+// GMRES converges in far fewer iterations. We estimate the top Ritz values
+// by an Arnoldi process and report the cluster statistics.
+//
+// Usage: bench_fig7_eigenvalues [--scale=1.0] [--krylov=200] [--print=8]
+#include <complex>
+
+#include "bench_util.hpp"
+#include "core/bepi.hpp"
+#include "solver/arnoldi.hpp"
+
+namespace {
+
+/// y = U2^{-1} L2^{-1} (S x): the left-preconditioned operator.
+class PreconditionedSchur final : public bepi::LinearOperator {
+ public:
+  PreconditionedSchur(const bepi::CsrMatrix& schur, const bepi::Ilu0& ilu)
+      : schur_(schur), ilu_(ilu) {}
+  bepi::index_t size() const override { return schur_.rows(); }
+  void Apply(const bepi::Vector& x, bepi::Vector* y) const override {
+    bepi::Vector sx = schur_.Multiply(x);
+    ilu_.Apply(sx, y);
+  }
+
+ private:
+  const bepi::CsrMatrix& schur_;
+  const bepi::Ilu0& ilu_;
+};
+
+struct SpectrumStats {
+  double mean_re = 0.0, mean_im = 0.0;
+  double dispersion = 0.0;  // RMS distance from the centroid
+  double min_re = 0.0, max_re = 0.0, max_abs_im = 0.0;
+};
+
+SpectrumStats Summarize(const std::vector<std::complex<double>>& eig) {
+  SpectrumStats stats;
+  if (eig.empty()) return stats;
+  for (const auto& e : eig) {
+    stats.mean_re += e.real();
+    stats.mean_im += e.imag();
+  }
+  stats.mean_re /= static_cast<double>(eig.size());
+  stats.mean_im /= static_cast<double>(eig.size());
+  stats.min_re = stats.max_re = eig[0].real();
+  for (const auto& e : eig) {
+    const double dr = e.real() - stats.mean_re;
+    const double di = e.imag() - stats.mean_im;
+    stats.dispersion += dr * dr + di * di;
+    stats.min_re = std::min(stats.min_re, e.real());
+    stats.max_re = std::max(stats.max_re, e.real());
+    stats.max_abs_im = std::max(stats.max_abs_im, std::fabs(e.imag()));
+  }
+  stats.dispersion = std::sqrt(stats.dispersion / static_cast<double>(eig.size()));
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bepi;
+  Flags flags = Flags::Parse(argc, argv);
+  bench::BenchConfig config = bench::BenchConfig::FromFlags(flags);
+  const index_t krylov = flags.GetInt("krylov", 200);
+  const index_t print_count = flags.GetInt("print", 8);
+  bench::PrintBanner(
+      "Figure 7: eigenvalue spectrum of S, plain vs ILU(0)-preconditioned",
+      config);
+
+  for (const std::string& name :
+       {std::string("Slashdot-sim"), std::string("Wikipedia-sim"),
+        std::string("Baidu-sim")}) {
+    auto spec = FindDataset(name);
+    BEPI_CHECK(spec.ok());
+    Graph g = bench::LoadDataset(*spec, config);
+
+    BepiOptions options;
+    options.mode = BepiMode::kPreconditioned;
+    options.hub_ratio = spec->hub_ratio;
+    BepiSolver solver(options);
+    Status status = solver.Preprocess(g);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   status.ToString().c_str());
+      continue;
+    }
+    const CsrMatrix& schur = solver.decomposition().schur;
+    const Ilu0* ilu = solver.preconditioner();
+    BEPI_CHECK(ilu != nullptr);
+
+    const index_t m = std::min<index_t>(krylov, schur.rows());
+    CsrOperator plain_op(schur);
+    PreconditionedSchur precond_op(schur, *ilu);
+    auto plain = ComputeRitzValues(plain_op, m, config.seed);
+    auto precond = ComputeRitzValues(precond_op, m, config.seed);
+    if (!plain.ok() || !precond.ok()) {
+      std::fprintf(stderr, "%s: Ritz computation failed\n", name.c_str());
+      continue;
+    }
+    SpectrumStats ps = Summarize(*plain);
+    SpectrumStats cs = Summarize(*precond);
+
+    std::printf("%s (n2=%lld, |S|=%lld, %lld Ritz values)\n", name.c_str(),
+                static_cast<long long>(schur.rows()),
+                static_cast<long long>(schur.nnz()),
+                static_cast<long long>(plain->size()));
+    Table table({"operator", "mean(Re)", "dispersion", "Re range",
+                 "max |Im|"});
+    table.AddRow({"S (BePI-S)", Table::Num(ps.mean_re),
+                  Table::Num(ps.dispersion),
+                  Table::Num(ps.min_re, 3) + " .. " + Table::Num(ps.max_re, 3),
+                  Table::Num(ps.max_abs_im)});
+    table.AddRow({"U2^-1 L2^-1 S (BePI)", Table::Num(cs.mean_re),
+                  Table::Num(cs.dispersion),
+                  Table::Num(cs.min_re, 3) + " .. " + Table::Num(cs.max_re, 3),
+                  Table::Num(cs.max_abs_im)});
+    table.Print();
+    std::printf("  dispersion shrink: %.1fx\n", ps.dispersion / cs.dispersion);
+    std::printf("  sample preconditioned eigenvalues:");
+    for (index_t i = 0; i < print_count &&
+                        i < static_cast<index_t>(precond->size());
+         ++i) {
+      std::printf(" (%.3f%+.3fi)", (*precond)[static_cast<std::size_t>(i)].real(),
+                  (*precond)[static_cast<std::size_t>(i)].imag());
+    }
+    std::printf("\n\n");
+  }
+  std::printf(
+      "Expected shape (paper Fig. 7): the preconditioned spectrum forms a\n"
+      "much tighter cluster (dispersion shrinks several-fold) centred near\n"
+      "1, away from the origin.\n");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Google-benchmark microbenchmarks for the computational kernels under
+// BePI: SpMV, SpGEMM, sparse/incomplete LU factorization, triangular
+// solves, GMRES, SlashBurn and the full preprocess/query pipeline.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+#include "common/rng.hpp"
+#include "core/bepi.hpp"
+#include "graph/generators.hpp"
+#include "graph/slashburn.hpp"
+#include "solver/gmres.hpp"
+#include "solver/ilu0.hpp"
+#include "solver/sparse_lu.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace {
+
+using namespace bepi;
+
+Graph MakeGraph(index_t n, index_t m) {
+  Rng rng(4242);
+  RmatOptions options;
+  options.num_nodes = n;
+  options.num_edges = m;
+  options.deadend_fraction = 0.1;
+  auto g = GenerateRmat(options, &rng);
+  BEPI_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+CsrMatrix MakeDiagDominant(index_t n, index_t nnz_per_row) {
+  Rng rng(777);
+  CooMatrix coo(n, n);
+  std::vector<real_t> row_abs(static_cast<std::size_t>(n), 0.0);
+  for (index_t r = 0; r < n; ++r) {
+    for (index_t k = 0; k < nnz_per_row; ++k) {
+      const index_t c = rng.UniformIndex(0, n - 1);
+      if (c == r) continue;
+      const real_t v = rng.NextDouble() - 0.5;
+      coo.Add(r, c, v);
+      row_abs[static_cast<std::size_t>(r)] += std::fabs(v);
+    }
+  }
+  for (index_t r = 0; r < n; ++r) {
+    coo.Add(r, r, row_abs[static_cast<std::size_t>(r)] + 1.0);
+  }
+  auto csr = coo.ToCsr();
+  BEPI_CHECK(csr.ok());
+  return std::move(csr).value();
+}
+
+void BM_SpMV(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Graph g = MakeGraph(n, 16 * n);
+  CsrMatrix at = g.RowNormalizedAdjacency().Transpose();
+  Rng rng(1);
+  Vector x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.NextDouble();
+  for (auto _ : state) {
+    Vector y = at.Multiply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * at.nnz());
+}
+BENCHMARK(BM_SpMV)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_SpGEMM(benchmark::State& state) {
+  const index_t n = state.range(0);
+  CsrMatrix a = MakeDiagDominant(n, 8);
+  CsrMatrix b = MakeDiagDominant(n, 8);
+  for (auto _ : state) {
+    auto c = Multiply(a, b);
+    benchmark::DoNotOptimize(c->nnz());
+  }
+}
+BENCHMARK(BM_SpGEMM)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_SparseLuFactor(benchmark::State& state) {
+  const index_t n = state.range(0);
+  CsrMatrix a = MakeDiagDominant(n, 6);
+  for (auto _ : state) {
+    auto lu = SparseLu::Factor(a);
+    benchmark::DoNotOptimize(lu->FillNnz());
+  }
+}
+BENCHMARK(BM_SparseLuFactor)->Arg(1 << 9)->Arg(1 << 11);
+
+void BM_Ilu0Factor(benchmark::State& state) {
+  const index_t n = state.range(0);
+  CsrMatrix a = MakeDiagDominant(n, 12);
+  for (auto _ : state) {
+    auto ilu = Ilu0::Factor(a);
+    benchmark::DoNotOptimize(ilu->size());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Ilu0Factor)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_GmresSolve(benchmark::State& state) {
+  const index_t n = state.range(0);
+  CsrMatrix a = MakeDiagDominant(n, 10);
+  CsrOperator op(a);
+  Rng rng(3);
+  Vector b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.NextDouble();
+  GmresOptions options;
+  for (auto _ : state) {
+    SolveStats stats;
+    auto x = Gmres(op, b, options, &stats);
+    benchmark::DoNotOptimize(stats.iterations);
+  }
+}
+BENCHMARK(BM_GmresSolve)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_PreconditionedGmresSolve(benchmark::State& state) {
+  const index_t n = state.range(0);
+  CsrMatrix a = MakeDiagDominant(n, 10);
+  CsrOperator op(a);
+  auto ilu = Ilu0::Factor(a);
+  BEPI_CHECK(ilu.ok());
+  Rng rng(3);
+  Vector b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.NextDouble();
+  GmresOptions options;
+  for (auto _ : state) {
+    SolveStats stats;
+    auto x = Gmres(op, b, options, &stats, &*ilu);
+    benchmark::DoNotOptimize(stats.iterations);
+  }
+}
+BENCHMARK(BM_PreconditionedGmresSolve)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_SlashBurn(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Graph g = MakeGraph(n, 12 * n);
+  SlashBurnOptions options;
+  options.k_ratio = 0.2;
+  for (auto _ : state) {
+    auto result = SlashBurn(g.adjacency(), options);
+    benchmark::DoNotOptimize(result->num_hubs);
+  }
+}
+BENCHMARK(BM_SlashBurn)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_BepiPreprocess(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Graph g = MakeGraph(n, 14 * n);
+  for (auto _ : state) {
+    BepiOptions options;
+    BepiSolver solver(options);
+    BEPI_CHECK(solver.Preprocess(g).ok());
+    benchmark::DoNotOptimize(solver.PreprocessedBytes());
+  }
+}
+BENCHMARK(BM_BepiPreprocess)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_BepiQuery(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Graph g = MakeGraph(n, 14 * n);
+  BepiOptions options;
+  BepiSolver solver(options);
+  BEPI_CHECK(solver.Preprocess(g).ok());
+  Rng rng(5);
+  for (auto _ : state) {
+    auto r = solver.Query(rng.UniformIndex(0, n - 1));
+    benchmark::DoNotOptimize(r->size());
+  }
+}
+BENCHMARK(BM_BepiQuery)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// Local community detection by RWR sweep cut (paper Section 1; Andersen,
+// Chung & Lang [1] and Gleich & Seshadhri [18] use exactly this recipe
+// with PageRank/RWR vectors). Plants communities in a synthetic graph,
+// runs one BePI query from a seed inside a community, orders nodes by
+// degree-normalized RWR score, and returns the sweep prefix with the
+// lowest conductance.
+//
+// Usage: community_detection [--communities=8] [--size=150]
+//                            [--p_in=0.12] [--inter_edges=4] [--seed=3]
+#include <algorithm>
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/bepi.hpp"
+#include "graph/components.hpp"
+
+namespace {
+
+/// Conductance of a node set S in the symmetrized graph: cut(S) /
+/// min(vol(S), vol(V \ S)).
+double Conductance(const bepi::CsrMatrix& sym, const std::vector<bool>& in_set) {
+  double cut = 0.0, vol_in = 0.0, vol_total = 0.0;
+  for (bepi::index_t u = 0; u < sym.rows(); ++u) {
+    const double deg = static_cast<double>(sym.RowNnz(u));
+    vol_total += deg;
+    if (in_set[static_cast<std::size_t>(u)]) vol_in += deg;
+    for (bepi::index_t p = sym.row_ptr()[static_cast<std::size_t>(u)];
+         p < sym.row_ptr()[static_cast<std::size_t>(u) + 1]; ++p) {
+      const bepi::index_t v = sym.col_idx()[static_cast<std::size_t>(p)];
+      if (in_set[static_cast<std::size_t>(u)] !=
+          in_set[static_cast<std::size_t>(v)]) {
+        cut += 1.0;
+      }
+    }
+  }
+  const double denom = std::min(vol_in, vol_total - vol_in);
+  return denom > 0.0 ? cut / denom : 1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bepi::Flags flags = bepi::Flags::Parse(argc, argv);
+  const bepi::index_t communities = flags.GetInt("communities", 8);
+  const bepi::index_t size = flags.GetInt("size", 150);
+  const double p_in = flags.GetDouble("p_in", 0.12);
+  const bepi::index_t inter_edges = flags.GetInt("inter_edges", 4);
+  bepi::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 3)));
+
+  // Planted-partition graph: dense blocks, sparse random bridges.
+  const bepi::index_t n = communities * size;
+  std::vector<bepi::Edge> edges;
+  for (bepi::index_t c = 0; c < communities; ++c) {
+    const bepi::index_t base = c * size;
+    for (bepi::index_t u = 0; u < size; ++u) {
+      for (bepi::index_t v = 0; v < size; ++v) {
+        if (u != v && rng.NextDouble() < p_in) {
+          edges.push_back({base + u, base + v});
+        }
+      }
+    }
+  }
+  for (bepi::index_t c = 0; c < communities; ++c) {
+    for (bepi::index_t i = 0; i < inter_edges; ++i) {
+      const bepi::index_t u = c * size + rng.UniformIndex(0, size - 1);
+      bepi::index_t v = rng.UniformIndex(0, n - 1);
+      if (v / size == c) v = (v + size) % n;
+      edges.push_back({u, v});
+      edges.push_back({v, u});
+    }
+  }
+  auto graph_result = bepi::Graph::FromEdges(n, edges);
+  if (!graph_result.ok()) return 1;
+  bepi::Graph graph = std::move(graph_result).value();
+  std::printf("Planted-partition graph: %lld nodes, %lld edges, "
+              "%lld communities of %lld\n",
+              static_cast<long long>(n),
+              static_cast<long long>(graph.num_edges()),
+              static_cast<long long>(communities),
+              static_cast<long long>(size));
+
+  bepi::BepiOptions options;
+  bepi::BepiSolver solver(options);
+  if (!solver.Preprocess(graph).ok()) {
+    std::fprintf(stderr, "preprocess failed\n");
+    return 1;
+  }
+
+  const bepi::index_t seed = rng.UniformIndex(0, n - 1);
+  const bepi::index_t true_community = seed / size;
+  auto scores = solver.Query(seed);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 scores.status().ToString().c_str());
+    return 1;
+  }
+
+  // Sweep over nodes by degree-normalized score.
+  const bepi::CsrMatrix sym = bepi::SymmetrizePattern(graph.adjacency());
+  std::vector<bepi::index_t> order(static_cast<std::size_t>(n));
+  for (bepi::index_t i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](bepi::index_t a, bepi::index_t b) {
+    const double sa = (*scores)[static_cast<std::size_t>(a)] /
+                      std::max<double>(1.0, static_cast<double>(sym.RowNnz(a)));
+    const double sb = (*scores)[static_cast<std::size_t>(b)] /
+                      std::max<double>(1.0, static_cast<double>(sym.RowNnz(b)));
+    return sa > sb;
+  });
+
+  std::vector<bool> in_set(static_cast<std::size_t>(n), false);
+  double best_conductance = 2.0;
+  bepi::index_t best_prefix = 0;
+  const bepi::index_t max_prefix = std::min<bepi::index_t>(n / 2, 4 * size);
+  for (bepi::index_t prefix = 1; prefix <= max_prefix; ++prefix) {
+    in_set[static_cast<std::size_t>(order[static_cast<std::size_t>(prefix - 1)])] =
+        true;
+    // Recomputing conductance per step keeps this example simple (O(m)
+    // per prefix); a production sweep maintains cut/volume incrementally.
+    const double phi = Conductance(sym, in_set);
+    if (phi < best_conductance) {
+      best_conductance = phi;
+      best_prefix = prefix;
+    }
+  }
+
+  // Evaluate against the planted community.
+  bepi::index_t correct = 0;
+  for (bepi::index_t i = 0; i < best_prefix; ++i) {
+    if (order[static_cast<std::size_t>(i)] / size == true_community) ++correct;
+  }
+  const double precision =
+      static_cast<double>(correct) / static_cast<double>(best_prefix);
+  const double recall =
+      static_cast<double>(correct) / static_cast<double>(size);
+
+  bepi::Table table({"metric", "value"});
+  table.AddRow({"seed node", bepi::Table::Int(seed)});
+  table.AddRow({"planted community", bepi::Table::Int(true_community)});
+  table.AddRow({"best sweep size", bepi::Table::Int(best_prefix)});
+  table.AddRow({"conductance", bepi::Table::Num(best_conductance)});
+  table.AddRow({"precision", bepi::Table::Num(precision)});
+  table.AddRow({"recall", bepi::Table::Num(recall)});
+  std::printf("\nLocal community found by the RWR sweep cut:\n");
+  table.Print();
+  return 0;
+}

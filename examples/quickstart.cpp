@@ -1,0 +1,97 @@
+// Quickstart: build a small graph, preprocess it with BePI, and query RWR
+// scores. Reproduces the worked example of Figure 2 in the paper (seed u1,
+// personalized ranking over 8 nodes).
+//
+// Usage: quickstart [--restart_prob=0.05] [--tolerance=1e-9]
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/bepi.hpp"
+
+namespace {
+
+bepi::Graph BuildFigure2Graph() {
+  // The undirected 8-node graph from Figure 2 (u1..u8 -> ids 0..7).
+  const std::vector<std::pair<bepi::index_t, bepi::index_t>> undirected = {
+      {0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 4},
+      {3, 7}, {4, 7}, {4, 5}, {5, 6}, {5, 7},
+  };
+  std::vector<bepi::Edge> edges;
+  for (auto [u, v] : undirected) {
+    edges.push_back({u, v});
+    edges.push_back({v, u});
+  }
+  auto g = bepi::Graph::FromEdges(8, edges);
+  if (!g.ok()) {
+    std::fprintf(stderr, "graph construction failed: %s\n",
+                 g.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(g).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bepi::Flags flags = bepi::Flags::Parse(argc, argv);
+
+  bepi::Graph graph = BuildFigure2Graph();
+  std::printf("Graph: %lld nodes, %lld directed edges\n\n",
+              static_cast<long long>(graph.num_nodes()),
+              static_cast<long long>(graph.num_edges()));
+
+  // 1. Configure BePI. The defaults follow the paper: c = 0.05,
+  //    epsilon = 1e-9, ILU(0)-preconditioned GMRES on the Schur complement.
+  bepi::BepiOptions options;
+  options.restart_prob = flags.GetDouble("restart_prob", 0.05);
+  options.tolerance = flags.GetDouble("tolerance", 1e-9);
+  options.hub_ratio = 0.25;  // small graph: any reasonable k works
+
+  // 2. Preprocess once.
+  bepi::BepiSolver solver(options);
+  bepi::Status status = solver.Preprocess(graph);
+  if (!status.ok()) {
+    std::fprintf(stderr, "preprocess failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("Preprocessed in %.3f ms (n1=%lld spokes, n2=%lld hubs, "
+              "n3=%lld deadends, |S|=%lld)\n\n",
+              solver.preprocess_seconds() * 1e3,
+              static_cast<long long>(solver.info().n1),
+              static_cast<long long>(solver.info().n2),
+              static_cast<long long>(solver.info().n3),
+              static_cast<long long>(solver.info().schur_nnz));
+
+  // 3. Query: RWR scores w.r.t. u1 (node 0), as in Figure 2.
+  const bepi::index_t seed = 0;
+  bepi::QueryStats stats;
+  auto scores = solver.Query(seed, &stats);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 scores.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("RWR scores w.r.t. u1 (%.3f ms, %lld GMRES iterations):\n",
+              stats.seconds * 1e3, static_cast<long long>(stats.iterations));
+
+  auto ranking = bepi::TopK(*scores, graph.num_nodes());
+  bepi::Table table({"node", "score", "rank"});
+  std::vector<bepi::index_t> rank_of(static_cast<std::size_t>(graph.num_nodes()));
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    rank_of[static_cast<std::size_t>(ranking[i].first)] =
+        static_cast<bepi::index_t>(i) + 1;
+  }
+  for (bepi::index_t u = 0; u < graph.num_nodes(); ++u) {
+    table.AddRow({"u" + std::to_string(u + 1),
+                  bepi::Table::Num((*scores)[static_cast<std::size_t>(u)]),
+                  bepi::Table::Int(rank_of[static_cast<std::size_t>(u)])});
+  }
+  table.Print();
+
+  // 4. The paper's recommendation argument: u8 outranks u6 for u1.
+  std::printf("\nRecommendation for u1: u%lld (u8 beats u6: %.4f > %.4f)\n",
+              static_cast<long long>(bepi::TopK(*scores, 1, seed)[0].first + 1),
+              (*scores)[7], (*scores)[5]);
+  return 0;
+}

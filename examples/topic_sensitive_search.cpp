@@ -1,0 +1,107 @@
+// Topic-sensitive ranking with Personalized PageRank: the multi-seed
+// generalization of RWR (paper Section 2.1: "RWR is a special case of
+// Personalized PageRank"). Builds a citation-style graph with topical
+// clusters, preprocesses once with BePI, then ranks w.r.t. *topics* —
+// personalization vectors spreading restart mass over several seed nodes.
+// Also demonstrates shipping the preprocessed model via Save/Load.
+//
+// Usage: topic_sensitive_search [--topics=6] [--docs=400] [--seed=11]
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/bepi.hpp"
+#include "graph/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bepi;
+  Flags flags = Flags::Parse(argc, argv);
+  const index_t topics = flags.GetInt("topics", 6);
+  const index_t docs_per_topic = flags.GetInt("docs", 400);
+  Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 11)));
+
+  // Documents cite mostly within their topic, occasionally across.
+  PlantedPartitionOptions gen;
+  gen.num_communities = topics;
+  gen.community_size = docs_per_topic;
+  gen.p_intra = 0.03;
+  gen.p_inter = 0.0005;
+  auto graph = GeneratePlantedPartition(gen, &rng);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  const index_t n = graph->num_nodes();
+  std::printf("Corpus graph: %lld documents in %lld topics, %lld citations\n",
+              static_cast<long long>(n), static_cast<long long>(topics),
+              static_cast<long long>(graph->num_edges()));
+
+  // Preprocess once, persist the model, and serve queries from the loaded
+  // copy — the produce/ship/serve split a ranking service would use.
+  BepiOptions options;
+  BepiSolver builder(options);
+  if (!builder.Preprocess(*graph).ok()) {
+    std::fprintf(stderr, "preprocess failed\n");
+    return 1;
+  }
+  const std::string model_path = "/tmp/bepi_topic_model.txt";
+  if (!builder.SaveFile(model_path).ok()) {
+    std::fprintf(stderr, "model save failed\n");
+    return 1;
+  }
+  auto served = BepiSolver::LoadFile(model_path);
+  if (!served.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 served.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Model: %.2f MB preprocessed, persisted to %s\n\n",
+              static_cast<double>(builder.PreprocessedBytes()) / (1 << 20),
+              model_path.c_str());
+
+  // A "topic" personalization: restart mass spread over 5 random
+  // representative documents of the topic.
+  for (index_t topic : {static_cast<index_t>(0), topics / 2}) {
+    std::vector<std::pair<index_t, real_t>> seeds;
+    for (int i = 0; i < 5; ++i) {
+      seeds.push_back({topic * docs_per_topic +
+                           rng.UniformIndex(0, docs_per_topic - 1),
+                       1.0});
+    }
+    auto q = PersonalizationVector(n, seeds);
+    if (!q.ok()) return 1;
+    QueryStats stats;
+    auto scores = served->QueryVector(*q, &stats);
+    if (!scores.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   scores.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("Topic %lld ranking (%.2f ms, %lld inner iterations):\n",
+                static_cast<long long>(topic), stats.seconds * 1e3,
+                static_cast<long long>(stats.iterations));
+    Table table({"rank", "document", "topic", "score", "is seed?"});
+    auto top = TopK(*scores, 8);
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      const index_t doc = top[i].first;
+      bool is_seed = false;
+      for (const auto& [s, w] : seeds) {
+        if (s == doc) is_seed = true;
+      }
+      table.AddRow({Table::Int(static_cast<long long>(i) + 1),
+                    Table::Int(doc), Table::Int(doc / docs_per_topic),
+                    Table::Num(top[i].second, 6), is_seed ? "yes" : "no"});
+    }
+    table.Print();
+    // Quality check: the top results should come from the query topic.
+    index_t in_topic = 0;
+    for (const auto& [doc, score] : top) {
+      if (doc / docs_per_topic == topic) ++in_topic;
+    }
+    std::printf("  %lld of %zu top documents are in the queried topic\n\n",
+                static_cast<long long>(in_topic), top.size());
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Byte-size accounting and formatting helpers used to report the memory
+// footprint of preprocessed matrices (Figures 1(b), 5(b), 6(b), 8).
+#ifndef BEPI_COMMON_BYTES_HPP_
+#define BEPI_COMMON_BYTES_HPP_
+
+#include <cstdint>
+#include <string>
+
+namespace bepi {
+
+/// Formats a byte count as a human-readable string, e.g. "12.3 MB".
+inline std::string HumanBytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+/// Converts bytes to megabytes (as the paper's memory plots do).
+inline double BytesToMb(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace bepi
+
+#endif  // BEPI_COMMON_BYTES_HPP_

@@ -1,0 +1,36 @@
+// Invariant-checking macros. BEPI_CHECK aborts with a message on violated
+// internal invariants (programming errors); recoverable conditions use
+// Status instead.
+#ifndef BEPI_COMMON_CHECK_HPP_
+#define BEPI_COMMON_CHECK_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define BEPI_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "BEPI_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define BEPI_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "BEPI_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define BEPI_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define BEPI_DCHECK(cond) BEPI_CHECK(cond)
+#endif
+
+#endif  // BEPI_COMMON_CHECK_HPP_

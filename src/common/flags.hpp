@@ -1,0 +1,37 @@
+// Tiny command-line flag parser for the example and benchmark binaries.
+// Supports --name=value and --name value forms plus positional arguments.
+#ifndef BEPI_COMMON_FLAGS_HPP_
+#define BEPI_COMMON_FLAGS_HPP_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bepi {
+
+class Flags {
+ public:
+  /// Parses argv. Unrecognized tokens that do not start with "--" become
+  /// positional arguments.
+  static Flags Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  index_t GetInt(const std::string& name, index_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_COMMON_FLAGS_HPP_

@@ -1,0 +1,45 @@
+// Minimal leveled logging to stderr.
+#ifndef BEPI_COMMON_LOG_HPP_
+#define BEPI_COMMON_LOG_HPP_
+
+#include <sstream>
+#include <string>
+
+namespace bepi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void LogMessage(LogLevel level, const std::string& msg);
+
+/// Stream-style log line; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace bepi
+
+#define BEPI_LOG(level) \
+  ::bepi::internal::LogLine(::bepi::LogLevel::k##level)
+
+#endif  // BEPI_COMMON_LOG_HPP_

@@ -1,0 +1,99 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace bepi {
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  BEPI_CHECK(bound > 0);
+  // Rejection sampling on the top of the range to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+index_t Rng::UniformIndex(index_t lo, index_t hi) {
+  BEPI_CHECK(lo <= hi);
+  return lo + static_cast<index_t>(
+                  NextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 == 0.0);
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.283185307179586476925286766559;
+  cached_gaussian_ = mag * std::sin(two_pi * u2);
+  have_gaussian_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+std::vector<index_t> Rng::SampleWithoutReplacement(index_t n, index_t k) {
+  BEPI_CHECK(k >= 0 && k <= n);
+  std::vector<index_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  if (k > n / 2) {
+    // Dense case: shuffle a full permutation prefix.
+    std::vector<index_t> all(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+    Shuffle(&all);
+    all.resize(static_cast<std::size_t>(k));
+    return all;
+  }
+  std::unordered_set<index_t> seen;
+  while (static_cast<index_t>(out.size()) < k) {
+    index_t v = UniformIndex(0, n - 1);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace bepi

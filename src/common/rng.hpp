@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation. All randomized components
+// (graph generators, seed selection, property tests) take an explicit Rng so
+// results are reproducible from a seed.
+#ifndef BEPI_COMMON_RNG_HPP_
+#define BEPI_COMMON_RNG_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bepi {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+std::uint64_t SplitMix64(std::uint64_t* state);
+
+/// xoshiro256++ generator. Small, fast, high-quality, and deterministic
+/// across platforms (unlike std::mt19937 + distributions).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling, so
+  /// the result is exactly uniform.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  index_t UniformIndex(index_t lo, index_t hi);
+
+  /// Uniform real in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n). k must be <= n.
+  std::vector<index_t> SampleWithoutReplacement(index_t n, index_t k);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_COMMON_RNG_HPP_

@@ -1,0 +1,127 @@
+// Status / Result error handling in the RocksDB/Arrow style: fallible
+// operations return a Status (or Result<T>) instead of throwing.
+#ifndef BEPI_COMMON_STATUS_HPP_
+#define BEPI_COMMON_STATUS_HPP_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bepi {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,  // e.g. memory budget exceeded
+  kDeadlineExceeded,   // e.g. preprocessing time budget exceeded
+  kNotConverged,       // iterative solver hit its iteration cap
+  kIoError,
+  kInternal,
+};
+
+/// Human-readable name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object. Ok status carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+  Result(StatusCode code, std::string msg) : status_(code, std::move(msg)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace bepi
+
+/// Propagate a non-ok Status to the caller.
+#define BEPI_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::bepi::Status _bepi_status = (expr);      \
+    if (!_bepi_status.ok()) return _bepi_status; \
+  } while (0)
+
+#define BEPI_CONCAT_IMPL(a, b) a##b
+#define BEPI_CONCAT(a, b) BEPI_CONCAT_IMPL(a, b)
+
+/// Evaluate a Result<T> expression; on error propagate the Status, otherwise
+/// move the value into `lhs` (which may be a declaration).
+#define BEPI_ASSIGN_OR_RETURN(lhs, expr)                           \
+  BEPI_ASSIGN_OR_RETURN_IMPL(BEPI_CONCAT(_bepi_result_, __LINE__), \
+                             lhs, expr)
+#define BEPI_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // BEPI_COMMON_STATUS_HPP_

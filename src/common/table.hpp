@@ -1,0 +1,37 @@
+// Aligned plain-text table printer, used by the benchmark harnesses to emit
+// paper-style tables (Table 2, Table 3, Table 4, and the figure series).
+#ifndef BEPI_COMMON_TABLE_HPP_
+#define BEPI_COMMON_TABLE_HPP_
+
+#include <string>
+#include <vector>
+
+namespace bepi {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string Num(double v, int precision = 3);
+  static std::string Int(long long v);
+  /// Integer with thousands separators, e.g. 1,234,567.
+  static std::string IntGrouped(long long v);
+
+  /// Renders with column alignment and a header separator.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_COMMON_TABLE_HPP_

@@ -1,0 +1,30 @@
+// Wall-clock timing utilities used by the benchmark harnesses.
+#ifndef BEPI_COMMON_TIMER_HPP_
+#define BEPI_COMMON_TIMER_HPP_
+
+#include <chrono>
+
+namespace bepi {
+
+/// Simple wall-clock stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_COMMON_TIMER_HPP_

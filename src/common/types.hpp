@@ -1,0 +1,18 @@
+// Core scalar and index types shared across the BePI library.
+#ifndef BEPI_COMMON_TYPES_HPP_
+#define BEPI_COMMON_TYPES_HPP_
+
+#include <cstdint>
+
+namespace bepi {
+
+/// Index type used for node ids, row/column indices and non-zero counts.
+/// 64-bit so that billion-scale edge counts do not overflow.
+using index_t = std::int64_t;
+
+/// Floating point type used for all matrix values and RWR scores.
+using real_t = double;
+
+}  // namespace bepi
+
+#endif  // BEPI_COMMON_TYPES_HPP_

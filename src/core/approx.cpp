@@ -1,0 +1,271 @@
+#include "core/approx.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace bepi {
+
+Status ForwardPushSolver::Preprocess(const Graph& g) {
+  Timer timer;
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  if (options_.push_threshold <= 0.0) {
+    return Status::InvalidArgument("push threshold must be positive");
+  }
+  normalized_ = g.RowNormalizedAdjacency();
+  preprocess_seconds_ = timer.Seconds();
+  return Status::Ok();
+}
+
+Result<Vector> ForwardPushSolver::Query(index_t seed,
+                                        QueryStats* stats) const {
+  const index_t n = normalized_.rows();
+  if (n == 0) return Status::FailedPrecondition("Preprocess not called");
+  if (seed < 0 || seed >= n) return Status::OutOfRange("seed out of range");
+  return QueryVector(StartingVector(n, seed), stats);
+}
+
+namespace {
+
+/// The forward-push core, shared by the solver and the incremental
+/// refresh. Invariant maintained by each push:
+///   r_exact = p + sum_u res[u] * rwr(u)
+/// where rwr(u) is the exact RWR vector seeded at u (||rwr(u)||_1 <= 1).
+/// Residual mass may be signed (refresh after edge deletions pushes
+/// negative corrections); the loop stops once every |res[u]| <= threshold,
+/// leaving an L1 defect of at most threshold * n.
+Result<index_t> RunPushLoop(const CsrMatrix& normalized, real_t c,
+                            real_t threshold, index_t max_pushes, Vector* p,
+                            Vector* res) {
+  const index_t n = normalized.rows();
+  std::vector<index_t> queue;
+  std::vector<bool> queued(static_cast<std::size_t>(n), false);
+  for (index_t u = 0; u < n; ++u) {
+    if (std::fabs((*res)[static_cast<std::size_t>(u)]) > threshold) {
+      queue.push_back(u);
+      queued[static_cast<std::size_t>(u)] = true;
+    }
+  }
+  index_t pushes = 0;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const index_t u = queue[head++];
+    queued[static_cast<std::size_t>(u)] = false;
+    const real_t mass = (*res)[static_cast<std::size_t>(u)];
+    if (std::fabs(mass) <= threshold) continue;
+    if (++pushes > max_pushes) {
+      return Status::NotConverged("forward push exceeded its push budget");
+    }
+    (*res)[static_cast<std::size_t>(u)] = 0.0;
+    (*p)[static_cast<std::size_t>(u)] += c * mass;
+    // Distribute (1-c)*mass over out-neighbors; at a deadend the walk
+    // mass is lost, matching H's treatment of zero rows.
+    const real_t spread = (1.0 - c) * mass;
+    for (index_t pos = normalized.row_ptr()[static_cast<std::size_t>(u)];
+         pos < normalized.row_ptr()[static_cast<std::size_t>(u) + 1]; ++pos) {
+      const index_t v = normalized.col_idx()[static_cast<std::size_t>(pos)];
+      (*res)[static_cast<std::size_t>(v)] +=
+          spread * normalized.values()[static_cast<std::size_t>(pos)];
+      if (std::fabs((*res)[static_cast<std::size_t>(v)]) > threshold &&
+          !queued[static_cast<std::size_t>(v)]) {
+        queue.push_back(v);
+        queued[static_cast<std::size_t>(v)] = true;
+      }
+    }
+    // Compact the FIFO occasionally to bound memory.
+    if (head > 1'000'000 && head * 2 > queue.size()) {
+      queue.erase(queue.begin(),
+                  queue.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+  }
+  return pushes;
+}
+
+}  // namespace
+
+Result<Vector> ForwardPushSolver::QueryVector(const Vector& q,
+                                              QueryStats* stats) const {
+  const index_t n = normalized_.rows();
+  if (n == 0) return Status::FailedPrecondition("Preprocess not called");
+  if (static_cast<index_t>(q.size()) != n) {
+    return Status::InvalidArgument("personalization vector length mismatch");
+  }
+  Timer timer;
+  Vector p(static_cast<std::size_t>(n), 0.0);
+  Vector res = q;
+  BEPI_ASSIGN_OR_RETURN(
+      index_t pushes,
+      RunPushLoop(normalized_, options_.restart_prob, options_.push_threshold,
+                  options_.max_pushes, &p, &res));
+  if (stats != nullptr) {
+    *stats = QueryStats();
+    stats->seconds = timer.Seconds();
+    stats->iterations = pushes;
+  }
+  return p;
+}
+
+Result<Vector> RefreshRwrScores(const Graph& new_graph, index_t seed,
+                                const Vector& stale_scores,
+                                const ForwardPushOptions& options,
+                                QueryStats* stats) {
+  const index_t n = new_graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (static_cast<index_t>(stale_scores.size()) != n) {
+    return Status::InvalidArgument(
+        "stale score vector length mismatch (node additions need a resized "
+        "vector padded with zeros)");
+  }
+  if (seed < 0 || seed >= n) return Status::OutOfRange("seed out of range");
+  if (options.push_threshold <= 0.0) {
+    return Status::InvalidArgument("push threshold must be positive");
+  }
+  Timer timer;
+  const real_t c = options.restart_prob;
+  const CsrMatrix normalized = new_graph.RowNormalizedAdjacency();
+
+  // Defect of the stale estimate against the NEW system, in push units:
+  // r_new = p + sum_u res[u] * rwr_new(u) with p = stale_scores and
+  // res = (c q - H_new p) / c = q - (p - (1-c) Ã_new^T p) / c.
+  Vector p = stale_scores;
+  Vector res = normalized.MultiplyTranspose(p);
+  for (index_t u = 0; u < n; ++u) {
+    res[static_cast<std::size_t>(u)] =
+        ((1.0 - c) * res[static_cast<std::size_t>(u)] -
+         p[static_cast<std::size_t>(u)]) /
+        c;
+  }
+  res[static_cast<std::size_t>(seed)] += 1.0;
+
+  BEPI_ASSIGN_OR_RETURN(
+      index_t pushes,
+      RunPushLoop(normalized, c, options.push_threshold, options.max_pushes,
+                  &p, &res));
+  if (stats != nullptr) {
+    *stats = QueryStats();
+    stats->seconds = timer.Seconds();
+    stats->iterations = pushes;
+  }
+  return p;
+}
+
+Status MonteCarloSolver::Preprocess(const Graph& g) {
+  Timer timer;
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  if (options_.num_walks <= 0) {
+    return Status::InvalidArgument("num_walks must be positive");
+  }
+  adjacency_ = g.adjacency();
+  preprocess_seconds_ = timer.Seconds();
+  return Status::Ok();
+}
+
+Result<Vector> MonteCarloSolver::Query(index_t seed, QueryStats* stats) const {
+  const index_t n = adjacency_.rows();
+  if (n == 0) return Status::FailedPrecondition("Preprocess not called");
+  if (seed < 0 || seed >= n) return Status::OutOfRange("seed out of range");
+  Timer timer;
+  const real_t c = options_.restart_prob;
+  Rng rng(options_.seed ^ static_cast<std::uint64_t>(seed) * 0x9e3779b9ULL);
+
+  // Each walk ends at its current node with probability c per step; the
+  // endpoint distribution is exactly r. Walks hitting a deadend die
+  // without an endpoint, matching the mass leak of the H formulation.
+  std::vector<index_t> endpoint_counts(static_cast<std::size_t>(n), 0);
+  index_t total_steps = 0;
+  for (index_t walk = 0; walk < options_.num_walks; ++walk) {
+    index_t u = seed;
+    for (;;) {
+      ++total_steps;
+      if (rng.NextDouble() < c) {
+        endpoint_counts[static_cast<std::size_t>(u)]++;
+        break;
+      }
+      const index_t begin = adjacency_.row_ptr()[static_cast<std::size_t>(u)];
+      const index_t end = adjacency_.row_ptr()[static_cast<std::size_t>(u) + 1];
+      if (begin == end) break;  // deadend: the walk dies
+      const index_t pick = begin + rng.UniformIndex(0, end - begin - 1);
+      u = adjacency_.col_idx()[static_cast<std::size_t>(pick)];
+    }
+  }
+  Vector r(static_cast<std::size_t>(n), 0.0);
+  const real_t inv = 1.0 / static_cast<real_t>(options_.num_walks);
+  for (index_t u = 0; u < n; ++u) {
+    r[static_cast<std::size_t>(u)] =
+        static_cast<real_t>(endpoint_counts[static_cast<std::size_t>(u)]) * inv;
+  }
+  if (stats != nullptr) {
+    *stats = QueryStats();
+    stats->seconds = timer.Seconds();
+    stats->iterations = total_steps;
+  }
+  return r;
+}
+
+Result<Vector> MonteCarloSolver::QueryVector(const Vector& q,
+                                             QueryStats* stats) const {
+  const index_t n = adjacency_.rows();
+  if (n == 0) return Status::FailedPrecondition("Preprocess not called");
+  if (static_cast<index_t>(q.size()) != n) {
+    return Status::InvalidArgument("personalization vector length mismatch");
+  }
+  // Sample start nodes from q (must be a distribution), then reuse the
+  // single-seed machinery via linearity: group walks by sampled start.
+  real_t total = 0.0;
+  for (real_t v : q) {
+    if (v < 0.0) {
+      return Status::InvalidArgument("personalization entries must be >= 0");
+    }
+    total += v;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("personalization vector must be non-zero");
+  }
+  Timer timer;
+  Rng rng(options_.seed * 0x2545f4914f6cdd1dULL + 17);
+  // Multinomial assignment of walks to start nodes.
+  std::vector<index_t> walks_per_node(static_cast<std::size_t>(n), 0);
+  for (index_t w = 0; w < options_.num_walks; ++w) {
+    real_t target = rng.NextDouble() * total;
+    index_t chosen = n - 1;
+    for (index_t u = 0; u < n; ++u) {
+      target -= q[static_cast<std::size_t>(u)];
+      if (target <= 0.0) {
+        chosen = u;
+        break;
+      }
+    }
+    walks_per_node[static_cast<std::size_t>(chosen)]++;
+  }
+  Vector r(static_cast<std::size_t>(n), 0.0);
+  index_t total_steps = 0;
+  const real_t c = options_.restart_prob;
+  for (index_t s = 0; s < n; ++s) {
+    for (index_t w = 0; w < walks_per_node[static_cast<std::size_t>(s)]; ++w) {
+      index_t u = s;
+      for (;;) {
+        ++total_steps;
+        if (rng.NextDouble() < c) {
+          r[static_cast<std::size_t>(u)] += 1.0;
+          break;
+        }
+        const index_t begin = adjacency_.row_ptr()[static_cast<std::size_t>(u)];
+        const index_t end = adjacency_.row_ptr()[static_cast<std::size_t>(u) + 1];
+        if (begin == end) break;
+        const index_t pick = begin + rng.UniformIndex(0, end - begin - 1);
+        u = adjacency_.col_idx()[static_cast<std::size_t>(pick)];
+      }
+    }
+  }
+  Scale(1.0 / static_cast<real_t>(options_.num_walks), &r);
+  if (stats != nullptr) {
+    *stats = QueryStats();
+    stats->seconds = timer.Seconds();
+    stats->iterations = total_steps;
+  }
+  return r;
+}
+
+}  // namespace bepi

@@ -1,0 +1,140 @@
+#include "core/bear.hpp"
+
+#include "common/timer.hpp"
+#include "solver/dense_lu.hpp"
+
+namespace bepi {
+
+Status BearSolver::Preprocess(const Graph& g) {
+  Timer timer;
+  preprocessed_ = false;
+
+  MemoryBudget budget(options_.memory_budget_bytes);
+  DecompositionOptions dopts;
+  dopts.restart_prob = options_.restart_prob;
+  dopts.hub_ratio = options_.hub_ratio;
+  BEPI_ASSIGN_OR_RETURN(dec_, BuildDecomposition(g, dopts, &budget));
+
+  // The step BePI avoids: dense inversion of the n2 x n2 Schur complement.
+  // Check the budget before allocating (this is where Bear dies on large
+  // graphs in the paper). The inversion pipeline holds the packed LU
+  // factors and the growing inverse simultaneously, so its peak is two
+  // dense n2 x n2 matrices.
+  const std::uint64_t dense_bytes = 2 * static_cast<std::uint64_t>(dec_.n2) *
+                                    static_cast<std::uint64_t>(dec_.n2) *
+                                    sizeof(real_t);
+  BEPI_RETURN_IF_ERROR(budget.Charge(dense_bytes, "dense S^{-1}"));
+  if (dec_.n2 > 0) {
+    BEPI_ASSIGN_OR_RETURN(DenseLu lu, DenseLu::Factor(dec_.schur.ToDense()));
+    schur_inverse_ = lu.Inverse();
+  } else {
+    schur_inverse_ = DenseMatrix();
+  }
+  inverse_perm_ = InversePermutation(dec_.perm);
+  preprocess_seconds_ = timer.Seconds();
+  preprocessed_ = true;
+  return Status::Ok();
+}
+
+Result<Vector> BearSolver::Query(index_t seed, QueryStats* stats) const {
+  if (!preprocessed_) return Status::FailedPrecondition("Preprocess not called");
+  if (seed < 0 || seed >= dec_.n) {
+    return Status::OutOfRange("seed out of range");
+  }
+  const real_t c = options_.restart_prob;
+  const index_t n1 = dec_.n1, n2 = dec_.n2, n3 = dec_.n3;
+
+  const index_t pos = dec_.perm[static_cast<std::size_t>(seed)];
+  Vector cq1(static_cast<std::size_t>(n1), 0.0);
+  Vector cq2(static_cast<std::size_t>(n2), 0.0);
+  Vector cq3(static_cast<std::size_t>(n3), 0.0);
+  if (pos < n1) {
+    cq1[static_cast<std::size_t>(pos)] = c;
+  } else if (pos < n1 + n2) {
+    cq2[static_cast<std::size_t>(pos - n1)] = c;
+  } else {
+    cq3[static_cast<std::size_t>(pos - n1 - n2)] = c;
+  }
+  return SolveFromSlices(cq1, cq2, cq3, stats);
+}
+
+Result<Vector> BearSolver::QueryVector(const Vector& q,
+                                       QueryStats* stats) const {
+  if (!preprocessed_) return Status::FailedPrecondition("Preprocess not called");
+  if (static_cast<index_t>(q.size()) != dec_.n) {
+    return Status::InvalidArgument("personalization vector length mismatch");
+  }
+  const real_t c = options_.restart_prob;
+  const index_t n1 = dec_.n1, n2 = dec_.n2;
+  Vector cq1(static_cast<std::size_t>(dec_.n1), 0.0);
+  Vector cq2(static_cast<std::size_t>(dec_.n2), 0.0);
+  Vector cq3(static_cast<std::size_t>(dec_.n3), 0.0);
+  for (index_t u = 0; u < dec_.n; ++u) {
+    const real_t v = q[static_cast<std::size_t>(u)];
+    if (v == 0.0) continue;
+    const index_t pos = dec_.perm[static_cast<std::size_t>(u)];
+    if (pos < n1) {
+      cq1[static_cast<std::size_t>(pos)] = c * v;
+    } else if (pos < n1 + n2) {
+      cq2[static_cast<std::size_t>(pos - n1)] = c * v;
+    } else {
+      cq3[static_cast<std::size_t>(pos - n1 - n2)] = c * v;
+    }
+  }
+  return SolveFromSlices(cq1, cq2, cq3, stats);
+}
+
+Result<Vector> BearSolver::SolveFromSlices(const Vector& cq1,
+                                           const Vector& cq2,
+                                           const Vector& cq3,
+                                           QueryStats* stats) const {
+  Timer timer;
+  const index_t n1 = dec_.n1, n2 = dec_.n2, n3 = dec_.n3;
+
+  // Identical block elimination, but r2 = S^{-1} q2~ is a direct product.
+  Vector q2_tilde = cq2;
+  if (n1 > 0) {
+    const Vector h11inv_cq1 = dec_.ApplyH11Inverse(cq1);
+    dec_.h21.MultiplyAdd(-1.0, h11inv_cq1, &q2_tilde);
+  }
+  Vector r2 = n2 > 0 ? schur_inverse_.Multiply(q2_tilde) : Vector();
+
+  Vector r1;
+  if (n1 > 0) {
+    Vector rhs1 = cq1;
+    dec_.h12.MultiplyAdd(-1.0, r2, &rhs1);
+    r1 = dec_.ApplyH11Inverse(rhs1);
+  }
+  Vector r3 = cq3;
+  if (n3 > 0) {
+    if (n1 > 0) dec_.h31.MultiplyAdd(-1.0, r1, &r3);
+    if (n2 > 0) dec_.h32.MultiplyAdd(-1.0, r2, &r3);
+  }
+
+  Vector result(static_cast<std::size_t>(dec_.n));
+  for (index_t i = 0; i < n1; ++i) {
+    result[static_cast<std::size_t>(inverse_perm_[static_cast<std::size_t>(i)])] =
+        r1[static_cast<std::size_t>(i)];
+  }
+  for (index_t i = 0; i < n2; ++i) {
+    result[static_cast<std::size_t>(
+        inverse_perm_[static_cast<std::size_t>(n1 + i)])] =
+        r2[static_cast<std::size_t>(i)];
+  }
+  for (index_t i = 0; i < n3; ++i) {
+    result[static_cast<std::size_t>(
+        inverse_perm_[static_cast<std::size_t>(n1 + n2 + i)])] =
+        r3[static_cast<std::size_t>(i)];
+  }
+  if (stats != nullptr) {
+    *stats = QueryStats();
+    stats->seconds = timer.Seconds();
+  }
+  return result;
+}
+
+std::uint64_t BearSolver::PreprocessedBytes() const {
+  return dec_.CommonBytes() + schur_inverse_.ByteSize();
+}
+
+}  // namespace bepi

@@ -1,0 +1,48 @@
+// Bear baseline (Shin et al. [38]): the state-of-the-art block-elimination
+// preprocessing method the paper compares against. Bear shares BePI's node
+// reordering and block elimination but *inverts* the Schur complement in
+// the preprocessing phase. Its query phase is pure matrix-vector products
+// (fast); its memory is dominated by the dense n2 x n2 inverse S^{-1}
+// (which is why it cannot scale — paper Figures 1, 5, 11).
+#ifndef BEPI_CORE_BEAR_HPP_
+#define BEPI_CORE_BEAR_HPP_
+
+#include "core/decomposition.hpp"
+#include "core/rwr.hpp"
+#include "sparse/dense.hpp"
+
+namespace bepi {
+
+struct BearOptions : RwrOptions {
+  /// SlashBurn hub ratio; Bear's published setting is 0.001 (small n2, so
+  /// the dense S^{-1} stays as small as possible).
+  real_t hub_ratio = 0.001;
+};
+
+class BearSolver final : public RwrSolver {
+ public:
+  explicit BearSolver(BearOptions options) : options_(options) {}
+
+  std::string name() const override { return "Bear"; }
+  Status Preprocess(const Graph& g) override;
+  Result<Vector> Query(index_t seed, QueryStats* stats = nullptr) const override;
+  Result<Vector> QueryVector(const Vector& q,
+                             QueryStats* stats = nullptr) const override;
+  std::uint64_t PreprocessedBytes() const override;
+
+  const HubSpokeDecomposition& decomposition() const { return dec_; }
+
+ private:
+  Result<Vector> SolveFromSlices(const Vector& cq1, const Vector& cq2,
+                                 const Vector& cq3, QueryStats* stats) const;
+
+  BearOptions options_;
+  HubSpokeDecomposition dec_;
+  DenseMatrix schur_inverse_;
+  Permutation inverse_perm_;
+  bool preprocessed_ = false;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_CORE_BEAR_HPP_

@@ -1,0 +1,312 @@
+#include "core/bepi.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "solver/bicgstab.hpp"
+#include "solver/gmres.hpp"
+#include "sparse/io.hpp"
+
+namespace bepi {
+
+const char* BepiModeName(BepiMode mode) {
+  switch (mode) {
+    case BepiMode::kBasic:
+      return "BePI-B";
+    case BepiMode::kSparsified:
+      return "BePI-S";
+    case BepiMode::kPreconditioned:
+      return "BePI";
+  }
+  return "BePI-?";
+}
+
+BepiSolver::BepiSolver(BepiOptions options) : options_(options) {
+  effective_hub_ratio_ = options_.hub_ratio > 0.0
+                             ? options_.hub_ratio
+                             : (options_.mode == BepiMode::kBasic ? 0.001
+                                                                  : 0.2);
+}
+
+std::string BepiSolver::name() const { return BepiModeName(options_.mode); }
+
+Status BepiSolver::Preprocess(const Graph& g) {
+  Timer total_timer;
+  preprocessed_ = false;
+
+  MemoryBudget budget(options_.memory_budget_bytes);
+  DecompositionOptions dopts;
+  dopts.restart_prob = options_.restart_prob;
+  dopts.hub_ratio = effective_hub_ratio_;
+  dopts.hub_selection = options_.hub_selection;
+  BEPI_ASSIGN_OR_RETURN(dec_, BuildDecomposition(g, dopts, &budget));
+
+  info_ = BepiPreprocessInfo();
+  info_.n1 = dec_.n1;
+  info_.n2 = dec_.n2;
+  info_.n3 = dec_.n3;
+  info_.num_blocks = static_cast<index_t>(dec_.block_sizes.size());
+  info_.slashburn_iterations = dec_.slashburn_iterations;
+  info_.schur_nnz = dec_.schur.nnz();
+  info_.h22_nnz = dec_.h22.nnz();
+  info_.product_nnz = dec_.product_nnz;
+  info_.reorder_seconds = dec_.reorder_seconds;
+  info_.build_seconds = dec_.build_seconds;
+  info_.factor_seconds = dec_.factor_seconds;
+  info_.schur_seconds = dec_.schur_seconds;
+
+  ilu_.reset();
+  if (options_.mode == BepiMode::kPreconditioned && dec_.n2 > 0) {
+    Timer ilu_timer;
+    // The ILU(0) factors have the same footprint as S (paper Section 3.5).
+    BEPI_RETURN_IF_ERROR(
+        budget.Charge(dec_.schur.ByteSize(), "ILU(0) factors of S"));
+    BEPI_ASSIGN_OR_RETURN(Ilu0 ilu, Ilu0::Factor(dec_.schur));
+    ilu_ = std::move(ilu);
+    info_.ilu_seconds = ilu_timer.Seconds();
+  }
+  inverse_perm_ = InversePermutation(dec_.perm);
+  preprocess_seconds_ = total_timer.Seconds();
+  preprocessed_ = true;
+  return Status::Ok();
+}
+
+Result<Vector> BepiSolver::Query(index_t seed, QueryStats* stats) const {
+  if (!preprocessed_) return Status::FailedPrecondition("Preprocess not called");
+  if (seed < 0 || seed >= dec_.n) {
+    return Status::OutOfRange("seed out of range");
+  }
+  const real_t c = options_.restart_prob;
+  const index_t n1 = dec_.n1, n2 = dec_.n2, n3 = dec_.n3;
+
+  // Partitioned starting vector: c*q has a single entry at the reordered
+  // seed position (Algorithm 4, lines 1-2).
+  const index_t pos = dec_.perm[static_cast<std::size_t>(seed)];
+  Vector cq1(static_cast<std::size_t>(n1), 0.0);
+  Vector cq2(static_cast<std::size_t>(n2), 0.0);
+  Vector cq3(static_cast<std::size_t>(n3), 0.0);
+  if (pos < n1) {
+    cq1[static_cast<std::size_t>(pos)] = c;
+  } else if (pos < n1 + n2) {
+    cq2[static_cast<std::size_t>(pos - n1)] = c;
+  } else {
+    cq3[static_cast<std::size_t>(pos - n1 - n2)] = c;
+  }
+  return SolveFromSlices(cq1, cq2, cq3, stats);
+}
+
+Result<Vector> BepiSolver::QueryVector(const Vector& q,
+                                       QueryStats* stats) const {
+  if (!preprocessed_) return Status::FailedPrecondition("Preprocess not called");
+  if (static_cast<index_t>(q.size()) != dec_.n) {
+    return Status::InvalidArgument("personalization vector length mismatch");
+  }
+  const real_t c = options_.restart_prob;
+  const index_t n1 = dec_.n1, n2 = dec_.n2;
+  Vector cq1(static_cast<std::size_t>(dec_.n1), 0.0);
+  Vector cq2(static_cast<std::size_t>(dec_.n2), 0.0);
+  Vector cq3(static_cast<std::size_t>(dec_.n3), 0.0);
+  for (index_t u = 0; u < dec_.n; ++u) {
+    const real_t v = q[static_cast<std::size_t>(u)];
+    if (v == 0.0) continue;
+    const index_t pos = dec_.perm[static_cast<std::size_t>(u)];
+    if (pos < n1) {
+      cq1[static_cast<std::size_t>(pos)] = c * v;
+    } else if (pos < n1 + n2) {
+      cq2[static_cast<std::size_t>(pos - n1)] = c * v;
+    } else {
+      cq3[static_cast<std::size_t>(pos - n1 - n2)] = c * v;
+    }
+  }
+  return SolveFromSlices(cq1, cq2, cq3, stats);
+}
+
+Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
+                                           const Vector& cq2,
+                                           const Vector& cq3,
+                                           QueryStats* stats) const {
+  Timer timer;
+  const index_t n1 = dec_.n1, n2 = dec_.n2, n3 = dec_.n3;
+
+  // q2~ = c q2 - H21 (U1^{-1} (L1^{-1} (c q1)))  (Algorithm 4, line 3).
+  Vector q2_tilde = cq2;
+  if (n1 > 0) {
+    const Vector h11inv_cq1 = dec_.ApplyH11Inverse(cq1);
+    dec_.h21.MultiplyAdd(-1.0, h11inv_cq1, &q2_tilde);
+  }
+
+  // Solve S r2 = q2~ with a preconditioned Krylov method (line 4).
+  Vector r2(static_cast<std::size_t>(n2), 0.0);
+  SolveStats solve_stats;
+  if (n2 > 0) {
+    CsrOperator op(dec_.schur);
+    const Preconditioner* m = ilu_.has_value() ? &*ilu_ : nullptr;
+    if (options_.inner_solver == BepiInnerSolver::kBicgstab) {
+      BicgstabOptions bi;
+      bi.tol = options_.tolerance;
+      bi.max_iters = options_.max_iterations;
+      BEPI_ASSIGN_OR_RETURN(r2, Bicgstab(op, q2_tilde, bi, &solve_stats, m));
+    } else {
+      GmresOptions gm;
+      gm.tol = options_.tolerance;
+      gm.max_iters = options_.max_iterations;
+      gm.restart = options_.gmres_restart;
+      BEPI_ASSIGN_OR_RETURN(r2, Gmres(op, q2_tilde, gm, &solve_stats, m));
+    }
+    if (!solve_stats.converged) {
+      return Status::NotConverged(
+          "Schur-complement solve did not reach tolerance " +
+          std::to_string(options_.tolerance) + " in " +
+          std::to_string(options_.max_iterations) + " iterations");
+    }
+  }
+
+  // r1 = U1^{-1} (L1^{-1} (c q1 - H12 r2))  (line 5).
+  Vector r1;
+  if (n1 > 0) {
+    Vector rhs1 = cq1;
+    dec_.h12.MultiplyAdd(-1.0, r2, &rhs1);
+    r1 = dec_.ApplyH11Inverse(rhs1);
+  }
+
+  // r3 = c q3 - H31 r1 - H32 r2  (line 6).
+  Vector r3 = cq3;
+  if (n3 > 0) {
+    if (n1 > 0) dec_.h31.MultiplyAdd(-1.0, r1, &r3);
+    if (n2 > 0) dec_.h32.MultiplyAdd(-1.0, r2, &r3);
+  }
+
+  // Concatenate and undo the node reordering (line 7).
+  Vector result(static_cast<std::size_t>(dec_.n));
+  for (index_t i = 0; i < n1; ++i) {
+    result[static_cast<std::size_t>(inverse_perm_[static_cast<std::size_t>(i)])] =
+        r1[static_cast<std::size_t>(i)];
+  }
+  for (index_t i = 0; i < n2; ++i) {
+    result[static_cast<std::size_t>(
+        inverse_perm_[static_cast<std::size_t>(n1 + i)])] =
+        r2[static_cast<std::size_t>(i)];
+  }
+  for (index_t i = 0; i < n3; ++i) {
+    result[static_cast<std::size_t>(
+        inverse_perm_[static_cast<std::size_t>(n1 + n2 + i)])] =
+        r3[static_cast<std::size_t>(i)];
+  }
+  if (stats != nullptr) {
+    stats->seconds = timer.Seconds();
+    stats->iterations = solve_stats.iterations;
+    stats->residual = solve_stats.relative_residual;
+  }
+  return result;
+}
+
+std::uint64_t BepiSolver::PreprocessedBytes() const {
+  std::uint64_t bytes = dec_.CommonBytes() + dec_.schur.ByteSize();
+  if (ilu_.has_value()) bytes += ilu_->ByteSize();
+  return bytes;
+}
+
+namespace {
+
+constexpr char kModelHeader[] = "BEPI-MODEL v1";
+
+}  // namespace
+
+Status BepiSolver::Save(std::ostream& out) const {
+  if (!preprocessed_) {
+    return Status::FailedPrecondition("nothing to save: Preprocess not called");
+  }
+  out << kModelHeader << "\n";
+  out.precision(17);
+  out << static_cast<int>(options_.mode) << " " << options_.restart_prob
+      << " " << options_.tolerance << " " << options_.max_iterations << " "
+      << options_.gmres_restart << " " << effective_hub_ratio_ << "\n";
+  out << dec_.n << " " << dec_.n1 << " " << dec_.n2 << " " << dec_.n3 << "\n";
+  for (index_t i = 0; i < dec_.n; ++i) {
+    out << dec_.perm[static_cast<std::size_t>(i)]
+        << (i + 1 == dec_.n ? '\n' : ' ');
+  }
+  // Query-phase matrices in a fixed order (the paper's stored set).
+  for (const CsrMatrix* m : {&dec_.l1_inv, &dec_.u1_inv, &dec_.h12, &dec_.h21,
+                             &dec_.h31, &dec_.h32, &dec_.schur}) {
+    BEPI_RETURN_IF_ERROR(WriteMatrixMarket(*m, out));
+  }
+  if (!out) return Status::IoError("failed writing BePI model stream");
+  return Status::Ok();
+}
+
+Status BepiSolver::SaveFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return Save(out);
+}
+
+Result<BepiSolver> BepiSolver::Load(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header) || header != kModelHeader) {
+    return Status::IoError("not a BePI model stream (bad header)");
+  }
+  BepiOptions options;
+  int mode = 0;
+  real_t hub_ratio = 0.0;
+  in >> mode >> options.restart_prob >> options.tolerance >>
+      options.max_iterations >> options.gmres_restart >> hub_ratio;
+  if (!in || mode < 0 || mode > 2) {
+    return Status::IoError("malformed BePI model options");
+  }
+  options.mode = static_cast<BepiMode>(mode);
+  options.hub_ratio = hub_ratio;
+
+  BepiSolver solver(options);
+  HubSpokeDecomposition& dec = solver.dec_;
+  in >> dec.n >> dec.n1 >> dec.n2 >> dec.n3;
+  if (!in || dec.n < 0 || dec.n1 < 0 || dec.n2 < 0 || dec.n3 < 0 ||
+      dec.n1 + dec.n2 + dec.n3 != dec.n) {
+    return Status::IoError("malformed BePI model partition sizes");
+  }
+  dec.perm.resize(static_cast<std::size_t>(dec.n));
+  for (index_t i = 0; i < dec.n; ++i) {
+    in >> dec.perm[static_cast<std::size_t>(i)];
+  }
+  if (!in || !IsPermutation(dec.perm)) {
+    return Status::IoError("malformed BePI model permutation");
+  }
+  in.ignore(1, '\n');
+  for (CsrMatrix* m : {&dec.l1_inv, &dec.u1_inv, &dec.h12, &dec.h21, &dec.h31,
+                       &dec.h32, &dec.schur}) {
+    BEPI_ASSIGN_OR_RETURN(*m, ReadMatrixMarket(in));
+  }
+  // Shape checks tie the matrices to the declared partition sizes.
+  if (dec.l1_inv.rows() != dec.n1 || dec.u1_inv.rows() != dec.n1 ||
+      dec.h12.rows() != dec.n1 || dec.h12.cols() != dec.n2 ||
+      dec.h21.rows() != dec.n2 || dec.h21.cols() != dec.n1 ||
+      dec.h31.rows() != dec.n3 || dec.h31.cols() != dec.n1 ||
+      dec.h32.rows() != dec.n3 || dec.h32.cols() != dec.n2 ||
+      dec.schur.rows() != dec.n2 || dec.schur.cols() != dec.n2) {
+    return Status::IoError("BePI model matrices inconsistent with sizes");
+  }
+  if (options.mode == BepiMode::kPreconditioned && dec.n2 > 0) {
+    BEPI_ASSIGN_OR_RETURN(Ilu0 ilu, Ilu0::Factor(dec.schur));
+    solver.ilu_ = std::move(ilu);
+  }
+  solver.inverse_perm_ = InversePermutation(dec.perm);
+  // Only the structural fields survive a round-trip; the timing breakdown
+  // and H22/product counts belong to the original preprocessing run.
+  solver.info_ = BepiPreprocessInfo();
+  solver.info_.n1 = dec.n1;
+  solver.info_.n2 = dec.n2;
+  solver.info_.n3 = dec.n3;
+  solver.info_.schur_nnz = dec.schur.nnz();
+  solver.preprocessed_ = true;
+  return solver;
+}
+
+Result<BepiSolver> BepiSolver::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return Load(in);
+}
+
+}  // namespace bepi

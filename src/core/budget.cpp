@@ -1,0 +1,23 @@
+#include "core/budget.hpp"
+
+#include "common/bytes.hpp"
+
+namespace bepi {
+
+Status MemoryBudget::Check(std::uint64_t bytes, const std::string& what) const {
+  if (unlimited()) return Status::Ok();
+  if (used_bytes_ + bytes > budget_bytes_) {
+    return Status::ResourceExhausted(
+        what + " needs " + HumanBytes(bytes) + " (" + HumanBytes(used_bytes_) +
+        " already used) exceeding the budget of " + HumanBytes(budget_bytes_));
+  }
+  return Status::Ok();
+}
+
+Status MemoryBudget::Charge(std::uint64_t bytes, const std::string& what) {
+  BEPI_RETURN_IF_ERROR(Check(bytes, what));
+  used_bytes_ += bytes;
+  return Status::Ok();
+}
+
+}  // namespace bepi

@@ -1,0 +1,39 @@
+// Memory budget gate. The paper's large-graph experiments end with Bear
+// and LU decomposition running out of memory; this module reproduces that
+// mechanism at laptop scale: preprocessing aborts with ResourceExhausted
+// the moment its projected footprint exceeds the budget.
+#ifndef BEPI_CORE_BUDGET_HPP_
+#define BEPI_CORE_BUDGET_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace bepi {
+
+class MemoryBudget {
+ public:
+  /// budget_bytes == 0 means unlimited.
+  explicit MemoryBudget(std::uint64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  std::uint64_t budget_bytes() const { return budget_bytes_; }
+  bool unlimited() const { return budget_bytes_ == 0; }
+
+  /// Ok if `bytes` fits; ResourceExhausted (naming the component) if not.
+  Status Check(std::uint64_t bytes, const std::string& what) const;
+
+  /// Registers consumption and checks the running total.
+  Status Charge(std::uint64_t bytes, const std::string& what);
+
+  std::uint64_t used_bytes() const { return used_bytes_; }
+
+ private:
+  std::uint64_t budget_bytes_;
+  std::uint64_t used_bytes_ = 0;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_CORE_BUDGET_HPP_

@@ -1,0 +1,165 @@
+#include "core/datasets.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "graph/generators.hpp"
+
+namespace bepi {
+
+// Edge/node ratios and deadend fractions follow Table 2 of the paper:
+//   Slashdot 6.5, Wikipedia 16.2, Baidu 7.9, Flickr 14.4, LiveJournal
+//   14.1, WikiLink 30.4, Twitter 35.3, Friendster 37.8; deadend fractions
+//   n3/n from the same table. Node counts are scaled ~1000x down.
+const std::vector<DatasetSpec>& PaperDatasets() {
+  static const std::vector<DatasetSpec> kDatasets = {
+      {"Slashdot-sim", 6000, 39000, 0.42, 0.30, 101},
+      {"Wikipedia-sim", 7000, 113000, 0.04, 0.25, 102},
+      {"Baidu-sim", 16000, 126000, 0.05, 0.20, 103},
+      {"Flickr-sim", 20000, 288000, 0.16, 0.20, 104},
+      {"LiveJournal-sim", 28000, 395000, 0.11, 0.30, 105},
+      {"WikiLink-sim", 36000, 1094000, 0.002, 0.20, 106},
+      {"Twitter-sim", 48000, 1690000, 0.037, 0.20, 107},
+      {"Friendster-sim", 64000, 2420000, 0.18, 0.20, 108},
+  };
+  return kDatasets;
+}
+
+// Appendix J (Table 5): Gnutella 62.6K/147.9K, HepPH 34.5K/421.6K,
+// Facebook 47.0K/877.0K, Digg 279.6K/1.73M — scaled ~10x down.
+const std::vector<DatasetSpec>& AppendixDatasets() {
+  static const std::vector<DatasetSpec> kDatasets = {
+      {"Gnutella-sim", 6200, 14800, 0.10, 0.20, 201},
+      {"HepPH-sim", 3500, 42000, 0.02, 0.20, 202},
+      {"Facebook-sim", 4700, 88000, 0.02, 0.20, 203},
+      {"Digg-sim", 28000, 173000, 0.15, 0.20, 204},
+  };
+  return kDatasets;
+}
+
+Result<DatasetSpec> FindDataset(const std::string& name) {
+  auto lower = [](std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    return s;
+  };
+  const std::string needle = lower(name);
+  for (const auto* registry : {&PaperDatasets(), &AppendixDatasets()}) {
+    for (const DatasetSpec& spec : *registry) {
+      if (lower(spec.name) == needle) return spec;
+    }
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+namespace {
+
+/// Adjusts the graph so the deadend share matches `fraction` closely:
+/// R-MAT leaves "natural" deadends (nodes never drawn as a source), so the
+/// generator may have too many (fixed by giving excess deadends out-edges)
+/// or too few (fixed by removing out-edges of extra nodes).
+Result<Graph> AdjustDeadends(const Graph& g, real_t fraction, Rng* rng) {
+  const index_t n = g.num_nodes();
+  const index_t target = static_cast<index_t>(
+      std::llround(fraction * static_cast<real_t>(n)));
+  std::vector<index_t> deadends = g.Deadends();
+  const index_t current = static_cast<index_t>(deadends.size());
+  if (current == target) return g;
+
+  std::vector<Edge> edges = g.EdgeList();
+  if (current > target) {
+    // Too many: give `current - target` random deadends a couple of
+    // out-edges so they stop being deadends.
+    rng->Shuffle(&deadends);
+    for (index_t i = 0; i < current - target; ++i) {
+      const index_t u = deadends[static_cast<std::size_t>(i)];
+      for (int k = 0; k < 2; ++k) {
+        index_t v = rng->UniformIndex(0, n - 1);
+        if (v == u) v = (v + 1) % n;
+        edges.push_back({u, v});
+      }
+    }
+  } else {
+    // Too few: strip the out-edges of `target - current` non-deadends.
+    std::vector<index_t> candidates;
+    for (index_t u = 0; u < n; ++u) {
+      if (!g.IsDeadend(u)) candidates.push_back(u);
+    }
+    rng->Shuffle(&candidates);
+    std::vector<bool> strip(static_cast<std::size_t>(n), false);
+    for (index_t i = 0; i < target - current; ++i) {
+      strip[static_cast<std::size_t>(candidates[static_cast<std::size_t>(i)])] =
+          true;
+    }
+    std::vector<Edge> kept;
+    kept.reserve(edges.size());
+    for (const Edge& e : edges) {
+      if (!strip[static_cast<std::size_t>(e.src)]) kept.push_back(e);
+    }
+    edges = std::move(kept);
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+}  // namespace
+
+namespace {
+
+/// Redirects a fraction of edge destinations into the source's community
+/// (contiguous blocks of `community_size` node ids). This plants the
+/// block/community structure of real graphs, which R-MAT alone lacks.
+Result<Graph> LocalizeEdges(const Graph& g, real_t fraction,
+                            index_t community_size, Rng* rng) {
+  if (fraction <= 0.0 || community_size <= 1) return g;
+  const index_t n = g.num_nodes();
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (const Edge& e : g.EdgeList()) {
+    if (rng->NextDouble() < fraction) {
+      const index_t base = (e.src / community_size) * community_size;
+      index_t v = base + rng->UniformIndex(0, community_size - 1);
+      if (v >= n || v == e.src) v = e.dst;
+      edges.push_back({e.src, v});
+    } else {
+      edges.push_back(e);
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+}  // namespace
+
+Result<Graph> GenerateDataset(const DatasetSpec& spec) {
+  Rng rng(spec.seed);
+  RmatOptions options;
+  options.num_nodes = spec.num_nodes;
+  options.num_edges = spec.num_edges;
+  BEPI_ASSIGN_OR_RETURN(Graph raw, GenerateRmat(options, &rng));
+  BEPI_ASSIGN_OR_RETURN(
+      Graph localized,
+      LocalizeEdges(raw, spec.locality, spec.community_size, &rng));
+  return AdjustDeadends(localized, spec.deadend_fraction, &rng);
+}
+
+DatasetSpec ScaleSpec(const DatasetSpec& spec, real_t factor) {
+  DatasetSpec scaled = spec;
+  scaled.num_nodes = std::max<index_t>(
+      1, static_cast<index_t>(std::llround(spec.num_nodes * factor)));
+  scaled.num_edges = std::max<index_t>(
+      0, static_cast<index_t>(std::llround(spec.num_edges * factor)));
+  return scaled;
+}
+
+real_t BenchScaleFromEnv() {
+  const char* env = std::getenv("BEPI_BENCH_SCALE");
+  if (env == nullptr || env[0] == '\0') return 1.0;
+  const std::string value = env;
+  if (value == "quick") return 1.0;
+  if (value == "large") return 3.0;
+  const double parsed = std::atof(env);
+  return parsed > 0.0 ? parsed : 1.0;
+}
+
+}  // namespace bepi

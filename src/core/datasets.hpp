@@ -1,0 +1,54 @@
+// Synthetic stand-ins for the paper's datasets (Table 2 and Appendix J's
+// Table 5). Real Slashdot...Friendster dumps are not available offline, so
+// each dataset is replaced by an R-MAT graph with the same edge/node ratio
+// and a matching deadend fraction, scaled down ~1000x (see DESIGN.md).
+// Generation is deterministic per spec (fixed seed).
+#ifndef BEPI_CORE_DATASETS_HPP_
+#define BEPI_CORE_DATASETS_HPP_
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/graph.hpp"
+
+namespace bepi {
+
+struct DatasetSpec {
+  std::string name;           // e.g. "Slashdot-sim"
+  index_t num_nodes = 0;
+  index_t num_edges = 0;      // requested edge count
+  real_t deadend_fraction = 0.0;
+  /// The paper's per-dataset hub selection ratio k (Table 2).
+  real_t hub_ratio = 0.2;
+  std::uint64_t seed = 0;
+  /// Fraction of R-MAT edges redirected into the source's community.
+  /// Plain R-MAT has a fast-decaying spectrum that makes full-system
+  /// Krylov solvers unrealistically fast; community locality restores the
+  /// many-large-eigenvalues profile of real web/social graphs.
+  real_t locality = 0.5;
+  index_t community_size = 400;
+};
+
+/// The eight Table-2 datasets, smallest to largest.
+const std::vector<DatasetSpec>& PaperDatasets();
+
+/// The four Appendix-J datasets (Gnutella, HepPH, Facebook, Digg).
+const std::vector<DatasetSpec>& AppendixDatasets();
+
+/// Looks up a spec by (case-insensitive) name across both registries.
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Generates the graph for a spec (deterministic).
+Result<Graph> GenerateDataset(const DatasetSpec& spec);
+
+/// Multiplies node/edge counts by `factor` (for scalability sweeps and the
+/// BEPI_BENCH_SCALE=large environment setting).
+DatasetSpec ScaleSpec(const DatasetSpec& spec, real_t factor);
+
+/// Reads BEPI_BENCH_SCALE ("quick" -> 1.0, "large" -> 3.0, or a number).
+real_t BenchScaleFromEnv();
+
+}  // namespace bepi
+
+#endif  // BEPI_CORE_DATASETS_HPP_

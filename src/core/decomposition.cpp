@@ -1,0 +1,171 @@
+#include "core/decomposition.hpp"
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "core/rwr.hpp"
+#include "graph/deadend.hpp"
+#include "graph/slashburn.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/spgemm.hpp"
+#include "solver/dense_lu.hpp"
+
+namespace bepi {
+namespace {
+
+/// Dense LU without pivoting, valid for the strictly diagonally dominant
+/// H11 blocks. Returns packed LU (L unit-lower below the diagonal, U on
+/// and above).
+Status FactorNoPivot(DenseMatrix* a) {
+  const index_t n = a->rows();
+  for (index_t k = 0; k < n; ++k) {
+    const real_t pivot = a->At(k, k);
+    if (pivot == 0.0) {
+      return Status::FailedPrecondition("zero pivot in H11 block LU");
+    }
+    for (index_t i = k + 1; i < n; ++i) {
+      const real_t factor = a->At(i, k) / pivot;
+      a->At(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (index_t j = k + 1; j < n; ++j) {
+        a->At(i, j) -= factor * a->At(k, j);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Vector HubSpokeDecomposition::ApplyH11Inverse(const Vector& v) const {
+  return u1_inv.Multiply(l1_inv.Multiply(v));
+}
+
+std::uint64_t HubSpokeDecomposition::CommonBytes() const {
+  return l1_inv.ByteSize() + u1_inv.ByteSize() + h12.ByteSize() +
+         h21.ByteSize() + h31.ByteSize() + h32.ByteSize();
+}
+
+Result<HubSpokeDecomposition> BuildDecomposition(
+    const Graph& g, const DecompositionOptions& options,
+    MemoryBudget* budget) {
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  if (!(options.restart_prob > 0.0) || !(options.restart_prob < 1.0)) {
+    return Status::InvalidArgument("restart probability must be in (0, 1)");
+  }
+  HubSpokeDecomposition dec;
+  dec.n = g.num_nodes();
+  Timer timer;
+
+  // Step 1: deadend reordering (Section 3.2.1).
+  const DeadendPartition deadends = ReorderDeadends(g);
+  dec.n3 = deadends.num_deadends;
+  const index_t nn = deadends.num_non_deadends;
+
+  // Step 2: hub-and-spoke reordering of Ann via SlashBurn.
+  BEPI_ASSIGN_OR_RETURN(
+      CsrMatrix a_deadend_ordered,
+      PermuteSymmetric(g.adjacency(), deadends.perm));
+  BEPI_ASSIGN_OR_RETURN(CsrMatrix ann,
+                        ExtractBlock(a_deadend_ordered, 0, nn, 0, nn));
+  SlashBurnOptions sb_options;
+  sb_options.k_ratio = options.hub_ratio;
+  sb_options.hub_selection = options.hub_selection;
+  sb_options.max_iterations = options.slashburn_max_iterations;
+  BEPI_ASSIGN_OR_RETURN(SlashBurnResult sb, SlashBurn(ann, sb_options));
+  dec.n1 = sb.num_spokes;
+  dec.n2 = sb.num_hubs;
+  dec.block_sizes = std::move(sb.block_sizes);
+  dec.slashburn_iterations = sb.iterations;
+
+  // Full permutation: SlashBurn order on non-deadends, deadends unchanged.
+  Permutation hub_spoke_perm = IdentityPermutation(dec.n);
+  for (index_t i = 0; i < nn; ++i) {
+    hub_spoke_perm[static_cast<std::size_t>(i)] =
+        sb.perm[static_cast<std::size_t>(i)];
+  }
+  dec.perm = ComposePermutations(hub_spoke_perm, deadends.perm);
+  dec.reorder_seconds = timer.Seconds();
+
+  // Step 3: H = I - (1-c) Ã^T in the new ordering (the normalization uses
+  // the original out-degrees; edges to deadends count).
+  timer.Restart();
+  BEPI_ASSIGN_OR_RETURN(
+      CsrMatrix normalized_perm,
+      PermuteSymmetric(g.RowNormalizedAdjacency(), dec.perm));
+  CsrMatrix h = BuildHFromNormalized(normalized_perm, options.restart_prob);
+
+  // Step 4: partition H per Equation (5).
+  const index_t b1 = dec.n1;
+  const index_t b2 = dec.n1 + dec.n2;
+  const index_t b3 = dec.n;
+  BEPI_ASSIGN_OR_RETURN(dec.h11, ExtractBlock(h, 0, b1, 0, b1));
+  BEPI_ASSIGN_OR_RETURN(dec.h12, ExtractBlock(h, 0, b1, b1, b2));
+  BEPI_ASSIGN_OR_RETURN(dec.h21, ExtractBlock(h, b1, b2, 0, b1));
+  BEPI_ASSIGN_OR_RETURN(dec.h22, ExtractBlock(h, b1, b2, b1, b2));
+  BEPI_ASSIGN_OR_RETURN(dec.h31, ExtractBlock(h, b2, b3, 0, b1));
+  BEPI_ASSIGN_OR_RETURN(dec.h32, ExtractBlock(h, b2, b3, b1, b2));
+  if (budget != nullptr) {
+    BEPI_RETURN_IF_ERROR(
+        budget->Charge(dec.h12.ByteSize() + dec.h21.ByteSize() +
+                           dec.h31.ByteSize() + dec.h32.ByteSize(),
+                       "partition blocks of H"));
+  }
+  dec.build_seconds = timer.Seconds();
+
+  // Step 5: per-block LU of H11 with explicitly inverted factors
+  // (r1 = U1^{-1} (L1^{-1} ...) in the query phase).
+  timer.Restart();
+  if (budget != nullptr) {
+    std::uint64_t projected = 0;
+    for (index_t size : dec.block_sizes) {
+      const std::uint64_t s = static_cast<std::uint64_t>(size);
+      // L^{-1} and U^{-1} of a block are triangular: ~s^2 values + indices.
+      projected += s * s * (sizeof(real_t) + sizeof(index_t)) + 2 * s * 8;
+    }
+    BEPI_RETURN_IF_ERROR(budget->Charge(projected, "inverted LU factors of H11"));
+  }
+  CooMatrix l1_coo(dec.n1, dec.n1), u1_coo(dec.n1, dec.n1);
+  index_t block_start = 0;
+  for (index_t size : dec.block_sizes) {
+    BEPI_ASSIGN_OR_RETURN(
+        CsrMatrix block_csr,
+        ExtractBlock(dec.h11, block_start, block_start + size, block_start,
+                     block_start + size));
+    DenseMatrix block = block_csr.ToDense();
+    BEPI_RETURN_IF_ERROR(FactorNoPivot(&block));
+    BEPI_ASSIGN_OR_RETURN(DenseMatrix l_inv,
+                          InvertLowerTriangular(block, /*unit_diagonal=*/true));
+    BEPI_ASSIGN_OR_RETURN(DenseMatrix u_inv, InvertUpperTriangular(block));
+    for (index_t i = 0; i < size; ++i) {
+      for (index_t j = 0; j <= i; ++j) {
+        const real_t lv = i == j ? 1.0 : l_inv.At(i, j);
+        if (lv != 0.0) l1_coo.Add(block_start + i, block_start + j, lv);
+        const real_t uv = u_inv.At(j, i);
+        if (uv != 0.0) u1_coo.Add(block_start + j, block_start + i, uv);
+      }
+    }
+    block_start += size;
+  }
+  BEPI_CHECK(block_start == dec.n1);
+  BEPI_ASSIGN_OR_RETURN(dec.l1_inv, l1_coo.ToCsr());
+  BEPI_ASSIGN_OR_RETURN(dec.u1_inv, u1_coo.ToCsr());
+  dec.factor_seconds = timer.Seconds();
+
+  // Step 6: Schur complement S = H22 - H21 (U1^{-1} (L1^{-1} H12)).
+  timer.Restart();
+  BEPI_ASSIGN_OR_RETURN(CsrMatrix t1, Multiply(dec.l1_inv, dec.h12));
+  BEPI_ASSIGN_OR_RETURN(CsrMatrix t2, Multiply(dec.u1_inv, t1));
+  BEPI_ASSIGN_OR_RETURN(CsrMatrix t3, Multiply(dec.h21, t2));
+  dec.product_nnz = t3.nnz();
+  BEPI_ASSIGN_OR_RETURN(dec.schur, Subtract(dec.h22, t3));
+  if (budget != nullptr) {
+    BEPI_RETURN_IF_ERROR(budget->Charge(dec.schur.ByteSize(),
+                                        "Schur complement S"));
+  }
+  dec.schur_seconds = timer.Seconds();
+  return dec;
+}
+
+}  // namespace bepi

@@ -1,0 +1,78 @@
+// The node reordering + block partition + H11 factorization + Schur
+// complement pipeline shared by BePI (which solves S iteratively) and the
+// Bear baseline (which inverts S). Implements Sections 3.2-3.4 of the
+// paper: deadend reordering, SlashBurn hub-and-spoke reordering of Ann,
+// partitioning of H per Equation (5), per-block LU of the block-diagonal
+// H11 with explicitly inverted triangular factors, and
+// S = H22 - H21 (U1^{-1} (L1^{-1} H12)).
+#ifndef BEPI_CORE_DECOMPOSITION_HPP_
+#define BEPI_CORE_DECOMPOSITION_HPP_
+
+#include "common/status.hpp"
+#include "core/budget.hpp"
+#include "graph/graph.hpp"
+#include "graph/slashburn.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/permute.hpp"
+
+namespace bepi {
+
+struct DecompositionOptions {
+  real_t restart_prob = 0.05;
+  /// SlashBurn hub selection ratio k. BePI-B uses 0.001 (small n2); BePI-S
+  /// and BePI use ~0.2 (minimizes |S|); see paper Figure 4 / Table 2.
+  real_t hub_ratio = 0.2;
+  /// Hub selection strategy (kRandom is the ablation control).
+  SlashBurnOptions::HubSelection hub_selection =
+      SlashBurnOptions::HubSelection::kDegree;
+  /// Cap on SlashBurn iterations (0 = none); ablation knob.
+  index_t slashburn_max_iterations = 0;
+};
+
+struct HubSpokeDecomposition {
+  index_t n = 0;   // total nodes
+  index_t n1 = 0;  // spokes
+  index_t n2 = 0;  // hubs (incl. final GCC)
+  index_t n3 = 0;  // deadends
+
+  /// old node id -> new (reordered) id for the full graph.
+  Permutation perm;
+  /// Sizes of the diagonal blocks of H11.
+  std::vector<index_t> block_sizes;
+  index_t slashburn_iterations = 0;
+
+  /// Partitions of the reordered H (Equation (5)). H13/H23 are zero and
+  /// H33 = I by construction; they are not stored.
+  CsrMatrix h11, h12, h21, h22, h31, h32;
+
+  /// Block-diagonal sparse inverses of the LU factors of H11.
+  CsrMatrix l1_inv, u1_inv;
+
+  /// S = H22 - H21 H11^{-1} H12.
+  CsrMatrix schur;
+  /// Non-zeros of the product H21 H11^{-1} H12 before subtraction (the
+  /// other side of the Figure 4 trade-off; |H22| is h22.nnz()).
+  index_t product_nnz = 0;
+
+  // Preprocessing time breakdown (seconds).
+  double reorder_seconds = 0.0;
+  double build_seconds = 0.0;
+  double factor_seconds = 0.0;
+  double schur_seconds = 0.0;
+
+  /// U1^{-1} (L1^{-1} v) — applies H11^{-1} to a length-n1 vector.
+  Vector ApplyH11Inverse(const Vector& v) const;
+
+  /// Bytes of the matrices a block-elimination method keeps for queries
+  /// (excluding S itself, whose treatment differs between BePI and Bear).
+  std::uint64_t CommonBytes() const;
+};
+
+/// Runs the full pipeline. `budget` (may be null) gates the footprint of
+/// each produced matrix.
+Result<HubSpokeDecomposition> BuildDecomposition(
+    const Graph& g, const DecompositionOptions& options, MemoryBudget* budget);
+
+}  // namespace bepi
+
+#endif  // BEPI_CORE_DECOMPOSITION_HPP_

@@ -1,0 +1,60 @@
+#include "core/exact.hpp"
+
+#include "common/timer.hpp"
+#include "core/budget.hpp"
+#include "solver/dense_lu.hpp"
+
+namespace bepi {
+
+Status ExactSolver::Preprocess(const Graph& g) {
+  Timer timer;
+  const index_t n = g.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  MemoryBudget budget(options_.memory_budget_bytes);
+  BEPI_RETURN_IF_ERROR(budget.Charge(
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) *
+          sizeof(real_t),
+      "dense H^-1"));
+  const CsrMatrix h = BuildH(g, options_.restart_prob);
+  BEPI_ASSIGN_OR_RETURN(DenseLu lu, DenseLu::Factor(h.ToDense()));
+  h_inverse_ = lu.Inverse();
+  preprocess_seconds_ = timer.Seconds();
+  return Status::Ok();
+}
+
+Result<Vector> ExactSolver::Query(index_t seed, QueryStats* stats) const {
+  const index_t n = h_inverse_.rows();
+  if (n == 0) return Status::FailedPrecondition("Preprocess not called");
+  if (seed < 0 || seed >= n) return Status::OutOfRange("seed out of range");
+  Timer timer;
+  // r = c * H^{-1} q = c * column `seed` of H^{-1}.
+  Vector r(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    r[static_cast<std::size_t>(i)] =
+        options_.restart_prob * h_inverse_.At(i, seed);
+  }
+  if (stats != nullptr) {
+    *stats = QueryStats();
+    stats->seconds = timer.Seconds();
+  }
+  return r;
+}
+
+Result<Vector> ExactSolver::QueryVector(const Vector& q,
+                                        QueryStats* stats) const {
+  const index_t n = h_inverse_.rows();
+  if (n == 0) return Status::FailedPrecondition("Preprocess not called");
+  if (static_cast<index_t>(q.size()) != n) {
+    return Status::InvalidArgument("personalization vector length mismatch");
+  }
+  Timer timer;
+  Vector r = h_inverse_.Multiply(q);
+  Scale(options_.restart_prob, &r);
+  if (stats != nullptr) {
+    *stats = QueryStats();
+    stats->seconds = timer.Seconds();
+  }
+  return r;
+}
+
+}  // namespace bepi

@@ -1,0 +1,32 @@
+// Exact RWR via dense inversion of H: r = c H^{-1} q. Only feasible for
+// small graphs; it is the ground truth of the accuracy experiments
+// (paper Appendix I) and of this library's oracle tests.
+#ifndef BEPI_CORE_EXACT_HPP_
+#define BEPI_CORE_EXACT_HPP_
+
+#include "core/rwr.hpp"
+#include "sparse/dense.hpp"
+
+namespace bepi {
+
+class ExactSolver final : public RwrSolver {
+ public:
+  explicit ExactSolver(RwrOptions options) : options_(options) {}
+
+  std::string name() const override { return "Exact"; }
+  Status Preprocess(const Graph& g) override;
+  Result<Vector> Query(index_t seed, QueryStats* stats = nullptr) const override;
+  Result<Vector> QueryVector(const Vector& q,
+                             QueryStats* stats = nullptr) const override;
+  std::uint64_t PreprocessedBytes() const override {
+    return h_inverse_.ByteSize();
+  }
+
+ private:
+  RwrOptions options_;
+  DenseMatrix h_inverse_;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_CORE_EXACT_HPP_

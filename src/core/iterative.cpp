@@ -1,0 +1,122 @@
+#include "core/iterative.hpp"
+
+#include "common/timer.hpp"
+#include "solver/power.hpp"
+
+namespace bepi {
+
+Status PowerSolver::Preprocess(const Graph& g) {
+  Timer timer;
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  normalized_transpose_ = g.RowNormalizedAdjacency().Transpose();
+  preprocess_seconds_ = timer.Seconds();
+  return Status::Ok();
+}
+
+Result<Vector> PowerSolver::Query(index_t seed, QueryStats* stats) const {
+  const index_t n = normalized_transpose_.rows();
+  if (n == 0) return Status::FailedPrecondition("Preprocess not called");
+  if (seed < 0 || seed >= n) return Status::OutOfRange("seed out of range");
+  return SolveRhs(StartingVector(n, seed, options_.restart_prob), stats);
+}
+
+Result<Vector> PowerSolver::QueryVector(const Vector& q,
+                                        QueryStats* stats) const {
+  const index_t n = normalized_transpose_.rows();
+  if (n == 0) return Status::FailedPrecondition("Preprocess not called");
+  if (static_cast<index_t>(q.size()) != n) {
+    return Status::InvalidArgument("personalization vector length mismatch");
+  }
+  Vector f = q;
+  Scale(options_.restart_prob, &f);
+  return SolveRhs(std::move(f), stats);
+}
+
+Result<Vector> PowerSolver::SolveRhs(Vector f, QueryStats* stats) const {
+  Timer timer;
+
+  // x <- G x + f with G = (1-c) Ã^T and f = c q.
+  class ScaledOp final : public LinearOperator {
+   public:
+    ScaledOp(const CsrMatrix& m, real_t scale) : m_(m), scale_(scale) {}
+    index_t size() const override { return m_.rows(); }
+    void Apply(const Vector& x, Vector* y) const override {
+      *y = m_.Multiply(x);
+      Scale(scale_, y);
+    }
+
+   private:
+    const CsrMatrix& m_;
+    real_t scale_;
+  };
+  ScaledOp g_op(normalized_transpose_, 1.0 - options_.restart_prob);
+
+  FixedPointOptions fp;
+  fp.tol = options_.tolerance;
+  fp.max_iters = options_.max_iterations;
+  SolveStats solve_stats;
+  BEPI_ASSIGN_OR_RETURN(Vector r,
+                        FixedPointIteration(g_op, f, fp, &solve_stats));
+  if (!solve_stats.converged) {
+    return Status::NotConverged("power iteration did not reach tolerance " +
+                                std::to_string(options_.tolerance) + " in " +
+                                std::to_string(fp.max_iters) + " iterations");
+  }
+  if (stats != nullptr) {
+    stats->seconds = timer.Seconds();
+    stats->iterations = solve_stats.iterations;
+    stats->residual = solve_stats.relative_residual;
+  }
+  return r;
+}
+
+Status GmresSolver::Preprocess(const Graph& g) {
+  Timer timer;
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  h_ = BuildH(g, options_.restart_prob);
+  preprocess_seconds_ = timer.Seconds();
+  return Status::Ok();
+}
+
+Result<Vector> GmresSolver::Query(index_t seed, QueryStats* stats) const {
+  const index_t n = h_.rows();
+  if (n == 0) return Status::FailedPrecondition("Preprocess not called");
+  if (seed < 0 || seed >= n) return Status::OutOfRange("seed out of range");
+  return SolveRhs(StartingVector(n, seed, options_.restart_prob), stats);
+}
+
+Result<Vector> GmresSolver::QueryVector(const Vector& q,
+                                        QueryStats* stats) const {
+  const index_t n = h_.rows();
+  if (n == 0) return Status::FailedPrecondition("Preprocess not called");
+  if (static_cast<index_t>(q.size()) != n) {
+    return Status::InvalidArgument("personalization vector length mismatch");
+  }
+  Vector b = q;
+  Scale(options_.restart_prob, &b);
+  return SolveRhs(std::move(b), stats);
+}
+
+Result<Vector> GmresSolver::SolveRhs(Vector b, QueryStats* stats) const {
+  Timer timer;
+  CsrOperator op(h_);
+  GmresOptions gm;
+  gm.tol = options_.tolerance;
+  gm.max_iters = options_.max_iterations;
+  gm.restart = options_.restart;
+  SolveStats solve_stats;
+  BEPI_ASSIGN_OR_RETURN(Vector r, Gmres(op, b, gm, &solve_stats));
+  if (!solve_stats.converged) {
+    return Status::NotConverged("GMRES did not reach tolerance " +
+                                std::to_string(options_.tolerance) + " in " +
+                                std::to_string(gm.max_iters) + " iterations");
+  }
+  if (stats != nullptr) {
+    stats->seconds = timer.Seconds();
+    stats->iterations = solve_stats.iterations;
+    stats->residual = solve_stats.relative_residual;
+  }
+  return r;
+}
+
+}  // namespace bepi

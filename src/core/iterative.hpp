@@ -1,0 +1,57 @@
+// Iterative RWR baselines (paper Section 2.2):
+//  - PowerSolver: power iteration r <- (1-c) Ã^T r + c q [33].
+//  - GmresSolver: Krylov solution of H r = c q with GMRES [37].
+// Both keep only O(m) state and pay the full iteration cost per query.
+#ifndef BEPI_CORE_ITERATIVE_HPP_
+#define BEPI_CORE_ITERATIVE_HPP_
+
+#include "core/rwr.hpp"
+#include "solver/gmres.hpp"
+
+namespace bepi {
+
+class PowerSolver final : public RwrSolver {
+ public:
+  explicit PowerSolver(RwrOptions options) : options_(options) {}
+
+  std::string name() const override { return "Power"; }
+  Status Preprocess(const Graph& g) override;
+  Result<Vector> Query(index_t seed, QueryStats* stats = nullptr) const override;
+  Result<Vector> QueryVector(const Vector& q,
+                             QueryStats* stats = nullptr) const override;
+  std::uint64_t PreprocessedBytes() const override {
+    return normalized_transpose_.ByteSize();
+  }
+
+ private:
+  Result<Vector> SolveRhs(Vector f, QueryStats* stats) const;
+
+  RwrOptions options_;
+  CsrMatrix normalized_transpose_;  // Ã^T
+};
+
+struct GmresSolverOptions : RwrOptions {
+  index_t restart = 100;
+};
+
+class GmresSolver final : public RwrSolver {
+ public:
+  explicit GmresSolver(GmresSolverOptions options) : options_(options) {}
+
+  std::string name() const override { return "GMRES"; }
+  Status Preprocess(const Graph& g) override;
+  Result<Vector> Query(index_t seed, QueryStats* stats = nullptr) const override;
+  Result<Vector> QueryVector(const Vector& q,
+                             QueryStats* stats = nullptr) const override;
+  std::uint64_t PreprocessedBytes() const override { return h_.ByteSize(); }
+
+ private:
+  Result<Vector> SolveRhs(Vector b, QueryStats* stats) const;
+
+  GmresSolverOptions options_;
+  CsrMatrix h_;  // I - (1-c) Ã^T
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_CORE_ITERATIVE_HPP_

@@ -1,0 +1,44 @@
+// LU-decomposition baseline (Fujiwara et al. [14]): reorder H by node
+// degree (low-degree first, to limit fill-in), sparse-LU factor it once,
+// and answer queries with two sparse triangular solves. Preprocessing cost
+// and factor fill-in grow super-linearly, which is why this method runs
+// out of memory/time on large graphs in the paper.
+#ifndef BEPI_CORE_LU_RWR_HPP_
+#define BEPI_CORE_LU_RWR_HPP_
+
+#include <optional>
+
+#include "core/rwr.hpp"
+#include "solver/sparse_lu.hpp"
+#include "sparse/permute.hpp"
+
+namespace bepi {
+
+struct LuSolverOptions : RwrOptions {};
+
+class LuSolver final : public RwrSolver {
+ public:
+  explicit LuSolver(LuSolverOptions options) : options_(options) {}
+
+  std::string name() const override { return "LU"; }
+  Status Preprocess(const Graph& g) override;
+  Result<Vector> Query(index_t seed, QueryStats* stats = nullptr) const override;
+  Result<Vector> QueryVector(const Vector& q,
+                             QueryStats* stats = nullptr) const override;
+  std::uint64_t PreprocessedBytes() const override;
+
+  /// Fill-in of the factors (for the scalability analysis).
+  index_t FactorNnz() const;
+
+ private:
+  LuSolverOptions options_;
+  std::optional<SparseLu> lu_;
+  Permutation perm_;          // old -> new
+  Permutation inverse_perm_;  // new -> old
+  index_t n_ = 0;
+  bool preprocessed_ = false;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_CORE_LU_RWR_HPP_

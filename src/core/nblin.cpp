@@ -1,0 +1,142 @@
+#include "core/nblin.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "solver/dense_lu.hpp"
+
+namespace bepi {
+namespace {
+
+Vector GetColumn(const DenseMatrix& m, index_t col) {
+  Vector out(static_cast<std::size_t>(m.rows()));
+  for (index_t r = 0; r < m.rows(); ++r) {
+    out[static_cast<std::size_t>(r)] = m.At(r, col);
+  }
+  return out;
+}
+
+void SetColumn(DenseMatrix* m, index_t col, const Vector& values) {
+  for (index_t r = 0; r < m->rows(); ++r) {
+    m->At(r, col) = values[static_cast<std::size_t>(r)];
+  }
+}
+
+}  // namespace
+
+Status NbLinSolver::Preprocess(const Graph& g) {
+  Timer timer;
+  const index_t n = g.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (options_.rank <= 0) {
+    return Status::InvalidArgument("NB_LIN rank must be positive");
+  }
+  const index_t k = std::min(options_.rank, n);
+  const CsrMatrix normalized = g.RowNormalizedAdjacency();
+  // W = Ã^T; W x and W^T x are both available from Ã without forming W.
+  auto apply_w = [&](const Vector& x) { return normalized.MultiplyTranspose(x); };
+  auto apply_wt = [&](const Vector& x) { return normalized.Multiply(x); };
+
+  // Randomized range finder with subspace iteration:
+  // Y = (W W^T)^p W Omega.
+  Rng rng(options_.seed);
+  std::vector<Vector> columns;
+  columns.reserve(static_cast<std::size_t>(k));
+  for (index_t j = 0; j < k; ++j) {
+    Vector omega(static_cast<std::size_t>(n));
+    for (auto& v : omega) v = rng.NextGaussian();
+    Vector y = apply_w(omega);
+    for (index_t p = 0; p < options_.power_iterations; ++p) {
+      y = apply_w(apply_wt(y));
+    }
+    columns.push_back(std::move(y));
+  }
+  // Modified Gram-Schmidt; rank-deficient columns are dropped.
+  std::vector<Vector> basis;
+  for (Vector& y : columns) {
+    for (const Vector& q : basis) {
+      Axpy(-Dot(y, q), q, &y);
+    }
+    const real_t norm = Norm2(y);
+    if (norm > 1e-10) {
+      Scale(1.0 / norm, &y);
+      basis.push_back(std::move(y));
+    }
+  }
+  if (basis.empty()) {
+    return Status::FailedPrecondition(
+        "NB_LIN range finder found an empty range (graph has no edges?)");
+  }
+  const index_t rank = static_cast<index_t>(basis.size());
+  q_basis_ = DenseMatrix(n, rank);
+  for (index_t j = 0; j < rank; ++j) {
+    SetColumn(&q_basis_, j, basis[static_cast<std::size_t>(j)]);
+  }
+
+  // B = Q^T W, stored as B^T = W^T Q (n x k); BQ is then k x k.
+  wq_ = DenseMatrix(n, rank);
+  for (index_t j = 0; j < rank; ++j) {
+    SetColumn(&wq_, j, apply_wt(basis[static_cast<std::size_t>(j)]));
+  }
+  DenseMatrix bq(rank, rank);
+  for (index_t i = 0; i < rank; ++i) {
+    const Vector bt_col = GetColumn(wq_, i);
+    for (index_t j = 0; j < rank; ++j) {
+      bq.At(i, j) = Dot(bt_col, basis[static_cast<std::size_t>(j)]);
+    }
+  }
+  // M = I_k - (1-c) B Q; queries need M^{-1}.
+  DenseMatrix m = DenseMatrix::Identity(rank);
+  m.Add(-(1.0 - options_.restart_prob), bq);
+  BEPI_ASSIGN_OR_RETURN(DenseLu lu, DenseLu::Factor(m));
+  core_inverse_ = lu.Inverse();
+  preprocess_seconds_ = timer.Seconds();
+  return Status::Ok();
+}
+
+Result<Vector> NbLinSolver::Query(index_t seed, QueryStats* stats) const {
+  const index_t n = q_basis_.rows();
+  if (n == 0) return Status::FailedPrecondition("Preprocess not called");
+  if (seed < 0 || seed >= n) return Status::OutOfRange("seed out of range");
+  return QueryVector(StartingVector(n, seed), stats);
+}
+
+Result<Vector> NbLinSolver::QueryVector(const Vector& q,
+                                        QueryStats* stats) const {
+  const index_t n = q_basis_.rows();
+  if (n == 0) return Status::FailedPrecondition("Preprocess not called");
+  if (static_cast<index_t>(q.size()) != n) {
+    return Status::InvalidArgument("personalization vector length mismatch");
+  }
+  Timer timer;
+  const real_t c = options_.restart_prob;
+  const index_t rank = q_basis_.cols();
+  // y = B q  (via B^T columns), z = M^{-1} y, r = c q + c (1-c) Q z.
+  Vector y(static_cast<std::size_t>(rank), 0.0);
+  for (index_t i = 0; i < rank; ++i) {
+    real_t sum = 0.0;
+    for (index_t r = 0; r < n; ++r) {
+      sum += wq_.At(r, i) * q[static_cast<std::size_t>(r)];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+  Vector z = core_inverse_.Multiply(y);
+  Vector result = q;
+  Scale(c, &result);
+  const real_t scale = c * (1.0 - c);
+  for (index_t r = 0; r < n; ++r) {
+    real_t sum = 0.0;
+    for (index_t j = 0; j < rank; ++j) {
+      sum += q_basis_.At(r, j) * z[static_cast<std::size_t>(j)];
+    }
+    result[static_cast<std::size_t>(r)] += scale * sum;
+  }
+  if (stats != nullptr) {
+    *stats = QueryStats();
+    stats->seconds = timer.Seconds();
+  }
+  return result;
+}
+
+}  // namespace bepi

@@ -1,0 +1,50 @@
+// NB_LIN-style low-rank preprocessing baseline (Tong et al. [41], the
+// paper's Section 5 "preprocessing methods"). Approximates W = Ã^T with a
+// rank-k factorization W ~= Q B (randomized range finder), then answers
+// queries through the Sherman-Morrison-Woodbury identity
+//   (I - (1-c) Q B)^{-1} = I + (1-c) Q (I_k - (1-c) B Q)^{-1} B,
+// so each query costs O(n k) dense work after an O(k) SpMV preprocessing
+// pass. Like all low-rank methods it is *approximate*: accuracy depends on
+// how well rank k captures W (bench_approx_tradeoff quantifies this).
+#ifndef BEPI_CORE_NBLIN_HPP_
+#define BEPI_CORE_NBLIN_HPP_
+
+#include "core/rwr.hpp"
+#include "sparse/dense.hpp"
+
+namespace bepi {
+
+struct NbLinOptions : RwrOptions {
+  /// Rank of the approximation.
+  index_t rank = 64;
+  /// Subspace (power) iterations for the range finder; 1-2 sharpen the
+  /// approximation of the dominant spectrum at the cost of extra SpMVs.
+  index_t power_iterations = 1;
+  std::uint64_t seed = 202;
+};
+
+class NbLinSolver final : public RwrSolver {
+ public:
+  explicit NbLinSolver(NbLinOptions options) : options_(options) {}
+
+  std::string name() const override { return "NB_LIN"; }
+  Status Preprocess(const Graph& g) override;
+  Result<Vector> Query(index_t seed, QueryStats* stats = nullptr) const override;
+  Result<Vector> QueryVector(const Vector& q,
+                             QueryStats* stats = nullptr) const override;
+  std::uint64_t PreprocessedBytes() const override {
+    return q_basis_.ByteSize() + wq_.ByteSize() + core_inverse_.ByteSize();
+  }
+
+  index_t effective_rank() const { return q_basis_.cols(); }
+
+ private:
+  NbLinOptions options_;
+  DenseMatrix q_basis_;       // Q: n x k orthonormal range basis
+  DenseMatrix wq_;            // W Q = Ã^T Q: n x k (B = Q^T W, B^T = W^T Q...)
+  DenseMatrix core_inverse_;  // (I_k - (1-c) B Q)^{-1}: k x k
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_CORE_NBLIN_HPP_

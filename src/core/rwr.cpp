@@ -1,0 +1,82 @@
+#include "core/rwr.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace bepi {
+
+CsrMatrix BuildH(const Graph& g, real_t restart_prob) {
+  return BuildHFromNormalized(g.RowNormalizedAdjacency(), restart_prob);
+}
+
+CsrMatrix BuildHFromNormalized(const CsrMatrix& normalized_adjacency,
+                               real_t restart_prob) {
+  BEPI_CHECK(restart_prob > 0.0 && restart_prob < 1.0);
+  CsrMatrix at = normalized_adjacency.Transpose();
+  const CsrMatrix identity = CsrMatrix::Identity(at.rows());
+  auto h = Add(1.0, identity, -(1.0 - restart_prob), at);
+  BEPI_CHECK(h.ok());
+  return std::move(h).value();
+}
+
+Vector StartingVector(index_t num_nodes, index_t seed, real_t scale) {
+  BEPI_CHECK(seed >= 0 && seed < num_nodes);
+  Vector q(static_cast<std::size_t>(num_nodes), 0.0);
+  q[static_cast<std::size_t>(seed)] = scale;
+  return q;
+}
+
+Result<Vector> PersonalizationVector(
+    index_t num_nodes,
+    const std::vector<std::pair<index_t, real_t>>& weighted_seeds) {
+  if (weighted_seeds.empty()) {
+    return Status::InvalidArgument("personalization needs at least one seed");
+  }
+  Vector q(static_cast<std::size_t>(num_nodes), 0.0);
+  real_t total = 0.0;
+  for (const auto& [node, weight] : weighted_seeds) {
+    if (node < 0 || node >= num_nodes) {
+      return Status::OutOfRange("personalization seed " + std::to_string(node) +
+                                " out of range");
+    }
+    if (!(weight > 0.0)) {
+      return Status::InvalidArgument("personalization weights must be > 0");
+    }
+    q[static_cast<std::size_t>(node)] += weight;
+    total += weight;
+  }
+  for (real_t& v : q) v /= total;
+  return q;
+}
+
+std::vector<std::pair<index_t, real_t>> TopK(const Vector& scores, index_t k,
+                                             index_t exclude) {
+  std::vector<std::pair<index_t, real_t>> items;
+  items.reserve(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (static_cast<index_t>(i) == exclude) continue;
+    items.emplace_back(static_cast<index_t>(i), scores[i]);
+  }
+  const std::size_t take =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max<index_t>(k, 0)),
+                            items.size());
+  std::partial_sort(items.begin(), items.begin() + take, items.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.second != b.second ? a.second > b.second
+                                                  : a.first < b.first;
+                    });
+  items.resize(take);
+  return items;
+}
+
+real_t RwrResidual(const Graph& g, real_t restart_prob, index_t seed,
+                   const Vector& r) {
+  const CsrMatrix h = BuildH(g, restart_prob);
+  Vector hr = h.Multiply(r);
+  Vector q = StartingVector(g.num_nodes(), seed, restart_prob);
+  return DistL2(hr, q);
+}
+
+}  // namespace bepi

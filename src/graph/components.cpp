@@ -1,0 +1,141 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace bepi {
+
+CsrMatrix SymmetrizePattern(const CsrMatrix& a) {
+  BEPI_CHECK(a.rows() == a.cols());
+  CsrMatrix at = a.Transpose();
+  auto sum = Add(1.0, a, 1.0, at);
+  BEPI_CHECK(sum.ok());
+  CsrMatrix sym = std::move(sum).value();
+  for (real_t& v : sym.mutable_values()) v = 1.0;
+  return sym;
+}
+
+ComponentInfo ConnectedComponents(const CsrMatrix& sym_adj) {
+  std::vector<bool> active(static_cast<std::size_t>(sym_adj.rows()), true);
+  return ConnectedComponentsMasked(sym_adj, active);
+}
+
+ComponentInfo ConnectedComponentsMasked(const CsrMatrix& sym_adj,
+                                        const std::vector<bool>& active) {
+  const index_t n = sym_adj.rows();
+  BEPI_CHECK(static_cast<index_t>(active.size()) == n);
+  ComponentInfo info;
+  info.component_id.assign(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> stack;
+  for (index_t start = 0; start < n; ++start) {
+    if (!active[static_cast<std::size_t>(start)] ||
+        info.component_id[static_cast<std::size_t>(start)] >= 0) {
+      continue;
+    }
+    const index_t comp = info.num_components++;
+    index_t size = 0;
+    stack.clear();
+    stack.push_back(start);
+    info.component_id[static_cast<std::size_t>(start)] = comp;
+    while (!stack.empty()) {
+      const index_t u = stack.back();
+      stack.pop_back();
+      ++size;
+      for (index_t p = sym_adj.row_ptr()[static_cast<std::size_t>(u)];
+           p < sym_adj.row_ptr()[static_cast<std::size_t>(u) + 1]; ++p) {
+        const index_t v = sym_adj.col_idx()[static_cast<std::size_t>(p)];
+        if (!active[static_cast<std::size_t>(v)] ||
+            info.component_id[static_cast<std::size_t>(v)] >= 0) {
+          continue;
+        }
+        info.component_id[static_cast<std::size_t>(v)] = comp;
+        stack.push_back(v);
+      }
+    }
+    info.sizes.push_back(size);
+  }
+  return info;
+}
+
+ComponentInfo StronglyConnectedComponents(const CsrMatrix& adj) {
+  BEPI_CHECK(adj.rows() == adj.cols());
+  const index_t n = adj.rows();
+  ComponentInfo info;
+  info.component_id.assign(static_cast<std::size_t>(n), -1);
+
+  // Iterative Tarjan. `order` is the DFS discovery index (-1 = unvisited),
+  // `low` the classic low-link value.
+  std::vector<index_t> order(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<index_t> scc_stack;
+  struct Frame {
+    index_t node;
+    index_t edge_pos;  // next out-edge position to examine
+  };
+  std::vector<Frame> dfs;
+  index_t next_order = 0;
+
+  for (index_t root = 0; root < n; ++root) {
+    if (order[static_cast<std::size_t>(root)] >= 0) continue;
+    dfs.push_back({root, adj.row_ptr()[static_cast<std::size_t>(root)]});
+    order[static_cast<std::size_t>(root)] =
+        low[static_cast<std::size_t>(root)] = next_order++;
+    scc_stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const index_t u = frame.node;
+      const index_t end = adj.row_ptr()[static_cast<std::size_t>(u) + 1];
+      bool descended = false;
+      while (frame.edge_pos < end) {
+        const index_t v =
+            adj.col_idx()[static_cast<std::size_t>(frame.edge_pos)];
+        ++frame.edge_pos;
+        if (order[static_cast<std::size_t>(v)] < 0) {
+          order[static_cast<std::size_t>(v)] =
+              low[static_cast<std::size_t>(v)] = next_order++;
+          scc_stack.push_back(v);
+          on_stack[static_cast<std::size_t>(v)] = true;
+          dfs.push_back({v, adj.row_ptr()[static_cast<std::size_t>(v)]});
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<std::size_t>(v)]) {
+          low[static_cast<std::size_t>(u)] =
+              std::min(low[static_cast<std::size_t>(u)],
+                       order[static_cast<std::size_t>(v)]);
+        }
+      }
+      if (descended) continue;
+      // u is finished: propagate its low-link and pop an SCC at roots.
+      if (low[static_cast<std::size_t>(u)] ==
+          order[static_cast<std::size_t>(u)]) {
+        const index_t comp = info.num_components++;
+        index_t size = 0;
+        for (;;) {
+          const index_t w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          info.component_id[static_cast<std::size_t>(w)] = comp;
+          ++size;
+          if (w == u) break;
+        }
+        info.sizes.push_back(size);
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        const index_t parent = dfs.back().node;
+        low[static_cast<std::size_t>(parent)] =
+            std::min(low[static_cast<std::size_t>(parent)],
+                     low[static_cast<std::size_t>(u)]);
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace bepi

@@ -1,0 +1,42 @@
+// Connected components on the undirected (symmetrized) view of a graph.
+// SlashBurn runs this repeatedly on shrinking residual subgraphs.
+#ifndef BEPI_GRAPH_COMPONENTS_HPP_
+#define BEPI_GRAPH_COMPONENTS_HPP_
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace bepi {
+
+/// Pattern of A + A^T with all values 1 (the undirected view).
+CsrMatrix SymmetrizePattern(const CsrMatrix& a);
+
+struct ComponentInfo {
+  /// component_id[v] in [0, num_components); ids are assigned in order of
+  /// first discovery (lowest node id first).
+  std::vector<index_t> component_id;
+  index_t num_components = 0;
+  /// sizes[c] = number of nodes in component c.
+  std::vector<index_t> sizes;
+};
+
+/// Components of the undirected graph given by a symmetric-pattern
+/// adjacency matrix.
+ComponentInfo ConnectedComponents(const CsrMatrix& sym_adj);
+
+/// Components restricted to `active` nodes (inactive nodes get id -1).
+/// Used by SlashBurn after hub removal.
+ComponentInfo ConnectedComponentsMasked(const CsrMatrix& sym_adj,
+                                        const std::vector<bool>& active);
+
+/// Strongly connected components of a *directed* adjacency matrix
+/// (Tarjan's algorithm, iterative). Component ids are assigned in reverse
+/// topological order of the condensation (a node's component id is >= the
+/// ids of the components it can reach). Useful for analysing the
+/// deadend/absorbing structure that RWR mass drains into.
+ComponentInfo StronglyConnectedComponents(const CsrMatrix& adj);
+
+}  // namespace bepi
+
+#endif  // BEPI_GRAPH_COMPONENTS_HPP_

@@ -1,0 +1,26 @@
+#include "graph/deadend.hpp"
+
+namespace bepi {
+
+DeadendPartition ReorderDeadends(const Graph& g) {
+  const index_t n = g.num_nodes();
+  DeadendPartition part;
+  part.perm.resize(static_cast<std::size_t>(n));
+  index_t next_non_deadend = 0;
+  for (index_t u = 0; u < n; ++u) {
+    if (!g.IsDeadend(u)) {
+      part.perm[static_cast<std::size_t>(u)] = next_non_deadend++;
+    }
+  }
+  part.num_non_deadends = next_non_deadend;
+  part.num_deadends = n - next_non_deadend;
+  index_t next_deadend = next_non_deadend;
+  for (index_t u = 0; u < n; ++u) {
+    if (g.IsDeadend(u)) {
+      part.perm[static_cast<std::size_t>(u)] = next_deadend++;
+    }
+  }
+  return part;
+}
+
+}  // namespace bepi

@@ -1,0 +1,27 @@
+// Deadend reordering (paper Section 3.2.1): relabel nodes so non-deadends
+// come first and deadends last, enabling the block system of Equations
+// (3)-(4).
+#ifndef BEPI_GRAPH_DEADEND_HPP_
+#define BEPI_GRAPH_DEADEND_HPP_
+
+#include "graph/graph.hpp"
+#include "sparse/permute.hpp"
+
+namespace bepi {
+
+struct DeadendPartition {
+  /// old node id -> new node id; non-deadends occupy [0, num_non_deadends),
+  /// deadends occupy the tail. Relative order is preserved within groups.
+  Permutation perm;
+  index_t num_non_deadends = 0;
+  index_t num_deadends = 0;
+};
+
+/// Computes the deadend partition of `g` (single pass over out-degrees; a
+/// node whose edges all point to deadends is still a non-deadend, matching
+/// the paper).
+DeadendPartition ReorderDeadends(const Graph& g);
+
+}  // namespace bepi
+
+#endif  // BEPI_GRAPH_DEADEND_HPP_

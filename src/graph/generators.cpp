@@ -1,0 +1,216 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace bepi {
+namespace {
+
+/// Packs (src, dst) into one 64-bit key for dedup sets. Node counts in
+/// this library stay far below 2^31.
+inline std::uint64_t EdgeKey(index_t src, index_t dst) {
+  return (static_cast<std::uint64_t>(src) << 32) |
+         static_cast<std::uint64_t>(dst);
+}
+
+}  // namespace
+
+Result<Graph> GenerateRmat(const RmatOptions& options, Rng* rng) {
+  if (options.num_nodes <= 0) {
+    return Status::InvalidArgument("R-MAT needs num_nodes > 0");
+  }
+  if (options.num_edges < 0) {
+    return Status::InvalidArgument("R-MAT needs num_edges >= 0");
+  }
+  const real_t d = 1.0 - options.a - options.b - options.c;
+  if (options.a < 0 || options.b < 0 || options.c < 0 || d < 0) {
+    return Status::InvalidArgument("R-MAT probabilities must be a valid "
+                                   "distribution");
+  }
+  const index_t n = options.num_nodes;
+  index_t levels = 0;
+  while ((static_cast<index_t>(1) << levels) < n) ++levels;
+
+  const std::uint64_t max_possible =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+  if (static_cast<std::uint64_t>(options.num_edges) > max_possible / 2) {
+    return Status::InvalidArgument("R-MAT edge count too dense for dedup");
+  }
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(options.num_edges) * 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(options.num_edges));
+
+  // Noise added to the quadrant probabilities per level ("smoothing"),
+  // standard practice to avoid degenerate staircase patterns.
+  const real_t ab = options.a + options.b;
+  const real_t a_frac = ab > 0 ? options.a / ab : 0.5;
+  const real_t cd = 1.0 - ab;
+  const real_t c_frac = cd > 0 ? options.c / cd : 0.5;
+
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts =
+      64 + static_cast<std::uint64_t>(options.num_edges) * 64;
+  while (static_cast<index_t>(edges.size()) < options.num_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    index_t src = 0, dst = 0;
+    for (index_t level = 0; level < levels; ++level) {
+      const bool top = rng->NextDouble() < ab;
+      const bool left = rng->NextDouble() < (top ? a_frac : c_frac);
+      src = (src << 1) | (top ? 0 : 1);
+      dst = (dst << 1) | (left ? 0 : 1);
+    }
+    if (src >= n || dst >= n) continue;
+    if (!options.allow_self_loops && src == dst) continue;
+    if (seen.insert(EdgeKey(src, dst)).second) {
+      edges.push_back({src, dst});
+    }
+  }
+  BEPI_ASSIGN_OR_RETURN(Graph g, Graph::FromEdges(n, edges));
+  if (options.deadend_fraction > 0.0) {
+    return InjectDeadends(g, options.deadend_fraction, rng);
+  }
+  return g;
+}
+
+Result<Graph> GenerateErdosRenyi(index_t num_nodes, index_t num_edges,
+                                 Rng* rng) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("Erdos-Renyi needs num_nodes > 0");
+  }
+  const std::uint64_t max_possible =
+      static_cast<std::uint64_t>(num_nodes) *
+      static_cast<std::uint64_t>(num_nodes - 1);
+  if (static_cast<std::uint64_t>(num_edges) > max_possible) {
+    return Status::InvalidArgument("more edges than node pairs");
+  }
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges));
+  while (static_cast<index_t>(edges.size()) < num_edges) {
+    const index_t src = rng->UniformIndex(0, num_nodes - 1);
+    const index_t dst = rng->UniformIndex(0, num_nodes - 1);
+    if (src == dst) continue;
+    if (seen.insert(EdgeKey(src, dst)).second) edges.push_back({src, dst});
+  }
+  return Graph::FromEdges(num_nodes, edges);
+}
+
+Result<Graph> GenerateBarabasiAlbert(index_t num_nodes,
+                                     index_t edges_per_node, Rng* rng) {
+  if (num_nodes <= 0 || edges_per_node <= 0) {
+    return Status::InvalidArgument("Barabasi-Albert needs positive sizes");
+  }
+  // Repeated-nodes trick: sampling a uniform element of `targets` samples
+  // proportionally to degree.
+  std::vector<index_t> targets;
+  std::vector<Edge> edges;
+  std::unordered_set<std::uint64_t> seen;
+  const index_t seed_nodes = std::min<index_t>(edges_per_node + 1, num_nodes);
+  for (index_t u = 0; u < seed_nodes; ++u) {
+    for (index_t v = 0; v < seed_nodes; ++v) {
+      if (u != v) {
+        edges.push_back({u, v});
+        seen.insert(EdgeKey(u, v));
+        targets.push_back(v);
+      }
+    }
+  }
+  for (index_t u = seed_nodes; u < num_nodes; ++u) {
+    index_t added = 0;
+    index_t guard = 0;
+    while (added < edges_per_node && guard < 100 * edges_per_node) {
+      ++guard;
+      const index_t v = targets[static_cast<std::size_t>(
+          rng->UniformIndex(0, static_cast<index_t>(targets.size()) - 1))];
+      if (v == u || !seen.insert(EdgeKey(u, v)).second) continue;
+      edges.push_back({u, v});
+      ++added;
+    }
+    for (index_t i = 0; i < added; ++i) targets.push_back(u);
+  }
+  return Graph::FromEdges(num_nodes, edges);
+}
+
+Result<Graph> GeneratePlantedPartition(const PlantedPartitionOptions& options,
+                                       Rng* rng) {
+  if (options.num_communities <= 0 || options.community_size <= 0) {
+    return Status::InvalidArgument("planted partition needs positive sizes");
+  }
+  if (options.p_intra < 0 || options.p_intra > 1 || options.p_inter < 0 ||
+      options.p_inter > 1) {
+    return Status::InvalidArgument("edge probabilities must be in [0, 1]");
+  }
+  const index_t n = options.num_communities * options.community_size;
+  std::vector<Edge> edges;
+  for (index_t u = 0; u < n; ++u) {
+    const index_t cu = u / options.community_size;
+    // Intra-community edges: dense Bernoulli within the block.
+    const index_t base = cu * options.community_size;
+    for (index_t v = base; v < base + options.community_size; ++v) {
+      if (v != u && rng->Bernoulli(options.p_intra)) edges.push_back({u, v});
+    }
+    // Inter-community edges: sample the expected count directly instead of
+    // testing all n - community_size pairs.
+    const real_t expected =
+        options.p_inter * static_cast<real_t>(n - options.community_size);
+    index_t count = static_cast<index_t>(expected);
+    if (rng->Bernoulli(expected - static_cast<real_t>(count))) ++count;
+    for (index_t i = 0; i < count; ++i) {
+      index_t v = rng->UniformIndex(0, n - 1);
+      if (v / options.community_size == cu) {
+        v = (v + options.community_size) % n;
+      }
+      edges.push_back({u, v});
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Result<Graph> GenerateWattsStrogatz(index_t num_nodes, index_t neighbors,
+                                    real_t beta, Rng* rng) {
+  if (num_nodes <= 0 || neighbors <= 0) {
+    return Status::InvalidArgument("Watts-Strogatz needs positive sizes");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("rewiring probability must be in [0, 1]");
+  }
+  if (2 * neighbors >= num_nodes) {
+    return Status::InvalidArgument("neighborhood too large for node count");
+  }
+  std::vector<Edge> edges;
+  for (index_t u = 0; u < num_nodes; ++u) {
+    for (index_t k = 1; k <= neighbors; ++k) {
+      index_t v = (u + k) % num_nodes;
+      if (rng->Bernoulli(beta)) {
+        v = rng->UniformIndex(0, num_nodes - 1);
+        if (v == u) v = (v + 1) % num_nodes;
+      }
+      edges.push_back({u, v});
+      edges.push_back({v, u});
+    }
+  }
+  return Graph::FromEdges(num_nodes, edges);
+}
+
+Result<Graph> InjectDeadends(const Graph& g, real_t fraction, Rng* rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("deadend fraction must be in [0, 1]");
+  }
+  const index_t n = g.num_nodes();
+  const index_t count =
+      static_cast<index_t>(std::ceil(fraction * static_cast<real_t>(n)));
+  std::vector<index_t> chosen = rng->SampleWithoutReplacement(n, count);
+  std::vector<bool> is_deadend(static_cast<std::size_t>(n), false);
+  for (index_t u : chosen) is_deadend[static_cast<std::size_t>(u)] = true;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (const Edge& e : g.EdgeList()) {
+    if (!is_deadend[static_cast<std::size_t>(e.src)]) edges.push_back(e);
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+}  // namespace bepi

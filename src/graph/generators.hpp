@@ -1,0 +1,66 @@
+// Synthetic graph generators. These stand in for the paper's real-world
+// datasets (see DESIGN.md): R-MAT reproduces the power-law, hub-and-spoke
+// structure that SlashBurn exploits; deadend injection reproduces the
+// deadend populations of Table 2.
+#ifndef BEPI_GRAPH_GENERATORS_HPP_
+#define BEPI_GRAPH_GENERATORS_HPP_
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "graph/graph.hpp"
+
+namespace bepi {
+
+struct RmatOptions {
+  index_t num_nodes = 0;
+  index_t num_edges = 0;
+  /// Recursive quadrant probabilities (a + b + c + d = 1, d implied).
+  real_t a = 0.57;
+  real_t b = 0.19;
+  real_t c = 0.19;
+  /// Fraction of nodes whose out-edges are removed to create deadends.
+  real_t deadend_fraction = 0.0;
+  bool allow_self_loops = false;
+};
+
+/// Generates an R-MAT graph [Chakrabarti et al.]. `num_edges` counts
+/// distinct directed edges in the result (duplicates are regenerated, so
+/// very dense requests may relax the count).
+Result<Graph> GenerateRmat(const RmatOptions& options, Rng* rng);
+
+/// Erdős–Rényi G(n, m): m distinct directed edges drawn uniformly.
+Result<Graph> GenerateErdosRenyi(index_t num_nodes, index_t num_edges,
+                                 Rng* rng);
+
+/// Barabási–Albert preferential attachment (directed: each new node links
+/// to `edges_per_node` earlier nodes chosen by degree).
+Result<Graph> GenerateBarabasiAlbert(index_t num_nodes,
+                                     index_t edges_per_node, Rng* rng);
+
+/// Removes all out-edges of ceil(fraction * n) randomly chosen nodes,
+/// turning them into deadends.
+Result<Graph> InjectDeadends(const Graph& g, real_t fraction, Rng* rng);
+
+struct PlantedPartitionOptions {
+  index_t num_communities = 8;
+  index_t community_size = 100;
+  /// Probability of each intra-community directed edge.
+  real_t p_intra = 0.1;
+  /// Probability of each inter-community directed edge.
+  real_t p_inter = 0.001;
+};
+
+/// Planted-partition (stochastic block) graph: dense communities, sparse
+/// bridges. The community-structure stress test for local methods.
+Result<Graph> GeneratePlantedPartition(const PlantedPartitionOptions& options,
+                                       Rng* rng);
+
+/// Watts-Strogatz small world: a ring lattice with `neighbors` edges per
+/// side, each rewired with probability beta. High clustering with small
+/// diameter; directed edges in both ring directions.
+Result<Graph> GenerateWattsStrogatz(index_t num_nodes, index_t neighbors,
+                                    real_t beta, Rng* rng);
+
+}  // namespace bepi
+
+#endif  // BEPI_GRAPH_GENERATORS_HPP_

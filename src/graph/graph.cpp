@@ -1,0 +1,131 @@
+#include "graph/graph.hpp"
+
+#include "sparse/coo.hpp"
+#include "sparse/permute.hpp"
+
+namespace bepi {
+
+Result<Graph> Graph::FromEdges(index_t num_nodes,
+                               const std::vector<Edge>& edges) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("negative node count");
+  }
+  CooMatrix coo(num_nodes, num_nodes);
+  coo.Reserve(edges.size());
+  for (const Edge& e : edges) {
+    coo.Add(e.src, e.dst, 1.0);
+  }
+  BEPI_ASSIGN_OR_RETURN(CsrMatrix adj, coo.ToCsr());
+  // Duplicate edges were summed by the COO conversion; reset to 0/1.
+  for (real_t& v : adj.mutable_values()) v = 1.0;
+  Graph g;
+  g.adjacency_ = std::move(adj);
+  return g;
+}
+
+Result<Graph> Graph::FromWeightedEdges(index_t num_nodes,
+                                       const std::vector<WeightedEdge>& edges) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("negative node count");
+  }
+  CooMatrix coo(num_nodes, num_nodes);
+  coo.Reserve(edges.size());
+  for (const WeightedEdge& e : edges) {
+    if (!(e.weight > 0.0)) {
+      return Status::InvalidArgument(
+          "edge weights must be positive (edge " + std::to_string(e.src) +
+          " -> " + std::to_string(e.dst) + " has weight " +
+          std::to_string(e.weight) + ")");
+    }
+    coo.Add(e.src, e.dst, e.weight);
+  }
+  BEPI_ASSIGN_OR_RETURN(CsrMatrix adj, coo.ToCsr());
+  Graph g;
+  g.adjacency_ = std::move(adj);
+  return g;
+}
+
+Result<Graph> Graph::FromAdjacency(CsrMatrix adjacency, bool binarize) {
+  if (adjacency.rows() != adjacency.cols()) {
+    return Status::InvalidArgument("adjacency matrix must be square");
+  }
+  BEPI_RETURN_IF_ERROR(adjacency.Validate());
+  if (binarize) {
+    for (real_t& v : adjacency.mutable_values()) v = 1.0;
+  } else {
+    for (real_t v : adjacency.values()) {
+      if (!(v > 0.0)) {
+        return Status::InvalidArgument(
+            "weighted adjacency entries must be positive");
+      }
+    }
+  }
+  Graph g;
+  g.adjacency_ = std::move(adjacency);
+  return g;
+}
+
+std::vector<index_t> Graph::InDegrees() const {
+  std::vector<index_t> in(static_cast<std::size_t>(num_nodes()), 0);
+  for (index_t c : adjacency_.col_idx()) in[static_cast<std::size_t>(c)]++;
+  return in;
+}
+
+std::vector<index_t> Graph::Deadends() const {
+  std::vector<index_t> out;
+  for (index_t u = 0; u < num_nodes(); ++u) {
+    if (IsDeadend(u)) out.push_back(u);
+  }
+  return out;
+}
+
+CsrMatrix Graph::RowNormalizedAdjacency() const {
+  CsrMatrix normalized = adjacency_;
+  auto& values = normalized.mutable_values();
+  for (index_t r = 0; r < normalized.rows(); ++r) {
+    const index_t begin = normalized.row_ptr()[static_cast<std::size_t>(r)];
+    const index_t end = normalized.row_ptr()[static_cast<std::size_t>(r) + 1];
+    if (begin == end) continue;
+    real_t total = 0.0;
+    for (index_t p = begin; p < end; ++p) {
+      total += values[static_cast<std::size_t>(p)];
+    }
+    const real_t inv = 1.0 / total;
+    for (index_t p = begin; p < end; ++p) {
+      values[static_cast<std::size_t>(p)] *= inv;
+    }
+  }
+  return normalized;
+}
+
+real_t Graph::OutWeight(index_t u) const {
+  real_t total = 0.0;
+  for (index_t p = adjacency_.row_ptr()[static_cast<std::size_t>(u)];
+       p < adjacency_.row_ptr()[static_cast<std::size_t>(u) + 1]; ++p) {
+    total += adjacency_.values()[static_cast<std::size_t>(p)];
+  }
+  return total;
+}
+
+Result<Graph> Graph::PrincipalSubgraph(index_t k) const {
+  if (k < 0 || k > num_nodes()) {
+    return Status::OutOfRange("principal subgraph size out of range");
+  }
+  BEPI_ASSIGN_OR_RETURN(CsrMatrix block,
+                        ExtractBlock(adjacency_, 0, k, 0, k));
+  return FromAdjacency(std::move(block), /*binarize=*/false);
+}
+
+std::vector<Edge> Graph::EdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges()));
+  for (index_t u = 0; u < num_nodes(); ++u) {
+    for (index_t p = adjacency_.row_ptr()[static_cast<std::size_t>(u)];
+         p < adjacency_.row_ptr()[static_cast<std::size_t>(u) + 1]; ++p) {
+      edges.push_back({u, adjacency_.col_idx()[static_cast<std::size_t>(p)]});
+    }
+  }
+  return edges;
+}
+
+}  // namespace bepi

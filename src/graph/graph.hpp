@@ -1,0 +1,85 @@
+// Directed graph represented by its CSR adjacency matrix (A[u][v] = 1 for
+// an edge u -> v). This is the input object for all RWR solvers.
+#ifndef BEPI_GRAPH_GRAPH_HPP_
+#define BEPI_GRAPH_GRAPH_HPP_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sparse/csr.hpp"
+
+namespace bepi {
+
+struct Edge {
+  index_t src;
+  index_t dst;
+};
+
+struct WeightedEdge {
+  index_t src;
+  index_t dst;
+  real_t weight;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds an unweighted graph on `num_nodes` nodes from an edge list.
+  /// Duplicate edges are merged; self-loops are kept (they are valid for
+  /// RWR). Fails if any endpoint is out of range.
+  static Result<Graph> FromEdges(index_t num_nodes,
+                                 const std::vector<Edge>& edges);
+
+  /// Weighted variant: weights must be positive (RWR transition
+  /// probabilities are weight-proportional); duplicate edges sum their
+  /// weights.
+  static Result<Graph> FromWeightedEdges(index_t num_nodes,
+                                         const std::vector<WeightedEdge>& edges);
+
+  /// Builds directly from an adjacency matrix. With `binarize` (the
+  /// default) all stored values become 1; pass false to keep edge weights
+  /// (they must be positive).
+  static Result<Graph> FromAdjacency(CsrMatrix adjacency,
+                                     bool binarize = true);
+
+  index_t num_nodes() const { return adjacency_.rows(); }
+  index_t num_edges() const { return adjacency_.nnz(); }
+
+  /// The 0/1 adjacency matrix A.
+  const CsrMatrix& adjacency() const { return adjacency_; }
+
+  index_t OutDegree(index_t u) const { return adjacency_.RowNnz(u); }
+
+  /// In-degree of every node (one O(m) pass).
+  std::vector<index_t> InDegrees() const;
+
+  /// True if u has no outgoing edges.
+  bool IsDeadend(index_t u) const { return OutDegree(u) == 0; }
+
+  /// Nodes with no outgoing edges, ascending.
+  std::vector<index_t> Deadends() const;
+
+  /// Row-normalized adjacency matrix Ã: each non-deadend row sums to 1
+  /// (entries proportional to edge weights); deadend rows stay zero (the
+  /// paper's Section 3.2 treatment).
+  CsrMatrix RowNormalizedAdjacency() const;
+
+  /// Total weight of u's out-edges (== OutDegree for unweighted graphs).
+  real_t OutWeight(index_t u) const;
+
+  /// Subgraph induced on nodes [0, k): the "principal submatrix" slices
+  /// used by the paper's scalability experiment (Section 4.4).
+  Result<Graph> PrincipalSubgraph(index_t k) const;
+
+  /// All edges as a list (for IO and tests).
+  std::vector<Edge> EdgeList() const;
+
+ private:
+  CsrMatrix adjacency_;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_GRAPH_GRAPH_HPP_

@@ -1,0 +1,64 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace bepi {
+
+Result<Graph> ReadEdgeList(std::istream& in, index_t num_nodes) {
+  std::vector<Edge> edges;
+  index_t max_id = -1;
+  index_t declared_nodes = 0;
+  std::string line;
+  index_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      // Honor the "# nodes N ..." header our writer emits, so graphs with
+      // trailing isolated nodes round-trip exactly.
+      std::istringstream header(line);
+      std::string hash, keyword;
+      index_t value = 0;
+      if (header >> hash >> keyword >> value && keyword == "nodes") {
+        declared_nodes = std::max(declared_nodes, value);
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    index_t src = -1, dst = -1;
+    fields >> src >> dst;
+    if (fields.fail() || src < 0 || dst < 0) {
+      return Status::IoError("malformed edge at line " +
+                             std::to_string(line_no) + ": " + line);
+    }
+    edges.push_back({src, dst});
+    max_id = std::max({max_id, src, dst});
+  }
+  const index_t n =
+      num_nodes > 0 ? num_nodes : std::max(declared_nodes, max_id + 1);
+  return Graph::FromEdges(n, edges);
+}
+
+Result<Graph> ReadEdgeListFile(const std::string& path, index_t num_nodes) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return ReadEdgeList(in, num_nodes);
+}
+
+Status WriteEdgeList(const Graph& g, std::ostream& out) {
+  out << "# nodes " << g.num_nodes() << " edges " << g.num_edges() << "\n";
+  for (const Edge& e : g.EdgeList()) {
+    out << e.src << " " << e.dst << "\n";
+  }
+  if (!out) return Status::IoError("failed writing edge list");
+  return Status::Ok();
+}
+
+Status WriteEdgeListFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return WriteEdgeList(g, out);
+}
+
+}  // namespace bepi

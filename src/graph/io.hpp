@@ -1,0 +1,24 @@
+// Edge-list graph IO: one "src dst" pair per line, '#' or '%' comments,
+// the format used by SNAP/KONECT dumps of the paper's datasets.
+#ifndef BEPI_GRAPH_IO_HPP_
+#define BEPI_GRAPH_IO_HPP_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.hpp"
+#include "graph/graph.hpp"
+
+namespace bepi {
+
+/// Reads an edge list. If `num_nodes` <= 0, the node count is inferred as
+/// max id + 1.
+Result<Graph> ReadEdgeList(std::istream& in, index_t num_nodes = 0);
+Result<Graph> ReadEdgeListFile(const std::string& path, index_t num_nodes = 0);
+
+Status WriteEdgeList(const Graph& g, std::ostream& out);
+Status WriteEdgeListFile(const Graph& g, const std::string& path);
+
+}  // namespace bepi
+
+#endif  // BEPI_GRAPH_IO_HPP_

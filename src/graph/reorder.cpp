@@ -1,0 +1,43 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bepi {
+namespace {
+
+Permutation OrderByDegree(const Graph& g, bool ascending) {
+  const index_t n = g.num_nodes();
+  std::vector<index_t> total(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> in = g.InDegrees();
+  for (index_t u = 0; u < n; ++u) {
+    total[static_cast<std::size_t>(u)] =
+        g.OutDegree(u) + in[static_cast<std::size_t>(u)];
+  }
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    const index_t da = total[static_cast<std::size_t>(a)];
+    const index_t db = total[static_cast<std::size_t>(b)];
+    if (da != db) return ascending ? da < db : da > db;
+    return a < b;
+  });
+  // order[new] = old; invert to old -> new.
+  Permutation perm(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    perm[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  }
+  return perm;
+}
+
+}  // namespace
+
+Permutation DegreeAscendingOrder(const Graph& g) {
+  return OrderByDegree(g, /*ascending=*/true);
+}
+
+Permutation DegreeDescendingOrder(const Graph& g) {
+  return OrderByDegree(g, /*ascending=*/false);
+}
+
+}  // namespace bepi

@@ -1,0 +1,21 @@
+// Degree-based node reordering, used by the LU-decomposition baseline
+// (Fujiwara et al. [14] reorder H by node degree to reduce fill-in).
+#ifndef BEPI_GRAPH_REORDER_HPP_
+#define BEPI_GRAPH_REORDER_HPP_
+
+#include "graph/graph.hpp"
+#include "sparse/permute.hpp"
+
+namespace bepi {
+
+/// old -> new permutation placing nodes in ascending order of total degree
+/// (in + out); ties broken by node id. Low-degree-first ordering keeps the
+/// early elimination steps sparse.
+Permutation DegreeAscendingOrder(const Graph& g);
+
+/// Descending variant.
+Permutation DegreeDescendingOrder(const Graph& g);
+
+}  // namespace bepi
+
+#endif  // BEPI_GRAPH_REORDER_HPP_

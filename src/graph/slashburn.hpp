@@ -1,0 +1,52 @@
+// SlashBurn hub-and-spoke node reordering (Kang & Faloutsos [23], Lim et
+// al. [29]; paper Appendix A). Each iteration removes the ceil(k*n)
+// highest-degree nodes ("hubs") of the current giant connected component,
+// splitting the rest into disconnected components ("spokes"). Spokes get
+// the lowest ids (contiguous per component -> block-diagonal H11), hubs
+// the highest; the final small GCC joins the hub region.
+#ifndef BEPI_GRAPH_SLASHBURN_HPP_
+#define BEPI_GRAPH_SLASHBURN_HPP_
+
+#include "common/status.hpp"
+#include "sparse/permute.hpp"
+
+namespace bepi {
+
+struct SlashBurnOptions {
+  /// Hub selection ratio k in (0, 1): ceil(k*n) hubs are removed per
+  /// iteration (n = node count of the input matrix).
+  real_t k_ratio = 0.2;
+  /// Optional cap on iterations (0 = unlimited). The algorithm always
+  /// terminates on its own; the cap exists for experiments.
+  index_t max_iterations = 0;
+  /// How hubs are picked each iteration. kDegree is SlashBurn proper;
+  /// kRandom is the ablation control quantifying what degree-based
+  /// selection buys (bench_ablation_reordering).
+  enum class HubSelection { kDegree, kRandom };
+  HubSelection hub_selection = HubSelection::kDegree;
+  /// Seed for kRandom selection.
+  std::uint64_t random_seed = 1;
+};
+
+struct SlashBurnResult {
+  /// old id -> new id over the input matrix's nodes.
+  Permutation perm;
+  /// n1: number of spoke nodes (the block-diagonal region).
+  index_t num_spokes = 0;
+  /// n2: number of hub nodes, including the final GCC remainder.
+  index_t num_hubs = 0;
+  /// Sizes n1i of the spoke diagonal blocks, in layout order (block i
+  /// occupies new ids [sum(sizes[0..i)), sum(sizes[0..i])).
+  std::vector<index_t> block_sizes;
+  /// Number of hub-removal iterations performed.
+  index_t iterations = 0;
+};
+
+/// Reorders the nodes of (the undirected view of) `adjacency`. The matrix
+/// must be square; values are ignored, only the pattern matters.
+Result<SlashBurnResult> SlashBurn(const CsrMatrix& adjacency,
+                                  const SlashBurnOptions& options);
+
+}  // namespace bepi
+
+#endif  // BEPI_GRAPH_SLASHBURN_HPP_

@@ -1,0 +1,142 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "graph/components.hpp"
+
+namespace bepi {
+namespace {
+
+std::vector<index_t> TotalDegrees(const Graph& g) {
+  std::vector<index_t> degrees = g.InDegrees();
+  for (index_t u = 0; u < g.num_nodes(); ++u) {
+    degrees[static_cast<std::size_t>(u)] += g.OutDegree(u);
+  }
+  return degrees;
+}
+
+}  // namespace
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats stats;
+  const index_t n = g.num_nodes();
+  if (n == 0) return stats;
+  std::vector<index_t> degrees = TotalDegrees(g);
+  std::sort(degrees.begin(), degrees.end());
+  real_t total = 0.0;
+  real_t weighted = 0.0;
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    total += static_cast<real_t>(degrees[i]);
+    weighted += static_cast<real_t>(i + 1) * static_cast<real_t>(degrees[i]);
+    stats.max_degree = std::max(stats.max_degree, degrees[i]);
+  }
+  stats.mean_degree = total / static_cast<real_t>(n);
+  if (total > 0.0) {
+    // Gini from the sorted-sum formula.
+    stats.gini = (2.0 * weighted) / (static_cast<real_t>(n) * total) -
+                 (static_cast<real_t>(n) + 1.0) / static_cast<real_t>(n);
+    const index_t top = std::max<index_t>(1, n / 100);
+    real_t top_total = 0.0;
+    for (index_t i = 0; i < top; ++i) {
+      top_total += static_cast<real_t>(
+          degrees[degrees.size() - 1 - static_cast<std::size_t>(i)]);
+    }
+    stats.top1pct_share = top_total / total;
+  }
+  return stats;
+}
+
+std::vector<index_t> DegreeHistogram(const Graph& g) {
+  std::vector<index_t> histogram;
+  for (index_t d : TotalDegrees(g)) {
+    index_t bucket = 0;
+    while ((static_cast<index_t>(1) << (bucket + 1)) <= d + 1) ++bucket;
+    if (static_cast<std::size_t>(bucket) >= histogram.size()) {
+      histogram.resize(static_cast<std::size_t>(bucket) + 1, 0);
+    }
+    histogram[static_cast<std::size_t>(bucket)]++;
+  }
+  return histogram;
+}
+
+real_t SampledClusteringCoefficient(const Graph& g, index_t samples,
+                                    Rng* rng) {
+  const index_t n = g.num_nodes();
+  if (n == 0 || samples <= 0) return 0.0;
+  const CsrMatrix sym = SymmetrizePattern(g.adjacency());
+  real_t total = 0.0;
+  index_t counted = 0;
+  for (index_t s = 0; s < samples; ++s) {
+    const index_t u = rng->UniformIndex(0, n - 1);
+    const index_t begin = sym.row_ptr()[static_cast<std::size_t>(u)];
+    const index_t end = sym.row_ptr()[static_cast<std::size_t>(u) + 1];
+    const index_t degree = end - begin;
+    if (degree < 2) continue;
+    std::unordered_set<index_t> neighbors;
+    for (index_t p = begin; p < end; ++p) {
+      const index_t v = sym.col_idx()[static_cast<std::size_t>(p)];
+      if (v != u) neighbors.insert(v);
+    }
+    if (neighbors.size() < 2) continue;
+    index_t closed = 0;
+    index_t pairs = 0;
+    for (index_t p = begin; p < end; ++p) {
+      const index_t v = sym.col_idx()[static_cast<std::size_t>(p)];
+      if (v == u) continue;
+      for (index_t q = sym.row_ptr()[static_cast<std::size_t>(v)];
+           q < sym.row_ptr()[static_cast<std::size_t>(v) + 1]; ++q) {
+        const index_t w = sym.col_idx()[static_cast<std::size_t>(q)];
+        if (w != u && w != v && neighbors.count(w) > 0) ++closed;
+      }
+      pairs += static_cast<index_t>(neighbors.size()) - 1;
+    }
+    if (pairs > 0) {
+      total += static_cast<real_t>(closed) / static_cast<real_t>(pairs);
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / static_cast<real_t>(counted) : 0.0;
+}
+
+real_t EffectiveDiameter(const Graph& g, index_t samples, Rng* rng) {
+  const index_t n = g.num_nodes();
+  if (n == 0 || samples <= 0) return 0.0;
+  const CsrMatrix sym = SymmetrizePattern(g.adjacency());
+  std::vector<index_t> distances;
+  std::vector<index_t> dist(static_cast<std::size_t>(n));
+  for (index_t s = 0; s < samples; ++s) {
+    const index_t source = rng->UniformIndex(0, n - 1);
+    std::fill(dist.begin(), dist.end(), -1);
+    std::queue<index_t> frontier;
+    frontier.push(source);
+    dist[static_cast<std::size_t>(source)] = 0;
+    while (!frontier.empty()) {
+      const index_t u = frontier.front();
+      frontier.pop();
+      for (index_t p = sym.row_ptr()[static_cast<std::size_t>(u)];
+           p < sym.row_ptr()[static_cast<std::size_t>(u) + 1]; ++p) {
+        const index_t v = sym.col_idx()[static_cast<std::size_t>(p)];
+        if (dist[static_cast<std::size_t>(v)] < 0) {
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          frontier.push(v);
+        }
+      }
+    }
+    for (index_t u = 0; u < n; ++u) {
+      if (dist[static_cast<std::size_t>(u)] > 0) {
+        distances.push_back(dist[static_cast<std::size_t>(u)]);
+      }
+    }
+  }
+  if (distances.empty()) return 0.0;
+  std::sort(distances.begin(), distances.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      0.9 * static_cast<real_t>(distances.size() - 1));
+  return static_cast<real_t>(distances[idx]);
+}
+
+}  // namespace bepi

@@ -1,0 +1,45 @@
+// Structural graph statistics: degree distribution, clustering, effective
+// diameter. Used to validate that the synthetic stand-ins exhibit the
+// power-law, hub-and-spoke, clustered, small-diameter structure that the
+// paper's method assumes of real graphs (bench_dataset_profile).
+#ifndef BEPI_GRAPH_STATS_HPP_
+#define BEPI_GRAPH_STATS_HPP_
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace bepi {
+
+struct DegreeStats {
+  index_t max_degree = 0;
+  real_t mean_degree = 0.0;
+  /// Gini coefficient of the (total) degree distribution: 0 = perfectly
+  /// uniform, -> 1 = extreme hub concentration. Power-law graphs land
+  /// around 0.5-0.8; Erdos-Renyi around 0.2.
+  real_t gini = 0.0;
+  /// Fraction of all edge endpoints touching the top 1% of nodes.
+  real_t top1pct_share = 0.0;
+};
+
+/// Degree statistics on the undirected (in+out) degree.
+DegreeStats ComputeDegreeStats(const Graph& g);
+
+/// Histogram of total degrees bucketed by powers of two:
+/// result[b] = #nodes with degree in [2^b, 2^(b+1)).
+std::vector<index_t> DegreeHistogram(const Graph& g);
+
+/// Average local clustering coefficient over `samples` random nodes of
+/// degree >= 2 (undirected view). Community-structured graphs score high;
+/// pure R-MAT/ER score near m/n^2.
+real_t SampledClusteringCoefficient(const Graph& g, index_t samples, Rng* rng);
+
+/// 90th-percentile BFS distance (the standard "effective diameter") over
+/// `samples` random source nodes, on the undirected view. Unreachable
+/// pairs are ignored.
+real_t EffectiveDiameter(const Graph& g, index_t samples, Rng* rng);
+
+}  // namespace bepi
+
+#endif  // BEPI_GRAPH_STATS_HPP_

@@ -1,0 +1,241 @@
+#include "solver/arnoldi.hpp"
+
+#include <cfloat>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace bepi {
+namespace {
+
+inline real_t SignLike(real_t magnitude, real_t sign_source) {
+  return sign_source >= 0.0 ? std::fabs(magnitude) : -std::fabs(magnitude);
+}
+
+}  // namespace
+
+Result<ArnoldiDecomposition> ArnoldiProcess(const LinearOperator& a,
+                                            const Vector& v0, index_t m) {
+  const index_t n = a.size();
+  if (static_cast<index_t>(v0.size()) != n) {
+    return Status::InvalidArgument("Arnoldi start vector size mismatch");
+  }
+  if (m < 1) return Status::InvalidArgument("Arnoldi needs m >= 1");
+  m = std::min(m, n);
+
+  ArnoldiDecomposition dec;
+  dec.h = DenseMatrix(m + 1, m);
+  const real_t v0_norm = Norm2(v0);
+  if (v0_norm == 0.0) {
+    return Status::InvalidArgument("Arnoldi start vector is zero");
+  }
+  Vector v = v0;
+  Scale(1.0 / v0_norm, &v);
+  dec.basis.push_back(std::move(v));
+
+  Vector w(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < m; ++k) {
+    a.Apply(dec.basis[static_cast<std::size_t>(k)], &w);
+    // Modified Gram-Schmidt with one reorthogonalization pass for
+    // numerical robustness on clustered spectra.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (index_t i = 0; i <= k; ++i) {
+        const real_t proj = Dot(w, dec.basis[static_cast<std::size_t>(i)]);
+        if (pass == 0) {
+          dec.h.At(i, k) = proj;
+        } else {
+          dec.h.At(i, k) += proj;
+        }
+        Axpy(-proj, dec.basis[static_cast<std::size_t>(i)], &w);
+      }
+    }
+    const real_t norm = Norm2(w);
+    dec.h.At(k + 1, k) = norm;
+    dec.steps = k + 1;
+    if (norm <= 1e-14) {
+      dec.breakdown = true;
+      break;
+    }
+    Vector next = w;
+    Scale(1.0 / norm, &next);
+    dec.basis.push_back(std::move(next));
+  }
+  return dec;
+}
+
+Result<std::vector<std::complex<real_t>>> HessenbergEigenvalues(
+    DenseMatrix h) {
+  if (h.rows() != h.cols()) {
+    return Status::InvalidArgument("Hessenberg eigensolver needs square input");
+  }
+  const index_t n = h.rows();
+  std::vector<std::complex<real_t>> eig(static_cast<std::size_t>(n));
+  if (n == 0) return eig;
+
+  auto& a = h;  // modified in place
+  // Norm used for the zero-subdiagonal tests.
+  real_t anorm = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = std::max<index_t>(i - 1, 0); j < n; ++j) {
+      anorm += std::fabs(a.At(i, j));
+    }
+  }
+  if (anorm == 0.0) return eig;  // zero matrix: all eigenvalues 0
+
+  // Francis double-shift QR with deflation (EISPACK hqr, 0-based).
+  index_t nn = n - 1;
+  real_t t = 0.0;
+  while (nn >= 0) {
+    index_t its = 0;
+    index_t l = 0;
+    do {
+      // Find a negligible subdiagonal element to split the matrix.
+      for (l = nn; l >= 1; --l) {
+        real_t s = std::fabs(a.At(l - 1, l - 1)) + std::fabs(a.At(l, l));
+        if (s == 0.0) s = anorm;
+        if (std::fabs(a.At(l, l - 1)) <= DBL_EPSILON * s) {
+          a.At(l, l - 1) = 0.0;
+          break;
+        }
+      }
+      if (l < 0) l = 0;
+      real_t x = a.At(nn, nn);
+      if (l == nn) {
+        // One real root found.
+        eig[static_cast<std::size_t>(nn)] = {x + t, 0.0};
+        nn--;
+      } else {
+        real_t y = a.At(nn - 1, nn - 1);
+        real_t w = a.At(nn, nn - 1) * a.At(nn - 1, nn);
+        if (l == nn - 1) {
+          // A 2x2 block: two roots (real pair or conjugate complex pair).
+          real_t p = 0.5 * (y - x);
+          real_t q = p * p + w;
+          real_t z = std::sqrt(std::fabs(q));
+          x += t;
+          if (q >= 0.0) {
+            z = p + SignLike(z, p);
+            eig[static_cast<std::size_t>(nn) - 1] = {x + z, 0.0};
+            eig[static_cast<std::size_t>(nn)] =
+                z != 0.0 ? std::complex<real_t>(x - w / z, 0.0)
+                         : std::complex<real_t>(x + z, 0.0);
+          } else {
+            eig[static_cast<std::size_t>(nn)] = {x + p, -z};
+            eig[static_cast<std::size_t>(nn) - 1] = {x + p, z};
+          }
+          nn -= 2;
+        } else {
+          // No root yet: perform a double QR sweep.
+          if (its == 30) {
+            return Status::NotConverged(
+                "Hessenberg QR: too many iterations at index " +
+                std::to_string(nn));
+          }
+          if (its == 10 || its == 20) {
+            // Exceptional shift to break cycling.
+            t += x;
+            for (index_t i = 0; i <= nn; ++i) a.At(i, i) -= x;
+            real_t s = std::fabs(a.At(nn, nn - 1)) +
+                       std::fabs(a.At(nn - 1, nn - 2));
+            y = x = 0.75 * s;
+            w = -0.4375 * s * s;
+          }
+          ++its;
+          // Look for two consecutive small subdiagonal elements.
+          index_t m = nn - 2;
+          real_t p = 0.0, q = 0.0, r = 0.0, z = 0.0;
+          for (; m >= l; --m) {
+            z = a.At(m, m);
+            real_t rr = x - z;
+            real_t ss = y - z;
+            p = (rr * ss - w) / a.At(m + 1, m) + a.At(m, m + 1);
+            q = a.At(m + 1, m + 1) - z - rr - ss;
+            r = a.At(m + 2, m + 1);
+            real_t scale = std::fabs(p) + std::fabs(q) + std::fabs(r);
+            p /= scale;
+            q /= scale;
+            r /= scale;
+            if (m == l) break;
+            const real_t u =
+                std::fabs(a.At(m, m - 1)) * (std::fabs(q) + std::fabs(r));
+            const real_t v =
+                std::fabs(p) * (std::fabs(a.At(m - 1, m - 1)) + std::fabs(z) +
+                                std::fabs(a.At(m + 1, m + 1)));
+            if (u <= DBL_EPSILON * v) break;
+          }
+          if (m < l) m = l;
+          for (index_t i = m + 2; i <= nn; ++i) {
+            a.At(i, i - 2) = 0.0;
+            if (i != m + 2) a.At(i, i - 3) = 0.0;
+          }
+          // The double QR step itself, on rows/columns l..nn.
+          for (index_t k = m; k <= nn - 1; ++k) {
+            if (k != m) {
+              p = a.At(k, k - 1);
+              q = a.At(k + 1, k - 1);
+              r = k != nn - 1 ? a.At(k + 2, k - 1) : 0.0;
+              x = std::fabs(p) + std::fabs(q) + std::fabs(r);
+              if (x != 0.0) {
+                p /= x;
+                q /= x;
+                r /= x;
+              }
+            }
+            real_t s = SignLike(std::sqrt(p * p + q * q + r * r), p);
+            if (s == 0.0) continue;
+            if (k == m) {
+              if (l != m) a.At(k, k - 1) = -a.At(k, k - 1);
+            } else {
+              a.At(k, k - 1) = -s * x;
+            }
+            p += s;
+            x = p / s;
+            y = q / s;
+            z = r / s;
+            q /= p;
+            r /= p;
+            for (index_t j = k; j <= nn; ++j) {
+              // Row modification.
+              real_t pp = a.At(k, j) + q * a.At(k + 1, j);
+              if (k != nn - 1) {
+                pp += r * a.At(k + 2, j);
+                a.At(k + 2, j) -= pp * z;
+              }
+              a.At(k + 1, j) -= pp * y;
+              a.At(k, j) -= pp * x;
+            }
+            const index_t mmin = nn < k + 3 ? nn : k + 3;
+            for (index_t i = l; i <= mmin; ++i) {
+              // Column modification.
+              real_t pp = x * a.At(i, k) + y * a.At(i, k + 1);
+              if (k != nn - 1) {
+                pp += z * a.At(i, k + 2);
+                a.At(i, k + 2) -= pp * r;
+              }
+              a.At(i, k + 1) -= pp * q;
+              a.At(i, k) -= pp;
+            }
+          }
+        }
+      }
+    } while (l < nn - 1 && nn >= 0);
+    if (nn < 0) break;
+  }
+  return eig;
+}
+
+Result<std::vector<std::complex<real_t>>> ComputeRitzValues(
+    const LinearOperator& a, index_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  Vector v0(static_cast<std::size_t>(a.size()));
+  for (auto& v : v0) v = rng.NextGaussian();
+  BEPI_ASSIGN_OR_RETURN(ArnoldiDecomposition dec, ArnoldiProcess(a, v0, m));
+  // Square top block of the extended Hessenberg matrix.
+  DenseMatrix hm(dec.steps, dec.steps);
+  for (index_t i = 0; i < dec.steps; ++i) {
+    for (index_t j = 0; j < dec.steps; ++j) hm.At(i, j) = dec.h.At(i, j);
+  }
+  return HessenbergEigenvalues(std::move(hm));
+}
+
+}  // namespace bepi

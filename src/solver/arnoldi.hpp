@@ -1,0 +1,45 @@
+// Arnoldi factorization and Ritz-value estimation for non-symmetric
+// operators. Reproduces the paper's Figure 7: the eigenvalue spectrum of
+// the Schur complement before and after ILU preconditioning.
+#ifndef BEPI_SOLVER_ARNOLDI_HPP_
+#define BEPI_SOLVER_ARNOLDI_HPP_
+
+#include <complex>
+#include <vector>
+
+#include "common/status.hpp"
+#include "solver/operator.hpp"
+#include "sparse/dense.hpp"
+
+namespace bepi {
+
+struct ArnoldiDecomposition {
+  /// Extended Hessenberg matrix of shape (steps+1) x steps satisfying
+  /// A V_m = V_{m+1} H.
+  DenseMatrix h;
+  /// Orthonormal Krylov basis (steps+1 vectors, fewer after breakdown).
+  std::vector<Vector> basis;
+  /// Number of completed Arnoldi steps (== m unless breakdown occurred).
+  index_t steps = 0;
+  /// True if the Krylov space became invariant (happy breakdown); Ritz
+  /// values are then exact eigenvalues of the restriction.
+  bool breakdown = false;
+};
+
+/// Runs m Arnoldi steps from start vector v0 (normalized internally) with
+/// modified Gram-Schmidt plus one reorthogonalization pass.
+Result<ArnoldiDecomposition> ArnoldiProcess(const LinearOperator& a,
+                                            const Vector& v0, index_t m);
+
+/// Eigenvalues of a real upper-Hessenberg matrix via the Francis
+/// double-shift QR algorithm (EISPACK hqr). Input is consumed by value.
+Result<std::vector<std::complex<real_t>>> HessenbergEigenvalues(DenseMatrix h);
+
+/// Ritz values of `a` from an m-step Arnoldi process with a random start
+/// vector drawn from `seed`. Approximates the extremal eigenvalues.
+Result<std::vector<std::complex<real_t>>> ComputeRitzValues(
+    const LinearOperator& a, index_t m, std::uint64_t seed);
+
+}  // namespace bepi
+
+#endif  // BEPI_SOLVER_ARNOLDI_HPP_

@@ -1,0 +1,173 @@
+#include "solver/bicgstab.hpp"
+
+#include <cmath>
+
+namespace bepi {
+namespace {
+
+void ApplyPrecond(const Preconditioner* m, const Vector& r, Vector* z) {
+  if (m == nullptr) {
+    *z = r;
+  } else {
+    m->Apply(r, z);
+  }
+}
+
+}  // namespace
+
+Result<Vector> Bicgstab(const LinearOperator& a, const Vector& b,
+                        const BicgstabOptions& options, SolveStats* stats,
+                        const Preconditioner* m, const Vector* x0) {
+  const index_t n = a.size();
+  if (static_cast<index_t>(b.size()) != n) {
+    return Status::InvalidArgument("BiCGSTAB rhs size mismatch");
+  }
+  if (x0 != nullptr && static_cast<index_t>(x0->size()) != n) {
+    return Status::InvalidArgument("BiCGSTAB initial guess size mismatch");
+  }
+  if (m != nullptr && m->size() != n) {
+    return Status::InvalidArgument("BiCGSTAB preconditioner size mismatch");
+  }
+  SolveStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = SolveStats();
+
+  const real_t original_b_norm = Norm2(b);
+  if (original_b_norm == 0.0) {
+    stats->converged = true;
+    return Vector(static_cast<std::size_t>(n), 0.0);
+  }
+  // Solve the normalized system A y = b/||b|| and rescale at the end:
+  // makes every breakdown test scale-invariant (tiny right-hand sides
+  // would otherwise underflow the rho/omega recurrences).
+  Vector b_hat = b;
+  Scale(1.0 / original_b_norm, &b_hat);
+  const real_t b_norm = 1.0;
+
+  Vector x = x0 != nullptr ? *x0 : Vector(static_cast<std::size_t>(n), 0.0);
+  if (x0 != nullptr) Scale(1.0 / original_b_norm, &x);
+  Vector ax(static_cast<std::size_t>(n));
+  a.Apply(x, &ax);
+  Vector r(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    r[static_cast<std::size_t>(i)] =
+        b_hat[static_cast<std::size_t>(i)] - ax[static_cast<std::size_t>(i)];
+  }
+  Vector r_hat = r;  // shadow residual
+  real_t r_hat_norm = Norm2(r_hat);
+  Vector p(static_cast<std::size_t>(n), 0.0);
+  Vector v(static_cast<std::size_t>(n), 0.0);
+  Vector phat, shat, t, s(static_cast<std::size_t>(n));
+  real_t rho = 1.0, alpha = 1.0, omega = 1.0;
+  index_t restarts_since_progress = 0;
+  constexpr index_t kMaxRestarts = 8;
+  constexpr real_t kBreakdownEps = 1e-12;
+
+  auto record = [&](real_t rel) {
+    stats->relative_residual = rel;
+    if (options.track_history) stats->residual_history.push_back(rel);
+  };
+
+  real_t rel = Norm2(r) / b_norm;
+  record(rel);
+  if (rel <= options.tol) {
+    stats->converged = true;
+    Scale(original_b_norm, &x);
+    return x;
+  }
+
+  // Restarts the recurrence from the current iterate with a fresh shadow
+  // residual; the classic cure for the serial (Lanczos) breakdowns where
+  // rho or r_hat.v collapses while the residual is still large.
+  auto restart = [&]() {
+    a.Apply(x, &ax);
+    for (index_t i = 0; i < n; ++i) {
+      r[static_cast<std::size_t>(i)] =
+          b_hat[static_cast<std::size_t>(i)] - ax[static_cast<std::size_t>(i)];
+    }
+    r_hat = r;
+    r_hat_norm = Norm2(r_hat);
+    p.assign(static_cast<std::size_t>(n), 0.0);
+    v.assign(static_cast<std::size_t>(n), 0.0);
+    rho = alpha = omega = 1.0;
+    ++restarts_since_progress;
+  };
+
+  for (index_t iter = 0; iter < options.max_iters; ++iter) {
+    stats->iterations = iter + 1;
+    if (restarts_since_progress > kMaxRestarts) {
+      return Status::NotConverged(
+          "BiCGSTAB stagnated after repeated breakdown restarts");
+    }
+    const real_t rho_next = Dot(r_hat, r);
+    const real_t r_norm = Norm2(r);
+    if (std::fabs(rho_next) < kBreakdownEps * r_hat_norm * r_norm) {
+      restart();
+      continue;
+    }
+    const real_t beta = (rho_next / rho) * (alpha / omega);
+    rho = rho_next;
+    // p = r + beta (p - omega v)
+    for (index_t i = 0; i < n; ++i) {
+      p[static_cast<std::size_t>(i)] =
+          r[static_cast<std::size_t>(i)] +
+          beta * (p[static_cast<std::size_t>(i)] -
+                  omega * v[static_cast<std::size_t>(i)]);
+    }
+    ApplyPrecond(m, p, &phat);
+    a.Apply(phat, &v);
+    const real_t rhat_v = Dot(r_hat, v);
+    if (std::fabs(rhat_v) < kBreakdownEps * r_hat_norm * Norm2(v)) {
+      restart();
+      continue;
+    }
+    alpha = rho / rhat_v;
+    // s = r - alpha v
+    for (index_t i = 0; i < n; ++i) {
+      s[static_cast<std::size_t>(i)] = r[static_cast<std::size_t>(i)] -
+                                       alpha * v[static_cast<std::size_t>(i)];
+    }
+    real_t s_rel = Norm2(s) / b_norm;
+    if (s_rel <= options.tol) {
+      Axpy(alpha, phat, &x);
+      record(s_rel);
+      stats->converged = true;
+      Scale(original_b_norm, &x);
+      return x;
+    }
+    ApplyPrecond(m, s, &shat);
+    if (t.size() != s.size()) t.resize(s.size());
+    a.Apply(shat, &t);
+    const real_t tt = Dot(t, t);
+    if (tt == 0.0) {
+      restart();
+      continue;
+    }
+    omega = Dot(t, s) / tt;
+    // x += alpha phat + omega shat; r = s - omega t
+    Axpy(alpha, phat, &x);
+    Axpy(omega, shat, &x);
+    for (index_t i = 0; i < n; ++i) {
+      r[static_cast<std::size_t>(i)] = s[static_cast<std::size_t>(i)] -
+                                       omega * t[static_cast<std::size_t>(i)];
+    }
+    const real_t prev_rel = rel;
+    rel = Norm2(r) / b_norm;
+    record(rel);
+    if (rel <= options.tol) {
+      stats->converged = true;
+      Scale(original_b_norm, &x);
+      return x;
+    }
+    if (rel < 0.99 * prev_rel) restarts_since_progress = 0;
+    if (std::fabs(omega) < kBreakdownEps) {
+      restart();
+      continue;
+    }
+  }
+  stats->converged = false;
+  Scale(original_b_norm, &x);
+  return x;
+}
+
+}  // namespace bepi

@@ -1,0 +1,34 @@
+// BiCGSTAB (van der Vorst 1992): a short-recurrence Krylov solver for
+// non-symmetric systems. The paper notes any Krylov method applies to
+// Equation (2)/(9); BiCGSTAB trades GMRES's growing orthogonalization cost
+// and basis storage for a fixed per-iteration cost (two matvecs), making
+// it an interesting alternative inner solver for BePI — compared in
+// bench_ablation_solvers.
+#ifndef BEPI_SOLVER_BICGSTAB_HPP_
+#define BEPI_SOLVER_BICGSTAB_HPP_
+
+#include "common/status.hpp"
+#include "solver/gmres.hpp"
+#include "solver/operator.hpp"
+
+namespace bepi {
+
+struct BicgstabOptions {
+  /// Relative residual tolerance on ||b - A x|| / ||b||.
+  real_t tol = 1e-9;
+  /// Iteration budget (each iteration costs two matvecs).
+  index_t max_iters = 1000;
+  bool track_history = false;
+};
+
+/// Solves A x = b with optional left preconditioning M^{-1} A x = M^{-1} b.
+/// Returns the best iterate; check stats->converged. Breakdown (rho or
+/// omega collapsing) restarts the recurrence from the current iterate.
+Result<Vector> Bicgstab(const LinearOperator& a, const Vector& b,
+                        const BicgstabOptions& options, SolveStats* stats,
+                        const Preconditioner* m = nullptr,
+                        const Vector* x0 = nullptr);
+
+}  // namespace bepi
+
+#endif  // BEPI_SOLVER_BICGSTAB_HPP_

@@ -1,0 +1,174 @@
+#include "solver/dense_lu.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace bepi {
+
+Result<DenseLu> DenseLu::Factor(const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("DenseLu requires a square matrix");
+  }
+  const index_t n = a.rows();
+  DenseLu lu;
+  lu.lu_ = a;
+  lu.perm_.resize(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) lu.perm_[static_cast<std::size_t>(i)] = i;
+
+  DenseMatrix& m = lu.lu_;
+  for (index_t k = 0; k < n; ++k) {
+    // Partial pivoting: largest magnitude in column k at/below the diagonal.
+    index_t pivot_row = k;
+    real_t best = std::fabs(m.At(k, k));
+    for (index_t i = k + 1; i < n; ++i) {
+      const real_t v = std::fabs(m.At(i, k));
+      if (v > best) {
+        best = v;
+        pivot_row = i;
+      }
+    }
+    if (best == 0.0) {
+      return Status::FailedPrecondition("singular matrix in DenseLu");
+    }
+    if (pivot_row != k) {
+      for (index_t j = 0; j < n; ++j) {
+        std::swap(m.At(k, j), m.At(pivot_row, j));
+      }
+      std::swap(lu.perm_[static_cast<std::size_t>(k)],
+                lu.perm_[static_cast<std::size_t>(pivot_row)]);
+    }
+    const real_t pivot = m.At(k, k);
+    for (index_t i = k + 1; i < n; ++i) {
+      const real_t factor = m.At(i, k) / pivot;
+      m.At(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (index_t j = k + 1; j < n; ++j) {
+        m.At(i, j) -= factor * m.At(k, j);
+      }
+    }
+  }
+  return lu;
+}
+
+Vector DenseLu::Solve(const Vector& b) const {
+  const index_t n = size();
+  BEPI_CHECK(static_cast<index_t>(b.size()) == n);
+  Vector x(static_cast<std::size_t>(n));
+  // Apply the row permutation, then forward substitution with unit L.
+  for (index_t i = 0; i < n; ++i) {
+    real_t sum = b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+    for (index_t j = 0; j < i; ++j) sum -= lu_.At(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = sum;
+  }
+  // Backward substitution with U.
+  for (index_t i = n - 1; i >= 0; --i) {
+    real_t sum = x[static_cast<std::size_t>(i)];
+    for (index_t j = i + 1; j < n; ++j) sum -= lu_.At(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = sum / lu_.At(i, i);
+  }
+  return x;
+}
+
+Vector DenseLu::SolveTranspose(const Vector& b) const {
+  const index_t n = size();
+  BEPI_CHECK(static_cast<index_t>(b.size()) == n);
+  // A^T x = b with PA = LU gives A^T = U^T L^T P, so solve
+  // U^T y = b, L^T z = y, then x = P^T z.
+  Vector y(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    real_t sum = b[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < i; ++j) sum -= lu_.At(j, i) * y[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = sum / lu_.At(i, i);
+  }
+  for (index_t i = n - 1; i >= 0; --i) {
+    real_t sum = y[static_cast<std::size_t>(i)];
+    for (index_t j = i + 1; j < n; ++j) {
+      sum -= lu_.At(j, i) * y[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = sum;  // L^T has unit diagonal
+  }
+  Vector x(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])] =
+        y[static_cast<std::size_t>(i)];
+  }
+  return x;
+}
+
+DenseMatrix DenseLu::Inverse() const {
+  const index_t n = size();
+  DenseMatrix inv(n, n);
+  Vector e(static_cast<std::size_t>(n), 0.0);
+  for (index_t c = 0; c < n; ++c) {
+    e[static_cast<std::size_t>(c)] = 1.0;
+    Vector col = Solve(e);
+    e[static_cast<std::size_t>(c)] = 0.0;
+    for (index_t r = 0; r < n; ++r) {
+      inv.At(r, c) = col[static_cast<std::size_t>(r)];
+    }
+  }
+  return inv;
+}
+
+DenseMatrix DenseLu::LowerFactor() const {
+  const index_t n = size();
+  DenseMatrix l(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    l.At(i, i) = 1.0;
+    for (index_t j = 0; j < i; ++j) l.At(i, j) = lu_.At(i, j);
+  }
+  return l;
+}
+
+DenseMatrix DenseLu::UpperFactor() const {
+  const index_t n = size();
+  DenseMatrix u(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i; j < n; ++j) u.At(i, j) = lu_.At(i, j);
+  }
+  return u;
+}
+
+Result<DenseMatrix> InvertLowerTriangular(const DenseMatrix& l,
+                                          bool unit_diagonal) {
+  if (l.rows() != l.cols()) {
+    return Status::InvalidArgument("triangular inversion needs square input");
+  }
+  const index_t n = l.rows();
+  DenseMatrix inv(n, n);
+  for (index_t c = 0; c < n; ++c) {
+    // Solve L x = e_c by forward substitution; x is zero above row c.
+    for (index_t i = c; i < n; ++i) {
+      real_t sum = (i == c) ? 1.0 : 0.0;
+      for (index_t j = c; j < i; ++j) sum -= l.At(i, j) * inv.At(j, c);
+      const real_t diag = unit_diagonal ? 1.0 : l.At(i, i);
+      if (diag == 0.0) {
+        return Status::FailedPrecondition("singular triangular matrix");
+      }
+      inv.At(i, c) = sum / diag;
+    }
+  }
+  return inv;
+}
+
+Result<DenseMatrix> InvertUpperTriangular(const DenseMatrix& u) {
+  if (u.rows() != u.cols()) {
+    return Status::InvalidArgument("triangular inversion needs square input");
+  }
+  const index_t n = u.rows();
+  DenseMatrix inv(n, n);
+  for (index_t c = n - 1; c >= 0; --c) {
+    for (index_t i = c; i >= 0; --i) {
+      real_t sum = (i == c) ? 1.0 : 0.0;
+      for (index_t j = i + 1; j <= c; ++j) sum -= u.At(i, j) * inv.At(j, c);
+      if (u.At(i, i) == 0.0) {
+        return Status::FailedPrecondition("singular triangular matrix");
+      }
+      inv.At(i, c) = sum / u.At(i, i);
+    }
+  }
+  return inv;
+}
+
+}  // namespace bepi

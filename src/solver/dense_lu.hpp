@@ -1,0 +1,53 @@
+// Dense LU factorization with partial pivoting, plus triangular inversion
+// helpers. Used on the small diagonal blocks of H11 (which are strictly
+// diagonally dominant) and by Bear's dense S^{-1}.
+#ifndef BEPI_SOLVER_DENSE_LU_HPP_
+#define BEPI_SOLVER_DENSE_LU_HPP_
+
+#include "common/status.hpp"
+#include "sparse/dense.hpp"
+
+namespace bepi {
+
+class DenseLu {
+ public:
+  /// Factors PA = LU with partial pivoting. Fails on (numerically)
+  /// singular input.
+  static Result<DenseLu> Factor(const DenseMatrix& a);
+
+  index_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A^T x = b.
+  Vector SolveTranspose(const Vector& b) const;
+
+  /// A^{-1} as a dense matrix.
+  DenseMatrix Inverse() const;
+
+  /// Unit lower factor L (with implicit row pivoting applied).
+  DenseMatrix LowerFactor() const;
+  /// Upper factor U.
+  DenseMatrix UpperFactor() const;
+  /// Row permutation: row i of PA is row pivot[i] of A.
+  const std::vector<index_t>& pivots() const { return perm_; }
+
+ private:
+  DenseLu() = default;
+
+  DenseMatrix lu_;            // packed L (unit diag implicit) and U
+  std::vector<index_t> perm_;  // perm_[i] = original row index
+};
+
+/// Inverse of a lower-triangular matrix; `unit_diagonal` treats the
+/// diagonal as ones regardless of stored values.
+Result<DenseMatrix> InvertLowerTriangular(const DenseMatrix& l,
+                                          bool unit_diagonal);
+
+/// Inverse of an upper-triangular matrix.
+Result<DenseMatrix> InvertUpperTriangular(const DenseMatrix& u);
+
+}  // namespace bepi
+
+#endif  // BEPI_SOLVER_DENSE_LU_HPP_

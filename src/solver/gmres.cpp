@@ -1,0 +1,170 @@
+#include "solver/gmres.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace bepi {
+namespace {
+
+/// Applies M^{-1} (identity when m is null).
+void ApplyPrecond(const Preconditioner* m, const Vector& r, Vector* z) {
+  if (m == nullptr) {
+    *z = r;
+  } else {
+    m->Apply(r, z);
+  }
+}
+
+}  // namespace
+
+Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
+                     const GmresOptions& options, SolveStats* stats,
+                     const Preconditioner* m, const Vector* x0) {
+  const index_t n = a.size();
+  if (static_cast<index_t>(b.size()) != n) {
+    return Status::InvalidArgument("GMRES rhs size mismatch");
+  }
+  if (x0 != nullptr && static_cast<index_t>(x0->size()) != n) {
+    return Status::InvalidArgument("GMRES initial guess size mismatch");
+  }
+  if (m != nullptr && m->size() != n) {
+    return Status::InvalidArgument("GMRES preconditioner size mismatch");
+  }
+  if (options.restart < 1) {
+    return Status::InvalidArgument("GMRES restart must be >= 1");
+  }
+  SolveStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = SolveStats();
+
+  Vector x = x0 != nullptr ? *x0 : Vector(static_cast<std::size_t>(n), 0.0);
+
+  // Reference norm: ||M^{-1} b||.
+  Vector mb;
+  ApplyPrecond(m, b, &mb);
+  const real_t b_norm = Norm2(mb);
+  if (b_norm == 0.0) {
+    // A x = 0 has solution x = 0 (A is nonsingular in our usage).
+    stats->converged = true;
+    return Vector(static_cast<std::size_t>(n), 0.0);
+  }
+
+  const index_t restart = std::min<index_t>(options.restart, n);
+  const std::size_t mdim = static_cast<std::size_t>(restart);
+
+  // Hessenberg matrix (column-major per Arnoldi step), Givens rotations,
+  // and the rotated rhs g.
+  std::vector<Vector> basis;  // orthonormal Krylov vectors v_1..v_{k+1}
+  std::vector<std::vector<real_t>> h(mdim + 1,
+                                     std::vector<real_t>(mdim, 0.0));
+  Vector cs(mdim, 0.0), sn(mdim, 0.0), g(mdim + 1, 0.0);
+  Vector tmp(static_cast<std::size_t>(n));
+
+  index_t total_iters = 0;
+  while (total_iters < options.max_iters) {
+    // Preconditioned residual r = M^{-1}(b - A x).
+    a.Apply(x, &tmp);
+    Vector raw(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      raw[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)] -
+                                         tmp[static_cast<std::size_t>(i)];
+    }
+    Vector r;
+    ApplyPrecond(m, raw, &r);
+    real_t beta = Norm2(r);
+    stats->relative_residual = beta / b_norm;
+    if (stats->relative_residual <= options.tol) {
+      stats->converged = true;
+      stats->iterations = total_iters;
+      return x;
+    }
+
+    basis.clear();
+    Scale(1.0 / beta, &r);
+    basis.push_back(std::move(r));
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    index_t k = 0;
+    for (; k < restart && total_iters < options.max_iters; ++k, ++total_iters) {
+      // Arnoldi step: w = M^{-1} A v_k, orthogonalized against the basis.
+      a.Apply(basis[static_cast<std::size_t>(k)], &tmp);
+      Vector w;
+      ApplyPrecond(m, tmp, &w);
+      for (index_t i = 0; i <= k; ++i) {
+        const real_t hik = Dot(w, basis[static_cast<std::size_t>(i)]);
+        h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = hik;
+        Axpy(-hik, basis[static_cast<std::size_t>(i)], &w);
+      }
+      const real_t hk1k = Norm2(w);
+      h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = hk1k;
+
+      // Apply previous Givens rotations to the new Hessenberg column.
+      for (index_t i = 0; i < k; ++i) {
+        const real_t hi = h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+        const real_t hi1 =
+            h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(k)];
+        h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] =
+            cs[static_cast<std::size_t>(i)] * hi + sn[static_cast<std::size_t>(i)] * hi1;
+        h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(k)] =
+            -sn[static_cast<std::size_t>(i)] * hi + cs[static_cast<std::size_t>(i)] * hi1;
+      }
+      // New rotation to annihilate h[k+1][k].
+      const real_t hkk = h[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)];
+      const real_t denom = std::hypot(hkk, hk1k);
+      if (denom == 0.0) {
+        cs[static_cast<std::size_t>(k)] = 1.0;
+        sn[static_cast<std::size_t>(k)] = 0.0;
+      } else {
+        cs[static_cast<std::size_t>(k)] = hkk / denom;
+        sn[static_cast<std::size_t>(k)] = hk1k / denom;
+      }
+      h[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)] =
+          cs[static_cast<std::size_t>(k)] * hkk + sn[static_cast<std::size_t>(k)] * hk1k;
+      h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = 0.0;
+      const real_t gk = g[static_cast<std::size_t>(k)];
+      g[static_cast<std::size_t>(k)] = cs[static_cast<std::size_t>(k)] * gk;
+      g[static_cast<std::size_t>(k) + 1] = -sn[static_cast<std::size_t>(k)] * gk;
+
+      const real_t rel = std::fabs(g[static_cast<std::size_t>(k) + 1]) / b_norm;
+      if (options.track_history) stats->residual_history.push_back(rel);
+
+      const bool breakdown = hk1k == 0.0;
+      if (rel <= options.tol || breakdown || k + 1 == restart) {
+        // Solve the k+1-dimensional upper triangular system H y = g.
+        const index_t dim = k + 1;
+        Vector y(static_cast<std::size_t>(dim));
+        for (index_t i = dim - 1; i >= 0; --i) {
+          real_t sum = g[static_cast<std::size_t>(i)];
+          for (index_t j = i + 1; j < dim; ++j) {
+            sum -= h[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+                   y[static_cast<std::size_t>(j)];
+          }
+          const real_t hii =
+              h[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+          y[static_cast<std::size_t>(i)] = hii != 0.0 ? sum / hii : 0.0;
+        }
+        for (index_t i = 0; i < dim; ++i) {
+          Axpy(y[static_cast<std::size_t>(i)], basis[static_cast<std::size_t>(i)],
+               &x);
+        }
+        ++total_iters;
+        stats->relative_residual = rel;
+        if (rel <= options.tol) {
+          stats->converged = true;
+          stats->iterations = total_iters;
+          return x;
+        }
+        break;  // restart (or give up via the outer budget check)
+      }
+      Scale(1.0 / hk1k, &w);
+      basis.push_back(std::move(w));
+    }
+  }
+  stats->iterations = total_iters;
+  stats->converged = stats->relative_residual <= options.tol;
+  return x;
+}
+
+}  // namespace bepi

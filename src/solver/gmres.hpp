@@ -1,0 +1,44 @@
+// Restarted GMRES with optional left preconditioning (Saad & Schultz [37];
+// preconditioned variant per Saad [35] and the paper's Appendix B). The
+// Arnoldi process is combined with Givens rotations so the residual norm is
+// available at every step without forming the solution.
+#ifndef BEPI_SOLVER_GMRES_HPP_
+#define BEPI_SOLVER_GMRES_HPP_
+
+#include "common/status.hpp"
+#include "solver/operator.hpp"
+#include "sparse/dense.hpp"
+
+namespace bepi {
+
+struct GmresOptions {
+  /// Relative residual tolerance: stop when ||M^-1(Ax - b)|| / ||M^-1 b||
+  /// drops below tol (plain residual when no preconditioner is given).
+  real_t tol = 1e-9;
+  /// Total matrix-vector product budget across restarts.
+  index_t max_iters = 1000;
+  /// Krylov subspace dimension per restart cycle.
+  index_t restart = 100;
+  /// Record per-iteration residuals into SolveStats::residual_history.
+  bool track_history = false;
+};
+
+struct SolveStats {
+  bool converged = false;
+  index_t iterations = 0;
+  real_t relative_residual = 0.0;
+  std::vector<real_t> residual_history;
+};
+
+/// Solves A x = b. `m` (may be null) applies left preconditioning:
+/// M^{-1} A x = M^{-1} b. `x0` (may be null) supplies an initial guess.
+/// Returns the best iterate even when the iteration budget is exhausted;
+/// check stats->converged. Only shape errors produce a non-ok Status.
+Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
+                     const GmresOptions& options, SolveStats* stats,
+                     const Preconditioner* m = nullptr,
+                     const Vector* x0 = nullptr);
+
+}  // namespace bepi
+
+#endif  // BEPI_SOLVER_GMRES_HPP_

@@ -1,0 +1,152 @@
+#include "solver/ilu0.hpp"
+
+#include "common/check.hpp"
+
+namespace bepi {
+
+Result<Ilu0> Ilu0::Factor(const CsrMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("ILU(0) requires a square matrix");
+  }
+  const index_t n = a.rows();
+  Ilu0 ilu;
+  ilu.factors_ = a;
+  ilu.diag_pos_.assign(static_cast<std::size_t>(n), -1);
+
+  const auto& row_ptr = ilu.factors_.row_ptr();
+  const auto& col_idx = ilu.factors_.col_idx();
+  auto& values = ilu.factors_.mutable_values();
+
+  // Locate diagonal entries up front.
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t p = row_ptr[static_cast<std::size_t>(i)];
+         p < row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      if (col_idx[static_cast<std::size_t>(p)] == i) {
+        ilu.diag_pos_[static_cast<std::size_t>(i)] = p;
+        break;
+      }
+    }
+    if (ilu.diag_pos_[static_cast<std::size_t>(i)] < 0) {
+      return Status::FailedPrecondition(
+          "ILU(0) requires a structurally non-zero diagonal (row " +
+          std::to_string(i) + ")");
+    }
+  }
+
+  // IKJ-variant ILU(0) (Saad, "Iterative Methods", Alg. 10.4). `pos` maps a
+  // column index to its position within the current row, -1 if absent.
+  std::vector<index_t> pos(static_cast<std::size_t>(n), -1);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t begin = row_ptr[static_cast<std::size_t>(i)];
+    const index_t end = row_ptr[static_cast<std::size_t>(i) + 1];
+    for (index_t p = begin; p < end; ++p) {
+      pos[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(p)])] = p;
+    }
+    for (index_t p = begin; p < end; ++p) {
+      const index_t k = col_idx[static_cast<std::size_t>(p)];
+      if (k >= i) break;  // columns sorted; only k < i eliminates
+      const real_t diag_k =
+          values[static_cast<std::size_t>(ilu.diag_pos_[static_cast<std::size_t>(k)])];
+      if (diag_k == 0.0) {
+        return Status::FailedPrecondition("zero pivot in ILU(0) at row " +
+                                          std::to_string(k));
+      }
+      const real_t factor = values[static_cast<std::size_t>(p)] / diag_k;
+      values[static_cast<std::size_t>(p)] = factor;
+      if (factor == 0.0) continue;
+      // Subtract factor * U(k, j) for j > k, only where (i, j) exists.
+      for (index_t q = ilu.diag_pos_[static_cast<std::size_t>(k)] + 1;
+           q < row_ptr[static_cast<std::size_t>(k) + 1]; ++q) {
+        const index_t j = col_idx[static_cast<std::size_t>(q)];
+        const index_t pij = pos[static_cast<std::size_t>(j)];
+        if (pij >= 0) {
+          values[static_cast<std::size_t>(pij)] -=
+              factor * values[static_cast<std::size_t>(q)];
+        }
+      }
+    }
+    if (values[static_cast<std::size_t>(
+            ilu.diag_pos_[static_cast<std::size_t>(i)])] == 0.0) {
+      return Status::FailedPrecondition("zero pivot in ILU(0) at row " +
+                                        std::to_string(i));
+    }
+    for (index_t p = begin; p < end; ++p) {
+      pos[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(p)])] = -1;
+    }
+  }
+  return ilu;
+}
+
+void Ilu0::Apply(const Vector& r, Vector* z) const {
+  const index_t n = factors_.rows();
+  BEPI_CHECK(static_cast<index_t>(r.size()) == n);
+  z->assign(r.begin(), r.end());
+  const auto& row_ptr = factors_.row_ptr();
+  const auto& col_idx = factors_.col_idx();
+  const auto& values = factors_.values();
+  // Forward solve L y = r (unit diagonal; L entries are those left of the
+  // diagonal position).
+  for (index_t i = 0; i < n; ++i) {
+    real_t sum = (*z)[static_cast<std::size_t>(i)];
+    for (index_t p = row_ptr[static_cast<std::size_t>(i)];
+         p < diag_pos_[static_cast<std::size_t>(i)]; ++p) {
+      sum -= values[static_cast<std::size_t>(p)] *
+             (*z)[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(p)])];
+    }
+    (*z)[static_cast<std::size_t>(i)] = sum;
+  }
+  // Backward solve U z = y.
+  for (index_t i = n - 1; i >= 0; --i) {
+    real_t sum = (*z)[static_cast<std::size_t>(i)];
+    const index_t dp = diag_pos_[static_cast<std::size_t>(i)];
+    for (index_t p = dp + 1; p < row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      sum -= values[static_cast<std::size_t>(p)] *
+             (*z)[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(p)])];
+    }
+    (*z)[static_cast<std::size_t>(i)] = sum / values[static_cast<std::size_t>(dp)];
+  }
+}
+
+CsrMatrix Ilu0::ExtractLower() const {
+  const index_t n = factors_.rows();
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> col_idx;
+  std::vector<real_t> values;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t p = factors_.row_ptr()[static_cast<std::size_t>(i)];
+         p < diag_pos_[static_cast<std::size_t>(i)]; ++p) {
+      col_idx.push_back(factors_.col_idx()[static_cast<std::size_t>(p)]);
+      values.push_back(factors_.values()[static_cast<std::size_t>(p)]);
+    }
+    col_idx.push_back(i);
+    values.push_back(1.0);
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<index_t>(col_idx.size());
+  }
+  auto result = CsrMatrix::FromParts(n, n, std::move(row_ptr),
+                                     std::move(col_idx), std::move(values));
+  BEPI_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+CsrMatrix Ilu0::ExtractUpper() const {
+  const index_t n = factors_.rows();
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> col_idx;
+  std::vector<real_t> values;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t p = diag_pos_[static_cast<std::size_t>(i)];
+         p < factors_.row_ptr()[static_cast<std::size_t>(i) + 1]; ++p) {
+      col_idx.push_back(factors_.col_idx()[static_cast<std::size_t>(p)]);
+      values.push_back(factors_.values()[static_cast<std::size_t>(p)]);
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<index_t>(col_idx.size());
+  }
+  auto result = CsrMatrix::FromParts(n, n, std::move(row_ptr),
+                                     std::move(col_idx), std::move(values));
+  BEPI_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace bepi

@@ -1,0 +1,48 @@
+// Incomplete LU factorization with zero fill-in, ILU(0): the factors keep
+// exactly the sparsity pattern of the input (L strictly lower + unit diag,
+// U upper). This is BePI's preconditioner for the Schur-complement system
+// (Section 3.5 of the paper).
+#ifndef BEPI_SOLVER_ILU0_HPP_
+#define BEPI_SOLVER_ILU0_HPP_
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "solver/operator.hpp"
+#include "sparse/csr.hpp"
+
+namespace bepi {
+
+class Ilu0 final : public Preconditioner {
+ public:
+  /// Computes the ILU(0) factors of `a`. Requires a structurally non-zero
+  /// diagonal (guaranteed for the Schur complements arising from H, which
+  /// are strictly diagonally dominant).
+  static Result<Ilu0> Factor(const CsrMatrix& a);
+
+  index_t size() const override { return factors_.rows(); }
+
+  /// z = U^{-1} (L^{-1} r) by forward + backward substitution on the
+  /// combined factor storage (no inversion; paper Appendix B).
+  void Apply(const Vector& r, Vector* z) const override;
+
+  /// The unit-lower factor L (diagonal stored explicitly as 1).
+  CsrMatrix ExtractLower() const;
+  /// The upper factor U.
+  CsrMatrix ExtractUpper() const;
+
+  /// Combined storage (same pattern as the input matrix).
+  const CsrMatrix& factors() const { return factors_; }
+
+  std::uint64_t ByteSize() const { return factors_.ByteSize(); }
+
+ private:
+  Ilu0() = default;
+
+  CsrMatrix factors_;              // L below diagonal, U on/above
+  std::vector<index_t> diag_pos_;  // position of a_ii within row i
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_SOLVER_ILU0_HPP_

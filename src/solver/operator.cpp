@@ -1,0 +1,22 @@
+#include "solver/operator.hpp"
+
+#include "common/check.hpp"
+
+namespace bepi {
+
+JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) {
+  BEPI_CHECK(a.rows() == a.cols());
+  inv_diag_.assign(static_cast<std::size_t>(a.rows()), 1.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const real_t d = a.At(i, i);
+    if (d != 0.0) inv_diag_[static_cast<std::size_t>(i)] = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::Apply(const Vector& r, Vector* z) const {
+  BEPI_CHECK(r.size() == inv_diag_.size());
+  z->resize(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) (*z)[i] = r[i] * inv_diag_[i];
+}
+
+}  // namespace bepi

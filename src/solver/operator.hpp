@@ -1,0 +1,64 @@
+// Abstract linear operator and preconditioner interfaces shared by the
+// iterative solvers (GMRES, fixed-point iteration, Arnoldi).
+#ifndef BEPI_SOLVER_OPERATOR_HPP_
+#define BEPI_SOLVER_OPERATOR_HPP_
+
+#include "sparse/csr.hpp"
+
+namespace bepi {
+
+/// y = A x for a square operator of dimension size().
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+  virtual index_t size() const = 0;
+  virtual void Apply(const Vector& x, Vector* y) const = 0;
+};
+
+/// Wraps an explicit CSR matrix as an operator (no copy; the matrix must
+/// outlive the operator).
+class CsrOperator final : public LinearOperator {
+ public:
+  explicit CsrOperator(const CsrMatrix& m) : m_(m) {}
+  index_t size() const override { return m_.rows(); }
+  void Apply(const Vector& x, Vector* y) const override { *y = m_.Multiply(x); }
+  const CsrMatrix& matrix() const { return m_; }
+
+ private:
+  const CsrMatrix& m_;
+};
+
+/// z = M^{-1} r for a preconditioner M.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  virtual index_t size() const = 0;
+  virtual void Apply(const Vector& r, Vector* z) const = 0;
+};
+
+/// M = I (no preconditioning).
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  explicit IdentityPreconditioner(index_t n) : n_(n) {}
+  index_t size() const override { return n_; }
+  void Apply(const Vector& r, Vector* z) const override { *z = r; }
+
+ private:
+  index_t n_;
+};
+
+/// M = diag(A): the classic Jacobi preconditioner. Zero diagonals are
+/// treated as 1 so the operator stays well-defined.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const CsrMatrix& a);
+  index_t size() const override { return static_cast<index_t>(inv_diag_.size()); }
+  void Apply(const Vector& r, Vector* z) const override;
+
+ private:
+  Vector inv_diag_;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_SOLVER_OPERATOR_HPP_

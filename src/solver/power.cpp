@@ -1,0 +1,34 @@
+#include "solver/power.hpp"
+
+namespace bepi {
+
+Result<Vector> FixedPointIteration(const LinearOperator& g, const Vector& f,
+                                   const FixedPointOptions& options,
+                                   SolveStats* stats) {
+  if (static_cast<index_t>(f.size()) != g.size()) {
+    return Status::InvalidArgument("fixed-point rhs size mismatch");
+  }
+  SolveStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = SolveStats();
+
+  Vector x = f;
+  Vector next(f.size());
+  for (index_t iter = 0; iter < options.max_iters; ++iter) {
+    g.Apply(x, &next);
+    for (std::size_t i = 0; i < f.size(); ++i) next[i] += f[i];
+    const real_t delta = DistL2(next, x);
+    x.swap(next);
+    stats->iterations = iter + 1;
+    stats->relative_residual = delta;
+    if (options.track_history) stats->residual_history.push_back(delta);
+    if (delta <= options.tol) {
+      stats->converged = true;
+      return x;
+    }
+  }
+  stats->converged = false;
+  return x;
+}
+
+}  // namespace bepi

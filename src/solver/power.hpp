@@ -1,0 +1,28 @@
+// Fixed-point (Richardson) iteration x <- G x + f. With G = (1-c) Ã^T and
+// f = c q this is exactly the power-iteration method for RWR [33]; it
+// converges whenever the spectral radius of G is below 1.
+#ifndef BEPI_SOLVER_POWER_HPP_
+#define BEPI_SOLVER_POWER_HPP_
+
+#include "common/status.hpp"
+#include "solver/gmres.hpp"
+#include "solver/operator.hpp"
+
+namespace bepi {
+
+struct FixedPointOptions {
+  /// Stop when ||x_i - x_{i-1}||_2 <= tol (the paper's criterion).
+  real_t tol = 1e-9;
+  index_t max_iters = 10000;
+  bool track_history = false;
+};
+
+/// Iterates x <- G x + f from x0 = f. Returns the final iterate; check
+/// stats->converged for whether the tolerance was met within the budget.
+Result<Vector> FixedPointIteration(const LinearOperator& g, const Vector& f,
+                                   const FixedPointOptions& options,
+                                   SolveStats* stats);
+
+}  // namespace bepi
+
+#endif  // BEPI_SOLVER_POWER_HPP_

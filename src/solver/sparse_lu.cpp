@@ -1,0 +1,207 @@
+#include "solver/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "solver/trisolve.hpp"
+
+namespace bepi {
+namespace {
+
+/// Computes the reach of column j's pattern in the partial L factor via an
+/// iterative DFS, emitting nodes < j in topological (reverse-post) order
+/// into `topo` and collecting reached nodes >= j into `below`.
+/// The L factor is held column-wise in (l_colptr, l_rowidx); `stamp`/`mark`
+/// implement O(1) resetting of the visited set across columns.
+class ReachComputer {
+ public:
+  explicit ReachComputer(index_t n)
+      : mark_(static_cast<std::size_t>(n), -1),
+        stack_(),
+        edge_pos_(static_cast<std::size_t>(n), 0) {}
+
+  void Compute(index_t j, const std::vector<index_t>& start_rows,
+               const std::vector<index_t>& l_colptr,
+               const std::vector<index_t>& l_rowidx,
+               std::vector<index_t>* topo, std::vector<index_t>* below) {
+    topo->clear();
+    below->clear();
+    for (index_t r : start_rows) {
+      if (mark_[static_cast<std::size_t>(r)] == j) continue;
+      if (r >= j) {
+        mark_[static_cast<std::size_t>(r)] = j;
+        below->push_back(r);
+        continue;
+      }
+      Dfs(j, r, l_colptr, l_rowidx, topo, below);
+    }
+    // DFS emits in post-order; reverse for topological elimination order.
+    std::reverse(topo->begin(), topo->end());
+  }
+
+ private:
+  void Dfs(index_t j, index_t root, const std::vector<index_t>& l_colptr,
+           const std::vector<index_t>& l_rowidx, std::vector<index_t>* topo,
+           std::vector<index_t>* below) {
+    stack_.clear();
+    stack_.push_back(root);
+    mark_[static_cast<std::size_t>(root)] = j;
+    edge_pos_[static_cast<std::size_t>(root)] =
+        l_colptr[static_cast<std::size_t>(root)];
+    while (!stack_.empty()) {
+      const index_t node = stack_.back();
+      bool descended = false;
+      index_t& pos = edge_pos_[static_cast<std::size_t>(node)];
+      const index_t end = l_colptr[static_cast<std::size_t>(node) + 1];
+      while (pos < end) {
+        const index_t next = l_rowidx[static_cast<std::size_t>(pos)];
+        ++pos;
+        if (mark_[static_cast<std::size_t>(next)] == j) continue;
+        mark_[static_cast<std::size_t>(next)] = j;
+        if (next >= j) {
+          below->push_back(next);
+          continue;
+        }
+        edge_pos_[static_cast<std::size_t>(next)] =
+            l_colptr[static_cast<std::size_t>(next)];
+        stack_.push_back(next);
+        descended = true;
+        break;
+      }
+      if (!descended) {
+        topo->push_back(node);
+        stack_.pop_back();
+      }
+    }
+  }
+
+  std::vector<index_t> mark_;
+  std::vector<index_t> stack_;
+  std::vector<index_t> edge_pos_;
+};
+
+}  // namespace
+
+Result<SparseLu> SparseLu::Factor(const CsrMatrix& a, index_t fill_limit) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SparseLu requires a square matrix");
+  }
+  const index_t n = a.rows();
+  const CscMatrix acsc = a.ToCsc();
+
+  // L (strictly below diagonal) and U (including diagonal), built
+  // column-by-column in CSC form.
+  std::vector<index_t> l_colptr{0}, l_rowidx;
+  std::vector<real_t> l_val;
+  std::vector<index_t> u_colptr{0}, u_rowidx;
+  std::vector<real_t> u_val;
+
+  std::vector<real_t> x(static_cast<std::size_t>(n), 0.0);
+  ReachComputer reach(n);
+  std::vector<index_t> topo, below, start_rows;
+
+  for (index_t j = 0; j < n; ++j) {
+    // Scatter A(:, j) into the dense work vector.
+    start_rows.clear();
+    for (index_t p = acsc.col_ptr()[static_cast<std::size_t>(j)];
+         p < acsc.col_ptr()[static_cast<std::size_t>(j) + 1]; ++p) {
+      const index_t r = acsc.row_idx()[static_cast<std::size_t>(p)];
+      x[static_cast<std::size_t>(r)] = acsc.values()[static_cast<std::size_t>(p)];
+      start_rows.push_back(r);
+    }
+    reach.Compute(j, start_rows, l_colptr, l_rowidx, &topo, &below);
+
+    // Numeric elimination in topological order (rows < j).
+    for (index_t i : topo) {
+      const real_t xi = x[static_cast<std::size_t>(i)];
+      if (xi != 0.0) {
+        for (index_t p = l_colptr[static_cast<std::size_t>(i)];
+             p < l_colptr[static_cast<std::size_t>(i) + 1]; ++p) {
+          x[static_cast<std::size_t>(l_rowidx[static_cast<std::size_t>(p)])] -=
+              l_val[static_cast<std::size_t>(p)] * xi;
+        }
+      }
+    }
+
+    // Harvest U(:, j): the eliminated rows above the diagonal, sorted.
+    std::sort(topo.begin(), topo.end());
+    for (index_t i : topo) {
+      const real_t v = x[static_cast<std::size_t>(i)];
+      x[static_cast<std::size_t>(i)] = 0.0;
+      if (v != 0.0) {
+        u_rowidx.push_back(i);
+        u_val.push_back(v);
+      }
+    }
+    const real_t pivot = x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(j)] = 0.0;
+    if (pivot == 0.0) {
+      return Status::FailedPrecondition("zero pivot in SparseLu at column " +
+                                        std::to_string(j));
+    }
+    u_rowidx.push_back(j);
+    u_val.push_back(pivot);
+    u_colptr.push_back(static_cast<index_t>(u_rowidx.size()));
+
+    // Harvest L(:, j): rows strictly below the diagonal, divided by pivot.
+    std::sort(below.begin(), below.end());
+    for (index_t i : below) {
+      if (i == j) continue;  // diagonal handled as the pivot above
+      const real_t v = x[static_cast<std::size_t>(i)];
+      x[static_cast<std::size_t>(i)] = 0.0;
+      if (v != 0.0) {
+        l_rowidx.push_back(i);
+        l_val.push_back(v / pivot);
+      }
+    }
+    l_colptr.push_back(static_cast<index_t>(l_rowidx.size()));
+
+    if (fill_limit > 0 &&
+        static_cast<index_t>(l_rowidx.size() + u_rowidx.size()) > fill_limit) {
+      return Status::ResourceExhausted(
+          "SparseLu fill-in exceeded limit of " + std::to_string(fill_limit) +
+          " non-zeros at column " + std::to_string(j) + " of " +
+          std::to_string(n));
+    }
+  }
+
+  // Add the unit diagonal to L in one pass, then convert both to CSR.
+  std::vector<index_t> ld_colptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> ld_rowidx;
+  std::vector<real_t> ld_val;
+  ld_rowidx.reserve(l_rowidx.size() + static_cast<std::size_t>(n));
+  ld_val.reserve(l_val.size() + static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    ld_rowidx.push_back(j);
+    ld_val.push_back(1.0);
+    for (index_t p = l_colptr[static_cast<std::size_t>(j)];
+         p < l_colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      ld_rowidx.push_back(l_rowidx[static_cast<std::size_t>(p)]);
+      ld_val.push_back(l_val[static_cast<std::size_t>(p)]);
+    }
+    ld_colptr[static_cast<std::size_t>(j) + 1] =
+        static_cast<index_t>(ld_rowidx.size());
+  }
+
+  BEPI_ASSIGN_OR_RETURN(
+      CscMatrix lcsc,
+      CscMatrix::FromParts(n, n, std::move(ld_colptr), std::move(ld_rowidx),
+                           std::move(ld_val)));
+  BEPI_ASSIGN_OR_RETURN(
+      CscMatrix ucsc,
+      CscMatrix::FromParts(n, n, std::move(u_colptr), std::move(u_rowidx),
+                           std::move(u_val)));
+  SparseLu lu;
+  lu.lower_ = lcsc.ToCsr();
+  lu.upper_ = ucsc.ToCsr();
+  return lu;
+}
+
+Result<Vector> SparseLu::Solve(const Vector& b) const {
+  BEPI_ASSIGN_OR_RETURN(Vector y,
+                        SolveLowerCsr(lower_, b, /*unit_diagonal=*/true));
+  return SolveUpperCsr(upper_, y);
+}
+
+}  // namespace bepi

@@ -1,0 +1,45 @@
+// Sparse LU factorization (left-looking Gilbert-Peierls) without pivoting.
+// Valid for the strictly diagonally dominant systems arising from RWR
+// (H, Hnn); produces genuinely sparse L and U with fill-in. Used by the
+// LU-decomposition baseline [Fujiwara et al.] and by tests.
+#ifndef BEPI_SOLVER_SPARSE_LU_HPP_
+#define BEPI_SOLVER_SPARSE_LU_HPP_
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+
+namespace bepi {
+
+class SparseLu {
+ public:
+  /// Factors A = L U (no pivoting). Fails with FailedPrecondition on a zero
+  /// pivot. `fill_limit`, when positive, aborts with ResourceExhausted once
+  /// the combined factor non-zeros exceed it (memory-budget gate for the
+  /// LU baseline, mirroring the paper's out-of-memory runs).
+  static Result<SparseLu> Factor(const CsrMatrix& a, index_t fill_limit = 0);
+
+  /// Solves A x = b by forward + backward substitution.
+  Result<Vector> Solve(const Vector& b) const;
+
+  /// Unit-lower factor (diagonal stored explicitly as 1).
+  const CsrMatrix& lower() const { return lower_; }
+  const CsrMatrix& upper() const { return upper_; }
+
+  index_t FillNnz() const { return lower_.nnz() + upper_.nnz(); }
+  std::uint64_t ByteSize() const {
+    return lower_.ByteSize() + upper_.ByteSize();
+  }
+
+ private:
+  SparseLu() = default;
+
+  CsrMatrix lower_;
+  CsrMatrix upper_;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_SOLVER_SPARSE_LU_HPP_

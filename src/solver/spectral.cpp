@@ -1,0 +1,61 @@
+#include "solver/spectral.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "solver/dense_lu.hpp"
+
+namespace bepi {
+
+real_t MatrixNorm2(const CsrMatrix& a, index_t iters, std::uint64_t seed) {
+  if (a.nnz() == 0) return 0.0;
+  Rng rng(seed);
+  Vector x(static_cast<std::size_t>(a.cols()));
+  for (auto& v : x) v = rng.NextGaussian();
+  real_t lambda = 0.0;
+  for (index_t i = 0; i < iters; ++i) {
+    const real_t norm = Norm2(x);
+    if (norm == 0.0) return 0.0;
+    Scale(1.0 / norm, &x);
+    Vector ax = a.Multiply(x);
+    x = a.MultiplyTranspose(ax);
+    lambda = Norm2(x);  // Rayleigh-like estimate of sigma_max^2
+  }
+  return std::sqrt(lambda);
+}
+
+Result<real_t> SmallestSingularValue(const CsrMatrix& a, index_t iters,
+                                     std::uint64_t seed) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(
+        "SmallestSingularValue requires a square matrix");
+  }
+  if (a.rows() == 0) return Status::InvalidArgument("empty matrix");
+  BEPI_ASSIGN_OR_RETURN(DenseLu lu, DenseLu::Factor(a.ToDense()));
+  Rng rng(seed);
+  Vector x(static_cast<std::size_t>(a.rows()));
+  for (auto& v : x) v = rng.NextGaussian();
+  // Power iteration on (A^T A)^{-1} = A^{-1} A^{-T}: the dominant
+  // eigenvalue is 1 / sigma_min^2.
+  real_t lambda = 0.0;
+  for (index_t i = 0; i < iters; ++i) {
+    const real_t norm = Norm2(x);
+    if (norm == 0.0) break;
+    Scale(1.0 / norm, &x);
+    Vector y = lu.SolveTranspose(x);
+    x = lu.Solve(y);
+    lambda = Norm2(x);
+  }
+  if (lambda == 0.0) {
+    return Status::Internal("inverse power iteration collapsed");
+  }
+  return 1.0 / std::sqrt(lambda);
+}
+
+Result<real_t> ConditionNumber2(const CsrMatrix& a, index_t iters) {
+  BEPI_ASSIGN_OR_RETURN(real_t smin, SmallestSingularValue(a, iters));
+  const real_t smax = MatrixNorm2(a, iters);
+  return smax / smin;
+}
+
+}  // namespace bepi

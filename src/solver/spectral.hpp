@@ -1,0 +1,26 @@
+// Spectral utilities: 2-norm and extremal singular value estimation.
+// Used by the accuracy-bound analysis (Theorem 4) and its tests.
+#ifndef BEPI_SOLVER_SPECTRAL_HPP_
+#define BEPI_SOLVER_SPECTRAL_HPP_
+
+#include "common/status.hpp"
+#include "sparse/csr.hpp"
+
+namespace bepi {
+
+/// Estimates ||A||_2 = sigma_max(A) by power iteration on A^T A.
+real_t MatrixNorm2(const CsrMatrix& a, index_t iters = 100,
+                   std::uint64_t seed = 7);
+
+/// Estimates sigma_min(A) by inverse power iteration on A^T A using a dense
+/// LU of A; intended for the small matrices used in accuracy analysis.
+/// Fails on singular input.
+Result<real_t> SmallestSingularValue(const CsrMatrix& a, index_t iters = 200,
+                                     std::uint64_t seed = 7);
+
+/// 2-norm condition number estimate sigma_max / sigma_min (dense path).
+Result<real_t> ConditionNumber2(const CsrMatrix& a, index_t iters = 200);
+
+}  // namespace bepi
+
+#endif  // BEPI_SOLVER_SPECTRAL_HPP_

@@ -1,0 +1,27 @@
+// Sparse triangular solves (forward/backward substitution) on CSR factors.
+// These implement the paper's `L\F` / `U\B` operations (Appendix B): the
+// preconditioner M^{-1} v = U2 \ (L2 \ v) is applied without ever inverting
+// the ILU factors.
+#ifndef BEPI_SOLVER_TRISOLVE_HPP_
+#define BEPI_SOLVER_TRISOLVE_HPP_
+
+#include "common/status.hpp"
+#include "sparse/csr.hpp"
+
+namespace bepi {
+
+/// Solves L x = b where L is lower triangular in CSR. If `unit_diagonal`,
+/// the diagonal is taken as 1 whether or not it is stored.
+Result<Vector> SolveLowerCsr(const CsrMatrix& l, const Vector& b,
+                             bool unit_diagonal);
+
+/// Solves U x = b where U is upper triangular in CSR.
+Result<Vector> SolveUpperCsr(const CsrMatrix& u, const Vector& b);
+
+/// True iff all stored entries are on or below (resp. above) the diagonal.
+bool IsLowerTriangular(const CsrMatrix& m);
+bool IsUpperTriangular(const CsrMatrix& m);
+
+}  // namespace bepi
+
+#endif  // BEPI_SOLVER_TRISOLVE_HPP_

@@ -1,0 +1,60 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+#include "sparse/csr.hpp"
+
+namespace bepi {
+
+void CooMatrix::Compact() {
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::vector<Triplet> out;
+  out.reserve(triplets_.size());
+  for (const Triplet& t : triplets_) {
+    if (!out.empty() && out.back().row == t.row && out.back().col == t.col) {
+      out.back().value += t.value;
+    } else {
+      out.push_back(t);
+    }
+  }
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const Triplet& t) { return t.value == 0.0; }),
+            out.end());
+  triplets_ = std::move(out);
+}
+
+Result<CsrMatrix> CooMatrix::ToCsr() const {
+  for (const Triplet& t : triplets_) {
+    if (t.row < 0 || t.row >= rows_ || t.col < 0 || t.col >= cols_) {
+      return Status::OutOfRange("COO entry (" + std::to_string(t.row) + ", " +
+                                std::to_string(t.col) +
+                                ") outside matrix shape " +
+                                std::to_string(rows_) + "x" +
+                                std::to_string(cols_));
+    }
+  }
+  CooMatrix sorted = *this;
+  sorted.Compact();
+
+  CsrMatrix csr;
+  csr.rows_ = rows_;
+  csr.cols_ = cols_;
+  csr.row_ptr_.assign(static_cast<std::size_t>(rows_) + 1, 0);
+  csr.col_idx_.reserve(sorted.triplets_.size());
+  csr.values_.reserve(sorted.triplets_.size());
+  for (const Triplet& t : sorted.triplets_) {
+    csr.row_ptr_[static_cast<std::size_t>(t.row) + 1]++;
+    csr.col_idx_.push_back(t.col);
+    csr.values_.push_back(t.value);
+  }
+  for (index_t r = 0; r < rows_; ++r) {
+    csr.row_ptr_[static_cast<std::size_t>(r) + 1] +=
+        csr.row_ptr_[static_cast<std::size_t>(r)];
+  }
+  return csr;
+}
+
+}  // namespace bepi

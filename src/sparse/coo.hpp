@@ -1,0 +1,53 @@
+// Coordinate-format sparse matrix: the mutable builder format. Graphs and
+// generators accumulate triplets here and convert once to CSR/CSC.
+#ifndef BEPI_SPARSE_COO_HPP_
+#define BEPI_SPARSE_COO_HPP_
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace bepi {
+
+class CsrMatrix;
+
+struct Triplet {
+  index_t row;
+  index_t col;
+  real_t value;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix() : rows_(0), cols_(0) {}
+  CooMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {}
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(triplets_.size()); }
+  const std::vector<Triplet>& triplets() const { return triplets_; }
+
+  /// Appends an entry. Out-of-range indices are an error surfaced at
+  /// ToCsr() time (kept cheap on the hot path).
+  void Add(index_t row, index_t col, real_t value) {
+    triplets_.push_back({row, col, value});
+  }
+
+  void Reserve(std::size_t n) { triplets_.reserve(n); }
+
+  /// Sorts by (row, col) and sums duplicate coordinates; drops explicit
+  /// zeros produced by cancellation.
+  void Compact();
+
+  /// Converts to CSR. Validates all indices; duplicates are summed.
+  Result<CsrMatrix> ToCsr() const;
+
+ private:
+  index_t rows_, cols_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_SPARSE_COO_HPP_

@@ -1,0 +1,54 @@
+// Compressed sparse column matrix: used by the left-looking sparse LU
+// factorization, which consumes columns.
+#ifndef BEPI_SPARSE_CSC_HPP_
+#define BEPI_SPARSE_CSC_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "sparse/dense.hpp"
+
+namespace bepi {
+
+class CsrMatrix;
+
+class CscMatrix {
+ public:
+  CscMatrix() : rows_(0), cols_(0), col_ptr_(1, 0) {}
+
+  static Result<CscMatrix> FromParts(index_t rows, index_t cols,
+                                     std::vector<index_t> col_ptr,
+                                     std::vector<index_t> row_idx,
+                                     std::vector<real_t> values);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+
+  const std::vector<index_t>& col_ptr() const { return col_ptr_; }
+  const std::vector<index_t>& row_idx() const { return row_idx_; }
+  const std::vector<real_t>& values() const { return values_; }
+
+  /// y = A x.
+  Vector Multiply(const Vector& x) const;
+
+  CsrMatrix ToCsr() const;
+
+  std::uint64_t ByteSize() const;
+
+  Status Validate() const;
+
+ private:
+  friend class CsrMatrix;
+
+  index_t rows_, cols_;
+  std::vector<index_t> col_ptr_;
+  std::vector<index_t> row_idx_;
+  std::vector<real_t> values_;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_SPARSE_CSC_HPP_

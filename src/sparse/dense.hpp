@@ -1,0 +1,87 @@
+// Dense vector/matrix helpers. Dense objects appear only in small-block
+// computations (LU of H11's diagonal blocks, Bear's S^{-1}, test oracles);
+// all large data lives in the sparse formats.
+#ifndef BEPI_SPARSE_DENSE_HPP_
+#define BEPI_SPARSE_DENSE_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bepi {
+
+/// Dense column vector.
+using Vector = std::vector<real_t>;
+
+/// Euclidean dot product. x and y must have the same size.
+real_t Dot(const Vector& x, const Vector& y);
+
+/// L2 norm.
+real_t Norm2(const Vector& x);
+
+/// L1 norm.
+real_t Norm1(const Vector& x);
+
+/// Max |x_i|.
+real_t NormInf(const Vector& x);
+
+/// y += alpha * x.
+void Axpy(real_t alpha, const Vector& x, Vector* y);
+
+/// x *= alpha.
+void Scale(real_t alpha, Vector* x);
+
+/// ||x - y||_2.
+real_t DistL2(const Vector& x, const Vector& y);
+
+/// Dense row-major matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix(index_t rows, index_t cols, real_t fill = 0.0);
+
+  static DenseMatrix Identity(index_t n);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+
+  real_t& At(index_t r, index_t c) {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  real_t At(index_t r, index_t c) const {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  const std::vector<real_t>& data() const { return data_; }
+  std::vector<real_t>& data() { return data_; }
+
+  /// y = this * x.
+  Vector Multiply(const Vector& x) const;
+
+  /// C = this * other.
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  DenseMatrix Transpose() const;
+
+  /// this += alpha * other (same shape).
+  void Add(real_t alpha, const DenseMatrix& other);
+
+  /// Frobenius norm.
+  real_t FrobeniusNorm() const;
+
+  /// Max |a_ij - b_ij|.
+  static real_t MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b);
+
+  std::uint64_t ByteSize() const {
+    return static_cast<std::uint64_t>(data_.size()) * sizeof(real_t);
+  }
+
+ private:
+  index_t rows_, cols_;
+  std::vector<real_t> data_;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_SPARSE_DENSE_HPP_

@@ -1,0 +1,80 @@
+#include "sparse/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "sparse/coo.hpp"
+
+namespace bepi {
+
+Status WriteMatrixMarket(const CsrMatrix& m, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+  out.precision(17);
+  for (index_t r = 0; r < m.rows(); ++r) {
+    for (index_t p = m.row_ptr()[static_cast<std::size_t>(r)];
+         p < m.row_ptr()[static_cast<std::size_t>(r) + 1]; ++p) {
+      out << (r + 1) << " " << (m.col_idx()[static_cast<std::size_t>(p)] + 1)
+          << " " << m.values()[static_cast<std::size_t>(p)] << "\n";
+    }
+  }
+  if (!out) return Status::IoError("failed writing MatrixMarket stream");
+  return Status::Ok();
+}
+
+Status WriteMatrixMarketFile(const CsrMatrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return WriteMatrixMarket(m, out);
+}
+
+Result<CsrMatrix> ReadMatrixMarket(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty MatrixMarket stream");
+  }
+  if (line.rfind("%%MatrixMarket", 0) != 0) {
+    return Status::IoError("missing MatrixMarket header");
+  }
+  const bool symmetric = line.find("symmetric") != std::string::npos;
+  const bool pattern = line.find("pattern") != std::string::npos;
+  if (line.find("coordinate") == std::string::npos) {
+    return Status::IoError("only coordinate format is supported");
+  }
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  index_t rows = -1, cols = -1, nnz = -1;
+  dims >> rows >> cols >> nnz;
+  if (rows < 0 || cols < 0 || nnz < 0) {
+    return Status::IoError("malformed size line: " + line);
+  }
+  CooMatrix coo(rows, cols);
+  coo.Reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  for (index_t i = 0; i < nnz; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::IoError("truncated MatrixMarket stream");
+    }
+    std::istringstream entry(line);
+    index_t r = 0, c = 0;
+    real_t v = 1.0;
+    entry >> r >> c;
+    if (!pattern) entry >> v;
+    if (entry.fail()) {
+      return Status::IoError("malformed entry line: " + line);
+    }
+    coo.Add(r - 1, c - 1, v);
+    if (symmetric && r != c) coo.Add(c - 1, r - 1, v);
+  }
+  return coo.ToCsr();
+}
+
+Result<CsrMatrix> ReadMatrixMarketFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return ReadMatrixMarket(in);
+}
+
+}  // namespace bepi

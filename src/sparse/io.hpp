@@ -1,0 +1,26 @@
+// Matrix text IO in MatrixMarket coordinate format (1-based indices), so
+// matrices round-trip to files inspectable by standard tools.
+#ifndef BEPI_SPARSE_IO_HPP_
+#define BEPI_SPARSE_IO_HPP_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.hpp"
+#include "sparse/csr.hpp"
+
+namespace bepi {
+
+/// Writes `m` in MatrixMarket "coordinate real general" format.
+Status WriteMatrixMarket(const CsrMatrix& m, std::ostream& out);
+Status WriteMatrixMarketFile(const CsrMatrix& m, const std::string& path);
+
+/// Reads a MatrixMarket coordinate file. Supports the "general" and
+/// "symmetric" qualifiers (symmetric entries are mirrored); "pattern"
+/// matrices get value 1.0 per entry.
+Result<CsrMatrix> ReadMatrixMarket(std::istream& in);
+Result<CsrMatrix> ReadMatrixMarketFile(const std::string& path);
+
+}  // namespace bepi
+
+#endif  // BEPI_SPARSE_IO_HPP_

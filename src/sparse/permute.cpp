@@ -1,0 +1,144 @@
+#include "sparse/permute.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace bepi {
+
+bool IsPermutation(const Permutation& perm) {
+  const index_t n = static_cast<index_t>(perm.size());
+  std::vector<bool> seen(perm.size(), false);
+  for (index_t v : perm) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+Permutation InversePermutation(const Permutation& perm) {
+  Permutation inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<index_t>(i);
+  }
+  return inv;
+}
+
+Permutation ComposePermutations(const Permutation& outer,
+                                const Permutation& inner) {
+  BEPI_CHECK(outer.size() == inner.size());
+  Permutation out(inner.size());
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    out[i] = outer[static_cast<std::size_t>(inner[i])];
+  }
+  return out;
+}
+
+Permutation IdentityPermutation(index_t n) {
+  Permutation p(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = i;
+  return p;
+}
+
+Result<CsrMatrix> PermuteSymmetric(const CsrMatrix& a,
+                                   const Permutation& perm) {
+  return Permute(a, perm, perm);
+}
+
+Result<CsrMatrix> Permute(const CsrMatrix& a, const Permutation& row_perm,
+                          const Permutation& col_perm) {
+  if (static_cast<index_t>(row_perm.size()) != a.rows() ||
+      static_cast<index_t>(col_perm.size()) != a.cols()) {
+    return Status::InvalidArgument("permutation length mismatch");
+  }
+  if (!IsPermutation(row_perm) || !IsPermutation(col_perm)) {
+    return Status::InvalidArgument("input is not a permutation");
+  }
+  const index_t rows = a.rows();
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  for (index_t r = 0; r < rows; ++r) {
+    row_ptr[static_cast<std::size_t>(row_perm[static_cast<std::size_t>(r)]) +
+            1] = a.RowNnz(r);
+  }
+  for (index_t r = 0; r < rows; ++r) {
+    row_ptr[static_cast<std::size_t>(r) + 1] +=
+        row_ptr[static_cast<std::size_t>(r)];
+  }
+  std::vector<index_t> col_idx(static_cast<std::size_t>(a.nnz()));
+  std::vector<real_t> values(static_cast<std::size_t>(a.nnz()));
+  // Temporary per-row unsorted fill, then sort each row by column.
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t nr = row_perm[static_cast<std::size_t>(r)];
+    index_t dst = row_ptr[static_cast<std::size_t>(nr)];
+    for (index_t p = a.row_ptr()[static_cast<std::size_t>(r)];
+         p < a.row_ptr()[static_cast<std::size_t>(r) + 1]; ++p, ++dst) {
+      col_idx[static_cast<std::size_t>(dst)] =
+          col_perm[static_cast<std::size_t>(
+              a.col_idx()[static_cast<std::size_t>(p)])];
+      values[static_cast<std::size_t>(dst)] =
+          a.values()[static_cast<std::size_t>(p)];
+    }
+  }
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t begin = row_ptr[static_cast<std::size_t>(r)];
+    const index_t end = row_ptr[static_cast<std::size_t>(r) + 1];
+    // Sort (col, value) pairs of this row.
+    std::vector<std::pair<index_t, real_t>> entries;
+    entries.reserve(static_cast<std::size_t>(end - begin));
+    for (index_t p = begin; p < end; ++p) {
+      entries.emplace_back(col_idx[static_cast<std::size_t>(p)],
+                           values[static_cast<std::size_t>(p)]);
+    }
+    std::sort(entries.begin(), entries.end());
+    for (index_t p = begin; p < end; ++p) {
+      col_idx[static_cast<std::size_t>(p)] =
+          entries[static_cast<std::size_t>(p - begin)].first;
+      values[static_cast<std::size_t>(p)] =
+          entries[static_cast<std::size_t>(p - begin)].second;
+    }
+  }
+  return CsrMatrix::FromParts(rows, a.cols(), std::move(row_ptr),
+                              std::move(col_idx), std::move(values));
+}
+
+Vector PermuteVector(const Vector& v, const Permutation& perm) {
+  BEPI_CHECK(v.size() == perm.size());
+  Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[static_cast<std::size_t>(perm[i])] = v[i];
+  }
+  return out;
+}
+
+Result<CsrMatrix> ExtractBlock(const CsrMatrix& a, index_t row_begin,
+                               index_t row_end, index_t col_begin,
+                               index_t col_end) {
+  if (row_begin < 0 || row_end < row_begin || row_end > a.rows() ||
+      col_begin < 0 || col_end < col_begin || col_end > a.cols()) {
+    return Status::OutOfRange("block range outside matrix");
+  }
+  const index_t rows = row_end - row_begin;
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<index_t> col_idx;
+  std::vector<real_t> values;
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t src = row_begin + r;
+    const index_t begin = a.row_ptr()[static_cast<std::size_t>(src)];
+    const index_t end = a.row_ptr()[static_cast<std::size_t>(src) + 1];
+    // Columns are sorted: locate [col_begin, col_end) by binary search.
+    auto first = std::lower_bound(a.col_idx().begin() + begin,
+                                  a.col_idx().begin() + end, col_begin);
+    auto last = std::lower_bound(first, a.col_idx().begin() + end, col_end);
+    for (auto it = first; it != last; ++it) {
+      const index_t p = static_cast<index_t>(it - a.col_idx().begin());
+      col_idx.push_back(*it - col_begin);
+      values.push_back(a.values()[static_cast<std::size_t>(p)]);
+    }
+    row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<index_t>(col_idx.size());
+  }
+  return CsrMatrix::FromParts(rows, col_end - col_begin, std::move(row_ptr),
+                              std::move(col_idx), std::move(values));
+}
+
+}  // namespace bepi

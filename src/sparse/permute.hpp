@@ -1,0 +1,46 @@
+// Permutation utilities and block extraction. Throughout the library a
+// permutation `perm` maps OLD index -> NEW index: new_id = perm[old_id].
+#ifndef BEPI_SPARSE_PERMUTE_HPP_
+#define BEPI_SPARSE_PERMUTE_HPP_
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "sparse/csr.hpp"
+
+namespace bepi {
+
+using Permutation = std::vector<index_t>;
+
+/// True iff perm is a bijection on [0, perm.size()).
+bool IsPermutation(const Permutation& perm);
+
+/// inverse[new] = old.
+Permutation InversePermutation(const Permutation& perm);
+
+/// Composition: result[i] = outer[inner[i]] (apply inner first).
+Permutation ComposePermutations(const Permutation& outer,
+                                const Permutation& inner);
+
+/// Identity permutation of length n.
+Permutation IdentityPermutation(index_t n);
+
+/// B[perm[i], perm[j]] = A[i, j]: symmetric relabeling of a square matrix.
+Result<CsrMatrix> PermuteSymmetric(const CsrMatrix& a, const Permutation& perm);
+
+/// B[row_perm[i], col_perm[j]] = A[i, j].
+Result<CsrMatrix> Permute(const CsrMatrix& a, const Permutation& row_perm,
+                          const Permutation& col_perm);
+
+/// Permute a vector: out[perm[i]] = v[i].
+Vector PermuteVector(const Vector& v, const Permutation& perm);
+
+/// Extracts the contiguous block A[row_begin:row_end, col_begin:col_end)
+/// as its own matrix (used to partition H into H11..H32).
+Result<CsrMatrix> ExtractBlock(const CsrMatrix& a, index_t row_begin,
+                               index_t row_end, index_t col_begin,
+                               index_t col_end);
+
+}  // namespace bepi
+
+#endif  // BEPI_SPARSE_PERMUTE_HPP_

@@ -1,0 +1,119 @@
+#include "sparse/spgemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bepi {
+
+Result<CsrMatrix> Multiply(const CsrMatrix& a, const CsrMatrix& b,
+                           real_t drop_tol) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument(
+        "SpGEMM shape mismatch: " + std::to_string(a.rows()) + "x" +
+        std::to_string(a.cols()) + " * " + std::to_string(b.rows()) + "x" +
+        std::to_string(b.cols()));
+  }
+  const index_t rows = a.rows();
+  const index_t cols = b.cols();
+
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<index_t> col_idx;
+  std::vector<real_t> values;
+
+  // Dense accumulator (Gustavson): value + occupancy marker per column.
+  std::vector<real_t> accum(static_cast<std::size_t>(cols), 0.0);
+  std::vector<index_t> marker(static_cast<std::size_t>(cols), -1);
+  std::vector<index_t> touched;
+
+  const auto& a_ptr = a.row_ptr();
+  const auto& a_col = a.col_idx();
+  const auto& a_val = a.values();
+  const auto& b_ptr = b.row_ptr();
+  const auto& b_col = b.col_idx();
+  const auto& b_val = b.values();
+
+  for (index_t i = 0; i < rows; ++i) {
+    touched.clear();
+    for (index_t pa = a_ptr[static_cast<std::size_t>(i)];
+         pa < a_ptr[static_cast<std::size_t>(i) + 1]; ++pa) {
+      const index_t k = a_col[static_cast<std::size_t>(pa)];
+      const real_t aik = a_val[static_cast<std::size_t>(pa)];
+      for (index_t pb = b_ptr[static_cast<std::size_t>(k)];
+           pb < b_ptr[static_cast<std::size_t>(k) + 1]; ++pb) {
+        const index_t j = b_col[static_cast<std::size_t>(pb)];
+        if (marker[static_cast<std::size_t>(j)] != i) {
+          marker[static_cast<std::size_t>(j)] = i;
+          accum[static_cast<std::size_t>(j)] = 0.0;
+          touched.push_back(j);
+        }
+        accum[static_cast<std::size_t>(j)] +=
+            aik * b_val[static_cast<std::size_t>(pb)];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (index_t j : touched) {
+      const real_t v = accum[static_cast<std::size_t>(j)];
+      if (std::fabs(v) > drop_tol) {
+        col_idx.push_back(j);
+        values.push_back(v);
+      }
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<index_t>(col_idx.size());
+  }
+  return CsrMatrix::FromParts(rows, cols, std::move(row_ptr),
+                              std::move(col_idx), std::move(values));
+}
+
+Result<CsrMatrix> Add(real_t alpha, const CsrMatrix& a, real_t beta,
+                      const CsrMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return Status::InvalidArgument("sparse Add shape mismatch");
+  }
+  const index_t rows = a.rows();
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<index_t> col_idx;
+  std::vector<real_t> values;
+  col_idx.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  values.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+
+  for (index_t r = 0; r < rows; ++r) {
+    index_t pa = a.row_ptr()[static_cast<std::size_t>(r)];
+    index_t pb = b.row_ptr()[static_cast<std::size_t>(r)];
+    const index_t ea = a.row_ptr()[static_cast<std::size_t>(r) + 1];
+    const index_t eb = b.row_ptr()[static_cast<std::size_t>(r) + 1];
+    while (pa < ea || pb < eb) {
+      const index_t ca =
+          pa < ea ? a.col_idx()[static_cast<std::size_t>(pa)] : a.cols();
+      const index_t cb =
+          pb < eb ? b.col_idx()[static_cast<std::size_t>(pb)] : b.cols();
+      index_t c;
+      real_t v;
+      if (ca == cb) {
+        c = ca;
+        v = alpha * a.values()[static_cast<std::size_t>(pa)] +
+            beta * b.values()[static_cast<std::size_t>(pb)];
+        ++pa;
+        ++pb;
+      } else if (ca < cb) {
+        c = ca;
+        v = alpha * a.values()[static_cast<std::size_t>(pa)];
+        ++pa;
+      } else {
+        c = cb;
+        v = beta * b.values()[static_cast<std::size_t>(pb)];
+        ++pb;
+      }
+      if (v != 0.0) {
+        col_idx.push_back(c);
+        values.push_back(v);
+      }
+    }
+    row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<index_t>(col_idx.size());
+  }
+  return CsrMatrix::FromParts(rows, a.cols(), std::move(row_ptr),
+                              std::move(col_idx), std::move(values));
+}
+
+}  // namespace bepi

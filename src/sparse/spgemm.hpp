@@ -1,0 +1,29 @@
+// Sparse matrix-matrix kernels: Gustavson SpGEMM and sparse addition.
+// These build the Schur complement S = H22 - H21 (U1^-1 (L1^-1 H12)).
+#ifndef BEPI_SPARSE_SPGEMM_HPP_
+#define BEPI_SPARSE_SPGEMM_HPP_
+
+#include "common/status.hpp"
+#include "sparse/csr.hpp"
+
+namespace bepi {
+
+/// C = A * B using Gustavson's row-wise algorithm with a dense accumulator
+/// of size B.cols(). Entries with |v| <= drop_tol are dropped (0 keeps all
+/// structural non-zeros, including exact cancellations' zeros being
+/// removed).
+Result<CsrMatrix> Multiply(const CsrMatrix& a, const CsrMatrix& b,
+                           real_t drop_tol = 0.0);
+
+/// C = alpha * A + beta * B. Shapes must match.
+Result<CsrMatrix> Add(real_t alpha, const CsrMatrix& a, real_t beta,
+                      const CsrMatrix& b);
+
+/// C = A - B.
+inline Result<CsrMatrix> Subtract(const CsrMatrix& a, const CsrMatrix& b) {
+  return Add(1.0, a, -1.0, b);
+}
+
+}  // namespace bepi
+
+#endif  // BEPI_SPARSE_SPGEMM_HPP_

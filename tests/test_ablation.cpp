@@ -1,0 +1,96 @@
+// The ablation knobs: BiCGSTAB as BePI's inner solver, and random hub
+// selection as the SlashBurn control. Both must stay exact; the benches
+// quantify their performance differences.
+#include <gtest/gtest.h>
+
+#include "core/bepi.hpp"
+#include "core/exact.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+TEST(Ablation, BicgstabInnerSolverMatchesExact) {
+  Graph g = test::SmallRmat(130, 560, 0.25, 1307);
+  RwrOptions base;
+  ExactSolver exact(base);
+  ASSERT_TRUE(exact.Preprocess(g).ok());
+  BepiOptions options;
+  options.inner_solver = BepiInnerSolver::kBicgstab;
+  BepiSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  for (index_t seed : {0, 64, 129}) {
+    auto re = exact.Query(seed);
+    QueryStats stats;
+    auto rb = solver.Query(seed, &stats);
+    ASSERT_TRUE(re.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_LT(DistL2(*re, *rb), 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(Ablation, BicgstabAgreesWithGmresInner) {
+  Graph g = test::SmallRmat(200, 900, 0.2, 1319);
+  BepiOptions gm_options;
+  BepiOptions bi_options;
+  bi_options.inner_solver = BepiInnerSolver::kBicgstab;
+  BepiSolver gm(gm_options), bi(bi_options);
+  ASSERT_TRUE(gm.Preprocess(g).ok());
+  ASSERT_TRUE(bi.Preprocess(g).ok());
+  auto r1 = gm.Query(50);
+  auto r2 = bi.Query(50);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LT(DistL2(*r1, *r2), 1e-6);
+}
+
+TEST(Ablation, RandomHubSelectionStaysExact) {
+  Graph g = test::SmallRmat(120, 520, 0.2, 1321);
+  RwrOptions base;
+  ExactSolver exact(base);
+  ASSERT_TRUE(exact.Preprocess(g).ok());
+  BepiOptions options;
+  options.hub_selection = SlashBurnOptions::HubSelection::kRandom;
+  BepiSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  auto re = exact.Query(17);
+  auto rb = solver.Query(17);
+  ASSERT_TRUE(re.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_LT(DistL2(*re, *rb), 1e-6);
+}
+
+TEST(Ablation, DegreeHubsBeatRandomHubsOnSpokes) {
+  // Degree-based hub removal shatters an R-MAT graph into more spokes per
+  // removed hub than random removal does — the reason SlashBurn picks by
+  // degree. Compare n1 at equal k.
+  Graph g = test::SmallRmat(500, 2400, 0.0, 1327);
+  SlashBurnOptions degree_options;
+  degree_options.k_ratio = 0.1;
+  auto degree = SlashBurn(g.adjacency(), degree_options);
+  ASSERT_TRUE(degree.ok());
+  SlashBurnOptions random_options = degree_options;
+  random_options.hub_selection = SlashBurnOptions::HubSelection::kRandom;
+  auto random = SlashBurn(g.adjacency(), random_options);
+  ASSERT_TRUE(random.ok());
+  EXPECT_GT(degree->num_spokes, random->num_spokes);
+}
+
+TEST(Ablation, RandomSelectionIsSeededDeterministic) {
+  Graph g = test::SmallRmat(200, 800, 0.0, 1361);
+  SlashBurnOptions options;
+  options.hub_selection = SlashBurnOptions::HubSelection::kRandom;
+  options.random_seed = 9;
+  auto a = SlashBurn(g.adjacency(), options);
+  auto b = SlashBurn(g.adjacency(), options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->perm, b->perm);
+  options.random_seed = 10;
+  auto c = SlashBurn(g.adjacency(), options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->perm, c->perm);
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <complex>
+
+#include "solver/arnoldi.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+using Complex = std::complex<real_t>;
+
+std::vector<real_t> SortedReal(const std::vector<Complex>& eig) {
+  std::vector<real_t> out;
+  for (const Complex& e : eig) out.push_back(e.real());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(HessenbergEig, DiagonalMatrix) {
+  DenseMatrix d(3, 3);
+  d.At(0, 0) = 3.0;
+  d.At(1, 1) = -1.0;
+  d.At(2, 2) = 7.0;
+  auto eig = HessenbergEigenvalues(d);
+  ASSERT_TRUE(eig.ok());
+  auto sorted = SortedReal(*eig);
+  EXPECT_NEAR(sorted[0], -1.0, 1e-12);
+  EXPECT_NEAR(sorted[1], 3.0, 1e-12);
+  EXPECT_NEAR(sorted[2], 7.0, 1e-12);
+}
+
+TEST(HessenbergEig, KnownTwoByTwoComplexPair) {
+  // Rotation-like matrix with eigenvalues 1 +- 2i.
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1.0;
+  a.At(0, 1) = -2.0;
+  a.At(1, 0) = 2.0;
+  a.At(1, 1) = 1.0;
+  auto eig = HessenbergEigenvalues(a);
+  ASSERT_TRUE(eig.ok());
+  ASSERT_EQ(eig->size(), 2u);
+  real_t imag_mag = std::fabs((*eig)[0].imag());
+  EXPECT_NEAR((*eig)[0].real(), 1.0, 1e-10);
+  EXPECT_NEAR((*eig)[1].real(), 1.0, 1e-10);
+  EXPECT_NEAR(imag_mag, 2.0, 1e-10);
+  EXPECT_NEAR((*eig)[0].imag(), -(*eig)[1].imag(), 1e-12);
+}
+
+TEST(HessenbergEig, SymmetricTridiagonalKnownSpectrum) {
+  // The n x n tridiagonal (-1, 2, -1) has eigenvalues
+  // 2 - 2 cos(k pi / (n+1)), k = 1..n.
+  const index_t n = 12;
+  DenseMatrix t(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    t.At(i, i) = 2.0;
+    if (i > 0) t.At(i, i - 1) = -1.0;
+    if (i < n - 1) t.At(i, i + 1) = -1.0;
+  }
+  auto eig = HessenbergEigenvalues(t);
+  ASSERT_TRUE(eig.ok());
+  auto sorted = SortedReal(*eig);
+  for (index_t k = 1; k <= n; ++k) {
+    const real_t expected =
+        2.0 - 2.0 * std::cos(static_cast<real_t>(k) * M_PI /
+                             static_cast<real_t>(n + 1));
+    EXPECT_NEAR(sorted[static_cast<std::size_t>(k - 1)], expected, 1e-9);
+  }
+}
+
+TEST(HessenbergEig, TraceAndProductInvariants) {
+  // Sum of eigenvalues = trace; companion-style Hessenberg test.
+  Rng rng(401);
+  const index_t n = 15;
+  DenseMatrix h(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = std::max<index_t>(0, i - 1); j < n; ++j) {
+      h.At(i, j) = rng.NextDouble() - 0.5;
+    }
+  }
+  real_t trace = 0.0;
+  for (index_t i = 0; i < n; ++i) trace += h.At(i, i);
+  auto eig = HessenbergEigenvalues(h);
+  ASSERT_TRUE(eig.ok());
+  Complex sum(0.0, 0.0);
+  for (const Complex& e : *eig) sum += e;
+  EXPECT_NEAR(sum.real(), trace, 1e-8);
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-8);
+}
+
+TEST(HessenbergEig, ComplexPairsComeConjugated) {
+  Rng rng(409);
+  const index_t n = 20;
+  DenseMatrix h(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = std::max<index_t>(0, i - 1); j < n; ++j) {
+      h.At(i, j) = rng.NextDouble() - 0.5;
+    }
+  }
+  auto eig = HessenbergEigenvalues(h);
+  ASSERT_TRUE(eig.ok());
+  // Complex eigenvalues of a real matrix appear in conjugate pairs: the
+  // multiset of imaginary parts is symmetric about zero.
+  real_t imag_sum = 0.0;
+  for (const Complex& e : *eig) imag_sum += e.imag();
+  EXPECT_NEAR(imag_sum, 0.0, 1e-8);
+}
+
+TEST(HessenbergEig, EdgeCases) {
+  EXPECT_TRUE(HessenbergEigenvalues(DenseMatrix(0, 0)).ok());
+  DenseMatrix one(1, 1);
+  one.At(0, 0) = 4.2;
+  auto eig = HessenbergEigenvalues(one);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR((*eig)[0].real(), 4.2, 1e-14);
+  // Zero matrix.
+  auto zero_eig = HessenbergEigenvalues(DenseMatrix(4, 4));
+  ASSERT_TRUE(zero_eig.ok());
+  for (const Complex& e : *zero_eig) EXPECT_EQ(e, Complex(0.0, 0.0));
+  // Non-square input rejected.
+  EXPECT_FALSE(HessenbergEigenvalues(DenseMatrix(2, 3)).ok());
+}
+
+TEST(Arnoldi, RelationHoldsAV_equals_VH) {
+  Rng rng(419);
+  const index_t n = 30;
+  CsrMatrix a = test::RandomDiagDominant(n, 0.2, &rng);
+  CsrOperator op(a);
+  Vector v0 = test::RandomVector(n, &rng);
+  auto dec = ArnoldiProcess(op, v0, 10);
+  ASSERT_TRUE(dec.ok());
+  ASSERT_EQ(dec->steps, 10);
+  // Check A v_k == sum_i h(i,k) v_i for each k.
+  for (index_t k = 0; k < dec->steps; ++k) {
+    Vector av;
+    op.Apply(dec->basis[static_cast<std::size_t>(k)], &av);
+    Vector reconstructed(static_cast<std::size_t>(n), 0.0);
+    for (index_t i = 0; i <= k + 1; ++i) {
+      Axpy(dec->h.At(i, k), dec->basis[static_cast<std::size_t>(i)],
+           &reconstructed);
+    }
+    EXPECT_LT(DistL2(av, reconstructed), 1e-9);
+  }
+}
+
+TEST(Arnoldi, BasisIsOrthonormal) {
+  Rng rng(421);
+  const index_t n = 25;
+  CsrMatrix a = test::RandomDiagDominant(n, 0.3, &rng);
+  CsrOperator op(a);
+  Vector v0 = test::RandomVector(n, &rng);
+  auto dec = ArnoldiProcess(op, v0, 8);
+  ASSERT_TRUE(dec.ok());
+  for (std::size_t i = 0; i < dec->basis.size(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const real_t expected = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(Dot(dec->basis[i], dec->basis[j]), expected, 1e-10);
+    }
+  }
+}
+
+TEST(Arnoldi, HappyBreakdownOnInvariantSubspace) {
+  // Identity: the Krylov space is 1-dimensional.
+  CsrMatrix a = CsrMatrix::Identity(6);
+  CsrOperator op(a);
+  Vector v0(6, 1.0);
+  auto dec = ArnoldiProcess(op, v0, 5);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE(dec->breakdown);
+  EXPECT_EQ(dec->steps, 1);
+}
+
+TEST(Arnoldi, InvalidInputs) {
+  CsrMatrix a = CsrMatrix::Identity(4);
+  CsrOperator op(a);
+  EXPECT_FALSE(ArnoldiProcess(op, Vector(3, 1.0), 2).ok());
+  EXPECT_FALSE(ArnoldiProcess(op, Vector(4, 0.0), 2).ok());
+  EXPECT_FALSE(ArnoldiProcess(op, Vector(4, 1.0), 0).ok());
+}
+
+TEST(RitzValues, ApproximateDominantEigenvalue) {
+  // Row-stochastic transpose: dominant eigenvalue 1 (Perron-Frobenius).
+  Graph g = test::SmallRmat(80, 500, 0.0, 431);
+  // Keep only non-deadends to make Ã^T exactly column-stochastic... easier:
+  // use the symmetric normalized structure: eigenvalue bound |lambda| <= 1.
+  CsrMatrix at = g.RowNormalizedAdjacency().Transpose();
+  CsrOperator op(at);
+  auto ritz = ComputeRitzValues(op, 40, 7);
+  ASSERT_TRUE(ritz.ok());
+  real_t max_mod = 0.0;
+  for (const Complex& e : *ritz) max_mod = std::max(max_mod, std::abs(e));
+  EXPECT_LE(max_mod, 1.0 + 1e-6);
+  EXPECT_GT(max_mod, 0.3);
+}
+
+TEST(RitzValues, ExactForSmallMatrixWithFullKrylov) {
+  // With m = n the Ritz values are the exact eigenvalues.
+  DenseMatrix d(4, 4);
+  d.At(0, 0) = 1.0;
+  d.At(1, 1) = 2.0;
+  d.At(2, 2) = 3.0;
+  d.At(3, 3) = 4.0;
+  CsrMatrix a = CsrMatrix::FromDense(d);
+  CsrOperator op(a);
+  auto ritz = ComputeRitzValues(op, 4, 11);
+  ASSERT_TRUE(ritz.ok());
+  auto sorted = SortedReal(*ritz);
+  ASSERT_EQ(sorted.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(sorted[i], i + 1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/bear.hpp"
+#include "core/exact.hpp"
+#include "core/lu_rwr.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+class BaselineSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineSeeds, BearMatchesExact) {
+  Graph g = test::SmallRmat(120, 500, 0.25, GetParam());
+  RwrOptions base;
+  ExactSolver exact(base);
+  ASSERT_TRUE(exact.Preprocess(g).ok());
+  BearOptions options;
+  options.hub_ratio = 0.05;
+  BearSolver bear(options);
+  ASSERT_TRUE(bear.Preprocess(g).ok());
+  Rng rng(GetParam() + 5);
+  for (int trial = 0; trial < 4; ++trial) {
+    const index_t seed = rng.UniformIndex(0, 119);
+    auto re = exact.Query(seed);
+    auto rb = bear.Query(seed);
+    ASSERT_TRUE(re.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_LT(DistL2(*re, *rb), 1e-8) << "seed " << seed;
+  }
+}
+
+TEST_P(BaselineSeeds, LuMatchesExact) {
+  Graph g = test::SmallRmat(120, 500, 0.25, GetParam());
+  RwrOptions base;
+  ExactSolver exact(base);
+  ASSERT_TRUE(exact.Preprocess(g).ok());
+  LuSolver lu(LuSolverOptions{});
+  ASSERT_TRUE(lu.Preprocess(g).ok());
+  Rng rng(GetParam() + 9);
+  for (int trial = 0; trial < 4; ++trial) {
+    const index_t seed = rng.UniformIndex(0, 119);
+    auto re = exact.Query(seed);
+    auto rl = lu.Query(seed);
+    ASSERT_TRUE(re.ok());
+    ASSERT_TRUE(rl.ok());
+    EXPECT_LT(DistL2(*re, *rl), 1e-8) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineSeeds,
+                         ::testing::Values<std::uint64_t>(839, 853, 857));
+
+TEST(Bear, MemoryBudgetKillsDenseInverse) {
+  Graph g = test::SmallRmat(400, 1800, 0.1, 859);
+  BearOptions options;
+  options.hub_ratio = 0.2;
+  // Enough for the sparse matrices (~50 KB here) but not for the dense
+  // n2 x n2 inverse (~77 KB on top).
+  options.memory_budget_bytes = 100 << 10;
+  BearSolver bear(options);
+  Status status = bear.Preprocess(g);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("S^{-1}"), std::string::npos);
+}
+
+TEST(Bear, QueryHasNoIterations) {
+  Graph g = test::SmallRmat(100, 400, 0.2, 863);
+  BearSolver bear(BearOptions{});
+  ASSERT_TRUE(bear.Preprocess(g).ok());
+  QueryStats stats;
+  ASSERT_TRUE(bear.Query(1, &stats).ok());
+  EXPECT_EQ(stats.iterations, 0);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(Bear, PreprocessedBytesDominatedByDenseInverse) {
+  Graph g = test::SmallRmat(300, 1200, 0.1, 877);
+  BearOptions options;
+  options.hub_ratio = 0.3;
+  BearSolver bear(options);
+  ASSERT_TRUE(bear.Preprocess(g).ok());
+  const index_t n2 = bear.decomposition().n2;
+  EXPECT_GE(bear.PreprocessedBytes(),
+            static_cast<std::uint64_t>(n2) * static_cast<std::uint64_t>(n2) *
+                sizeof(real_t));
+}
+
+TEST(Bear, ErrorPaths) {
+  BearSolver bear(BearOptions{});
+  EXPECT_FALSE(bear.Query(0).ok());
+  Graph g = test::SmallRmat(50, 200, 0.2, 881);
+  ASSERT_TRUE(bear.Preprocess(g).ok());
+  EXPECT_FALSE(bear.Query(-1).ok());
+  EXPECT_FALSE(bear.Query(50).ok());
+  EXPECT_EQ(bear.name(), "Bear");
+}
+
+TEST(Lu, FillLimitFromBudgetTriggersOom) {
+  Graph g = test::SmallRmat(600, 3500, 0.05, 883);
+  LuSolverOptions options;
+  options.memory_budget_bytes = 10 * 1024;  // tiny: forces fill-in overflow
+  LuSolver lu(options);
+  EXPECT_EQ(lu.Preprocess(g).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Lu, FactorNnzReported) {
+  Graph g = test::SmallRmat(100, 400, 0.2, 887);
+  LuSolver lu(LuSolverOptions{});
+  ASSERT_TRUE(lu.Preprocess(g).ok());
+  EXPECT_GE(lu.FactorNnz(), 2 * 100);  // at least both diagonals
+  EXPECT_GT(lu.PreprocessedBytes(), 0u);
+  EXPECT_EQ(lu.name(), "LU");
+}
+
+TEST(Lu, ErrorPaths) {
+  LuSolver lu(LuSolverOptions{});
+  EXPECT_FALSE(lu.Query(0).ok());
+  auto empty = Graph::FromEdges(0, {});
+  EXPECT_FALSE(lu.Preprocess(*empty).ok());
+  Graph g = test::SmallRmat(30, 100, 0.2, 907);
+  ASSERT_TRUE(lu.Preprocess(g).ok());
+  EXPECT_FALSE(lu.Query(30).ok());
+}
+
+TEST(Lu, AllDeadendGraph) {
+  auto g = Graph::FromEdges(3, {});
+  ASSERT_TRUE(g.ok());
+  LuSolver lu(LuSolverOptions{});
+  ASSERT_TRUE(lu.Preprocess(*g).ok());  // H = I
+  auto r = lu.Query(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR((*r)[1], 0.05, 1e-12);
+}
+
+TEST(Bear, WorksOnPaperExample) {
+  Graph g = test::PaperExampleGraph();
+  RwrOptions base;
+  ExactSolver exact(base);
+  ASSERT_TRUE(exact.Preprocess(g).ok());
+  BearOptions options;
+  options.hub_ratio = 0.25;
+  BearSolver bear(options);
+  ASSERT_TRUE(bear.Preprocess(g).ok());
+  auto re = exact.Query(0);
+  auto rb = bear.Query(0);
+  ASSERT_TRUE(re.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_LT(DistL2(*re, *rb), 1e-10);
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "core/rwr.hpp"
+#include "solver/bicgstab.hpp"
+#include "solver/ilu0.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+class BicgstabSizes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(BicgstabSizes, ConvergesOnDiagDominantSystems) {
+  Rng rng(1103 + static_cast<std::uint64_t>(GetParam()));
+  const index_t n = GetParam();
+  CsrMatrix a = test::RandomDiagDominant(n, 0.2, &rng);
+  CsrOperator op(a);
+  Vector x_true = test::RandomVector(n, &rng);
+  Vector b = a.Multiply(x_true);
+  BicgstabOptions options;
+  options.tol = 1e-10;
+  SolveStats stats;
+  auto x = Bicgstab(op, b, options, &stats);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(DistL2(*x, x_true), 1e-6) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BicgstabSizes,
+                         ::testing::Values<index_t>(1, 2, 8, 40, 150));
+
+TEST(Bicgstab, ResidualGuarantee) {
+  Rng rng(1109);
+  const index_t n = 80;
+  CsrMatrix a = test::RandomDiagDominant(n, 0.1, &rng);
+  CsrOperator op(a);
+  Vector b = test::RandomVector(n, &rng);
+  BicgstabOptions options;
+  options.tol = 1e-9;
+  SolveStats stats;
+  auto x = Bicgstab(op, b, options, &stats);
+  ASSERT_TRUE(x.ok());
+  ASSERT_TRUE(stats.converged);
+  EXPECT_LE(DistL2(a.Multiply(*x), b) / Norm2(b), 1e-8);
+}
+
+TEST(Bicgstab, ZeroRhs) {
+  CsrMatrix a = CsrMatrix::Identity(5);
+  CsrOperator op(a);
+  SolveStats stats;
+  auto x = Bicgstab(op, Vector(5, 0.0), BicgstabOptions(), &stats);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(stats.converged);
+  EXPECT_DOUBLE_EQ(Norm2(*x), 0.0);
+}
+
+TEST(Bicgstab, PreconditioningReducesIterations) {
+  Rng rng(1117);
+  const index_t n = 200;
+  CsrMatrix a = test::RandomDiagDominant(n, 0.04, &rng);
+  CsrOperator op(a);
+  Vector b = test::RandomVector(n, &rng);
+  BicgstabOptions options;
+  SolveStats plain, preconditioned;
+  auto x1 = Bicgstab(op, b, options, &plain);
+  auto ilu = Ilu0::Factor(a);
+  ASSERT_TRUE(ilu.ok());
+  auto x2 = Bicgstab(op, b, options, &preconditioned, &*ilu);
+  ASSERT_TRUE(x1.ok());
+  ASSERT_TRUE(x2.ok());
+  EXPECT_TRUE(preconditioned.converged);
+  EXPECT_LE(preconditioned.iterations, plain.iterations);
+  EXPECT_LT(DistL2(*x1, *x2), 1e-5);
+}
+
+TEST(Bicgstab, InitialGuessAccepted) {
+  Rng rng(1123);
+  const index_t n = 50;
+  CsrMatrix a = test::RandomDiagDominant(n, 0.15, &rng);
+  CsrOperator op(a);
+  Vector x_true = test::RandomVector(n, &rng);
+  Vector b = a.Multiply(x_true);
+  SolveStats warm;
+  auto x = Bicgstab(op, b, BicgstabOptions(), &warm, nullptr, &x_true);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, 1);
+}
+
+TEST(Bicgstab, IterationBudget) {
+  Rng rng(1129);
+  const index_t n = 120;
+  CsrMatrix a = test::RandomDiagDominant(n, 0.05, &rng);
+  CsrOperator op(a);
+  Vector b = test::RandomVector(n, &rng);
+  BicgstabOptions options;
+  options.tol = 1e-15;
+  options.max_iters = 1;
+  SolveStats stats;
+  auto x = Bicgstab(op, b, options, &stats);
+  ASSERT_TRUE(x.ok());
+  EXPECT_FALSE(stats.converged);
+}
+
+TEST(Bicgstab, TrackHistory) {
+  Rng rng(1151);
+  const index_t n = 60;
+  CsrMatrix a = test::RandomDiagDominant(n, 0.15, &rng);
+  CsrOperator op(a);
+  Vector b = test::RandomVector(n, &rng);
+  BicgstabOptions options;
+  options.track_history = true;
+  SolveStats stats;
+  auto x = Bicgstab(op, b, options, &stats);
+  ASSERT_TRUE(x.ok());
+  ASSERT_GE(stats.residual_history.size(), 2u);
+  EXPECT_LE(stats.residual_history.back(), options.tol);
+}
+
+TEST(Bicgstab, ShapeErrors) {
+  CsrMatrix a = CsrMatrix::Identity(3);
+  CsrOperator op(a);
+  SolveStats stats;
+  EXPECT_FALSE(Bicgstab(op, Vector(2, 1.0), BicgstabOptions(), &stats).ok());
+  Vector x0(5, 0.0);
+  EXPECT_FALSE(
+      Bicgstab(op, Vector(3, 1.0), BicgstabOptions(), &stats, nullptr, &x0)
+          .ok());
+  IdentityPreconditioner wrong(7);
+  EXPECT_FALSE(
+      Bicgstab(op, Vector(3, 1.0), BicgstabOptions(), &stats, &wrong).ok());
+}
+
+TEST(Bicgstab, AgreesWithGmresOnRwrSystem) {
+  Graph g = test::SmallRmat(150, 600, 0.2, 1153);
+  CsrMatrix h = BuildH(g, 0.05);
+  CsrOperator op(h);
+  Vector b = StartingVector(150, 7, 0.05);
+  SolveStats s1, s2;
+  auto x_bi = Bicgstab(op, b, BicgstabOptions(), &s1);
+  auto x_gm = Gmres(op, b, GmresOptions(), &s2);
+  ASSERT_TRUE(x_bi.ok());
+  ASSERT_TRUE(x_gm.ok());
+  ASSERT_TRUE(s1.converged);
+  ASSERT_TRUE(s2.converged);
+  EXPECT_LT(DistL2(*x_bi, *x_gm), 1e-6);
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+CsrMatrix AdjFromEdges(index_t n, const std::vector<Edge>& edges) {
+  auto g = Graph::FromEdges(n, edges);
+  BEPI_CHECK(g.ok());
+  return g->adjacency();
+}
+
+TEST(Symmetrize, PatternIsSymmetricWithUnitValues) {
+  CsrMatrix a = AdjFromEdges(3, {{0, 1}, {2, 1}});
+  CsrMatrix sym = SymmetrizePattern(a);
+  EXPECT_DOUBLE_EQ(sym.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(sym.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sym.At(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(sym.At(2, 1), 1.0);
+  EXPECT_EQ(sym.nnz(), 4);
+}
+
+TEST(Components, TwoIslands) {
+  CsrMatrix sym = SymmetrizePattern(AdjFromEdges(5, {{0, 1}, {1, 2}, {3, 4}}));
+  ComponentInfo info = ConnectedComponents(sym);
+  EXPECT_EQ(info.num_components, 2);
+  EXPECT_EQ(info.component_id[0], info.component_id[1]);
+  EXPECT_EQ(info.component_id[1], info.component_id[2]);
+  EXPECT_EQ(info.component_id[3], info.component_id[4]);
+  EXPECT_NE(info.component_id[0], info.component_id[3]);
+  EXPECT_EQ(info.sizes[static_cast<std::size_t>(info.component_id[0])], 3);
+  EXPECT_EQ(info.sizes[static_cast<std::size_t>(info.component_id[3])], 2);
+}
+
+TEST(Components, IsolatedNodesAreSingletons) {
+  CsrMatrix sym = SymmetrizePattern(AdjFromEdges(4, {{0, 1}}));
+  ComponentInfo info = ConnectedComponents(sym);
+  EXPECT_EQ(info.num_components, 3);
+}
+
+TEST(Components, DirectionIgnored) {
+  // 0 -> 1 -> 2 with no back edges is still one undirected component.
+  CsrMatrix sym = SymmetrizePattern(AdjFromEdges(3, {{0, 1}, {1, 2}}));
+  ComponentInfo info = ConnectedComponents(sym);
+  EXPECT_EQ(info.num_components, 1);
+  EXPECT_EQ(info.sizes[0], 3);
+}
+
+TEST(Components, SizesSumToNodeCount) {
+  Graph g = test::SmallRmat(300, 600, 0.2, 557);
+  ComponentInfo info = ConnectedComponents(SymmetrizePattern(g.adjacency()));
+  index_t total = 0;
+  for (index_t s : info.sizes) total += s;
+  EXPECT_EQ(total, 300);
+  EXPECT_EQ(static_cast<index_t>(info.sizes.size()), info.num_components);
+}
+
+TEST(Components, MaskedExcludesInactive) {
+  // Path 0-1-2-3; masking out node 1 splits {0} and {2,3}.
+  CsrMatrix sym = SymmetrizePattern(AdjFromEdges(4, {{0, 1}, {1, 2}, {2, 3}}));
+  std::vector<bool> active{true, false, true, true};
+  ComponentInfo info = ConnectedComponentsMasked(sym, active);
+  EXPECT_EQ(info.num_components, 2);
+  EXPECT_EQ(info.component_id[1], -1);
+  EXPECT_NE(info.component_id[0], info.component_id[2]);
+  EXPECT_EQ(info.component_id[2], info.component_id[3]);
+}
+
+TEST(Components, AllMasked) {
+  CsrMatrix sym = SymmetrizePattern(AdjFromEdges(3, {{0, 1}}));
+  std::vector<bool> active(3, false);
+  ComponentInfo info = ConnectedComponentsMasked(sym, active);
+  EXPECT_EQ(info.num_components, 0);
+  for (index_t id : info.component_id) EXPECT_EQ(id, -1);
+}
+
+TEST(Components, EmptyGraph) {
+  ComponentInfo info = ConnectedComponents(CsrMatrix::Zero(0, 0));
+  EXPECT_EQ(info.num_components, 0);
+}
+
+TEST(Components, ComponentIdsAreDenseRange) {
+  Graph g = test::SmallRmat(200, 350, 0.3, 563);
+  ComponentInfo info = ConnectedComponents(SymmetrizePattern(g.adjacency()));
+  std::vector<bool> seen(static_cast<std::size_t>(info.num_components), false);
+  for (index_t id : info.component_id) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, info.num_components);
+    seen[static_cast<std::size_t>(id)] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace bepi

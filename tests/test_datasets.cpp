@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/datasets.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+TEST(Datasets, RegistryHasEightPaperDatasets) {
+  const auto& specs = PaperDatasets();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs.front().name, "Slashdot-sim");
+  EXPECT_EQ(specs.back().name, "Friendster-sim");
+  // Ordered smallest to largest by edges, like the paper's Table 2.
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_GT(specs[i].num_edges, specs[i - 1].num_edges);
+  }
+}
+
+TEST(Datasets, AppendixRegistry) {
+  const auto& specs = AppendixDatasets();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "Gnutella-sim");
+}
+
+TEST(Datasets, FindByNameCaseInsensitive) {
+  auto spec = FindDataset("slashdot-SIM");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "Slashdot-sim");
+  auto appendix = FindDataset("digg-sim");
+  ASSERT_TRUE(appendix.ok());
+  EXPECT_EQ(FindDataset("no-such-graph").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Datasets, GenerationIsDeterministicAndSized) {
+  const DatasetSpec& spec = PaperDatasets()[0];  // Slashdot-sim
+  auto a = GenerateDataset(spec);
+  auto b = GenerateDataset(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_nodes(), spec.num_nodes);
+  EXPECT_EQ(CsrMatrix::MaxAbsDiff(a->adjacency(), b->adjacency()), 0.0);
+  // Edge count in the right ballpark (deadend adjustment shifts it).
+  EXPECT_GT(a->num_edges(), spec.num_edges / 3);
+  // Deadend share matches the spec closely (the generator adjusts for
+  // R-MAT's natural deadends).
+  EXPECT_NEAR(static_cast<real_t>(a->Deadends().size()) /
+                  static_cast<real_t>(spec.num_nodes),
+              spec.deadend_fraction, 0.02);
+}
+
+TEST(Datasets, ScaleSpecMultipliesCounts) {
+  DatasetSpec spec = PaperDatasets()[0];
+  DatasetSpec scaled = ScaleSpec(spec, 0.5);
+  EXPECT_EQ(scaled.num_nodes, spec.num_nodes / 2);
+  EXPECT_EQ(scaled.num_edges, spec.num_edges / 2);
+  EXPECT_EQ(scaled.name, spec.name);
+  DatasetSpec tiny = ScaleSpec(spec, 0.0);
+  EXPECT_GE(tiny.num_nodes, 1);
+}
+
+TEST(Datasets, BenchScaleFromEnv) {
+  unsetenv("BEPI_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0);
+  setenv("BEPI_BENCH_SCALE", "quick", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0);
+  setenv("BEPI_BENCH_SCALE", "large", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 3.0);
+  setenv("BEPI_BENCH_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 0.25);
+  setenv("BEPI_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0);
+  unsetenv("BEPI_BENCH_SCALE");
+}
+
+TEST(Datasets, HubRatiosMatchPaperTable2) {
+  auto slashdot = FindDataset("Slashdot-sim");
+  ASSERT_TRUE(slashdot.ok());
+  EXPECT_DOUBLE_EQ(slashdot->hub_ratio, 0.30);
+  auto wikilink = FindDataset("WikiLink-sim");
+  ASSERT_TRUE(wikilink.ok());
+  EXPECT_DOUBLE_EQ(wikilink->hub_ratio, 0.20);
+}
+
+}  // namespace
+}  // namespace bepi

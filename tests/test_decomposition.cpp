@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "core/decomposition.hpp"
+#include "core/rwr.hpp"
+#include "solver/dense_lu.hpp"
+#include "sparse/spgemm.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+HubSpokeDecomposition BuildFor(const Graph& g, real_t k = 0.2,
+                               real_t c = 0.05) {
+  DecompositionOptions options;
+  options.restart_prob = c;
+  options.hub_ratio = k;
+  auto dec = BuildDecomposition(g, options, nullptr);
+  BEPI_CHECK(dec.ok());
+  return std::move(dec).value();
+}
+
+TEST(Decomposition, PartitionSizesAreConsistent) {
+  Graph g = test::SmallRmat(200, 900, 0.25, 617);
+  HubSpokeDecomposition dec = BuildFor(g);
+  EXPECT_EQ(dec.n1 + dec.n2 + dec.n3, 200);
+  EXPECT_EQ(dec.n3, static_cast<index_t>(g.Deadends().size()));
+  EXPECT_EQ(dec.h11.rows(), dec.n1);
+  EXPECT_EQ(dec.h11.cols(), dec.n1);
+  EXPECT_EQ(dec.h12.rows(), dec.n1);
+  EXPECT_EQ(dec.h12.cols(), dec.n2);
+  EXPECT_EQ(dec.h21.rows(), dec.n2);
+  EXPECT_EQ(dec.h21.cols(), dec.n1);
+  EXPECT_EQ(dec.h22.rows(), dec.n2);
+  EXPECT_EQ(dec.h31.rows(), dec.n3);
+  EXPECT_EQ(dec.h32.rows(), dec.n3);
+  EXPECT_EQ(dec.schur.rows(), dec.n2);
+  EXPECT_EQ(dec.schur.cols(), dec.n2);
+  EXPECT_TRUE(IsPermutation(dec.perm));
+}
+
+TEST(Decomposition, ReorderedHMatchesPartitions) {
+  // Reassemble H from the partitions and compare against H built directly
+  // in the permuted order. Also verifies H13 = 0, H23 = 0, H33 = I.
+  Graph g = test::SmallRmat(120, 500, 0.3, 619);
+  const real_t c = 0.05;
+  HubSpokeDecomposition dec = BuildFor(g, 0.2, c);
+  auto normalized_perm =
+      PermuteSymmetric(g.RowNormalizedAdjacency(), dec.perm);
+  ASSERT_TRUE(normalized_perm.ok());
+  CsrMatrix h = BuildHFromNormalized(*normalized_perm, c);
+
+  const index_t b1 = dec.n1, b2 = dec.n1 + dec.n2, b3 = dec.n1 + dec.n2 + dec.n3;
+  EXPECT_LT(CsrMatrix::MaxAbsDiff(*ExtractBlock(h, 0, b1, 0, b1), dec.h11),
+            1e-14);
+  EXPECT_LT(CsrMatrix::MaxAbsDiff(*ExtractBlock(h, 0, b1, b1, b2), dec.h12),
+            1e-14);
+  EXPECT_LT(CsrMatrix::MaxAbsDiff(*ExtractBlock(h, b1, b2, 0, b1), dec.h21),
+            1e-14);
+  EXPECT_LT(CsrMatrix::MaxAbsDiff(*ExtractBlock(h, b1, b2, b1, b2), dec.h22),
+            1e-14);
+  // The deadend columns: H13 and H23 are structurally zero; H33 = I.
+  EXPECT_EQ(ExtractBlock(h, 0, b1, b2, b3)->nnz(), 0);
+  EXPECT_EQ(ExtractBlock(h, b1, b2, b2, b3)->nnz(), 0);
+  auto h33 = ExtractBlock(h, b2, b3, b2, b3);
+  EXPECT_LT(CsrMatrix::MaxAbsDiff(*h33, CsrMatrix::Identity(dec.n3)), 1e-14);
+}
+
+TEST(Decomposition, H11IsBlockDiagonalWithReportedBlocks) {
+  Graph g = test::SmallRmat(250, 1100, 0.2, 631);
+  HubSpokeDecomposition dec = BuildFor(g);
+  index_t total = 0;
+  for (index_t s : dec.block_sizes) total += s;
+  EXPECT_EQ(total, dec.n1);
+  // No entry of H11 may cross a block boundary.
+  std::vector<index_t> block_of(static_cast<std::size_t>(dec.n1));
+  index_t start = 0, b = 0;
+  for (index_t s : dec.block_sizes) {
+    for (index_t i = 0; i < s; ++i) {
+      block_of[static_cast<std::size_t>(start + i)] = b;
+    }
+    start += s;
+    ++b;
+  }
+  for (index_t r = 0; r < dec.n1; ++r) {
+    for (index_t p = dec.h11.row_ptr()[static_cast<std::size_t>(r)];
+         p < dec.h11.row_ptr()[static_cast<std::size_t>(r) + 1]; ++p) {
+      const index_t col = dec.h11.col_idx()[static_cast<std::size_t>(p)];
+      EXPECT_EQ(block_of[static_cast<std::size_t>(r)],
+                block_of[static_cast<std::size_t>(col)]);
+    }
+  }
+}
+
+TEST(Decomposition, H11InverseIsExact) {
+  Graph g = test::SmallRmat(150, 600, 0.25, 641);
+  HubSpokeDecomposition dec = BuildFor(g);
+  if (dec.n1 == 0) GTEST_SKIP() << "no spokes in this instance";
+  Rng rng(643);
+  Vector v = test::RandomVector(dec.n1, &rng);
+  Vector x = dec.ApplyH11Inverse(v);
+  Vector back = dec.h11.Multiply(x);
+  EXPECT_LT(DistL2(back, v), 1e-10);
+}
+
+TEST(Decomposition, SchurMatchesDenseOracle) {
+  Graph g = test::SmallRmat(100, 420, 0.2, 647);
+  HubSpokeDecomposition dec = BuildFor(g);
+  if (dec.n1 == 0 || dec.n2 == 0) GTEST_SKIP();
+  // Dense S = H22 - H21 H11^{-1} H12.
+  auto h11_lu = DenseLu::Factor(dec.h11.ToDense());
+  ASSERT_TRUE(h11_lu.ok());
+  DenseMatrix h11_inv = h11_lu->Inverse();
+  DenseMatrix product =
+      dec.h21.ToDense().Multiply(h11_inv.Multiply(dec.h12.ToDense()));
+  DenseMatrix expected = dec.h22.ToDense();
+  expected.Add(-1.0, product);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(dec.schur.ToDense(), expected), 1e-10);
+}
+
+TEST(Decomposition, BlockEliminationSolvesFullSystem) {
+  // Lemma 1: solving via the decomposition equals solving H r = c q.
+  Graph g = test::SmallRmat(90, 400, 0.3, 653);
+  const real_t c = 0.05;
+  HubSpokeDecomposition dec = BuildFor(g, 0.25, c);
+  auto normalized_perm =
+      PermuteSymmetric(g.RowNormalizedAdjacency(), dec.perm);
+  ASSERT_TRUE(normalized_perm.ok());
+  CsrMatrix h = BuildHFromNormalized(*normalized_perm, c);
+  auto h_lu = DenseLu::Factor(h.ToDense());
+  ASSERT_TRUE(h_lu.ok());
+
+  Rng rng(659);
+  Vector q = test::RandomVector(90, &rng);
+  Vector q1(q.begin(), q.begin() + dec.n1);
+  Vector q2(q.begin() + dec.n1, q.begin() + dec.n1 + dec.n2);
+  Vector q3(q.begin() + dec.n1 + dec.n2, q.end());
+
+  // Block elimination with a dense Schur solve (no iterative error).
+  Vector q2_tilde = q2;
+  dec.h21.MultiplyAdd(-1.0, dec.ApplyH11Inverse(q1), &q2_tilde);
+  auto s_lu = DenseLu::Factor(dec.schur.ToDense());
+  ASSERT_TRUE(s_lu.ok());
+  Vector r2 = s_lu->Solve(q2_tilde);
+  Vector rhs1 = q1;
+  dec.h12.MultiplyAdd(-1.0, r2, &rhs1);
+  Vector r1 = dec.ApplyH11Inverse(rhs1);
+  Vector r3 = q3;
+  dec.h31.MultiplyAdd(-1.0, r1, &r3);
+  dec.h32.MultiplyAdd(-1.0, r2, &r3);
+
+  Vector r_block;
+  r_block.insert(r_block.end(), r1.begin(), r1.end());
+  r_block.insert(r_block.end(), r2.begin(), r2.end());
+  r_block.insert(r_block.end(), r3.begin(), r3.end());
+
+  Vector r_direct = h_lu->Solve(q);
+  EXPECT_LT(DistL2(r_block, r_direct), 1e-9);
+}
+
+TEST(Decomposition, BudgetGateFires) {
+  Graph g = test::SmallRmat(150, 700, 0.1, 661);
+  DecompositionOptions options;
+  MemoryBudget tiny(64);  // bytes
+  auto dec = BuildDecomposition(g, options, &tiny);
+  EXPECT_EQ(dec.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Decomposition, InvalidInputs) {
+  auto empty = Graph::FromEdges(0, {});
+  ASSERT_TRUE(empty.ok());
+  DecompositionOptions options;
+  EXPECT_FALSE(BuildDecomposition(*empty, options, nullptr).ok());
+
+  Graph g = test::SmallRmat(10, 30, 0.0, 673);
+  options.restart_prob = 0.0;
+  EXPECT_FALSE(BuildDecomposition(g, options, nullptr).ok());
+  options.restart_prob = 1.0;
+  EXPECT_FALSE(BuildDecomposition(g, options, nullptr).ok());
+}
+
+TEST(Decomposition, AllDeadendGraph) {
+  auto g = Graph::FromEdges(5, {});
+  ASSERT_TRUE(g.ok());
+  DecompositionOptions options;
+  auto dec = BuildDecomposition(*g, options, nullptr);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec->n3, 5);
+  EXPECT_EQ(dec->n1 + dec->n2, 0);
+}
+
+TEST(Decomposition, TimingBreakdownPopulated) {
+  Graph g = test::SmallRmat(120, 500, 0.2, 677);
+  HubSpokeDecomposition dec = BuildFor(g);
+  EXPECT_GE(dec.reorder_seconds, 0.0);
+  EXPECT_GE(dec.factor_seconds, 0.0);
+  EXPECT_GE(dec.schur_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace bepi

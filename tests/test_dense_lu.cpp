@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "solver/dense_lu.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+TEST(DenseLu, SolvesRandomSystems) {
+  Rng rng(167);
+  for (index_t n : {1, 2, 5, 20}) {
+    DenseMatrix a = test::RandomDiagDominant(n, 0.5, &rng).ToDense();
+    auto lu = DenseLu::Factor(a);
+    ASSERT_TRUE(lu.ok());
+    Vector x_true = test::RandomVector(n, &rng);
+    Vector b = a.Multiply(x_true);
+    Vector x = lu->Solve(b);
+    EXPECT_LT(DistL2(x, x_true), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(DenseLu, SolveTransposeMatchesTransposedSystem) {
+  Rng rng(173);
+  const index_t n = 12;
+  DenseMatrix a = test::RandomDiagDominant(n, 0.4, &rng).ToDense();
+  auto lu = DenseLu::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  Vector x_true = test::RandomVector(n, &rng);
+  Vector b = a.Transpose().Multiply(x_true);
+  Vector x = lu->SolveTranspose(b);
+  EXPECT_LT(DistL2(x, x_true), 1e-9);
+}
+
+TEST(DenseLu, InverseTimesMatrixIsIdentity) {
+  Rng rng(179);
+  const index_t n = 10;
+  DenseMatrix a = test::RandomDiagDominant(n, 0.5, &rng).ToDense();
+  auto lu = DenseLu::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  DenseMatrix prod = lu->Inverse().Multiply(a);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(prod, DenseMatrix::Identity(n)), 1e-9);
+}
+
+TEST(DenseLu, FactorsReassemble) {
+  Rng rng(181);
+  const index_t n = 8;
+  DenseMatrix a = test::RandomDiagDominant(n, 0.6, &rng).ToDense();
+  auto lu = DenseLu::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  DenseMatrix reassembled = lu->LowerFactor().Multiply(lu->UpperFactor());
+  // PA = LU, so row i of reassembled equals row pivots()[i] of A.
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(reassembled.At(i, j), a.At(lu->pivots()[static_cast<std::size_t>(i)], j),
+                  1e-10);
+    }
+  }
+}
+
+TEST(DenseLu, PivotingHandlesZeroLeadingEntry) {
+  DenseMatrix a(2, 2);
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0;  // antidiagonal: needs a row swap
+  auto lu = DenseLu::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  Vector x = lu->Solve({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(x[0], 4.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(DenseLu, SingularFails) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1.0;
+  a.At(1, 0) = 2.0;  // second column all zero
+  EXPECT_EQ(DenseLu::Factor(a).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DenseLu, NonSquareFails) {
+  EXPECT_EQ(DenseLu::Factor(DenseMatrix(2, 3)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TriangularInverse, LowerUnitAndNonUnit) {
+  Rng rng(191);
+  const index_t n = 9;
+  // Build a lower triangular matrix with unit diagonal.
+  DenseMatrix l(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    l.At(i, i) = 1.0;
+    for (index_t j = 0; j < i; ++j) {
+      l.At(i, j) = rng.NextDouble() - 0.5;
+    }
+  }
+  auto inv = InvertLowerTriangular(l, /*unit_diagonal=*/true);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(inv->Multiply(l), DenseMatrix::Identity(n)),
+            1e-10);
+
+  // Non-unit diagonal.
+  for (index_t i = 0; i < n; ++i) l.At(i, i) = 1.0 + rng.NextDouble();
+  auto inv2 = InvertLowerTriangular(l, /*unit_diagonal=*/false);
+  ASSERT_TRUE(inv2.ok());
+  EXPECT_LT(
+      DenseMatrix::MaxAbsDiff(inv2->Multiply(l), DenseMatrix::Identity(n)),
+      1e-10);
+}
+
+TEST(TriangularInverse, Upper) {
+  Rng rng(193);
+  const index_t n = 9;
+  DenseMatrix u(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    u.At(i, i) = 1.0 + rng.NextDouble();
+    for (index_t j = i + 1; j < n; ++j) u.At(i, j) = rng.NextDouble() - 0.5;
+  }
+  auto inv = InvertUpperTriangular(u);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(u.Multiply(*inv), DenseMatrix::Identity(n)),
+            1e-10);
+}
+
+TEST(TriangularInverse, SingularRejected) {
+  DenseMatrix u(2, 2);
+  u.At(0, 0) = 1.0;  // u(1,1) == 0
+  EXPECT_EQ(InvertUpperTriangular(u).status().code(),
+            StatusCode::kFailedPrecondition);
+  DenseMatrix l(2, 2);
+  l.At(1, 1) = 1.0;  // l(0,0) == 0
+  EXPECT_EQ(InvertLowerTriangular(l, false).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TriangularInverse, NonSquareRejected) {
+  EXPECT_FALSE(InvertUpperTriangular(DenseMatrix(2, 3)).ok());
+  EXPECT_FALSE(InvertLowerTriangular(DenseMatrix(3, 2), true).ok());
+}
+
+}  // namespace
+}  // namespace bepi

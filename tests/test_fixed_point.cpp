@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "solver/power.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+/// Operator y = alpha * A x for a row-substochastic A.
+class ScaledCsrOp final : public LinearOperator {
+ public:
+  ScaledCsrOp(const CsrMatrix& m, real_t alpha) : m_(m), alpha_(alpha) {}
+  index_t size() const override { return m_.rows(); }
+  void Apply(const Vector& x, Vector* y) const override {
+    *y = m_.Multiply(x);
+    Scale(alpha_, y);
+  }
+
+ private:
+  const CsrMatrix& m_;
+  real_t alpha_;
+};
+
+TEST(FixedPoint, SolvesContractiveSystem) {
+  // x = G x + f with G = 0.9 * (row-stochastic matrix)^T converges to the
+  // solution of (I - G) x = f.
+  Graph g = test::SmallRmat(40, 160, 0.0, 367);
+  CsrMatrix at = g.RowNormalizedAdjacency().Transpose();
+  ScaledCsrOp op(at, 0.9);
+  Rng rng(373);
+  Vector f = test::RandomVector(40, &rng);
+  FixedPointOptions options;
+  options.tol = 1e-12;
+  SolveStats stats;
+  auto x = FixedPointIteration(op, f, options, &stats);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(stats.converged);
+  // Verify the fixed-point equation.
+  Vector gx(40);
+  op.Apply(*x, &gx);
+  for (std::size_t i = 0; i < 40; ++i) gx[i] += f[i];
+  EXPECT_LT(DistL2(gx, *x), 1e-10);
+}
+
+TEST(FixedPoint, ZeroOperatorConvergesImmediately) {
+  CsrMatrix zero = CsrMatrix::Zero(5, 5);
+  ScaledCsrOp op(zero, 1.0);
+  Vector f{1.0, 2.0, 3.0, 4.0, 5.0};
+  SolveStats stats;
+  auto x = FixedPointIteration(op, f, FixedPointOptions(), &stats);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.iterations, 1);
+  EXPECT_LT(DistL2(*x, f), 1e-15);
+}
+
+TEST(FixedPoint, IterationCapReturnsUnconverged) {
+  Graph g = test::SmallRmat(30, 120, 0.0, 379);
+  CsrMatrix at = g.RowNormalizedAdjacency().Transpose();
+  ScaledCsrOp op(at, 0.999);  // very slow contraction
+  Rng rng(383);
+  Vector f = test::RandomVector(30, &rng);
+  FixedPointOptions options;
+  options.tol = 1e-14;
+  options.max_iters = 3;
+  SolveStats stats;
+  auto x = FixedPointIteration(op, f, options, &stats);
+  ASSERT_TRUE(x.ok());
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.iterations, 3);
+}
+
+TEST(FixedPoint, HistoryIsContracting) {
+  Graph g = test::SmallRmat(30, 150, 0.0, 389);
+  CsrMatrix at = g.RowNormalizedAdjacency().Transpose();
+  ScaledCsrOp op(at, 0.5);
+  Rng rng(397);
+  Vector f = test::RandomVector(30, &rng);
+  FixedPointOptions options;
+  options.track_history = true;
+  SolveStats stats;
+  auto x = FixedPointIteration(op, f, options, &stats);
+  ASSERT_TRUE(x.ok());
+  ASSERT_GE(stats.residual_history.size(), 2u);
+  // Deltas shrink geometrically (allow slack for the first steps).
+  EXPECT_LT(stats.residual_history.back(), stats.residual_history.front());
+}
+
+TEST(FixedPoint, SizeMismatchFails) {
+  CsrMatrix zero = CsrMatrix::Zero(5, 5);
+  ScaledCsrOp op(zero, 1.0);
+  SolveStats stats;
+  EXPECT_FALSE(
+      FixedPointIteration(op, Vector(3, 0.0), FixedPointOptions(), &stats)
+          .ok());
+}
+
+TEST(Preconditioners, JacobiInvertsDiagonal) {
+  CsrMatrix d = CsrMatrix::Diagonal({2.0, 4.0, 8.0});
+  JacobiPreconditioner jacobi(d);
+  Vector r{2.0, 4.0, 8.0};
+  Vector z;
+  jacobi.Apply(r, &z);
+  EXPECT_LT(DistL2(z, {1.0, 1.0, 1.0}), 1e-15);
+  EXPECT_EQ(jacobi.size(), 3);
+}
+
+TEST(Preconditioners, JacobiZeroDiagonalTreatedAsOne) {
+  CsrMatrix z = CsrMatrix::Zero(2, 2);
+  JacobiPreconditioner jacobi(z);
+  Vector r{5.0, -3.0};
+  Vector out;
+  jacobi.Apply(r, &out);
+  EXPECT_LT(DistL2(out, r), 1e-15);
+}
+
+TEST(Preconditioners, IdentityIsNoop) {
+  IdentityPreconditioner id(3);
+  Vector r{1.0, 2.0, 3.0};
+  Vector z;
+  id.Apply(r, &z);
+  EXPECT_EQ(z, r);
+  EXPECT_EQ(id.size(), 3);
+}
+
+TEST(Operators, CsrOperatorAppliesMatrix) {
+  CsrMatrix d = CsrMatrix::Diagonal({1.0, 2.0, 3.0});
+  CsrOperator op(d);
+  EXPECT_EQ(op.size(), 3);
+  Vector y;
+  op.Apply({1.0, 1.0, 1.0}, &y);
+  EXPECT_LT(DistL2(y, {1.0, 2.0, 3.0}), 1e-15);
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,176 @@
+// Randomized cross-module property sweeps ("fuzz" suite): wide seed-
+// parameterized checks of algebraic identities and solver agreement that
+// individual unit tests cover only pointwise.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/bear.hpp"
+#include "core/bepi.hpp"
+#include "core/exact.hpp"
+#include "core/lu_rwr.hpp"
+#include "graph/components.hpp"
+#include "solver/sparse_lu.hpp"
+#include "sparse/spgemm.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, FormatConversionsAgree) {
+  Rng rng(GetParam());
+  const index_t rows = rng.UniformIndex(1, 40);
+  const index_t cols = rng.UniformIndex(1, 40);
+  CsrMatrix a = test::RandomSparse(rows, cols, 0.05 + 0.4 * rng.NextDouble(),
+                                   &rng);
+  // CSR -> CSC -> CSR, CSR -> dense -> CSR, transpose twice.
+  EXPECT_EQ(CsrMatrix::MaxAbsDiff(a, a.ToCsc().ToCsr()), 0.0);
+  EXPECT_EQ(CsrMatrix::MaxAbsDiff(a, CsrMatrix::FromDense(a.ToDense())), 0.0);
+  EXPECT_EQ(CsrMatrix::MaxAbsDiff(a, a.Transpose().Transpose()), 0.0);
+  // SpMV equals dense multiply.
+  Vector x = test::RandomVector(cols, &rng);
+  EXPECT_LT(DistL2(a.Multiply(x), a.ToDense().Multiply(x)), 1e-11);
+}
+
+TEST_P(FuzzSeeds, BlockPartitionReassembles) {
+  Rng rng(GetParam() + 1);
+  const index_t n = rng.UniformIndex(4, 50);
+  CsrMatrix a = test::RandomSparse(n, n, 0.3, &rng);
+  const index_t split_row = rng.UniformIndex(0, n);
+  const index_t split_col = rng.UniformIndex(0, n);
+  index_t total = 0;
+  for (auto [rb, re] : {std::pair<index_t, index_t>{0, split_row},
+                        {split_row, n}}) {
+    for (auto [cb, ce] : {std::pair<index_t, index_t>{0, split_col},
+                          {split_col, n}}) {
+      auto block = ExtractBlock(a, rb, re, cb, ce);
+      ASSERT_TRUE(block.ok());
+      total += block->nnz();
+      // Every block entry matches the parent.
+      for (index_t r = 0; r < block->rows(); ++r) {
+        for (index_t p = block->row_ptr()[static_cast<std::size_t>(r)];
+             p < block->row_ptr()[static_cast<std::size_t>(r) + 1]; ++p) {
+          const index_t c = block->col_idx()[static_cast<std::size_t>(p)];
+          EXPECT_DOUBLE_EQ(block->values()[static_cast<std::size_t>(p)],
+                           a.At(rb + r, cb + c));
+        }
+      }
+    }
+  }
+  EXPECT_EQ(total, a.nnz());
+}
+
+TEST_P(FuzzSeeds, PermutationConjugationPreservesSpectrumProxy) {
+  // P A P^T has the same row-sum multiset and Frobenius norm as A.
+  Rng rng(GetParam() + 2);
+  const index_t n = rng.UniformIndex(2, 60);
+  CsrMatrix a = test::RandomSparse(n, n, 0.3, &rng);
+  Permutation perm = IdentityPermutation(n);
+  rng.Shuffle(&perm);
+  auto b = PermuteSymmetric(a, perm);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->nnz(), a.nnz());
+  EXPECT_NEAR(b->ToDense().FrobeniusNorm(), a.ToDense().FrobeniusNorm(),
+              1e-10);
+  Vector sums_a = a.RowSums();
+  Vector sums_b = b->RowSums();
+  std::sort(sums_a.begin(), sums_a.end());
+  std::sort(sums_b.begin(), sums_b.end());
+  EXPECT_LT(DistL2(sums_a, sums_b), 1e-10);
+}
+
+TEST_P(FuzzSeeds, SparseLuSolvesWhatItFactors) {
+  Rng rng(GetParam() + 3);
+  const index_t n = rng.UniformIndex(1, 80);
+  CsrMatrix a = test::RandomDiagDominant(n, 0.05 + 0.2 * rng.NextDouble(),
+                                         &rng);
+  auto lu = SparseLu::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  Vector x_true = test::RandomVector(n, &rng);
+  auto x = lu->Solve(a.Multiply(x_true));
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT(DistL2(*x, x_true), 1e-7);
+}
+
+TEST_P(FuzzSeeds, AllExactSolversAgreeOnRandomGraphs) {
+  Rng rng(GetParam() + 4);
+  const index_t n = rng.UniformIndex(20, 90);
+  const index_t m = n * rng.UniformIndex(2, 6);
+  const real_t deadend_fraction = 0.4 * rng.NextDouble();
+  Graph g = test::SmallRmat(n, m, deadend_fraction, GetParam() + 5);
+
+  RwrOptions base;
+  base.restart_prob = 0.05 + 0.4 * rng.NextDouble();
+  ExactSolver exact(base);
+  ASSERT_TRUE(exact.Preprocess(g).ok());
+
+  std::vector<std::unique_ptr<RwrSolver>> solvers;
+  BepiOptions bepi_options;
+  bepi_options.restart_prob = base.restart_prob;
+  bepi_options.hub_ratio = 0.05 + 0.4 * rng.NextDouble();
+  solvers.push_back(std::make_unique<BepiSolver>(bepi_options));
+  BearOptions bear_options;
+  bear_options.restart_prob = base.restart_prob;
+  bear_options.hub_ratio = 0.1;
+  solvers.push_back(std::make_unique<BearSolver>(bear_options));
+  LuSolverOptions lu_options;
+  lu_options.restart_prob = base.restart_prob;
+  solvers.push_back(std::make_unique<LuSolver>(lu_options));
+
+  const index_t seed_node = rng.UniformIndex(0, n - 1);
+  auto expected = exact.Query(seed_node);
+  ASSERT_TRUE(expected.ok());
+  for (auto& solver : solvers) {
+    ASSERT_TRUE(solver->Preprocess(g).ok()) << solver->name();
+    auto r = solver->Query(seed_node);
+    ASSERT_TRUE(r.ok()) << solver->name();
+    EXPECT_LT(DistL2(*expected, *r), 1e-6)
+        << solver->name() << " n=" << n << " c=" << base.restart_prob;
+  }
+}
+
+TEST_P(FuzzSeeds, RwrSolutionInvariants) {
+  Rng rng(GetParam() + 6);
+  const index_t n = rng.UniformIndex(30, 120);
+  Graph g = test::SmallRmat(n, 4 * n, 0.3 * rng.NextDouble(),
+                            GetParam() + 7);
+  BepiOptions options;
+  BepiSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  const index_t seed_node = rng.UniformIndex(0, n - 1);
+  auto r = solver.Query(seed_node);
+  ASSERT_TRUE(r.ok());
+  // Non-negativity, mass bound, restart-mass floor at the seed, and the
+  // defining linear system.
+  for (real_t v : *r) EXPECT_GT(v, -1e-9);
+  EXPECT_LE(Norm1(*r), 1.0 + 1e-7);
+  EXPECT_GE((*r)[static_cast<std::size_t>(seed_node)], 0.05 - 1e-9);
+  EXPECT_LT(RwrResidual(g, 0.05, seed_node, *r), 1e-6);
+}
+
+TEST_P(FuzzSeeds, SccRefinesWeakComponents) {
+  Rng rng(GetParam() + 8);
+  const index_t n = rng.UniformIndex(10, 150);
+  Graph g = test::SmallRmat(n, 3 * n, 0.2, GetParam() + 9);
+  ComponentInfo weak = ConnectedComponents(SymmetrizePattern(g.adjacency()));
+  ComponentInfo strong = StronglyConnectedComponents(g.adjacency());
+  EXPECT_GE(strong.num_components, weak.num_components);
+  // Nodes in one SCC share a weak component.
+  for (const Edge& e : g.EdgeList()) {
+    if (strong.component_id[static_cast<std::size_t>(e.src)] ==
+        strong.component_id[static_cast<std::size_t>(e.dst)]) {
+      EXPECT_EQ(weak.component_id[static_cast<std::size_t>(e.src)],
+                weak.component_id[static_cast<std::size_t>(e.dst)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FuzzSeeds,
+    ::testing::Values<std::uint64_t>(7001, 7009, 7013, 7019, 7027, 7039,
+                                     7043, 7057, 7069, 7079));
+
+}  // namespace
+}  // namespace bepi

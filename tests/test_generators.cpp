@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+TEST(Rmat, ProducesRequestedCounts) {
+  Rng rng(463);
+  RmatOptions options;
+  options.num_nodes = 500;
+  options.num_edges = 2000;
+  auto g = GenerateRmat(options, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 500);
+  EXPECT_EQ(g->num_edges(), 2000);
+}
+
+TEST(Rmat, DeterministicPerSeed) {
+  RmatOptions options;
+  options.num_nodes = 100;
+  options.num_edges = 400;
+  Rng rng1(7), rng2(7), rng3(8);
+  auto a = GenerateRmat(options, &rng1);
+  auto b = GenerateRmat(options, &rng2);
+  auto c = GenerateRmat(options, &rng3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(CsrMatrix::MaxAbsDiff(a->adjacency(), b->adjacency()), 0.0);
+  EXPECT_NE(CsrMatrix::MaxAbsDiff(a->adjacency(), c->adjacency()), 0.0);
+}
+
+TEST(Rmat, NoSelfLoopsByDefault) {
+  Rng rng(467);
+  RmatOptions options;
+  options.num_nodes = 200;
+  options.num_edges = 800;
+  auto g = GenerateRmat(options, &rng);
+  ASSERT_TRUE(g.ok());
+  for (const Edge& e : g->EdgeList()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  // R-MAT with a=0.57 concentrates edges on low-id nodes: the max degree
+  // should far exceed the average (hub-and-spoke structure).
+  Rng rng(479);
+  RmatOptions options;
+  options.num_nodes = 1024;
+  options.num_edges = 8192;
+  auto g = GenerateRmat(options, &rng);
+  ASSERT_TRUE(g.ok());
+  auto in = g->InDegrees();
+  index_t max_total = 0;
+  for (index_t u = 0; u < g->num_nodes(); ++u) {
+    max_total =
+        std::max(max_total, g->OutDegree(u) + in[static_cast<std::size_t>(u)]);
+  }
+  const real_t avg = 2.0 * 8192.0 / 1024.0;
+  EXPECT_GT(static_cast<real_t>(max_total), 5.0 * avg);
+}
+
+TEST(Rmat, DeadendFractionRespected) {
+  Rng rng(487);
+  RmatOptions options;
+  options.num_nodes = 400;
+  options.num_edges = 1600;
+  options.deadend_fraction = 0.25;
+  auto g = GenerateRmat(options, &rng);
+  ASSERT_TRUE(g.ok());
+  // At least the injected fraction are deadends (R-MAT itself adds more).
+  EXPECT_GE(static_cast<index_t>(g->Deadends().size()), 100);
+}
+
+TEST(Rmat, InvalidOptionsRejected) {
+  Rng rng(491);
+  RmatOptions bad;
+  bad.num_nodes = 0;
+  EXPECT_FALSE(GenerateRmat(bad, &rng).ok());
+  bad.num_nodes = 10;
+  bad.num_edges = -1;
+  EXPECT_FALSE(GenerateRmat(bad, &rng).ok());
+  bad.num_edges = 10;
+  bad.a = 0.9;
+  bad.b = 0.9;  // probabilities exceed 1
+  EXPECT_FALSE(GenerateRmat(bad, &rng).ok());
+  RmatOptions dense;
+  dense.num_nodes = 4;
+  dense.num_edges = 100;  // denser than dedup supports
+  EXPECT_FALSE(GenerateRmat(dense, &rng).ok());
+}
+
+TEST(ErdosRenyi, CountsAndSimplicity) {
+  Rng rng(499);
+  auto g = GenerateErdosRenyi(300, 1200, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 300);
+  EXPECT_EQ(g->num_edges(), 1200);
+  for (const Edge& e : g->EdgeList()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(ErdosRenyi, TooManyEdgesRejected) {
+  Rng rng(503);
+  EXPECT_FALSE(GenerateErdosRenyi(3, 10, &rng).ok());
+  EXPECT_FALSE(GenerateErdosRenyi(0, 0, &rng).ok());
+}
+
+TEST(BarabasiAlbert, PreferentialAttachmentShape) {
+  Rng rng(509);
+  auto g = GenerateBarabasiAlbert(500, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 500);
+  // Roughly m*(n - m - 1) new edges plus the seed clique.
+  EXPECT_GT(g->num_edges(), 3 * 450);
+  // Early nodes accumulate high in-degree.
+  auto in = g->InDegrees();
+  index_t max_early = *std::max_element(in.begin(), in.begin() + 10);
+  index_t max_late = *std::max_element(in.end() - 100, in.end());
+  EXPECT_GT(max_early, max_late);
+}
+
+TEST(BarabasiAlbert, InvalidInputs) {
+  Rng rng(521);
+  EXPECT_FALSE(GenerateBarabasiAlbert(0, 2, &rng).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(10, 0, &rng).ok());
+}
+
+TEST(PlantedPartition, CommunityStructure) {
+  Rng rng(1289);
+  PlantedPartitionOptions options;
+  options.num_communities = 5;
+  options.community_size = 60;
+  options.p_intra = 0.15;
+  options.p_inter = 0.002;
+  auto g = GeneratePlantedPartition(options, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 300);
+  // Count intra vs inter community edges: intra must dominate strongly.
+  index_t intra = 0, inter = 0;
+  for (const Edge& e : g->EdgeList()) {
+    if (e.src / 60 == e.dst / 60) {
+      ++intra;
+    } else {
+      ++inter;
+    }
+  }
+  EXPECT_GT(intra, 10 * inter);
+  EXPECT_GT(inter, 0);
+}
+
+TEST(PlantedPartition, InvalidOptions) {
+  Rng rng(1291);
+  PlantedPartitionOptions bad;
+  bad.num_communities = 0;
+  EXPECT_FALSE(GeneratePlantedPartition(bad, &rng).ok());
+  bad.num_communities = 2;
+  bad.p_intra = 1.5;
+  EXPECT_FALSE(GeneratePlantedPartition(bad, &rng).ok());
+}
+
+TEST(WattsStrogatz, RingPlusRewiring) {
+  Rng rng(1297);
+  auto g = GenerateWattsStrogatz(200, 3, 0.1, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 200);
+  // Each node contributes up to 2*3 directed edges (dedup may merge).
+  EXPECT_GT(g->num_edges(), 200 * 4);
+  EXPECT_LE(g->num_edges(), 200 * 6);
+  // No deadends: every node keeps ring edges in expectation; allow a few.
+  EXPECT_LT(g->Deadends().size(), 5u);
+}
+
+TEST(WattsStrogatz, BetaZeroIsDeterministicLattice) {
+  Rng rng(1301);
+  auto g = GenerateWattsStrogatz(50, 2, 0.0, &rng);
+  ASSERT_TRUE(g.ok());
+  // Pure lattice: node 0 connects to 1, 2 (forward) and 48, 49 (as their
+  // forward neighbor's reverse edge).
+  EXPECT_DOUBLE_EQ(g->adjacency().At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g->adjacency().At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(g->adjacency().At(0, 48), 1.0);
+  EXPECT_DOUBLE_EQ(g->adjacency().At(0, 49), 1.0);
+}
+
+TEST(WattsStrogatz, InvalidOptions) {
+  Rng rng(1303);
+  EXPECT_FALSE(GenerateWattsStrogatz(0, 2, 0.1, &rng).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 0, 0.1, &rng).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 5, 0.1, &rng).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 2, -0.1, &rng).ok());
+}
+
+TEST(InjectDeadends, RemovesOutEdges) {
+  Graph g = test::SmallRmat(100, 500, 0.0, 523);
+  Rng rng(527);
+  auto with_deadends = InjectDeadends(g, 0.3, &rng);
+  ASSERT_TRUE(with_deadends.ok());
+  EXPECT_EQ(with_deadends->num_nodes(), 100);
+  EXPECT_LT(with_deadends->num_edges(), g.num_edges());
+  EXPECT_GE(static_cast<index_t>(with_deadends->Deadends().size()), 30);
+}
+
+TEST(InjectDeadends, FractionBounds) {
+  Graph g = test::SmallRmat(20, 60, 0.0, 541);
+  Rng rng(547);
+  EXPECT_FALSE(InjectDeadends(g, -0.1, &rng).ok());
+  EXPECT_FALSE(InjectDeadends(g, 1.5, &rng).ok());
+  auto all = InjectDeadends(g, 1.0, &rng);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_edges(), 0);
+  auto none = InjectDeadends(g, 0.0, &rng);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace bepi

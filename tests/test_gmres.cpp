@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "solver/gmres.hpp"
+#include "solver/ilu0.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+class GmresSizes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(GmresSizes, ConvergesOnDiagDominantSystems) {
+  Rng rng(311 + static_cast<std::uint64_t>(GetParam()));
+  const index_t n = GetParam();
+  CsrMatrix a = test::RandomDiagDominant(n, 0.2, &rng);
+  CsrOperator op(a);
+  Vector x_true = test::RandomVector(n, &rng);
+  Vector b = a.Multiply(x_true);
+  GmresOptions options;
+  options.tol = 1e-10;
+  SolveStats stats;
+  auto x = Gmres(op, b, options, &stats);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(DistL2(*x, x_true), 1e-6) << "n=" << n;
+  EXPECT_GT(stats.iterations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GmresSizes,
+                         ::testing::Values<index_t>(1, 2, 7, 30, 120));
+
+TEST(Gmres, ResidualGuarantee) {
+  Rng rng(313);
+  const index_t n = 60;
+  CsrMatrix a = test::RandomDiagDominant(n, 0.1, &rng);
+  CsrOperator op(a);
+  Vector b = test::RandomVector(n, &rng);
+  GmresOptions options;
+  options.tol = 1e-9;
+  SolveStats stats;
+  auto x = Gmres(op, b, options, &stats);
+  ASSERT_TRUE(x.ok());
+  Vector ax = a.Multiply(*x);
+  EXPECT_LE(DistL2(ax, b) / Norm2(b), 2e-9);
+}
+
+TEST(Gmres, ZeroRhsGivesZero) {
+  CsrMatrix a = CsrMatrix::Identity(4);
+  CsrOperator op(a);
+  SolveStats stats;
+  auto x = Gmres(op, Vector(4, 0.0), GmresOptions(), &stats);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(stats.converged);
+  EXPECT_DOUBLE_EQ(Norm2(*x), 0.0);
+}
+
+TEST(Gmres, IdentityConvergesInOneIteration) {
+  CsrMatrix a = CsrMatrix::Identity(10);
+  CsrOperator op(a);
+  Rng rng(317);
+  Vector b = test::RandomVector(10, &rng);
+  SolveStats stats;
+  auto x = Gmres(op, b, GmresOptions(), &stats);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LE(stats.iterations, 2);
+  EXPECT_LT(DistL2(*x, b), 1e-10);
+}
+
+TEST(Gmres, RestartedStillConverges) {
+  Rng rng(331);
+  const index_t n = 80;
+  CsrMatrix a = test::RandomDiagDominant(n, 0.1, &rng);
+  CsrOperator op(a);
+  Vector x_true = test::RandomVector(n, &rng);
+  Vector b = a.Multiply(x_true);
+  GmresOptions options;
+  options.restart = 5;  // force many restart cycles
+  options.max_iters = 2000;
+  SolveStats stats;
+  auto x = Gmres(op, b, options, &stats);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(DistL2(*x, x_true), 1e-6);
+}
+
+TEST(Gmres, InitialGuessAccelerates) {
+  Rng rng(337);
+  const index_t n = 50;
+  CsrMatrix a = test::RandomDiagDominant(n, 0.15, &rng);
+  CsrOperator op(a);
+  Vector x_true = test::RandomVector(n, &rng);
+  Vector b = a.Multiply(x_true);
+  SolveStats cold, warm;
+  GmresOptions options;
+  auto x0 = Gmres(op, b, options, &cold);
+  ASSERT_TRUE(x0.ok());
+  auto x1 = Gmres(op, b, options, &warm, nullptr, &*x0);
+  ASSERT_TRUE(x1.ok());
+  EXPECT_LE(warm.iterations, cold.iterations);
+  EXPECT_LT(DistL2(*x1, x_true), 1e-6);
+}
+
+TEST(Gmres, IluPreconditioningReducesIterations) {
+  Rng rng(347);
+  const index_t n = 150;
+  // Mildly non-dominant system so plain GMRES needs real work.
+  CsrMatrix base = test::RandomDiagDominant(n, 0.05, &rng);
+  CsrOperator op(base);
+  Vector b = test::RandomVector(n, &rng);
+  GmresOptions options;
+  options.tol = 1e-10;
+  SolveStats plain, preconditioned;
+  auto x_plain = Gmres(op, b, options, &plain);
+  ASSERT_TRUE(x_plain.ok());
+  auto ilu = Ilu0::Factor(base);
+  ASSERT_TRUE(ilu.ok());
+  auto x_pre = Gmres(op, b, options, &preconditioned, &*ilu);
+  ASSERT_TRUE(x_pre.ok());
+  EXPECT_TRUE(preconditioned.converged);
+  EXPECT_LE(preconditioned.iterations, plain.iterations);
+  EXPECT_LT(DistL2(*x_plain, *x_pre), 1e-5);
+}
+
+TEST(Gmres, JacobiPreconditionerWorks) {
+  Rng rng(349);
+  const index_t n = 60;
+  CsrMatrix a = test::RandomDiagDominant(n, 0.1, &rng);
+  // Scale rows wildly so Jacobi helps.
+  CsrMatrix scaled = a;
+  auto& values = scaled.mutable_values();
+  for (index_t r = 0; r < n; ++r) {
+    const real_t s = 1.0 + 1000.0 * rng.NextDouble();
+    for (index_t p = scaled.row_ptr()[static_cast<std::size_t>(r)];
+         p < scaled.row_ptr()[static_cast<std::size_t>(r) + 1]; ++p) {
+      values[static_cast<std::size_t>(p)] *= s;
+    }
+  }
+  CsrOperator op(scaled);
+  JacobiPreconditioner jacobi(scaled);
+  Vector x_true = test::RandomVector(n, &rng);
+  Vector b = scaled.Multiply(x_true);
+  SolveStats stats;
+  auto x = Gmres(op, b, GmresOptions(), &stats, &jacobi);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(DistL2(*x, x_true), 1e-5);
+}
+
+TEST(Gmres, TrackHistoryRecordsMonotoneResiduals) {
+  Rng rng(353);
+  const index_t n = 40;
+  CsrMatrix a = test::RandomDiagDominant(n, 0.2, &rng);
+  CsrOperator op(a);
+  Vector b = test::RandomVector(n, &rng);
+  GmresOptions options;
+  options.track_history = true;
+  SolveStats stats;
+  auto x = Gmres(op, b, options, &stats);
+  ASSERT_TRUE(x.ok());
+  ASSERT_FALSE(stats.residual_history.empty());
+  for (std::size_t i = 1; i < stats.residual_history.size(); ++i) {
+    EXPECT_LE(stats.residual_history[i], stats.residual_history[i - 1] + 1e-14);
+  }
+  EXPECT_LE(stats.residual_history.back(), options.tol);
+}
+
+TEST(Gmres, IterationBudgetExhaustion) {
+  Rng rng(359);
+  const index_t n = 100;
+  CsrMatrix a = test::RandomDiagDominant(n, 0.05, &rng);
+  CsrOperator op(a);
+  Vector b = test::RandomVector(n, &rng);
+  GmresOptions options;
+  options.tol = 1e-15;
+  options.max_iters = 2;
+  SolveStats stats;
+  auto x = Gmres(op, b, options, &stats);
+  ASSERT_TRUE(x.ok());  // returns best iterate
+  EXPECT_FALSE(stats.converged);
+  EXPECT_LE(stats.iterations, 3);
+}
+
+TEST(Gmres, ShapeErrors) {
+  CsrMatrix a = CsrMatrix::Identity(3);
+  CsrOperator op(a);
+  SolveStats stats;
+  EXPECT_FALSE(Gmres(op, Vector(2, 1.0), GmresOptions(), &stats).ok());
+  Vector x0(2, 0.0);
+  EXPECT_FALSE(
+      Gmres(op, Vector(3, 1.0), GmresOptions(), &stats, nullptr, &x0).ok());
+  IdentityPreconditioner wrong(5);
+  EXPECT_FALSE(
+      Gmres(op, Vector(3, 1.0), GmresOptions(), &stats, &wrong).ok());
+  GmresOptions bad;
+  bad.restart = 0;
+  EXPECT_FALSE(Gmres(op, Vector(3, 1.0), bad, &stats).ok());
+}
+
+TEST(Gmres, NullStatsAccepted) {
+  CsrMatrix a = CsrMatrix::Identity(3);
+  CsrOperator op(a);
+  EXPECT_TRUE(Gmres(op, Vector(3, 1.0), GmresOptions(), nullptr).ok());
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "graph/deadend.hpp"
+#include "graph/graph.hpp"
+#include "graph/reorder.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+TEST(Graph, FromEdgesBasics) {
+  auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 0}, {3, 0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 4);
+  EXPECT_EQ(g->num_edges(), 4);
+  EXPECT_EQ(g->OutDegree(0), 1);
+  EXPECT_EQ(g->OutDegree(3), 1);
+  EXPECT_DOUBLE_EQ(g->adjacency().At(3, 0), 1.0);
+}
+
+TEST(Graph, DuplicateEdgesMerged) {
+  auto g = Graph::FromEdges(2, {{0, 1}, {0, 1}, {0, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g->adjacency().At(0, 1), 1.0);
+}
+
+TEST(Graph, SelfLoopsKept) {
+  auto g = Graph::FromEdges(2, {{0, 0}, {0, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g->adjacency().At(0, 0), 1.0);
+}
+
+TEST(Graph, OutOfRangeEdgeRejected) {
+  EXPECT_FALSE(Graph::FromEdges(2, {{0, 2}}).ok());
+  EXPECT_FALSE(Graph::FromEdges(2, {{-1, 0}}).ok());
+  EXPECT_FALSE(Graph::FromEdges(-1, {}).ok());
+}
+
+TEST(Graph, EmptyGraph) {
+  auto g = Graph::FromEdges(0, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 0);
+  EXPECT_TRUE(g->Deadends().empty());
+}
+
+TEST(Graph, InDegrees) {
+  auto g = Graph::FromEdges(3, {{0, 2}, {1, 2}, {2, 0}});
+  ASSERT_TRUE(g.ok());
+  auto in = g->InDegrees();
+  EXPECT_EQ(in[0], 1);
+  EXPECT_EQ(in[1], 0);
+  EXPECT_EQ(in[2], 2);
+}
+
+TEST(Graph, DeadendsDetected) {
+  auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 3}});
+  ASSERT_TRUE(g.ok());
+  auto deadends = g->Deadends();
+  ASSERT_EQ(deadends.size(), 2u);
+  EXPECT_EQ(deadends[0], 2);
+  EXPECT_EQ(deadends[1], 3);
+  EXPECT_TRUE(g->IsDeadend(2));
+  EXPECT_FALSE(g->IsDeadend(0));
+}
+
+TEST(Graph, RowNormalization) {
+  auto g = Graph::FromEdges(3, {{0, 1}, {0, 2}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  CsrMatrix normalized = g->RowNormalizedAdjacency();
+  EXPECT_DOUBLE_EQ(normalized.At(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(normalized.At(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(normalized.At(1, 2), 1.0);
+  // Deadend row stays zero.
+  Vector sums = normalized.RowSums();
+  EXPECT_DOUBLE_EQ(sums[0], 1.0);
+  EXPECT_DOUBLE_EQ(sums[1], 1.0);
+  EXPECT_DOUBLE_EQ(sums[2], 0.0);
+}
+
+TEST(Graph, RowSumsAreOneOrZeroProperty) {
+  Graph g = test::SmallRmat(200, 900, 0.3, 443);
+  Vector sums = g.RowNormalizedAdjacency().RowSums();
+  for (index_t u = 0; u < g.num_nodes(); ++u) {
+    const real_t s = sums[static_cast<std::size_t>(u)];
+    if (g.IsDeadend(u)) {
+      EXPECT_DOUBLE_EQ(s, 0.0);
+    } else {
+      EXPECT_NEAR(s, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Graph, PrincipalSubgraph) {
+  auto g = Graph::FromEdges(5, {{0, 1}, {1, 4}, {4, 0}, {2, 1}, {3, 2}});
+  ASSERT_TRUE(g.ok());
+  auto sub = g->PrincipalSubgraph(3);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_nodes(), 3);
+  EXPECT_EQ(sub->num_edges(), 2);  // (0,1) and (2,1) survive
+  EXPECT_DOUBLE_EQ(sub->adjacency().At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(sub->adjacency().At(2, 1), 1.0);
+  EXPECT_FALSE(g->PrincipalSubgraph(6).ok());
+  EXPECT_FALSE(g->PrincipalSubgraph(-1).ok());
+}
+
+TEST(Graph, EdgeListRoundTrip) {
+  Graph g = test::SmallRmat(60, 250, 0.1, 449);
+  auto edges = g.EdgeList();
+  EXPECT_EQ(static_cast<index_t>(edges.size()), g.num_edges());
+  auto g2 = Graph::FromEdges(g.num_nodes(), edges);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(CsrMatrix::MaxAbsDiff(g.adjacency(), g2->adjacency()), 0.0);
+}
+
+TEST(Graph, FromAdjacencyNormalizesValues) {
+  CooMatrix coo(2, 2);
+  coo.Add(0, 1, 7.5);  // arbitrary weight becomes 1
+  auto g = Graph::FromAdjacency(std::move(coo.ToCsr()).value());
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->adjacency().At(0, 1), 1.0);
+  EXPECT_FALSE(Graph::FromAdjacency(CsrMatrix::Zero(2, 3)).ok());
+}
+
+TEST(DeadendReorder, PartitionStructure) {
+  auto g = Graph::FromEdges(5, {{0, 1}, {1, 3}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  // Deadends: 3, 4. Non-deadends: 0, 1, 2.
+  DeadendPartition part = ReorderDeadends(*g);
+  EXPECT_EQ(part.num_non_deadends, 3);
+  EXPECT_EQ(part.num_deadends, 2);
+  EXPECT_TRUE(IsPermutation(part.perm));
+  // Order preserved within groups.
+  EXPECT_EQ(part.perm[0], 0);
+  EXPECT_EQ(part.perm[1], 1);
+  EXPECT_EQ(part.perm[2], 2);
+  EXPECT_EQ(part.perm[3], 3);
+  EXPECT_EQ(part.perm[4], 4);
+}
+
+TEST(DeadendReorder, MovesDeadendsLast) {
+  auto g = Graph::FromEdges(4, {{1, 0}, {3, 1}});
+  ASSERT_TRUE(g.ok());
+  // Deadends: 0, 2. Non-deadends: 1, 3.
+  DeadendPartition part = ReorderDeadends(*g);
+  EXPECT_EQ(part.num_non_deadends, 2);
+  EXPECT_LT(part.perm[1], 2);
+  EXPECT_LT(part.perm[3], 2);
+  EXPECT_GE(part.perm[0], 2);
+  EXPECT_GE(part.perm[2], 2);
+}
+
+TEST(DeadendReorder, AllDeadends) {
+  auto g = Graph::FromEdges(3, {});
+  ASSERT_TRUE(g.ok());
+  DeadendPartition part = ReorderDeadends(*g);
+  EXPECT_EQ(part.num_non_deadends, 0);
+  EXPECT_EQ(part.num_deadends, 3);
+}
+
+TEST(DeadendReorder, ReorderedMatrixHasZeroBottomRows) {
+  Graph g = test::SmallRmat(100, 400, 0.3, 457);
+  DeadendPartition part = ReorderDeadends(g);
+  auto permuted = PermuteSymmetric(g.adjacency(), part.perm);
+  ASSERT_TRUE(permuted.ok());
+  for (index_t r = part.num_non_deadends; r < g.num_nodes(); ++r) {
+    EXPECT_EQ(permuted->RowNnz(r), 0);
+  }
+}
+
+TEST(DegreeReorder, AscendingOrderSortsByTotalDegree) {
+  auto g = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 1}});
+  ASSERT_TRUE(g.ok());
+  // Total degrees: 0 -> 3, 1 -> 3, 2 -> 3, 3 -> 1. Node 3 must come first.
+  Permutation asc = DegreeAscendingOrder(*g);
+  EXPECT_TRUE(IsPermutation(asc));
+  EXPECT_EQ(asc[3], 0);
+  Permutation desc = DegreeDescendingOrder(*g);
+  EXPECT_TRUE(IsPermutation(desc));
+  EXPECT_EQ(desc[3], 3);
+}
+
+TEST(DegreeReorder, DeterministicTieBreak) {
+  Graph g = test::SmallRmat(50, 200, 0.0, 461);
+  EXPECT_EQ(DegreeAscendingOrder(g), DegreeAscendingOrder(g));
+}
+
+}  // namespace
+}  // namespace bepi

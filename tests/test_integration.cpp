@@ -1,0 +1,159 @@
+// Cross-module integration tests: all solvers, one realistic pipeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/bear.hpp"
+#include "core/bepi.hpp"
+#include "core/datasets.hpp"
+#include "core/exact.hpp"
+#include "core/iterative.hpp"
+#include "core/lu_rwr.hpp"
+#include "graph/io.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+TEST(Integration, AllSolversAgreeOnMediumGraph) {
+  Graph g = test::SmallRmat(800, 4500, 0.2, 941);
+  RwrOptions base;
+
+  std::vector<std::unique_ptr<RwrSolver>> solvers;
+  {
+    BepiOptions bepi_b;
+    bepi_b.mode = BepiMode::kBasic;
+    solvers.push_back(std::make_unique<BepiSolver>(bepi_b));
+    BepiOptions bepi_s;
+    bepi_s.mode = BepiMode::kSparsified;
+    solvers.push_back(std::make_unique<BepiSolver>(bepi_s));
+    BepiOptions bepi_full;
+    bepi_full.mode = BepiMode::kPreconditioned;
+    solvers.push_back(std::make_unique<BepiSolver>(bepi_full));
+    BearOptions bear;
+    bear.hub_ratio = 0.02;
+    solvers.push_back(std::make_unique<BearSolver>(bear));
+    solvers.push_back(std::make_unique<LuSolver>(LuSolverOptions{}));
+    solvers.push_back(std::make_unique<PowerSolver>(base));
+    solvers.push_back(std::make_unique<GmresSolver>(GmresSolverOptions{}));
+  }
+  // Power iteration is the reference on this size.
+  PowerSolver reference(base);
+  ASSERT_TRUE(reference.Preprocess(g).ok());
+
+  for (auto& solver : solvers) {
+    ASSERT_TRUE(solver->Preprocess(g).ok()) << solver->name();
+  }
+  Rng rng(947);
+  for (int trial = 0; trial < 3; ++trial) {
+    const index_t seed = rng.UniformIndex(0, 799);
+    auto expected = reference.Query(seed);
+    ASSERT_TRUE(expected.ok());
+    for (auto& solver : solvers) {
+      auto r = solver->Query(seed);
+      ASSERT_TRUE(r.ok()) << solver->name();
+      EXPECT_LT(DistL2(*expected, *r), 1e-5)
+          << solver->name() << " disagrees at seed " << seed;
+    }
+  }
+}
+
+TEST(Integration, RegisteredDatasetEndToEnd) {
+  auto spec = FindDataset("Gnutella-sim");
+  ASSERT_TRUE(spec.ok());
+  DatasetSpec small = ScaleSpec(*spec, 0.3);
+  auto g = GenerateDataset(small);
+  ASSERT_TRUE(g.ok());
+
+  BepiOptions options;
+  options.mode = BepiMode::kPreconditioned;
+  options.hub_ratio = small.hub_ratio;
+  BepiSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(*g).ok());
+
+  QueryStats stats;
+  auto r = solver.Query(0, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(RwrResidual(*g, options.restart_prob, 0, *r), 1e-6);
+  EXPECT_GT(stats.iterations, 0);
+}
+
+TEST(Integration, GraphFileRoundTripThenQuery) {
+  Graph g = test::SmallRmat(150, 600, 0.15, 953);
+  const std::string path = testing::TempDir() + "/bepi_integration_graph.txt";
+  ASSERT_TRUE(WriteEdgeListFile(g, path).ok());
+  auto loaded = ReadEdgeListFile(path, g.num_nodes());
+  ASSERT_TRUE(loaded.ok());
+
+  BepiOptions options;
+  BepiSolver from_memory(options), from_file(options);
+  ASSERT_TRUE(from_memory.Preprocess(g).ok());
+  ASSERT_TRUE(from_file.Preprocess(*loaded).ok());
+  auto r1 = from_memory.Query(7);
+  auto r2 = from_file.Query(7);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, *r2);
+}
+
+TEST(Integration, RepeatedPreprocessReplacesState) {
+  Graph g1 = test::SmallRmat(100, 400, 0.2, 967);
+  Graph g2 = test::SmallRmat(60, 250, 0.2, 971);
+  BepiOptions options;
+  BepiSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g1).ok());
+  ASSERT_TRUE(solver.Preprocess(g2).ok());
+  auto r = solver.Query(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 60u);
+  EXPECT_LT(RwrResidual(g2, options.restart_prob, 10, *r), 1e-6);
+}
+
+TEST(Integration, ManyQueriesReuseOnePreprocessing) {
+  Graph g = test::SmallRmat(400, 2000, 0.2, 977);
+  BepiOptions options;
+  BepiSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  for (index_t seed = 0; seed < 400; seed += 37) {
+    auto r = solver.Query(seed);
+    ASSERT_TRUE(r.ok());
+    auto top = TopK(*r, 1);
+    EXPECT_EQ(top[0].first, seed);
+  }
+}
+
+TEST(Integration, PersonalizedRankingScenario) {
+  // The paper's motivating application: rank friends-of-friends above
+  // strangers. Build two dense communities loosely connected.
+  std::vector<Edge> edges;
+  auto add_clique = [&](index_t begin, index_t end) {
+    for (index_t u = begin; u < end; ++u) {
+      for (index_t v = begin; v < end; ++v) {
+        if (u != v) edges.push_back({u, v});
+      }
+    }
+  };
+  add_clique(0, 10);
+  add_clique(10, 20);
+  edges.push_back({9, 10});
+  edges.push_back({10, 9});
+  auto g = Graph::FromEdges(20, edges);
+  ASSERT_TRUE(g.ok());
+  BepiOptions options;
+  options.hub_ratio = 0.2;
+  BepiSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(*g).ok());
+  auto r = solver.Query(0);
+  ASSERT_TRUE(r.ok());
+  // Every member of the seed's community outranks every member of the
+  // other community (except the bridge pair 9/10 which may be close).
+  for (index_t mine = 1; mine < 9; ++mine) {
+    for (index_t other = 11; other < 20; ++other) {
+      EXPECT_GT((*r)[static_cast<std::size_t>(mine)],
+                (*r)[static_cast<std::size_t>(other)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bepi

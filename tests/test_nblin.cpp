@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/exact.hpp"
+#include "core/nblin.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+TEST(NbLin, ErrorDecreasesWithRank) {
+  Graph g = test::SmallRmat(250, 1200, 0.1, 1367);
+  RwrOptions base;
+  ExactSolver exact(base);
+  ASSERT_TRUE(exact.Preprocess(g).ok());
+  auto r_exact = exact.Query(7);
+  ASSERT_TRUE(r_exact.ok());
+
+  real_t prev_error = 1e9;
+  for (index_t rank : {4, 32, 240}) {
+    NbLinOptions options;
+    options.rank = rank;
+    NbLinSolver solver(options);
+    ASSERT_TRUE(solver.Preprocess(g).ok());
+    auto r = solver.Query(7);
+    ASSERT_TRUE(r.ok());
+    const real_t error = DistL2(*r_exact, *r);
+    EXPECT_LE(error, prev_error * 1.5 + 1e-12) << "rank " << rank;
+    prev_error = error;
+  }
+}
+
+TEST(NbLin, ExactAtFullNumericalRank) {
+  // With rank >= rank(W), the SMW identity is exact.
+  Graph g = test::SmallRmat(120, 600, 0.1, 1373);
+  RwrOptions base;
+  ExactSolver exact(base);
+  ASSERT_TRUE(exact.Preprocess(g).ok());
+  NbLinOptions options;
+  options.rank = 120;
+  options.power_iterations = 1;
+  NbLinSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  for (index_t seed : {0, 60, 119}) {
+    auto re = exact.Query(seed);
+    auto rn = solver.Query(seed);
+    ASSERT_TRUE(re.ok());
+    ASSERT_TRUE(rn.ok());
+    EXPECT_LT(DistL2(*re, *rn), 1e-7) << "seed " << seed;
+  }
+}
+
+TEST(NbLin, EffectiveRankBoundedByRequested) {
+  Graph g = test::SmallRmat(100, 400, 0.2, 1381);
+  NbLinOptions options;
+  options.rank = 30;
+  NbLinSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  EXPECT_LE(solver.effective_rank(), 30);
+  EXPECT_GT(solver.effective_rank(), 0);
+  EXPECT_GT(solver.PreprocessedBytes(), 0u);
+}
+
+TEST(NbLin, PersonalizationSupported) {
+  Graph g = test::SmallRmat(100, 450, 0.1, 1399);
+  RwrOptions base;
+  ExactSolver exact(base);
+  ASSERT_TRUE(exact.Preprocess(g).ok());
+  NbLinOptions options;
+  options.rank = 100;
+  NbLinSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  auto q = PersonalizationVector(100, {{4, 1.0}, {90, 3.0}});
+  ASSERT_TRUE(q.ok());
+  auto re = exact.QueryVector(*q);
+  auto rn = solver.QueryVector(*q);
+  ASSERT_TRUE(re.ok());
+  ASSERT_TRUE(rn.ok());
+  EXPECT_LT(DistL2(*re, *rn), 1e-6);
+}
+
+TEST(NbLin, TopRanksSurviveModerateRank) {
+  // The practical use of NB_LIN: even a modest rank preserves head ranks.
+  Graph g = test::SmallRmat(300, 1600, 0.1, 1409);
+  RwrOptions base;
+  ExactSolver exact(base);
+  ASSERT_TRUE(exact.Preprocess(g).ok());
+  NbLinOptions options;
+  options.rank = 64;
+  NbLinSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  auto re = exact.Query(3);
+  auto rn = solver.Query(3);
+  ASSERT_TRUE(re.ok());
+  ASSERT_TRUE(rn.ok());
+  auto top_exact = TopK(*re, 5);
+  auto top_nblin = TopK(*rn, 5);
+  int overlap = 0;
+  for (const auto& [node, score] : top_nblin) {
+    for (const auto& [ref, ref_score] : top_exact) {
+      if (node == ref) ++overlap;
+    }
+  }
+  EXPECT_GE(overlap, 3);
+}
+
+TEST(NbLin, ErrorPaths) {
+  NbLinSolver solver{NbLinOptions{}};
+  EXPECT_FALSE(solver.Query(0).ok());
+  auto empty = Graph::FromEdges(0, {});
+  EXPECT_FALSE(solver.Preprocess(*empty).ok());
+  Graph g = test::SmallRmat(50, 200, 0.1, 1423);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  EXPECT_FALSE(solver.Query(-1).ok());
+  EXPECT_FALSE(solver.Query(50).ok());
+  EXPECT_FALSE(solver.QueryVector(Vector(10, 0.0)).ok());
+  NbLinOptions bad;
+  bad.rank = 0;
+  NbLinSolver rejects(bad);
+  EXPECT_FALSE(rejects.Preprocess(g).ok());
+  // Edgeless graph: W = 0 has no range.
+  auto edgeless = Graph::FromEdges(5, {});
+  NbLinSolver no_range{NbLinOptions{}};
+  EXPECT_EQ(no_range.Preprocess(*edgeless).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "sparse/permute.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+TEST(Permutation, IsPermutationChecks) {
+  EXPECT_TRUE(IsPermutation({2, 0, 1}));
+  EXPECT_TRUE(IsPermutation({}));
+  EXPECT_FALSE(IsPermutation({0, 0, 1}));  // duplicate
+  EXPECT_FALSE(IsPermutation({0, 3, 1}));  // out of range
+  EXPECT_FALSE(IsPermutation({0, -1, 1}));
+}
+
+TEST(Permutation, InverseRoundTrip) {
+  Permutation p{2, 0, 3, 1};
+  Permutation inv = InversePermutation(p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(p[i])], static_cast<index_t>(i));
+  }
+  EXPECT_EQ(ComposePermutations(inv, p), IdentityPermutation(4));
+}
+
+TEST(Permutation, ComposeAppliesInnerFirst) {
+  // inner maps 0->1, outer maps 1->2, so composed maps 0->2.
+  Permutation inner{1, 0, 2};
+  Permutation outer{0, 2, 1};
+  Permutation composed = ComposePermutations(outer, inner);
+  EXPECT_EQ(composed[0], 2);
+}
+
+TEST(PermuteMatrix, SymmetricRelabelMatchesDense) {
+  Rng rng(109);
+  CsrMatrix a = test::RandomSparse(6, 6, 0.4, &rng);
+  Permutation perm{3, 1, 5, 0, 2, 4};
+  auto b = PermuteSymmetric(a, perm);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->Validate().ok());
+  for (index_t i = 0; i < 6; ++i) {
+    for (index_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(b->At(perm[static_cast<std::size_t>(i)],
+                             perm[static_cast<std::size_t>(j)]),
+                       a.At(i, j));
+    }
+  }
+}
+
+TEST(PermuteMatrix, RectangularRowColPerms) {
+  Rng rng(113);
+  CsrMatrix a = test::RandomSparse(4, 3, 0.5, &rng);
+  Permutation rp{2, 0, 3, 1};
+  Permutation cp{1, 2, 0};
+  auto b = Permute(a, rp, cp);
+  ASSERT_TRUE(b.ok());
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(b->At(rp[static_cast<std::size_t>(i)],
+                             cp[static_cast<std::size_t>(j)]),
+                       a.At(i, j));
+    }
+  }
+}
+
+TEST(PermuteMatrix, InvalidPermRejected) {
+  CsrMatrix a = CsrMatrix::Identity(3);
+  EXPECT_FALSE(PermuteSymmetric(a, {0, 0, 1}).ok());
+  EXPECT_FALSE(PermuteSymmetric(a, {0, 1}).ok());
+}
+
+TEST(PermuteMatrix, IdentityPermIsNoop) {
+  Rng rng(127);
+  CsrMatrix a = test::RandomSparse(5, 5, 0.4, &rng);
+  auto b = PermuteSymmetric(a, IdentityPermutation(5));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(CsrMatrix::MaxAbsDiff(a, *b), 0.0);
+}
+
+TEST(PermuteMatrix, RoundTripWithInverse) {
+  Rng rng(131);
+  CsrMatrix a = test::RandomSparse(8, 8, 0.3, &rng);
+  Permutation perm = IdentityPermutation(8);
+  rng.Shuffle(&perm);
+  auto forward = PermuteSymmetric(a, perm);
+  ASSERT_TRUE(forward.ok());
+  auto back = PermuteSymmetric(*forward, InversePermutation(perm));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(CsrMatrix::MaxAbsDiff(a, *back), 0.0);
+}
+
+TEST(PermuteVector, MatchesDefinition) {
+  Vector v{10.0, 20.0, 30.0};
+  Permutation perm{2, 0, 1};
+  Vector out = PermuteVector(v, perm);
+  EXPECT_DOUBLE_EQ(out[2], 10.0);
+  EXPECT_DOUBLE_EQ(out[0], 20.0);
+  EXPECT_DOUBLE_EQ(out[1], 30.0);
+}
+
+TEST(ExtractBlock, MatchesDenseSlice) {
+  Rng rng(137);
+  CsrMatrix a = test::RandomSparse(8, 10, 0.3, &rng);
+  auto block = ExtractBlock(a, 2, 6, 3, 9);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->rows(), 4);
+  EXPECT_EQ(block->cols(), 6);
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(block->At(i, j), a.At(i + 2, j + 3));
+    }
+  }
+}
+
+TEST(ExtractBlock, EmptyAndFullRanges) {
+  Rng rng(139);
+  CsrMatrix a = test::RandomSparse(5, 5, 0.5, &rng);
+  auto empty = ExtractBlock(a, 2, 2, 0, 5);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->rows(), 0);
+  auto full = ExtractBlock(a, 0, 5, 0, 5);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(CsrMatrix::MaxAbsDiff(a, *full), 0.0);
+}
+
+TEST(ExtractBlock, OutOfRangeRejected) {
+  CsrMatrix a = CsrMatrix::Identity(4);
+  EXPECT_FALSE(ExtractBlock(a, 0, 5, 0, 4).ok());
+  EXPECT_FALSE(ExtractBlock(a, 3, 2, 0, 4).ok());
+  EXPECT_FALSE(ExtractBlock(a, 0, 4, -1, 4).ok());
+}
+
+TEST(ExtractBlock, PartitionCoversMatrix) {
+  // Splitting into quadrants and reassembling the nnz count.
+  Rng rng(149);
+  CsrMatrix a = test::RandomSparse(9, 9, 0.3, &rng);
+  index_t total = 0;
+  for (index_t rb : {0, 4}) {
+    for (index_t cb : {0, 4}) {
+      const index_t re = rb == 0 ? 4 : 9;
+      const index_t ce = cb == 0 ? 4 : 9;
+      total += ExtractBlock(a, rb, re, cb, ce)->nnz();
+    }
+  }
+  EXPECT_EQ(total, a.nnz());
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,137 @@
+// Incremental RWR refresh after graph changes (RefreshRwrScores).
+#include <gtest/gtest.h>
+
+#include "core/approx.hpp"
+#include "core/exact.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+Vector ExactScores(const Graph& g, index_t seed) {
+  RwrOptions options;
+  ExactSolver exact(options);
+  BEPI_CHECK(exact.Preprocess(g).ok());
+  auto r = exact.Query(seed);
+  BEPI_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+TEST(Refresh, NoChangeIsANoopUpToThreshold) {
+  Graph g = test::SmallRmat(120, 550, 0.2, 1487);
+  Vector exact = ExactScores(g, 7);
+  ForwardPushOptions options;
+  options.push_threshold = 1e-7;
+  QueryStats stats;
+  auto refreshed = RefreshRwrScores(g, 7, exact, options, &stats);
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_LT(DistL2(*refreshed, exact), 1e-5);
+  // An already-exact estimate needs (almost) no pushes.
+  EXPECT_LT(stats.iterations, 10);
+}
+
+TEST(Refresh, TracksEdgeInsertions) {
+  Graph g = test::SmallRmat(150, 700, 0.1, 1489);
+  const index_t seed = 11;
+  Vector stale = ExactScores(g, seed);
+
+  // Insert a small batch of edges.
+  std::vector<Edge> edges = g.EdgeList();
+  Rng rng(1493);
+  for (int i = 0; i < 20; ++i) {
+    edges.push_back({rng.UniformIndex(0, 149), rng.UniformIndex(0, 149)});
+  }
+  auto updated = Graph::FromEdges(150, edges);
+  ASSERT_TRUE(updated.ok());
+  Vector truth = ExactScores(*updated, seed);
+
+  ForwardPushOptions options;
+  options.push_threshold = 1e-9;
+  auto refreshed = RefreshRwrScores(*updated, seed, stale, options);
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_LT(NormInf([&] {
+              Vector d = *refreshed;
+              Axpy(-1.0, truth, &d);
+              return d;
+            }()),
+            1e-5);
+  // And the stale vector itself was genuinely off.
+  EXPECT_GT(DistL2(stale, truth), 1e-4);
+}
+
+TEST(Refresh, TracksEdgeDeletions) {
+  // Deletions create negative residuals: the signed push must handle them.
+  Graph g = test::SmallRmat(150, 800, 0.1, 1499);
+  const index_t seed = 3;
+  Vector stale = ExactScores(g, seed);
+  std::vector<Edge> edges = g.EdgeList();
+  Rng rng(1511);
+  rng.Shuffle(&edges);
+  edges.resize(edges.size() - 40);
+  auto updated = Graph::FromEdges(150, edges);
+  ASSERT_TRUE(updated.ok());
+  Vector truth = ExactScores(*updated, seed);
+
+  ForwardPushOptions options;
+  options.push_threshold = 1e-9;
+  auto refreshed = RefreshRwrScores(*updated, seed, stale, options);
+  ASSERT_TRUE(refreshed.ok());
+  Vector diff = *refreshed;
+  Axpy(-1.0, truth, &diff);
+  EXPECT_LT(NormInf(diff), 1e-5);
+}
+
+TEST(Refresh, CheaperThanFromScratchForSmallBatches) {
+  Graph g = test::SmallRmat(800, 5000, 0.1, 1523);
+  const index_t seed = 42;
+  Vector stale = ExactScores(g, seed);
+  std::vector<Edge> edges = g.EdgeList();
+  Rng rng(1531);
+  for (int i = 0; i < 10; ++i) {
+    edges.push_back({rng.UniformIndex(0, 799), rng.UniformIndex(0, 799)});
+  }
+  auto updated = Graph::FromEdges(800, edges);
+  ASSERT_TRUE(updated.ok());
+
+  ForwardPushOptions options;
+  options.push_threshold = 1e-8;
+  QueryStats warm, cold;
+  auto refreshed = RefreshRwrScores(*updated, seed, stale, options, &warm);
+  ASSERT_TRUE(refreshed.ok());
+  ForwardPushSolver from_scratch(options);
+  ASSERT_TRUE(from_scratch.Preprocess(*updated).ok());
+  auto full = from_scratch.Query(seed, &cold);
+  ASSERT_TRUE(full.ok());
+  EXPECT_LT(warm.iterations, cold.iterations / 2);
+}
+
+TEST(Refresh, ErrorPaths) {
+  Graph g = test::SmallRmat(50, 200, 0.1, 1543);
+  Vector scores(50, 0.0);
+  ForwardPushOptions options;
+  EXPECT_FALSE(RefreshRwrScores(g, -1, scores, options).ok());
+  EXPECT_FALSE(RefreshRwrScores(g, 50, scores, options).ok());
+  EXPECT_FALSE(RefreshRwrScores(g, 0, Vector(49, 0.0), options).ok());
+  ForwardPushOptions bad;
+  bad.push_threshold = 0.0;
+  EXPECT_FALSE(RefreshRwrScores(g, 0, scores, bad).ok());
+  auto empty = Graph::FromEdges(0, {});
+  EXPECT_FALSE(RefreshRwrScores(*empty, 0, Vector(), options).ok());
+}
+
+TEST(Refresh, ZeroStaleVectorEqualsPlainPush) {
+  // Starting from nothing reduces to an ordinary forward-push query.
+  Graph g = test::SmallRmat(100, 450, 0.2, 1549);
+  ForwardPushOptions options;
+  options.push_threshold = 1e-8;
+  auto refreshed = RefreshRwrScores(g, 5, Vector(100, 0.0), options);
+  ForwardPushSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  auto direct = solver.Query(5);
+  ASSERT_TRUE(refreshed.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_LT(DistL2(*refreshed, *direct), 1e-9);
+}
+
+}  // namespace
+}  // namespace bepi

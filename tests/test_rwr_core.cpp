@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/budget.hpp"
+#include "core/rwr.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+TEST(BuildH, StructureMatchesDefinition) {
+  auto g = Graph::FromEdges(3, {{0, 1}, {0, 2}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  const real_t c = 0.05;
+  CsrMatrix h = BuildH(*g, c);
+  // H = I - (1-c) Ã^T.
+  EXPECT_DOUBLE_EQ(h.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(h.At(1, 0), -(1.0 - c) * 0.5);
+  EXPECT_DOUBLE_EQ(h.At(2, 0), -(1.0 - c) * 0.5);
+  EXPECT_DOUBLE_EQ(h.At(2, 1), -(1.0 - c) * 1.0);
+  EXPECT_DOUBLE_EQ(h.At(0, 1), 0.0);
+}
+
+TEST(BuildH, ColumnSumsReflectStochasticity) {
+  // For a deadend-free graph, each column of Ã^T... each column j of H
+  // sums to 1 - (1-c) = c because column j of Ã^T is row j of Ã (sums 1).
+  Graph g = test::SmallRmat(100, 500, 0.0, 613);
+  // Remove residual deadends produced by R-MAT for this property.
+  std::vector<Edge> edges = g.EdgeList();
+  for (index_t u : g.Deadends()) edges.push_back({u, (u + 1) % 100});
+  Graph g2 = std::move(Graph::FromEdges(100, edges)).value();
+  const real_t c = 0.2;
+  CsrMatrix h = BuildH(g2, c);
+  Vector col_sums = h.Transpose().RowSums();
+  for (real_t s : col_sums) EXPECT_NEAR(s, c, 1e-12);
+}
+
+TEST(BuildH, DeadendColumnsAreUnitVectors) {
+  auto g = Graph::FromEdges(3, {{0, 1}, {0, 2}});
+  ASSERT_TRUE(g.ok());
+  CsrMatrix h = BuildH(*g, 0.05);
+  // Nodes 1, 2 are deadends: columns 1, 2 of H equal e_1, e_2.
+  EXPECT_DOUBLE_EQ(h.At(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(h.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(h.At(2, 1), 0.0);
+}
+
+TEST(StartingVector, SingleEntry) {
+  Vector q = StartingVector(5, 2, 0.05);
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_DOUBLE_EQ(q[2], 0.05);
+  EXPECT_DOUBLE_EQ(Norm1(q), 0.05);
+}
+
+TEST(TopK, OrdersAndExcludes) {
+  Vector scores{0.1, 0.5, 0.3, 0.5, 0.0};
+  auto top = TopK(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 1);  // tie broken by id
+  EXPECT_EQ(top[1].first, 3);
+  EXPECT_EQ(top[2].first, 2);
+  auto excluded = TopK(scores, 2, /*exclude=*/1);
+  EXPECT_EQ(excluded[0].first, 3);
+  EXPECT_EQ(excluded[1].first, 2);
+}
+
+TEST(TopK, KLargerThanVector) {
+  Vector scores{0.2, 0.1};
+  EXPECT_EQ(TopK(scores, 10).size(), 2u);
+  EXPECT_TRUE(TopK(scores, 0).empty());
+  EXPECT_TRUE(TopK(scores, -3).empty());
+}
+
+TEST(MemoryBudget, UnlimitedAlwaysPasses) {
+  MemoryBudget budget(0);
+  EXPECT_TRUE(budget.unlimited());
+  EXPECT_TRUE(budget.Charge(1ull << 60, "huge").ok());
+}
+
+TEST(MemoryBudget, ChargeAccumulatesAndFails) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.Charge(60, "first").ok());
+  EXPECT_EQ(budget.used_bytes(), 60u);
+  EXPECT_TRUE(budget.Check(40, "fits").ok());
+  Status overflow = budget.Charge(50, "second");
+  EXPECT_EQ(overflow.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(overflow.message().find("second"), std::string::npos);
+  // Failed charge does not consume budget.
+  EXPECT_EQ(budget.used_bytes(), 60u);
+  EXPECT_TRUE(budget.Charge(40, "exact fit").ok());
+}
+
+}  // namespace
+}  // namespace bepi

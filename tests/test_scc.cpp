@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/components.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+CsrMatrix AdjFromEdges(index_t n, const std::vector<Edge>& edges) {
+  auto g = Graph::FromEdges(n, edges);
+  BEPI_CHECK(g.ok());
+  return g->adjacency();
+}
+
+TEST(Scc, DirectedCycleIsOneComponent) {
+  CsrMatrix adj = AdjFromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  ComponentInfo info = StronglyConnectedComponents(adj);
+  EXPECT_EQ(info.num_components, 1);
+  EXPECT_EQ(info.sizes[0], 4);
+}
+
+TEST(Scc, DirectedPathIsAllSingletons) {
+  CsrMatrix adj = AdjFromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  ComponentInfo info = StronglyConnectedComponents(adj);
+  EXPECT_EQ(info.num_components, 4);
+}
+
+TEST(Scc, TwoCyclesWithBridge) {
+  // Cycle {0,1,2} -> bridge -> cycle {3,4}.
+  CsrMatrix adj = AdjFromEdges(
+      5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 3}});
+  ComponentInfo info = StronglyConnectedComponents(adj);
+  EXPECT_EQ(info.num_components, 2);
+  EXPECT_EQ(info.component_id[0], info.component_id[1]);
+  EXPECT_EQ(info.component_id[1], info.component_id[2]);
+  EXPECT_EQ(info.component_id[3], info.component_id[4]);
+  EXPECT_NE(info.component_id[0], info.component_id[3]);
+  // Reverse topological ids: the source component {0,1,2} can reach
+  // {3,4}, so it gets the larger id.
+  EXPECT_GT(info.component_id[0], info.component_id[3]);
+}
+
+TEST(Scc, SelfLoopSingleton) {
+  CsrMatrix adj = AdjFromEdges(2, {{0, 0}, {0, 1}});
+  ComponentInfo info = StronglyConnectedComponents(adj);
+  EXPECT_EQ(info.num_components, 2);
+}
+
+TEST(Scc, EmptyGraph) {
+  ComponentInfo info = StronglyConnectedComponents(CsrMatrix::Zero(0, 0));
+  EXPECT_EQ(info.num_components, 0);
+}
+
+TEST(Scc, SizesSumToNodes) {
+  Graph g = test::SmallRmat(400, 1800, 0.2, 1187);
+  ComponentInfo info = StronglyConnectedComponents(g.adjacency());
+  index_t total = 0;
+  for (index_t s : info.sizes) total += s;
+  EXPECT_EQ(total, 400);
+  EXPECT_EQ(static_cast<index_t>(info.sizes.size()), info.num_components);
+}
+
+TEST(Scc, DeadendsAreSingletons) {
+  Graph g = test::SmallRmat(200, 800, 0.3, 1193);
+  ComponentInfo info = StronglyConnectedComponents(g.adjacency());
+  for (index_t u : g.Deadends()) {
+    // A deadend without a self-loop cannot be in a cycle.
+    const index_t comp = info.component_id[static_cast<std::size_t>(u)];
+    EXPECT_EQ(info.sizes[static_cast<std::size_t>(comp)], 1);
+  }
+}
+
+TEST(Scc, ReverseTopologicalOrderProperty) {
+  // For every edge u -> v crossing components, comp(u) > comp(v).
+  Graph g = test::SmallRmat(300, 1200, 0.1, 1201);
+  ComponentInfo info = StronglyConnectedComponents(g.adjacency());
+  for (const Edge& e : g.EdgeList()) {
+    const index_t cu = info.component_id[static_cast<std::size_t>(e.src)];
+    const index_t cv = info.component_id[static_cast<std::size_t>(e.dst)];
+    if (cu != cv) {
+      EXPECT_GT(cu, cv) << "edge " << e.src << " -> " << e.dst;
+    }
+  }
+}
+
+TEST(Scc, MutualReachabilityWithinComponents) {
+  // Verify on a small graph by brute-force reachability.
+  Graph g = test::SmallRmat(60, 250, 0.1, 1213);
+  ComponentInfo info = StronglyConnectedComponents(g.adjacency());
+  const index_t n = g.num_nodes();
+  // Floyd-Warshall style reachability.
+  std::vector<std::vector<bool>> reach(
+      static_cast<std::size_t>(n),
+      std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (index_t u = 0; u < n; ++u) reach[static_cast<std::size_t>(u)][static_cast<std::size_t>(u)] = true;
+  for (const Edge& e : g.EdgeList()) {
+    reach[static_cast<std::size_t>(e.src)][static_cast<std::size_t>(e.dst)] = true;
+  }
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t i = 0; i < n; ++i) {
+      if (!reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)]) continue;
+      for (index_t j = 0; j < n; ++j) {
+        if (reach[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]) {
+          reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = true;
+        }
+      }
+    }
+  }
+  for (index_t u = 0; u < n; ++u) {
+    for (index_t v = 0; v < n; ++v) {
+      const bool same_comp = info.component_id[static_cast<std::size_t>(u)] ==
+                             info.component_id[static_cast<std::size_t>(v)];
+      const bool mutual = reach[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] &&
+                          reach[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)];
+      EXPECT_EQ(same_comp, mutual) << u << " vs " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "solver/sparse_lu.hpp"
+#include "solver/trisolve.hpp"
+#include "sparse/spgemm.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+class SparseLuSizes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(SparseLuSizes, FactorsReassembleToInput) {
+  Rng rng(227 + static_cast<std::uint64_t>(GetParam()));
+  const index_t n = GetParam();
+  CsrMatrix a = test::RandomDiagDominant(n, 0.15, &rng);
+  auto lu = SparseLu::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_TRUE(IsLowerTriangular(lu->lower()));
+  EXPECT_TRUE(IsUpperTriangular(lu->upper()));
+  auto product = Multiply(lu->lower(), lu->upper());
+  ASSERT_TRUE(product.ok());
+  EXPECT_LT(CsrMatrix::MaxAbsDiff(a, *product), 1e-10);
+}
+
+TEST_P(SparseLuSizes, SolveMatchesTruth) {
+  Rng rng(229 + static_cast<std::uint64_t>(GetParam()));
+  const index_t n = GetParam();
+  CsrMatrix a = test::RandomDiagDominant(n, 0.15, &rng);
+  auto lu = SparseLu::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  Vector x_true = test::RandomVector(n, &rng);
+  Vector b = a.Multiply(x_true);
+  auto x = lu->Solve(b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT(DistL2(*x, x_true), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseLuSizes,
+                         ::testing::Values<index_t>(1, 2, 5, 17, 60, 150));
+
+TEST(SparseLu, UnitLowerDiagonal) {
+  Rng rng(233);
+  CsrMatrix a = test::RandomDiagDominant(20, 0.2, &rng);
+  auto lu = SparseLu::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  for (index_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(lu->lower().At(i, i), 1.0);
+  }
+}
+
+TEST(SparseLu, MatchesDenseOnRwrSystem) {
+  // The real use case: H = I - (1-c) Ã^T for a small graph.
+  Graph g = test::SmallRmat(60, 240, 0.2, 239);
+  CsrMatrix normalized = g.RowNormalizedAdjacency();
+  CsrMatrix at = normalized.Transpose();
+  CsrMatrix identity = CsrMatrix::Identity(60);
+  CsrMatrix h = std::move(Add(1.0, identity, -0.95, at)).value();
+  auto lu = SparseLu::Factor(h);
+  ASSERT_TRUE(lu.ok());
+  Rng rng(241);
+  Vector x_true = test::RandomVector(60, &rng);
+  Vector b = h.Multiply(x_true);
+  auto x = lu->Solve(b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT(DistL2(*x, x_true), 1e-8);
+}
+
+TEST(SparseLu, DiagonalMatrixHasNoFill) {
+  CsrMatrix d = CsrMatrix::Diagonal({2.0, 3.0, 4.0, 5.0});
+  auto lu = SparseLu::Factor(d);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_EQ(lu->lower().nnz(), 4);  // unit diagonal only
+  EXPECT_EQ(lu->upper().nnz(), 4);
+  EXPECT_EQ(lu->FillNnz(), 8);
+}
+
+TEST(SparseLu, TriangularInputIsItsOwnFactor) {
+  Rng rng(251);
+  CooMatrix coo(10, 10);
+  for (index_t i = 0; i < 10; ++i) {
+    coo.Add(i, i, 2.0);
+    for (index_t j = i + 1; j < 10; ++j) {
+      if (rng.NextDouble() < 0.3) coo.Add(i, j, 0.5);
+    }
+  }
+  CsrMatrix u = std::move(coo.ToCsr()).value();
+  auto lu = SparseLu::Factor(u);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_LT(CsrMatrix::MaxAbsDiff(lu->upper(), u), 1e-14);
+}
+
+TEST(SparseLu, ZeroPivotFails) {
+  // Structurally singular: empty second row/column.
+  CooMatrix coo(2, 2);
+  coo.Add(0, 0, 1.0);
+  CsrMatrix a = std::move(coo.ToCsr()).value();
+  EXPECT_EQ(SparseLu::Factor(a).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SparseLu, NonSquareFails) {
+  EXPECT_EQ(SparseLu::Factor(CsrMatrix::Zero(2, 3)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SparseLu, FillLimitTriggersResourceExhausted) {
+  Rng rng(257);
+  CsrMatrix a = test::RandomDiagDominant(50, 0.3, &rng);
+  auto lu = SparseLu::Factor(a, /*fill_limit=*/10);
+  EXPECT_EQ(lu.status().code(), StatusCode::kResourceExhausted);
+  // Generous limit succeeds.
+  auto ok = SparseLu::Factor(a, /*fill_limit=*/1000000);
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(SparseLu, SolveRejectsWrongSize) {
+  CsrMatrix d = CsrMatrix::Diagonal({1.0, 2.0});
+  auto lu = SparseLu::Factor(d);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_FALSE(lu->Solve({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(SparseLu, ByteSizePositive) {
+  Rng rng(263);
+  CsrMatrix a = test::RandomDiagDominant(10, 0.3, &rng);
+  auto lu = SparseLu::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_GT(lu->ByteSize(), 0u);
+}
+
+TEST(SparseLu, PermutedSystemStillSolvable) {
+  // Fill-in heavy case: arrow matrix pointing the wrong way.
+  const index_t n = 30;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) coo.Add(i, i, 10.0);
+  for (index_t i = 1; i < n; ++i) {
+    coo.Add(0, i, 0.1);
+    coo.Add(i, 0, 0.1);
+  }
+  CsrMatrix arrow = std::move(coo.ToCsr()).value();
+  auto lu = SparseLu::Factor(arrow);
+  ASSERT_TRUE(lu.ok());
+  Rng rng(269);
+  Vector x_true = test::RandomVector(n, &rng);
+  auto x = lu->Solve(arrow.Multiply(x_true));
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT(DistL2(*x, x_true), 1e-9);
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/dense_lu.hpp"
+#include "solver/spectral.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+TEST(MatrixNorm2, DiagonalMatrix) {
+  CsrMatrix d = CsrMatrix::Diagonal({1.0, -5.0, 3.0});
+  EXPECT_NEAR(MatrixNorm2(d), 5.0, 1e-8);
+}
+
+TEST(MatrixNorm2, ZeroMatrix) {
+  EXPECT_DOUBLE_EQ(MatrixNorm2(CsrMatrix::Zero(4, 4)), 0.0);
+}
+
+TEST(MatrixNorm2, RankOneMatrix) {
+  // A = u v^T has ||A||_2 = ||u|| * ||v||.
+  CooMatrix coo(2, 3);
+  // u = (1, 2), v = (3, 0, 4): entries u_i * v_j.
+  const real_t u[2] = {1.0, 2.0};
+  const real_t v[3] = {3.0, 0.0, 4.0};
+  for (index_t i = 0; i < 2; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      if (u[i] * v[j] != 0.0) coo.Add(i, j, u[i] * v[j]);
+    }
+  }
+  CsrMatrix a = std::move(coo.ToCsr()).value();
+  EXPECT_NEAR(MatrixNorm2(a), std::sqrt(5.0) * 5.0, 1e-8);
+}
+
+TEST(MatrixNorm2, BoundsFrobenius) {
+  Rng rng(433);
+  CsrMatrix a = test::RandomSparse(10, 10, 0.3, &rng);
+  const real_t two_norm = MatrixNorm2(a);
+  const real_t fro = a.ToDense().FrobeniusNorm();
+  EXPECT_LE(two_norm, fro + 1e-9);
+  EXPECT_GE(two_norm, fro / std::sqrt(10.0) - 1e-9);
+}
+
+TEST(SmallestSingularValue, DiagonalMatrix) {
+  CsrMatrix d = CsrMatrix::Diagonal({2.0, 0.5, 7.0});
+  auto smin = SmallestSingularValue(d);
+  ASSERT_TRUE(smin.ok());
+  EXPECT_NEAR(*smin, 0.5, 1e-8);
+}
+
+TEST(SmallestSingularValue, OrthogonalMatrixIsOne) {
+  // 2x2 rotation: all singular values are 1.
+  DenseMatrix r(2, 2);
+  const real_t theta = 0.7;
+  r.At(0, 0) = std::cos(theta);
+  r.At(0, 1) = -std::sin(theta);
+  r.At(1, 0) = std::sin(theta);
+  r.At(1, 1) = std::cos(theta);
+  auto smin = SmallestSingularValue(CsrMatrix::FromDense(r));
+  ASSERT_TRUE(smin.ok());
+  EXPECT_NEAR(*smin, 1.0, 1e-8);
+}
+
+TEST(SmallestSingularValue, SingularMatrixFails) {
+  CsrMatrix z = CsrMatrix::Zero(3, 3);
+  EXPECT_FALSE(SmallestSingularValue(z).ok());
+}
+
+TEST(SmallestSingularValue, NonSquareRejected) {
+  EXPECT_FALSE(SmallestSingularValue(CsrMatrix::Zero(2, 3)).ok());
+}
+
+TEST(SmallestSingularValue, ConsistentWithNorm2OnInverse) {
+  // sigma_min(A) = 1 / ||A^{-1}||_2.
+  Rng rng(439);
+  CsrMatrix a = test::RandomDiagDominant(12, 0.4, &rng);
+  auto smin = SmallestSingularValue(a);
+  ASSERT_TRUE(smin.ok());
+  // Build A^{-1} densely and take its 2-norm.
+  auto lu = DenseLu::Factor(a.ToDense());
+  ASSERT_TRUE(lu.ok());
+  CsrMatrix inv = CsrMatrix::FromDense(lu->Inverse());
+  const real_t inv_norm = MatrixNorm2(inv, 300);
+  EXPECT_NEAR(*smin, 1.0 / inv_norm, 1e-6 * *smin + 1e-9);
+}
+
+TEST(ConditionNumber, IdentityIsOne) {
+  auto cond = ConditionNumber2(CsrMatrix::Identity(6));
+  ASSERT_TRUE(cond.ok());
+  EXPECT_NEAR(*cond, 1.0, 1e-6);
+}
+
+TEST(ConditionNumber, DiagonalRatio) {
+  CsrMatrix d = CsrMatrix::Diagonal({10.0, 1.0, 2.0});
+  auto cond = ConditionNumber2(d);
+  ASSERT_TRUE(cond.ok());
+  EXPECT_NEAR(*cond, 10.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "sparse/spgemm.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+TEST(SpGemm, MatchesDenseOracle) {
+  Rng rng(83);
+  for (int trial = 0; trial < 8; ++trial) {
+    CsrMatrix a = test::RandomSparse(7, 9, 0.3, &rng);
+    CsrMatrix b = test::RandomSparse(9, 5, 0.3, &rng);
+    auto c = Multiply(a, b);
+    ASSERT_TRUE(c.ok());
+    EXPECT_TRUE(c->Validate().ok());
+    DenseMatrix dense = a.ToDense().Multiply(b.ToDense());
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(c->ToDense(), dense), 1e-12);
+  }
+}
+
+TEST(SpGemm, ShapeMismatchFails) {
+  CsrMatrix a = CsrMatrix::Zero(3, 4);
+  CsrMatrix b = CsrMatrix::Zero(5, 2);
+  EXPECT_EQ(Multiply(a, b).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpGemm, IdentityIsNeutral) {
+  Rng rng(89);
+  CsrMatrix a = test::RandomSparse(6, 6, 0.4, &rng);
+  CsrMatrix i = CsrMatrix::Identity(6);
+  auto left = Multiply(i, a);
+  auto right = Multiply(a, i);
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  EXPECT_LT(CsrMatrix::MaxAbsDiff(*left, a), 1e-15);
+  EXPECT_LT(CsrMatrix::MaxAbsDiff(*right, a), 1e-15);
+}
+
+TEST(SpGemm, ZeroMatrixAnnihilates) {
+  Rng rng(97);
+  CsrMatrix a = test::RandomSparse(4, 4, 0.5, &rng);
+  CsrMatrix z = CsrMatrix::Zero(4, 4);
+  auto c = Multiply(a, z);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->nnz(), 0);
+}
+
+TEST(SpGemm, DropToleranceRemovesSmallProducts) {
+  CooMatrix ca(1, 1), cb(1, 1);
+  ca.Add(0, 0, 1e-8);
+  cb.Add(0, 0, 1e-8);
+  CsrMatrix a = std::move(ca.ToCsr()).value();
+  CsrMatrix b = std::move(cb.ToCsr()).value();
+  auto kept = Multiply(a, b);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->nnz(), 1);
+  auto dropped = Multiply(a, b, 1e-10);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->nnz(), 0);
+}
+
+TEST(SpGemm, AssociativityProperty) {
+  Rng rng(101);
+  CsrMatrix a = test::RandomSparse(5, 6, 0.4, &rng);
+  CsrMatrix b = test::RandomSparse(6, 4, 0.4, &rng);
+  CsrMatrix c = test::RandomSparse(4, 7, 0.4, &rng);
+  auto ab_c = Multiply(std::move(Multiply(a, b)).value(), c);
+  auto a_bc = Multiply(a, std::move(Multiply(b, c)).value());
+  ASSERT_TRUE(ab_c.ok());
+  ASSERT_TRUE(a_bc.ok());
+  EXPECT_LT(CsrMatrix::MaxAbsDiff(*ab_c, *a_bc), 1e-12);
+}
+
+TEST(SparseAdd, MatchesDenseOracle) {
+  Rng rng(103);
+  for (int trial = 0; trial < 8; ++trial) {
+    CsrMatrix a = test::RandomSparse(6, 8, 0.3, &rng);
+    CsrMatrix b = test::RandomSparse(6, 8, 0.3, &rng);
+    auto c = Add(2.0, a, -0.5, b);
+    ASSERT_TRUE(c.ok());
+    EXPECT_TRUE(c->Validate().ok());
+    DenseMatrix expected = a.ToDense();
+    DenseMatrix db = b.ToDense();
+    for (index_t i = 0; i < 6; ++i) {
+      for (index_t j = 0; j < 8; ++j) {
+        expected.At(i, j) = 2.0 * expected.At(i, j) - 0.5 * db.At(i, j);
+      }
+    }
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(c->ToDense(), expected), 1e-12);
+  }
+}
+
+TEST(SparseAdd, ShapeMismatchFails) {
+  EXPECT_FALSE(Add(1.0, CsrMatrix::Zero(2, 2), 1.0, CsrMatrix::Zero(3, 3)).ok());
+}
+
+TEST(SparseAdd, ExactCancellationDropped) {
+  CsrMatrix a = CsrMatrix::Identity(3);
+  auto diff = Subtract(a, a);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->nnz(), 0);
+}
+
+TEST(SparseAdd, DisjointPatternsUnion) {
+  CooMatrix ca(2, 2), cb(2, 2);
+  ca.Add(0, 0, 1.0);
+  cb.Add(1, 1, 2.0);
+  auto sum = Add(1.0, std::move(ca.ToCsr()).value(), 1.0,
+                 std::move(cb.ToCsr()).value());
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->nnz(), 2);
+  EXPECT_DOUBLE_EQ(sum->At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sum->At(1, 1), 2.0);
+}
+
+TEST(SpGemm, DistributivityProperty) {
+  Rng rng(107);
+  CsrMatrix a = test::RandomSparse(5, 5, 0.4, &rng);
+  CsrMatrix b = test::RandomSparse(5, 5, 0.4, &rng);
+  CsrMatrix c = test::RandomSparse(5, 5, 0.4, &rng);
+  // A(B + C) == AB + AC
+  auto lhs = Multiply(a, std::move(Add(1.0, b, 1.0, c)).value());
+  auto rhs = Add(1.0, std::move(Multiply(a, b)).value(), 1.0,
+                 std::move(Multiply(a, c)).value());
+  ASSERT_TRUE(lhs.ok());
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_LT(CsrMatrix::MaxAbsDiff(*lhs, *rhs), 1e-12);
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "graph/stats.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+TEST(DegreeStats, UniformCycleHasZeroGini) {
+  std::vector<Edge> edges;
+  for (index_t i = 0; i < 20; ++i) edges.push_back({i, (i + 1) % 20});
+  auto g = Graph::FromEdges(20, edges);
+  ASSERT_TRUE(g.ok());
+  DegreeStats stats = ComputeDegreeStats(*g);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 2.0);
+  EXPECT_EQ(stats.max_degree, 2);
+  EXPECT_NEAR(stats.gini, 0.0, 1e-12);
+}
+
+TEST(DegreeStats, StarGraphIsMaximallyConcentrated) {
+  std::vector<Edge> edges;
+  for (index_t i = 1; i < 100; ++i) edges.push_back({0, i});
+  auto g = Graph::FromEdges(100, edges);
+  ASSERT_TRUE(g.ok());
+  DegreeStats stats = ComputeDegreeStats(*g);
+  EXPECT_EQ(stats.max_degree, 99);
+  EXPECT_GT(stats.gini, 0.45);
+  // The single top-1% node (the hub) carries half of all endpoints.
+  EXPECT_NEAR(stats.top1pct_share, 0.5, 1e-9);
+}
+
+TEST(DegreeStats, RmatBeatsErdosRenyiOnSkew) {
+  Rng rng(1427);
+  Graph rmat = test::SmallRmat(2000, 16000, 0.0, 1429);
+  auto er = GenerateErdosRenyi(2000, 16000, &rng);
+  ASSERT_TRUE(er.ok());
+  DegreeStats rmat_stats = ComputeDegreeStats(rmat);
+  DegreeStats er_stats = ComputeDegreeStats(*er);
+  EXPECT_GT(rmat_stats.gini, er_stats.gini + 0.2);
+  EXPECT_GT(rmat_stats.max_degree, 3 * er_stats.max_degree);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  auto g = Graph::FromEdges(0, {});
+  DegreeStats stats = ComputeDegreeStats(*g);
+  EXPECT_EQ(stats.max_degree, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 0.0);
+}
+
+TEST(DegreeHistogram, BucketsSumToNodeCount) {
+  Graph g = test::SmallRmat(500, 3000, 0.1, 1433);
+  auto buckets = DegreeHistogram(g);
+  index_t total = 0;
+  for (index_t b : buckets) total += b;
+  EXPECT_EQ(total, 500);
+}
+
+TEST(DegreeHistogram, KnownSmallCase) {
+  // Degrees (total): node0: 2, node1: 2, node2: 2 -> bucket [2,4).
+  auto g = Graph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  ASSERT_TRUE(g.ok());
+  auto buckets = DegreeHistogram(*g);
+  ASSERT_GE(buckets.size(), 2u);
+  EXPECT_EQ(buckets[1], 3);  // [2, 4)
+}
+
+TEST(Clustering, TriangleIsFullyClustered) {
+  auto g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}, {2, 0}});
+  ASSERT_TRUE(g.ok());
+  Rng rng(1439);
+  EXPECT_NEAR(SampledClusteringCoefficient(*g, 60, &rng), 1.0, 1e-9);
+}
+
+TEST(Clustering, StarHasNone) {
+  std::vector<Edge> edges;
+  for (index_t i = 1; i < 20; ++i) {
+    edges.push_back({0, i});
+    edges.push_back({i, 0});
+  }
+  auto g = Graph::FromEdges(20, edges);
+  ASSERT_TRUE(g.ok());
+  Rng rng(1447);
+  EXPECT_NEAR(SampledClusteringCoefficient(*g, 60, &rng), 0.0, 1e-9);
+}
+
+TEST(Clustering, CommunityGraphBeatsRandom) {
+  Rng rng(1451);
+  PlantedPartitionOptions pp;
+  pp.num_communities = 8;
+  pp.community_size = 50;
+  pp.p_intra = 0.25;
+  pp.p_inter = 0.001;
+  auto planted = GeneratePlantedPartition(pp, &rng);
+  ASSERT_TRUE(planted.ok());
+  auto er = GenerateErdosRenyi(400, planted->num_edges(), &rng);
+  ASSERT_TRUE(er.ok());
+  Rng sample_rng(1453);
+  const real_t planted_cc =
+      SampledClusteringCoefficient(*planted, 100, &sample_rng);
+  const real_t er_cc = SampledClusteringCoefficient(*er, 100, &sample_rng);
+  EXPECT_GT(planted_cc, 2.0 * er_cc);
+}
+
+TEST(EffectiveDiameter, PathGraphIsLong) {
+  std::vector<Edge> edges;
+  const index_t n = 60;
+  for (index_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  auto path = Graph::FromEdges(n, edges);
+  ASSERT_TRUE(path.ok());
+  Rng rng(1459);
+  EXPECT_GT(EffectiveDiameter(*path, 10, &rng), 15.0);
+}
+
+TEST(EffectiveDiameter, SmallWorldIsShort) {
+  Rng rng(1471);
+  auto ws = GenerateWattsStrogatz(400, 3, 0.2, &rng);
+  ASSERT_TRUE(ws.ok());
+  Rng sample_rng(1481);
+  const real_t diameter = EffectiveDiameter(*ws, 15, &sample_rng);
+  EXPECT_GT(diameter, 1.0);
+  EXPECT_LT(diameter, 15.0);
+}
+
+TEST(EffectiveDiameter, EmptyAndEdgelessGraphs) {
+  auto empty = Graph::FromEdges(0, {});
+  Rng rng(1483);
+  EXPECT_DOUBLE_EQ(EffectiveDiameter(*empty, 5, &rng), 0.0);
+  auto edgeless = Graph::FromEdges(5, {});
+  EXPECT_DOUBLE_EQ(EffectiveDiameter(*edgeless, 5, &rng), 0.0);
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,115 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bepi {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(Status, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::NotConverged("x").code(), StatusCode::kNotConverged);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+}
+
+TEST(Status, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::InvalidArgument("bad size");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad size");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "Ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotConverged), "NotConverged");
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::IoError("a"), Status::IoError("a"));
+  EXPECT_FALSE(Status::IoError("a") == Status::IoError("b"));
+  EXPECT_FALSE(Status::IoError("a") == Status::Internal("a"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "gone");
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status Chain(int x) {
+  BEPI_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+Result<int> Doubler(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return 2 * x;
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  BEPI_ASSIGN_OR_RETURN(int doubled, Doubler(x));
+  return doubled + 1;
+}
+
+}  // namespace
+
+TEST(StatusMacros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_EQ(Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacros, AssignOrReturn) {
+  Result<int> ok = UseAssignOrReturn(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 21);
+  Result<int> err = UseAssignOrReturn(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace bepi

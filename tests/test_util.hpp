@@ -1,0 +1,95 @@
+// Shared helpers for the BePI test suite: deterministic random matrices,
+// graphs, and dense oracles.
+#ifndef BEPI_TESTS_TEST_UTIL_HPP_
+#define BEPI_TESTS_TEST_UTIL_HPP_
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace bepi::test {
+
+/// Random sparse matrix with the given density; values uniform in [-1, 1).
+inline CsrMatrix RandomSparse(index_t rows, index_t cols, real_t density,
+                              Rng* rng) {
+  CooMatrix coo(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      if (rng->NextDouble() < density) {
+        coo.Add(r, c, 2.0 * rng->NextDouble() - 1.0);
+      }
+    }
+  }
+  auto csr = coo.ToCsr();
+  BEPI_CHECK(csr.ok());
+  return std::move(csr).value();
+}
+
+/// Random square, strictly diagonally dominant matrix (always invertible;
+/// LU without pivoting is stable on it).
+inline CsrMatrix RandomDiagDominant(index_t n, real_t density, Rng* rng) {
+  CooMatrix coo(n, n);
+  std::vector<real_t> row_abs(static_cast<std::size_t>(n), 0.0);
+  for (index_t r = 0; r < n; ++r) {
+    for (index_t c = 0; c < n; ++c) {
+      if (r != c && rng->NextDouble() < density) {
+        const real_t v = 2.0 * rng->NextDouble() - 1.0;
+        coo.Add(r, c, v);
+        row_abs[static_cast<std::size_t>(r)] += v < 0 ? -v : v;
+      }
+    }
+  }
+  for (index_t r = 0; r < n; ++r) {
+    coo.Add(r, r, row_abs[static_cast<std::size_t>(r)] + 1.0);
+  }
+  auto csr = coo.ToCsr();
+  BEPI_CHECK(csr.ok());
+  return std::move(csr).value();
+}
+
+/// Random dense vector with entries in [-1, 1).
+inline Vector RandomVector(index_t n, Rng* rng) {
+  Vector v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = 2.0 * rng->NextDouble() - 1.0;
+  return v;
+}
+
+/// Small deterministic R-MAT graph with deadends.
+inline Graph SmallRmat(index_t n, index_t m, real_t deadend_fraction,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  RmatOptions options;
+  options.num_nodes = n;
+  options.num_edges = m;
+  options.deadend_fraction = deadend_fraction;
+  auto g = GenerateRmat(options, &rng);
+  BEPI_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+/// The 8-node example graph from Figure 2 of the paper.
+inline Graph PaperExampleGraph() {
+  // Undirected edges from the figure, both directions.
+  const std::vector<std::pair<index_t, index_t>> undirected = {
+      {0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 4},
+      {3, 7}, {4, 7}, {4, 5}, {5, 6}, {5, 7},
+  };
+  std::vector<Edge> edges;
+  for (auto [u, v] : undirected) {
+    edges.push_back({u, v});
+    edges.push_back({v, u});
+  }
+  auto g = Graph::FromEdges(8, edges);
+  BEPI_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+}  // namespace bepi::test
+
+#endif  // BEPI_TESTS_TEST_UTIL_HPP_

@@ -1,0 +1,135 @@
+// Weighted-graph RWR: transition probabilities proportional to edge
+// weights, exercised through the whole solver stack.
+#include <gtest/gtest.h>
+
+#include "core/bepi.hpp"
+#include "core/exact.hpp"
+#include "core/iterative.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+Graph RandomWeighted(index_t n, index_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WeightedEdge> edges;
+  for (index_t i = 0; i < m; ++i) {
+    const index_t src = rng.UniformIndex(0, n - 1);
+    const index_t dst = rng.UniformIndex(0, n - 1);
+    if (src == dst) continue;
+    edges.push_back({src, dst, 0.1 + rng.NextDouble() * 5.0});
+  }
+  auto g = Graph::FromWeightedEdges(n, edges);
+  BEPI_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+TEST(WeightedGraph, ConstructionKeepsWeights) {
+  auto g = Graph::FromWeightedEdges(3, {{0, 1, 2.0}, {0, 2, 6.0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->adjacency().At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g->adjacency().At(0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(g->OutWeight(0), 8.0);
+  EXPECT_EQ(g->OutDegree(0), 2);
+}
+
+TEST(WeightedGraph, DuplicateEdgesSumWeights) {
+  auto g = Graph::FromWeightedEdges(2, {{0, 1, 1.5}, {0, 1, 2.5}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g->adjacency().At(0, 1), 4.0);
+}
+
+TEST(WeightedGraph, NonPositiveWeightsRejected) {
+  EXPECT_FALSE(Graph::FromWeightedEdges(2, {{0, 1, 0.0}}).ok());
+  EXPECT_FALSE(Graph::FromWeightedEdges(2, {{0, 1, -1.0}}).ok());
+}
+
+TEST(WeightedGraph, NormalizationIsWeightProportional) {
+  auto g = Graph::FromWeightedEdges(3, {{0, 1, 1.0}, {0, 2, 3.0}});
+  ASSERT_TRUE(g.ok());
+  CsrMatrix normalized = g->RowNormalizedAdjacency();
+  EXPECT_DOUBLE_EQ(normalized.At(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(normalized.At(0, 2), 0.75);
+}
+
+TEST(WeightedGraph, FromAdjacencyWeighted) {
+  CooMatrix coo(2, 2);
+  coo.Add(0, 1, 2.5);
+  auto weighted =
+      Graph::FromAdjacency(std::move(coo.ToCsr()).value(), /*binarize=*/false);
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_DOUBLE_EQ(weighted->adjacency().At(0, 1), 2.5);
+  // Non-positive weights rejected when not binarizing.
+  CooMatrix bad(2, 2);
+  bad.Add(0, 1, -1.0);
+  EXPECT_FALSE(
+      Graph::FromAdjacency(std::move(bad.ToCsr()).value(), false).ok());
+}
+
+TEST(WeightedGraph, RwrPrefersHeavyEdges) {
+  // Seed 0 has a weight-9 edge to node 1 and weight-1 edge to node 2:
+  // node 1 must collect ~9x node 2's score (they are otherwise symmetric
+  // deadends).
+  auto g = Graph::FromWeightedEdges(3, {{0, 1, 9.0}, {0, 2, 1.0}});
+  ASSERT_TRUE(g.ok());
+  RwrOptions options;
+  ExactSolver exact(options);
+  ASSERT_TRUE(exact.Preprocess(*g).ok());
+  auto r = exact.Query(0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR((*r)[1] / (*r)[2], 9.0, 1e-9);
+}
+
+TEST(WeightedGraph, BepiMatchesExactOnWeightedGraphs) {
+  for (std::uint64_t seed : {1163ull, 1171ull}) {
+    Graph g = RandomWeighted(100, 500, seed);
+    RwrOptions base;
+    ExactSolver exact(base);
+    ASSERT_TRUE(exact.Preprocess(g).ok());
+    BepiOptions options;
+    BepiSolver solver(options);
+    ASSERT_TRUE(solver.Preprocess(g).ok());
+    Rng rng(seed + 1);
+    for (int trial = 0; trial < 3; ++trial) {
+      const index_t s = rng.UniformIndex(0, 99);
+      auto re = exact.Query(s);
+      auto rb = solver.Query(s);
+      ASSERT_TRUE(re.ok());
+      ASSERT_TRUE(rb.ok());
+      EXPECT_LT(DistL2(*re, *rb), 1e-7);
+    }
+  }
+}
+
+TEST(WeightedGraph, PowerMatchesExactOnWeightedGraphs) {
+  Graph g = RandomWeighted(80, 350, 1181);
+  RwrOptions base;
+  ExactSolver exact(base);
+  PowerSolver power(base);
+  ASSERT_TRUE(exact.Preprocess(g).ok());
+  ASSERT_TRUE(power.Preprocess(g).ok());
+  auto re = exact.Query(11);
+  auto rp = power.Query(11);
+  ASSERT_TRUE(re.ok());
+  ASSERT_TRUE(rp.ok());
+  EXPECT_LT(DistL2(*re, *rp), 1e-6);
+}
+
+TEST(WeightedGraph, PrincipalSubgraphKeepsWeights) {
+  auto g = Graph::FromWeightedEdges(4, {{0, 1, 2.0}, {1, 3, 5.0}});
+  ASSERT_TRUE(g.ok());
+  auto sub = g->PrincipalSubgraph(2);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_DOUBLE_EQ(sub->adjacency().At(0, 1), 2.0);
+}
+
+TEST(WeightedGraph, UnweightedPathStillBinarizes) {
+  // FromEdges and default FromAdjacency keep the old 0/1 semantics.
+  auto g = Graph::FromEdges(2, {{0, 1}, {0, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->adjacency().At(0, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace bepi
