@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approx_tradeoff.dir/bench_approx_tradeoff.cpp.o"
+  "CMakeFiles/bench_approx_tradeoff.dir/bench_approx_tradeoff.cpp.o.d"
+  "bench_approx_tradeoff"
+  "bench_approx_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approx_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataset_profile.dir/bench_dataset_profile.cpp.o"
+  "CMakeFiles/bench_dataset_profile.dir/bench_dataset_profile.cpp.o.d"
+  "bench_dataset_profile"
+  "bench_dataset_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataset_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

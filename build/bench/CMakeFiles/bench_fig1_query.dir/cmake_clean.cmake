@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_query.dir/bench_fig1_query.cpp.o"
+  "CMakeFiles/bench_fig1_query.dir/bench_fig1_query.cpp.o.d"
+  "bench_fig1_query"
+  "bench_fig1_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_reordering.dir/bench_fig3_reordering.cpp.o"
+  "CMakeFiles/bench_fig3_reordering.dir/bench_fig3_reordering.cpp.o.d"
+  "bench_fig3_reordering"
+  "bench_fig3_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

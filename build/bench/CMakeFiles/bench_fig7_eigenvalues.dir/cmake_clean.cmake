@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_eigenvalues.dir/bench_fig7_eigenvalues.cpp.o"
+  "CMakeFiles/bench_fig7_eigenvalues.dir/bench_fig7_eigenvalues.cpp.o.d"
+  "bench_fig7_eigenvalues"
+  "bench_fig7_eigenvalues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_eigenvalues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_update.dir/batch_update.cpp.o"
+  "CMakeFiles/batch_update.dir/batch_update.cpp.o.d"
+  "batch_update"
+  "batch_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalized_ranking.dir/personalized_ranking.cpp.o"
+  "CMakeFiles/personalized_ranking.dir/personalized_ranking.cpp.o.d"
+  "personalized_ranking"
+  "personalized_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalized_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_sensitive_search.dir/topic_sensitive_search.cpp.o"
+  "CMakeFiles/topic_sensitive_search.dir/topic_sensitive_search.cpp.o.d"
+  "topic_sensitive_search"
+  "topic_sensitive_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_sensitive_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

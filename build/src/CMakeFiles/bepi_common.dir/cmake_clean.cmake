@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bepi_common.dir/common/flags.cpp.o"
+  "CMakeFiles/bepi_common.dir/common/flags.cpp.o.d"
+  "CMakeFiles/bepi_common.dir/common/log.cpp.o"
+  "CMakeFiles/bepi_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/bepi_common.dir/common/rng.cpp.o"
+  "CMakeFiles/bepi_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/bepi_common.dir/common/status.cpp.o"
+  "CMakeFiles/bepi_common.dir/common/status.cpp.o.d"
+  "CMakeFiles/bepi_common.dir/common/table.cpp.o"
+  "CMakeFiles/bepi_common.dir/common/table.cpp.o.d"
+  "libbepi_common.a"
+  "libbepi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bepi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbepi_common.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approx.cpp" "src/CMakeFiles/bepi_core.dir/core/approx.cpp.o" "gcc" "src/CMakeFiles/bepi_core.dir/core/approx.cpp.o.d"
+  "/root/repo/src/core/bear.cpp" "src/CMakeFiles/bepi_core.dir/core/bear.cpp.o" "gcc" "src/CMakeFiles/bepi_core.dir/core/bear.cpp.o.d"
+  "/root/repo/src/core/bepi.cpp" "src/CMakeFiles/bepi_core.dir/core/bepi.cpp.o" "gcc" "src/CMakeFiles/bepi_core.dir/core/bepi.cpp.o.d"
+  "/root/repo/src/core/budget.cpp" "src/CMakeFiles/bepi_core.dir/core/budget.cpp.o" "gcc" "src/CMakeFiles/bepi_core.dir/core/budget.cpp.o.d"
+  "/root/repo/src/core/datasets.cpp" "src/CMakeFiles/bepi_core.dir/core/datasets.cpp.o" "gcc" "src/CMakeFiles/bepi_core.dir/core/datasets.cpp.o.d"
+  "/root/repo/src/core/decomposition.cpp" "src/CMakeFiles/bepi_core.dir/core/decomposition.cpp.o" "gcc" "src/CMakeFiles/bepi_core.dir/core/decomposition.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/CMakeFiles/bepi_core.dir/core/exact.cpp.o" "gcc" "src/CMakeFiles/bepi_core.dir/core/exact.cpp.o.d"
+  "/root/repo/src/core/iterative.cpp" "src/CMakeFiles/bepi_core.dir/core/iterative.cpp.o" "gcc" "src/CMakeFiles/bepi_core.dir/core/iterative.cpp.o.d"
+  "/root/repo/src/core/lu_rwr.cpp" "src/CMakeFiles/bepi_core.dir/core/lu_rwr.cpp.o" "gcc" "src/CMakeFiles/bepi_core.dir/core/lu_rwr.cpp.o.d"
+  "/root/repo/src/core/nblin.cpp" "src/CMakeFiles/bepi_core.dir/core/nblin.cpp.o" "gcc" "src/CMakeFiles/bepi_core.dir/core/nblin.cpp.o.d"
+  "/root/repo/src/core/rwr.cpp" "src/CMakeFiles/bepi_core.dir/core/rwr.cpp.o" "gcc" "src/CMakeFiles/bepi_core.dir/core/rwr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bepi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bepi_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bepi_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bepi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bepi_core.dir/core/approx.cpp.o"
+  "CMakeFiles/bepi_core.dir/core/approx.cpp.o.d"
+  "CMakeFiles/bepi_core.dir/core/bear.cpp.o"
+  "CMakeFiles/bepi_core.dir/core/bear.cpp.o.d"
+  "CMakeFiles/bepi_core.dir/core/bepi.cpp.o"
+  "CMakeFiles/bepi_core.dir/core/bepi.cpp.o.d"
+  "CMakeFiles/bepi_core.dir/core/budget.cpp.o"
+  "CMakeFiles/bepi_core.dir/core/budget.cpp.o.d"
+  "CMakeFiles/bepi_core.dir/core/datasets.cpp.o"
+  "CMakeFiles/bepi_core.dir/core/datasets.cpp.o.d"
+  "CMakeFiles/bepi_core.dir/core/decomposition.cpp.o"
+  "CMakeFiles/bepi_core.dir/core/decomposition.cpp.o.d"
+  "CMakeFiles/bepi_core.dir/core/exact.cpp.o"
+  "CMakeFiles/bepi_core.dir/core/exact.cpp.o.d"
+  "CMakeFiles/bepi_core.dir/core/iterative.cpp.o"
+  "CMakeFiles/bepi_core.dir/core/iterative.cpp.o.d"
+  "CMakeFiles/bepi_core.dir/core/lu_rwr.cpp.o"
+  "CMakeFiles/bepi_core.dir/core/lu_rwr.cpp.o.d"
+  "CMakeFiles/bepi_core.dir/core/nblin.cpp.o"
+  "CMakeFiles/bepi_core.dir/core/nblin.cpp.o.d"
+  "CMakeFiles/bepi_core.dir/core/rwr.cpp.o"
+  "CMakeFiles/bepi_core.dir/core/rwr.cpp.o.d"
+  "libbepi_core.a"
+  "libbepi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bepi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

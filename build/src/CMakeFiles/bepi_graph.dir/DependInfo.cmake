@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/bepi_graph.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/bepi_graph.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/deadend.cpp" "src/CMakeFiles/bepi_graph.dir/graph/deadend.cpp.o" "gcc" "src/CMakeFiles/bepi_graph.dir/graph/deadend.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/bepi_graph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/bepi_graph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/bepi_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/bepi_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/bepi_graph.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/bepi_graph.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/reorder.cpp" "src/CMakeFiles/bepi_graph.dir/graph/reorder.cpp.o" "gcc" "src/CMakeFiles/bepi_graph.dir/graph/reorder.cpp.o.d"
+  "/root/repo/src/graph/slashburn.cpp" "src/CMakeFiles/bepi_graph.dir/graph/slashburn.cpp.o" "gcc" "src/CMakeFiles/bepi_graph.dir/graph/slashburn.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/bepi_graph.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/bepi_graph.dir/graph/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bepi_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bepi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

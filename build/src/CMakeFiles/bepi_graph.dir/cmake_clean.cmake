@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bepi_graph.dir/graph/components.cpp.o"
+  "CMakeFiles/bepi_graph.dir/graph/components.cpp.o.d"
+  "CMakeFiles/bepi_graph.dir/graph/deadend.cpp.o"
+  "CMakeFiles/bepi_graph.dir/graph/deadend.cpp.o.d"
+  "CMakeFiles/bepi_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/bepi_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/bepi_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/bepi_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/bepi_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/bepi_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/bepi_graph.dir/graph/reorder.cpp.o"
+  "CMakeFiles/bepi_graph.dir/graph/reorder.cpp.o.d"
+  "CMakeFiles/bepi_graph.dir/graph/slashburn.cpp.o"
+  "CMakeFiles/bepi_graph.dir/graph/slashburn.cpp.o.d"
+  "CMakeFiles/bepi_graph.dir/graph/stats.cpp.o"
+  "CMakeFiles/bepi_graph.dir/graph/stats.cpp.o.d"
+  "libbepi_graph.a"
+  "libbepi_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bepi_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/arnoldi.cpp" "src/CMakeFiles/bepi_solver.dir/solver/arnoldi.cpp.o" "gcc" "src/CMakeFiles/bepi_solver.dir/solver/arnoldi.cpp.o.d"
+  "/root/repo/src/solver/bicgstab.cpp" "src/CMakeFiles/bepi_solver.dir/solver/bicgstab.cpp.o" "gcc" "src/CMakeFiles/bepi_solver.dir/solver/bicgstab.cpp.o.d"
+  "/root/repo/src/solver/dense_lu.cpp" "src/CMakeFiles/bepi_solver.dir/solver/dense_lu.cpp.o" "gcc" "src/CMakeFiles/bepi_solver.dir/solver/dense_lu.cpp.o.d"
+  "/root/repo/src/solver/gmres.cpp" "src/CMakeFiles/bepi_solver.dir/solver/gmres.cpp.o" "gcc" "src/CMakeFiles/bepi_solver.dir/solver/gmres.cpp.o.d"
+  "/root/repo/src/solver/ilu0.cpp" "src/CMakeFiles/bepi_solver.dir/solver/ilu0.cpp.o" "gcc" "src/CMakeFiles/bepi_solver.dir/solver/ilu0.cpp.o.d"
+  "/root/repo/src/solver/operator.cpp" "src/CMakeFiles/bepi_solver.dir/solver/operator.cpp.o" "gcc" "src/CMakeFiles/bepi_solver.dir/solver/operator.cpp.o.d"
+  "/root/repo/src/solver/power.cpp" "src/CMakeFiles/bepi_solver.dir/solver/power.cpp.o" "gcc" "src/CMakeFiles/bepi_solver.dir/solver/power.cpp.o.d"
+  "/root/repo/src/solver/sparse_lu.cpp" "src/CMakeFiles/bepi_solver.dir/solver/sparse_lu.cpp.o" "gcc" "src/CMakeFiles/bepi_solver.dir/solver/sparse_lu.cpp.o.d"
+  "/root/repo/src/solver/spectral.cpp" "src/CMakeFiles/bepi_solver.dir/solver/spectral.cpp.o" "gcc" "src/CMakeFiles/bepi_solver.dir/solver/spectral.cpp.o.d"
+  "/root/repo/src/solver/trisolve.cpp" "src/CMakeFiles/bepi_solver.dir/solver/trisolve.cpp.o" "gcc" "src/CMakeFiles/bepi_solver.dir/solver/trisolve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bepi_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bepi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

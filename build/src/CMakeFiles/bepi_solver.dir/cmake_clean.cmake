@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bepi_solver.dir/solver/arnoldi.cpp.o"
+  "CMakeFiles/bepi_solver.dir/solver/arnoldi.cpp.o.d"
+  "CMakeFiles/bepi_solver.dir/solver/bicgstab.cpp.o"
+  "CMakeFiles/bepi_solver.dir/solver/bicgstab.cpp.o.d"
+  "CMakeFiles/bepi_solver.dir/solver/dense_lu.cpp.o"
+  "CMakeFiles/bepi_solver.dir/solver/dense_lu.cpp.o.d"
+  "CMakeFiles/bepi_solver.dir/solver/gmres.cpp.o"
+  "CMakeFiles/bepi_solver.dir/solver/gmres.cpp.o.d"
+  "CMakeFiles/bepi_solver.dir/solver/ilu0.cpp.o"
+  "CMakeFiles/bepi_solver.dir/solver/ilu0.cpp.o.d"
+  "CMakeFiles/bepi_solver.dir/solver/operator.cpp.o"
+  "CMakeFiles/bepi_solver.dir/solver/operator.cpp.o.d"
+  "CMakeFiles/bepi_solver.dir/solver/power.cpp.o"
+  "CMakeFiles/bepi_solver.dir/solver/power.cpp.o.d"
+  "CMakeFiles/bepi_solver.dir/solver/sparse_lu.cpp.o"
+  "CMakeFiles/bepi_solver.dir/solver/sparse_lu.cpp.o.d"
+  "CMakeFiles/bepi_solver.dir/solver/spectral.cpp.o"
+  "CMakeFiles/bepi_solver.dir/solver/spectral.cpp.o.d"
+  "CMakeFiles/bepi_solver.dir/solver/trisolve.cpp.o"
+  "CMakeFiles/bepi_solver.dir/solver/trisolve.cpp.o.d"
+  "libbepi_solver.a"
+  "libbepi_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bepi_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

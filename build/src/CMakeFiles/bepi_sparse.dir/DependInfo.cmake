@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/coo.cpp" "src/CMakeFiles/bepi_sparse.dir/sparse/coo.cpp.o" "gcc" "src/CMakeFiles/bepi_sparse.dir/sparse/coo.cpp.o.d"
+  "/root/repo/src/sparse/csc.cpp" "src/CMakeFiles/bepi_sparse.dir/sparse/csc.cpp.o" "gcc" "src/CMakeFiles/bepi_sparse.dir/sparse/csc.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/bepi_sparse.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/bepi_sparse.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/dense.cpp" "src/CMakeFiles/bepi_sparse.dir/sparse/dense.cpp.o" "gcc" "src/CMakeFiles/bepi_sparse.dir/sparse/dense.cpp.o.d"
+  "/root/repo/src/sparse/io.cpp" "src/CMakeFiles/bepi_sparse.dir/sparse/io.cpp.o" "gcc" "src/CMakeFiles/bepi_sparse.dir/sparse/io.cpp.o.d"
+  "/root/repo/src/sparse/permute.cpp" "src/CMakeFiles/bepi_sparse.dir/sparse/permute.cpp.o" "gcc" "src/CMakeFiles/bepi_sparse.dir/sparse/permute.cpp.o.d"
+  "/root/repo/src/sparse/spgemm.cpp" "src/CMakeFiles/bepi_sparse.dir/sparse/spgemm.cpp.o" "gcc" "src/CMakeFiles/bepi_sparse.dir/sparse/spgemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bepi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

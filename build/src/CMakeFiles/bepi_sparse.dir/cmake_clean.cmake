@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bepi_sparse.dir/sparse/coo.cpp.o"
+  "CMakeFiles/bepi_sparse.dir/sparse/coo.cpp.o.d"
+  "CMakeFiles/bepi_sparse.dir/sparse/csc.cpp.o"
+  "CMakeFiles/bepi_sparse.dir/sparse/csc.cpp.o.d"
+  "CMakeFiles/bepi_sparse.dir/sparse/csr.cpp.o"
+  "CMakeFiles/bepi_sparse.dir/sparse/csr.cpp.o.d"
+  "CMakeFiles/bepi_sparse.dir/sparse/dense.cpp.o"
+  "CMakeFiles/bepi_sparse.dir/sparse/dense.cpp.o.d"
+  "CMakeFiles/bepi_sparse.dir/sparse/io.cpp.o"
+  "CMakeFiles/bepi_sparse.dir/sparse/io.cpp.o.d"
+  "CMakeFiles/bepi_sparse.dir/sparse/permute.cpp.o"
+  "CMakeFiles/bepi_sparse.dir/sparse/permute.cpp.o.d"
+  "CMakeFiles/bepi_sparse.dir/sparse/spgemm.cpp.o"
+  "CMakeFiles/bepi_sparse.dir/sparse/spgemm.cpp.o.d"
+  "libbepi_sparse.a"
+  "libbepi_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bepi_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

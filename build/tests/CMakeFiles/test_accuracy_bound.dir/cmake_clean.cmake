@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accuracy_bound.dir/test_accuracy_bound.cpp.o"
+  "CMakeFiles/test_accuracy_bound.dir/test_accuracy_bound.cpp.o.d"
+  "test_accuracy_bound"
+  "test_accuracy_bound.pdb"
+  "test_accuracy_bound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accuracy_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

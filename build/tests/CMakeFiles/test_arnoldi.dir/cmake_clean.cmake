@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arnoldi.dir/test_arnoldi.cpp.o"
+  "CMakeFiles/test_arnoldi.dir/test_arnoldi.cpp.o.d"
+  "test_arnoldi"
+  "test_arnoldi.pdb"
+  "test_arnoldi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arnoldi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

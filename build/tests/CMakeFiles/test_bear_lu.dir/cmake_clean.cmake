@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bear_lu.dir/test_bear_lu.cpp.o"
+  "CMakeFiles/test_bear_lu.dir/test_bear_lu.cpp.o.d"
+  "test_bear_lu"
+  "test_bear_lu.pdb"
+  "test_bear_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bear_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bepi.dir/test_bepi.cpp.o"
+  "CMakeFiles/test_bepi.dir/test_bepi.cpp.o.d"
+  "test_bepi"
+  "test_bepi.pdb"
+  "test_bepi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bepi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

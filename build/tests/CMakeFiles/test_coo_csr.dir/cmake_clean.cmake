@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coo_csr.dir/test_coo_csr.cpp.o"
+  "CMakeFiles/test_coo_csr.dir/test_coo_csr.cpp.o.d"
+  "test_coo_csr"
+  "test_coo_csr.pdb"
+  "test_coo_csr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coo_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

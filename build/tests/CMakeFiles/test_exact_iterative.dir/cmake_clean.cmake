@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_iterative.dir/test_exact_iterative.cpp.o"
+  "CMakeFiles/test_exact_iterative.dir/test_exact_iterative.cpp.o.d"
+  "test_exact_iterative"
+  "test_exact_iterative.pdb"
+  "test_exact_iterative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ilu0.dir/test_ilu0.cpp.o"
+  "CMakeFiles/test_ilu0.dir/test_ilu0.cpp.o.d"
+  "test_ilu0"
+  "test_ilu0.pdb"
+  "test_ilu0[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ilu0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

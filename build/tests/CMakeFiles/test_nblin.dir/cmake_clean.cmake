@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nblin.dir/test_nblin.cpp.o"
+  "CMakeFiles/test_nblin.dir/test_nblin.cpp.o.d"
+  "test_nblin"
+  "test_nblin.pdb"
+  "test_nblin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nblin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rwr_core.dir/test_rwr_core.cpp.o"
+  "CMakeFiles/test_rwr_core.dir/test_rwr_core.cpp.o.d"
+  "test_rwr_core"
+  "test_rwr_core.pdb"
+  "test_rwr_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rwr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slashburn.dir/test_slashburn.cpp.o"
+  "CMakeFiles/test_slashburn.dir/test_slashburn.cpp.o.d"
+  "test_slashburn"
+  "test_slashburn.pdb"
+  "test_slashburn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slashburn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

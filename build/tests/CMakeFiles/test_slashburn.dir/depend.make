@@ -1,0 +1,2 @@
+# Empty dependencies file for test_slashburn.
+# This may be replaced when dependencies are built.

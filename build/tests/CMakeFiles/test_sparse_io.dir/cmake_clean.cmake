@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_io.dir/test_sparse_io.cpp.o"
+  "CMakeFiles/test_sparse_io.dir/test_sparse_io.cpp.o.d"
+  "test_sparse_io"
+  "test_sparse_io.pdb"
+  "test_sparse_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

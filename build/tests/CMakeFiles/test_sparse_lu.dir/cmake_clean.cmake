@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_lu.dir/test_sparse_lu.cpp.o"
+  "CMakeFiles/test_sparse_lu.dir/test_sparse_lu.cpp.o.d"
+  "test_sparse_lu"
+  "test_sparse_lu.pdb"
+  "test_sparse_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

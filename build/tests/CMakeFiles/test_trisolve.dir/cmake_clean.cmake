@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trisolve.dir/test_trisolve.cpp.o"
+  "CMakeFiles/test_trisolve.dir/test_trisolve.cpp.o.d"
+  "test_trisolve"
+  "test_trisolve.pdb"
+  "test_trisolve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trisolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

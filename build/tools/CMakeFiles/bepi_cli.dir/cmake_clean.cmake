@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bepi_cli.dir/bepi_cli.cpp.o"
+  "CMakeFiles/bepi_cli.dir/bepi_cli.cpp.o.d"
+  "bepi_cli"
+  "bepi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bepi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
