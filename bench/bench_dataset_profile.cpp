@@ -46,9 +46,12 @@ int main(int argc, char** argv) {
   Table hist({"degree range", "nodes"});
   auto buckets = DegreeHistogram(g);
   for (std::size_t b = 0; b < buckets.size(); ++b) {
-    hist.AddRow({"[" + Table::Int(1LL << b) + ", " +
-                     Table::Int((1LL << (b + 1))) + ")",
-                 Table::IntGrouped(buckets[b])});
+    std::string range = "[";
+    range += Table::Int(1LL << b);
+    range += ", ";
+    range += Table::Int(1LL << (b + 1));
+    range += ")";
+    hist.AddRow({std::move(range), Table::IntGrouped(buckets[b])});
   }
   hist.Print();
   std::printf(

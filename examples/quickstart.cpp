@@ -83,7 +83,9 @@ int main(int argc, char** argv) {
         static_cast<bepi::index_t>(i) + 1;
   }
   for (bepi::index_t u = 0; u < graph.num_nodes(); ++u) {
-    table.AddRow({"u" + std::to_string(u + 1),
+    std::string label = "u";
+    label += std::to_string(u + 1);
+    table.AddRow({std::move(label),
                   bepi::Table::Num((*scores)[static_cast<std::size_t>(u)]),
                   bepi::Table::Int(rank_of[static_cast<std::size_t>(u)])});
   }

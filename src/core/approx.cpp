@@ -1,6 +1,8 @@
 #include "core/approx.hpp"
 
 #include <cmath>
+#include <queue>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -39,18 +41,26 @@ Result<index_t> RunPushLoop(const CsrMatrix& normalized, real_t c,
                             real_t threshold, index_t max_pushes, Vector* p,
                             Vector* res) {
   const index_t n = normalized.rows();
-  std::vector<index_t> queue;
+  // Largest-residual-first order: draining the biggest mass before it can
+  // scatter keeps each node's residual from re-crossing the threshold
+  // many times, which substantially reduces total pushes compared to FIFO
+  // rounds (and makes warm-started refreshes genuinely cheap). The heap
+  // uses lazy keys: entries are not updated in place; a node is re-pushed
+  // when its residual grows while unqueued, and stale magnitudes are
+  // re-read at pop time.
+  std::priority_queue<std::pair<real_t, index_t>> heap;
   std::vector<bool> queued(static_cast<std::size_t>(n), false);
   for (index_t u = 0; u < n; ++u) {
-    if (std::fabs((*res)[static_cast<std::size_t>(u)]) > threshold) {
-      queue.push_back(u);
+    const real_t mass = (*res)[static_cast<std::size_t>(u)];
+    if (std::fabs(mass) > threshold) {
+      heap.emplace(std::fabs(mass), u);
       queued[static_cast<std::size_t>(u)] = true;
     }
   }
   index_t pushes = 0;
-  std::size_t head = 0;
-  while (head < queue.size()) {
-    const index_t u = queue[head++];
+  while (!heap.empty()) {
+    const index_t u = heap.top().second;
+    heap.pop();
     queued[static_cast<std::size_t>(u)] = false;
     const real_t mass = (*res)[static_cast<std::size_t>(u)];
     if (std::fabs(mass) <= threshold) continue;
@@ -65,19 +75,13 @@ Result<index_t> RunPushLoop(const CsrMatrix& normalized, real_t c,
     for (index_t pos = normalized.row_ptr()[static_cast<std::size_t>(u)];
          pos < normalized.row_ptr()[static_cast<std::size_t>(u) + 1]; ++pos) {
       const index_t v = normalized.col_idx()[static_cast<std::size_t>(pos)];
-      (*res)[static_cast<std::size_t>(v)] +=
-          spread * normalized.values()[static_cast<std::size_t>(pos)];
-      if (std::fabs((*res)[static_cast<std::size_t>(v)]) > threshold &&
-          !queued[static_cast<std::size_t>(v)]) {
-        queue.push_back(v);
+      const real_t updated =
+          ((*res)[static_cast<std::size_t>(v)] +=
+           spread * normalized.values()[static_cast<std::size_t>(pos)]);
+      if (std::fabs(updated) > threshold && !queued[static_cast<std::size_t>(v)]) {
+        heap.emplace(std::fabs(updated), v);
         queued[static_cast<std::size_t>(v)] = true;
       }
-    }
-    // Compact the FIFO occasionally to bound memory.
-    if (head > 1'000'000 && head * 2 > queue.size()) {
-      queue.erase(queue.begin(),
-                  queue.begin() + static_cast<std::ptrdiff_t>(head));
-      head = 0;
     }
   }
   return pushes;

@@ -4,7 +4,9 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/timer.hpp"
+#include "core/resilient.hpp"
 #include "solver/bicgstab.hpp"
 #include "solver/gmres.hpp"
 #include "sparse/io.hpp"
@@ -63,8 +65,20 @@ Status BepiSolver::Preprocess(const Graph& g) {
     // The ILU(0) factors have the same footprint as S (paper Section 3.5).
     BEPI_RETURN_IF_ERROR(
         budget.Charge(dec_.schur.ByteSize(), "ILU(0) factors of S"));
-    BEPI_ASSIGN_OR_RETURN(Ilu0 ilu, Ilu0::Factor(dec_.schur));
-    ilu_ = std::move(ilu);
+    Result<Ilu0> ilu = Ilu0::Factor(dec_.schur);
+    if (ilu.ok()) {
+      ilu_ = std::move(ilu).value();
+    } else if (options_.enable_fallbacks &&
+               ilu.status().code() == StatusCode::kFailedPrecondition) {
+      // Breakdown (zero/tiny pivot): degrade to unpreconditioned queries
+      // rather than failing preprocessing; the query-phase chain starts at
+      // the Jacobi hop.
+      BEPI_LOG(Warning) << "ILU(0) breakdown, continuing unpreconditioned: "
+                        << ilu.status().ToString();
+      info_.ilu_skipped = true;
+    } else {
+      return ilu.status();
+    }
     info_.ilu_seconds = ilu_timer.Seconds();
   }
   inverse_perm_ = InversePermutation(dec_.perm);
@@ -137,45 +151,86 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
     dec_.h21.MultiplyAdd(-1.0, h11inv_cq1, &q2_tilde);
   }
 
-  // Solve S r2 = q2~ with a preconditioned Krylov method (line 4).
+  ResilientSolveOptions ropts;
+  ropts.tol = options_.tolerance;
+  ropts.max_iters = options_.max_iterations;
+  ropts.gmres_restart = options_.gmres_restart;
+  ropts.enable_fallbacks = options_.enable_fallbacks;
+
+  // Solve S r2 = q2~ through the degradation chain (line 4).
+  QueryReport report;
+  Vector r1, r3;
   Vector r2(static_cast<std::size_t>(n2), 0.0);
-  SolveStats solve_stats;
+  bool back_substitute = true;
   if (n2 > 0) {
-    CsrOperator op(dec_.schur);
-    const Preconditioner* m = ilu_.has_value() ? &*ilu_ : nullptr;
-    if (options_.inner_solver == BepiInnerSolver::kBicgstab) {
-      BicgstabOptions bi;
-      bi.tol = options_.tolerance;
-      bi.max_iters = options_.max_iterations;
-      BEPI_ASSIGN_OR_RETURN(r2, Bicgstab(op, q2_tilde, bi, &solve_stats, m));
+    Result<Vector> schur_solve = [&]() -> Result<Vector> {
+      if (options_.inner_solver == BepiInnerSolver::kBicgstab) {
+        // Ablation path: BiCGSTAB as the primary inner solver. A failure
+        // still drops into the global power fallback below.
+        SolveStats ss;
+        BicgstabOptions bi;
+        bi.tol = options_.tolerance;
+        bi.max_iters = options_.max_iterations;
+        CsrOperator op(dec_.schur);
+        const Preconditioner* m = ilu_.has_value() ? &*ilu_ : nullptr;
+        BEPI_ASSIGN_OR_RETURN(Vector x, Bicgstab(op, q2_tilde, bi, &ss, m));
+        SolveAttempt attempt;
+        attempt.stage = m != nullptr ? "ilu0+bicgstab" : "bicgstab";
+        attempt.outcome = ss.outcome;
+        attempt.iterations = ss.iterations;
+        attempt.residual = ss.relative_residual;
+        report.attempts.push_back(attempt);
+        report.final_outcome = ss.outcome;
+        if (!ss.converged) {
+          return Status::NotConverged(
+              "BiCGSTAB Schur solve ended with " +
+              std::string(SolveOutcomeName(ss.outcome)));
+        }
+        return x;
+      }
+      ResilientSchurSolver schur_solver(dec_.schur, preconditioner(), ropts);
+      return schur_solver.Solve(q2_tilde, &report);
+    }();
+    if (schur_solve.ok()) {
+      r2 = std::move(schur_solve).value();
+    } else if (schur_solve.status().code() == StatusCode::kNotConverged &&
+               options_.enable_fallbacks && SupportsGlobalPowerFallback(dec_)) {
+      // Hop 4: every Krylov stage failed; solve the original reordered
+      // system H r = c q by power iteration, which always converges for
+      // RWR. The back-substitution lines are skipped — the fallback
+      // produces the full vector directly.
+      Vector cq;
+      cq.reserve(static_cast<std::size_t>(dec_.n));
+      cq.insert(cq.end(), cq1.begin(), cq1.end());
+      cq.insert(cq.end(), cq2.begin(), cq2.end());
+      cq.insert(cq.end(), cq3.begin(), cq3.end());
+      BEPI_ASSIGN_OR_RETURN(Vector r,
+                            GlobalPowerFallback(dec_, cq, ropts, &report));
+      auto at = [&r](index_t i) {
+        return r.begin() + static_cast<std::ptrdiff_t>(i);
+      };
+      r1.assign(at(0), at(n1));
+      r2.assign(at(n1), at(n1 + n2));
+      r3.assign(at(n1 + n2), at(dec_.n));
+      back_substitute = false;
     } else {
-      GmresOptions gm;
-      gm.tol = options_.tolerance;
-      gm.max_iters = options_.max_iterations;
-      gm.restart = options_.gmres_restart;
-      BEPI_ASSIGN_OR_RETURN(r2, Gmres(op, q2_tilde, gm, &solve_stats, m));
-    }
-    if (!solve_stats.converged) {
-      return Status::NotConverged(
-          "Schur-complement solve did not reach tolerance " +
-          std::to_string(options_.tolerance) + " in " +
-          std::to_string(options_.max_iterations) + " iterations");
+      return schur_solve.status();
     }
   }
 
-  // r1 = U1^{-1} (L1^{-1} (c q1 - H12 r2))  (line 5).
-  Vector r1;
-  if (n1 > 0) {
-    Vector rhs1 = cq1;
-    dec_.h12.MultiplyAdd(-1.0, r2, &rhs1);
-    r1 = dec_.ApplyH11Inverse(rhs1);
-  }
-
-  // r3 = c q3 - H31 r1 - H32 r2  (line 6).
-  Vector r3 = cq3;
-  if (n3 > 0) {
-    if (n1 > 0) dec_.h31.MultiplyAdd(-1.0, r1, &r3);
-    if (n2 > 0) dec_.h32.MultiplyAdd(-1.0, r2, &r3);
+  if (back_substitute) {
+    // r1 = U1^{-1} (L1^{-1} (c q1 - H12 r2))  (line 5).
+    if (n1 > 0) {
+      Vector rhs1 = cq1;
+      dec_.h12.MultiplyAdd(-1.0, r2, &rhs1);
+      r1 = dec_.ApplyH11Inverse(rhs1);
+    }
+    // r3 = c q3 - H31 r1 - H32 r2  (line 6).
+    r3 = cq3;
+    if (n3 > 0) {
+      if (n1 > 0) dec_.h31.MultiplyAdd(-1.0, r1, &r3);
+      if (n2 > 0) dec_.h32.MultiplyAdd(-1.0, r2, &r3);
+    }
   }
 
   // Concatenate and undo the node reordering (line 7).
@@ -196,8 +251,17 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
   }
   if (stats != nullptr) {
     stats->seconds = timer.Seconds();
-    stats->iterations = solve_stats.iterations;
-    stats->residual = solve_stats.relative_residual;
+    if (!report.attempts.empty()) {
+      const SolveAttempt& producing = report.attempts.back();
+      stats->iterations = producing.iterations;
+      stats->residual = producing.residual;
+      stats->outcome = producing.outcome;
+    } else {
+      stats->iterations = 0;
+      stats->residual = 0.0;
+      stats->outcome = SolveOutcome::kConverged;
+    }
+    stats->report = std::move(report);
   }
   return result;
 }
@@ -210,7 +274,11 @@ std::uint64_t BepiSolver::PreprocessedBytes() const {
 
 namespace {
 
-constexpr char kModelHeader[] = "BEPI-MODEL v1";
+// v2 appends H11 and H22 so loaded models can take the global
+// power-iteration fallback; v1 models are still readable (the fallback is
+// then unavailable).
+constexpr char kModelHeaderV1[] = "BEPI-MODEL v1";
+constexpr char kModelHeaderV2[] = "BEPI-MODEL v2";
 
 }  // namespace
 
@@ -218,7 +286,7 @@ Status BepiSolver::Save(std::ostream& out) const {
   if (!preprocessed_) {
     return Status::FailedPrecondition("nothing to save: Preprocess not called");
   }
-  out << kModelHeader << "\n";
+  out << kModelHeaderV2 << "\n";
   out.precision(17);
   out << static_cast<int>(options_.mode) << " " << options_.restart_prob
       << " " << options_.tolerance << " " << options_.max_iterations << " "
@@ -228,9 +296,11 @@ Status BepiSolver::Save(std::ostream& out) const {
     out << dec_.perm[static_cast<std::size_t>(i)]
         << (i + 1 == dec_.n ? '\n' : ' ');
   }
-  // Query-phase matrices in a fixed order (the paper's stored set).
+  // Query-phase matrices in a fixed order: the paper's stored set, then
+  // the v2 additions H11 and H22 (power-fallback operands).
   for (const CsrMatrix* m : {&dec_.l1_inv, &dec_.u1_inv, &dec_.h12, &dec_.h21,
-                             &dec_.h31, &dec_.h32, &dec_.schur}) {
+                             &dec_.h31, &dec_.h32, &dec_.schur, &dec_.h11,
+                             &dec_.h22}) {
     BEPI_RETURN_IF_ERROR(WriteMatrixMarket(*m, out));
   }
   if (!out) return Status::IoError("failed writing BePI model stream");
@@ -245,9 +315,11 @@ Status BepiSolver::SaveFile(const std::string& path) const {
 
 Result<BepiSolver> BepiSolver::Load(std::istream& in) {
   std::string header;
-  if (!std::getline(in, header) || header != kModelHeader) {
+  if (!std::getline(in, header) ||
+      (header != kModelHeaderV1 && header != kModelHeaderV2)) {
     return Status::IoError("not a BePI model stream (bad header)");
   }
+  const bool v2 = header == kModelHeaderV2;
   BepiOptions options;
   int mode = 0;
   real_t hub_ratio = 0.0;
@@ -278,6 +350,10 @@ Result<BepiSolver> BepiSolver::Load(std::istream& in) {
                        &dec.h32, &dec.schur}) {
     BEPI_ASSIGN_OR_RETURN(*m, ReadMatrixMarket(in));
   }
+  if (v2) {
+    BEPI_ASSIGN_OR_RETURN(dec.h11, ReadMatrixMarket(in));
+    BEPI_ASSIGN_OR_RETURN(dec.h22, ReadMatrixMarket(in));
+  }
   // Shape checks tie the matrices to the declared partition sizes.
   if (dec.l1_inv.rows() != dec.n1 || dec.u1_inv.rows() != dec.n1 ||
       dec.h12.rows() != dec.n1 || dec.h12.cols() != dec.n2 ||
@@ -287,9 +363,23 @@ Result<BepiSolver> BepiSolver::Load(std::istream& in) {
       dec.schur.rows() != dec.n2 || dec.schur.cols() != dec.n2) {
     return Status::IoError("BePI model matrices inconsistent with sizes");
   }
+  if (v2 && (dec.h11.rows() != dec.n1 || dec.h11.cols() != dec.n1 ||
+             dec.h22.rows() != dec.n2 || dec.h22.cols() != dec.n2)) {
+    return Status::IoError("BePI model matrices inconsistent with sizes");
+  }
+  bool ilu_skipped = false;
   if (options.mode == BepiMode::kPreconditioned && dec.n2 > 0) {
-    BEPI_ASSIGN_OR_RETURN(Ilu0 ilu, Ilu0::Factor(dec.schur));
-    solver.ilu_ = std::move(ilu);
+    Result<Ilu0> ilu = Ilu0::Factor(dec.schur);
+    if (ilu.ok()) {
+      solver.ilu_ = std::move(ilu).value();
+    } else if (options.enable_fallbacks &&
+               ilu.status().code() == StatusCode::kFailedPrecondition) {
+      BEPI_LOG(Warning) << "ILU(0) breakdown on load, continuing "
+                        << "unpreconditioned: " << ilu.status().ToString();
+      ilu_skipped = true;
+    } else {
+      return ilu.status();
+    }
   }
   solver.inverse_perm_ = InversePermutation(dec.perm);
   // Only the structural fields survive a round-trip; the timing breakdown
@@ -299,6 +389,7 @@ Result<BepiSolver> BepiSolver::Load(std::istream& in) {
   solver.info_.n2 = dec.n2;
   solver.info_.n3 = dec.n3;
   solver.info_.schur_nnz = dec.schur.nnz();
+  solver.info_.ilu_skipped = ilu_skipped;
   solver.preprocessed_ = true;
   return solver;
 }

@@ -41,6 +41,11 @@ struct BepiOptions : RwrOptions {
   /// Hub selection strategy (kRandom is the ablation control).
   SlashBurnOptions::HubSelection hub_selection =
       SlashBurnOptions::HubSelection::kDegree;
+  /// Run the degradation chain (core/resilient.hpp) when the primary
+  /// Schur solve fails, ending in global power iteration. When false a
+  /// failed solve surfaces as Status kNotConverged (the pre-resilience
+  /// behavior, kept for ablations).
+  bool enable_fallbacks = true;
 };
 
 /// Structural metadata produced by preprocessing; consumed by the
@@ -57,6 +62,9 @@ struct BepiPreprocessInfo {
   double factor_seconds = 0.0;
   double schur_seconds = 0.0;
   double ilu_seconds = 0.0;
+  /// True when ILU(0) factorization of S broke down and preprocessing
+  /// continued without the preconditioner (enable_fallbacks only).
+  bool ilu_skipped = false;
 };
 
 class BepiSolver final : public RwrSolver {

@@ -1,0 +1,174 @@
+#include "core/resilient.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "solver/bicgstab.hpp"
+#include "solver/gmres.hpp"
+#include "solver/power.hpp"
+
+namespace bepi {
+namespace {
+
+SolveAttempt MakeAttempt(const char* stage, const SolveStats& stats) {
+  SolveAttempt attempt;
+  attempt.stage = stage;
+  attempt.outcome = stats.outcome;
+  attempt.iterations = stats.iterations;
+  attempt.residual = stats.relative_residual;
+  return attempt;
+}
+
+void Record(QueryReport* report, const SolveAttempt& attempt) {
+  if (report == nullptr) return;
+  report->attempts.push_back(attempt);
+  report->final_outcome = attempt.outcome;
+}
+
+}  // namespace
+
+ResilientSchurSolver::ResilientSchurSolver(const CsrMatrix& schur,
+                                           const Ilu0* ilu,
+                                           ResilientSolveOptions options)
+    : schur_(schur), ilu_(ilu), options_(options) {}
+
+Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
+                                           QueryReport* report) const {
+  if (static_cast<index_t>(b.size()) != schur_.rows()) {
+    return Status::InvalidArgument("Schur rhs size mismatch");
+  }
+  CsrOperator op(schur_);
+  GmresOptions gm;
+  gm.tol = options_.tol;
+  gm.max_iters = options_.max_iters;
+  gm.restart = options_.gmres_restart;
+
+  // Hop 1: the paper's configuration, when the ILU(0) factors exist.
+  if (ilu_ != nullptr) {
+    SolveStats stats;
+    BEPI_ASSIGN_OR_RETURN(Vector x, Gmres(op, b, gm, &stats, ilu_));
+    Record(report, MakeAttempt("ilu0+gmres", stats));
+    if (stats.converged) return x;
+    if (!options_.enable_fallbacks) {
+      return Status::NotConverged("Schur solve (ilu0+gmres) ended with " +
+                                  std::string(SolveOutcomeName(stats.outcome)) +
+                                  " and fallbacks are disabled");
+    }
+  }
+
+  // Hop 2: Jacobi-preconditioned GMRES. The Schur complement of an RWR
+  // system is a nonsingular M-matrix, so its diagonal is safe to invert;
+  // this hop survives any ILU(0) breakdown or ILU-induced NaN.
+  {
+    SolveStats stats;
+    JacobiPreconditioner jacobi(schur_);
+    BEPI_ASSIGN_OR_RETURN(Vector x, Gmres(op, b, gm, &stats, &jacobi));
+    Record(report, MakeAttempt("jacobi+gmres", stats));
+    if (stats.converged) return x;
+    if (!options_.enable_fallbacks && ilu_ == nullptr) {
+      return Status::NotConverged("Schur solve (jacobi+gmres) ended with " +
+                                  std::string(SolveOutcomeName(stats.outcome)) +
+                                  " and fallbacks are disabled");
+    }
+  }
+
+  // Hop 3: unpreconditioned BiCGSTAB — a different Krylov recurrence that
+  // does not share GMRES's restart-stagnation failure mode.
+  {
+    SolveStats stats;
+    BicgstabOptions bi;
+    bi.tol = options_.tol;
+    bi.max_iters = options_.max_iters;
+    BEPI_ASSIGN_OR_RETURN(Vector x, Bicgstab(op, b, bi, &stats));
+    Record(report, MakeAttempt("bicgstab", stats));
+    if (stats.converged) return x;
+  }
+
+  return Status::NotConverged(
+      "all Krylov stages of the Schur degradation chain failed");
+}
+
+bool SupportsGlobalPowerFallback(const HubSpokeDecomposition& dec) {
+  return dec.h11.rows() == dec.n1 && dec.h11.cols() == dec.n1 &&
+         dec.h22.rows() == dec.n2 && dec.h22.cols() == dec.n2;
+}
+
+namespace {
+
+/// y = (I - H) x assembled blockwise from the stored partitions of the
+/// reordered H (Equation (5); H13 = H23 = 0 and H33 = I, so the deadend
+/// rows of I - H are exactly -[H31 H32 0]).
+class BlockComplementOperator final : public LinearOperator {
+ public:
+  explicit BlockComplementOperator(const HubSpokeDecomposition& dec)
+      : dec_(dec) {}
+
+  index_t size() const override { return dec_.n; }
+
+  void Apply(const Vector& x, Vector* y) const override {
+    const std::size_t n1 = static_cast<std::size_t>(dec_.n1);
+    const std::size_t n2 = static_cast<std::size_t>(dec_.n2);
+    const std::size_t n3 = static_cast<std::size_t>(dec_.n3);
+    const Vector x1(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(n1));
+    const Vector x2(x.begin() + static_cast<std::ptrdiff_t>(n1),
+                    x.begin() + static_cast<std::ptrdiff_t>(n1 + n2));
+    y->assign(x.size(), 0.0);
+    // y1 = x1 - H11 x1 - H12 x2
+    if (n1 > 0) {
+      Vector y1 = x1;
+      dec_.h11.MultiplyAdd(-1.0, x1, &y1);
+      if (n2 > 0) dec_.h12.MultiplyAdd(-1.0, x2, &y1);
+      std::copy(y1.begin(), y1.end(), y->begin());
+    }
+    // y2 = x2 - H21 x1 - H22 x2
+    if (n2 > 0) {
+      Vector y2 = x2;
+      if (n1 > 0) dec_.h21.MultiplyAdd(-1.0, x1, &y2);
+      dec_.h22.MultiplyAdd(-1.0, x2, &y2);
+      std::copy(y2.begin(), y2.end(),
+                y->begin() + static_cast<std::ptrdiff_t>(n1));
+    }
+    // y3 = -(H31 x1 + H32 x2)
+    if (n3 > 0) {
+      Vector y3(n3, 0.0);
+      if (n1 > 0) dec_.h31.MultiplyAdd(-1.0, x1, &y3);
+      if (n2 > 0) dec_.h32.MultiplyAdd(-1.0, x2, &y3);
+      std::copy(y3.begin(), y3.end(),
+                y->begin() + static_cast<std::ptrdiff_t>(n1 + n2));
+    }
+  }
+
+ private:
+  const HubSpokeDecomposition& dec_;
+};
+
+}  // namespace
+
+Result<Vector> GlobalPowerFallback(const HubSpokeDecomposition& dec,
+                                   const Vector& cq,
+                                   const ResilientSolveOptions& options,
+                                   QueryReport* report) {
+  if (static_cast<index_t>(cq.size()) != dec.n) {
+    return Status::InvalidArgument("power fallback rhs size mismatch");
+  }
+  if (!SupportsGlobalPowerFallback(dec)) {
+    return Status::FailedPrecondition(
+        "decomposition lacks H11/H22 (model predates format v2); global "
+        "power fallback unavailable");
+  }
+  BlockComplementOperator g_op(dec);
+  FixedPointOptions fp;
+  fp.tol = options.tol;
+  fp.max_iters = options.max_iters;
+  SolveStats stats;
+  BEPI_ASSIGN_OR_RETURN(Vector r, FixedPointIteration(g_op, cq, fp, &stats));
+  Record(report, MakeAttempt("power", stats));
+  if (!stats.converged) {
+    return Status::NotConverged(
+        "global power-iteration fallback exhausted its budget at residual " +
+        std::to_string(stats.relative_residual));
+  }
+  return r;
+}
+
+}  // namespace bepi

@@ -7,6 +7,19 @@
 
 namespace bepi {
 
+std::string QueryReport::Summary() const {
+  if (attempts.empty()) return "no solve attempts recorded";
+  std::string out;
+  for (const SolveAttempt& a : attempts) {
+    if (!out.empty()) out += "; ";
+    out += a.stage;
+    out += " -> ";
+    out += SolveOutcomeName(a.outcome);
+    out += " (" + std::to_string(a.iterations) + " iters)";
+  }
+  return out;
+}
+
 CsrMatrix BuildH(const Graph& g, real_t restart_prob) {
   return BuildHFromNormalized(g.RowNormalizedAdjacency(), restart_prob);
 }

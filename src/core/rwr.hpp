@@ -14,6 +14,7 @@
 
 #include "common/status.hpp"
 #include "graph/graph.hpp"
+#include "solver/outcome.hpp"
 #include "sparse/csr.hpp"
 
 namespace bepi {
@@ -33,6 +34,22 @@ struct RwrOptions {
   std::uint64_t memory_budget_bytes = 0;
 };
 
+/// How a resilient query ended: every solver stage that ran (in order)
+/// and the verdict of the one that produced the returned vector. A
+/// healthy query has exactly one attempt; each additional attempt is one
+/// hop down the degradation chain (see core/resilient.hpp).
+struct QueryReport {
+  std::vector<SolveAttempt> attempts;
+  SolveOutcome final_outcome = SolveOutcome::kConverged;
+
+  /// Fallback hops taken (0 when the primary configuration succeeded).
+  index_t fallback_hops() const {
+    return attempts.empty() ? 0 : static_cast<index_t>(attempts.size()) - 1;
+  }
+  /// One line, e.g. "ilu0+gmres -> Breakdown; jacobi+gmres -> Converged".
+  std::string Summary() const;
+};
+
 /// Per-query measurements.
 struct QueryStats {
   double seconds = 0.0;
@@ -40,6 +57,11 @@ struct QueryStats {
   index_t iterations = 0;
   /// Final relative residual of the inner solver (0 for direct methods).
   real_t residual = 0.0;
+  /// Verdict of the solve that produced the result (direct methods and
+  /// solvers without structured reporting leave kConverged).
+  SolveOutcome outcome = SolveOutcome::kConverged;
+  /// Degradation-chain trace (empty for solvers that do not report one).
+  QueryReport report;
 };
 
 /// An RWR method: preprocess once, then answer per-seed queries. Seeds and

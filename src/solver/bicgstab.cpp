@@ -1,6 +1,9 @@
 #include "solver/bicgstab.hpp"
 
 #include <cmath>
+#include <limits>
+
+#include "common/faultinject.hpp"
 
 namespace bepi {
 namespace {
@@ -35,7 +38,19 @@ Result<Vector> Bicgstab(const LinearOperator& a, const Vector& b,
   const real_t original_b_norm = Norm2(b);
   if (original_b_norm == 0.0) {
     stats->converged = true;
+    stats->outcome = SolveOutcome::kConverged;
     return Vector(static_cast<std::size_t>(n), 0.0);
+  }
+  if (!std::isfinite(original_b_norm)) {
+    stats->outcome = SolveOutcome::kDiverged;
+    return Vector(static_cast<std::size_t>(n), 0.0);
+  }
+  // Deterministic breakdown for resilience tests: report the recurrence
+  // as irrecoverably broken before doing any work.
+  if (BEPI_FAULT_INJECTED(fault_sites::kBicgstabBreakdown)) {
+    stats->outcome = SolveOutcome::kBreakdown;
+    stats->relative_residual = std::numeric_limits<real_t>::infinity();
+    return x0 != nullptr ? *x0 : Vector(static_cast<std::size_t>(n), 0.0);
   }
   // Solve the normalized system A y = b/||b|| and rescale at the end:
   // makes every breakdown test scale-invariant (tiny right-hand sides
@@ -68,13 +83,32 @@ Result<Vector> Bicgstab(const LinearOperator& a, const Vector& b,
     if (options.track_history) stats->residual_history.push_back(rel);
   };
 
+  if (n > 0 && BEPI_FAULT_INJECTED(fault_sites::kBicgstabNan)) {
+    r[0] = std::numeric_limits<real_t>::quiet_NaN();
+  }
   real_t rel = Norm2(r) / b_norm;
   record(rel);
   if (rel <= options.tol) {
     stats->converged = true;
+    stats->outcome = SolveOutcome::kConverged;
     Scale(original_b_norm, &x);
     return x;
   }
+  if (!std::isfinite(rel)) {
+    stats->outcome = SolveOutcome::kDiverged;
+    Scale(original_b_norm, &x);
+    return x;
+  }
+  // Best finite iterate seen, in normalized units: what divergence and
+  // budget-exhaustion exits hand back.
+  Vector best_x = x;
+  real_t best_rel = rel;
+  auto finish = [&](SolveOutcome outcome) {
+    stats->outcome = outcome;
+    stats->relative_residual = best_rel;
+    Scale(original_b_norm, &best_x);
+    return best_x;
+  };
 
   // Restarts the recurrence from the current iterate with a fresh shadow
   // residual; the classic cure for the serial (Lanczos) breakdowns where
@@ -96,11 +130,15 @@ Result<Vector> Bicgstab(const LinearOperator& a, const Vector& b,
   for (index_t iter = 0; iter < options.max_iters; ++iter) {
     stats->iterations = iter + 1;
     if (restarts_since_progress > kMaxRestarts) {
-      return Status::NotConverged(
-          "BiCGSTAB stagnated after repeated breakdown restarts");
+      // Repeated breakdown restarts with no residual progress: report
+      // stagnation and hand back the best iterate instead of aborting.
+      return finish(SolveOutcome::kStagnated);
     }
     const real_t rho_next = Dot(r_hat, r);
     const real_t r_norm = Norm2(r);
+    if (!std::isfinite(rho_next) || !std::isfinite(r_norm)) {
+      return finish(SolveOutcome::kDiverged);
+    }
     if (std::fabs(rho_next) < kBreakdownEps * r_hat_norm * r_norm) {
       restart();
       continue;
@@ -132,8 +170,12 @@ Result<Vector> Bicgstab(const LinearOperator& a, const Vector& b,
       Axpy(alpha, phat, &x);
       record(s_rel);
       stats->converged = true;
+      stats->outcome = SolveOutcome::kConverged;
       Scale(original_b_norm, &x);
       return x;
+    }
+    if (!std::isfinite(s_rel)) {
+      return finish(SolveOutcome::kDiverged);
     }
     ApplyPrecond(m, s, &shat);
     if (t.size() != s.size()) t.resize(s.size());
@@ -156,8 +198,16 @@ Result<Vector> Bicgstab(const LinearOperator& a, const Vector& b,
     record(rel);
     if (rel <= options.tol) {
       stats->converged = true;
+      stats->outcome = SolveOutcome::kConverged;
       Scale(original_b_norm, &x);
       return x;
+    }
+    if (!std::isfinite(rel)) {
+      return finish(SolveOutcome::kDiverged);
+    }
+    if (rel < best_rel) {
+      best_rel = rel;
+      best_x = x;
     }
     if (rel < 0.99 * prev_rel) restarts_since_progress = 0;
     if (std::fabs(omega) < kBreakdownEps) {
@@ -166,8 +216,7 @@ Result<Vector> Bicgstab(const LinearOperator& a, const Vector& b,
     }
   }
   stats->converged = false;
-  Scale(original_b_norm, &x);
-  return x;
+  return finish(SolveOutcome::kBudgetExhausted);
 }
 
 }  // namespace bepi

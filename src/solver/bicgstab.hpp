@@ -22,8 +22,11 @@ struct BicgstabOptions {
 };
 
 /// Solves A x = b with optional left preconditioning M^{-1} A x = M^{-1} b.
-/// Returns the best iterate; check stats->converged. Breakdown (rho or
-/// omega collapsing) restarts the recurrence from the current iterate.
+/// Returns the best iterate; check stats->converged and stats->outcome.
+/// Breakdown (rho or omega collapsing) restarts the recurrence from the
+/// current iterate; repeated fruitless restarts end the solve with outcome
+/// kStagnated, and non-finite residuals with kDiverged — both still return
+/// the best finite iterate seen. Only shape errors give a non-ok Status.
 Result<Vector> Bicgstab(const LinearOperator& a, const Vector& b,
                         const BicgstabOptions& options, SolveStats* stats,
                         const Preconditioner* m = nullptr,

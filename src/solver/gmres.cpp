@@ -1,8 +1,10 @@
 #include "solver/gmres.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
+#include "common/faultinject.hpp"
 
 namespace bepi {
 namespace {
@@ -47,8 +49,37 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
   if (b_norm == 0.0) {
     // A x = 0 has solution x = 0 (A is nonsingular in our usage).
     stats->converged = true;
+    stats->outcome = SolveOutcome::kConverged;
     return Vector(static_cast<std::size_t>(n), 0.0);
   }
+  if (!std::isfinite(b_norm)) {
+    stats->outcome = SolveOutcome::kDiverged;
+    return x;
+  }
+  // Deterministic stagnation for resilience tests: pretend the residual
+  // plateaued immediately, exactly as the detector below would report.
+  if (BEPI_FAULT_INJECTED(fault_sites::kGmresStagnate)) {
+    stats->outcome = SolveOutcome::kStagnated;
+    stats->relative_residual = std::numeric_limits<real_t>::infinity();
+    return x;
+  }
+  // Best preconditioned residual seen at each iteration, for the
+  // stagnation window check.
+  std::vector<real_t> best_rel;
+  if (options.stagnation_window > 0) {
+    best_rel.reserve(static_cast<std::size_t>(
+        std::min<index_t>(options.max_iters, 100000)));
+  }
+  real_t best_so_far = std::numeric_limits<real_t>::infinity();
+  auto stagnated = [&](real_t rel) {
+    if (options.stagnation_window <= 0) return false;
+    best_so_far = std::min(best_so_far, rel);
+    best_rel.push_back(best_so_far);
+    const std::size_t w = static_cast<std::size_t>(options.stagnation_window);
+    if (best_rel.size() <= w) return false;
+    const real_t before = best_rel[best_rel.size() - 1 - w];
+    return best_so_far > (1.0 - options.stagnation_rtol) * before;
+  };
 
   const index_t restart = std::min<index_t>(options.restart, n);
   const std::size_t mdim = static_cast<std::size_t>(restart);
@@ -73,9 +104,18 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
     Vector r;
     ApplyPrecond(m, raw, &r);
     real_t beta = Norm2(r);
+    if (!std::isfinite(beta)) {
+      // The iterate itself is corrupted; report divergence rather than
+      // handing back NaN as if it were a solution.
+      stats->outcome = SolveOutcome::kDiverged;
+      stats->iterations = total_iters;
+      stats->relative_residual = beta / b_norm;
+      return x;
+    }
     stats->relative_residual = beta / b_norm;
     if (stats->relative_residual <= options.tol) {
       stats->converged = true;
+      stats->outcome = SolveOutcome::kConverged;
       stats->iterations = total_iters;
       return x;
     }
@@ -92,12 +132,23 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
       a.Apply(basis[static_cast<std::size_t>(k)], &tmp);
       Vector w;
       ApplyPrecond(m, tmp, &w);
+      if (n > 0 && BEPI_FAULT_INJECTED(fault_sites::kGmresNan)) {
+        w[0] = std::numeric_limits<real_t>::quiet_NaN();
+      }
       for (index_t i = 0; i <= k; ++i) {
         const real_t hik = Dot(w, basis[static_cast<std::size_t>(i)]);
         h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = hik;
         Axpy(-hik, basis[static_cast<std::size_t>(i)], &w);
       }
       const real_t hk1k = Norm2(w);
+      if (!std::isfinite(hk1k)) {
+        // A NaN/Inf entered the Krylov basis (degenerate operator or
+        // preconditioner). x was last updated from a finite basis, so
+        // return it as the best available iterate.
+        stats->outcome = SolveOutcome::kDiverged;
+        stats->iterations = total_iters;
+        return x;
+      }
       h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = hk1k;
 
       // Apply previous Givens rotations to the new Hessenberg column.
@@ -129,9 +180,15 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
 
       const real_t rel = std::fabs(g[static_cast<std::size_t>(k) + 1]) / b_norm;
       if (options.track_history) stats->residual_history.push_back(rel);
+      if (!std::isfinite(rel)) {
+        stats->outcome = SolveOutcome::kDiverged;
+        stats->iterations = total_iters;
+        return x;
+      }
+      const bool stagnation = stagnated(rel);
 
       const bool breakdown = hk1k == 0.0;
-      if (rel <= options.tol || breakdown || k + 1 == restart) {
+      if (rel <= options.tol || breakdown || stagnation || k + 1 == restart) {
         // Solve the k+1-dimensional upper triangular system H y = g.
         const index_t dim = k + 1;
         Vector y(static_cast<std::size_t>(dim));
@@ -153,6 +210,12 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
         stats->relative_residual = rel;
         if (rel <= options.tol) {
           stats->converged = true;
+          stats->outcome = SolveOutcome::kConverged;
+          stats->iterations = total_iters;
+          return x;
+        }
+        if (stagnation) {
+          stats->outcome = SolveOutcome::kStagnated;
           stats->iterations = total_iters;
           return x;
         }
@@ -164,6 +227,8 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
   }
   stats->iterations = total_iters;
   stats->converged = stats->relative_residual <= options.tol;
+  stats->outcome = stats->converged ? SolveOutcome::kConverged
+                                    : SolveOutcome::kBudgetExhausted;
   return x;
 }
 

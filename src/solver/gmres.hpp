@@ -7,6 +7,7 @@
 
 #include "common/status.hpp"
 #include "solver/operator.hpp"
+#include "solver/outcome.hpp"
 #include "sparse/dense.hpp"
 
 namespace bepi {
@@ -21,19 +22,19 @@ struct GmresOptions {
   index_t restart = 100;
   /// Record per-iteration residuals into SolveStats::residual_history.
   bool track_history = false;
-};
-
-struct SolveStats {
-  bool converged = false;
-  index_t iterations = 0;
-  real_t relative_residual = 0.0;
-  std::vector<real_t> residual_history;
+  /// Stagnation detection: give up (outcome kStagnated) when the best
+  /// residual improved by less than stagnation_rtol relatively over the
+  /// last stagnation_window iterations. 0 disables the check.
+  index_t stagnation_window = 50;
+  real_t stagnation_rtol = 1e-3;
 };
 
 /// Solves A x = b. `m` (may be null) applies left preconditioning:
 /// M^{-1} A x = M^{-1} b. `x0` (may be null) supplies an initial guess.
-/// Returns the best iterate even when the iteration budget is exhausted;
-/// check stats->converged. Only shape errors produce a non-ok Status.
+/// Returns the best iterate even when the iteration budget is exhausted,
+/// stagnation is detected, or the iteration produced non-finite values
+/// (the last finite iterate in that case); check stats->converged and
+/// stats->outcome. Only shape errors produce a non-ok Status.
 Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
                      const GmresOptions& options, SolveStats* stats,
                      const Preconditioner* m = nullptr,

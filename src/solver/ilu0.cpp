@@ -1,12 +1,31 @@
 #include "solver/ilu0.hpp"
 
+#include <cmath>
+
 #include "common/check.hpp"
+#include "common/faultinject.hpp"
 
 namespace bepi {
+namespace {
+
+/// Pivots at or below this magnitude would scale elimination factors (and
+/// later triangular solves) into overflow; treat them as a breakdown and
+/// report via Status instead of producing Inf/NaN factors.
+constexpr real_t kPivotFloor = 1e-30;
+
+bool UsablePivot(real_t pivot) {
+  return std::isfinite(pivot) && std::fabs(pivot) > kPivotFloor;
+}
+
+}  // namespace
 
 Result<Ilu0> Ilu0::Factor(const CsrMatrix& a) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("ILU(0) requires a square matrix");
+  }
+  if (BEPI_FAULT_INJECTED(fault_sites::kIluFactor)) {
+    return Status::FailedPrecondition(
+        "zero pivot in ILU(0) at row 0 (injected fault)");
   }
   const index_t n = a.rows();
   Ilu0 ilu;
@@ -47,9 +66,10 @@ Result<Ilu0> Ilu0::Factor(const CsrMatrix& a) {
       if (k >= i) break;  // columns sorted; only k < i eliminates
       const real_t diag_k =
           values[static_cast<std::size_t>(ilu.diag_pos_[static_cast<std::size_t>(k)])];
-      if (diag_k == 0.0) {
-        return Status::FailedPrecondition("zero pivot in ILU(0) at row " +
-                                          std::to_string(k));
+      if (!UsablePivot(diag_k)) {
+        return Status::FailedPrecondition(
+            "zero/tiny pivot in ILU(0) at row " + std::to_string(k) +
+            " (value " + std::to_string(diag_k) + ")");
       }
       const real_t factor = values[static_cast<std::size_t>(p)] / diag_k;
       values[static_cast<std::size_t>(p)] = factor;
@@ -65,10 +85,12 @@ Result<Ilu0> Ilu0::Factor(const CsrMatrix& a) {
         }
       }
     }
-    if (values[static_cast<std::size_t>(
-            ilu.diag_pos_[static_cast<std::size_t>(i)])] == 0.0) {
-      return Status::FailedPrecondition("zero pivot in ILU(0) at row " +
-                                        std::to_string(i));
+    const real_t diag_i = values[static_cast<std::size_t>(
+        ilu.diag_pos_[static_cast<std::size_t>(i)])];
+    if (!UsablePivot(diag_i)) {
+      return Status::FailedPrecondition(
+          "zero/tiny pivot in ILU(0) at row " + std::to_string(i) +
+          " (value " + std::to_string(diag_i) + ")");
     }
     for (index_t p = begin; p < end; ++p) {
       pos[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(p)])] = -1;

@@ -1,0 +1,21 @@
+#include "solver/outcome.hpp"
+
+namespace bepi {
+
+const char* SolveOutcomeName(SolveOutcome outcome) {
+  switch (outcome) {
+    case SolveOutcome::kConverged:
+      return "Converged";
+    case SolveOutcome::kStagnated:
+      return "Stagnated";
+    case SolveOutcome::kDiverged:
+      return "Diverged";
+    case SolveOutcome::kBreakdown:
+      return "Breakdown";
+    case SolveOutcome::kBudgetExhausted:
+      return "BudgetExhausted";
+  }
+  return "Unknown";
+}
+
+}  // namespace bepi

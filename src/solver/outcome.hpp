@@ -1,0 +1,46 @@
+// Structured solver verdicts. Every iterative solve terminates with a
+// SolveOutcome describing *why* it stopped, carried in SolveStats; a bare
+// converged/not-converged bit cannot distinguish "ran out of budget" from
+// "the preconditioner produced NaN", and the resilience layer
+// (core/resilient.hpp) picks its fallback based on that distinction.
+#ifndef BEPI_SOLVER_OUTCOME_HPP_
+#define BEPI_SOLVER_OUTCOME_HPP_
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bepi {
+
+enum class SolveOutcome {
+  kConverged = 0,    // reached the requested tolerance
+  kStagnated,        // residual stopped improving well above tolerance
+  kDiverged,         // residual or iterate became non-finite (NaN/Inf)
+  kBreakdown,        // algorithmic breakdown (zero pivot, lost recurrence)
+  kBudgetExhausted,  // hit the iteration cap while still progressing
+};
+
+/// Human-readable name, e.g. "Stagnated".
+const char* SolveOutcomeName(SolveOutcome outcome);
+
+struct SolveStats {
+  bool converged = false;
+  SolveOutcome outcome = SolveOutcome::kBudgetExhausted;
+  index_t iterations = 0;
+  real_t relative_residual = 0.0;
+  std::vector<real_t> residual_history;
+};
+
+/// One stage of a degradation chain (see core/resilient.hpp): which
+/// solver configuration ran and how it ended.
+struct SolveAttempt {
+  std::string stage;  // e.g. "ilu0+gmres", "jacobi+gmres", "power"
+  SolveOutcome outcome = SolveOutcome::kBudgetExhausted;
+  index_t iterations = 0;
+  real_t residual = 0.0;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_SOLVER_OUTCOME_HPP_

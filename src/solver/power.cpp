@@ -1,5 +1,7 @@
 #include "solver/power.hpp"
 
+#include <cmath>
+
 namespace bepi {
 
 Result<Vector> FixedPointIteration(const LinearOperator& g, const Vector& f,
@@ -18,16 +20,23 @@ Result<Vector> FixedPointIteration(const LinearOperator& g, const Vector& f,
     g.Apply(x, &next);
     for (std::size_t i = 0; i < f.size(); ++i) next[i] += f[i];
     const real_t delta = DistL2(next, x);
-    x.swap(next);
     stats->iterations = iter + 1;
     stats->relative_residual = delta;
     if (options.track_history) stats->residual_history.push_back(delta);
+    if (!std::isfinite(delta)) {
+      // Keep the pre-update iterate: `next` carries the non-finite values.
+      stats->outcome = SolveOutcome::kDiverged;
+      return x;
+    }
+    x.swap(next);
     if (delta <= options.tol) {
       stats->converged = true;
+      stats->outcome = SolveOutcome::kConverged;
       return x;
     }
   }
   stats->converged = false;
+  stats->outcome = SolveOutcome::kBudgetExhausted;
   return x;
 }
 

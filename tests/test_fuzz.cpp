@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 
 #include "core/bear.hpp"
 #include "core/bepi.hpp"
 #include "core/exact.hpp"
 #include "core/lu_rwr.hpp"
 #include "graph/components.hpp"
+#include "graph/io.hpp"
 #include "solver/sparse_lu.hpp"
 #include "sparse/spgemm.hpp"
 #include "test_util.hpp"
@@ -148,6 +150,53 @@ TEST_P(FuzzSeeds, RwrSolutionInvariants) {
   EXPECT_LE(Norm1(*r), 1.0 + 1e-7);
   EXPECT_GE((*r)[static_cast<std::size_t>(seed_node)], 0.05 - 1e-9);
   EXPECT_LT(RwrResidual(g, 0.05, seed_node, *r), 1e-6);
+}
+
+TEST_P(FuzzSeeds, CorruptedEdgeListsNeverCrashTheParser) {
+  // Serialize a valid graph, then mutate the bytes: truncation, random
+  // character substitution, and line duplication. The parser must always
+  // return either a valid graph or a clean Status — never crash or hand
+  // back out-of-range ids.
+  Rng rng(GetParam() + 10);
+  Graph g = test::SmallRmat(40, 160, 0.2, GetParam() + 11);
+  std::stringstream out;
+  ASSERT_TRUE(WriteEdgeList(g, out).ok());
+  const std::string original = out.str();
+  const std::string junk = "x-#%\t 9\n.";
+  for (int round = 0; round < 50; ++round) {
+    std::string text = original;
+    const int mutation = static_cast<int>(rng.UniformIndex(0, 2));
+    if (mutation == 0) {
+      text.resize(static_cast<std::size_t>(
+          rng.UniformIndex(0, static_cast<index_t>(text.size()))));
+    } else if (mutation == 1) {
+      for (int i = 0; i < 8; ++i) {
+        const auto pos = static_cast<std::size_t>(
+            rng.UniformIndex(0, static_cast<index_t>(text.size()) - 1));
+        text[pos] = junk[static_cast<std::size_t>(
+            rng.UniformIndex(0, static_cast<index_t>(junk.size()) - 1))];
+      }
+    } else {
+      const auto pos = static_cast<std::size_t>(
+          rng.UniformIndex(0, static_cast<index_t>(text.size()) - 1));
+      text.insert(pos, text.substr(0, pos));
+    }
+    std::stringstream in(text);
+    auto parsed = ReadEdgeList(in, g.num_nodes());
+    if (parsed.ok()) {
+      EXPECT_LE(parsed->num_nodes(), g.num_nodes());
+      for (const Edge& e : parsed->EdgeList()) {
+        EXPECT_GE(e.src, 0);
+        EXPECT_LT(e.src, g.num_nodes());
+        EXPECT_GE(e.dst, 0);
+        EXPECT_LT(e.dst, g.num_nodes());
+      }
+    } else {
+      EXPECT_TRUE(parsed.status().code() == StatusCode::kIoError ||
+                  parsed.status().code() == StatusCode::kInvalidArgument)
+          << parsed.status().ToString();
+    }
+  }
 }
 
 TEST_P(FuzzSeeds, SccRefinesWeakComponents) {

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/faultinject.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "core/bepi.hpp"
@@ -44,7 +45,12 @@ int Usage() {
       "  preprocess --graph=FILE --model=FILE [--mode=bepi|bepi-s|bepi-b]\n"
       "             [--k=0.2] [--c=0.05] [--tol=1e-9]\n"
       "  query      --model=FILE --seed-node=ID [--topk=10]\n"
-      "  rank       --graph=FILE --seed-node=ID [--topk=10]\n");
+      "  rank       --graph=FILE --seed-node=ID [--topk=10]\n"
+      "global flags:\n"
+      "  --no-fallbacks        disable the solver degradation chain\n"
+      "  --fault-inject=SPEC   arm fault sites, e.g.\n"
+      "                        ilu0.factor,gmres.stagnate:0:-1\n"
+      "                        (SITE[:skip[:count]] or SITE@prob[@seed])\n");
   return 2;
 }
 
@@ -69,7 +75,18 @@ BepiOptions OptionsFromFlags(const Flags& flags) {
   options.hub_ratio = flags.GetDouble("k", 0.0);
   options.restart_prob = flags.GetDouble("c", 0.05);
   options.tolerance = flags.GetDouble("tol", 1e-9);
+  options.enable_fallbacks = !flags.Has("no-fallbacks");
   return options;
+}
+
+void PrintQueryReport(const QueryStats& stats) {
+  if (stats.report.fallback_hops() > 0 ||
+      stats.outcome != SolveOutcome::kConverged) {
+    std::fprintf(stderr, "solver chain: %s (%lld fallback hop%s)\n",
+                 stats.report.Summary().c_str(),
+                 static_cast<long long>(stats.report.fallback_hops()),
+                 stats.report.fallback_hops() == 1 ? "" : "s");
+  }
 }
 
 void PrintTopK(const Vector& scores, index_t seed, index_t topk) {
@@ -164,6 +181,7 @@ int CmdQuery(const Flags& flags) {
   if (!scores.ok()) return Fail(scores.status());
   std::printf("query took %.3f ms (%lld inner iterations)\n",
               stats.seconds * 1e3, static_cast<long long>(stats.iterations));
+  PrintQueryReport(stats);
   PrintTopK(*scores, seed, flags.GetInt("topk", 10));
   return 0;
 }
@@ -176,8 +194,10 @@ int CmdRank(const Flags& flags) {
   Status status = solver.Preprocess(*g);
   if (!status.ok()) return Fail(status);
   const index_t seed = flags.GetInt("seed-node", 0);
-  auto scores = solver.Query(seed);
+  QueryStats stats;
+  auto scores = solver.Query(seed, &stats);
   if (!scores.ok()) return Fail(scores.status());
+  PrintQueryReport(stats);
   PrintTopK(*scores, seed, flags.GetInt("topk", 10));
   return 0;
 }
@@ -188,6 +208,11 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   bepi::Flags flags = bepi::Flags::Parse(argc - 1, argv + 1);
+  if (flags.Has("fault-inject")) {
+    bepi::Status status = bepi::FaultInjector::Global().Configure(
+        flags.GetString("fault-inject", ""));
+    if (!status.ok()) return Fail(status);
+  }
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "preprocess") return CmdPreprocess(flags);

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Local CI: builds and runs the test suite in the default configuration and
+# under ASan/UBSan (BEPI_SANITIZE in CMakeLists.txt). Build trees live under
+# build-ci/ so the developer's build/ directory is left alone.
+#
+# Usage: tools/ci.sh [default|address|undefined ...]
+#   With no arguments all three configurations run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 4)"
+configs=("$@")
+if [ "${#configs[@]}" -eq 0 ]; then
+  configs=(default address undefined)
+fi
+
+for config in "${configs[@]}"; do
+  case "$config" in
+    default) sanitize="" ;;
+    address | undefined) sanitize="$config" ;;
+    *)
+      echo "unknown configuration: $config (want default|address|undefined)" >&2
+      exit 2
+      ;;
+  esac
+  build_dir="build-ci/$config"
+  echo "=== [$config] configure ==="
+  cmake -B "$build_dir" -S . -DBEPI_SANITIZE="$sanitize" >/dev/null
+  echo "=== [$config] build ==="
+  cmake --build "$build_dir" -j "$jobs"
+  echo "=== [$config] test ==="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+done
+
+echo "=== all configurations passed ==="
