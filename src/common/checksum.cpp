@@ -1,0 +1,81 @@
+#include "common/checksum.hpp"
+
+#include <array>
+
+namespace bepi {
+namespace {
+
+/// The 8 slice tables. Table 0 is the classic byte-at-a-time table for the
+/// reflected Castagnoli polynomial; table t gives the CRC contribution of a
+/// byte t positions deeper into the 8-byte word.
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  constexpr Crc32cTables() : t{} {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t slice = 1; slice < 8; ++slice) {
+        crc = (crc >> 8) ^ t[0][crc & 0xFFu];
+        t[slice][i] = crc;
+      }
+    }
+  }
+};
+
+constexpr Crc32cTables kTables{};
+
+}  // namespace
+
+void Crc32c::Update(const void* data, std::size_t length) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = state_;
+  const auto& t = kTables.t;
+
+  // Byte-at-a-time until 8-byte alignment (keeps the word loads aligned).
+  while (length > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+    --length;
+  }
+
+  // Slice-by-8 main loop: one table lookup per byte, eight bytes per step.
+  while (length >= 8) {
+    // Assemble the two 32-bit halves byte-wise so the code is endianness-
+    // independent (the tables encode little-endian byte order).
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             static_cast<std::uint32_t>(p[5]) << 8 |
+                             static_cast<std::uint32_t>(p[6]) << 16 |
+                             static_cast<std::uint32_t>(p[7]) << 24;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][(lo >> 24) & 0xFFu] ^
+          t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+          t[1][(hi >> 16) & 0xFFu] ^ t[0][(hi >> 24) & 0xFFu];
+    p += 8;
+    length -= 8;
+  }
+
+  while (length > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+    --length;
+  }
+  state_ = crc;
+}
+
+std::uint32_t Crc32c::Compute(const void* data, std::size_t length) {
+  Crc32c crc;
+  crc.Update(data, length);
+  return crc.Value();
+}
+
+}  // namespace bepi

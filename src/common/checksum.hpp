@@ -1,0 +1,40 @@
+// Streaming CRC32C (Castagnoli polynomial, reflected 0x82F63B78) computed
+// with the slice-by-8 table method — no hardware intrinsics or external
+// dependencies. Used to checksum model-file sections and preprocessing
+// checkpoints so corruption is detected at load instead of parsed as
+// garbage.
+#ifndef BEPI_COMMON_CHECKSUM_HPP_
+#define BEPI_COMMON_CHECKSUM_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bepi {
+
+/// Incremental CRC32C: feed bytes with Update(), read the digest with
+/// Value() at any point (Value() does not consume state, so a running
+/// checksum can be sampled mid-stream).
+class Crc32c {
+ public:
+  void Update(const void* data, std::size_t length);
+  void Update(std::string_view bytes) { Update(bytes.data(), bytes.size()); }
+
+  /// Digest of everything fed so far (standard CRC32C final XOR applied).
+  std::uint32_t Value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  void Reset() { state_ = 0xFFFFFFFFu; }
+
+  /// One-shot convenience: CRC32C of a byte range.
+  static std::uint32_t Compute(const void* data, std::size_t length);
+  static std::uint32_t Compute(std::string_view bytes) {
+    return Compute(bytes.data(), bytes.size());
+  }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_COMMON_CHECKSUM_HPP_

@@ -31,6 +31,15 @@ inline constexpr char kGmresNan[] = "gmres.nan";           // poisons a Krylov v
 inline constexpr char kBicgstabBreakdown[] = "bicgstab.breakdown";
 inline constexpr char kBicgstabNan[] = "bicgstab.nan";
 inline constexpr char kEdgeListRead[] = "graph.io.read";   // mid-stream IO error
+// Durable-storage sites (common/fileio, core/checkpoint):
+inline constexpr char kFileShortWrite[] = "fileio.short_write";
+// Simulates a crash after the temp file was written but before the rename:
+// Commit fails, the temp file is left behind, the target is untouched.
+inline constexpr char kFileCrashBeforeRename[] = "fileio.crash_before_rename";
+inline constexpr char kFileBitFlip[] = "fileio.bit_flip";  // read-path corruption
+// Hard-kills the process (SIGKILL) right after a checkpoint commit; drives
+// the kill-and-resume smoke test in tools/ci.sh.
+inline constexpr char kCheckpointCrash[] = "checkpoint.crash";
 }  // namespace fault_sites
 
 class FaultInjector {

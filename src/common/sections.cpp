@@ -1,0 +1,403 @@
+#include "common/sections.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/checksum.hpp"
+#include "common/fileio.hpp"
+
+namespace bepi {
+namespace {
+
+constexpr std::string_view kSectionTag = "%section ";
+constexpr std::string_view kManifestTag = "%manifest ";
+constexpr std::string_view kEntryTag = "%entry ";
+constexpr std::string_view kEndTag = "%end";
+
+/// Largest payload a reader accepts when the stream is not seekable (and
+/// the claimed length therefore cannot be checked against reality).
+constexpr std::uint64_t kMaxUnverifiableSection = std::uint64_t{1} << 31;
+
+std::string HexCrc(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+bool ParseU64(std::string_view token, std::uint64_t* out) {
+  if (token.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool ParseHex32(std::string_view token, std::uint32_t* out) {
+  if (token.empty() || token.size() > 8) return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out, 16);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+/// Splits a header line (after its tag) into exactly `want` blank-separated
+/// tokens.
+bool SplitFields(std::string_view text, std::string_view* tokens,
+                 std::size_t want) {
+  std::size_t found = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t start = text.find_first_not_of(' ', pos);
+    if (start == std::string_view::npos) break;
+    std::size_t end = text.find(' ', start);
+    if (end == std::string_view::npos) end = text.size();
+    if (found == want) return false;
+    tokens[found++] = text.substr(start, end - start);
+    pos = end;
+  }
+  return found == want;
+}
+
+struct ParsedHeader {
+  std::string name;
+  std::uint64_t length = 0;
+  std::uint32_t crc = 0;
+};
+
+bool ParseSectionHeader(std::string_view line, ParsedHeader* out) {
+  if (line.rfind(kSectionTag, 0) != 0) return false;
+  std::string_view fields[3];
+  if (!SplitFields(line.substr(kSectionTag.size()), fields, 3)) return false;
+  if (!ParseU64(fields[1], &out->length) || !ParseHex32(fields[2], &out->crc)) {
+    return false;
+  }
+  out->name = std::string(fields[0]);
+  return true;
+}
+
+std::string EntryLine(std::string_view name, std::uint64_t offset,
+                      std::uint64_t length, std::uint32_t crc) {
+  std::ostringstream line;
+  line << kEntryTag << name << " " << offset << " " << length << " "
+       << HexCrc(crc) << "\n";
+  return line.str();
+}
+
+}  // namespace
+
+SectionWriter::SectionWriter(std::ostream& out, std::string_view magic)
+    : out_(out) {
+  out_ << magic << "\n";
+  offset_ = magic.size() + 1;
+}
+
+Status SectionWriter::Add(std::string_view name, std::string_view payload) {
+  if (finished_) {
+    return Status::FailedPrecondition("SectionWriter already finished");
+  }
+  if (name.empty() || name.find_first_of(" \t\n") != std::string_view::npos) {
+    return Status::InvalidArgument("bad section name: '" + std::string(name) +
+                                   "'");
+  }
+  const std::uint32_t crc = Crc32c::Compute(payload);
+  std::ostringstream header;
+  header << kSectionTag << name << " " << payload.size() << " " << HexCrc(crc)
+         << "\n";
+  const std::string header_text = header.str();
+  entries_.push_back(
+      {std::string(name), offset_, payload.size(), crc});
+  out_ << header_text;
+  out_.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+  out_ << "\n";
+  offset_ += header_text.size() + payload.size() + 1;
+  if (!out_) {
+    return Status::IoError("failed writing section '" + std::string(name) +
+                           "'");
+  }
+  return Status::Ok();
+}
+
+Status SectionWriter::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("SectionWriter already finished");
+  }
+  finished_ = true;
+  std::string entry_lines;
+  for (const Entry& e : entries_) {
+    entry_lines += EntryLine(e.name, e.offset, e.length, e.crc);
+  }
+  out_ << kManifestTag << entries_.size() << " "
+       << HexCrc(Crc32c::Compute(entry_lines)) << "\n"
+       << entry_lines << kEndTag << "\n";
+  out_.flush();
+  if (!out_) return Status::IoError("failed writing section manifest");
+  return Status::Ok();
+}
+
+Result<SectionReader> SectionReader::Open(std::istream& in,
+                                          std::string_view expected_magic) {
+  std::string magic;
+  if (!std::getline(in, magic) || magic != expected_magic) {
+    return Status::IoError("bad magic: expected '" +
+                           std::string(expected_magic) + "', got '" + magic +
+                           "'");
+  }
+  return SectionReader(in, magic.size() + 1);
+}
+
+SectionReader::SectionReader(std::istream& in, std::uint64_t bytes_consumed)
+    : in_(in), offset_(bytes_consumed) {}
+
+Result<std::optional<Section>> SectionReader::Next() {
+  if (done_) return std::optional<Section>();
+  const std::uint64_t header_offset = offset_;
+  std::string line;
+  if (!std::getline(in_, line)) {
+    return Status::DataLoss(
+        "truncated stream at offset " + std::to_string(header_offset) +
+        ": section header or manifest missing");
+  }
+  offset_ += line.size() + 1;
+
+  if (line.rfind(kManifestTag, 0) == 0) {
+    // Trailing manifest: verify its own checksum, the end marker, and that
+    // it agrees with every section header we already verified.
+    std::string_view fields[2];
+    std::uint64_t count = 0;
+    std::uint32_t manifest_crc = 0;
+    if (!SplitFields(std::string_view(line).substr(kManifestTag.size()),
+                     fields, 2) ||
+        !ParseU64(fields[0], &count) || !ParseHex32(fields[1], &manifest_crc)) {
+      return Status::DataLoss("malformed manifest header at offset " +
+                              std::to_string(header_offset) + ": " + line);
+    }
+    if (count > seen_.size()) {
+      return Status::DataLoss("manifest claims " + std::to_string(count) +
+                              " sections, saw " +
+                              std::to_string(seen_.size()));
+    }
+    std::string entry_lines;
+    std::vector<ParsedHeader> entries;
+    std::vector<std::uint64_t> entry_offsets;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::string entry;
+      if (!std::getline(in_, entry)) {
+        return Status::DataLoss("truncated manifest: " + std::to_string(i) +
+                                " of " + std::to_string(count) +
+                                " entries present");
+      }
+      offset_ += entry.size() + 1;
+      entry_lines += entry + "\n";
+      std::string_view entry_fields[4];
+      ParsedHeader parsed;
+      std::uint64_t entry_offset = 0;
+      if (entry.rfind(kEntryTag, 0) != 0 ||
+          !SplitFields(std::string_view(entry).substr(kEntryTag.size()),
+                       entry_fields, 4) ||
+          !ParseU64(entry_fields[1], &entry_offset) ||
+          !ParseU64(entry_fields[2], &parsed.length) ||
+          !ParseHex32(entry_fields[3], &parsed.crc)) {
+        return Status::DataLoss("malformed manifest entry: " + entry);
+      }
+      parsed.name = std::string(entry_fields[0]);
+      entries.push_back(parsed);
+      entry_offsets.push_back(entry_offset);
+    }
+    if (Crc32c::Compute(entry_lines) != manifest_crc) {
+      return Status::DataLoss("manifest checksum mismatch at offset " +
+                              std::to_string(header_offset));
+    }
+    std::string end;
+    // eof() after a successful getline means the final newline was cut off
+    // — the stream was truncated mid-marker even though the text matches.
+    if (!std::getline(in_, end) || end != kEndTag || in_.eof()) {
+      return Status::DataLoss("missing end marker after manifest");
+    }
+    if (entries.size() != seen_.size()) {
+      return Status::DataLoss(
+          "manifest lists " + std::to_string(entries.size()) +
+          " sections but the stream holds " + std::to_string(seen_.size()));
+    }
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].name != seen_[i].name ||
+          entry_offsets[i] != seen_[i].offset ||
+          entries[i].length != seen_[i].length ||
+          entries[i].crc != seen_[i].crc) {
+        return Status::DataLoss("manifest disagrees with section '" +
+                                seen_[i].name + "' at offset " +
+                                std::to_string(seen_[i].offset));
+      }
+    }
+    done_ = true;
+    return std::optional<Section>();
+  }
+
+  ParsedHeader header;
+  if (!ParseSectionHeader(line, &header)) {
+    return Status::DataLoss("malformed section header at offset " +
+                            std::to_string(header_offset) + ": " + line);
+  }
+  const std::int64_t remaining = StreamRemainingBytes(in_);
+  if (remaining >= 0 &&
+      header.length > static_cast<std::uint64_t>(remaining)) {
+    return Status::DataLoss(
+        "section '" + header.name + "' at offset " +
+        std::to_string(header_offset) + " claims " +
+        std::to_string(header.length) + " bytes but only " +
+        std::to_string(remaining) + " remain (truncated?)");
+  }
+  if (remaining < 0 && header.length > kMaxUnverifiableSection) {
+    return Status::DataLoss("section '" + header.name +
+                            "' claims an implausible size of " +
+                            std::to_string(header.length) + " bytes");
+  }
+  Section section;
+  section.name = header.name;
+  section.offset = header_offset;
+  section.crc = header.crc;
+  section.payload.resize(header.length);
+  in_.read(section.payload.data(),
+           static_cast<std::streamsize>(header.length));
+  if (static_cast<std::uint64_t>(in_.gcount()) != header.length ||
+      in_.get() != '\n') {
+    return Status::DataLoss("section '" + header.name + "' at offset " +
+                            std::to_string(header_offset) +
+                            " is truncated");
+  }
+  offset_ += header.length + 1;
+  const std::uint32_t actual = Crc32c::Compute(section.payload);
+  if (actual != header.crc) {
+    return Status::DataLoss("section '" + header.name + "' at offset " +
+                            std::to_string(header_offset) +
+                            " failed its checksum: stored " +
+                            HexCrc(header.crc) + ", computed " +
+                            HexCrc(actual));
+  }
+  seen_.push_back(
+      {section.name, section.offset, header.length, header.crc});
+  return std::optional<Section>(std::move(section));
+}
+
+Result<Section> SectionReader::Expect(std::string_view expected_name) {
+  BEPI_ASSIGN_OR_RETURN(std::optional<Section> section, Next());
+  if (!section.has_value()) {
+    return Status::DataLoss("missing section '" + std::string(expected_name) +
+                            "': stream ended early");
+  }
+  if (section->name != expected_name) {
+    return Status::DataLoss("expected section '" + std::string(expected_name) +
+                            "', found '" + section->name + "' at offset " +
+                            std::to_string(section->offset));
+  }
+  return std::move(*section);
+}
+
+IntegrityReport CheckIntegrity(std::istream& in,
+                               std::string_view magic_prefix) {
+  IntegrityReport report;
+  report.overall = Status::Ok();
+  std::string magic;
+  if (!std::getline(in, magic) || magic.rfind(magic_prefix, 0) != 0) {
+    report.overall = Status::IoError("bad magic: expected a '" +
+                                     std::string(magic_prefix) +
+                                     "...' file, got '" + magic + "'");
+    return report;
+  }
+  report.magic = magic;
+
+  auto note = [&report](Status problem) {
+    if (report.overall.ok()) report.overall = std::move(problem);
+  };
+
+  std::uint64_t offset = magic.size() + 1;
+  std::string line;
+  bool saw_manifest = false;
+  while (std::getline(in, line)) {
+    const std::uint64_t header_offset = offset;
+    offset += line.size() + 1;
+    if (line.rfind(kManifestTag, 0) == 0) {
+      // Re-verify the manifest against what was actually scanned.
+      std::string_view fields[2];
+      std::uint64_t count = 0;
+      std::uint32_t manifest_crc = 0;
+      if (!SplitFields(std::string_view(line).substr(kManifestTag.size()),
+                       fields, 2) ||
+          !ParseU64(fields[0], &count) ||
+          !ParseHex32(fields[1], &manifest_crc)) {
+        note(Status::DataLoss("malformed manifest header: " + line));
+        return report;
+      }
+      std::string entry_lines;
+      for (std::uint64_t i = 0; i < count && std::getline(in, line); ++i) {
+        entry_lines += line + "\n";
+      }
+      const bool crc_ok = Crc32c::Compute(entry_lines) == manifest_crc;
+      std::string end;
+      const bool end_ok = static_cast<bool>(std::getline(in, end)) &&
+                          end == kEndTag && !in.eof();
+      report.manifest_ok =
+          crc_ok && end_ok && count == report.sections.size();
+      saw_manifest = true;
+      if (!report.manifest_ok) {
+        note(Status::DataLoss(
+            !crc_ok ? "manifest checksum mismatch"
+                    : (!end_ok ? "missing end marker after manifest"
+                               : "manifest section count mismatch")));
+      }
+      break;
+    }
+    ParsedHeader header;
+    if (!ParseSectionHeader(line, &header)) {
+      note(Status::DataLoss("malformed section header at offset " +
+                            std::to_string(header_offset) + ": " + line));
+      return report;
+    }
+    const std::int64_t remaining = StreamRemainingBytes(in);
+    if ((remaining >= 0 &&
+         header.length > static_cast<std::uint64_t>(remaining)) ||
+        (remaining < 0 && header.length > kMaxUnverifiableSection)) {
+      SectionCheck check;
+      check.name = header.name;
+      check.offset = header_offset;
+      check.length = header.length;
+      check.stored_crc = header.crc;
+      check.ok = false;
+      report.sections.push_back(check);
+      note(Status::DataLoss("section '" + header.name + "' at offset " +
+                            std::to_string(header_offset) +
+                            " is truncated"));
+      return report;
+    }
+    std::string payload(header.length, '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(header.length));
+    if (static_cast<std::uint64_t>(in.gcount()) != header.length ||
+        in.get() != '\n') {
+      note(Status::DataLoss("section '" + header.name + "' at offset " +
+                            std::to_string(header_offset) +
+                            " is truncated"));
+      return report;
+    }
+    offset += header.length + 1;
+    SectionCheck check;
+    check.name = header.name;
+    check.offset = header_offset;
+    check.length = header.length;
+    check.stored_crc = header.crc;
+    check.actual_crc = Crc32c::Compute(payload);
+    check.ok = check.actual_crc == check.stored_crc;
+    if (!check.ok) {
+      note(Status::DataLoss("section '" + header.name + "' at offset " +
+                            std::to_string(header_offset) +
+                            " failed its checksum"));
+    }
+    report.sections.push_back(std::move(check));
+  }
+  if (!saw_manifest) {
+    note(Status::DataLoss("truncated stream: manifest missing"));
+  }
+  return report;
+}
+
+}  // namespace bepi

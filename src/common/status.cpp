@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "NotConverged";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
     case StatusCode::kInternal:
       return "Internal";
   }

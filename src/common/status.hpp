@@ -19,6 +19,7 @@ enum class StatusCode {
   kDeadlineExceeded,   // e.g. preprocessing time budget exceeded
   kNotConverged,       // iterative solver hit its iteration cap
   kIoError,
+  kDataLoss,           // stored data failed an integrity (checksum) check
   kInternal,
 };
 
@@ -56,6 +57,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,11 +1,15 @@
 #include "core/bepi.hpp"
 
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/fileio.hpp"
 #include "common/log.hpp"
+#include "common/sections.hpp"
 #include "common/timer.hpp"
+#include "core/checkpoint.hpp"
 #include "core/resilient.hpp"
 #include "solver/bicgstab.hpp"
 #include "solver/gmres.hpp"
@@ -35,6 +39,10 @@ BepiSolver::BepiSolver(BepiOptions options) : options_(options) {
 std::string BepiSolver::name() const { return BepiModeName(options_.mode); }
 
 Status BepiSolver::Preprocess(const Graph& g) {
+  return Preprocess(g, /*checkpoints=*/nullptr);
+}
+
+Status BepiSolver::Preprocess(const Graph& g, CheckpointManager* checkpoints) {
   Timer total_timer;
   preprocessed_ = false;
 
@@ -43,7 +51,20 @@ Status BepiSolver::Preprocess(const Graph& g) {
   dopts.restart_prob = options_.restart_prob;
   dopts.hub_ratio = effective_hub_ratio_;
   dopts.hub_selection = options_.hub_selection;
-  BEPI_ASSIGN_OR_RETURN(dec_, BuildDecomposition(g, dopts, &budget));
+  if (checkpoints != nullptr) {
+    // Every option that shapes the decomposition goes into the fingerprint
+    // tag, so checkpoints from a run with different parameters read as
+    // stale and are recomputed instead of resumed.
+    std::ostringstream tag;
+    tag.precision(17);
+    tag << "mode=" << static_cast<int>(options_.mode)
+        << " c=" << dopts.restart_prob << " k=" << dopts.hub_ratio
+        << " sel=" << static_cast<int>(dopts.hub_selection)
+        << " sbmax=" << dopts.slashburn_max_iterations;
+    checkpoints->Bind(PreprocessFingerprint(g, tag.str()));
+  }
+  BEPI_ASSIGN_OR_RETURN(dec_,
+                        BuildDecomposition(g, dopts, &budget, checkpoints));
 
   info_ = BepiPreprocessInfo();
   info_.n1 = dec_.n1;
@@ -58,6 +79,11 @@ Status BepiSolver::Preprocess(const Graph& g) {
   info_.build_seconds = dec_.build_seconds;
   info_.factor_seconds = dec_.factor_seconds;
   info_.schur_seconds = dec_.schur_seconds;
+  if (checkpoints != nullptr) {
+    info_.checkpoint_seconds = checkpoints->write_seconds();
+    info_.checkpoints_written = checkpoints->checkpoints_written();
+    info_.checkpoints_resumed = checkpoints->checkpoints_resumed();
+  }
 
   ilu_.reset();
   if (options_.mode == BepiMode::kPreconditioned && dec_.n2 > 0) {
@@ -276,9 +302,84 @@ namespace {
 
 // v2 appends H11 and H22 so loaded models can take the global
 // power-iteration fallback; v1 models are still readable (the fallback is
-// then unavailable).
+// then unavailable). v3 keeps v2's content but frames every piece
+// (options, permutation, each matrix) as a length- and CRC32C-carrying
+// section with a trailing manifest (common/sections.hpp), so any
+// corruption is detected at load and attributed to a section.
 constexpr char kModelHeaderV1[] = "BEPI-MODEL v1";
 constexpr char kModelHeaderV2[] = "BEPI-MODEL v2";
+constexpr char kModelHeaderV3[] = "BEPI-MODEL v3";
+
+/// The nine stored matrices in serialization order with their shapes in
+/// terms of the partition sizes. H11/H22 (slots 7 and 8) are the v2
+/// additions absent from v1 files.
+struct MatrixSpec {
+  const char* name;
+  CsrMatrix HubSpokeDecomposition::*member;
+  index_t HubSpokeDecomposition::*rows;
+  index_t HubSpokeDecomposition::*cols;
+};
+
+constexpr MatrixSpec kMatrixSpecs[] = {
+    {"l1_inv", &HubSpokeDecomposition::l1_inv, &HubSpokeDecomposition::n1,
+     &HubSpokeDecomposition::n1},
+    {"u1_inv", &HubSpokeDecomposition::u1_inv, &HubSpokeDecomposition::n1,
+     &HubSpokeDecomposition::n1},
+    {"h12", &HubSpokeDecomposition::h12, &HubSpokeDecomposition::n1,
+     &HubSpokeDecomposition::n2},
+    {"h21", &HubSpokeDecomposition::h21, &HubSpokeDecomposition::n2,
+     &HubSpokeDecomposition::n1},
+    {"h31", &HubSpokeDecomposition::h31, &HubSpokeDecomposition::n3,
+     &HubSpokeDecomposition::n1},
+    {"h32", &HubSpokeDecomposition::h32, &HubSpokeDecomposition::n3,
+     &HubSpokeDecomposition::n2},
+    {"schur", &HubSpokeDecomposition::schur, &HubSpokeDecomposition::n2,
+     &HubSpokeDecomposition::n2},
+    {"h11", &HubSpokeDecomposition::h11, &HubSpokeDecomposition::n1,
+     &HubSpokeDecomposition::n1},
+    {"h22", &HubSpokeDecomposition::h22, &HubSpokeDecomposition::n2,
+     &HubSpokeDecomposition::n2},
+};
+
+Status ParseModelOptions(std::istream& in, BepiOptions* options) {
+  int mode = 0;
+  real_t hub_ratio = 0.0;
+  in >> mode >> options->restart_prob >> options->tolerance >>
+      options->max_iterations >> options->gmres_restart >> hub_ratio;
+  if (!in || mode < 0 || mode > 2) {
+    return Status::IoError("malformed BePI model options");
+  }
+  options->mode = static_cast<BepiMode>(mode);
+  options->hub_ratio = hub_ratio;
+  return Status::Ok();
+}
+
+/// Parses "n n1 n2 n3" followed by n permutation entries. `limit_bytes`
+/// caps n before the resize: each entry takes at least two bytes of input,
+/// so a size line claiming more entries than bytes is rejected without
+/// allocating (allocation-bomb hardening, satellite of the v3 work).
+Status ParseSizesAndPerm(std::istream& in, std::int64_t limit_bytes,
+                         HubSpokeDecomposition* dec) {
+  in >> dec->n >> dec->n1 >> dec->n2 >> dec->n3;
+  if (!in || dec->n < 0 || dec->n1 < 0 || dec->n2 < 0 || dec->n3 < 0 ||
+      dec->n1 + dec->n2 + dec->n3 != dec->n) {
+    return Status::IoError("malformed BePI model partition sizes");
+  }
+  if (limit_bytes >= 0 && dec->n > limit_bytes / 2 + 1) {
+    return Status::IoError(
+        "BePI model claims " + std::to_string(dec->n) +
+        " nodes but only " + std::to_string(limit_bytes) +
+        " bytes of permutation data follow");
+  }
+  dec->perm.resize(static_cast<std::size_t>(dec->n));
+  for (index_t i = 0; i < dec->n; ++i) {
+    in >> dec->perm[static_cast<std::size_t>(i)];
+  }
+  if (!in || !IsPermutation(dec->perm)) {
+    return Status::IoError("malformed BePI model permutation");
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -286,93 +387,117 @@ Status BepiSolver::Save(std::ostream& out) const {
   if (!preprocessed_) {
     return Status::FailedPrecondition("nothing to save: Preprocess not called");
   }
-  out << kModelHeaderV2 << "\n";
-  out.precision(17);
-  out << static_cast<int>(options_.mode) << " " << options_.restart_prob
-      << " " << options_.tolerance << " " << options_.max_iterations << " "
-      << options_.gmres_restart << " " << effective_hub_ratio_ << "\n";
-  out << dec_.n << " " << dec_.n1 << " " << dec_.n2 << " " << dec_.n3 << "\n";
+  SectionWriter writer(out, kModelHeaderV3);
+  std::ostringstream options;
+  options.precision(17);
+  options << static_cast<int>(options_.mode) << " " << options_.restart_prob
+          << " " << options_.tolerance << " " << options_.max_iterations
+          << " " << options_.gmres_restart << " " << effective_hub_ratio_
+          << "\n";
+  BEPI_RETURN_IF_ERROR(writer.Add("options", options.str()));
+  std::ostringstream perm;
+  perm << dec_.n << " " << dec_.n1 << " " << dec_.n2 << " " << dec_.n3
+       << "\n";
   for (index_t i = 0; i < dec_.n; ++i) {
-    out << dec_.perm[static_cast<std::size_t>(i)]
-        << (i + 1 == dec_.n ? '\n' : ' ');
+    perm << dec_.perm[static_cast<std::size_t>(i)]
+         << (i + 1 == dec_.n ? '\n' : ' ');
   }
-  // Query-phase matrices in a fixed order: the paper's stored set, then
-  // the v2 additions H11 and H22 (power-fallback operands).
-  for (const CsrMatrix* m : {&dec_.l1_inv, &dec_.u1_inv, &dec_.h12, &dec_.h21,
-                             &dec_.h31, &dec_.h32, &dec_.schur, &dec_.h11,
-                             &dec_.h22}) {
-    BEPI_RETURN_IF_ERROR(WriteMatrixMarket(*m, out));
+  BEPI_RETURN_IF_ERROR(writer.Add("perm", perm.str()));
+  for (const MatrixSpec& spec : kMatrixSpecs) {
+    std::ostringstream payload;
+    BEPI_RETURN_IF_ERROR(WriteMatrixMarket(dec_.*spec.member, payload));
+    BEPI_RETURN_IF_ERROR(writer.Add(spec.name, payload.str()));
   }
+  BEPI_RETURN_IF_ERROR(writer.Finish());
   if (!out) return Status::IoError("failed writing BePI model stream");
   return Status::Ok();
 }
 
 Status BepiSolver::SaveFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  return Save(out);
+  AtomicFileWriter writer(path);
+  BEPI_RETURN_IF_ERROR(writer.status());
+  BEPI_RETURN_IF_ERROR(Save(writer.stream()));
+  // Commit flushes, closes and checks the stream (the old plain-ofstream
+  // path silently swallowed close-time errors), fsyncs, and renames into
+  // place so a crash never leaves a torn model at `path`.
+  return writer.Commit();
+}
+
+Result<BepiSolver> BepiSolver::LoadV3(std::istream& in) {
+  SectionReader reader(
+      in, static_cast<std::uint64_t>(
+              std::char_traits<char>::length(kModelHeaderV3)) + 1);
+  BEPI_ASSIGN_OR_RETURN(Section options_section, reader.Expect("options"));
+  BepiOptions options;
+  {
+    std::istringstream options_in(options_section.payload);
+    BEPI_RETURN_IF_ERROR(ParseModelOptions(options_in, &options));
+  }
+  BepiSolver solver(options);
+  HubSpokeDecomposition& dec = solver.dec_;
+  BEPI_ASSIGN_OR_RETURN(Section perm_section, reader.Expect("perm"));
+  {
+    std::istringstream perm_in(perm_section.payload);
+    BEPI_RETURN_IF_ERROR(ParseSizesAndPerm(
+        perm_in, static_cast<std::int64_t>(perm_section.payload.size()),
+        &dec));
+  }
+  for (const MatrixSpec& spec : kMatrixSpecs) {
+    BEPI_ASSIGN_OR_RETURN(Section section, reader.Expect(spec.name));
+    std::istringstream matrix_in(section.payload);
+    BEPI_ASSIGN_OR_RETURN(
+        dec.*spec.member,
+        ReadMatrixMarket(matrix_in, dec.*spec.rows, dec.*spec.cols));
+  }
+  // Drain to the manifest so tail truncation and directory mismatches are
+  // caught even though all expected sections were present.
+  while (!reader.done()) {
+    BEPI_ASSIGN_OR_RETURN(std::optional<Section> extra, reader.Next());
+    (void)extra;
+  }
+  BEPI_RETURN_IF_ERROR(solver.FinalizeLoaded());
+  return solver;
 }
 
 Result<BepiSolver> BepiSolver::Load(std::istream& in) {
   std::string header;
-  if (!std::getline(in, header) ||
-      (header != kModelHeaderV1 && header != kModelHeaderV2)) {
+  if (!std::getline(in, header)) {
+    return Status::IoError("empty BePI model stream");
+  }
+  if (header == kModelHeaderV3) return LoadV3(in);
+  if (header != kModelHeaderV1 && header != kModelHeaderV2) {
     return Status::IoError("not a BePI model stream (bad header)");
   }
   const bool v2 = header == kModelHeaderV2;
   BepiOptions options;
-  int mode = 0;
-  real_t hub_ratio = 0.0;
-  in >> mode >> options.restart_prob >> options.tolerance >>
-      options.max_iterations >> options.gmres_restart >> hub_ratio;
-  if (!in || mode < 0 || mode > 2) {
-    return Status::IoError("malformed BePI model options");
-  }
-  options.mode = static_cast<BepiMode>(mode);
-  options.hub_ratio = hub_ratio;
+  BEPI_RETURN_IF_ERROR(ParseModelOptions(in, &options));
 
   BepiSolver solver(options);
   HubSpokeDecomposition& dec = solver.dec_;
-  in >> dec.n >> dec.n1 >> dec.n2 >> dec.n3;
-  if (!in || dec.n < 0 || dec.n1 < 0 || dec.n2 < 0 || dec.n3 < 0 ||
-      dec.n1 + dec.n2 + dec.n3 != dec.n) {
-    return Status::IoError("malformed BePI model partition sizes");
-  }
-  dec.perm.resize(static_cast<std::size_t>(dec.n));
-  for (index_t i = 0; i < dec.n; ++i) {
-    in >> dec.perm[static_cast<std::size_t>(i)];
-  }
-  if (!in || !IsPermutation(dec.perm)) {
-    return Status::IoError("malformed BePI model permutation");
-  }
+  BEPI_RETURN_IF_ERROR(
+      ParseSizesAndPerm(in, StreamRemainingBytes(in), &dec));
   in.ignore(1, '\n');
-  for (CsrMatrix* m : {&dec.l1_inv, &dec.u1_inv, &dec.h12, &dec.h21, &dec.h31,
-                       &dec.h32, &dec.schur}) {
-    BEPI_ASSIGN_OR_RETURN(*m, ReadMatrixMarket(in));
+  const std::size_t num_matrices =
+      v2 ? std::size(kMatrixSpecs) : std::size(kMatrixSpecs) - 2;
+  for (std::size_t i = 0; i < num_matrices; ++i) {
+    const MatrixSpec& spec = kMatrixSpecs[i];
+    // Expected shapes are known from the partition sizes; passing them
+    // rejects dimension bombs before any allocation.
+    BEPI_ASSIGN_OR_RETURN(
+        dec.*spec.member,
+        ReadMatrixMarket(in, dec.*spec.rows, dec.*spec.cols));
   }
-  if (v2) {
-    BEPI_ASSIGN_OR_RETURN(dec.h11, ReadMatrixMarket(in));
-    BEPI_ASSIGN_OR_RETURN(dec.h22, ReadMatrixMarket(in));
-  }
-  // Shape checks tie the matrices to the declared partition sizes.
-  if (dec.l1_inv.rows() != dec.n1 || dec.u1_inv.rows() != dec.n1 ||
-      dec.h12.rows() != dec.n1 || dec.h12.cols() != dec.n2 ||
-      dec.h21.rows() != dec.n2 || dec.h21.cols() != dec.n1 ||
-      dec.h31.rows() != dec.n3 || dec.h31.cols() != dec.n1 ||
-      dec.h32.rows() != dec.n3 || dec.h32.cols() != dec.n2 ||
-      dec.schur.rows() != dec.n2 || dec.schur.cols() != dec.n2) {
-    return Status::IoError("BePI model matrices inconsistent with sizes");
-  }
-  if (v2 && (dec.h11.rows() != dec.n1 || dec.h11.cols() != dec.n1 ||
-             dec.h22.rows() != dec.n2 || dec.h22.cols() != dec.n2)) {
-    return Status::IoError("BePI model matrices inconsistent with sizes");
-  }
+  BEPI_RETURN_IF_ERROR(solver.FinalizeLoaded());
+  return solver;
+}
+
+Status BepiSolver::FinalizeLoaded() {
   bool ilu_skipped = false;
-  if (options.mode == BepiMode::kPreconditioned && dec.n2 > 0) {
-    Result<Ilu0> ilu = Ilu0::Factor(dec.schur);
+  if (options_.mode == BepiMode::kPreconditioned && dec_.n2 > 0) {
+    Result<Ilu0> ilu = Ilu0::Factor(dec_.schur);
     if (ilu.ok()) {
-      solver.ilu_ = std::move(ilu).value();
-    } else if (options.enable_fallbacks &&
+      ilu_ = std::move(ilu).value();
+    } else if (options_.enable_fallbacks &&
                ilu.status().code() == StatusCode::kFailedPrecondition) {
       BEPI_LOG(Warning) << "ILU(0) breakdown on load, continuing "
                         << "unpreconditioned: " << ilu.status().ToString();
@@ -381,22 +506,25 @@ Result<BepiSolver> BepiSolver::Load(std::istream& in) {
       return ilu.status();
     }
   }
-  solver.inverse_perm_ = InversePermutation(dec.perm);
+  inverse_perm_ = InversePermutation(dec_.perm);
   // Only the structural fields survive a round-trip; the timing breakdown
   // and H22/product counts belong to the original preprocessing run.
-  solver.info_ = BepiPreprocessInfo();
-  solver.info_.n1 = dec.n1;
-  solver.info_.n2 = dec.n2;
-  solver.info_.n3 = dec.n3;
-  solver.info_.schur_nnz = dec.schur.nnz();
-  solver.info_.ilu_skipped = ilu_skipped;
-  solver.preprocessed_ = true;
-  return solver;
+  info_ = BepiPreprocessInfo();
+  info_.n1 = dec_.n1;
+  info_.n2 = dec_.n2;
+  info_.n3 = dec_.n3;
+  info_.schur_nnz = dec_.schur.nnz();
+  info_.ilu_skipped = ilu_skipped;
+  preprocessed_ = true;
+  return Status::Ok();
 }
 
 Result<BepiSolver> BepiSolver::LoadFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
+  // Whole-file read (rather than a streaming ifstream) routes every load
+  // through the fileio.bit_flip fault site, exercising checksum detection
+  // end to end.
+  BEPI_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  std::istringstream in(std::move(content));
   return Load(in);
 }
 

@@ -65,6 +65,12 @@ struct BepiPreprocessInfo {
   /// True when ILU(0) factorization of S broke down and preprocessing
   /// continued without the preconditioner (enable_fallbacks only).
   bool ilu_skipped = false;
+  // Checkpointing overhead (zero when preprocessing ran without a
+  // CheckpointManager); lets bench_fig1_preprocessing report the cost of
+  // kill-safety against the paper's preprocessing-time figures.
+  double checkpoint_seconds = 0.0;
+  index_t checkpoints_written = 0;
+  index_t checkpoints_resumed = 0;
 };
 
 class BepiSolver final : public RwrSolver {
@@ -73,6 +79,12 @@ class BepiSolver final : public RwrSolver {
 
   std::string name() const override;
   Status Preprocess(const Graph& g) override;
+  /// Kill-safe variant: with a non-null manager, preprocessing stages are
+  /// checkpointed (and resumed) under a fingerprint derived from the graph
+  /// and the options, so a SIGKILLed run restarted with the same arguments
+  /// completes from the last durable stage and produces a bit-identical
+  /// model. See core/checkpoint.hpp.
+  Status Preprocess(const Graph& g, CheckpointManager* checkpoints);
   Result<Vector> Query(index_t seed, QueryStats* stats = nullptr) const override;
   Result<Vector> QueryVector(const Vector& q,
                              QueryStats* stats = nullptr) const override;
@@ -102,6 +114,12 @@ class BepiSolver final : public RwrSolver {
   /// (c*q sliced along [n1 | n2 | n3] in reordered ids).
   Result<Vector> SolveFromSlices(const Vector& cq1, const Vector& cq2,
                                  const Vector& cq3, QueryStats* stats) const;
+
+  /// Sectioned, per-section-checksummed format (header already consumed).
+  static Result<BepiSolver> LoadV3(std::istream& in);
+  /// Shared tail of every Load path: recompute the ILU(0) preconditioner,
+  /// invert the permutation, rebuild the structural info fields.
+  Status FinalizeLoaded();
 
   BepiOptions options_;
   real_t effective_hub_ratio_ = 0.0;

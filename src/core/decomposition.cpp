@@ -1,16 +1,31 @@
 #include "core/decomposition.hpp"
 
+#include <sstream>
+#include <utility>
+
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/timer.hpp"
+#include "core/checkpoint.hpp"
 #include "core/rwr.hpp"
 #include "graph/deadend.hpp"
 #include "graph/slashburn.hpp"
 #include "sparse/coo.hpp"
+#include "sparse/io.hpp"
 #include "sparse/spgemm.hpp"
 #include "solver/dense_lu.hpp"
 
 namespace bepi {
 namespace {
+
+// Checkpoint stage names (file names under the checkpoint directory).
+constexpr char kStageDeadend[] = "deadend";
+constexpr char kStageSlashBurnRound[] = "slashburn.round";
+constexpr char kStageReorder[] = "reorder";
+constexpr char kStageFactor[] = "factor";
+constexpr char kStageSchur[] = "schur";
+
+using CheckpointSections = std::map<std::string, std::string>;
 
 /// Dense LU without pivoting, valid for the strictly diagonally dominant
 /// H11 blocks. Returns packed LU (L unit-lower below the diagonal, U on
@@ -34,6 +49,200 @@ Status FactorNoPivot(DenseMatrix* a) {
   return Status::Ok();
 }
 
+std::string EncodeIndexVector(const std::vector<index_t>& v) {
+  std::ostringstream out;
+  out << v.size() << "\n";
+  for (index_t x : v) out << x << "\n";
+  return out.str();
+}
+
+Status DecodeIndexVector(const std::string& payload,
+                         std::vector<index_t>* out) {
+  std::istringstream in(payload);
+  std::uint64_t count = 0;
+  if (!(in >> count)) {
+    return Status::DataLoss("index vector payload has no size line");
+  }
+  // Each entry occupies at least two bytes ("0\n"); a count beyond the
+  // payload size is a lie and must not drive a reserve().
+  if (count > payload.size()) {
+    return Status::DataLoss("index vector claims " + std::to_string(count) +
+                            " entries in a " +
+                            std::to_string(payload.size()) + "-byte payload");
+  }
+  out->clear();
+  out->reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    index_t x = 0;
+    if (!(in >> x)) return Status::DataLoss("truncated index vector payload");
+    out->push_back(x);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> EncodeMatrix(const CsrMatrix& m) {
+  std::ostringstream out;
+  BEPI_RETURN_IF_ERROR(WriteMatrixMarket(m, out));
+  return out.str();
+}
+
+Result<CsrMatrix> DecodeMatrix(const std::string& payload, index_t rows,
+                               index_t cols) {
+  std::istringstream in(payload);
+  return ReadMatrixMarket(in, rows, cols);
+}
+
+Result<const std::string*> FindPayload(const CheckpointSections& sections,
+                                       const std::string& name) {
+  auto it = sections.find(name);
+  if (it == sections.end()) {
+    return Status::DataLoss("checkpoint lacks a '" + name + "' section");
+  }
+  return &it->second;
+}
+
+Status DecodeDeadend(const CheckpointSections& sections, index_t n,
+                     DeadendPartition* out) {
+  BEPI_ASSIGN_OR_RETURN(const std::string* counts,
+                        FindPayload(sections, "counts"));
+  std::istringstream in(*counts);
+  if (!(in >> out->num_non_deadends >> out->num_deadends)) {
+    return Status::DataLoss("malformed deadend counts");
+  }
+  BEPI_ASSIGN_OR_RETURN(const std::string* perm,
+                        FindPayload(sections, "perm"));
+  BEPI_RETURN_IF_ERROR(DecodeIndexVector(*perm, &out->perm));
+  if (out->num_non_deadends < 0 || out->num_deadends < 0 ||
+      out->num_non_deadends + out->num_deadends != n ||
+      static_cast<index_t>(out->perm.size()) != n ||
+      !IsPermutation(out->perm)) {
+    return Status::DataLoss("deadend checkpoint is inconsistent");
+  }
+  return Status::Ok();
+}
+
+Status DecodeSlashBurnRound(const CheckpointSections& sections, index_t nn,
+                            SlashBurnResult* out) {
+  BEPI_ASSIGN_OR_RETURN(const std::string* counts,
+                        FindPayload(sections, "counts"));
+  std::istringstream in(*counts);
+  if (!(in >> out->num_spokes >> out->num_hubs >> out->iterations)) {
+    return Status::DataLoss("malformed SlashBurn round counts");
+  }
+  BEPI_ASSIGN_OR_RETURN(const std::string* perm,
+                        FindPayload(sections, "perm"));
+  BEPI_RETURN_IF_ERROR(DecodeIndexVector(*perm, &out->perm));
+  BEPI_ASSIGN_OR_RETURN(const std::string* blocks,
+                        FindPayload(sections, "blocks"));
+  BEPI_RETURN_IF_ERROR(DecodeIndexVector(*blocks, &out->block_sizes));
+  if (static_cast<index_t>(out->perm.size()) != nn) {
+    return Status::DataLoss("SlashBurn round checkpoint is inconsistent");
+  }
+  // Deeper consistency (assigned-id accounting) is re-validated by
+  // SlashBurn() itself before the state is trusted.
+  return Status::Ok();
+}
+
+Status DecodeReorder(const CheckpointSections& sections,
+                     HubSpokeDecomposition* dec) {
+  BEPI_ASSIGN_OR_RETURN(const std::string* sizes,
+                        FindPayload(sections, "sizes"));
+  std::istringstream in(*sizes);
+  index_t n = -1;
+  if (!(in >> n >> dec->n1 >> dec->n2 >> dec->n3 >>
+        dec->slashburn_iterations)) {
+    return Status::DataLoss("malformed reorder sizes");
+  }
+  BEPI_ASSIGN_OR_RETURN(const std::string* perm,
+                        FindPayload(sections, "perm"));
+  BEPI_RETURN_IF_ERROR(DecodeIndexVector(*perm, &dec->perm));
+  BEPI_ASSIGN_OR_RETURN(const std::string* blocks,
+                        FindPayload(sections, "blocks"));
+  BEPI_RETURN_IF_ERROR(DecodeIndexVector(*blocks, &dec->block_sizes));
+  index_t block_sum = 0;
+  for (index_t size : dec->block_sizes) {
+    if (size <= 0) return Status::DataLoss("non-positive block size");
+    block_sum += size;
+  }
+  if (n != dec->n || dec->n1 < 0 || dec->n2 < 0 || dec->n3 < 0 ||
+      dec->n1 + dec->n2 + dec->n3 != dec->n || block_sum != dec->n1 ||
+      static_cast<index_t>(dec->perm.size()) != dec->n ||
+      !IsPermutation(dec->perm)) {
+    return Status::DataLoss("reorder checkpoint is inconsistent");
+  }
+  return Status::Ok();
+}
+
+void AppendCsrToCoo(const CsrMatrix& m, CooMatrix* out) {
+  for (index_t r = 0; r < m.rows(); ++r) {
+    for (index_t p = m.row_ptr()[static_cast<std::size_t>(r)];
+         p < m.row_ptr()[static_cast<std::size_t>(r) + 1]; ++p) {
+      out->Add(r, m.col_idx()[static_cast<std::size_t>(p)],
+               m.values()[static_cast<std::size_t>(p)]);
+    }
+  }
+}
+
+Status DecodeFactor(const CheckpointSections& sections, index_t n1,
+                    std::size_t num_blocks, std::size_t* blocks_done,
+                    CooMatrix* l1, CooMatrix* u1) {
+  BEPI_ASSIGN_OR_RETURN(const std::string* progress,
+                        FindPayload(sections, "progress"));
+  std::istringstream in(*progress);
+  std::uint64_t done = 0;
+  if (!(in >> done) || done > num_blocks) {
+    return Status::DataLoss("malformed factor progress");
+  }
+  BEPI_ASSIGN_OR_RETURN(const std::string* l1_text,
+                        FindPayload(sections, "l1"));
+  BEPI_ASSIGN_OR_RETURN(CsrMatrix l1_csr, DecodeMatrix(*l1_text, n1, n1));
+  BEPI_ASSIGN_OR_RETURN(const std::string* u1_text,
+                        FindPayload(sections, "u1"));
+  BEPI_ASSIGN_OR_RETURN(CsrMatrix u1_csr, DecodeMatrix(*u1_text, n1, n1));
+  AppendCsrToCoo(l1_csr, l1);
+  AppendCsrToCoo(u1_csr, u1);
+  *blocks_done = static_cast<std::size_t>(done);
+  return Status::Ok();
+}
+
+Status WriteFactorCsrCheckpoint(CheckpointManager* checkpoints,
+                                std::size_t blocks_done,
+                                const CsrMatrix& l1_csr,
+                                const CsrMatrix& u1_csr) {
+  BEPI_ASSIGN_OR_RETURN(std::string l1_text, EncodeMatrix(l1_csr));
+  BEPI_ASSIGN_OR_RETURN(std::string u1_text, EncodeMatrix(u1_csr));
+  std::ostringstream progress;
+  progress << blocks_done << "\n";
+  return checkpoints->Write(kStageFactor, {{"progress", progress.str()},
+                                           {"l1", std::move(l1_text)},
+                                           {"u1", std::move(u1_text)}});
+}
+
+Status WriteFactorCheckpoint(CheckpointManager* checkpoints,
+                             std::size_t blocks_done, const CooMatrix& l1,
+                             const CooMatrix& u1) {
+  // Partial COO state round-trips through sorted CSR; the final ToCsr()
+  // sorts anyway, so the resumed run converges to the same matrices.
+  BEPI_ASSIGN_OR_RETURN(CsrMatrix l1_csr, l1.ToCsr());
+  BEPI_ASSIGN_OR_RETURN(CsrMatrix u1_csr, u1.ToCsr());
+  return WriteFactorCsrCheckpoint(checkpoints, blocks_done, l1_csr, u1_csr);
+}
+
+/// Checkpoint writes are best-effort: a failure costs durability of this
+/// resume point, never the run. (The checkpoint.crash SIGKILL site fires
+/// inside Write itself, after a successful commit.)
+void WarnOnCheckpointFailure(const Status& status, const char* stage) {
+  if (!status.ok()) {
+    BEPI_LOG(Warning) << "checkpoint write for stage '" << stage
+                      << "' failed: " << status.ToString();
+  }
+}
+
+void WarnOnResumeFailure(const Status& status, const char* stage) {
+  BEPI_LOG(Warning) << "ignoring checkpoint for stage '" << stage
+                    << "': " << status.ToString();
+}
+
 }  // namespace
 
 Vector HubSpokeDecomposition::ApplyH11Inverse(const Vector& v) const {
@@ -46,8 +255,8 @@ std::uint64_t HubSpokeDecomposition::CommonBytes() const {
 }
 
 Result<HubSpokeDecomposition> BuildDecomposition(
-    const Graph& g, const DecompositionOptions& options,
-    MemoryBudget* budget) {
+    const Graph& g, const DecompositionOptions& options, MemoryBudget* budget,
+    CheckpointManager* checkpoints) {
   if (g.num_nodes() == 0) {
     return Status::InvalidArgument("empty graph");
   }
@@ -58,38 +267,140 @@ Result<HubSpokeDecomposition> BuildDecomposition(
   dec.n = g.num_nodes();
   Timer timer;
 
-  // Step 1: deadend reordering (Section 3.2.1).
-  const DeadendPartition deadends = ReorderDeadends(g);
-  dec.n3 = deadends.num_deadends;
-  const index_t nn = deadends.num_non_deadends;
-
-  // Step 2: hub-and-spoke reordering of Ann via SlashBurn.
-  BEPI_ASSIGN_OR_RETURN(
-      CsrMatrix a_deadend_ordered,
-      PermuteSymmetric(g.adjacency(), deadends.perm));
-  BEPI_ASSIGN_OR_RETURN(CsrMatrix ann,
-                        ExtractBlock(a_deadend_ordered, 0, nn, 0, nn));
-  SlashBurnOptions sb_options;
-  sb_options.k_ratio = options.hub_ratio;
-  sb_options.hub_selection = options.hub_selection;
-  sb_options.max_iterations = options.slashburn_max_iterations;
-  BEPI_ASSIGN_OR_RETURN(SlashBurnResult sb, SlashBurn(ann, sb_options));
-  dec.n1 = sb.num_spokes;
-  dec.n2 = sb.num_hubs;
-  dec.block_sizes = std::move(sb.block_sizes);
-  dec.slashburn_iterations = sb.iterations;
-
-  // Full permutation: SlashBurn order on non-deadends, deadends unchanged.
-  Permutation hub_spoke_perm = IdentityPermutation(dec.n);
-  for (index_t i = 0; i < nn; ++i) {
-    hub_spoke_perm[static_cast<std::size_t>(i)] =
-        sb.perm[static_cast<std::size_t>(i)];
+  // Steps 1+2: deadend reordering (Section 3.2.1) then hub-and-spoke
+  // reordering of Ann via SlashBurn. A "reorder" checkpoint holds the
+  // combined outcome and skips both.
+  bool reorder_resumed = false;
+  if (checkpoints != nullptr) {
+    Result<CheckpointSections> ckpt = checkpoints->Read(kStageReorder);
+    if (ckpt.ok()) {
+      const Status decoded = DecodeReorder(*ckpt, &dec);
+      if (decoded.ok()) {
+        reorder_resumed = true;
+      } else {
+        WarnOnResumeFailure(decoded, kStageReorder);
+      }
+    }
   }
-  dec.perm = ComposePermutations(hub_spoke_perm, deadends.perm);
+  if (!reorder_resumed) {
+    DeadendPartition deadends;
+    bool deadend_resumed = false;
+    if (checkpoints != nullptr) {
+      Result<CheckpointSections> ckpt = checkpoints->Read(kStageDeadend);
+      if (ckpt.ok()) {
+        const Status decoded = DecodeDeadend(*ckpt, dec.n, &deadends);
+        if (decoded.ok()) {
+          deadend_resumed = true;
+        } else {
+          WarnOnResumeFailure(decoded, kStageDeadend);
+        }
+      }
+    }
+    if (!deadend_resumed) {
+      deadends = ReorderDeadends(g);
+      if (checkpoints != nullptr) {
+        std::ostringstream counts;
+        counts << deadends.num_non_deadends << " " << deadends.num_deadends
+               << "\n";
+        WarnOnCheckpointFailure(
+            checkpoints->Write(kStageDeadend,
+                               {{"counts", counts.str()},
+                                {"perm", EncodeIndexVector(deadends.perm)}}),
+            kStageDeadend);
+      }
+    }
+    dec.n3 = deadends.num_deadends;
+    const index_t nn = deadends.num_non_deadends;
+
+    BEPI_ASSIGN_OR_RETURN(
+        CsrMatrix a_deadend_ordered,
+        PermuteSymmetric(g.adjacency(), deadends.perm));
+    BEPI_ASSIGN_OR_RETURN(CsrMatrix ann,
+                          ExtractBlock(a_deadend_ordered, 0, nn, 0, nn));
+    SlashBurnOptions sb_options;
+    sb_options.k_ratio = options.hub_ratio;
+    sb_options.hub_selection = options.hub_selection;
+    sb_options.max_iterations = options.slashburn_max_iterations;
+    // Round-level resume only makes sense for deterministic hub selection;
+    // kRandom would diverge from the uninterrupted run (slashburn.hpp).
+    SlashBurnResult round_state;
+    const bool resumable =
+        checkpoints != nullptr &&
+        options.hub_selection == SlashBurnOptions::HubSelection::kDegree;
+    Timer since_round_ckpt;
+    if (resumable) {
+      Result<CheckpointSections> ckpt =
+          checkpoints->Read(kStageSlashBurnRound);
+      if (ckpt.ok()) {
+        const Status decoded = DecodeSlashBurnRound(*ckpt, nn, &round_state);
+        if (decoded.ok()) {
+          sb_options.resume_from = &round_state;
+        } else {
+          WarnOnResumeFailure(decoded, kStageSlashBurnRound);
+        }
+      }
+      sb_options.round_hook = [&](const SlashBurnResult& partial) -> Status {
+        if (since_round_ckpt.Seconds() < options.checkpoint_interval_seconds) {
+          return Status::Ok();
+        }
+        std::ostringstream counts;
+        counts << partial.num_spokes << " " << partial.num_hubs << " "
+               << partial.iterations << "\n";
+        WarnOnCheckpointFailure(
+            checkpoints->Write(
+                kStageSlashBurnRound,
+                {{"counts", counts.str()},
+                 {"perm", EncodeIndexVector(partial.perm)},
+                 {"blocks", EncodeIndexVector(partial.block_sizes)}}),
+            kStageSlashBurnRound);
+        since_round_ckpt.Restart();
+        return Status::Ok();
+      };
+    }
+    Result<SlashBurnResult> sb_result = SlashBurn(ann, sb_options);
+    if (!sb_result.ok() && sb_options.resume_from != nullptr) {
+      // A checkpoint that passed its checksum but fails SlashBurn's own
+      // consistency validation is recomputed, not fatal.
+      WarnOnResumeFailure(sb_result.status(), kStageSlashBurnRound);
+      sb_options.resume_from = nullptr;
+      sb_result = SlashBurn(ann, sb_options);
+    }
+    BEPI_ASSIGN_OR_RETURN(SlashBurnResult sb, std::move(sb_result));
+    dec.n1 = sb.num_spokes;
+    dec.n2 = sb.num_hubs;
+    dec.block_sizes = std::move(sb.block_sizes);
+    dec.slashburn_iterations = sb.iterations;
+
+    // Full permutation: SlashBurn order on non-deadends, deadends
+    // unchanged.
+    Permutation hub_spoke_perm = IdentityPermutation(dec.n);
+    for (index_t i = 0; i < nn; ++i) {
+      hub_spoke_perm[static_cast<std::size_t>(i)] =
+          sb.perm[static_cast<std::size_t>(i)];
+    }
+    dec.perm = ComposePermutations(hub_spoke_perm, deadends.perm);
+
+    if (checkpoints != nullptr) {
+      std::ostringstream sizes;
+      sizes << dec.n << " " << dec.n1 << " " << dec.n2 << " " << dec.n3
+            << " " << dec.slashburn_iterations << "\n";
+      WarnOnCheckpointFailure(
+          checkpoints->Write(kStageReorder,
+                             {{"sizes", sizes.str()},
+                              {"perm", EncodeIndexVector(dec.perm)},
+                              {"blocks", EncodeIndexVector(dec.block_sizes)}}),
+          kStageReorder);
+      // The reorder snapshot supersedes its inputs; drop them so the
+      // directory only holds live resume points.
+      checkpoints->Invalidate(kStageSlashBurnRound);
+      checkpoints->Invalidate(kStageDeadend);
+    }
+  }
   dec.reorder_seconds = timer.Seconds();
 
   // Step 3: H = I - (1-c) Ã^T in the new ordering (the normalization uses
-  // the original out-degrees; edges to deadends count).
+  // the original out-degrees; edges to deadends count). Cheap relative to
+  // factoring, so it is recomputed rather than checkpointed.
   timer.Restart();
   BEPI_ASSIGN_OR_RETURN(
       CsrMatrix normalized_perm,
@@ -115,7 +426,8 @@ Result<HubSpokeDecomposition> BuildDecomposition(
   dec.build_seconds = timer.Seconds();
 
   // Step 5: per-block LU of H11 with explicitly inverted factors
-  // (r1 = U1^{-1} (L1^{-1} ...) in the query phase).
+  // (r1 = U1^{-1} (L1^{-1} ...) in the query phase). The "factor"
+  // checkpoint records how many whole blocks are already inverted.
   timer.Restart();
   if (budget != nullptr) {
     std::uint64_t projected = 0;
@@ -126,9 +438,30 @@ Result<HubSpokeDecomposition> BuildDecomposition(
     }
     BEPI_RETURN_IF_ERROR(budget->Charge(projected, "inverted LU factors of H11"));
   }
+  const std::size_t num_blocks = dec.block_sizes.size();
   CooMatrix l1_coo(dec.n1, dec.n1), u1_coo(dec.n1, dec.n1);
+  std::size_t blocks_done = 0;
+  if (checkpoints != nullptr) {
+    Result<CheckpointSections> ckpt = checkpoints->Read(kStageFactor);
+    if (ckpt.ok()) {
+      const Status decoded = DecodeFactor(*ckpt, dec.n1, num_blocks,
+                                          &blocks_done, &l1_coo, &u1_coo);
+      if (!decoded.ok()) {
+        WarnOnResumeFailure(decoded, kStageFactor);
+        blocks_done = 0;
+        l1_coo = CooMatrix(dec.n1, dec.n1);
+        u1_coo = CooMatrix(dec.n1, dec.n1);
+      }
+    }
+  }
+  const std::size_t blocks_resumed = blocks_done;
   index_t block_start = 0;
-  for (index_t size : dec.block_sizes) {
+  for (std::size_t b = 0; b < blocks_resumed; ++b) {
+    block_start += dec.block_sizes[b];
+  }
+  Timer since_factor_ckpt;
+  for (std::size_t b = blocks_resumed; b < num_blocks; ++b) {
+    const index_t size = dec.block_sizes[b];
     BEPI_ASSIGN_OR_RETURN(
         CsrMatrix block_csr,
         ExtractBlock(dec.h11, block_start, block_start + size, block_start,
@@ -147,19 +480,73 @@ Result<HubSpokeDecomposition> BuildDecomposition(
       }
     }
     block_start += size;
+    ++blocks_done;
+    if (checkpoints != nullptr && blocks_done < num_blocks &&
+        since_factor_ckpt.Seconds() >= options.checkpoint_interval_seconds) {
+      WarnOnCheckpointFailure(
+          WriteFactorCheckpoint(checkpoints, blocks_done, l1_coo, u1_coo),
+          kStageFactor);
+      since_factor_ckpt.Restart();
+    }
   }
   BEPI_CHECK(block_start == dec.n1);
   BEPI_ASSIGN_OR_RETURN(dec.l1_inv, l1_coo.ToCsr());
   BEPI_ASSIGN_OR_RETURN(dec.u1_inv, u1_coo.ToCsr());
+  if (checkpoints != nullptr && blocks_resumed < num_blocks) {
+    // The stage-boundary snapshot reuses the assembled CSR factors rather
+    // than re-sorting the COO staging buffers a second time.
+    WarnOnCheckpointFailure(
+        WriteFactorCsrCheckpoint(checkpoints, num_blocks, dec.l1_inv,
+                                 dec.u1_inv),
+        kStageFactor);
+  }
   dec.factor_seconds = timer.Seconds();
 
   // Step 6: Schur complement S = H22 - H21 (U1^{-1} (L1^{-1} H12)).
   timer.Restart();
-  BEPI_ASSIGN_OR_RETURN(CsrMatrix t1, Multiply(dec.l1_inv, dec.h12));
-  BEPI_ASSIGN_OR_RETURN(CsrMatrix t2, Multiply(dec.u1_inv, t1));
-  BEPI_ASSIGN_OR_RETURN(CsrMatrix t3, Multiply(dec.h21, t2));
-  dec.product_nnz = t3.nnz();
-  BEPI_ASSIGN_OR_RETURN(dec.schur, Subtract(dec.h22, t3));
+  bool schur_resumed = false;
+  if (checkpoints != nullptr) {
+    Result<CheckpointSections> ckpt = checkpoints->Read(kStageSchur);
+    if (ckpt.ok()) {
+      const Status decoded = [&]() -> Status {
+        BEPI_ASSIGN_OR_RETURN(const std::string* meta,
+                              FindPayload(*ckpt, "meta"));
+        std::istringstream in(*meta);
+        if (!(in >> dec.product_nnz) || dec.product_nnz < 0) {
+          return Status::DataLoss("malformed Schur metadata");
+        }
+        BEPI_ASSIGN_OR_RETURN(const std::string* schur,
+                              FindPayload(*ckpt, "schur"));
+        BEPI_ASSIGN_OR_RETURN(dec.schur,
+                              DecodeMatrix(*schur, dec.n2, dec.n2));
+        return Status::Ok();
+      }();
+      if (decoded.ok()) {
+        schur_resumed = true;
+      } else {
+        WarnOnResumeFailure(decoded, kStageSchur);
+      }
+    }
+  }
+  if (!schur_resumed) {
+    BEPI_ASSIGN_OR_RETURN(CsrMatrix t1, Multiply(dec.l1_inv, dec.h12));
+    BEPI_ASSIGN_OR_RETURN(CsrMatrix t2, Multiply(dec.u1_inv, t1));
+    BEPI_ASSIGN_OR_RETURN(CsrMatrix t3, Multiply(dec.h21, t2));
+    dec.product_nnz = t3.nnz();
+    BEPI_ASSIGN_OR_RETURN(dec.schur, Subtract(dec.h22, t3));
+    if (checkpoints != nullptr) {
+      const Status written = [&]() -> Status {
+        BEPI_ASSIGN_OR_RETURN(std::string schur_text,
+                              EncodeMatrix(dec.schur));
+        std::ostringstream meta;
+        meta << dec.product_nnz << "\n";
+        return checkpoints->Write(kStageSchur,
+                                  {{"meta", meta.str()},
+                                   {"schur", std::move(schur_text)}});
+      }();
+      WarnOnCheckpointFailure(written, kStageSchur);
+    }
+  }
   if (budget != nullptr) {
     BEPI_RETURN_IF_ERROR(budget->Charge(dec.schur.ByteSize(),
                                         "Schur complement S"));

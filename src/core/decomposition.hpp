@@ -27,6 +27,12 @@ struct DecompositionOptions {
       SlashBurnOptions::HubSelection::kDegree;
   /// Cap on SlashBurn iterations (0 = none); ablation knob.
   index_t slashburn_max_iterations = 0;
+  /// Minimum seconds between *incremental* checkpoints (SlashBurn rounds,
+  /// partial LU progress) when a CheckpointManager is supplied. Stage-
+  /// boundary checkpoints are always written. 0 snapshots every round and
+  /// every block (tests); the default keeps overhead well under 5% on
+  /// graphs small enough that stages finish quickly anyway.
+  double checkpoint_interval_seconds = 0.25;
 };
 
 struct HubSpokeDecomposition {
@@ -68,10 +74,18 @@ struct HubSpokeDecomposition {
   std::uint64_t CommonBytes() const;
 };
 
+class CheckpointManager;
+
 /// Runs the full pipeline. `budget` (may be null) gates the footprint of
-/// each produced matrix.
+/// each produced matrix. With a non-null `checkpoints` the expensive
+/// stages are snapshotted at their boundaries (deadend partition, each
+/// SlashBurn round, per-diagonal-block LU progress, the Schur complement)
+/// and any valid snapshot found on entry is resumed instead of recomputed
+/// — a killed preprocessing run restarted with the same graph, options and
+/// checkpoint directory produces a bit-identical decomposition.
 Result<HubSpokeDecomposition> BuildDecomposition(
-    const Graph& g, const DecompositionOptions& options, MemoryBudget* budget);
+    const Graph& g, const DecompositionOptions& options, MemoryBudget* budget,
+    CheckpointManager* checkpoints = nullptr);
 
 }  // namespace bepi
 

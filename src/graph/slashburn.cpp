@@ -30,6 +30,40 @@ Result<SlashBurnResult> SlashBurn(const CsrMatrix& adjacency,
   index_t low_next = 0;    // next spoke id
   index_t high_next = n - 1;  // next hub id
 
+  if (options.resume_from != nullptr) {
+    // Rebuild the round state from a partial result: active nodes are
+    // exactly those without an assigned id, spoke ids grow from the low
+    // end and hub ids from the high end.
+    if (options.hub_selection == SlashBurnOptions::HubSelection::kRandom) {
+      return Status::InvalidArgument(
+          "SlashBurn resume requires degree-based hub selection");
+    }
+    const SlashBurnResult& from = *options.resume_from;
+    if (static_cast<index_t>(from.perm.size()) != n) {
+      return Status::InvalidArgument("SlashBurn resume state size mismatch");
+    }
+    index_t assigned = 0;
+    for (index_t u = 0; u < n; ++u) {
+      const index_t pos = from.perm[static_cast<std::size_t>(u)];
+      if (pos < 0) continue;
+      if (pos >= n) {
+        return Status::InvalidArgument("SlashBurn resume state id out of range");
+      }
+      active[static_cast<std::size_t>(u)] = false;
+      ++assigned;
+    }
+    index_t spokes_in_blocks = 0;
+    for (index_t size : from.block_sizes) spokes_in_blocks += size;
+    if (assigned != from.num_spokes + from.num_hubs ||
+        spokes_in_blocks != from.num_spokes) {
+      return Status::InvalidArgument("SlashBurn resume state inconsistent");
+    }
+    result = from;
+    active_count = n - assigned;
+    low_next = from.num_spokes;
+    high_next = n - 1 - from.num_hubs;
+  }
+
   std::vector<index_t> degree(static_cast<std::size_t>(n), 0);
   Rng rng(options.random_seed);
   while (active_count > 0) {
@@ -124,6 +158,9 @@ Result<SlashBurnResult> SlashBurn(const CsrMatrix& adjacency,
           --active_count;
         }
       }
+    }
+    if (options.round_hook) {
+      BEPI_RETURN_IF_ERROR(options.round_hook(result));
     }
   }
 

@@ -7,10 +7,14 @@
 #ifndef BEPI_GRAPH_SLASHBURN_HPP_
 #define BEPI_GRAPH_SLASHBURN_HPP_
 
+#include <functional>
+
 #include "common/status.hpp"
 #include "sparse/permute.hpp"
 
 namespace bepi {
+
+struct SlashBurnResult;
 
 struct SlashBurnOptions {
   /// Hub selection ratio k in (0, 1): ceil(k*n) hubs are removed per
@@ -26,6 +30,15 @@ struct SlashBurnOptions {
   HubSelection hub_selection = HubSelection::kDegree;
   /// Seed for kRandom selection.
   std::uint64_t random_seed = 1;
+  /// Invoked after every completed hub-removal round with the partial
+  /// result (perm holds -1 for still-active nodes). A non-ok return aborts
+  /// the reordering. The preprocessing checkpoint layer snapshots these
+  /// partial states so a killed run resumes at the last finished round.
+  std::function<Status(const SlashBurnResult&)> round_hook;
+  /// Resume from a partial result previously delivered to round_hook.
+  /// Only valid with kDegree selection: kRandom draws from its RNG every
+  /// round, so a mid-run resume would diverge from the uninterrupted run.
+  const SlashBurnResult* resume_from = nullptr;
 };
 
 struct SlashBurnResult {

@@ -17,8 +17,14 @@ Status WriteMatrixMarketFile(const CsrMatrix& m, const std::string& path);
 
 /// Reads a MatrixMarket coordinate file. Supports the "general" and
 /// "symmetric" qualifiers (symmetric entries are mirrored); "pattern"
-/// matrices get value 1.0 per entry.
-Result<CsrMatrix> ReadMatrixMarket(std::istream& in);
+/// matrices get value 1.0 per entry. The claimed entry count is sanity-
+/// capped against the remaining stream size before anything is allocated,
+/// so a corrupted size line cannot trigger a huge allocation. When
+/// `expect_rows`/`expect_cols` are >= 0 the declared dimensions must match
+/// them exactly (callers that know the shape, e.g. the model loader, reject
+/// dimension bombs before any allocation).
+Result<CsrMatrix> ReadMatrixMarket(std::istream& in, index_t expect_rows = -1,
+                                   index_t expect_cols = -1);
 Result<CsrMatrix> ReadMatrixMarketFile(const std::string& path);
 
 }  // namespace bepi

@@ -16,6 +16,7 @@
 #include "solver/ilu0.hpp"
 #include "solver/power.hpp"
 #include "sparse/coo.hpp"
+#include "sparse/io.hpp"
 #include "test_util.hpp"
 
 namespace bepi {
@@ -379,7 +380,7 @@ TEST_F(DegradationChainTest, SavedModelRetainsPowerFallback) {
   ASSERT_TRUE(solver.Preprocess(graph_).ok());
   std::stringstream stream;
   ASSERT_TRUE(solver.Save(stream).ok());
-  EXPECT_EQ(stream.str().rfind("BEPI-MODEL v2", 0), 0u);
+  EXPECT_EQ(stream.str().rfind("BEPI-MODEL v3", 0), 0u);
   auto loaded = BepiSolver::Load(stream);
   ASSERT_TRUE(loaded.ok());
   ASSERT_TRUE(SupportsGlobalPowerFallback(loaded->decomposition()));
@@ -395,21 +396,25 @@ TEST_F(DegradationChainTest, SavedModelRetainsPowerFallback) {
 TEST_F(DegradationChainTest, V1ModelLoadsWithoutPowerFallback) {
   BepiSolver solver(BepiOptions{});
   ASSERT_TRUE(solver.Preprocess(graph_).ok());
-  std::stringstream stream;
-  ASSERT_TRUE(solver.Save(stream).ok());
-  // Rewrite the v2 stream as v1: drop the trailing H11/H22 blocks (the
-  // 8th and 9th MatrixMarket sections) and downgrade the header.
-  std::string text = stream.str();
-  const std::string mm = "%%MatrixMarket";
-  std::size_t pos = 0;
-  for (int i = 0; i < 8; ++i) {
-    pos = text.find(mm, pos);
-    ASSERT_NE(pos, std::string::npos);
-    if (i < 7) pos += mm.size();
+  // Save now writes the sectioned v3 format, so reconstruct the legacy v1
+  // plain-text stream (options, sizes, permutation, seven matrices — no
+  // H11/H22 blocks) to check pre-fallback models still load.
+  const HubSpokeDecomposition& dec = solver.decomposition();
+  std::ostringstream text;
+  text << "BEPI-MODEL v1\n";
+  text.precision(17);
+  text << 2 << " " << 0.05 << " " << 1e-9 << " " << 10000 << " " << 100
+       << " " << solver.effective_hub_ratio() << "\n";
+  text << dec.n << " " << dec.n1 << " " << dec.n2 << " " << dec.n3 << "\n";
+  for (index_t i = 0; i < dec.n; ++i) {
+    text << dec.perm[static_cast<std::size_t>(i)]
+         << (i + 1 == dec.n ? '\n' : ' ');
   }
-  text.resize(pos);
-  text.replace(text.find("v2"), 2, "v1");
-  std::stringstream v1(text);
+  for (const CsrMatrix* m : {&dec.l1_inv, &dec.u1_inv, &dec.h12, &dec.h21,
+                             &dec.h31, &dec.h32, &dec.schur}) {
+    ASSERT_TRUE(WriteMatrixMarket(*m, text).ok());
+  }
+  std::stringstream v1(text.str());
   auto loaded = BepiSolver::Load(v1);
   ASSERT_TRUE(loaded.ok());
   EXPECT_FALSE(SupportsGlobalPowerFallback(loaded->decomposition()));

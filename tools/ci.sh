@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
 # Local CI: builds and runs the test suite in the default configuration and
 # under ASan/UBSan (BEPI_SANITIZE in CMakeLists.txt). Build trees live under
-# build-ci/ so the developer's build/ directory is left alone.
+# build-ci/ so the developer's build/ directory is left alone. The IO/crash
+# fault-injection tests (test_durability, test_checkpoint) run under all
+# three configurations as part of the normal ctest pass.
+#
+# After a default-configuration build, a kill-and-resume smoke test runs
+# the real CLI end to end: preprocessing is SIGKILLed at every checkpoint
+# commit in turn (checkpoint.crash fault site), resumed until it completes,
+# and the resumed model must be byte-identical to a from-scratch run.
 #
 # Usage: tools/ci.sh [default|address|undefined ...]
 #   With no arguments all three configurations run.
@@ -13,6 +20,52 @@ configs=("$@")
 if [ "${#configs[@]}" -eq 0 ]; then
   configs=(default address undefined)
 fi
+
+smoke_kill_resume() {
+  local cli="$1"
+  local work
+  work="$(mktemp -d)"
+  echo "=== kill-and-resume smoke test ==="
+  "$cli" generate --out="$work/graph.txt" --nodes=400 --edges=1800 \
+    --deadends=0.2 --seed=7 >/dev/null
+  "$cli" preprocess --graph="$work/graph.txt" --model="$work/scratch.txt" \
+    >/dev/null
+
+  # Kill preprocessing at its first checkpoint commit, over and over: each
+  # attempt makes exactly one more stage durable, so the loop sweeps every
+  # crash point. A fully resumed run writes no checkpoints and completes.
+  local attempts=0 status
+  while :; do
+    status=0
+    "$cli" preprocess --graph="$work/graph.txt" --model="$work/resumed.txt" \
+      --checkpoint-dir="$work/ckpt" --fault-inject=checkpoint.crash:0:1 \
+      >/dev/null 2>&1 || status=$?
+    [ "$status" -eq 0 ] && break
+    if [ "$status" -ne 137 ]; then
+      echo "preprocess exited with unexpected status $status (want 137)" >&2
+      exit 1
+    fi
+    attempts=$((attempts + 1))
+    if [ "$attempts" -gt 64 ]; then
+      echo "kill-and-resume did not converge after $attempts kills" >&2
+      exit 1
+    fi
+  done
+  echo "    survived $attempts SIGKILLs; comparing resumed model to scratch"
+  cmp "$work/scratch.txt" "$work/resumed.txt"
+  "$cli" verify-model --model="$work/resumed.txt" >/dev/null
+
+  # And the fsck must catch a corrupted model (model files are text, so a
+  # NUL byte can never be a legitimate value).
+  printf '\x00' | dd of="$work/resumed.txt" bs=1 seek=200 conv=notrunc \
+    2>/dev/null
+  if "$cli" verify-model --model="$work/resumed.txt" >/dev/null 2>&1; then
+    echo "verify-model missed an injected corruption" >&2
+    exit 1
+  fi
+  echo "    resumed model byte-identical; verify-model catches corruption"
+  rm -rf "$work"
+}
 
 for config in "${configs[@]}"; do
   case "$config" in
@@ -30,6 +83,9 @@ for config in "${configs[@]}"; do
   cmake --build "$build_dir" -j "$jobs"
   echo "=== [$config] test ==="
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  if [ "$config" = default ]; then
+    smoke_kill_resume "$build_dir/tools/bepi_cli"
+  fi
 done
 
 echo "=== all configurations passed ==="
