@@ -3,6 +3,7 @@
 // preprocessing fails under the shared budget/time ceiling print "-".
 //
 // Usage: bench_fig1_query [--scale=1.0] [--queries=5] [--budget_mb=256]
+//        [--json-out=BENCH_fig1_query.json]
 #include "bench_util.hpp"
 #include "core/bear.hpp"
 #include "core/bepi.hpp"
@@ -14,6 +15,7 @@ int main(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   bench::BenchConfig config = bench::BenchConfig::FromFlags(flags);
   bench::PrintBanner("Figure 1(c): query time", config);
+  bench::BenchJsonWriter json("fig1_query");
 
   Table table({"dataset", "edges", "BePI (s)", "GMRES (s)", "Power (s)",
                "Bear (s)", "LU (s)"});
@@ -21,63 +23,43 @@ int main(int argc, char** argv) {
     Graph g = bench::LoadDataset(spec, config);
     std::vector<std::string> row{spec.name, Table::IntGrouped(g.num_edges())};
 
+    auto run = [&](RwrSolver* solver, const char* method, bool skip) {
+      if (!bench::RunPreprocess(solver, g, skip).ok()) {
+        row.push_back("-");
+        return;
+      }
+      const bench::QueryOutcome outcome =
+          bench::RunQueries(*solver, g, config.num_queries, config.seed);
+      if (outcome.ok()) {
+        json.Add(spec.name, method, "avg_query_seconds", outcome.avg_seconds);
+        json.Add(spec.name, method, "avg_iterations", outcome.avg_iterations);
+      }
+      row.push_back(outcome.TimeCell());
+    };
+
     BepiOptions bepi_options;
     bepi_options.hub_ratio = spec.hub_ratio;
     bepi_options.memory_budget_bytes = config.budget_bytes;
     BepiSolver bepi_solver(bepi_options);
-    if (bench::RunPreprocess(&bepi_solver, g).ok()) {
-      row.push_back(
-          bench::RunQueries(bepi_solver, g, config.num_queries, config.seed)
-              .TimeCell());
-    } else {
-      row.push_back("-");
-    }
+    run(&bepi_solver, "bepi", false);
 
     GmresSolverOptions gmres_options;
     GmresSolver gmres_solver(gmres_options);
-    if (bench::RunPreprocess(&gmres_solver, g).ok()) {
-      row.push_back(
-          bench::RunQueries(gmres_solver, g, config.num_queries, config.seed)
-              .TimeCell());
-    } else {
-      row.push_back("-");
-    }
+    run(&gmres_solver, "gmres", false);
 
     RwrOptions power_options;
     PowerSolver power_solver(power_options);
-    if (bench::RunPreprocess(&power_solver, g).ok()) {
-      row.push_back(
-          bench::RunQueries(power_solver, g, config.num_queries, config.seed)
-              .TimeCell());
-    } else {
-      row.push_back("-");
-    }
+    run(&power_solver, "power", false);
 
     BearOptions bear_options;
     bear_options.memory_budget_bytes = config.budget_bytes;
     BearSolver bear_solver(bear_options);
-    if (bench::RunPreprocess(&bear_solver, g,
-                             g.num_edges() > config.bear_max_edges)
-            .ok()) {
-      row.push_back(
-          bench::RunQueries(bear_solver, g, config.num_queries, config.seed)
-              .TimeCell());
-    } else {
-      row.push_back("-");
-    }
+    run(&bear_solver, "bear", g.num_edges() > config.bear_max_edges);
 
     LuSolverOptions lu_options;
     lu_options.memory_budget_bytes = config.budget_bytes;
     LuSolver lu_solver(lu_options);
-    if (bench::RunPreprocess(&lu_solver, g,
-                             g.num_edges() > config.lu_max_edges)
-            .ok()) {
-      row.push_back(
-          bench::RunQueries(lu_solver, g, config.num_queries, config.seed)
-              .TimeCell());
-    } else {
-      row.push_back("-");
-    }
+    run(&lu_solver, "lu", g.num_edges() > config.lu_max_edges);
 
     table.AddRow(std::move(row));
   }
@@ -87,5 +69,6 @@ int main(int argc, char** argv) {
       "both iterative methods (up to ~9x vs GMRES, more vs Power) on every\n"
       "dataset, and is the only preprocessing method that runs at all on\n"
       "the large graphs.\n");
+  json.WriteIfRequested(flags);
   return 0;
 }

@@ -19,6 +19,7 @@
 
 #include "common/bytes.hpp"
 #include "common/check.hpp"
+#include "common/fileio.hpp"
 #include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -135,6 +136,84 @@ inline QueryOutcome RunQueries(const RwrSolver& solver, const Graph& g,
   outcome.avg_iterations = total_iterations / static_cast<double>(count);
   return outcome;
 }
+
+inline std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Machine-readable companion to the printed tables. Collects flat
+/// (dataset, method, metric, value) records and writes them as one JSON
+/// document — the BENCH_*.json artifacts archived by tools/ci.sh.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  void Add(const std::string& dataset, const std::string& method,
+           const std::string& metric, double value) {
+    records_.push_back({dataset, method, metric, value});
+  }
+
+  Status WriteFile(const std::string& path) const {
+    AtomicFileWriter writer(path);
+    BEPI_RETURN_IF_ERROR(writer.status());
+    auto& out = writer.stream();
+    out << "{\n  \"bench\": \"" << EscapeJson(name_)
+        << "\",\n  \"results\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    {\"dataset\": \"" << EscapeJson(r.dataset)
+          << "\", \"method\": \"" << EscapeJson(r.method)
+          << "\", \"metric\": \"" << EscapeJson(r.metric) << "\", \"value\": ";
+      if (std::isfinite(r.value)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", r.value);
+        out << buf;
+      } else {
+        out << "null";  // JSON has no Inf/NaN
+      }
+      out << "}";
+    }
+    out << (records_.empty() ? "" : "\n  ") << "]\n}\n";
+    return writer.Commit();
+  }
+
+  /// Writes to --json-out when the flag is present; a write failure
+  /// aborts so CI never silently archives a missing artifact.
+  void WriteIfRequested(const Flags& flags) const {
+    const std::string path = flags.GetString("json-out", "");
+    if (path.empty()) return;
+    const Status status = WriteFile(path);
+    BEPI_CHECK_MSG(status.ok(), status.ToString().c_str());
+    std::printf("\nwrote %zu benchmark records to %s\n", records_.size(),
+                path.c_str());
+  }
+
+ private:
+  struct Record {
+    std::string dataset;
+    std::string method;
+    std::string metric;
+    double value;
+  };
+  std::string name_;
+  std::vector<Record> records_;
+};
 
 /// Header line shared by all harness binaries.
 inline void PrintBanner(const std::string& title, const BenchConfig& config) {

@@ -1,12 +1,38 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
 
 namespace bepi {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+LogLevel InitialLevel() {
+  const char* env = std::getenv("BEPI_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  auto parsed = ParseLogLevel(env);
+  return parsed.value_or(LogLevel::kInfo);
+}
+
+std::atomic<LogLevel> g_level{InitialLevel()};
+
+/// Serializes concurrent writers so lines never interleave on stderr.
+std::mutex& LogMutex() {
+  static std::mutex* const mutex = new std::mutex();
+  return *mutex;
+}
+
+/// Small sequential id per logging thread (stable, human-readable —
+/// unlike the opaque hash of std::this_thread::get_id()).
+int ThisThreadLogId() {
+  static std::atomic<int> next{1};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,14 +50,51 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
+std::optional<LogLevel> ParseLogLevel(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return std::nullopt;
+}
+
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
 namespace internal {
 
+std::string FormatLogTimestamp(std::int64_t micros_since_epoch) {
+  const std::time_t seconds =
+      static_cast<std::time_t>(micros_since_epoch / 1000000);
+  const int millis = static_cast<int>((micros_since_epoch % 1000000) / 1000);
+  std::tm tm_utc{};
+  gmtime_r(&seconds, &tm_utc);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  return buf;
+}
+
 void LogMessage(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  const auto now = std::chrono::system_clock::now();
+  const std::string stamp = FormatLogTimestamp(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          now.time_since_epoch())
+          .count());
+  const int tid = ThisThreadLogId();
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "[%s %s t%d] %s\n", stamp.c_str(), LevelName(level),
+               tid, msg.c_str());
 }
 
 }  // namespace internal

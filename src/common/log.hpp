@@ -1,7 +1,12 @@
-// Minimal leveled logging to stderr.
+// Leveled logging to stderr. Each line carries an ISO-8601 UTC timestamp
+// (millisecond precision) and a small per-thread id, e.g.
+//   [2026-08-07T12:34:56.789Z WARN t1] ILU(0) breakdown, continuing ...
+// Concurrent writers are serialized by a mutex so lines never interleave.
 #ifndef BEPI_COMMON_LOG_HPP_
 #define BEPI_COMMON_LOG_HPP_
 
+#include <cstdint>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -9,13 +14,23 @@ namespace bepi {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Global minimum level; messages below it are dropped. Default: kInfo.
+/// Global minimum level; messages below it are dropped. Default: kInfo,
+/// overridden at startup by the BEPI_LOG_LEVEL environment variable
+/// ("debug" | "info" | "warning" | "error", case-insensitive, or 0-3).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a level name as accepted by BEPI_LOG_LEVEL (and the CLI's
+/// --log-level flag); nullopt for unrecognized input.
+std::optional<LogLevel> ParseLogLevel(const std::string& name);
 
 namespace internal {
 
 void LogMessage(LogLevel level, const std::string& msg);
+
+/// "2026-08-07T12:34:56.789Z" for a UTC microsecond timestamp (exposed
+/// for tests).
+std::string FormatLogTimestamp(std::int64_t micros_since_epoch);
 
 /// Stream-style log line; emits on destruction.
 class LogLine {

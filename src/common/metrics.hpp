@@ -1,0 +1,195 @@
+// Process-global metrics registry: named counters, gauges and
+// log-bucketed latency histograms, designed so the hot SpMV / triangular
+// solve / GMRES loops can be instrumented unconditionally.
+//
+// Overhead contract (see DESIGN.md):
+//  * When collection is disabled (the default), every instrumentation
+//    call is one relaxed atomic bool load and a predictable branch —
+//    cheap enough to leave in release builds and inner loops.
+//  * When enabled, counter increments are single relaxed atomic adds
+//    (lock-free, no false-sharing-prone locks); histogram records are a
+//    handful of relaxed atomic adds. No instrumentation path allocates
+//    or takes a mutex.
+//  * Registration (GetCounter/GetGauge/GetHistogram) takes a mutex and
+//    may allocate; call sites cache the returned pointer (instruments
+//    are never destroyed before process exit).
+//
+// Quantiles come from log-spaced buckets (kSubBucketsPerOctave linear
+// sub-buckets per power of two), so p50/p90/p99 carry a bounded relative
+// error of at most 1/kSubBucketsPerOctave (~3.1%); max/min/sum/count are
+// exact. SnapshotJson() serializes every instrument for --metrics-out.
+#ifndef BEPI_COMMON_METRICS_HPP_
+#define BEPI_COMMON_METRICS_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bepi {
+
+/// Global collection switch. Disabled by default; enabled by the CLI when
+/// --metrics-out is passed, by tests, or by a non-empty/non-"0"
+/// BEPI_METRICS environment variable at startup.
+void SetMetricsEnabled(bool enabled);
+
+inline std::atomic<bool>& MetricsEnabledFlag() {
+  extern std::atomic<bool> g_metrics_enabled;
+  return g_metrics_enabled;
+}
+
+/// The one branch every instrumentation site pays when disabled.
+inline bool MetricsEnabled() {
+  return MetricsEnabledFlag().load(std::memory_order_relaxed);
+}
+
+/// Monotonic event count. Increments are relaxed atomic adds.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Increment(std::uint64_t delta = 1) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. a size or a ratio). Stores are relaxed.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double v) {
+    if (!MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // exact
+  double max = 0.0;  // exact
+  double p50 = 0.0;  // bucket-quantized (<= 1/kSubBucketsPerOctave rel. err.)
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Log-bucketed histogram for positive measurements (latencies in seconds,
+/// iteration counts). Values are binned into kSubBucketsPerOctave linear
+/// sub-buckets per power of two across 2^-34 .. 2^30 (~58 ps .. ~34 min
+/// when recording seconds); out-of-range values clamp to the end buckets.
+class Histogram {
+ public:
+  static constexpr int kMinExponent = -34;
+  static constexpr int kMaxExponent = 30;
+  static constexpr int kSubBucketsPerOctave = 32;
+  static constexpr int kNumBuckets =
+      (kMaxExponent - kMinExponent) * kSubBucketsPerOctave + 2;
+
+  explicit Histogram(std::string name);
+
+  void Record(double v) {
+    if (!MetricsEnabled()) return;
+    RecordAlways(v);
+  }
+
+  /// Record regardless of the global switch (used by tests and by sinks
+  /// that already checked it, e.g. the CLI's own latency accounting).
+  void RecordAlways(double v);
+
+  HistogramSnapshot Snapshot() const;
+  const std::string& name() const { return name_; }
+  void Reset();
+
+  /// Index of the bucket `v` lands in (exposed for tests).
+  static int BucketIndex(double v);
+  /// Upper bound of bucket `index` (the value quantiles report).
+  static double BucketUpperBound(int index);
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+};
+
+/// Exact quantile of an unsorted sample (nearest-rank); the reference the
+/// histogram's bucketed quantiles are tested against, and the estimator
+/// used where the full sample is available (bepi_cli query --stats).
+double ExactQuantile(std::vector<double> values, double q);
+
+/// Named-instrument registry. Instruments live until process exit; the
+/// pointers returned by Get* are stable and safe to cache.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// One JSON object with "counters", "gauges" and "histograms" maps,
+  /// sorted by name. Histograms serialize their HistogramSnapshot.
+  std::string SnapshotJson() const;
+
+  /// Zeroes every instrument (tests and long-lived servers).
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+namespace internal {
+
+/// Startup hook: reads BEPI_METRICS once (any value other than "" or "0"
+/// enables collection). Invoked from a static initializer in metrics.cpp.
+void InitMetricsFromEnv();
+
+}  // namespace internal
+
+/// Convenience macro caching the instrument pointer at the call site:
+///   BEPI_METRIC_COUNTER(spmv_calls, "spmv.calls");
+///   spmv_calls->Increment();
+#define BEPI_METRIC_COUNTER(var, name)              \
+  static ::bepi::Counter* const var =               \
+      ::bepi::MetricsRegistry::Global().GetCounter(name)
+#define BEPI_METRIC_GAUGE(var, name)                \
+  static ::bepi::Gauge* const var =                 \
+      ::bepi::MetricsRegistry::Global().GetGauge(name)
+#define BEPI_METRIC_HISTOGRAM(var, name)            \
+  static ::bepi::Histogram* const var =             \
+      ::bepi::MetricsRegistry::Global().GetHistogram(name)
+
+}  // namespace bepi
+
+#endif  // BEPI_COMMON_METRICS_HPP_

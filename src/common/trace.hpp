@@ -1,0 +1,106 @@
+// RAII trace spans forming a per-thread span tree, exported as Chrome
+// trace-event JSON ("traceEvents" with complete "ph":"X" events) that
+// loads directly in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Usage:
+//   {
+//     TraceSpan span("preprocess.schur");
+//     span.Arg("nnz", schur.nnz());
+//     ...  // child TraceSpans nest under this one
+//   }
+//   Tracing::WriteChromeTraceFile("trace.json");
+//
+// Like metrics, tracing is disabled by default: an inactive TraceSpan
+// costs one relaxed atomic load and a branch, so spans stay compiled into
+// the preprocess and query paths unconditionally. When enabled, span
+// begin/end touch only the calling thread's buffer under a per-thread,
+// effectively-uncontended mutex (the global recorder mutex is taken once
+// per thread to register its buffer, and by the exporter).
+#ifndef BEPI_COMMON_TRACE_HPP_
+#define BEPI_COMMON_TRACE_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace bepi {
+
+namespace internal {
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t start_us = 0;  // relative to the recorder epoch
+  std::uint64_t dur_us = 0;
+  int depth = 0;  // nesting level at emission (0 = root span)
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+}  // namespace internal
+
+class Tracing {
+ public:
+  /// Enables span collection (and resets the epoch on first start).
+  static void Start();
+  static void Stop();
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Serializes every recorded span from every thread as Chrome
+  /// trace-event JSON. Safe to call with tracing stopped or running.
+  static Status WriteChromeTrace(std::ostream& out);
+  static Status WriteChromeTraceFile(const std::string& path);
+
+  /// Drops all recorded spans (tests).
+  static void Clear();
+
+  /// All events recorded by the calling thread so far, oldest first
+  /// (tests; the JSON writer is the production consumer).
+  static std::vector<internal::TraceEvent> ThisThreadEvents();
+
+ private:
+  friend class TraceSpan;
+  static std::atomic<bool> enabled_;
+};
+
+/// One timed scope. Construction opens the span, destruction closes it
+/// and commits the event to the calling thread's buffer. Spans opened
+/// while another span on the same thread is alive become its children in
+/// the exported trace (Perfetto nests same-thread "X" events by time).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (!Tracing::Enabled()) return;
+    Begin(name);
+  }
+  ~TraceSpan() {
+    if (!active_) return;
+    End();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a key/value pair shown in the trace viewer's args panel.
+  /// No-op on inactive spans.
+  void Arg(const char* key, const std::string& value);
+  void Arg(const char* key, std::int64_t value);
+  void Arg(const char* key, double value);
+
+  bool active() const { return active_; }
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  bool active_ = false;
+  internal::TraceEvent event_;  // owned until End commits it
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_COMMON_TRACE_HPP_

@@ -107,6 +107,7 @@ Result<Vector> ForwardPushSolver::QueryVector(const Vector& q,
     *stats = QueryStats();
     stats->seconds = timer.Seconds();
     stats->iterations = pushes;
+    stats->total_iterations = pushes;
   }
   return p;
 }
@@ -151,6 +152,7 @@ Result<Vector> RefreshRwrScores(const Graph& new_graph, index_t seed,
     *stats = QueryStats();
     stats->seconds = timer.Seconds();
     stats->iterations = pushes;
+    stats->total_iterations = pushes;
   }
   return p;
 }
@@ -204,6 +206,7 @@ Result<Vector> MonteCarloSolver::Query(index_t seed, QueryStats* stats) const {
     *stats = QueryStats();
     stats->seconds = timer.Seconds();
     stats->iterations = total_steps;
+    stats->total_iterations = total_steps;
   }
   return r;
 }
@@ -268,6 +271,7 @@ Result<Vector> MonteCarloSolver::QueryVector(const Vector& q,
     *stats = QueryStats();
     stats->seconds = timer.Seconds();
     stats->iterations = total_steps;
+    stats->total_iterations = total_steps;
   }
   return r;
 }

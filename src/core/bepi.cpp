@@ -7,8 +7,10 @@
 #include "common/check.hpp"
 #include "common/fileio.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/sections.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "core/checkpoint.hpp"
 #include "core/resilient.hpp"
 #include "solver/bicgstab.hpp"
@@ -44,6 +46,9 @@ Status BepiSolver::Preprocess(const Graph& g) {
 
 Status BepiSolver::Preprocess(const Graph& g, CheckpointManager* checkpoints) {
   Timer total_timer;
+  TraceSpan preprocess_span("preprocess");
+  preprocess_span.Arg("nodes", g.num_nodes());
+  preprocess_span.Arg("edges", g.num_edges());
   preprocessed_ = false;
 
   MemoryBudget budget(options_.memory_budget_bytes);
@@ -88,6 +93,8 @@ Status BepiSolver::Preprocess(const Graph& g, CheckpointManager* checkpoints) {
   ilu_.reset();
   if (options_.mode == BepiMode::kPreconditioned && dec_.n2 > 0) {
     Timer ilu_timer;
+    TraceSpan ilu_span("preprocess.ilu0");
+    ilu_span.Arg("schur_nnz", dec_.schur.nnz());
     // The ILU(0) factors have the same footprint as S (paper Section 3.5).
     BEPI_RETURN_IF_ERROR(
         budget.Charge(dec_.schur.ByteSize(), "ILU(0) factors of S"));
@@ -168,13 +175,17 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
                                            const Vector& cq3,
                                            QueryStats* stats) const {
   Timer timer;
+  TraceSpan query_span("query");
   const index_t n1 = dec_.n1, n2 = dec_.n2, n3 = dec_.n3;
 
   // q2~ = c q2 - H21 (U1^{-1} (L1^{-1} (c q1)))  (Algorithm 4, line 3).
   Vector q2_tilde = cq2;
-  if (n1 > 0) {
-    const Vector h11inv_cq1 = dec_.ApplyH11Inverse(cq1);
-    dec_.h21.MultiplyAdd(-1.0, h11inv_cq1, &q2_tilde);
+  {
+    TraceSpan rhs_span("query.rhs_build");
+    if (n1 > 0) {
+      const Vector h11inv_cq1 = dec_.ApplyH11Inverse(cq1);
+      dec_.h21.MultiplyAdd(-1.0, h11inv_cq1, &q2_tilde);
+    }
   }
 
   ResilientSolveOptions ropts;
@@ -189,6 +200,8 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
   Vector r2(static_cast<std::size_t>(n2), 0.0);
   bool back_substitute = true;
   if (n2 > 0) {
+    std::optional<TraceSpan> schur_span;
+    schur_span.emplace("query.schur_solve");
     Result<Vector> schur_solve = [&]() -> Result<Vector> {
       if (options_.inner_solver == BepiInnerSolver::kBicgstab) {
         // Ablation path: BiCGSTAB as the primary inner solver. A failure
@@ -217,6 +230,7 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
       ResilientSchurSolver schur_solver(dec_.schur, preconditioner(), ropts);
       return schur_solver.Solve(q2_tilde, &report);
     }();
+    schur_span.reset();
     if (schur_solve.ok()) {
       r2 = std::move(schur_solve).value();
     } else if (schur_solve.status().code() == StatusCode::kNotConverged &&
@@ -245,6 +259,7 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
   }
 
   if (back_substitute) {
+    TraceSpan backsub_span("query.back_substitution");
     // r1 = U1^{-1} (L1^{-1} (c q1 - H12 r2))  (line 5).
     if (n1 > 0) {
       Vector rhs1 = cq1;
@@ -275,8 +290,23 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
         inverse_perm_[static_cast<std::size_t>(n1 + n2 + i)])] =
         r3[static_cast<std::size_t>(i)];
   }
+  const double seconds = timer.Seconds();
+  if (MetricsEnabled()) {
+    BEPI_METRIC_COUNTER(queries, "query.count");
+    BEPI_METRIC_COUNTER(hops, "query.fallback_hops");
+    BEPI_METRIC_HISTOGRAM(latency, "query.latency_seconds");
+    queries->Increment();
+    hops->Increment(static_cast<std::uint64_t>(report.fallback_hops()));
+    latency->RecordAlways(seconds);
+  }
+  query_span.Arg("fallback_hops", report.fallback_hops());
+  query_span.Arg("iterations", report.total_iterations());
   if (stats != nullptr) {
-    stats->seconds = timer.Seconds();
+    stats->seconds = seconds;
+    // `iterations` belongs to the attempt that produced the result;
+    // `total_iterations` is derived from the full chain (the old code
+    // risked double-counting if both were accumulated independently).
+    stats->total_iterations = report.total_iterations();
     if (!report.attempts.empty()) {
       const SolveAttempt& producing = report.attempts.back();
       stats->iterations = producing.iterations;

@@ -1,11 +1,14 @@
 #include "core/decomposition.hpp"
 
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "core/checkpoint.hpp"
 #include "core/rwr.hpp"
 #include "graph/deadend.hpp"
@@ -267,6 +270,11 @@ Result<HubSpokeDecomposition> BuildDecomposition(
   dec.n = g.num_nodes();
   Timer timer;
 
+  // One span per pipeline stage, advanced at the same boundaries as the
+  // stage timers so the exported trace mirrors the seconds breakdown.
+  std::optional<TraceSpan> stage_span;
+  stage_span.emplace("preprocess.reorder");
+
   // Steps 1+2: deadend reordering (Section 3.2.1) then hub-and-spoke
   // reordering of Ann via SlashBurn. A "reorder" checkpoint holds the
   // combined outcome and skips both.
@@ -297,7 +305,9 @@ Result<HubSpokeDecomposition> BuildDecomposition(
       }
     }
     if (!deadend_resumed) {
+      TraceSpan deadend_span("preprocess.deadend_reorder");
       deadends = ReorderDeadends(g);
+      deadend_span.Arg("deadends", deadends.num_deadends);
       if (checkpoints != nullptr) {
         std::ostringstream counts;
         counts << deadends.num_non_deadends << " " << deadends.num_deadends
@@ -357,6 +367,8 @@ Result<HubSpokeDecomposition> BuildDecomposition(
         return Status::Ok();
       };
     }
+    std::optional<TraceSpan> slashburn_span;
+    slashburn_span.emplace("preprocess.slashburn");
     Result<SlashBurnResult> sb_result = SlashBurn(ann, sb_options);
     if (!sb_result.ok() && sb_options.resume_from != nullptr) {
       // A checkpoint that passed its checksum but fails SlashBurn's own
@@ -366,6 +378,10 @@ Result<HubSpokeDecomposition> BuildDecomposition(
       sb_result = SlashBurn(ann, sb_options);
     }
     BEPI_ASSIGN_OR_RETURN(SlashBurnResult sb, std::move(sb_result));
+    slashburn_span->Arg("rounds", sb.iterations);
+    slashburn_span->Arg("hubs", sb.num_hubs);
+    slashburn_span->Arg("spokes", sb.num_spokes);
+    slashburn_span.reset();
     dec.n1 = sb.num_spokes;
     dec.n2 = sb.num_hubs;
     dec.block_sizes = std::move(sb.block_sizes);
@@ -397,6 +413,10 @@ Result<HubSpokeDecomposition> BuildDecomposition(
     }
   }
   dec.reorder_seconds = timer.Seconds();
+  stage_span->Arg("n1", dec.n1);
+  stage_span->Arg("n2", dec.n2);
+  stage_span->Arg("n3", dec.n3);
+  stage_span.emplace("preprocess.build_h");
 
   // Step 3: H = I - (1-c) Ã^T in the new ordering (the normalization uses
   // the original out-degrees; edges to deadends count). Cheap relative to
@@ -424,6 +444,9 @@ Result<HubSpokeDecomposition> BuildDecomposition(
                        "partition blocks of H"));
   }
   dec.build_seconds = timer.Seconds();
+  stage_span.emplace("preprocess.block_lu");
+  stage_span->Arg("blocks",
+                  static_cast<std::int64_t>(dec.block_sizes.size()));
 
   // Step 5: per-block LU of H11 with explicitly inverted factors
   // (r1 = U1^{-1} (L1^{-1} ...) in the query phase). The "factor"
@@ -501,6 +524,7 @@ Result<HubSpokeDecomposition> BuildDecomposition(
         kStageFactor);
   }
   dec.factor_seconds = timer.Seconds();
+  stage_span.emplace("preprocess.schur");
 
   // Step 6: Schur complement S = H22 - H21 (U1^{-1} (L1^{-1} H12)).
   timer.Restart();
@@ -552,6 +576,8 @@ Result<HubSpokeDecomposition> BuildDecomposition(
                                         "Schur complement S"));
   }
   dec.schur_seconds = timer.Seconds();
+  stage_span->Arg("schur_nnz", dec.schur.nnz());
+  stage_span->Arg("resumed", static_cast<std::int64_t>(schur_resumed));
   return dec;
 }
 

@@ -65,6 +65,7 @@ Result<Vector> PowerSolver::SolveRhs(Vector f, QueryStats* stats) const {
   if (stats != nullptr) {
     stats->seconds = timer.Seconds();
     stats->iterations = solve_stats.iterations;
+    stats->total_iterations = solve_stats.iterations;
     stats->residual = solve_stats.relative_residual;
   }
   return r;
@@ -114,6 +115,7 @@ Result<Vector> GmresSolver::SolveRhs(Vector b, QueryStats* stats) const {
   if (stats != nullptr) {
     stats->seconds = timer.Seconds();
     stats->iterations = solve_stats.iterations;
+    stats->total_iterations = solve_stats.iterations;
     stats->residual = solve_stats.relative_residual;
   }
   return r;

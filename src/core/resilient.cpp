@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "solver/bicgstab.hpp"
 #include "solver/gmres.hpp"
 #include "solver/power.hpp"
@@ -20,9 +22,25 @@ SolveAttempt MakeAttempt(const char* stage, const SolveStats& stats) {
 }
 
 void Record(QueryReport* report, const SolveAttempt& attempt) {
+  if (MetricsEnabled()) {
+    // Dynamic name lookup is fine here: one registry probe per solver
+    // attempt, orders of magnitude colder than the inner iterations.
+    MetricsRegistry::Global()
+        .GetCounter("solver.attempts." + attempt.stage)
+        ->Increment();
+  }
   if (report == nullptr) return;
   report->attempts.push_back(attempt);
   report->final_outcome = attempt.outcome;
+}
+
+/// Closes a per-hop trace span with the attempt's verdict attached.
+void FinishHopSpan(TraceSpan* span, const SolveAttempt& attempt) {
+  if (!span->active()) return;
+  span->Arg("stage", attempt.stage);
+  span->Arg("outcome", SolveOutcomeName(attempt.outcome));
+  span->Arg("iterations", attempt.iterations);
+  span->Arg("residual", attempt.residual);
 }
 
 }  // namespace
@@ -45,9 +63,12 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
 
   // Hop 1: the paper's configuration, when the ILU(0) factors exist.
   if (ilu_ != nullptr) {
+    TraceSpan hop_span("schur.hop");
     SolveStats stats;
     BEPI_ASSIGN_OR_RETURN(Vector x, Gmres(op, b, gm, &stats, ilu_));
-    Record(report, MakeAttempt("ilu0+gmres", stats));
+    const SolveAttempt attempt = MakeAttempt("ilu0+gmres", stats);
+    FinishHopSpan(&hop_span, attempt);
+    Record(report, attempt);
     if (stats.converged) return x;
     if (!options_.enable_fallbacks) {
       return Status::NotConverged("Schur solve (ilu0+gmres) ended with " +
@@ -60,10 +81,13 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
   // system is a nonsingular M-matrix, so its diagonal is safe to invert;
   // this hop survives any ILU(0) breakdown or ILU-induced NaN.
   {
+    TraceSpan hop_span("schur.hop");
     SolveStats stats;
     JacobiPreconditioner jacobi(schur_);
     BEPI_ASSIGN_OR_RETURN(Vector x, Gmres(op, b, gm, &stats, &jacobi));
-    Record(report, MakeAttempt("jacobi+gmres", stats));
+    const SolveAttempt attempt = MakeAttempt("jacobi+gmres", stats);
+    FinishHopSpan(&hop_span, attempt);
+    Record(report, attempt);
     if (stats.converged) return x;
     if (!options_.enable_fallbacks && ilu_ == nullptr) {
       return Status::NotConverged("Schur solve (jacobi+gmres) ended with " +
@@ -75,12 +99,15 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
   // Hop 3: unpreconditioned BiCGSTAB — a different Krylov recurrence that
   // does not share GMRES's restart-stagnation failure mode.
   {
+    TraceSpan hop_span("schur.hop");
     SolveStats stats;
     BicgstabOptions bi;
     bi.tol = options_.tol;
     bi.max_iters = options_.max_iters;
     BEPI_ASSIGN_OR_RETURN(Vector x, Bicgstab(op, b, bi, &stats));
-    Record(report, MakeAttempt("bicgstab", stats));
+    const SolveAttempt attempt = MakeAttempt("bicgstab", stats);
+    FinishHopSpan(&hop_span, attempt);
+    Record(report, attempt);
     if (stats.converged) return x;
   }
 
@@ -156,13 +183,16 @@ Result<Vector> GlobalPowerFallback(const HubSpokeDecomposition& dec,
         "decomposition lacks H11/H22 (model predates format v2); global "
         "power fallback unavailable");
   }
+  TraceSpan fallback_span("query.power_fallback");
   BlockComplementOperator g_op(dec);
   FixedPointOptions fp;
   fp.tol = options.tol;
   fp.max_iters = options.max_iters;
   SolveStats stats;
   BEPI_ASSIGN_OR_RETURN(Vector r, FixedPointIteration(g_op, cq, fp, &stats));
-  Record(report, MakeAttempt("power", stats));
+  const SolveAttempt attempt = MakeAttempt("power", stats);
+  FinishHopSpan(&fallback_span, attempt);
+  Record(report, attempt);
   if (!stats.converged) {
     return Status::NotConverged(
         "global power-iteration fallback exhausted its budget at residual " +

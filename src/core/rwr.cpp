@@ -7,6 +7,12 @@
 
 namespace bepi {
 
+index_t QueryReport::total_iterations() const {
+  index_t total = 0;
+  for (const SolveAttempt& a : attempts) total += a.iterations;
+  return total;
+}
+
 std::string QueryReport::Summary() const {
   if (attempts.empty()) return "no solve attempts recorded";
   std::string out;

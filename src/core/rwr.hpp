@@ -46,6 +46,10 @@ struct QueryReport {
   index_t fallback_hops() const {
     return attempts.empty() ? 0 : static_cast<index_t>(attempts.size()) - 1;
   }
+  /// Inner iterations summed over every attempt in the chain. Derived on
+  /// demand from `attempts` — never accumulated separately — so it cannot
+  /// drift from (or double-count) the per-attempt records.
+  index_t total_iterations() const;
   /// One line, e.g. "ilu0+gmres -> Breakdown; jacobi+gmres -> Converged".
   std::string Summary() const;
 };
@@ -53,8 +57,13 @@ struct QueryReport {
 /// Per-query measurements.
 struct QueryStats {
   double seconds = 0.0;
-  /// Inner iterative-solver iterations (0 for direct methods).
+  /// Inner iterative-solver iterations of the attempt that produced the
+  /// result (0 for direct methods).
   index_t iterations = 0;
+  /// Inner iterations summed across every degradation-chain attempt;
+  /// equals `iterations` when the primary configuration succeeded and is
+  /// always >= it. Derived from `report` where one exists.
+  index_t total_iterations = 0;
   /// Final relative residual of the inner solver (0 for direct methods).
   real_t residual = 0.0;
   /// Verdict of the solve that produced the result (direct methods and

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "graph/components.hpp"
 
 namespace bepi {
@@ -73,6 +75,13 @@ Result<SlashBurnResult> SlashBurn(const CsrMatrix& adjacency,
       break;  // remaining GCC joins the hub region below
     }
     ++result.iterations;
+    TraceSpan round_span("slashburn.round");
+    round_span.Arg("round", result.iterations);
+    round_span.Arg("active", active_count);
+    if (MetricsEnabled()) {
+      BEPI_METRIC_COUNTER(rounds, "slashburn.rounds");
+      rounds->Increment();
+    }
 
     // Degrees within the active subgraph.
     for (index_t u = 0; u < n; ++u) {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/faultinject.hpp"
+#include "common/metrics.hpp"
 
 namespace bepi {
 namespace {
@@ -15,6 +16,19 @@ void ApplyPrecond(const Preconditioner* m, const Vector& r, Vector* z) {
     m->Apply(r, z);
   }
 }
+
+/// Flushes per-solve totals to the registry on every exit path; `stats`
+/// is final by the time any return runs.
+struct BicgstabMetricsFlush {
+  const SolveStats* stats;
+  ~BicgstabMetricsFlush() {
+    if (!MetricsEnabled()) return;
+    BEPI_METRIC_COUNTER(solves, "bicgstab.solves");
+    BEPI_METRIC_COUNTER(iters, "bicgstab.iterations");
+    solves->Increment();
+    iters->Increment(static_cast<std::uint64_t>(stats->iterations));
+  }
+};
 
 }  // namespace
 
@@ -34,6 +48,7 @@ Result<Vector> Bicgstab(const LinearOperator& a, const Vector& b,
   SolveStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = SolveStats();
+  BicgstabMetricsFlush metrics_flush{stats};
 
   const real_t original_b_norm = Norm2(b);
   if (original_b_norm == 0.0) {

@@ -5,6 +5,8 @@
 
 #include "common/check.hpp"
 #include "common/faultinject.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace bepi {
 namespace {
@@ -17,6 +19,23 @@ void ApplyPrecond(const Preconditioner* m, const Vector& r, Vector* z) {
     m->Apply(r, z);
   }
 }
+
+/// Flushes per-solve totals to the registry on every exit path. Reads the
+/// referenced tallies at destruction so the counts are final whichever
+/// return fired.
+struct GmresMetricsFlush {
+  const index_t& total_iters;
+  const index_t& cycles;
+  ~GmresMetricsFlush() {
+    if (!MetricsEnabled()) return;
+    BEPI_METRIC_COUNTER(gmres_solves, "gmres.solves");
+    BEPI_METRIC_COUNTER(gmres_iters, "gmres.iterations");
+    BEPI_METRIC_COUNTER(gmres_cycles, "gmres.restart_cycles");
+    gmres_solves->Increment();
+    gmres_iters->Increment(static_cast<std::uint64_t>(total_iters));
+    gmres_cycles->Increment(static_cast<std::uint64_t>(cycles));
+  }
+};
 
 }  // namespace
 
@@ -39,6 +58,11 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
   SolveStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = SolveStats();
+  index_t total_iters = 0;
+  index_t cycles = 0;
+  // Declared before the first early return so even trivial solves (zero
+  // rhs, injected faults) count toward gmres.solves.
+  GmresMetricsFlush metrics_flush{total_iters, cycles};
 
   Vector x = x0 != nullptr ? *x0 : Vector(static_cast<std::size_t>(n), 0.0);
 
@@ -92,8 +116,11 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
   Vector cs(mdim, 0.0), sn(mdim, 0.0), g(mdim + 1, 0.0);
   Vector tmp(static_cast<std::size_t>(n));
 
-  index_t total_iters = 0;
   while (total_iters < options.max_iters) {
+    // One restart cycle: the span carries the residual the cycle started
+    // from, so a trace shows the convergence history cycle by cycle.
+    TraceSpan cycle_span("gmres.restart_cycle");
+    ++cycles;
     // Preconditioned residual r = M^{-1}(b - A x).
     a.Apply(x, &tmp);
     Vector raw(static_cast<std::size_t>(n));
@@ -113,6 +140,13 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
       return x;
     }
     stats->relative_residual = beta / b_norm;
+    cycle_span.Arg("start_residual", stats->relative_residual);
+    if (MetricsEnabled()) {
+      // Registry-side residual history: the distribution of cycle-start
+      // residuals across all solves (complements the per-span values).
+      BEPI_METRIC_HISTOGRAM(cycle_residual, "gmres.cycle_start_residual");
+      cycle_residual->RecordAlways(stats->relative_residual);
+    }
     if (stats->relative_residual <= options.tol) {
       stats->converged = true;
       stats->outcome = SolveOutcome::kConverged;

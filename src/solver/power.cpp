@@ -2,7 +2,24 @@
 
 #include <cmath>
 
+#include "common/metrics.hpp"
+
 namespace bepi {
+namespace {
+
+/// Flushes per-solve totals to the registry on every exit path.
+struct PowerMetricsFlush {
+  const SolveStats* stats;
+  ~PowerMetricsFlush() {
+    if (!MetricsEnabled()) return;
+    BEPI_METRIC_COUNTER(solves, "power.solves");
+    BEPI_METRIC_COUNTER(iters, "power.iterations");
+    solves->Increment();
+    iters->Increment(static_cast<std::uint64_t>(stats->iterations));
+  }
+};
+
+}  // namespace
 
 Result<Vector> FixedPointIteration(const LinearOperator& g, const Vector& f,
                                    const FixedPointOptions& options,
@@ -13,6 +30,7 @@ Result<Vector> FixedPointIteration(const LinearOperator& g, const Vector& f,
   SolveStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = SolveStats();
+  PowerMetricsFlush metrics_flush{stats};
 
   Vector x = f;
   Vector next(f.size());

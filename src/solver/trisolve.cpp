@@ -1,6 +1,20 @@
 #include "solver/trisolve.hpp"
 
+#include "common/metrics.hpp"
+
 namespace bepi {
+namespace {
+
+/// Per-call tallies (never per element); one branch when disabled.
+inline void CountTrisolve(index_t nnz) {
+  if (!MetricsEnabled()) return;
+  BEPI_METRIC_COUNTER(calls, "trisolve.calls");
+  BEPI_METRIC_COUNTER(flops, "trisolve.flops");
+  calls->Increment();
+  flops->Increment(2 * static_cast<std::uint64_t>(nnz));
+}
+
+}  // namespace
 
 Result<Vector> SolveLowerCsr(const CsrMatrix& l, const Vector& b,
                              bool unit_diagonal) {
@@ -10,6 +24,7 @@ Result<Vector> SolveLowerCsr(const CsrMatrix& l, const Vector& b,
   if (static_cast<index_t>(b.size()) != l.rows()) {
     return Status::InvalidArgument("rhs size mismatch in SolveLowerCsr");
   }
+  CountTrisolve(l.nnz());
   const index_t n = l.rows();
   Vector x(b);
   for (index_t i = 0; i < n; ++i) {
@@ -41,6 +56,7 @@ Result<Vector> SolveUpperCsr(const CsrMatrix& u, const Vector& b) {
   if (static_cast<index_t>(b.size()) != u.rows()) {
     return Status::InvalidArgument("rhs size mismatch in SolveUpperCsr");
   }
+  CountTrisolve(u.nnz());
   const index_t n = u.rows();
   Vector x(b);
   for (index_t i = n - 1; i >= 0; --i) {

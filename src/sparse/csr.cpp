@@ -4,9 +4,24 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "sparse/csc.hpp"
 
 namespace bepi {
+namespace {
+
+/// One relaxed-atomic bump per SpMV call (never per non-zero): calls and
+/// useful FLOPs (one multiply + one add per stored entry). With metrics
+/// disabled this is a single predictable branch inside Increment.
+inline void CountSpmv(index_t nnz) {
+  if (!MetricsEnabled()) return;  // the whole disabled-path cost
+  BEPI_METRIC_COUNTER(spmv_calls, "spmv.calls");
+  BEPI_METRIC_COUNTER(spmv_flops, "spmv.flops");
+  spmv_calls->Increment();
+  spmv_flops->Increment(2 * static_cast<std::uint64_t>(nnz));
+}
+
+}  // namespace
 
 Result<CsrMatrix> CsrMatrix::FromParts(index_t rows, index_t cols,
                                        std::vector<index_t> row_ptr,
@@ -81,6 +96,7 @@ DenseMatrix CsrMatrix::ToDense() const {
 
 Vector CsrMatrix::Multiply(const Vector& x) const {
   BEPI_CHECK(static_cast<index_t>(x.size()) == cols_);
+  CountSpmv(nnz());
   Vector y(static_cast<std::size_t>(rows_), 0.0);
   for (index_t r = 0; r < rows_; ++r) {
     real_t sum = 0.0;
@@ -97,6 +113,7 @@ Vector CsrMatrix::Multiply(const Vector& x) const {
 void CsrMatrix::MultiplyAdd(real_t alpha, const Vector& x, Vector* y) const {
   BEPI_CHECK(static_cast<index_t>(x.size()) == cols_);
   BEPI_CHECK(static_cast<index_t>(y->size()) == rows_);
+  CountSpmv(nnz());
   for (index_t r = 0; r < rows_; ++r) {
     real_t sum = 0.0;
     for (index_t p = row_ptr_[static_cast<std::size_t>(r)];
@@ -110,6 +127,7 @@ void CsrMatrix::MultiplyAdd(real_t alpha, const Vector& x, Vector* y) const {
 
 Vector CsrMatrix::MultiplyTranspose(const Vector& x) const {
   BEPI_CHECK(static_cast<index_t>(x.size()) == rows_);
+  CountSpmv(nnz());
   Vector y(static_cast<std::size_t>(cols_), 0.0);
   for (index_t r = 0; r < rows_; ++r) {
     const real_t xr = x[static_cast<std::size_t>(r)];

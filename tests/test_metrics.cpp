@@ -1,0 +1,306 @@
+// Metrics registry tests: histogram bucket math and quantile accuracy
+// against exact sorted data, lock-free concurrency (exact totals under
+// thread hammering), JSON snapshot validity, and the disabled-path
+// contract (solver results are bit-identical with collection on or off).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/faultinject.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "core/bepi.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+/// Runs with collection enabled and a clean registry; leaves the
+/// process-wide switch off so neighboring suites see the default.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetMetricsEnabled(true);
+    MetricsRegistry::Global().ResetAll();
+  }
+  void TearDown() override {
+    MetricsRegistry::Global().ResetAll();
+    SetMetricsEnabled(false);
+  }
+};
+
+TEST_F(MetricsTest, CounterIncrementsAndResets) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter");
+  c->Reset();
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST_F(MetricsTest, CounterIgnoredWhenDisabled) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.disabled_counter");
+  SetMetricsEnabled(false);
+  c->Increment(100);
+  EXPECT_EQ(c->value(), 0u);
+  SetMetricsEnabled(true);
+  c->Increment(1);
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.gauge");
+  g->Set(1.5);
+  g->Set(-3.25);
+  EXPECT_DOUBLE_EQ(g->value(), -3.25);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStableInstruments) {
+  Counter* a = MetricsRegistry::Global().GetCounter("test.same");
+  Counter* b = MetricsRegistry::Global().GetCounter("test.same");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, MetricsRegistry::Global().GetCounter("test.other"));
+}
+
+TEST_F(MetricsTest, BucketBoundsBracketTheValue) {
+  // Every value must land in a bucket whose upper bound is >= the value
+  // and within one sub-bucket's relative width above it.
+  const double values[] = {1e-9, 3.7e-6, 0.001,  0.25,  0.5,   1.0,
+                           1.5,  2.0,    3.1416, 100.0, 1024.0, 9.99e8};
+  constexpr double kRelWidth =
+      1.0 / static_cast<double>(Histogram::kSubBucketsPerOctave);
+  for (double v : values) {
+    const int idx = Histogram::BucketIndex(v);
+    ASSERT_GE(idx, 0) << v;
+    ASSERT_LT(idx, Histogram::kNumBuckets) << v;
+    const double ub = Histogram::BucketUpperBound(idx);
+    EXPECT_GE(ub, v) << v;
+    // Upper bound exceeds the value by at most one bucket width (the
+    // octave's bucket width is kRelWidth * 2^octave <= kRelWidth * v * 2).
+    EXPECT_LE(ub, v * (1.0 + 2.0 * kRelWidth) + 1e-300) << v;
+  }
+}
+
+TEST_F(MetricsTest, BucketIndexIsMonotone) {
+  int prev = -1;
+  for (double v = 1e-8; v < 1e8; v *= 1.07) {
+    const int idx = Histogram::BucketIndex(v);
+    EXPECT_GE(idx, prev) << v;
+    prev = idx;
+  }
+}
+
+TEST_F(MetricsTest, BucketIndexEdgeCases) {
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST_F(MetricsTest, HistogramExactFieldsAreExact) {
+  Histogram h("test.exact");
+  const double values[] = {0.004, 0.001, 0.1, 0.02, 0.02};
+  double sum = 0.0;
+  for (double v : values) {
+    h.RecordAlways(v);
+    sum += v;
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, sum);
+  EXPECT_DOUBLE_EQ(snap.min, 0.001);
+  EXPECT_DOUBLE_EQ(snap.max, 0.1);
+}
+
+TEST_F(MetricsTest, QuantilesMatchExactSortedDataWithinBucketError) {
+  // 20k log-uniform samples across five decades: the bucketed estimate
+  // must stay within the documented ~3.1% relative error of the exact
+  // nearest-rank quantile (allow 5% for nearest-rank discreteness).
+  Rng rng(20170514);
+  Histogram h("test.quantiles");
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::pow(10.0, -4.0 + 5.0 * rng.NextDouble());
+    values.push_back(v);
+    h.RecordAlways(v);
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  const std::pair<double, double> checks[] = {
+      {0.50, snap.p50}, {0.90, snap.p90}, {0.95, snap.p95}, {0.99, snap.p99}};
+  for (const auto& [q, estimate] : checks) {
+    const double exact = ExactQuantile(values, q);
+    EXPECT_LE(std::fabs(estimate - exact) / exact, 0.05)
+        << "q=" << q << " estimate=" << estimate << " exact=" << exact;
+  }
+}
+
+TEST_F(MetricsTest, ExactQuantileNearestRank) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.8), 4.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile({}, 0.5), 0.0);
+}
+
+TEST_F(MetricsTest, ConcurrentHammeringYieldsExactTotals) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.concurrent");
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.concurrent_h");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c->Increment();
+        h->RecordAlways(1.0 + static_cast<double>(i % 7));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  const HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kIters);
+  // Per-thread sum of 1 + (i % 7) over 20000 = 7*2857 + 1 iterations:
+  // 20000 + 2857*21 + 0 = 79997. Small integers add exactly in double.
+  EXPECT_DOUBLE_EQ(snap.sum, static_cast<double>(kThreads) * 79997.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 7.0);
+}
+
+TEST_F(MetricsTest, ConcurrentRegistrationIsSafeAndExact) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    // Every thread looks the counter up itself (exercising the registry
+    // mutex) and hammers the shared instrument.
+    threads.emplace_back([&] {
+      Counter* c = MetricsRegistry::Global().GetCounter("test.reg_race");
+      for (int i = 0; i < kIters; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("test.reg_race")->value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST_F(MetricsTest, SnapshotJsonIsWellFormed) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("snap.counter")->Increment(7);
+  registry.GetGauge("snap.gauge")->Set(0.125);
+  // Names requiring escaping and a non-finite gauge (serialized as null)
+  // must not break the document.
+  registry.GetCounter("weird\"name\nwith\\escapes")->Increment();
+  registry.GetGauge("snap.inf")->Set(
+      std::numeric_limits<double>::infinity());
+  registry.GetHistogram("snap.hist")->RecordAlways(0.001);
+  const std::string json = registry.SnapshotJson();
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"snap.counter\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);  // the Inf gauge
+}
+
+TEST_F(MetricsTest, EmptyRegistrySnapshotIsValid) {
+  // ResetAll zeroes but keeps instruments; a fresh process would have
+  // none. Either way the envelope must parse.
+  const std::string json = MetricsRegistry::Global().SnapshotJson();
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+}
+
+/// The acceptance contract: enabling metrics must not change any solver
+/// result, and disabling must leave counters untouched.
+TEST(MetricsDisabledTest, QueryResultsIdenticalWithCollectionOnAndOff) {
+  FaultInjector::Global().Reset();
+  const Graph g = test::SmallRmat(400, 2400, 0.1, 11);
+  BepiOptions options;
+  BepiSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+
+  SetMetricsEnabled(false);
+  std::vector<Vector> off_results;
+  std::vector<QueryStats> off_stats;
+  for (index_t seed : {0, 7, 100, 399}) {
+    QueryStats stats;
+    auto r = solver.Query(seed, &stats);
+    ASSERT_TRUE(r.ok());
+    off_results.push_back(std::move(r).value());
+    off_stats.push_back(stats);
+  }
+
+  SetMetricsEnabled(true);
+  MetricsRegistry::Global().ResetAll();
+  std::size_t k = 0;
+  for (index_t seed : {0, 7, 100, 399}) {
+    QueryStats stats;
+    auto r = solver.Query(seed, &stats);
+    ASSERT_TRUE(r.ok());
+    const Vector& off = off_results[k];
+    ASSERT_EQ(r->size(), off.size());
+    for (std::size_t i = 0; i < off.size(); ++i) {
+      EXPECT_EQ((*r)[i], off[i]) << "seed " << seed << " component " << i;
+    }
+    EXPECT_EQ(stats.iterations, off_stats[k].iterations);
+    EXPECT_EQ(stats.total_iterations, off_stats[k].total_iterations);
+    ++k;
+  }
+  // And collection actually happened on the enabled pass.
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("query.count")->value(), 4u);
+  EXPECT_GT(MetricsRegistry::Global().GetCounter("spmv.calls")->value(), 0u);
+  MetricsRegistry::Global().ResetAll();
+  SetMetricsEnabled(false);
+}
+
+/// Satellite: QueryStats totals are derived from the attempt list, never
+/// accumulated separately, so they always agree with the report.
+TEST(QueryTotalsTest, TotalsDeriveFromAttempts) {
+  FaultInjector::Global().Reset();
+  const Graph g = test::SmallRmat(300, 1800, 0.05, 5);
+  BepiSolver solver(BepiOptions{});
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  QueryStats stats;
+  ASSERT_TRUE(solver.Query(3, &stats).ok());
+  ASSERT_FALSE(stats.report.attempts.empty());
+  index_t summed = 0;
+  for (const SolveAttempt& a : stats.report.attempts) summed += a.iterations;
+  EXPECT_EQ(stats.total_iterations, summed);
+  EXPECT_EQ(stats.total_iterations, stats.report.total_iterations());
+  EXPECT_EQ(stats.iterations, stats.report.attempts.back().iterations);
+  EXPECT_GE(stats.total_iterations, stats.iterations);
+}
+
+TEST(QueryTotalsTest, FallbackChainSumsAcrossHops) {
+  // Force the primary hop to stagnate once: the chain records two
+  // attempts and the total must cover both, while `iterations` belongs
+  // to the attempt that produced the result.
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("gmres.stagnate:0:1").ok());
+  const Graph g = test::SmallRmat(300, 1800, 0.05, 5);
+  BepiSolver solver(BepiOptions{});
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  QueryStats stats;
+  ASSERT_TRUE(solver.Query(3, &stats).ok());
+  FaultInjector::Global().Reset();
+  ASSERT_GE(stats.report.attempts.size(), 2u);
+  EXPECT_GE(stats.report.fallback_hops(), 1);
+  index_t summed = 0;
+  for (const SolveAttempt& a : stats.report.attempts) summed += a.iterations;
+  EXPECT_EQ(stats.total_iterations, summed);
+  EXPECT_EQ(stats.iterations, stats.report.attempts.back().iterations);
+}
+
+}  // namespace
+}  // namespace bepi

@@ -1,0 +1,167 @@
+// Trace span tests: per-thread span trees (nesting depth, commit order,
+// args), the disabled fast path, Chrome trace-event JSON export shape,
+// and distinct thread ids for concurrent spans.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+/// Every test starts with tracing on and an empty buffer and leaves the
+/// process-wide recorder off and empty for neighboring suites.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracing::Clear();
+    Tracing::Start();
+  }
+  void TearDown() override {
+    Tracing::Stop();
+    Tracing::Clear();
+  }
+};
+
+TEST_F(TraceTest, SpanRecordsNameAndDuration) {
+  {
+    TraceSpan span("unit.outer");
+    EXPECT_TRUE(span.active());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto events = Tracing::ThisThreadEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit.outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_GE(events[0].dur_us, 1000u);
+}
+
+TEST_F(TraceTest, NestedSpansCommitChildrenFirstWithDepths) {
+  {
+    TraceSpan outer("unit.outer");
+    {
+      TraceSpan mid("unit.mid");
+      { TraceSpan inner("unit.inner"); }
+    }
+    { TraceSpan sibling("unit.sibling"); }
+  }
+  // Events commit at End, so children appear before their parents.
+  const auto events = Tracing::ThisThreadEvents();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "unit.inner");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_EQ(events[1].name, "unit.mid");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "unit.sibling");
+  EXPECT_EQ(events[2].depth, 1);
+  EXPECT_EQ(events[3].name, "unit.outer");
+  EXPECT_EQ(events[3].depth, 0);
+  // Children are contained in the parent's time range.
+  const auto& outer = events[3];
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GE(events[i].start_us, outer.start_us);
+    EXPECT_LE(events[i].start_us + events[i].dur_us,
+              outer.start_us + outer.dur_us);
+  }
+}
+
+TEST_F(TraceTest, ArgsAreAttached) {
+  {
+    TraceSpan span("unit.args");
+    span.Arg("label", std::string("hub"));
+    span.Arg("nnz", static_cast<std::int64_t>(12345));
+    span.Arg("residual", 1e-9);
+  }
+  const auto events = Tracing::ThisThreadEvents();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].args.size(), 3u);
+  EXPECT_EQ(events[0].args[0].first, "label");
+  EXPECT_EQ(events[0].args[0].second, "hub");
+  EXPECT_EQ(events[0].args[1].first, "nnz");
+  EXPECT_EQ(events[0].args[1].second, "12345");
+  EXPECT_EQ(events[0].args[2].first, "residual");
+  EXPECT_NE(events[0].args[2].second.find("1e-09"), std::string::npos);
+}
+
+TEST_F(TraceTest, DisabledSpansCostNothingAndRecordNothing) {
+  Tracing::Stop();
+  {
+    TraceSpan span("unit.invisible");
+    EXPECT_FALSE(span.active());
+    span.Arg("ignored", static_cast<std::int64_t>(1));
+  }
+  EXPECT_TRUE(Tracing::ThisThreadEvents().empty());
+  // Spans opened while disabled stay inactive even if tracing starts
+  // before they close.
+  TraceSpan straddler("unit.straddler");
+  Tracing::Start();
+  EXPECT_FALSE(straddler.active());
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormed) {
+  {
+    TraceSpan outer("export.outer");
+    outer.Arg("quote\"key", std::string("line\nbreak"));
+    { TraceSpan inner("export.inner"); }
+  }
+  std::ostringstream out;
+  ASSERT_TRUE(Tracing::WriteChromeTrace(out).ok());
+  const std::string json = out.str();
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("export.outer"), std::string::npos);
+  EXPECT_NE(json.find("export.inner"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentThreadsGetDistinctTids) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      TraceSpan span("thread.work");
+      span.Arg("worker", static_cast<std::int64_t>(t));
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::ostringstream out;
+  ASSERT_TRUE(Tracing::WriteChromeTrace(out).ok());
+  const std::string json = out.str();
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+  // Count distinct "tid": values; each worker thread must have its own.
+  std::set<std::string> tids;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"tid\": ", pos)) != std::string::npos) {
+    pos += 7;
+    std::size_t end = pos;
+    while (end < json.size() && std::isdigit(static_cast<unsigned char>(
+                                    json[end]))) {
+      ++end;
+    }
+    tids.insert(json.substr(pos, end - pos));
+    pos = end;
+  }
+  EXPECT_GE(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(TraceTest, ClearDropsRecordedSpans) {
+  { TraceSpan span("unit.dropped"); }
+  ASSERT_FALSE(Tracing::ThisThreadEvents().empty());
+  Tracing::Clear();
+  EXPECT_TRUE(Tracing::ThisThreadEvents().empty());
+  std::ostringstream out;
+  ASSERT_TRUE(Tracing::WriteChromeTrace(out).ok());
+  EXPECT_TRUE(test::IsValidJson(out.str())) << out.str();
+  EXPECT_EQ(out.str().find("unit.dropped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bepi

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstddef>
+#include <string>
+
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
@@ -88,6 +92,164 @@ inline Graph PaperExampleGraph() {
   auto g = Graph::FromEdges(8, edges);
   BEPI_CHECK(g.ok());
   return std::move(g).value();
+}
+
+namespace json_detail {
+
+inline void SkipWs(const std::string& s, std::size_t* i) {
+  while (*i < s.size() && (s[*i] == ' ' || s[*i] == '\t' || s[*i] == '\n' ||
+                           s[*i] == '\r')) {
+    ++*i;
+  }
+}
+
+inline bool ParseString(const std::string& s, std::size_t* i) {
+  if (*i >= s.size() || s[*i] != '"') return false;
+  ++*i;
+  while (*i < s.size()) {
+    const char c = s[*i];
+    if (c == '"') {
+      ++*i;
+      return true;
+    }
+    if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+    if (c == '\\') {
+      ++*i;
+      if (*i >= s.size()) return false;
+      const char e = s[*i];
+      if (e == 'u') {
+        for (int k = 0; k < 4; ++k) {
+          ++*i;
+          if (*i >= s.size() || !std::isxdigit(static_cast<unsigned char>(
+                                    s[*i]))) {
+            return false;
+          }
+        }
+      } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                 e != 'n' && e != 'r' && e != 't') {
+        return false;
+      }
+    }
+    ++*i;
+  }
+  return false;  // unterminated
+}
+
+inline bool ParseNumber(const std::string& s, std::size_t* i) {
+  const std::size_t start = *i;
+  if (*i < s.size() && s[*i] == '-') ++*i;
+  std::size_t digits = 0;
+  while (*i < s.size() && std::isdigit(static_cast<unsigned char>(s[*i]))) {
+    ++*i;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  if (*i < s.size() && s[*i] == '.') {
+    ++*i;
+    digits = 0;
+    while (*i < s.size() && std::isdigit(static_cast<unsigned char>(s[*i]))) {
+      ++*i;
+      ++digits;
+    }
+    if (digits == 0) return false;
+  }
+  if (*i < s.size() && (s[*i] == 'e' || s[*i] == 'E')) {
+    ++*i;
+    if (*i < s.size() && (s[*i] == '+' || s[*i] == '-')) ++*i;
+    digits = 0;
+    while (*i < s.size() && std::isdigit(static_cast<unsigned char>(s[*i]))) {
+      ++*i;
+      ++digits;
+    }
+    if (digits == 0) return false;
+  }
+  return *i > start;
+}
+
+bool ParseValue(const std::string& s, std::size_t* i);  // forward
+
+inline bool ParseObject(const std::string& s, std::size_t* i) {
+  ++*i;  // consume '{'
+  SkipWs(s, i);
+  if (*i < s.size() && s[*i] == '}') {
+    ++*i;
+    return true;
+  }
+  while (true) {
+    SkipWs(s, i);
+    if (!ParseString(s, i)) return false;
+    SkipWs(s, i);
+    if (*i >= s.size() || s[*i] != ':') return false;
+    ++*i;
+    if (!ParseValue(s, i)) return false;
+    SkipWs(s, i);
+    if (*i >= s.size()) return false;
+    if (s[*i] == ',') {
+      ++*i;
+      continue;
+    }
+    if (s[*i] == '}') {
+      ++*i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool ParseArray(const std::string& s, std::size_t* i) {
+  ++*i;  // consume '['
+  SkipWs(s, i);
+  if (*i < s.size() && s[*i] == ']') {
+    ++*i;
+    return true;
+  }
+  while (true) {
+    if (!ParseValue(s, i)) return false;
+    SkipWs(s, i);
+    if (*i >= s.size()) return false;
+    if (s[*i] == ',') {
+      ++*i;
+      continue;
+    }
+    if (s[*i] == ']') {
+      ++*i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool ParseValue(const std::string& s, std::size_t* i) {
+  SkipWs(s, i);
+  if (*i >= s.size()) return false;
+  const char c = s[*i];
+  if (c == '{') return ParseObject(s, i);
+  if (c == '[') return ParseArray(s, i);
+  if (c == '"') return ParseString(s, i);
+  if (s.compare(*i, 4, "true") == 0) {
+    *i += 4;
+    return true;
+  }
+  if (s.compare(*i, 5, "false") == 0) {
+    *i += 5;
+    return true;
+  }
+  if (s.compare(*i, 4, "null") == 0) {
+    *i += 4;
+    return true;
+  }
+  return ParseNumber(s, i);
+}
+
+}  // namespace json_detail
+
+/// Strict structural JSON validator (RFC 8259 syntax, no semantics) for
+/// checking the --metrics-out / --trace-out / BENCH_*.json emitters.
+inline bool IsValidJson(const std::string& s) {
+  std::size_t i = 0;
+  if (!json_detail::ParseValue(s, &i)) return false;
+  json_detail::SkipWs(s, &i);
+  return i == s.size();
 }
 
 }  // namespace bepi::test

@@ -17,13 +17,17 @@
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/faultinject.hpp"
 #include "common/fileio.hpp"
 #include "common/flags.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/sections.hpp"
 #include "common/table.hpp"
+#include "common/trace.hpp"
 #include "core/bepi.hpp"
 #include "core/checkpoint.hpp"
 #include "core/datasets.hpp"
@@ -52,13 +56,21 @@ int Usage() {
       "             (--checkpoint-dir makes preprocessing kill-safe: rerun\n"
       "             the same command after a crash to resume)\n"
       "  query      --model=FILE --seed-node=ID [--topk=10]\n"
+      "             [--stats --num-queries=N]   latency percentiles over N\n"
+      "             consecutive seeds instead of a single ranking\n"
       "  rank       --graph=FILE --seed-node=ID [--topk=10]\n"
       "  verify-model --model=FILE   check every section's checksum\n"
       "global flags:\n"
       "  --no-fallbacks        disable the solver degradation chain\n"
       "  --fault-inject=SPEC   arm fault sites, e.g.\n"
       "                        ilu0.factor,gmres.stagnate:0:-1\n"
-      "                        (SITE[:skip[:count]] or SITE@prob[@seed])\n");
+      "                        (SITE[:skip[:count]] or SITE@prob[@seed])\n"
+      "  --metrics-out=FILE    enable metrics, write a JSON snapshot of all\n"
+      "                        counters/gauges/histograms on exit\n"
+      "  --trace-out=FILE      record trace spans, write Chrome trace-event\n"
+      "                        JSON on exit (load in ui.perfetto.dev)\n"
+      "  --log-level=LEVEL     debug|info|warning|error (default info;\n"
+      "                        also settable via BEPI_LOG_LEVEL)\n");
   return 2;
 }
 
@@ -239,12 +251,55 @@ int CmdVerifyModel(const Flags& flags) {
   return 0;
 }
 
+/// `query --stats`: runs --num-queries consecutive seeds and prints a
+/// latency table (exact percentiles over the measured sample, not the
+/// bucketed histogram approximation).
+int QueryLatencyStats(const BepiSolver& solver, index_t first_seed,
+                      index_t num_queries) {
+  const index_t n = solver.decomposition().n;
+  if (num_queries <= 0) {
+    return Fail(Status::InvalidArgument("--num-queries must be > 0"));
+  }
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<std::size_t>(num_queries));
+  double total_seconds = 0.0;
+  long long total_iterations = 0;
+  long long fallback_hops = 0;
+  for (index_t i = 0; i < num_queries; ++i) {
+    const index_t seed = (first_seed + i) % n;
+    QueryStats stats;
+    auto scores = solver.Query(seed, &stats);
+    if (!scores.ok()) return Fail(scores.status());
+    latencies_ms.push_back(stats.seconds * 1e3);
+    total_seconds += stats.seconds;
+    total_iterations += stats.total_iterations;
+    fallback_hops += stats.report.fallback_hops();
+  }
+  Table table({"metric", "value"});
+  table.AddRow({"queries", Table::Int(num_queries)});
+  table.AddRow({"mean (ms)",
+                Table::Num(total_seconds * 1e3 /
+                               static_cast<double>(num_queries), 3)});
+  table.AddRow({"p50 (ms)", Table::Num(ExactQuantile(latencies_ms, 0.50), 3)});
+  table.AddRow({"p90 (ms)", Table::Num(ExactQuantile(latencies_ms, 0.90), 3)});
+  table.AddRow({"p95 (ms)", Table::Num(ExactQuantile(latencies_ms, 0.95), 3)});
+  table.AddRow({"p99 (ms)", Table::Num(ExactQuantile(latencies_ms, 0.99), 3)});
+  table.AddRow({"max (ms)", Table::Num(ExactQuantile(latencies_ms, 1.0), 3)});
+  table.AddRow({"inner iterations", Table::Int(total_iterations)});
+  table.AddRow({"fallback hops", Table::Int(fallback_hops)});
+  table.Print();
+  return 0;
+}
+
 int CmdQuery(const Flags& flags) {
   const std::string model_path = flags.GetString("model", "");
   if (model_path.empty() || !flags.Has("seed-node")) return Usage();
   auto solver = BepiSolver::LoadFile(model_path);
   if (!solver.ok()) return Fail(solver.status());
   const index_t seed = flags.GetInt("seed-node", 0);
+  if (flags.Has("stats")) {
+    return QueryLatencyStats(*solver, seed, flags.GetInt("num-queries", 100));
+  }
   QueryStats stats;
   auto scores = solver->Query(seed, &stats);
   if (!scores.ok()) return Fail(scores.status());
@@ -271,17 +326,7 @@ int CmdRank(const Flags& flags) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  bepi::Flags flags = bepi::Flags::Parse(argc - 1, argv + 1);
-  if (flags.Has("fault-inject")) {
-    bepi::Status status = bepi::FaultInjector::Global().Configure(
-        flags.GetString("fault-inject", ""));
-    if (!status.ok()) return Fail(status);
-  }
+int RunCommand(const std::string& command, const Flags& flags) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "preprocess") return CmdPreprocess(flags);
@@ -289,4 +334,54 @@ int main(int argc, char** argv) {
   if (command == "rank") return CmdRank(flags);
   if (command == "verify-model") return CmdVerifyModel(flags);
   return Usage();
+}
+
+/// Writes the telemetry requested via --metrics-out / --trace-out. Runs
+/// after the command so the snapshot covers everything it did, even the
+/// work preceding a failure.
+Status WriteTelemetry(const std::string& metrics_out,
+                      const std::string& trace_out) {
+  if (!metrics_out.empty()) {
+    AtomicFileWriter writer(metrics_out);
+    BEPI_RETURN_IF_ERROR(writer.status());
+    writer.stream() << MetricsRegistry::Global().SnapshotJson() << "\n";
+    BEPI_RETURN_IF_ERROR(writer.Commit());
+    std::fprintf(stderr, "metrics snapshot written to %s\n",
+                 metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    BEPI_RETURN_IF_ERROR(Tracing::WriteChromeTraceFile(trace_out));
+    std::fprintf(stderr, "trace written to %s (load in ui.perfetto.dev)\n",
+                 trace_out.c_str());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  bepi::Flags flags = bepi::Flags::Parse(argc - 1, argv + 1);
+  if (flags.Has("log-level")) {
+    const auto level = bepi::ParseLogLevel(flags.GetString("log-level", ""));
+    if (!level.has_value()) {
+      return Fail(bepi::Status::InvalidArgument(
+          "unknown --log-level (use debug|info|warning|error)"));
+    }
+    bepi::SetLogLevel(*level);
+  }
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  if (!metrics_out.empty()) bepi::SetMetricsEnabled(true);
+  if (!trace_out.empty()) bepi::Tracing::Start();
+  if (flags.Has("fault-inject")) {
+    bepi::Status status = bepi::FaultInjector::Global().Configure(
+        flags.GetString("fault-inject", ""));
+    if (!status.ok()) return Fail(status);
+  }
+  int rc = RunCommand(command, flags);
+  const bepi::Status telemetry = WriteTelemetry(metrics_out, trace_out);
+  if (!telemetry.ok() && rc == 0) rc = Fail(telemetry);
+  return rc;
 }

@@ -3,22 +3,35 @@
 # under ASan/UBSan (BEPI_SANITIZE in CMakeLists.txt). Build trees live under
 # build-ci/ so the developer's build/ directory is left alone. The IO/crash
 # fault-injection tests (test_durability, test_checkpoint) run under all
-# three configurations as part of the normal ctest pass.
+# sanitizer configurations as part of the normal ctest pass.
 #
-# After a default-configuration build, a kill-and-resume smoke test runs
-# the real CLI end to end: preprocessing is SIGKILLed at every checkpoint
-# commit in turn (checkpoint.crash fault site), resumed until it completes,
-# and the resumed model must be byte-identical to a from-scratch run.
+# After a default-configuration build, three smoke tests run against the
+# real binaries:
+#   * kill-and-resume: preprocessing is SIGKILLed at every checkpoint
+#     commit in turn (checkpoint.crash fault site), resumed until it
+#     completes, and the resumed model must be byte-identical to a
+#     from-scratch run;
+#   * telemetry: preprocess + query with --metrics-out/--trace-out, then
+#     the emitted JSON is parsed and probed for the expected solver
+#     counters, latency histogram and trace spans;
+#   * bench artifacts: bench_kernels and bench_fig1_query write
+#     BENCH_kernels.json / BENCH_fig1_query.json (smallest dataset scale)
+#     under build-ci/artifacts/, and both must parse.
 #
-# Usage: tools/ci.sh [default|address|undefined ...]
-#   With no arguments all three configurations run.
+# The "thread" configuration is narrower than the others: it builds only
+# the concurrency-sensitive telemetry tests (test_metrics, test_trace)
+# under TSan and runs them directly — the registry's lock-free counters
+# and the per-thread trace buffers are where new data races would land.
+#
+# Usage: tools/ci.sh [default|address|undefined|thread ...]
+#   With no arguments all four configurations run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 4)"
 configs=("$@")
 if [ "${#configs[@]}" -eq 0 ]; then
-  configs=(default address undefined)
+  configs=(default address undefined thread)
 fi
 
 smoke_kill_resume() {
@@ -67,24 +80,111 @@ smoke_kill_resume() {
   rm -rf "$work"
 }
 
+smoke_telemetry() {
+  local cli="$1"
+  local work
+  work="$(mktemp -d)"
+  echo "=== telemetry smoke test ==="
+  "$cli" generate --out="$work/graph.txt" --nodes=400 --edges=1800 \
+    --deadends=0.2 --seed=7 >/dev/null
+  "$cli" preprocess --graph="$work/graph.txt" --model="$work/model.txt" \
+    --metrics-out="$work/pre_metrics.json" \
+    --trace-out="$work/pre_trace.json" >/dev/null
+  "$cli" query --model="$work/model.txt" --seed-node=0 --stats \
+    --num-queries=25 \
+    --metrics-out="$work/query_metrics.json" \
+    --trace-out="$work/query_trace.json" >/dev/null
+  python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+
+pre = json.load(open(f"{work}/pre_metrics.json"))
+for key in ("counters", "gauges", "histograms"):
+    assert key in pre, f"preprocess metrics missing {key!r}"
+assert pre["counters"].get("slashburn.rounds", 0) > 0, pre["counters"]
+
+qm = json.load(open(f"{work}/query_metrics.json"))
+counters = qm["counters"]
+assert counters.get("query.count") == 25, counters
+assert counters.get("gmres.solves", 0) > 0, counters
+assert counters.get("spmv.calls", 0) > 0, counters
+latency = qm["histograms"]["query.latency_seconds"]
+assert latency["count"] == 25, latency
+for q in ("p50", "p95", "p99"):
+    assert latency[q] > 0, latency
+
+for name, want in (("pre_trace", "preprocess"), ("query_trace", "query")):
+    trace = json.load(open(f"{work}/{name}.json"))
+    events = trace["traceEvents"]
+    assert events, f"{name}: no trace events"
+    names = {e["name"] for e in events}
+    assert want in names, f"{name}: missing span {want!r} in {sorted(names)}"
+    assert all(e["ph"] == "X" for e in events), name
+print("    telemetry JSON parses; counters, histogram and spans present")
+EOF
+  rm -rf "$work"
+}
+
+bench_artifacts() {
+  local build_dir="$1"
+  local out="$build_dir/../artifacts"
+  mkdir -p "$out"
+  echo "=== benchmark artifacts ==="
+  # Cheapest sizes only: the artifact's job is to prove the JSON emitters
+  # work end to end, not to produce stable timings.
+  "$build_dir/bench/bench_kernels" \
+    --benchmark_filter='/4096$|/1024$|/512$' --benchmark_min_time=0.05 \
+    --benchmark_out="$out/BENCH_kernels.json" \
+    --benchmark_out_format=json >/dev/null
+  "$build_dir/bench/bench_fig1_query" --scale=0.05 --queries=3 \
+    --json-out="$out/BENCH_fig1_query.json" >/dev/null
+  python3 - "$out" <<'EOF'
+import json, sys
+out = sys.argv[1]
+kernels = json.load(open(f"{out}/BENCH_kernels.json"))
+assert kernels["benchmarks"], "BENCH_kernels.json has no benchmarks"
+fig1 = json.load(open(f"{out}/BENCH_fig1_query.json"))
+assert fig1["bench"] == "fig1_query", fig1.get("bench")
+results = fig1["results"]
+assert results, "BENCH_fig1_query.json has no results"
+methods = {r["method"] for r in results}
+assert "bepi" in methods, sorted(methods)
+print(f"    {len(kernels['benchmarks'])} kernel benchmarks, "
+      f"{len(results)} fig1 records")
+EOF
+}
+
 for config in "${configs[@]}"; do
   case "$config" in
     default) sanitize="" ;;
-    address | undefined) sanitize="$config" ;;
+    address | undefined | thread) sanitize="$config" ;;
     *)
-      echo "unknown configuration: $config (want default|address|undefined)" >&2
+      echo "unknown configuration: $config" \
+        "(want default|address|undefined|thread)" >&2
       exit 2
       ;;
   esac
   build_dir="build-ci/$config"
   echo "=== [$config] configure ==="
   cmake -B "$build_dir" -S . -DBEPI_SANITIZE="$sanitize" >/dev/null
+  if [ "$config" = thread ]; then
+    # TSan pass: only the telemetry tests, whose lock-free registry and
+    # per-thread trace buffers are the concurrency-bearing surface.
+    echo "=== [$config] build (test_metrics, test_trace) ==="
+    cmake --build "$build_dir" -j "$jobs" --target test_metrics test_trace
+    echo "=== [$config] test ==="
+    "$build_dir/tests/test_metrics"
+    "$build_dir/tests/test_trace"
+    continue
+  fi
   echo "=== [$config] build ==="
   cmake --build "$build_dir" -j "$jobs"
   echo "=== [$config] test ==="
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
   if [ "$config" = default ]; then
     smoke_kill_resume "$build_dir/tools/bepi_cli"
+    smoke_telemetry "$build_dir/tools/bepi_cli"
+    bench_artifacts "$build_dir"
   fi
 done
 
