@@ -4,12 +4,82 @@
 // memory and query time, plus the fitted log-log slopes for BePI (the
 // paper reports slopes 1.01, 0.99 and 1.1 — near-linear scaling).
 //
+// A second sweep measures shared-memory parallel scaling: the largest
+// slice is preprocessed once, then a fixed seed batch is answered through
+// BatchQueryEngine at 1, 2, 4, ... worker threads (up to --threads or the
+// hardware width). Vectors must be bit-identical across thread counts —
+// the run aborts if they are not — and the per-width throughput goes into
+// BENCH_parallel_scaling.json via --json-out.
+//
 // Usage: bench_fig5_scalability [--scale=1.0] [--slices=5] [--queries=3]
+//        [--threads=N] [--batch=64] [--json-out=BENCH_parallel_scaling.json]
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "core/batch.hpp"
 #include "core/bear.hpp"
 #include "core/bepi.hpp"
 #include "core/iterative.hpp"
 #include "core/lu_rwr.hpp"
+
+namespace {
+
+/// Parallel query scaling on one preprocessed solver: answers the same
+/// seed batch at each thread width, checks bit-identity against the
+/// 1-thread vectors, prints a table and records JSON metrics.
+void RunParallelScaling(const bepi::BepiSolver& solver,
+                        const bepi::Graph& g, bepi::index_t batch_size,
+                        int max_threads, bepi::bench::BenchJsonWriter* json) {
+  using namespace bepi;
+  Rng rng(20170514);
+  std::vector<index_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(batch_size));
+  for (index_t i = 0; i < batch_size; ++i) {
+    seeds.push_back(rng.UniformIndex(0, g.num_nodes() - 1));
+  }
+
+  std::printf("\nParallel query scaling (batch of %lld seeds, "
+              "bit-identity enforced):\n",
+              static_cast<long long>(batch_size));
+  Table table({"threads", "batch (s)", "throughput (q/s)", "speedup",
+               "identical"});
+  std::vector<Vector> baseline;
+  double baseline_seconds = 0.0;
+  for (int t = 1; t <= max_threads; t *= 2) {
+    BEPI_CHECK(ParallelContext::Global().SetNumThreads(t).ok());
+    BatchQueryOptions opts;
+    opts.collect_stats = false;
+    BatchQueryEngine engine(solver, opts);
+    auto batch = engine.Run(seeds);
+    BEPI_CHECK_MSG(batch.ok(), batch.status().ToString().c_str());
+    bool identical = true;
+    if (t == 1) {
+      baseline = batch->vectors;
+      baseline_seconds = batch->seconds;
+    } else {
+      identical = batch->vectors == baseline;  // exact, not approximate
+    }
+    BEPI_CHECK_MSG(identical, "parallel batch diverged from 1-thread run");
+    const double speedup =
+        batch->seconds > 0.0 ? baseline_seconds / batch->seconds : 0.0;
+    table.AddRow({Table::Int(t), Table::Num(batch->seconds, 4),
+                  Table::Num(batch->throughput_qps(), 1),
+                  Table::Num(speedup, 2), identical ? "yes" : "NO"});
+    if (json != nullptr) {
+      const std::string method = "threads=" + std::to_string(t);
+      json->Add("WikiLink-sim", method, "batch_seconds", batch->seconds);
+      json->Add("WikiLink-sim", method, "throughput_qps",
+                batch->throughput_qps());
+      json->Add("WikiLink-sim", method, "speedup", speedup);
+      json->Add("WikiLink-sim", method, "bit_identical",
+                identical ? 1.0 : 0.0);
+    }
+  }
+  table.Print();
+  // Restore the configured default for anything running after us.
+  BEPI_CHECK(ParallelContext::Global().SetNumThreads(0).ok());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace bepi;
@@ -21,11 +91,17 @@ int main(int argc, char** argv) {
   auto spec = FindDataset("WikiLink-sim");
   BEPI_CHECK(spec.ok());
   Graph full = bench::LoadDataset(*spec, config);
+  bench::BenchJsonWriter json("parallel_scaling");
 
   const index_t slices = flags.GetInt("slices", 5);
   Table table({"nodes", "edges", "BePI prep (s)", "BePI mem (MB)",
                "BePI query (s)", "Bear prep (s)", "LU prep (s)",
                "GMRES query (s)", "Power query (s)"});
+
+  // The largest slice BePI preprocessed successfully, kept for the
+  // parallel scaling sweep below.
+  std::unique_ptr<BepiSolver> scaling_solver;
+  Graph scaling_graph;
 
   std::vector<double> edge_counts, prep_times, mem_sizes, query_times;
   for (index_t slice = 1; slice <= slices; ++slice) {
@@ -42,11 +118,12 @@ int main(int argc, char** argv) {
     BepiOptions bepi_options;
     bepi_options.hub_ratio = spec->hub_ratio;
     bepi_options.memory_budget_bytes = config.budget_bytes;
-    BepiSolver bepi_solver(bepi_options);
-    bench::PreprocessOutcome prep = bench::RunPreprocess(&bepi_solver, *sub);
+    auto bepi_solver = std::make_unique<BepiSolver>(bepi_options);
+    bench::PreprocessOutcome prep =
+        bench::RunPreprocess(bepi_solver.get(), *sub);
     bench::QueryOutcome query;
     if (prep.ok()) {
-      query = bench::RunQueries(bepi_solver, *sub, config.num_queries,
+      query = bench::RunQueries(*bepi_solver, *sub, config.num_queries,
                                 config.seed);
     }
 
@@ -82,6 +159,8 @@ int main(int argc, char** argv) {
       prep_times.push_back(prep.seconds);
       mem_sizes.push_back(static_cast<double>(prep.bytes));
       query_times.push_back(query.avg_seconds);
+      scaling_solver = std::move(bepi_solver);
+      scaling_graph = std::move(*sub);
     }
   }
   table.Print();
@@ -99,5 +178,13 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape (paper Fig. 5): BePI scales near-linearly on all\n"
       "three metrics and processes slices ~100x larger than Bear/LU.\n");
+
+  if (scaling_solver != nullptr) {
+    const int max_threads =
+        config.threads > 0 ? config.threads : std::max(8, HardwareThreads());
+    RunParallelScaling(*scaling_solver, scaling_graph,
+                       flags.GetInt("batch", 64), max_threads, &json);
+  }
+  json.WriteIfRequested(flags);
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "common/check.hpp"
 #include "common/fileio.hpp"
 #include "common/flags.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -40,6 +41,9 @@ struct BenchConfig {
   index_t bear_max_edges = 500'000;
   index_t lu_max_edges = 120'000;
   std::uint64_t seed = 20170514;  // SIGMOD'17 conference date
+  // Worker threads for the parallel kernels (--threads); 0 keeps the
+  // BEPI_THREADS/hardware default already configured in ParallelContext.
+  int threads = 0;
 
   static BenchConfig FromFlags(const Flags& flags) {
     BenchConfig config;
@@ -50,6 +54,12 @@ struct BenchConfig {
     config.bear_max_edges = flags.GetInt("bear_max_edges", 500'000);
     config.lu_max_edges = flags.GetInt("lu_max_edges", 120'000);
     config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 20170514));
+    config.threads = static_cast<int>(flags.GetInt("threads", 0));
+    if (config.threads > 0) {
+      const Status status =
+          ParallelContext::Global().SetNumThreads(config.threads);
+      BEPI_CHECK_MSG(status.ok(), status.ToString().c_str());
+    }
     return config;
   }
 };
@@ -218,9 +228,10 @@ class BenchJsonWriter {
 /// Header line shared by all harness binaries.
 inline void PrintBanner(const std::string& title, const BenchConfig& config) {
   std::printf("=== %s ===\n", title.c_str());
-  std::printf("scale=%.2f  budget=%s  queries/seed-set=%lld\n\n",
+  std::printf("scale=%.2f  budget=%s  queries/seed-set=%lld  threads=%d\n\n",
               config.scale, HumanBytes(config.budget_bytes).c_str(),
-              static_cast<long long>(config.num_queries));
+              static_cast<long long>(config.num_queries),
+              ParallelContext::Global().num_threads());
 }
 
 /// Least-squares slope of log10(y) vs log10(x) — the paper reports these

@@ -13,6 +13,17 @@ void SetMetricsEnabled(bool enabled) {
   g_metrics_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+namespace internal {
+
+std::size_t ThisThreadOrdinal() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace internal
+
 namespace {
 
 // libstdc++ only grew atomic<double>::fetch_add recently; a CAS loop is

@@ -21,7 +21,9 @@
 #ifndef BEPI_COMMON_METRICS_HPP_
 #define BEPI_COMMON_METRICS_HPP_
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -48,23 +50,49 @@ inline bool MetricsEnabled() {
   return MetricsEnabledFlag().load(std::memory_order_relaxed);
 }
 
-/// Monotonic event count. Increments are relaxed atomic adds.
+namespace internal {
+
+/// Stable per-thread ordinal (assigned on first use, monotonically).
+/// Counters map it onto their shard array so threads rarely share a
+/// cache line.
+std::size_t ThisThreadOrdinal();
+
+}  // namespace internal
+
+/// Monotonic event count. Increments are relaxed atomic adds into a
+/// per-thread shard (cache-line padded), so hot counters bumped from many
+/// pool workers never contend on one cache line; value()/Reset() merge or
+/// clear all shards (exact — no increments are lost or double-counted).
 class Counter {
  public:
+  static constexpr std::size_t kShards = 16;  // power of two
+
   explicit Counter(std::string name) : name_(std::move(name)) {}
 
   void Increment(std::uint64_t delta = 1) {
     if (!MetricsEnabled()) return;
-    value_.fetch_add(delta, std::memory_order_relaxed);
+    shards_[internal::ThisThreadOrdinal() % kShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
   }
 
-  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
   const std::string& name() const { return name_; }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
 
  private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
   std::string name_;
-  std::atomic<std::uint64_t> value_{0};
+  std::array<Shard, kShards> shards_{};
 };
 
 /// Last-written value (e.g. a size or a ratio). Stores are relaxed.

@@ -1,0 +1,307 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace bepi {
+namespace {
+
+/// Set for the lifetime of a worker thread; nested parallel constructs
+/// check it to run inline instead of re-entering the pool.
+thread_local bool t_on_worker_thread = false;
+
+/// One relaxed-atomic bump per executed task / successful steal. Counter
+/// pointers are cached per call site; with metrics disabled each call is
+/// a single predictable branch.
+void CountTask() {
+  if (!MetricsEnabled()) return;
+  BEPI_METRIC_COUNTER(tasks, "parallel.tasks");
+  tasks->Increment();
+}
+
+void CountSteal() {
+  if (!MetricsEnabled()) return;
+  BEPI_METRIC_COUNTER(steals, "parallel.steal");
+  steals->Increment();
+}
+
+}  // namespace
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  BEPI_CHECK(num_threads >= 1);
+  queues_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // The lock pairs with the sleep_cv_ wait: without it a worker could
+    // check shutdown_, decide to sleep, and miss this notify forever.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  const std::size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+bool ThreadPool::TryPop(std::size_t self, std::function<void()>* task) {
+  // Own queue first (LIFO: the freshest task is the cache-warm one) ...
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // ... then steal round-robin from the victims' FIFO ends, so a stolen
+  // chunk is the one its owner would have reached last.
+  for (std::size_t i = 1; i < queues_.size(); ++i) {
+    WorkerQueue& victim = *queues_[(self + i) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      CountSteal();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(std::size_t self) {
+  t_on_worker_thread = true;
+  std::function<void()> task;
+  for (;;) {
+    if (TryPop(self, &task)) {
+      queued_.fetch_sub(1, std::memory_order_acquire);
+      {
+        TraceSpan task_span("parallel.task");
+        CountTask();
+        task();
+      }
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] {
+      return queued_.load(std::memory_order_acquire) > 0 ||
+             shutdown_.load(std::memory_order_acquire);
+    });
+    if (shutdown_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+namespace internal {
+
+int ThreadsFromEnv() {
+  const char* env = std::getenv("BEPI_THREADS");
+  if (env == nullptr || *env == '\0') return HardwareThreads();
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 1 || v > 4096) {
+    return HardwareThreads();
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace internal
+
+ParallelContext::ParallelContext() {
+  const Status status = SetNumThreads(internal::ThreadsFromEnv());
+  BEPI_CHECK(status.ok());
+}
+
+ParallelContext& ParallelContext::Global() {
+  static ParallelContext* context = new ParallelContext();  // never destroyed
+  return *context;
+}
+
+int ParallelContext::num_threads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_threads_;
+}
+
+Status ParallelContext::SetNumThreads(int n) {
+  if (n < 0 || n > 4096) {
+    return Status::InvalidArgument("thread count must be in [1, 4096] (or 0 "
+                                   "for the hardware default)");
+  }
+  if (n == 0) n = internal::ThreadsFromEnv();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (n == num_threads_) return Status::Ok();
+  // Publish null first so no kernel submits to a pool being torn down.
+  pool_ptr_.store(nullptr, std::memory_order_release);
+  pool_.reset();
+  num_threads_ = n;
+  if (n > 1) {
+    pool_ = std::make_unique<ThreadPool>(n);
+    pool_ptr_.store(pool_.get(), std::memory_order_release);
+  }
+  return Status::Ok();
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+TaskGroup::TaskGroup() : pool_(ParallelContext::Global().pool()) {}
+
+TaskGroup::~TaskGroup() {
+  // A TaskGroup destroyed with tasks in flight would let them write into
+  // freed captures; Wait() here turns that bug into a clean barrier.
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr || ThreadPool::OnWorkerThread()) {
+    // Serial / nested path: run in place, same exception contract.
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++outstanding_;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error && !error_) error_ = error;
+    if (--outstanding_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ParallelFor(index_t begin, index_t end, index_t grain,
+                 const std::function<void(index_t, index_t)>& body) {
+  if (begin >= end) return;
+  if (grain <= 0) grain = 1;
+  const index_t count = end - begin;
+  const index_t chunks = (count + grain - 1) / grain;
+  ThreadPool* pool = ParallelContext::Global().pool();
+  if (pool == nullptr || ThreadPool::OnWorkerThread() || chunks <= 1) {
+    for (index_t b = begin; b < end; b += grain) {
+      body(b, std::min(end, b + grain));
+    }
+    return;
+  }
+  TaskGroup group(pool);
+  for (index_t b = begin; b < end; b += grain) {
+    const index_t e = std::min(end, b + grain);
+    group.Run([&body, b, e] { body(b, e); });
+  }
+  group.Wait();
+}
+
+namespace {
+
+/// Fixed-order pairwise (tree) combine of the per-chunk partials. The
+/// order depends only on the partial count, i.e. only on (range, grain).
+real_t PairwiseCombine(std::vector<real_t>* partials,
+                       real_t (*combine)(real_t, real_t)) {
+  std::vector<real_t>& v = *partials;
+  BEPI_CHECK(!v.empty());
+  std::size_t n = v.size();
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      v[i] = combine(v[2 * i], v[2 * i + 1]);
+    }
+    if (n % 2 != 0) {
+      v[half] = v[n - 1];
+      n = half + 1;
+    } else {
+      n = half;
+    }
+  }
+  return v[0];
+}
+
+real_t Reduce(index_t begin, index_t end, index_t grain,
+              const std::function<real_t(index_t, index_t)>& chunk_fn,
+              real_t (*combine)(real_t, real_t)) {
+  if (begin >= end) return 0.0;
+  if (grain <= 0) grain = 1;
+  const index_t count = end - begin;
+  const index_t chunks = (count + grain - 1) / grain;
+  std::vector<real_t> partials(static_cast<std::size_t>(chunks));
+  ParallelFor(0, chunks, 1, [&](index_t cb, index_t ce) {
+    for (index_t c = cb; c < ce; ++c) {
+      const index_t b = begin + c * grain;
+      partials[static_cast<std::size_t>(c)] =
+          chunk_fn(b, std::min(end, b + grain));
+    }
+  });
+  return PairwiseCombine(&partials, combine);
+}
+
+}  // namespace
+
+real_t ParallelReduceSum(index_t begin, index_t end, index_t grain,
+                         const std::function<real_t(index_t, index_t)>&
+                             chunk_sum) {
+  return Reduce(begin, end, grain, chunk_sum,
+                [](real_t a, real_t b) { return a + b; });
+}
+
+real_t ParallelReduceMax(index_t begin, index_t end, index_t grain,
+                         const std::function<real_t(index_t, index_t)>&
+                             chunk_max) {
+  return Reduce(begin, end, grain, chunk_max,
+                [](real_t a, real_t b) { return a > b ? a : b; });
+}
+
+}  // namespace bepi

@@ -121,6 +121,11 @@ Status BepiSolver::Preprocess(const Graph& g, CheckpointManager* checkpoints) {
 }
 
 Result<Vector> BepiSolver::Query(index_t seed, QueryStats* stats) const {
+  return Query(seed, stats, /*workspace=*/nullptr);
+}
+
+Result<Vector> BepiSolver::Query(index_t seed, QueryStats* stats,
+                                 GmresWorkspace* workspace) const {
   if (!preprocessed_) return Status::FailedPrecondition("Preprocess not called");
   if (seed < 0 || seed >= dec_.n) {
     return Status::OutOfRange("seed out of range");
@@ -141,11 +146,16 @@ Result<Vector> BepiSolver::Query(index_t seed, QueryStats* stats) const {
   } else {
     cq3[static_cast<std::size_t>(pos - n1 - n2)] = c;
   }
-  return SolveFromSlices(cq1, cq2, cq3, stats);
+  return SolveFromSlices(cq1, cq2, cq3, stats, workspace);
 }
 
 Result<Vector> BepiSolver::QueryVector(const Vector& q,
                                        QueryStats* stats) const {
+  return QueryVector(q, stats, /*workspace=*/nullptr);
+}
+
+Result<Vector> BepiSolver::QueryVector(const Vector& q, QueryStats* stats,
+                                       GmresWorkspace* workspace) const {
   if (!preprocessed_) return Status::FailedPrecondition("Preprocess not called");
   if (static_cast<index_t>(q.size()) != dec_.n) {
     return Status::InvalidArgument("personalization vector length mismatch");
@@ -167,13 +177,14 @@ Result<Vector> BepiSolver::QueryVector(const Vector& q,
       cq3[static_cast<std::size_t>(pos - n1 - n2)] = c * v;
     }
   }
-  return SolveFromSlices(cq1, cq2, cq3, stats);
+  return SolveFromSlices(cq1, cq2, cq3, stats, workspace);
 }
 
 Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
                                            const Vector& cq2,
                                            const Vector& cq3,
-                                           QueryStats* stats) const {
+                                           QueryStats* stats,
+                                           GmresWorkspace* workspace) const {
   Timer timer;
   TraceSpan query_span("query");
   const index_t n1 = dec_.n1, n2 = dec_.n2, n3 = dec_.n3;
@@ -193,6 +204,7 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
   ropts.max_iters = options_.max_iterations;
   ropts.gmres_restart = options_.gmres_restart;
   ropts.enable_fallbacks = options_.enable_fallbacks;
+  ropts.gmres_workspace = workspace;
 
   // Solve S r2 = q2~ through the degradation chain (line 4).
   QueryReport report;

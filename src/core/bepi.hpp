@@ -21,6 +21,8 @@
 
 namespace bepi {
 
+struct GmresWorkspace;
+
 enum class BepiMode { kBasic, kSparsified, kPreconditioned };
 
 const char* BepiModeName(BepiMode mode);
@@ -88,6 +90,14 @@ class BepiSolver final : public RwrSolver {
   Result<Vector> Query(index_t seed, QueryStats* stats = nullptr) const override;
   Result<Vector> QueryVector(const Vector& q,
                              QueryStats* stats = nullptr) const override;
+  /// Workspace-reusing variants for steady-state query loops: `workspace`
+  /// (may be null) holds the GMRES scratch buffers across solves so no
+  /// per-query heap allocation happens beyond the returned vector. One
+  /// workspace per concurrent caller (see solver/gmres.hpp).
+  Result<Vector> Query(index_t seed, QueryStats* stats,
+                       GmresWorkspace* workspace) const;
+  Result<Vector> QueryVector(const Vector& q, QueryStats* stats,
+                             GmresWorkspace* workspace) const;
   std::uint64_t PreprocessedBytes() const override;
 
   const BepiPreprocessInfo& info() const { return info_; }
@@ -113,7 +123,8 @@ class BepiSolver final : public RwrSolver {
   /// Runs Algorithm 4 given the already-partitioned scaled start vector
   /// (c*q sliced along [n1 | n2 | n3] in reordered ids).
   Result<Vector> SolveFromSlices(const Vector& cq1, const Vector& cq2,
-                                 const Vector& cq3, QueryStats* stats) const;
+                                 const Vector& cq3, QueryStats* stats,
+                                 GmresWorkspace* workspace) const;
 
   /// Sectioned, per-section-checksummed format (header already consumed).
   static Result<BepiSolver> LoadV3(std::istream& in);

@@ -65,7 +65,9 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
   if (ilu_ != nullptr) {
     TraceSpan hop_span("schur.hop");
     SolveStats stats;
-    BEPI_ASSIGN_OR_RETURN(Vector x, Gmres(op, b, gm, &stats, ilu_));
+    BEPI_ASSIGN_OR_RETURN(Vector x, Gmres(op, b, gm, &stats, ilu_,
+                                          /*x0=*/nullptr,
+                                          options_.gmres_workspace));
     const SolveAttempt attempt = MakeAttempt("ilu0+gmres", stats);
     FinishHopSpan(&hop_span, attempt);
     Record(report, attempt);
@@ -84,7 +86,9 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
     TraceSpan hop_span("schur.hop");
     SolveStats stats;
     JacobiPreconditioner jacobi(schur_);
-    BEPI_ASSIGN_OR_RETURN(Vector x, Gmres(op, b, gm, &stats, &jacobi));
+    BEPI_ASSIGN_OR_RETURN(Vector x, Gmres(op, b, gm, &stats, &jacobi,
+                                          /*x0=*/nullptr,
+                                          options_.gmres_workspace));
     const SolveAttempt attempt = MakeAttempt("jacobi+gmres", stats);
     FinishHopSpan(&hop_span, attempt);
     Record(report, attempt);

@@ -27,6 +27,8 @@
 
 namespace bepi {
 
+struct GmresWorkspace;
+
 struct ResilientSolveOptions {
   real_t tol = 1e-9;
   index_t max_iters = 10000;
@@ -34,6 +36,9 @@ struct ResilientSolveOptions {
   /// When false the chain is disabled: only the primary configuration
   /// runs (the pre-resilience behavior, kept for ablations).
   bool enable_fallbacks = true;
+  /// Optional reusable GMRES scratch (see solver/gmres.hpp); not owned,
+  /// may be null. One workspace per concurrent solve.
+  GmresWorkspace* gmres_workspace = nullptr;
 };
 
 /// Solves S x = b through the Krylov hops of the degradation chain.

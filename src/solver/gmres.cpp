@@ -41,7 +41,8 @@ struct GmresMetricsFlush {
 
 Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
                      const GmresOptions& options, SolveStats* stats,
-                     const Preconditioner* m, const Vector* x0) {
+                     const Preconditioner* m, const Vector* x0,
+                     GmresWorkspace* workspace) {
   const index_t n = a.size();
   if (static_cast<index_t>(b.size()) != n) {
     return Status::InvalidArgument("GMRES rhs size mismatch");
@@ -64,12 +65,17 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
   // rhs, injected faults) count toward gmres.solves.
   GmresMetricsFlush metrics_flush{total_iters, cycles};
 
+  // Without a caller-provided workspace the buffers live (and die) here;
+  // either way every buffer is sized and overwritten before it is read,
+  // so reuse cannot alter results.
+  GmresWorkspace local_workspace;
+  GmresWorkspace& ws = workspace != nullptr ? *workspace : local_workspace;
+
   Vector x = x0 != nullptr ? *x0 : Vector(static_cast<std::size_t>(n), 0.0);
 
   // Reference norm: ||M^{-1} b||.
-  Vector mb;
-  ApplyPrecond(m, b, &mb);
-  const real_t b_norm = Norm2(mb);
+  ApplyPrecond(m, b, &ws.mb);
+  const real_t b_norm = Norm2(ws.mb);
   if (b_norm == 0.0) {
     // A x = 0 has solution x = 0 (A is nonsingular in our usage).
     stats->converged = true;
@@ -89,7 +95,8 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
   }
   // Best preconditioned residual seen at each iteration, for the
   // stagnation window check.
-  std::vector<real_t> best_rel;
+  std::vector<real_t>& best_rel = ws.best_rel;
+  best_rel.clear();
   if (options.stagnation_window > 0) {
     best_rel.reserve(static_cast<std::size_t>(
         std::min<index_t>(options.max_iters, 100000)));
@@ -109,12 +116,26 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
   const std::size_t mdim = static_cast<std::size_t>(restart);
 
   // Hessenberg matrix (column-major per Arnoldi step), Givens rotations,
-  // and the rotated rhs g.
-  std::vector<Vector> basis;  // orthonormal Krylov vectors v_1..v_{k+1}
-  std::vector<std::vector<real_t>> h(mdim + 1,
-                                     std::vector<real_t>(mdim, 0.0));
-  Vector cs(mdim, 0.0), sn(mdim, 0.0), g(mdim + 1, 0.0);
-  Vector tmp(static_cast<std::size_t>(n));
+  // and the rotated rhs g. All workspace-backed: assign/resize reuse the
+  // capacity left by a previous solve.
+  if (ws.h.size() < mdim + 1) ws.h.resize(mdim + 1);
+  for (std::size_t i = 0; i < mdim + 1; ++i) ws.h[i].assign(mdim, 0.0);
+  std::vector<std::vector<real_t>>& h = ws.h;
+  ws.cs.assign(mdim, 0.0);
+  ws.sn.assign(mdim, 0.0);
+  ws.g.assign(mdim + 1, 0.0);
+  Vector& cs = ws.cs;
+  Vector& sn = ws.sn;
+  Vector& g = ws.g;
+  ws.tmp.resize(static_cast<std::size_t>(n));
+  Vector& tmp = ws.tmp;
+  // Krylov vectors v_1..v_{k+1} live in workspace slots; each slot is
+  // fully overwritten (ApplyPrecond assigns) before it is read.
+  std::vector<Vector>& basis = ws.basis;
+  auto basis_slot = [&basis](std::size_t i) -> Vector& {
+    if (basis.size() <= i) basis.resize(i + 1);
+    return basis[i];
+  };
 
   while (total_iters < options.max_iters) {
     // One restart cycle: the span carries the residual the cycle started
@@ -123,13 +144,13 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
     ++cycles;
     // Preconditioned residual r = M^{-1}(b - A x).
     a.Apply(x, &tmp);
-    Vector raw(static_cast<std::size_t>(n));
+    ws.raw.resize(static_cast<std::size_t>(n));
     for (index_t i = 0; i < n; ++i) {
-      raw[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)] -
-                                         tmp[static_cast<std::size_t>(i)];
+      ws.raw[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)] -
+                                            tmp[static_cast<std::size_t>(i)];
     }
-    Vector r;
-    ApplyPrecond(m, raw, &r);
+    Vector& r = basis_slot(0);
+    ApplyPrecond(m, ws.raw, &r);
     real_t beta = Norm2(r);
     if (!std::isfinite(beta)) {
       // The iterate itself is corrupted; report divergence rather than
@@ -154,9 +175,7 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
       return x;
     }
 
-    basis.clear();
-    Scale(1.0 / beta, &r);
-    basis.push_back(std::move(r));
+    Scale(1.0 / beta, &r);  // r *is* basis slot 0
     std::fill(g.begin(), g.end(), 0.0);
     g[0] = beta;
 
@@ -164,7 +183,7 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
     for (; k < restart && total_iters < options.max_iters; ++k, ++total_iters) {
       // Arnoldi step: w = M^{-1} A v_k, orthogonalized against the basis.
       a.Apply(basis[static_cast<std::size_t>(k)], &tmp);
-      Vector w;
+      Vector& w = basis_slot(static_cast<std::size_t>(k) + 1);
       ApplyPrecond(m, tmp, &w);
       if (n > 0 && BEPI_FAULT_INJECTED(fault_sites::kGmresNan)) {
         w[0] = std::numeric_limits<real_t>::quiet_NaN();
@@ -225,7 +244,8 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
       if (rel <= options.tol || breakdown || stagnation || k + 1 == restart) {
         // Solve the k+1-dimensional upper triangular system H y = g.
         const index_t dim = k + 1;
-        Vector y(static_cast<std::size_t>(dim));
+        ws.y.resize(static_cast<std::size_t>(dim));
+        Vector& y = ws.y;
         for (index_t i = dim - 1; i >= 0; --i) {
           real_t sum = g[static_cast<std::size_t>(i)];
           for (index_t j = i + 1; j < dim; ++j) {
@@ -255,8 +275,7 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
         }
         break;  // restart (or give up via the outer budget check)
       }
-      Scale(1.0 / hk1k, &w);
-      basis.push_back(std::move(w));
+      Scale(1.0 / hk1k, &w);  // w *is* basis slot k+1
     }
   }
   stats->iterations = total_iters;

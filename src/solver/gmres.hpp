@@ -5,12 +5,30 @@
 #ifndef BEPI_SOLVER_GMRES_HPP_
 #define BEPI_SOLVER_GMRES_HPP_
 
+#include <vector>
+
 #include "common/status.hpp"
 #include "solver/operator.hpp"
 #include "solver/outcome.hpp"
 #include "sparse/dense.hpp"
 
 namespace bepi {
+
+/// Reusable scratch buffers for Gmres. A workspace passed across solves
+/// keeps the Krylov basis, Hessenberg matrix and rotation vectors
+/// allocated, so a steady-state query loop (BatchQueryEngine, bepi_cli
+/// query --stats) performs no per-solve heap allocation beyond the
+/// returned solution. Every buffer is (re)sized and overwritten before
+/// use — reusing a workspace never changes results. Not thread-safe: use
+/// one workspace per concurrent solve.
+struct GmresWorkspace {
+  std::vector<Vector> basis;            // orthonormal Krylov vectors
+  std::vector<std::vector<real_t>> h;   // Hessenberg columns
+  Vector cs, sn, g;                     // Givens rotations + rotated rhs
+  Vector tmp, raw, y;                   // operator output, residual, LS sol.
+  Vector mb;                            // preconditioned rhs
+  std::vector<real_t> best_rel;         // stagnation window
+};
 
 struct GmresOptions {
   /// Relative residual tolerance: stop when ||M^-1(Ax - b)|| / ||M^-1 b||
@@ -35,10 +53,13 @@ struct GmresOptions {
 /// stagnation is detected, or the iteration produced non-finite values
 /// (the last finite iterate in that case); check stats->converged and
 /// stats->outcome. Only shape errors produce a non-ok Status.
+/// `workspace` (may be null) supplies reusable scratch buffers; a null
+/// workspace allocates one on the stack for this solve.
 Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
                      const GmresOptions& options, SolveStats* stats,
                      const Preconditioner* m = nullptr,
-                     const Vector* x0 = nullptr);
+                     const Vector* x0 = nullptr,
+                     GmresWorkspace* workspace = nullptr);
 
 }  // namespace bepi
 

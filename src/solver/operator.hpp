@@ -21,7 +21,9 @@ class CsrOperator final : public LinearOperator {
  public:
   explicit CsrOperator(const CsrMatrix& m) : m_(m) {}
   index_t size() const override { return m_.rows(); }
-  void Apply(const Vector& x, Vector* y) const override { *y = m_.Multiply(x); }
+  void Apply(const Vector& x, Vector* y) const override {
+    m_.MultiplyInto(x, y);
+  }
   const CsrMatrix& matrix() const { return m_; }
 
  private:

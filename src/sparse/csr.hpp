@@ -51,6 +51,10 @@ class CsrMatrix {
   /// y = A x.
   Vector Multiply(const Vector& x) const;
 
+  /// y = A x into a caller-owned vector (resized to rows()); the
+  /// allocation-free form iterative solvers call per iteration.
+  void MultiplyInto(const Vector& x, Vector* y) const;
+
   /// y += alpha * A x.
   void MultiplyAdd(real_t alpha, const Vector& x, Vector* y) const;
 

@@ -3,46 +3,93 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace bepi {
+namespace {
+
+// Fixed reduction/elementwise grains (elements per chunk). They are
+// constants — never derived from the thread count — so chunk boundaries,
+// and therefore the pairwise summation order, are identical at any
+// --threads setting (the bit-identical-across-thread-counts contract in
+// common/parallel.hpp). Vectors at or below one grain take exactly one
+// chunk, i.e. the plain left-to-right loop.
+constexpr index_t kReduceGrain = 4096;
+constexpr index_t kElementwiseGrain = 16384;
+
+}  // namespace
 
 real_t Dot(const Vector& x, const Vector& y) {
   BEPI_CHECK(x.size() == y.size());
-  real_t sum = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
-  return sum;
+  return ParallelReduceSum(
+      0, static_cast<index_t>(x.size()), kReduceGrain,
+      [&](index_t b, index_t e) {
+        real_t sum = 0.0;
+        for (index_t i = b; i < e; ++i) {
+          sum += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+        }
+        return sum;
+      });
 }
 
 real_t Norm2(const Vector& x) { return std::sqrt(Dot(x, x)); }
 
 real_t Norm1(const Vector& x) {
-  real_t sum = 0.0;
-  for (real_t v : x) sum += std::fabs(v);
-  return sum;
+  return ParallelReduceSum(0, static_cast<index_t>(x.size()), kReduceGrain,
+                           [&](index_t b, index_t e) {
+                             real_t sum = 0.0;
+                             for (index_t i = b; i < e; ++i) {
+                               sum += std::fabs(x[static_cast<std::size_t>(i)]);
+                             }
+                             return sum;
+                           });
 }
 
 real_t NormInf(const Vector& x) {
-  real_t best = 0.0;
-  for (real_t v : x) best = std::max(best, std::fabs(v));
-  return best;
+  return ParallelReduceMax(0, static_cast<index_t>(x.size()), kReduceGrain,
+                           [&](index_t b, index_t e) {
+                             real_t best = 0.0;
+                             for (index_t i = b; i < e; ++i) {
+                               best = std::max(
+                                   best, std::fabs(x[static_cast<std::size_t>(i)]));
+                             }
+                             return best;
+                           });
 }
 
 void Axpy(real_t alpha, const Vector& x, Vector* y) {
   BEPI_CHECK(x.size() == y->size());
-  for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+  ParallelFor(0, static_cast<index_t>(x.size()), kElementwiseGrain,
+              [&](index_t b, index_t e) {
+                for (index_t i = b; i < e; ++i) {
+                  (*y)[static_cast<std::size_t>(i)] +=
+                      alpha * x[static_cast<std::size_t>(i)];
+                }
+              });
 }
 
 void Scale(real_t alpha, Vector* x) {
-  for (real_t& v : *x) v *= alpha;
+  ParallelFor(0, static_cast<index_t>(x->size()), kElementwiseGrain,
+              [&](index_t b, index_t e) {
+                for (index_t i = b; i < e; ++i) {
+                  (*x)[static_cast<std::size_t>(i)] *= alpha;
+                }
+              });
 }
 
 real_t DistL2(const Vector& x, const Vector& y) {
   BEPI_CHECK(x.size() == y.size());
-  real_t sum = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    real_t d = x[i] - y[i];
-    sum += d * d;
-  }
+  const real_t sum = ParallelReduceSum(
+      0, static_cast<index_t>(x.size()), kReduceGrain,
+      [&](index_t b, index_t e) {
+        real_t s = 0.0;
+        for (index_t i = b; i < e; ++i) {
+          const real_t d = x[static_cast<std::size_t>(i)] -
+                           y[static_cast<std::size_t>(i)];
+          s += d * d;
+        }
+        return s;
+      });
   return std::sqrt(sum);
 }
 

@@ -25,9 +25,11 @@
 #include "common/flags.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "common/sections.hpp"
 #include "common/table.hpp"
 #include "common/trace.hpp"
+#include "core/batch.hpp"
 #include "core/bepi.hpp"
 #include "core/checkpoint.hpp"
 #include "core/datasets.hpp"
@@ -44,34 +46,131 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// One entry per subcommand; `help <name>` prints `text` verbatim and
+/// Usage() prints the one-line `synopsis` of every entry. tools/
+/// check_docs.sh cross-checks docs/OPERATIONS.md against this output, so
+/// a flag documented here must exist and vice versa.
+struct CommandHelp {
+  const char* name;
+  const char* synopsis;
+  const char* text;
+};
+
+const CommandHelp kCommands[] = {
+    {"generate",
+     "generate   --out=FILE (--dataset=NAME [--scale=X] |\n"
+     "           --nodes=N --edges=M [--deadends=F]) [--seed=S]",
+     "bepi_cli generate — synthesize an edge-list graph file\n"
+     "  --out=FILE       destination edge-list path (required)\n"
+     "  --dataset=NAME   named dataset profile (see core/datasets); use\n"
+     "                   instead of --nodes/--edges\n"
+     "  --scale=X        scale a named dataset by X (default 1.0)\n"
+     "  --nodes=N        R-MAT node count (default 10000)\n"
+     "  --edges=M        R-MAT edge count (default 100000)\n"
+     "  --deadends=F     fraction of nodes made deadends (default 0)\n"
+     "  --seed=S         RNG seed (default 1)\n"
+     "example:\n"
+     "  bepi_cli generate --out=/tmp/g.txt --dataset=Slashdot-sim\n"},
+    {"stats",
+     "stats      --graph=FILE",
+     "bepi_cli stats — structural statistics of an edge-list graph\n"
+     "  --graph=FILE     edge-list path (required)\n"
+     "prints node/edge/deadend counts and weak/strong component sizes.\n"
+     "example:\n"
+     "  bepi_cli stats --graph=/tmp/g.txt\n"},
+    {"preprocess",
+     "preprocess --graph=FILE --model=FILE [--mode=bepi|bepi-s|bepi-b]\n"
+     "           [--k=0.2] [--c=0.05] [--tol=1e-9] [--checkpoint-dir=DIR]",
+     "bepi_cli preprocess — run BePI preprocessing, save a model file\n"
+     "  --graph=FILE          input edge list (required)\n"
+     "  --model=FILE          output model path, format v3 (required)\n"
+     "  --mode=MODE           bepi (ILU(0)+GMRES, default), bepi-s, bepi-b\n"
+     "  --k=X                 hub ratio; 0 = the mode's paper default\n"
+     "  --c=X                 restart probability (default 0.05)\n"
+     "  --tol=X               solver tolerance (default 1e-9)\n"
+     "  --checkpoint-dir=DIR  kill-safe preprocessing: rerun the same\n"
+     "                        command after a crash to resume from the\n"
+     "                        last durable stage\n"
+     "example:\n"
+     "  bepi_cli preprocess --graph=/tmp/g.txt --model=/tmp/m.txt\n"},
+    {"query",
+     "query      --model=FILE (--seed-node=ID | --seeds-file=FILE)\n"
+     "           [--topk=10] [--stats --num-queries=N]",
+     "bepi_cli query — answer RWR queries against a saved model\n"
+     "  --model=FILE       model file from `preprocess` (required)\n"
+     "  --seed-node=ID     single seed: print its top-k ranking\n"
+     "  --seeds-file=FILE  batch mode: one seed id per line ('#' comments\n"
+     "                     and blank lines ignored), answered concurrently\n"
+     "                     over the thread pool (--threads) with reused\n"
+     "                     per-slot solver workspaces\n"
+     "  --topk=K           ranking length (default 10)\n"
+     "  --stats            latency percentiles over --num-queries\n"
+     "                     consecutive seeds instead of a ranking\n"
+     "  --num-queries=N    sample size for --stats (default 100)\n"
+     "examples:\n"
+     "  bepi_cli query --model=/tmp/m.txt --seed-node=17 --topk=5\n"
+     "  bepi_cli query --model=/tmp/m.txt --seeds-file=seeds.txt --threads=8\n"},
+    {"rank",
+     "rank       --graph=FILE --seed-node=ID [--topk=10]",
+     "bepi_cli rank — one-shot preprocess + query (no model file)\n"
+     "  --graph=FILE     input edge list (required)\n"
+     "  --seed-node=ID   seed node (required)\n"
+     "  --topk=K         ranking length (default 10)\n"
+     "also accepts the preprocess options --mode/--k/--c/--tol.\n"
+     "example:\n"
+     "  bepi_cli rank --graph=/tmp/g.txt --seed-node=17\n"},
+    {"verify-model",
+     "verify-model --model=FILE",
+     "bepi_cli verify-model — per-section integrity fsck of a model file\n"
+     "  --model=FILE     model path (required)\n"
+     "checks every v3 section against its stored CRC32C; pre-v3 models\n"
+     "get a full load check instead.\n"
+     "example:\n"
+     "  bepi_cli verify-model --model=/tmp/m.txt\n"},
+    {"help",
+     "help       [command]",
+     "bepi_cli help — print usage, or detailed help for one command\n"
+     "example:\n"
+     "  bepi_cli help query\n"},
+};
+
+const char kGlobalFlagsHelp[] =
+    "global flags:\n"
+    "  --threads=N           worker threads for parallel kernels and batch\n"
+    "                        queries; 1 = serial, default = BEPI_THREADS or\n"
+    "                        all hardware threads. Results are bit-identical\n"
+    "                        at any thread count.\n"
+    "  --no-fallbacks        disable the solver degradation chain\n"
+    "  --fault-inject=SPEC   arm fault sites, e.g.\n"
+    "                        ilu0.factor,gmres.stagnate:0:-1\n"
+    "                        (SITE[:skip[:count]] or SITE@prob[@seed])\n"
+    "  --metrics-out=FILE    enable metrics, write a JSON snapshot of all\n"
+    "                        counters/gauges/histograms on exit\n"
+    "  --trace-out=FILE      record trace spans, write Chrome trace-event\n"
+    "                        JSON on exit (load in ui.perfetto.dev)\n"
+    "  --log-level=LEVEL     debug|info|warning|error (default info;\n"
+    "                        also settable via BEPI_LOG_LEVEL)\n";
+
 int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: bepi_cli <command> [flags]\n"
-      "  generate   --out=FILE (--dataset=NAME [--scale=X] |\n"
-      "             --nodes=N --edges=M [--deadends=F]) [--seed=S]\n"
-      "  stats      --graph=FILE\n"
-      "  preprocess --graph=FILE --model=FILE [--mode=bepi|bepi-s|bepi-b]\n"
-      "             [--k=0.2] [--c=0.05] [--tol=1e-9] [--checkpoint-dir=DIR]\n"
-      "             (--checkpoint-dir makes preprocessing kill-safe: rerun\n"
-      "             the same command after a crash to resume)\n"
-      "  query      --model=FILE --seed-node=ID [--topk=10]\n"
-      "             [--stats --num-queries=N]   latency percentiles over N\n"
-      "             consecutive seeds instead of a single ranking\n"
-      "  rank       --graph=FILE --seed-node=ID [--topk=10]\n"
-      "  verify-model --model=FILE   check every section's checksum\n"
-      "global flags:\n"
-      "  --no-fallbacks        disable the solver degradation chain\n"
-      "  --fault-inject=SPEC   arm fault sites, e.g.\n"
-      "                        ilu0.factor,gmres.stagnate:0:-1\n"
-      "                        (SITE[:skip[:count]] or SITE@prob[@seed])\n"
-      "  --metrics-out=FILE    enable metrics, write a JSON snapshot of all\n"
-      "                        counters/gauges/histograms on exit\n"
-      "  --trace-out=FILE      record trace spans, write Chrome trace-event\n"
-      "                        JSON on exit (load in ui.perfetto.dev)\n"
-      "  --log-level=LEVEL     debug|info|warning|error (default info;\n"
-      "                        also settable via BEPI_LOG_LEVEL)\n");
+  std::fprintf(stderr, "usage: bepi_cli <command> [flags]\n");
+  for (const CommandHelp& cmd : kCommands) {
+    std::fprintf(stderr, "  %s\n", cmd.synopsis);
+  }
+  std::fprintf(stderr, "%s", kGlobalFlagsHelp);
+  std::fprintf(stderr, "run `bepi_cli help <command>` for details.\n");
   return 2;
+}
+
+int CmdHelp(const std::string& topic) {
+  if (topic.empty()) return Usage();
+  for (const CommandHelp& cmd : kCommands) {
+    if (topic == cmd.name) {
+      std::fprintf(stdout, "%s%s", cmd.text, kGlobalFlagsHelp);
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", topic.c_str());
+  return Usage();
 }
 
 Result<Graph> LoadGraphFlag(const Flags& flags) {
@@ -291,11 +390,52 @@ int QueryLatencyStats(const BepiSolver& solver, index_t first_seed,
   return 0;
 }
 
+/// `query --seeds-file`: answers every seed in the file concurrently via
+/// BatchQueryEngine and prints one summary row per seed plus throughput.
+int QueryBatch(const BepiSolver& solver, const std::string& seeds_path) {
+  auto seeds = ReadSeedsFile(seeds_path);
+  if (!seeds.ok()) return Fail(seeds.status());
+  if (seeds->empty()) {
+    return Fail(Status::InvalidArgument("seeds file has no seeds"));
+  }
+  const index_t n = solver.decomposition().n;
+  for (index_t s : *seeds) {
+    if (s < 0 || s >= n) {
+      return Fail(Status::OutOfRange("seed " + std::to_string(s) +
+                                     " out of range [0, " +
+                                     std::to_string(n) + ")"));
+    }
+  }
+  BatchQueryEngine engine(solver);
+  auto batch = engine.Run(*seeds);
+  if (!batch.ok()) return Fail(batch.status());
+  Table table({"seed", "ms", "iterations", "top node", "score"});
+  for (std::size_t i = 0; i < seeds->size(); ++i) {
+    const auto top = TopK(batch->vectors[i], 1, (*seeds)[i]);
+    table.AddRow({Table::Int((*seeds)[i]),
+                  Table::Num(batch->stats[i].seconds * 1e3, 3),
+                  Table::Int(batch->stats[i].total_iterations),
+                  top.empty() ? "-" : Table::Int(top[0].first),
+                  top.empty() ? "-" : Table::Num(top[0].second, 6)});
+  }
+  table.Print();
+  std::printf("%zu queries in %.3f s (%.1f q/s, %d worker thread%s)\n",
+              seeds->size(), batch->seconds, batch->throughput_qps(),
+              ParallelContext::Global().num_threads(),
+              ParallelContext::Global().num_threads() == 1 ? "" : "s");
+  return 0;
+}
+
 int CmdQuery(const Flags& flags) {
   const std::string model_path = flags.GetString("model", "");
-  if (model_path.empty() || !flags.Has("seed-node")) return Usage();
+  const std::string seeds_file = flags.GetString("seeds-file", "");
+  if (model_path.empty() ||
+      (!flags.Has("seed-node") && seeds_file.empty())) {
+    return Usage();
+  }
   auto solver = BepiSolver::LoadFile(model_path);
   if (!solver.ok()) return Fail(solver.status());
+  if (!seeds_file.empty()) return QueryBatch(*solver, seeds_file);
   const index_t seed = flags.GetInt("seed-node", 0);
   if (flags.Has("stats")) {
     return QueryLatencyStats(*solver, seed, flags.GetInt("num-queries", 100));
@@ -326,13 +466,15 @@ int CmdRank(const Flags& flags) {
   return 0;
 }
 
-int RunCommand(const std::string& command, const Flags& flags) {
+int RunCommand(const std::string& command, const Flags& flags,
+               const std::string& help_topic) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "preprocess") return CmdPreprocess(flags);
   if (command == "query") return CmdQuery(flags);
   if (command == "rank") return CmdRank(flags);
   if (command == "verify-model") return CmdVerifyModel(flags);
+  if (command == "help") return CmdHelp(help_topic);
   return Usage();
 }
 
@@ -380,7 +522,17 @@ int main(int argc, char** argv) {
         flags.GetString("fault-inject", ""));
     if (!status.ok()) return Fail(status);
   }
-  int rc = RunCommand(command, flags);
+  if (flags.Has("threads")) {
+    bepi::Status status = bepi::ParallelContext::Global().SetNumThreads(
+        static_cast<int>(flags.GetInt("threads", 0)));
+    if (!status.ok()) return Fail(status);
+  }
+  // `help query` arrives as a bare positional, not a --flag (the command
+  // itself is argv[1], which Parse skips as the program-name slot).
+  const auto& positional = flags.positional();
+  const std::string help_topic =
+      command == "help" && !positional.empty() ? positional[0] : "";
+  int rc = RunCommand(command, flags, help_topic);
   const bepi::Status telemetry = WriteTelemetry(metrics_out, trace_out);
   if (!telemetry.ok() && rc == 0) rc = Fail(telemetry);
   return rc;

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Docs <-> binary cross-check: every --flag and BEPI_* environment
+# variable mentioned in README.md / docs/ must resolve to something real
+# (bepi_cli help output, a Flags lookup in the source tree, a known
+# third-party flag, or a getenv/macro in the source), and every
+# environment variable the code actually reads must be documented in
+# docs/OPERATIONS.md. Run by tools/ci.sh in the default configuration.
+#
+# Usage: tools/check_docs.sh [path/to/bepi_cli]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cli="${1:-}"
+if [ -z "$cli" ]; then
+  for candidate in build/tools/bepi_cli build-ci/default/tools/bepi_cli; do
+    [ -x "$candidate" ] && cli="$candidate" && break
+  done
+fi
+if [ -z "$cli" ] || [ ! -x "$cli" ]; then
+  echo "check_docs: bepi_cli binary not found (pass its path)" >&2
+  exit 2
+fi
+
+docs=(README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OPERATIONS.md)
+for doc in "${docs[@]}"; do
+  if [ ! -f "$doc" ]; then
+    echo "check_docs: missing documentation file $doc" >&2
+    exit 1
+  fi
+done
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# --- Known flags -----------------------------------------------------------
+# 1. Everything bepi_cli prints in its usage and per-command help.
+"$cli" help >"$workdir/help.txt" 2>&1 || true
+grep -E '^  [a-z][a-z-]+ ' "$workdir/help.txt" | awk '{print $1}' |
+  sort -u >"$workdir/commands.txt"
+while read -r cmd; do
+  "$cli" help "$cmd" >>"$workdir/help.txt" 2>&1 || true
+done <"$workdir/commands.txt"
+
+# 2. Every flag any binary in the tree looks up through common/flags.
+grep -rhoE '(GetString|GetInt|GetDouble|GetBool|Has)\("[a-z][a-z0-9_-]*"' \
+  src tools bench examples |
+  sed -E 's/.*\("([a-z][a-z0-9_-]*)"/--\1/' >"$workdir/known_flags.txt"
+grep -oE -- '--[a-z][a-z0-9_-]+' "$workdir/help.txt" >>"$workdir/known_flags.txt"
+# 3. Third-party flags legitimately mentioned in the docs: google
+#    benchmark's native flags, ctest options, cmake --build.
+cat >>"$workdir/known_flags.txt" <<'EOF'
+--benchmark_filter
+--benchmark_min_time
+--benchmark_out
+--benchmark_out_format
+--test-dir
+--output-on-failure
+--gtest_filter
+--build
+EOF
+sort -u "$workdir/known_flags.txt" -o "$workdir/known_flags.txt"
+
+grep -hoE -- '--[a-z][a-z0-9_-]+' "${docs[@]}" | sort -u \
+  >"$workdir/doc_flags.txt"
+
+bad_flags="$(comm -23 "$workdir/doc_flags.txt" "$workdir/known_flags.txt")"
+if [ -n "$bad_flags" ]; then
+  echo "check_docs: documented flags with no implementation:" >&2
+  echo "$bad_flags" >&2
+  exit 1
+fi
+
+# --- Known environment variables -------------------------------------------
+# getenv() calls, the BEPI_SANITIZE CMake cache variable, and BEPI_*
+# macro names (so prose about BEPI_CHECK etc. is not flagged as a
+# phantom env var).
+{
+  grep -rh 'getenv' src tools bench examples | grep -oE 'BEPI_[A-Z_]+' || true
+  echo "BEPI_SANITIZE"
+  grep -rhoE '#define (BEPI_[A-Z_]+)' src | awk '{print $2}'
+} | sort -u >"$workdir/known_envs.txt"
+
+grep -hoE 'BEPI_[A-Z_]+' "${docs[@]}" | sort -u >"$workdir/doc_envs.txt"
+
+# Prose like "the BEPI_METRIC_* macros" extracts as the prefix
+# "BEPI_METRIC_"; accept a doc token when it is a prefix of a known name.
+bad_envs="$(while read -r token; do
+  grep -q "^$token" "$workdir/known_envs.txt" || echo "$token"
+done <"$workdir/doc_envs.txt")"
+if [ -n "$bad_envs" ]; then
+  echo "check_docs: documented BEPI_* names the code never reads/defines:" >&2
+  echo "$bad_envs" >&2
+  exit 1
+fi
+
+# Reverse direction: every env var the code reads must be documented in
+# OPERATIONS.md (macros are exempt — they are API, not operations).
+undocumented="$(
+  {
+    grep -rh 'getenv' src tools bench examples | grep -oE 'BEPI_[A-Z_]+' || true
+    echo "BEPI_SANITIZE"
+  } | sort -u | while read -r var; do
+    grep -q "$var" docs/OPERATIONS.md || echo "$var"
+  done
+)"
+if [ -n "$undocumented" ]; then
+  echo "check_docs: env vars read by the code but absent from docs/OPERATIONS.md:" >&2
+  echo "$undocumented" >&2
+  exit 1
+fi
+
+# Every subcommand must be covered in OPERATIONS.md.
+missing_cmds="$(while read -r cmd; do
+  grep -q "### $cmd" docs/OPERATIONS.md || echo "$cmd"
+done <"$workdir/commands.txt")"
+if [ -n "$missing_cmds" ]; then
+  echo "check_docs: bepi_cli commands missing from docs/OPERATIONS.md:" >&2
+  echo "$missing_cmds" >&2
+  exit 1
+fi
+
+echo "check_docs: $(wc -l <"$workdir/doc_flags.txt") flags and" \
+  "$(wc -l <"$workdir/doc_envs.txt") BEPI_* names verified across" \
+  "${#docs[@]} documentation files"

@@ -14,14 +14,19 @@
 #   * telemetry: preprocess + query with --metrics-out/--trace-out, then
 #     the emitted JSON is parsed and probed for the expected solver
 #     counters, latency histogram and trace spans;
-#   * bench artifacts: bench_kernels and bench_fig1_query write
-#     BENCH_kernels.json / BENCH_fig1_query.json (smallest dataset scale)
-#     under build-ci/artifacts/, and both must parse.
+#   * bench artifacts: bench_kernels, bench_fig1_query and
+#     bench_fig5_scalability write BENCH_kernels.json /
+#     BENCH_fig1_query.json / BENCH_parallel_scaling.json (smallest
+#     dataset scale) under build-ci/artifacts/, and all must parse;
+#   * docs cross-check: tools/check_docs.sh verifies every flag and
+#     BEPI_* variable documented in README/docs against the binary and
+#     the source tree.
 #
 # The "thread" configuration is narrower than the others: it builds only
-# the concurrency-sensitive telemetry tests (test_metrics, test_trace)
-# under TSan and runs them directly — the registry's lock-free counters
-# and the per-thread trace buffers are where new data races would land.
+# the concurrency-sensitive tests (test_metrics, test_trace,
+# test_parallel) under TSan and runs them directly — the registry's
+# sharded counters, the per-thread trace buffers and the work-stealing
+# pool are where new data races would land.
 #
 # Usage: tools/ci.sh [default|address|undefined|thread ...]
 #   With no arguments all four configurations run.
@@ -138,6 +143,9 @@ bench_artifacts() {
     --benchmark_out_format=json >/dev/null
   "$build_dir/bench/bench_fig1_query" --scale=0.05 --queries=3 \
     --json-out="$out/BENCH_fig1_query.json" >/dev/null
+  "$build_dir/bench/bench_fig5_scalability" --scale=0.05 --slices=2 \
+    --queries=2 --threads=4 --batch=8 \
+    --json-out="$out/BENCH_parallel_scaling.json" >/dev/null
   python3 - "$out" <<'EOF'
 import json, sys
 out = sys.argv[1]
@@ -149,8 +157,16 @@ results = fig1["results"]
 assert results, "BENCH_fig1_query.json has no results"
 methods = {r["method"] for r in results}
 assert "bepi" in methods, sorted(methods)
+scaling = json.load(open(f"{out}/BENCH_parallel_scaling.json"))
+assert scaling["bench"] == "parallel_scaling", scaling.get("bench")
+srec = scaling["results"]
+assert srec, "BENCH_parallel_scaling.json has no results"
+widths = {r["method"] for r in srec}
+assert "threads=1" in widths and "threads=4" in widths, sorted(widths)
+ident = [r for r in srec if r["metric"] == "bit_identical"]
+assert ident and all(r["value"] == 1.0 for r in ident), ident
 print(f"    {len(kernels['benchmarks'])} kernel benchmarks, "
-      f"{len(results)} fig1 records")
+      f"{len(results)} fig1 records, {len(srec)} scaling records")
 EOF
 }
 
@@ -168,13 +184,16 @@ for config in "${configs[@]}"; do
   echo "=== [$config] configure ==="
   cmake -B "$build_dir" -S . -DBEPI_SANITIZE="$sanitize" >/dev/null
   if [ "$config" = thread ]; then
-    # TSan pass: only the telemetry tests, whose lock-free registry and
-    # per-thread trace buffers are the concurrency-bearing surface.
-    echo "=== [$config] build (test_metrics, test_trace) ==="
-    cmake --build "$build_dir" -j "$jobs" --target test_metrics test_trace
+    # TSan pass: the telemetry tests (sharded registry, per-thread trace
+    # buffers) and the parallel layer (work-stealing pool, TaskGroup,
+    # batched queries) are the concurrency-bearing surface.
+    echo "=== [$config] build (test_metrics, test_trace, test_parallel) ==="
+    cmake --build "$build_dir" -j "$jobs" \
+      --target test_metrics test_trace test_parallel
     echo "=== [$config] test ==="
     "$build_dir/tests/test_metrics"
     "$build_dir/tests/test_trace"
+    "$build_dir/tests/test_parallel"
     continue
   fi
   echo "=== [$config] build ==="
@@ -185,6 +204,8 @@ for config in "${configs[@]}"; do
     smoke_kill_resume "$build_dir/tools/bepi_cli"
     smoke_telemetry "$build_dir/tools/bepi_cli"
     bench_artifacts "$build_dir"
+    echo "=== docs cross-check ==="
+    tools/check_docs.sh "$build_dir/tools/bepi_cli"
   fi
 done
 
