@@ -30,6 +30,7 @@ void RunParallelScaling(const bepi::BepiSolver& solver,
                         const bepi::Graph& g, bepi::index_t batch_size,
                         int max_threads, bepi::bench::BenchJsonWriter* json) {
   using namespace bepi;
+  const int configured_threads = ParallelContext::Global().num_threads();
   Rng rng(20170514);
   std::vector<index_t> seeds;
   seeds.reserve(static_cast<std::size_t>(batch_size));
@@ -75,8 +76,10 @@ void RunParallelScaling(const bepi::BepiSolver& solver,
     }
   }
   table.Print();
-  // Restore the configured default for anything running after us.
-  BEPI_CHECK(ParallelContext::Global().SetNumThreads(0).ok());
+  // Restore the width that was configured before the sweep (e.g. by
+  // --threads), not the BEPI_THREADS/hardware default.
+  BEPI_CHECK(
+      ParallelContext::Global().SetNumThreads(configured_threads).ok());
 }
 
 }  // namespace

@@ -68,7 +68,14 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
   }
-  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Same hazard as shutdown in ~ThreadPool: a worker that read
+    // queued_==0 under sleep_mutex_ may not be blocked yet, so the
+    // increment must happen under the lock or the notify can be lost
+    // and the task never runs.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    queued_.fetch_add(1, std::memory_order_release);
+  }
   sleep_cv_.notify_one();
 }
 
@@ -277,15 +284,39 @@ real_t Reduce(index_t begin, index_t end, index_t grain,
   if (grain <= 0) grain = 1;
   const index_t count = end - begin;
   const index_t chunks = (count + grain - 1) / grain;
-  std::vector<real_t> partials(static_cast<std::size_t>(chunks));
+  // One chunk: the left-to-right chunk sum IS the pairwise combine of a
+  // single partial, so the result is bit-identical and the scratch vector
+  // is skipped entirely. This keeps sub-grain reductions (the GMRES inner
+  // loop's Dot/Norm calls on short vectors) allocation-free.
+  if (chunks <= 1) return chunk_fn(begin, end);
+  // Per-thread scratch so steady-state multi-chunk reductions don't
+  // allocate either. A chunk_fn that itself reduces on this thread would
+  // clobber the buffer, so only the outermost call on a thread borrows it;
+  // nested calls fall back to a local vector.
+  static thread_local std::vector<real_t> t_scratch;
+  static thread_local bool t_scratch_in_use = false;
+  struct ScratchLease {
+    bool owned = false;
+    ~ScratchLease() {
+      if (owned) t_scratch_in_use = false;
+    }
+  } lease;
+  std::vector<real_t> local;
+  std::vector<real_t>* partials = &local;
+  if (!t_scratch_in_use) {
+    t_scratch_in_use = true;
+    lease.owned = true;
+    partials = &t_scratch;
+  }
+  partials->assign(static_cast<std::size_t>(chunks), 0.0);
   ParallelFor(0, chunks, 1, [&](index_t cb, index_t ce) {
     for (index_t c = cb; c < ce; ++c) {
       const index_t b = begin + c * grain;
-      partials[static_cast<std::size_t>(c)] =
+      (*partials)[static_cast<std::size_t>(c)] =
           chunk_fn(b, std::min(end, b + grain));
     }
   });
-  return PairwiseCombine(&partials, combine);
+  return PairwiseCombine(partials, combine);
 }
 
 }  // namespace

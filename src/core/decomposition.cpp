@@ -498,8 +498,26 @@ Result<HubSpokeDecomposition> BuildDecomposition(
     Status status = Status::Ok();
   };
   ThreadPool* pool = ParallelContext::Global().pool();
-  const std::size_t batch_size =
+  const std::size_t max_batch_blocks =
       pool == nullptr ? 1 : 4 * static_cast<std::size_t>(pool->size());
+  // A whole batch of dense factors is alive at once (working copy plus
+  // L^{-1}/U^{-1}, each size^2 doubles per block), so batches are also
+  // capped by bytes: the memory budget's remaining headroom when one is
+  // set, a fixed default otherwise. A single block always proceeds — that
+  // matches the serial baseline's peak.
+  constexpr std::uint64_t kDefaultBatchBytes = 256ull << 20;
+  std::uint64_t batch_byte_cap = kDefaultBatchBytes;
+  if (budget != nullptr && !budget->unlimited()) {
+    const std::uint64_t headroom =
+        budget->budget_bytes() > budget->used_bytes()
+            ? budget->budget_bytes() - budget->used_bytes()
+            : 0;
+    batch_byte_cap = std::min(kDefaultBatchBytes, headroom);
+  }
+  const auto block_transient_bytes = [&dec](std::size_t b) {
+    const std::uint64_t s = static_cast<std::uint64_t>(dec.block_sizes[b]);
+    return 3 * s * s * static_cast<std::uint64_t>(sizeof(real_t));
+  };
   std::vector<index_t> block_starts(num_blocks, 0);
   {
     index_t start = 0;
@@ -508,10 +526,15 @@ Result<HubSpokeDecomposition> BuildDecomposition(
       start += dec.block_sizes[b];
     }
   }
-  for (std::size_t batch_begin = blocks_resumed; batch_begin < num_blocks;
-       batch_begin += batch_size) {
-    const std::size_t batch_end =
-        std::min(num_blocks, batch_begin + batch_size);
+  for (std::size_t batch_begin = blocks_resumed; batch_begin < num_blocks;) {
+    std::size_t batch_end = batch_begin + 1;
+    std::uint64_t batch_bytes = block_transient_bytes(batch_begin);
+    while (batch_end < num_blocks &&
+           batch_end - batch_begin < max_batch_blocks &&
+           batch_bytes + block_transient_bytes(batch_end) <= batch_byte_cap) {
+      batch_bytes += block_transient_bytes(batch_end);
+      ++batch_end;
+    }
     std::vector<BlockFactors> factors(batch_end - batch_begin);
     ParallelFor(
         static_cast<index_t>(batch_begin), static_cast<index_t>(batch_end), 1,
@@ -560,6 +583,7 @@ Result<HubSpokeDecomposition> BuildDecomposition(
         since_factor_ckpt.Restart();
       }
     }
+    batch_begin = batch_end;
   }
   BEPI_CHECK(block_start == dec.n1);
   BEPI_ASSIGN_OR_RETURN(dec.l1_inv, l1_coo.ToCsr());
