@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/bepi.hpp"
 #include "graph/generators.hpp"
@@ -14,7 +15,9 @@
 #include "solver/gmres.hpp"
 #include "solver/ilu0.hpp"
 #include "solver/sparse_lu.hpp"
+#include "solver/trisolve.hpp"
 #include "sparse/coo.hpp"
+#include "sparse/kernel.hpp"
 #include "sparse/spgemm.hpp"
 
 namespace {
@@ -53,6 +56,30 @@ CsrMatrix MakeDiagDominant(index_t n, index_t nnz_per_row) {
   return std::move(csr).value();
 }
 
+/// Attaches arithmetic and memory-traffic throughput counters; `flops` and
+/// `bytes` are the per-iteration totals.
+void SetKernelRates(benchmark::State& state, double flops, double bytes) {
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(flops, benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+  state.counters["GB/s"] =
+      benchmark::Counter(bytes, benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+}
+
+/// SpMV traffic model: one streaming pass over values + column indices +
+/// row pointers, plus `vec_rows_rw` accesses of the row-length vector and
+/// one read of the length-cols input vector. Mirrors the accounting behind
+/// the spmv.fused.bytes counter (sparse/kernel.cpp).
+double SpmvBytes(index_t rows, index_t cols, index_t nnz, bool compact,
+                 double vec_rows_rw) {
+  const double idx = compact ? 4.0 : 8.0;
+  return static_cast<double>(nnz) * (idx + 8.0) +
+         (static_cast<double>(rows) + 1.0) * idx +
+         (static_cast<double>(cols) + vec_rows_rw * static_cast<double>(rows)) *
+             8.0;
+}
+
 void BM_SpMV(benchmark::State& state) {
   const index_t n = state.range(0);
   Graph g = MakeGraph(n, 16 * n);
@@ -65,8 +92,73 @@ void BM_SpMV(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * at.nnz());
+  SetKernelRates(state, 2.0 * static_cast<double>(at.nnz()),
+                 SpmvBytes(at.rows(), at.cols(), at.nnz(), false, 1.0));
 }
 BENCHMARK(BM_SpMV)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+/// Wide vs compact KernelCsr SpMV on the same matrix — the bandwidth win
+/// of 12-byte nonzeros over 16-byte ones. Outputs are bit-identical; only
+/// the streamed index width differs.
+void RunKernelSpmv(benchmark::State& state, KernelPath path) {
+  const index_t n = state.range(0);
+  Graph g = MakeGraph(n, 16 * n);
+  CsrMatrix at = g.RowNormalizedAdjacency().Transpose();
+  const KernelCsr k = KernelCsr::Bind(at, path);
+  BEPI_CHECK(k.compact() == (path == KernelPath::kCompact));
+  Rng rng(1);
+  Vector x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.NextDouble();
+  Vector y(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    k.MultiplyInto(x, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * k.nnz());
+  SetKernelRates(state, 2.0 * static_cast<double>(k.nnz()),
+                 SpmvBytes(k.rows(), k.cols(), k.nnz(), k.compact(), 1.0));
+}
+void BM_KernelSpMVWide(benchmark::State& state) {
+  RunKernelSpmv(state, KernelPath::kWide);
+}
+void BM_KernelSpMVCompact(benchmark::State& state) {
+  RunKernelSpmv(state, KernelPath::kCompact);
+}
+BENCHMARK(BM_KernelSpMVWide)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+BENCHMARK(BM_KernelSpMVCompact)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+/// The GMRES restart-cycle residual, unfused (Multiply, then subtract)
+/// vs fused (ResidualInto, one pass). Same arithmetic, one fewer sweep
+/// over the length-n vectors.
+void RunResidual(benchmark::State& state, bool fused) {
+  const index_t n = state.range(0);
+  Graph g = MakeGraph(n, 16 * n);
+  CsrMatrix at = g.RowNormalizedAdjacency().Transpose();
+  const KernelCsr k = KernelCsr::Bind(at, KernelPath::kAuto);
+  Rng rng(1);
+  Vector x(static_cast<std::size_t>(n)), b(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.NextDouble();
+  for (auto& v : b) v = rng.NextDouble();
+  Vector y(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    if (fused) {
+      k.ResidualInto(x, b, &y);
+    } else {
+      k.MultiplyInto(x, &y);
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] = b[i] - y[i];
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * k.nnz());
+  // Fused reads b where the unfused form re-reads and re-writes y.
+  SetKernelRates(state, 2.0 * static_cast<double>(k.nnz() + k.rows()),
+                 SpmvBytes(k.rows(), k.cols(), k.nnz(), k.compact(),
+                           fused ? 2.0 : 4.0));
+}
+void BM_ResidualUnfused(benchmark::State& state) { RunResidual(state, false); }
+void BM_ResidualFused(benchmark::State& state) { RunResidual(state, true); }
+BENCHMARK(BM_ResidualUnfused)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+BENCHMARK(BM_ResidualFused)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
 
 void BM_SpGEMM(benchmark::State& state) {
   const index_t n = state.range(0);
@@ -99,6 +191,94 @@ void BM_Ilu0Factor(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * a.nnz());
 }
 BENCHMARK(BM_Ilu0Factor)->Arg(1 << 12)->Arg(1 << 14);
+
+/// Lower-triangular matrix with short random dependency chains — the kind
+/// of pattern ILU(0) factors of a hub-reordered Schur complement have:
+/// many independent rows per topological level.
+CsrMatrix MakeLowerTriangular(index_t n, index_t nnz_per_row) {
+  Rng rng(99);
+  CooMatrix coo(n, n);
+  for (index_t r = 1; r < n; ++r) {
+    for (index_t k = 0; k < nnz_per_row; ++k) {
+      coo.Add(r, rng.UniformIndex(0, r - 1), rng.NextDouble() - 0.5);
+    }
+  }
+  for (index_t r = 0; r < n; ++r) coo.Add(r, r, 4.0);
+  auto csr = coo.ToCsr();
+  BEPI_CHECK(csr.ok());
+  return std::move(csr).value();
+}
+
+double TrisolveBytes(const CsrMatrix& m) {
+  return static_cast<double>(m.nnz()) * 16.0 +
+         (static_cast<double>(m.rows()) + 1.0) * 8.0 +
+         2.0 * static_cast<double>(m.rows()) * 8.0;
+}
+
+/// Serial vs level-scheduled forward substitution. The level-scheduled
+/// variant runs on a 4-thread pool (restored to the default afterwards);
+/// both produce bit-identical solutions.
+void RunTrisolve(benchmark::State& state, bool levels) {
+  const index_t n = state.range(0);
+  CsrMatrix l = MakeLowerTriangular(n, 8);
+  const LevelSchedule sched = LevelSchedule::BuildLower(l);
+  if (levels) {
+    BEPI_CHECK(ParallelContext::Global().SetNumThreads(4).ok());
+  }
+  Rng rng(2);
+  Vector b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.NextDouble();
+  for (auto _ : state) {
+    auto x = SolveLowerCsr(l, b, /*unit_diagonal=*/false,
+                           levels ? &sched : nullptr);
+    benchmark::DoNotOptimize(x->data());
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+  SetKernelRates(state, 2.0 * static_cast<double>(l.nnz()), TrisolveBytes(l));
+  state.counters["levels"] = static_cast<double>(sched.num_levels());
+  if (levels) {
+    BEPI_CHECK(ParallelContext::Global().SetNumThreads(0).ok());
+  }
+}
+void BM_TrisolveSerial(benchmark::State& state) { RunTrisolve(state, false); }
+void BM_TrisolveLevels(benchmark::State& state) { RunTrisolve(state, true); }
+BENCHMARK(BM_TrisolveSerial)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+BENCHMARK(BM_TrisolveLevels)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+/// The full preconditioner application z = U \ (L \ r): plain serial Apply
+/// vs the kernel-enabled form (level schedules + compact index sidecar) on
+/// a 4-thread pool.
+void RunIlu0Apply(benchmark::State& state, bool kernels) {
+  const index_t n = state.range(0);
+  CsrMatrix a = MakeDiagDominant(n, 12);
+  auto ilu = Ilu0::Factor(a);
+  BEPI_CHECK(ilu.ok());
+  if (kernels) {
+    ilu->EnableKernels(KernelPath::kAuto);
+    BEPI_CHECK(ParallelContext::Global().SetNumThreads(4).ok());
+  }
+  Rng rng(2);
+  Vector r(static_cast<std::size_t>(n));
+  for (auto& v : r) v = rng.NextDouble();
+  Vector z(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    ilu->Apply(r, &z);
+    benchmark::DoNotOptimize(z.data());
+  }
+  const CsrMatrix& f = ilu->factors();
+  state.SetItemsProcessed(state.iterations() * f.nnz());
+  SetKernelRates(state, 2.0 * static_cast<double>(f.nnz()),
+                 static_cast<double>(f.nnz()) *
+                         (8.0 + (ilu->compact() ? 4.0 : 8.0)) +
+                     4.0 * static_cast<double>(f.rows()) * 8.0);
+  if (kernels) {
+    BEPI_CHECK(ParallelContext::Global().SetNumThreads(0).ok());
+  }
+}
+void BM_Ilu0ApplySerial(benchmark::State& state) { RunIlu0Apply(state, false); }
+void BM_Ilu0ApplyLevels(benchmark::State& state) { RunIlu0Apply(state, true); }
+BENCHMARK(BM_Ilu0ApplySerial)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+BENCHMARK(BM_Ilu0ApplyLevels)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
 
 void BM_GmresSolve(benchmark::State& state) {
   const index_t n = state.range(0);

@@ -115,9 +115,44 @@ Status BepiSolver::Preprocess(const Graph& g, CheckpointManager* checkpoints) {
     info_.ilu_seconds = ilu_timer.Seconds();
   }
   inverse_perm_ = InversePermutation(dec_.perm);
+  BindQueryKernels();
   preprocess_seconds_ = total_timer.Seconds();
   preprocessed_ = true;
   return Status::Ok();
+}
+
+void BepiSolver::BindQueryKernels() {
+  KernelPath requested = GlobalKernelPath();
+  if (requested == KernelPath::kAuto && loaded_path_.has_value()) {
+    // The model records the path it was preprocessed with; an unforced
+    // load honors it (a --kernel/BEPI_KERNEL request still wins).
+    requested = *loaded_path_;
+  }
+  kernels_ = std::make_unique<DecompositionKernels>(
+      BindDecompositionKernels(dec_, requested));
+  if (ilu_.has_value()) {
+    if (loaded_lower_.has_value() && loaded_upper_.has_value()) {
+      if (!ilu_->AdoptSchedules(std::move(*loaded_lower_),
+                                std::move(*loaded_upper_), kernels_->path)) {
+        BEPI_LOG(Warning) << "model kernel schedules failed validation "
+                          << "against the recomputed ILU(0) pattern; rebuilt";
+      }
+    } else {
+      ilu_->EnableKernels(kernels_->path);
+    }
+  }
+  loaded_path_.reset();
+  loaded_lower_.reset();
+  loaded_upper_.reset();
+  BEPI_LOG(Info) << "kernel path " << KernelPathName(kernels_->path) << " ("
+                 << kernels_->reason << ")";
+  if (MetricsEnabled()) {
+    // 1 = compact, 0 = wide; alongside the log line this makes the chosen
+    // path observable in scraped metrics.
+    MetricsRegistry::Global()
+        .GetGauge("model.kernel_path")
+        ->Set(kernels_->path == KernelPath::kCompact ? 1.0 : 0.0);
+  }
 }
 
 Result<Vector> BepiSolver::Query(index_t seed, QueryStats* stats) const {
@@ -189,13 +224,18 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
   TraceSpan query_span("query");
   const index_t n1 = dec_.n1, n2 = dec_.n2, n3 = dec_.n3;
 
+  // Everything below runs on the bound kernel views (compact or wide —
+  // same results either way; see sparse/kernel.hpp).
+  BEPI_CHECK(kernels_ != nullptr);
+  const DecompositionKernels& kern = *kernels_;
+
   // q2~ = c q2 - H21 (U1^{-1} (L1^{-1} (c q1)))  (Algorithm 4, line 3).
   Vector q2_tilde = cq2;
   {
     TraceSpan rhs_span("query.rhs_build");
     if (n1 > 0) {
-      const Vector h11inv_cq1 = dec_.ApplyH11Inverse(cq1);
-      dec_.h21.MultiplyAdd(-1.0, h11inv_cq1, &q2_tilde);
+      const Vector h11inv_cq1 = kern.ApplyH11Inverse(cq1);
+      kern.h21.MultiplyAdd(-1.0, h11inv_cq1, &q2_tilde);
     }
   }
 
@@ -222,7 +262,7 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
         BicgstabOptions bi;
         bi.tol = options_.tolerance;
         bi.max_iters = options_.max_iterations;
-        CsrOperator op(dec_.schur);
+        KernelCsrOperator op(kern.schur);
         const Preconditioner* m = ilu_.has_value() ? &*ilu_ : nullptr;
         BEPI_ASSIGN_OR_RETURN(Vector x, Bicgstab(op, q2_tilde, bi, &ss, m));
         SolveAttempt attempt;
@@ -239,7 +279,9 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
         }
         return x;
       }
-      ResilientSchurSolver schur_solver(dec_.schur, preconditioner(), ropts);
+      KernelCsrOperator schur_op(kern.schur);
+      ResilientSchurSolver schur_solver(dec_.schur, preconditioner(), ropts,
+                                        &schur_op);
       return schur_solver.Solve(q2_tilde, &report);
     }();
     schur_span.reset();
@@ -275,14 +317,14 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
     // r1 = U1^{-1} (L1^{-1} (c q1 - H12 r2))  (line 5).
     if (n1 > 0) {
       Vector rhs1 = cq1;
-      dec_.h12.MultiplyAdd(-1.0, r2, &rhs1);
-      r1 = dec_.ApplyH11Inverse(rhs1);
+      kern.h12.MultiplyAdd(-1.0, r2, &rhs1);
+      r1 = kern.ApplyH11Inverse(rhs1);
     }
     // r3 = c q3 - H31 r1 - H32 r2  (line 6).
     r3 = cq3;
     if (n3 > 0) {
-      if (n1 > 0) dec_.h31.MultiplyAdd(-1.0, r1, &r3);
-      if (n2 > 0) dec_.h32.MultiplyAdd(-1.0, r2, &r3);
+      if (n1 > 0) kern.h31.MultiplyAdd(-1.0, r1, &r3);
+      if (n2 > 0) kern.h32.MultiplyAdd(-1.0, r2, &r3);
     }
   }
 
@@ -337,6 +379,9 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
 std::uint64_t BepiSolver::PreprocessedBytes() const {
   std::uint64_t bytes = dec_.CommonBytes() + dec_.schur.ByteSize();
   if (ilu_.has_value()) bytes += ilu_->ByteSize();
+  // The compact path is not free: its uint32 index sidecars live alongside
+  // the wide arrays and belong in the reported footprint.
+  if (kernels_ != nullptr) bytes += kernels_->OwnedBytes();
   return bytes;
 }
 
@@ -400,6 +445,44 @@ Status ParseModelOptions(std::istream& in, BepiOptions* options) {
 /// caps n before the resize: each entry takes at least two bytes of input,
 /// so a size line claiming more entries than bytes is rejected without
 /// allocating (allocation-bomb hardening, satellite of the v3 work).
+void WriteSchedule(std::ostream& out, const char* label,
+                   const LevelSchedule& s) {
+  out << label << " " << s.num_levels() << " " << s.num_rows() << "\n";
+  for (std::size_t i = 0; i < s.level_ptr().size(); ++i) {
+    out << s.level_ptr()[i] << (i + 1 == s.level_ptr().size() ? '\n' : ' ');
+  }
+  for (std::size_t i = 0; i < s.rows().size(); ++i) {
+    out << s.rows()[i] << (i + 1 == s.rows().size() ? '\n' : ' ');
+  }
+}
+
+Result<LevelSchedule> ParseSchedule(std::istream& in, const char* label,
+                                    std::int64_t limit_bytes) {
+  std::string tag;
+  index_t num_levels = 0, num_rows = 0;
+  in >> tag >> num_levels >> num_rows;
+  if (!in || tag != label || num_levels < 0 || num_rows < 0) {
+    return Status::IoError(std::string("malformed '") + label +
+                           "' level schedule header");
+  }
+  // Each persisted entry takes at least two bytes; reject count bombs
+  // before allocating (same hardening as ParseSizesAndPerm).
+  if (limit_bytes >= 0 && num_levels + num_rows > limit_bytes / 2 + 1) {
+    return Status::IoError(std::string("'") + label +
+                           "' level schedule claims more entries than the "
+                           "section holds");
+  }
+  std::vector<index_t> level_ptr(static_cast<std::size_t>(num_levels) + 1);
+  for (index_t& v : level_ptr) in >> v;
+  std::vector<index_t> rows(static_cast<std::size_t>(num_rows));
+  for (index_t& v : rows) in >> v;
+  if (!in) {
+    return Status::IoError(std::string("malformed '") + label +
+                           "' level schedule data");
+  }
+  return LevelSchedule::FromParts(std::move(level_ptr), std::move(rows));
+}
+
 Status ParseSizesAndPerm(std::istream& in, std::int64_t limit_bytes,
                          HubSpokeDecomposition* dec) {
   in >> dec->n >> dec->n1 >> dec->n2 >> dec->n3;
@@ -450,6 +533,20 @@ Status BepiSolver::Save(std::ostream& out) const {
     BEPI_RETURN_IF_ERROR(WriteMatrixMarket(dec_.*spec.member, payload));
     BEPI_RETURN_IF_ERROR(writer.Add(spec.name, payload.str()));
   }
+  // Kernel-layer state, appended last so pre-kernel readers (which drain
+  // unknown trailing sections) still load the model. Records the resolved
+  // path and, when the preconditioner is armed, the ILU(0) level schedules
+  // so a loading server skips recomputing them. Everything here is derived
+  // deterministically from the matrices above, keeping Save byte-stable.
+  if (kernels_ != nullptr) {
+    std::ostringstream payload;
+    payload << "path " << KernelPathName(kernels_->path) << "\n";
+    if (ilu_.has_value() && ilu_->has_schedules()) {
+      WriteSchedule(payload, "lower", *ilu_->lower_levels());
+      WriteSchedule(payload, "upper", *ilu_->upper_levels());
+    }
+    BEPI_RETURN_IF_ERROR(writer.Add("kernel", payload.str()));
+  }
   BEPI_RETURN_IF_ERROR(writer.Finish());
   if (!out) return Status::IoError("failed writing BePI model stream");
   return Status::Ok();
@@ -492,10 +589,36 @@ Result<BepiSolver> BepiSolver::LoadV3(std::istream& in) {
         ReadMatrixMarket(matrix_in, dec.*spec.rows, dec.*spec.cols));
   }
   // Drain to the manifest so tail truncation and directory mismatches are
-  // caught even though all expected sections were present.
+  // caught even though all expected sections were present. The optional
+  // "kernel" section (newer writers) is picked up here; anything else
+  // unknown is skipped for forward compatibility.
   while (!reader.done()) {
     BEPI_ASSIGN_OR_RETURN(std::optional<Section> extra, reader.Next());
-    (void)extra;
+    if (!extra.has_value() || extra->name != "kernel") continue;
+    std::istringstream kernel_in(extra->payload);
+    std::string tag, path_name;
+    if (kernel_in >> tag >> path_name && tag == "path") {
+      Result<KernelPath> path = ParseKernelPath(path_name);
+      if (path.ok()) {
+        solver.loaded_path_ = *path;
+      } else {
+        BEPI_LOG(Warning) << "ignoring unknown kernel path '" << path_name
+                          << "' in model kernel section";
+      }
+    } else {
+      BEPI_LOG(Warning) << "malformed model kernel section; ignoring";
+      continue;
+    }
+    // Schedules are optional (absent when the model has no armed ILU);
+    // unreadable ones are simply rebuilt at bind time.
+    const std::int64_t limit =
+        static_cast<std::int64_t>(extra->payload.size());
+    Result<LevelSchedule> lower = ParseSchedule(kernel_in, "lower", limit);
+    if (!lower.ok()) continue;
+    Result<LevelSchedule> upper = ParseSchedule(kernel_in, "upper", limit);
+    if (!upper.ok()) continue;
+    solver.loaded_lower_ = std::move(lower).value();
+    solver.loaded_upper_ = std::move(upper).value();
   }
   BEPI_RETURN_IF_ERROR(solver.FinalizeLoaded());
   return solver;
@@ -557,6 +680,7 @@ Status BepiSolver::FinalizeLoaded() {
   info_.n3 = dec_.n3;
   info_.schur_nnz = dec_.schur.nnz();
   info_.ilu_skipped = ilu_skipped;
+  BindQueryKernels();
   preprocessed_ = true;
   return Status::Ok();
 }

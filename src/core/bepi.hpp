@@ -106,6 +106,9 @@ class BepiSolver final : public RwrSolver {
   const Ilu0* preconditioner() const {
     return ilu_.has_value() ? &*ilu_ : nullptr;
   }
+  /// The bound kernel layer (sparse/kernel.hpp): path, selection reason
+  /// and the per-matrix views. Null before Preprocess/Load.
+  const DecompositionKernels* kernels() const { return kernels_.get(); }
   real_t effective_hub_ratio() const { return effective_hub_ratio_; }
 
   /// Serializes the preprocessed model (options, permutation and the
@@ -131,11 +134,25 @@ class BepiSolver final : public RwrSolver {
   /// Shared tail of every Load path: recompute the ILU(0) preconditioner,
   /// invert the permutation, rebuild the structural info fields.
   Status FinalizeLoaded();
+  /// Resolves --kernel/BEPI_KERNEL against the matrices, binds the
+  /// DecompositionKernels views, arms the ILU(0) level schedules (adopting
+  /// loaded ones when valid) and publishes the model.kernel_path gauge.
+  /// Runs at the end of Preprocess and of every Load.
+  void BindQueryKernels();
 
   BepiOptions options_;
   real_t effective_hub_ratio_ = 0.0;
   HubSpokeDecomposition dec_;
   std::optional<Ilu0> ilu_;
+  /// Kernel views over dec_/ilu_. unique_ptr rather than a value so the
+  /// solver stays movable without rebinding: the views point into vector
+  /// heap buffers, which moves do not relocate.
+  std::unique_ptr<DecompositionKernels> kernels_;
+  /// State restored from a model's "kernel" section; consumed (and the
+  /// schedules validated against the recomputed ILU factors) by
+  /// BindQueryKernels.
+  std::optional<KernelPath> loaded_path_;
+  std::optional<LevelSchedule> loaded_lower_, loaded_upper_;
   Permutation inverse_perm_;  // new -> old
   BepiPreprocessInfo info_;
   bool preprocessed_ = false;

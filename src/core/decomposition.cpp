@@ -259,6 +259,46 @@ std::uint64_t HubSpokeDecomposition::CommonBytes() const {
          h21.ByteSize() + h31.ByteSize() + h32.ByteSize();
 }
 
+Vector DecompositionKernels::ApplyH11Inverse(const Vector& v) const {
+  return u1_inv.Multiply(l1_inv.Multiply(v));
+}
+
+std::uint64_t DecompositionKernels::OwnedBytes() const {
+  return l1_inv.ByteSize() + u1_inv.ByteSize() + h12.ByteSize() +
+         h21.ByteSize() + h31.ByteSize() + h32.ByteSize() + schur.ByteSize();
+}
+
+DecompositionKernels BindDecompositionKernels(const HubSpokeDecomposition& dec,
+                                              KernelPath requested) {
+  DecompositionKernels k;
+  const bool fits = FitsCompact(dec.l1_inv) && FitsCompact(dec.u1_inv) &&
+                    FitsCompact(dec.h12) && FitsCompact(dec.h21) &&
+                    FitsCompact(dec.h31) && FitsCompact(dec.h32) &&
+                    FitsCompact(dec.schur);
+  if (requested == KernelPath::kWide) {
+    k.path = KernelPath::kWide;
+    k.reason = "wide requested";
+  } else if (fits) {
+    k.path = KernelPath::kCompact;
+    k.reason = requested == KernelPath::kCompact
+                   ? "compact requested"
+                   : "auto: all query matrices fit 32-bit indices";
+  } else {
+    k.path = KernelPath::kWide;
+    k.reason = requested == KernelPath::kCompact
+                   ? "compact requested but matrices exceed 32-bit limits"
+                   : "auto: matrices exceed 32-bit limits";
+  }
+  k.l1_inv = KernelCsr::Bind(dec.l1_inv, k.path);
+  k.u1_inv = KernelCsr::Bind(dec.u1_inv, k.path);
+  k.h12 = KernelCsr::Bind(dec.h12, k.path);
+  k.h21 = KernelCsr::Bind(dec.h21, k.path);
+  k.h31 = KernelCsr::Bind(dec.h31, k.path);
+  k.h32 = KernelCsr::Bind(dec.h32, k.path);
+  k.schur = KernelCsr::Bind(dec.schur, k.path);
+  return k;
+}
+
 Result<HubSpokeDecomposition> BuildDecomposition(
     const Graph& g, const DecompositionOptions& options, MemoryBudget* budget,
     CheckpointManager* checkpoints) {

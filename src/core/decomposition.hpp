@@ -8,11 +8,14 @@
 #ifndef BEPI_CORE_DECOMPOSITION_HPP_
 #define BEPI_CORE_DECOMPOSITION_HPP_
 
+#include <string>
+
 #include "common/status.hpp"
 #include "core/budget.hpp"
 #include "graph/graph.hpp"
 #include "graph/slashburn.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/kernel.hpp"
 #include "sparse/permute.hpp"
 
 namespace bepi {
@@ -73,6 +76,32 @@ struct HubSpokeDecomposition {
   /// (excluding S itself, whose treatment differs between BePI and Bear).
   std::uint64_t CommonBytes() const;
 };
+
+/// Kernel-ready views over the query-phase matrices of a decomposition
+/// (sparse/kernel.hpp): one Bind decision covers all of them, so a query
+/// never mixes compact and wide kernels. Non-owning — the decomposition
+/// must outlive this object and not be structurally modified.
+struct DecompositionKernels {
+  /// The resolved path (kWide or kCompact, never kAuto) and a short
+  /// human-readable reason, surfaced in the preprocessing log line and the
+  /// CLI output.
+  KernelPath path = KernelPath::kWide;
+  std::string reason;
+
+  KernelCsr l1_inv, u1_inv, h12, h21, h31, h32, schur;
+
+  /// U1^{-1} (L1^{-1} v) through the bound kernels.
+  Vector ApplyH11Inverse(const Vector& v) const;
+
+  /// Bytes owned on top of the decomposition (the compact index sidecars).
+  std::uint64_t OwnedBytes() const;
+};
+
+/// Binds kernels for the query path: compact when `requested` is kCompact
+/// or kAuto and *every* bound matrix fits the 32-bit limits, wide
+/// otherwise (a kCompact request that does not fit falls back to wide).
+DecompositionKernels BindDecompositionKernels(const HubSpokeDecomposition& dec,
+                                              KernelPath requested);
 
 class CheckpointManager;
 

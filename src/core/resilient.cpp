@@ -47,15 +47,17 @@ void FinishHopSpan(TraceSpan* span, const SolveAttempt& attempt) {
 
 ResilientSchurSolver::ResilientSchurSolver(const CsrMatrix& schur,
                                            const Ilu0* ilu,
-                                           ResilientSolveOptions options)
-    : schur_(schur), ilu_(ilu), options_(options) {}
+                                           ResilientSolveOptions options,
+                                           const LinearOperator* op)
+    : schur_(schur), ilu_(ilu), options_(options), op_(op) {}
 
 Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
                                            QueryReport* report) const {
   if (static_cast<index_t>(b.size()) != schur_.rows()) {
     return Status::InvalidArgument("Schur rhs size mismatch");
   }
-  CsrOperator op(schur_);
+  CsrOperator fallback_op(schur_);
+  const LinearOperator& op = op_ != nullptr ? *op_ : fallback_op;
   GmresOptions gm;
   gm.tol = options_.tol;
   gm.max_iters = options_.max_iters;

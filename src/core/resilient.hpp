@@ -47,9 +47,14 @@ struct ResilientSolveOptions {
 class ResilientSchurSolver {
  public:
   /// `ilu` may be null (BePI-B/S modes, or after an ILU(0) breakdown at
-  /// preprocessing time); the chain then starts at the Jacobi hop.
+  /// preprocessing time); the chain then starts at the Jacobi hop. `op`,
+  /// when non-null, is the operator the Krylov hops apply instead of a
+  /// plain CsrOperator over `schur` — BepiSolver passes the bound
+  /// KernelCsrOperator so the hops run the compact/fused kernels. It must
+  /// represent exactly S (the Jacobi hop still reads `schur` directly).
   ResilientSchurSolver(const CsrMatrix& schur, const Ilu0* ilu,
-                       ResilientSolveOptions options);
+                       ResilientSolveOptions options,
+                       const LinearOperator* op = nullptr);
 
   /// Runs hops 1-3, appending one SolveAttempt per hop to `report`.
   /// Returns the first converged solution; a non-ok Status (kNotConverged)
@@ -61,6 +66,7 @@ class ResilientSchurSolver {
   const CsrMatrix& schur_;
   const Ilu0* ilu_;
   ResilientSolveOptions options_;
+  const LinearOperator* op_;
 };
 
 /// Whether `dec` retains the blocks needed by GlobalPowerFallback (models

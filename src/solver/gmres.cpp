@@ -142,13 +142,11 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
     // from, so a trace shows the convergence history cycle by cycle.
     TraceSpan cycle_span("gmres.restart_cycle");
     ++cycles;
-    // Preconditioned residual r = M^{-1}(b - A x).
-    a.Apply(x, &tmp);
-    ws.raw.resize(static_cast<std::size_t>(n));
-    for (index_t i = 0; i < n; ++i) {
-      ws.raw[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)] -
-                                            tmp[static_cast<std::size_t>(i)];
-    }
+    // Preconditioned residual r = M^{-1}(b - A x). ApplyResidual is the
+    // fused SpMV+axpy kernel for operators that provide one; its contract
+    // (solver/operator.hpp) keeps the result bitwise equal to the unfused
+    // Apply-then-subtract this replaces.
+    a.ApplyResidual(x, b, &ws.raw);
     Vector& r = basis_slot(0);
     ApplyPrecond(m, ws.raw, &r);
     real_t beta = Norm2(r);
@@ -182,14 +180,28 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
     index_t k = 0;
     for (; k < restart && total_iters < options.max_iters; ++k, ++total_iters) {
       // Arnoldi step: w = M^{-1} A v_k, orthogonalized against the basis.
-      a.Apply(basis[static_cast<std::size_t>(k)], &tmp);
+      // Unpreconditioned, w is A v_k itself, so the first orthogonalization
+      // coefficient <w, v_1> rides along with the SpMV (fused SpMV+dot);
+      // the ApplyAndDot contract keeps it bitwise equal to the separate
+      // Dot it replaces.
       Vector& w = basis_slot(static_cast<std::size_t>(k) + 1);
-      ApplyPrecond(m, tmp, &w);
+      real_t h0k = 0.0;
+      bool fused_h0k = false;
+      if (m == nullptr) {
+        h0k = a.ApplyAndDot(basis[static_cast<std::size_t>(k)], basis[0], &w);
+        fused_h0k = true;
+      } else {
+        a.Apply(basis[static_cast<std::size_t>(k)], &tmp);
+        ApplyPrecond(m, tmp, &w);
+      }
       if (n > 0 && BEPI_FAULT_INJECTED(fault_sites::kGmresNan)) {
         w[0] = std::numeric_limits<real_t>::quiet_NaN();
+        fused_h0k = false;  // the fused dot predates the NaN; recompute
       }
       for (index_t i = 0; i <= k; ++i) {
-        const real_t hik = Dot(w, basis[static_cast<std::size_t>(i)]);
+        const real_t hik = (i == 0 && fused_h0k)
+                               ? h0k
+                               : Dot(w, basis[static_cast<std::size_t>(i)]);
         h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = hik;
         Axpy(-hik, basis[static_cast<std::size_t>(i)], &w);
       }

@@ -1,10 +1,12 @@
 #include "solver/ilu0.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/faultinject.hpp"
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
 
 namespace bepi {
 namespace {
@@ -16,6 +18,80 @@ constexpr real_t kPivotFloor = 1e-30;
 
 bool UsablePivot(real_t pivot) {
   return std::isfinite(pivot) && std::fabs(pivot) > kPivotFloor;
+}
+
+// Rows per chunk inside one level (fixed, thread-count-independent — same
+// rationale as kLevelGrain in solver/trisolve.cpp).
+constexpr index_t kLevelGrain = 256;
+
+// One row of the forward solve L y = r on the combined factor storage
+// (unit diagonal; L entries are those left of the diagonal position).
+// Templated over the index type so the compact uint32 sidecar and the wide
+// int64 arrays run the same code — and therefore the same arithmetic.
+template <typename I>
+inline void ForwardRow(const real_t* values, const I* row_ptr,
+                       const I* col_idx, const I* diag_pos, index_t i,
+                       Vector* z) {
+  real_t sum = (*z)[static_cast<std::size_t>(i)];
+  for (I p = row_ptr[i]; p < diag_pos[i]; ++p) {
+    sum -= values[p] * (*z)[static_cast<std::size_t>(col_idx[p])];
+  }
+  (*z)[static_cast<std::size_t>(i)] = sum;
+}
+
+// One row of the backward solve U z = y.
+template <typename I>
+inline void BackwardRow(const real_t* values, const I* row_ptr,
+                        const I* col_idx, const I* diag_pos, index_t i,
+                        Vector* z) {
+  real_t sum = (*z)[static_cast<std::size_t>(i)];
+  const I dp = diag_pos[i];
+  for (I p = dp + 1; p < row_ptr[i + 1]; ++p) {
+    sum -= values[p] * (*z)[static_cast<std::size_t>(col_idx[p])];
+  }
+  (*z)[static_cast<std::size_t>(i)] = sum / values[dp];
+}
+
+// Full two-solve Apply body. With schedules, each level's rows run in
+// parallel; per-row arithmetic is unchanged, so the result is bit-identical
+// to the serial loops at any thread count.
+template <typename I>
+void SolveFactors(const real_t* values, const I* row_ptr, const I* col_idx,
+                  const I* diag_pos, index_t n, const LevelSchedule* lower,
+                  const LevelSchedule* upper, Vector* z) {
+  if (lower != nullptr && upper != nullptr) {
+    const std::vector<index_t>& llp = lower->level_ptr();
+    const std::vector<index_t>& lrows = lower->rows();
+    for (index_t lv = 0; lv < lower->num_levels(); ++lv) {
+      ParallelFor(llp[static_cast<std::size_t>(lv)],
+                  llp[static_cast<std::size_t>(lv) + 1], kLevelGrain,
+                  [&](index_t pb, index_t pe) {
+                    for (index_t p = pb; p < pe; ++p) {
+                      ForwardRow(values, row_ptr, col_idx, diag_pos,
+                                 lrows[static_cast<std::size_t>(p)], z);
+                    }
+                  });
+    }
+    const std::vector<index_t>& ulp = upper->level_ptr();
+    const std::vector<index_t>& urows = upper->rows();
+    for (index_t lv = 0; lv < upper->num_levels(); ++lv) {
+      ParallelFor(ulp[static_cast<std::size_t>(lv)],
+                  ulp[static_cast<std::size_t>(lv) + 1], kLevelGrain,
+                  [&](index_t pb, index_t pe) {
+                    for (index_t p = pb; p < pe; ++p) {
+                      BackwardRow(values, row_ptr, col_idx, diag_pos,
+                                  urows[static_cast<std::size_t>(p)], z);
+                    }
+                  });
+    }
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) {
+    ForwardRow(values, row_ptr, col_idx, diag_pos, i, z);
+  }
+  for (index_t i = n - 1; i >= 0; --i) {
+    BackwardRow(values, row_ptr, col_idx, diag_pos, i, z);
+  }
 }
 
 }  // namespace
@@ -113,30 +189,68 @@ void Ilu0::Apply(const Vector& r, Vector* z) const {
                      static_cast<std::uint64_t>(n));
   }
   z->assign(r.begin(), r.end());
-  const auto& row_ptr = factors_.row_ptr();
-  const auto& col_idx = factors_.col_idx();
-  const auto& values = factors_.values();
-  // Forward solve L y = r (unit diagonal; L entries are those left of the
-  // diagonal position).
-  for (index_t i = 0; i < n; ++i) {
-    real_t sum = (*z)[static_cast<std::size_t>(i)];
-    for (index_t p = row_ptr[static_cast<std::size_t>(i)];
-         p < diag_pos_[static_cast<std::size_t>(i)]; ++p) {
-      sum -= values[static_cast<std::size_t>(p)] *
-             (*z)[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(p)])];
-    }
-    (*z)[static_cast<std::size_t>(i)] = sum;
+  // Level schedules are only worth the row indirection when there is a
+  // thread pool to spread the levels over; nested calls (already on a
+  // worker thread) run the plain serial loops. Either way the output is
+  // bit-identical — only the traversal order across independent rows moves.
+  const bool parallel = has_schedules() &&
+                        ParallelContext::Global().pool() != nullptr &&
+                        !ThreadPool::OnWorkerThread();
+  const LevelSchedule* lower = parallel ? &lower_levels_ : nullptr;
+  const LevelSchedule* upper = parallel ? &upper_levels_ : nullptr;
+  if (compact_) {
+    SolveFactors<std::uint32_t>(factors_.values().data(), row_ptr32_.data(),
+                                col_idx32_.data(), diag_pos32_.data(), n,
+                                lower, upper, z);
+  } else {
+    SolveFactors<index_t>(factors_.values().data(), factors_.row_ptr().data(),
+                          factors_.col_idx().data(), diag_pos_.data(), n,
+                          lower, upper, z);
   }
-  // Backward solve U z = y.
-  for (index_t i = n - 1; i >= 0; --i) {
-    real_t sum = (*z)[static_cast<std::size_t>(i)];
-    const index_t dp = diag_pos_[static_cast<std::size_t>(i)];
-    for (index_t p = dp + 1; p < row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
-      sum -= values[static_cast<std::size_t>(p)] *
-             (*z)[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(p)])];
-    }
-    (*z)[static_cast<std::size_t>(i)] = sum / values[static_cast<std::size_t>(dp)];
+}
+
+void Ilu0::BindCompactSidecar(KernelPath requested) {
+  compact_ = requested != KernelPath::kWide && FitsCompact(factors_);
+  if (compact_) {
+    row_ptr32_.assign(factors_.row_ptr().begin(), factors_.row_ptr().end());
+    col_idx32_.assign(factors_.col_idx().begin(), factors_.col_idx().end());
+    diag_pos32_.assign(diag_pos_.begin(), diag_pos_.end());
+  } else {
+    row_ptr32_.clear();
+    col_idx32_.clear();
+    diag_pos32_.clear();
   }
+}
+
+void Ilu0::EnableKernels(KernelPath requested) {
+  lower_levels_ = LevelSchedule::BuildLower(factors_);
+  upper_levels_ = LevelSchedule::BuildUpper(factors_);
+  BindCompactSidecar(requested);
+}
+
+bool Ilu0::AdoptSchedules(LevelSchedule lower, LevelSchedule upper,
+                          KernelPath requested) {
+  const bool usable = lower.ValidFor(factors_, /*lower=*/true) &&
+                      upper.ValidFor(factors_, /*lower=*/false);
+  if (usable) {
+    lower_levels_ = std::move(lower);
+    upper_levels_ = std::move(upper);
+    BindCompactSidecar(requested);
+  } else {
+    EnableKernels(requested);  // discard: rebuild schedules from the pattern
+  }
+  return usable;
+}
+
+std::uint64_t Ilu0::ByteSize() const {
+  std::uint64_t bytes = factors_.ByteSize() +
+                        static_cast<std::uint64_t>(diag_pos_.size()) *
+                            sizeof(index_t);
+  bytes += lower_levels_.ByteSize() + upper_levels_.ByteSize();
+  bytes += static_cast<std::uint64_t>(row_ptr32_.size() + col_idx32_.size() +
+                                      diag_pos32_.size()) *
+           sizeof(std::uint32_t);
+  return bytes;
 }
 
 CsrMatrix Ilu0::ExtractLower() const {

@@ -9,7 +9,9 @@
 
 #include "common/status.hpp"
 #include "solver/operator.hpp"
+#include "solver/trisolve.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/kernel.hpp"
 
 namespace bepi {
 
@@ -34,13 +36,50 @@ class Ilu0 final : public Preconditioner {
   /// Combined storage (same pattern as the input matrix).
   const CsrMatrix& factors() const { return factors_; }
 
-  std::uint64_t ByteSize() const { return factors_.ByteSize(); }
+  /// Prepares the bandwidth-optimized Apply: builds topological level
+  /// schedules for the forward and backward substitutions (see
+  /// solver/trisolve.hpp) and, when `requested` resolves to the compact
+  /// path and the factors fit, uint32 copies of the index arrays. Called
+  /// once after Factor; Apply stays valid (serial, wide) without it.
+  void EnableKernels(KernelPath requested);
+
+  /// Like EnableKernels but adopts schedules restored from a model instead
+  /// of rebuilding them. Schedules that fail validation against the factor
+  /// pattern are discarded and rebuilt; returns whether both were adopted.
+  bool AdoptSchedules(LevelSchedule lower, LevelSchedule upper,
+                      KernelPath requested);
+
+  bool has_schedules() const {
+    return lower_levels_.num_rows() == factors_.rows() && factors_.rows() > 0;
+  }
+  const LevelSchedule* lower_levels() const {
+    return has_schedules() ? &lower_levels_ : nullptr;
+  }
+  const LevelSchedule* upper_levels() const {
+    return has_schedules() ? &upper_levels_ : nullptr;
+  }
+  /// Whether Apply streams the 32-bit index sidecar.
+  bool compact() const { return compact_; }
+
+  /// Factor storage plus any kernel state owned on top of it (uint32 index
+  /// sidecar, level schedules).
+  std::uint64_t ByteSize() const;
 
  private:
   Ilu0() = default;
 
+  void BindCompactSidecar(KernelPath requested);
+
   CsrMatrix factors_;              // L below diagonal, U on/above
   std::vector<index_t> diag_pos_;  // position of a_ii within row i
+
+  // Kernel state (empty until EnableKernels / AdoptSchedules).
+  LevelSchedule lower_levels_;
+  LevelSchedule upper_levels_;
+  bool compact_ = false;
+  std::vector<std::uint32_t> row_ptr32_;
+  std::vector<std::uint32_t> col_idx32_;
+  std::vector<std::uint32_t> diag_pos32_;
 };
 
 }  // namespace bepi

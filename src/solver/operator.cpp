@@ -1,8 +1,22 @@
 #include "solver/operator.hpp"
 
 #include "common/check.hpp"
+#include "sparse/dense.hpp"
 
 namespace bepi {
+
+void LinearOperator::ApplyResidual(const Vector& x, const Vector& b,
+                                   Vector* y) const {
+  Apply(x, y);
+  BEPI_CHECK(y->size() == b.size());
+  for (std::size_t i = 0; i < y->size(); ++i) (*y)[i] = b[i] - (*y)[i];
+}
+
+real_t LinearOperator::ApplyAndDot(const Vector& x, const Vector& d,
+                                   Vector* y) const {
+  Apply(x, y);
+  return Dot(*y, d);
+}
 
 JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) {
   BEPI_CHECK(a.rows() == a.cols());

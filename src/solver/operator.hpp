@@ -4,6 +4,7 @@
 #define BEPI_SOLVER_OPERATOR_HPP_
 
 #include "sparse/csr.hpp"
+#include "sparse/kernel.hpp"
 
 namespace bepi {
 
@@ -13,6 +14,17 @@ class LinearOperator {
   virtual ~LinearOperator() = default;
   virtual index_t size() const = 0;
   virtual void Apply(const Vector& x, Vector* y) const = 0;
+
+  /// Fused residual y = b - A x. The default unfuses (Apply, then
+  /// subtract); concrete operators may override with a single-pass kernel,
+  /// but any override must stay bit-identical to the default.
+  virtual void ApplyResidual(const Vector& x, const Vector& b,
+                             Vector* y) const;
+
+  /// Fused y = A x returning dot(y, d). Default unfuses (Apply, then Dot);
+  /// overrides must return the bitwise-same value as Dot(*y, d).
+  virtual real_t ApplyAndDot(const Vector& x, const Vector& d,
+                             Vector* y) const;
 };
 
 /// Wraps an explicit CSR matrix as an operator (no copy; the matrix must
@@ -24,10 +36,41 @@ class CsrOperator final : public LinearOperator {
   void Apply(const Vector& x, Vector* y) const override {
     m_.MultiplyInto(x, y);
   }
+  void ApplyResidual(const Vector& x, const Vector& b,
+                     Vector* y) const override {
+    m_.ResidualInto(x, b, y);
+  }
+  real_t ApplyAndDot(const Vector& x, const Vector& d,
+                     Vector* y) const override {
+    return m_.MultiplyDot(x, d, y);
+  }
   const CsrMatrix& matrix() const { return m_; }
 
  private:
   const CsrMatrix& m_;
+};
+
+/// Wraps a bound KernelCsr view (sparse/kernel.hpp) as an operator, giving
+/// the iterative solvers the compact-index and fused kernels. The view (and
+/// the CsrMatrix it binds) must outlive the operator.
+class KernelCsrOperator final : public LinearOperator {
+ public:
+  explicit KernelCsrOperator(const KernelCsr& k) : k_(k) {}
+  index_t size() const override { return k_.rows(); }
+  void Apply(const Vector& x, Vector* y) const override {
+    k_.MultiplyInto(x, y);
+  }
+  void ApplyResidual(const Vector& x, const Vector& b,
+                     Vector* y) const override {
+    k_.ResidualInto(x, b, y);
+  }
+  real_t ApplyAndDot(const Vector& x, const Vector& d,
+                     Vector* y) const override {
+    return k_.MultiplyDot(x, d, y);
+  }
+
+ private:
+  const KernelCsr& k_;
 };
 
 /// z = M^{-1} r for a preconditioner M.

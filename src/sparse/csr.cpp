@@ -9,6 +9,7 @@
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "sparse/csc.hpp"
+#include "sparse/kernel.hpp"
 
 namespace bepi {
 namespace {
@@ -177,6 +178,19 @@ void CsrMatrix::MultiplyAdd(real_t alpha, const Vector& x, Vector* y) const {
       (*y)[static_cast<std::size_t>(r)] += alpha * sum;
     }
   });
+}
+
+void CsrMatrix::ResidualInto(const Vector& x, const Vector& b,
+                             Vector* y) const {
+  // A wide KernelCsr bind is a handful of pointer stores; delegating keeps
+  // this fused kernel in exactly one place (sparse/kernel.cpp), so the
+  // CsrOperator and KernelCsrOperator paths cannot drift apart.
+  KernelCsr::Bind(*this, KernelPath::kWide).ResidualInto(x, b, y);
+}
+
+real_t CsrMatrix::MultiplyDot(const Vector& x, const Vector& d,
+                              Vector* y) const {
+  return KernelCsr::Bind(*this, KernelPath::kWide).MultiplyDot(x, d, y);
 }
 
 Vector CsrMatrix::MultiplyTranspose(const Vector& x) const {

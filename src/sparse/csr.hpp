@@ -58,6 +58,14 @@ class CsrMatrix {
   /// y += alpha * A x.
   void MultiplyAdd(real_t alpha, const Vector& x, Vector* y) const;
 
+  /// Fused residual y = b - A x in one pass over the matrix; bitwise equal
+  /// to MultiplyInto followed by the subtraction (see sparse/kernel.hpp).
+  void ResidualInto(const Vector& x, const Vector& b, Vector* y) const;
+
+  /// Fused y = A x returning dot(y, d); bitwise equal to MultiplyInto
+  /// followed by Dot, at any thread count (see sparse/kernel.hpp).
+  real_t MultiplyDot(const Vector& x, const Vector& d, Vector* y) const;
+
   /// y = A^T x (computed row-wise without forming the transpose).
   Vector MultiplyTranspose(const Vector& x) const;
 

@@ -8,13 +8,13 @@
 namespace bepi {
 namespace {
 
-// Fixed reduction/elementwise grains (elements per chunk). They are
-// constants — never derived from the thread count — so chunk boundaries,
-// and therefore the pairwise summation order, are identical at any
-// --threads setting (the bit-identical-across-thread-counts contract in
-// common/parallel.hpp). Vectors at or below one grain take exactly one
-// chunk, i.e. the plain left-to-right loop.
-constexpr index_t kReduceGrain = 4096;
+// Fixed elementwise grain (elements per chunk). Like kReduceGrain (now in
+// dense.hpp, shared with the fused kernels), it is a constant — never
+// derived from the thread count — so chunk boundaries, and therefore the
+// pairwise summation order, are identical at any --threads setting (the
+// bit-identical-across-thread-counts contract in common/parallel.hpp).
+// Vectors at or below one grain take exactly one chunk, i.e. the plain
+// left-to-right loop.
 constexpr index_t kElementwiseGrain = 16384;
 
 }  // namespace

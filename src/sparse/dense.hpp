@@ -14,6 +14,12 @@ namespace bepi {
 /// Dense column vector.
 using Vector = std::vector<real_t>;
 
+/// Fixed chunk grain of every deterministic vector reduction (Dot/Norm*).
+/// Exposed so fused kernels (sparse/kernel.hpp) can chunk their embedded
+/// dot reductions identically and stay bit-identical to the unfused
+/// Apply-then-Dot sequence at any thread count.
+constexpr index_t kReduceGrain = 4096;
+
 /// Euclidean dot product. x and y must have the same size.
 real_t Dot(const Vector& x, const Vector& y);
 

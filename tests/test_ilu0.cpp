@@ -109,7 +109,13 @@ TEST(Ilu0, SizeAndByteSize) {
   auto ilu = Ilu0::Factor(a);
   ASSERT_TRUE(ilu.ok());
   EXPECT_EQ(ilu->size(), 15);
-  EXPECT_EQ(ilu->ByteSize(), a.ByteSize());
+  // Factor storage (same pattern as the input) plus the diagonal-position
+  // index; enabling the kernels adds the level schedules and, on the
+  // compact path, the uint32 index sidecar on top.
+  EXPECT_GT(ilu->ByteSize(), a.ByteSize());
+  const std::uint64_t plain = ilu->ByteSize();
+  ilu->EnableKernels(KernelPath::kAuto);
+  EXPECT_GT(ilu->ByteSize(), plain);
 }
 
 TEST(Ilu0, IdentityMatrix) {

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "common/parallel.hpp"
+#include "core/bepi.hpp"
+#include "solver/ilu0.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/kernel.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+constexpr index_t kLimit = 2147483647;  // INT32_MAX
+
+/// Restores the process-global kernel path / thread count a test changed.
+class KernelTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetGlobalKernelPath(KernelPath::kAuto);
+    ASSERT_TRUE(ParallelContext::Global().SetNumThreads(0).ok());
+  }
+};
+
+TEST_F(KernelTest, FitsCompactDimsBoundaries) {
+  // Pure arithmetic: these sizes straddle INT32_MAX without allocating.
+  EXPECT_TRUE(FitsCompactDims(0, 0, 0));
+  EXPECT_TRUE(FitsCompactDims(kLimit, kLimit, kLimit));
+  EXPECT_FALSE(FitsCompactDims(kLimit + 1, 1, 1));
+  EXPECT_FALSE(FitsCompactDims(1, kLimit + 1, 1));
+  EXPECT_FALSE(FitsCompactDims(1, 1, kLimit + 1));
+  EXPECT_TRUE(FitsCompactDims(kLimit, 1, kLimit));
+}
+
+TEST_F(KernelTest, ParseAndGlobalPath) {
+  EXPECT_EQ(*ParseKernelPath("auto"), KernelPath::kAuto);
+  EXPECT_EQ(*ParseKernelPath("wide"), KernelPath::kWide);
+  EXPECT_EQ(*ParseKernelPath("compact"), KernelPath::kCompact);
+  EXPECT_FALSE(ParseKernelPath("fast").ok());
+  EXPECT_FALSE(ParseKernelPath("").ok());
+  SetGlobalKernelPath(KernelPath::kWide);
+  EXPECT_EQ(GlobalKernelPath(), KernelPath::kWide);
+  SetGlobalKernelPath(KernelPath::kAuto);
+  EXPECT_EQ(GlobalKernelPath(), KernelPath::kAuto);
+}
+
+TEST_F(KernelTest, PathNamesRoundTrip) {
+  for (KernelPath p :
+       {KernelPath::kAuto, KernelPath::kWide, KernelPath::kCompact}) {
+    EXPECT_EQ(*ParseKernelPath(KernelPathName(p)), p);
+  }
+}
+
+TEST_F(KernelTest, CompactMatchesWideBitwise) {
+  Rng rng(31);
+  for (index_t n : {1, 17, 120}) {
+    const CsrMatrix m = test::RandomSparse(n, n, 0.1, &rng);
+    const KernelCsr wide = KernelCsr::Bind(m, KernelPath::kWide);
+    const KernelCsr compact = KernelCsr::Bind(m, KernelPath::kAuto);
+    ASSERT_FALSE(wide.compact());
+    ASSERT_TRUE(compact.compact());
+    EXPECT_EQ(wide.ByteSize(), 0u);
+    // 4 bytes per row pointer and per column index.
+    EXPECT_EQ(compact.ByteSize(),
+              static_cast<std::uint64_t>(4 * (m.rows() + 1 + m.nnz())));
+    const Vector x = test::RandomVector(n, &rng);
+    const Vector b = test::RandomVector(n, &rng);
+    EXPECT_EQ(wide.Multiply(x), compact.Multiply(x));
+    Vector yw(static_cast<std::size_t>(n)), yc(static_cast<std::size_t>(n));
+    wide.MultiplyInto(x, &yw);
+    compact.MultiplyInto(x, &yc);
+    EXPECT_EQ(yw, yc);
+    wide.MultiplyAdd(-0.5, x, &yw);
+    compact.MultiplyAdd(-0.5, x, &yc);
+    EXPECT_EQ(yw, yc);
+    wide.ResidualInto(x, b, &yw);
+    compact.ResidualInto(x, b, &yc);
+    EXPECT_EQ(yw, yc);
+    const real_t dw = wide.MultiplyDot(x, b, &yw);
+    const real_t dc = compact.MultiplyDot(x, b, &yc);
+    EXPECT_EQ(dw, dc);
+    EXPECT_EQ(yw, yc);
+  }
+}
+
+TEST_F(KernelTest, FusedKernelsMatchUnfusedBitwise) {
+  Rng rng(37);
+  const index_t n = 90;
+  const CsrMatrix m = test::RandomSparse(n, n, 0.08, &rng);
+  const Vector x = test::RandomVector(n, &rng);
+  const Vector b = test::RandomVector(n, &rng);
+  for (int threads : {1, 4}) {
+    ASSERT_TRUE(ParallelContext::Global().SetNumThreads(threads).ok());
+    for (KernelPath path : {KernelPath::kWide, KernelPath::kCompact}) {
+      const KernelCsr k = KernelCsr::Bind(m, path);
+      Vector y(static_cast<std::size_t>(n));
+      k.MultiplyInto(x, &y);
+      Vector unfused_res(static_cast<std::size_t>(n));
+      for (std::size_t i = 0; i < unfused_res.size(); ++i) {
+        unfused_res[i] = b[i] - y[i];
+      }
+      const real_t unfused_dot = Dot(y, b);
+      Vector fused(static_cast<std::size_t>(n));
+      k.ResidualInto(x, b, &fused);
+      EXPECT_EQ(fused, unfused_res) << "threads=" << threads;
+      const real_t fused_dot = k.MultiplyDot(x, b, &fused);
+      EXPECT_EQ(fused, y) << "threads=" << threads;
+      EXPECT_EQ(fused_dot, unfused_dot) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(KernelTest, CsrMatrixFusedMethodsDelegate) {
+  Rng rng(41);
+  const index_t n = 50;
+  const CsrMatrix m = test::RandomSparse(n, n, 0.15, &rng);
+  const Vector x = test::RandomVector(n, &rng);
+  const Vector b = test::RandomVector(n, &rng);
+  Vector y(static_cast<std::size_t>(n)), z(static_cast<std::size_t>(n));
+  m.ResidualInto(x, b, &y);
+  KernelCsr::Bind(m, KernelPath::kWide).ResidualInto(x, b, &z);
+  EXPECT_EQ(y, z);
+  EXPECT_EQ(m.MultiplyDot(x, b, &y),
+            KernelCsr::Bind(m, KernelPath::kWide).MultiplyDot(x, b, &z));
+  EXPECT_EQ(y, z);
+}
+
+TEST_F(KernelTest, Ilu0KernelApplyMatchesSerialBitwise) {
+  Rng rng(43);
+  const index_t n = 160;
+  const CsrMatrix a = test::RandomDiagDominant(n, 0.05, &rng);
+  auto plain = Ilu0::Factor(a);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_FALSE(plain->has_schedules());
+  const Vector r = test::RandomVector(n, &rng);
+  Vector z_serial(static_cast<std::size_t>(n));
+  plain->Apply(r, &z_serial);
+
+  for (KernelPath path : {KernelPath::kWide, KernelPath::kCompact}) {
+    auto ilu = Ilu0::Factor(a);
+    ASSERT_TRUE(ilu.ok());
+    ilu->EnableKernels(path);
+    ASSERT_TRUE(ilu->has_schedules());
+    EXPECT_EQ(ilu->compact(), path == KernelPath::kCompact);
+    EXPECT_GT(ilu->ByteSize(), plain->ByteSize());
+    for (int threads : {1, 4}) {
+      ASSERT_TRUE(ParallelContext::Global().SetNumThreads(threads).ok());
+      Vector z(static_cast<std::size_t>(n));
+      ilu->Apply(r, &z);
+      EXPECT_EQ(z, z_serial)
+          << KernelPathName(path) << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(KernelTest, Ilu0AdoptSchedulesValidatesAndRebuilds) {
+  Rng rng(47);
+  const CsrMatrix a = test::RandomDiagDominant(40, 0.1, &rng);
+  auto ilu = Ilu0::Factor(a);
+  ASSERT_TRUE(ilu.ok());
+  const LevelSchedule lower = LevelSchedule::BuildLower(ilu->factors());
+  const LevelSchedule upper = LevelSchedule::BuildUpper(ilu->factors());
+  EXPECT_TRUE(ilu->AdoptSchedules(lower, upper, KernelPath::kAuto));
+  EXPECT_TRUE(ilu->has_schedules());
+
+  // A schedule for a different pattern fails validation; the factors
+  // rebuild their own and stay usable.
+  auto other = Ilu0::Factor(test::RandomDiagDominant(40, 0.3, &rng));
+  ASSERT_TRUE(other.ok());
+  auto fresh = Ilu0::Factor(a);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->AdoptSchedules(LevelSchedule::BuildLower(other->factors()),
+                                     LevelSchedule::BuildUpper(other->factors()),
+                                     KernelPath::kAuto));
+  EXPECT_TRUE(fresh->has_schedules());
+  Vector z1(40), z2(40);
+  const Vector r = test::RandomVector(40, &rng);
+  ilu->Apply(r, &z1);
+  fresh->Apply(r, &z2);
+  EXPECT_EQ(z1, z2);
+}
+
+/// End-to-end determinism: the full query path must produce bit-identical
+/// scores across kernel paths and thread counts, through Save/Load too.
+TEST_F(KernelTest, SolverQueryBitIdenticalAcrossPathsAndThreads) {
+  const Graph g = test::SmallRmat(300, 1800, 0.15, 11);
+  BepiOptions options;
+
+  SetGlobalKernelPath(KernelPath::kAuto);
+  BepiSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  ASSERT_NE(solver.kernels(), nullptr);
+  EXPECT_EQ(solver.kernels()->path, KernelPath::kCompact);
+  EXPECT_FALSE(solver.kernels()->reason.empty());
+  ASSERT_NE(solver.preconditioner(), nullptr);
+  EXPECT_TRUE(solver.preconditioner()->has_schedules());
+  const Vector baseline = *solver.Query(5);
+
+  // Forced wide path, fresh preprocessing.
+  SetGlobalKernelPath(KernelPath::kWide);
+  BepiSolver wide(options);
+  ASSERT_TRUE(wide.Preprocess(g).ok());
+  EXPECT_EQ(wide.kernels()->path, KernelPath::kWide);
+  EXPECT_EQ(*wide.Query(5), baseline);
+
+  // Thread-count sweep on the compact solver.
+  for (int threads : {1, 4}) {
+    ASSERT_TRUE(ParallelContext::Global().SetNumThreads(threads).ok());
+    EXPECT_EQ(*solver.Query(5), baseline) << "threads=" << threads;
+    EXPECT_EQ(*wide.Query(5), baseline) << "threads=" << threads;
+  }
+
+  // Save/Load round trip: the model records the compact path and the
+  // level schedules; a load under kAuto adopts both.
+  SetGlobalKernelPath(KernelPath::kAuto);
+  std::ostringstream out;
+  ASSERT_TRUE(solver.Save(out).ok());
+  std::istringstream in(out.str());
+  auto loaded = BepiSolver::Load(in);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_NE(loaded->kernels(), nullptr);
+  EXPECT_EQ(loaded->kernels()->path, KernelPath::kCompact);
+  ASSERT_NE(loaded->preconditioner(), nullptr);
+  EXPECT_TRUE(loaded->preconditioner()->has_schedules());
+  EXPECT_EQ(*loaded->Query(5), baseline);
+
+  // --kernel=wide wins over the recorded path at load time.
+  SetGlobalKernelPath(KernelPath::kWide);
+  std::istringstream in2(out.str());
+  auto loaded_wide = BepiSolver::Load(in2);
+  ASSERT_TRUE(loaded_wide.ok());
+  EXPECT_EQ(loaded_wide->kernels()->path, KernelPath::kWide);
+  EXPECT_EQ(*loaded_wide->Query(5), baseline);
+}
+
+TEST_F(KernelTest, PreprocessedBytesCountsCompactSidecar) {
+  const Graph g = test::SmallRmat(200, 1000, 0.1, 13);
+  BepiOptions options;
+  SetGlobalKernelPath(KernelPath::kWide);
+  BepiSolver wide(options);
+  ASSERT_TRUE(wide.Preprocess(g).ok());
+  SetGlobalKernelPath(KernelPath::kAuto);
+  BepiSolver compact(options);
+  ASSERT_TRUE(compact.Preprocess(g).ok());
+  // The compact model owns uint32 index copies on top of the shared
+  // matrices; both own the level schedules.
+  EXPECT_GT(compact.kernels()->OwnedBytes(), wide.kernels()->OwnedBytes());
+  EXPECT_GT(compact.PreprocessedBytes(), wide.PreprocessedBytes());
+}
+
+}  // namespace
+}  // namespace bepi

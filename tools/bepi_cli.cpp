@@ -36,6 +36,7 @@
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "sparse/kernel.hpp"
 
 namespace {
 
@@ -104,6 +105,10 @@ const CommandHelp kCommands[] = {
      "                     over the thread pool (--threads) with reused\n"
      "                     per-slot solver workspaces\n"
      "  --topk=K           ranking length (default 10)\n"
+     "  --dump-scores=FILE single-seed mode: also write every node's score,\n"
+     "                     one per line in node order, at full precision\n"
+     "                     (for bit-identity checks across --kernel and\n"
+     "                     --threads settings)\n"
      "  --stats            latency percentiles over --num-queries\n"
      "                     consecutive seeds instead of a ranking\n"
      "  --num-queries=N    sample size for --stats (default 100)\n"
@@ -140,6 +145,12 @@ const char kGlobalFlagsHelp[] =
     "                        queries; 1 = serial, default = BEPI_THREADS or\n"
     "                        all hardware threads. Results are bit-identical\n"
     "                        at any thread count.\n"
+    "  --kernel=MODE         query-kernel index path: auto (default;\n"
+    "                        compact 32-bit indices when the model fits),\n"
+    "                        wide (64-bit), compact (force; falls back to\n"
+    "                        wide if the model does not fit). Also settable\n"
+    "                        via BEPI_KERNEL. Scores are bit-identical on\n"
+    "                        every path.\n"
     "  --no-fallbacks        disable the solver degradation chain\n"
     "  --fault-inject=SPEC   arm fault sites, e.g.\n"
     "                        ilu0.factor,gmres.stagnate:0:-1\n"
@@ -293,6 +304,11 @@ int CmdPreprocess(const Flags& flags) {
               static_cast<long long>(solver.info().schur_nnz),
               HumanBytes(solver.PreprocessedBytes()).c_str(),
               model_path.c_str());
+  if (solver.kernels() != nullptr) {
+    std::printf("kernel path: %s (%s)\n",
+                KernelPathName(solver.kernels()->path),
+                solver.kernels()->reason.c_str());
+  }
   if (!checkpoint_dir.empty()) {
     std::printf("checkpoints: %lld written, %lld resumed, %.3f s overhead\n",
                 static_cast<long long>(solver.info().checkpoints_written),
@@ -447,6 +463,21 @@ int CmdQuery(const Flags& flags) {
               stats.seconds * 1e3, static_cast<long long>(stats.iterations));
   PrintQueryReport(stats);
   PrintTopK(*scores, seed, flags.GetInt("topk", 10));
+  const std::string dump_path = flags.GetString("dump-scores", "");
+  if (!dump_path.empty()) {
+    // Full-precision dump: round-trips every double exactly, so `cmp` of
+    // two dumps is a bit-identity check on the score vectors.
+    AtomicFileWriter writer(dump_path);
+    if (!writer.status().ok()) return Fail(writer.status());
+    char line[64];
+    for (real_t s : *scores) {
+      std::snprintf(line, sizeof(line), "%.17g\n", s);
+      writer.stream() << line;
+    }
+    Status status = writer.Commit();
+    if (!status.ok()) return Fail(status);
+    std::printf("scores written to %s\n", dump_path.c_str());
+  }
   return 0;
 }
 
@@ -526,6 +557,11 @@ int main(int argc, char** argv) {
     bepi::Status status = bepi::ParallelContext::Global().SetNumThreads(
         static_cast<int>(flags.GetInt("threads", 0)));
     if (!status.ok()) return Fail(status);
+  }
+  if (flags.Has("kernel")) {
+    auto path = bepi::ParseKernelPath(flags.GetString("kernel", ""));
+    if (!path.ok()) return Fail(path.status());
+    bepi::SetGlobalKernelPath(*path);
   }
   // `help query` arrives as a bare positional, not a --flag (the command
   // itself is argv[1], which Parse skips as the program-name slot).

@@ -5,7 +5,7 @@
 # fault-injection tests (test_durability, test_checkpoint) run under all
 # sanitizer configurations as part of the normal ctest pass.
 #
-# After a default-configuration build, three smoke tests run against the
+# After a default-configuration build, four smoke tests run against the
 # real binaries:
 #   * kill-and-resume: preprocessing is SIGKILLed at every checkpoint
 #     commit in turn (checkpoint.crash fault site), resumed until it
@@ -14,6 +14,9 @@
 #   * telemetry: preprocess + query with --metrics-out/--trace-out, then
 #     the emitted JSON is parsed and probed for the expected solver
 #     counters, latency histogram and trace spans;
+#   * kernel paths: preprocessing a small graph must auto-select the
+#     compact 32-bit kernel path, and full-precision score dumps must be
+#     byte-identical across --kernel=compact/wide and --threads=1/4;
 #   * bench artifacts: bench_kernels, bench_fig1_query and
 #     bench_fig5_scalability write BENCH_kernels.json /
 #     BENCH_fig1_query.json / BENCH_parallel_scaling.json (smallest
@@ -24,9 +27,10 @@
 #
 # The "thread" configuration is narrower than the others: it builds only
 # the concurrency-sensitive tests (test_metrics, test_trace,
-# test_parallel) under TSan and runs them directly — the registry's
-# sharded counters, the per-thread trace buffers and the work-stealing
-# pool are where new data races would land.
+# test_parallel, test_trisolve, test_kernel) under TSan and runs them
+# directly — the registry's sharded counters, the per-thread trace
+# buffers, the work-stealing pool and the level-scheduled triangular
+# solves are where new data races would land.
 #
 # Usage: tools/ci.sh [default|address|undefined|thread ...]
 #   With no arguments all four configurations run.
@@ -130,15 +134,52 @@ EOF
   rm -rf "$work"
 }
 
+smoke_kernel_paths() {
+  local cli="$1"
+  local work
+  work="$(mktemp -d)"
+  echo "=== kernel-path smoke test ==="
+  "$cli" generate --out="$work/graph.txt" --nodes=400 --edges=1800 \
+    --deadends=0.2 --seed=7 >/dev/null
+  "$cli" preprocess --graph="$work/graph.txt" --model="$work/model.txt" \
+    >"$work/pre.out"
+  if ! grep -q "kernel path: compact" "$work/pre.out"; then
+    echo "preprocess did not auto-select the compact kernel path:" >&2
+    cat "$work/pre.out" >&2
+    exit 1
+  fi
+  # One query per (kernel, threads) combination. The dumps are
+  # full-precision (%.17g round-trips doubles exactly), so cmp checks
+  # bit-identity of the whole score vector, not a tolerance.
+  local kernel threads
+  for kernel in compact wide; do
+    for threads in 1 4; do
+      "$cli" query --model="$work/model.txt" --seed-node=3 \
+        --kernel="$kernel" --threads="$threads" \
+        --dump-scores="$work/scores_${kernel}_${threads}.txt" >/dev/null
+    done
+  done
+  cmp "$work/scores_compact_1.txt" "$work/scores_wide_1.txt"
+  cmp "$work/scores_compact_1.txt" "$work/scores_compact_4.txt"
+  cmp "$work/scores_compact_1.txt" "$work/scores_wide_4.txt"
+  echo "    compact auto-selected; scores bit-identical across" \
+    "--kernel compact/wide and --threads 1/4"
+  rm -rf "$work"
+}
+
 bench_artifacts() {
   local build_dir="$1"
   local out="$build_dir/../artifacts"
   mkdir -p "$out"
   echo "=== benchmark artifacts ==="
   # Cheapest sizes only: the artifact's job is to prove the JSON emitters
-  # work end to end, not to produce stable timings.
+  # work end to end, not to produce stable timings. The kernel-layer
+  # comparison pairs (wide vs compact, serial vs level-scheduled, fused
+  # vs unfused) also run at 16384, where the working set leaves L2 and
+  # the index-width bandwidth effect is actually visible.
   "$build_dir/bench/bench_kernels" \
-    --benchmark_filter='/4096$|/1024$|/512$' --benchmark_min_time=0.05 \
+    --benchmark_filter='/4096$|/1024$|/512$|^BM_(KernelSpMV|Residual|Trisolve|Ilu0Apply)[A-Za-z]+/16384$' \
+    --benchmark_min_time=0.05 \
     --benchmark_out="$out/BENCH_kernels.json" \
     --benchmark_out_format=json >/dev/null
   "$build_dir/bench/bench_fig1_query" --scale=0.05 --queries=3 \
@@ -185,15 +226,21 @@ for config in "${configs[@]}"; do
   cmake -B "$build_dir" -S . -DBEPI_SANITIZE="$sanitize" >/dev/null
   if [ "$config" = thread ]; then
     # TSan pass: the telemetry tests (sharded registry, per-thread trace
-    # buffers) and the parallel layer (work-stealing pool, TaskGroup,
-    # batched queries) are the concurrency-bearing surface.
-    echo "=== [$config] build (test_metrics, test_trace, test_parallel) ==="
+    # buffers), the parallel layer (work-stealing pool, TaskGroup,
+    # batched queries) and the level-scheduled kernel layer (parallel
+    # triangular solves, ILU(0) apply) are the concurrency-bearing
+    # surface.
+    echo "=== [$config] build (test_metrics, test_trace, test_parallel," \
+      "test_trisolve, test_kernel) ==="
     cmake --build "$build_dir" -j "$jobs" \
-      --target test_metrics test_trace test_parallel
+      --target test_metrics test_trace test_parallel test_trisolve \
+      test_kernel
     echo "=== [$config] test ==="
     "$build_dir/tests/test_metrics"
     "$build_dir/tests/test_trace"
     "$build_dir/tests/test_parallel"
+    "$build_dir/tests/test_trisolve"
+    "$build_dir/tests/test_kernel"
     continue
   fi
   echo "=== [$config] build ==="
@@ -203,6 +250,7 @@ for config in "${configs[@]}"; do
   if [ "$config" = default ]; then
     smoke_kill_resume "$build_dir/tools/bepi_cli"
     smoke_telemetry "$build_dir/tools/bepi_cli"
+    smoke_kernel_paths "$build_dir/tools/bepi_cli"
     bench_artifacts "$build_dir"
     echo "=== docs cross-check ==="
     tools/check_docs.sh "$build_dir/tools/bepi_cli"
