@@ -1,0 +1,100 @@
+// Cooperative cancellation. A CancelToken is shared between a controller
+// (server admission layer, signal handler glue, a test) and long-running
+// work (GMRES restart cycles, power-iteration sweeps, preprocessing stage
+// boundaries). The worker polls Expired() at its natural checkpoints and
+// winds down cleanly; nothing is ever interrupted mid-kernel, so numeric
+// state stays consistent and per-slot workspaces remain reusable.
+//
+// Expiry has three independent sources, checked in this order of cheapness:
+//   1. an explicit Cancel() call (atomic flag),
+//   2. a wall-clock deadline (steady_clock, set once before the work starts),
+//   3. an optional linked atomic flag, typically the process-wide shutdown
+//      flag from common/shutdown.hpp, so every in-flight solve observes
+//      SIGTERM without per-request bookkeeping.
+//
+// The token is thread-safe: any thread may call Cancel()/Expired()
+// concurrently. Deadline and link are configuration — set them before
+// handing the token to the worker.
+#ifndef BEPI_COMMON_CANCEL_HPP_
+#define BEPI_COMMON_CANCEL_HPP_
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace bepi {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  // Not copyable/movable: workers hold a stable pointer for the lifetime
+  // of the request.
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request cancellation. Idempotent; safe from any thread (but not from
+  /// a signal handler — link a shutdown flag for that).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arrange for Expired() once `now + timeout` passes. Call before
+  /// starting the work; a non-positive timeout expires immediately.
+  void SetDeadlineAfter(std::chrono::nanoseconds timeout) {
+    deadline_ = Clock::now() + timeout;
+    has_deadline_ = true;
+  }
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  /// Also expire when `*flag` becomes true (e.g. the process shutdown
+  /// flag, which a signal handler may set). The flag must outlive the
+  /// token.
+  void LinkFlag(const std::atomic<bool>* flag) { linked_ = flag; }
+
+  /// True once any expiry source fires. Cheap enough to poll per
+  /// iteration: one relaxed load in the common case.
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (linked_ != nullptr && linked_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// The Status a worker should return when it stopped because this token
+  /// expired: DeadlineExceeded when the deadline is the (sole) cause,
+  /// Cancelled for an explicit Cancel() or a linked shutdown flag.
+  Status ToStatus(const std::string& what) const {
+    if (!cancelled_.load(std::memory_order_relaxed) &&
+        (linked_ == nullptr || !linked_->load(std::memory_order_relaxed)) &&
+        has_deadline_ && Clock::now() >= deadline_) {
+      return Status::DeadlineExceeded(what + ": deadline exceeded");
+    }
+    return Status::Cancelled(what + ": cancelled");
+  }
+
+  /// Reset to the never-expiring state (tests and pooled reuse).
+  void Reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    has_deadline_ = false;
+    linked_ = nullptr;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  const std::atomic<bool>* linked_ = nullptr;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_COMMON_CANCEL_HPP_

@@ -40,6 +40,12 @@ inline constexpr char kFileBitFlip[] = "fileio.bit_flip";  // read-path corrupti
 // Hard-kills the process (SIGKILL) right after a checkpoint commit; drives
 // the kill-and-resume smoke test in tools/ci.sh.
 inline constexpr char kCheckpointCrash[] = "checkpoint.crash";
+// Server protocol sites (src/server): replace an inbound request line with
+// garbage bytes, truncate a read mid-line as if the client vanished, and
+// simulate a client that never drains its responses (write timeout).
+inline constexpr char kServerParseGarbage[] = "server.parse_garbage";
+inline constexpr char kServerShortRead[] = "server.short_read";
+inline constexpr char kServerSlowClient[] = "server.slow_client";
 }  // namespace fault_sites
 
 class FaultInjector {

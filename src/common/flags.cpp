@@ -55,4 +55,67 @@ bool Flags::GetBool(const std::string& name, bool default_value) const {
   return v == "true" || v == "1" || v == "yes" || v == "on";
 }
 
+namespace {
+
+bool ParsesAs(FlagType type, const std::string& value) {
+  switch (type) {
+    case FlagType::kString:
+      return true;
+    case FlagType::kBool:
+      return value == "true" || value == "false" || value == "1" ||
+             value == "0" || value == "yes" || value == "no" ||
+             value == "on" || value == "off";
+    case FlagType::kInt: {
+      if (value.empty()) return false;
+      char* end = nullptr;
+      std::strtoll(value.c_str(), &end, 10);
+      return end == value.c_str() + value.size();
+    }
+    case FlagType::kDouble: {
+      if (value.empty()) return false;
+      char* end = nullptr;
+      std::strtod(value.c_str(), &end);
+      return end == value.c_str() + value.size();
+    }
+  }
+  return false;
+}
+
+const char* TypeName(FlagType type) {
+  switch (type) {
+    case FlagType::kBool:
+      return "boolean";
+    case FlagType::kInt:
+      return "integer";
+    case FlagType::kDouble:
+      return "number";
+    case FlagType::kString:
+      return "string";
+  }
+  return "value";
+}
+
+}  // namespace
+
+Status Flags::Validate(const std::vector<FlagSpec>& specs) const {
+  for (const auto& [name, value] : values_) {
+    const FlagSpec* spec = nullptr;
+    for (const FlagSpec& s : specs) {
+      if (s.name == name) {
+        spec = &s;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (!ParsesAs(spec->type, value)) {
+      return Status::InvalidArgument("flag --" + name + " expects a " +
+                                     TypeName(spec->type) + " value, got '" +
+                                     value + "'");
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace bepi

@@ -1,5 +1,9 @@
-// Tiny command-line flag parser for the example and benchmark binaries.
-// Supports --name=value and --name value forms plus positional arguments.
+// Tiny command-line flag parser for the CLI, example and benchmark
+// binaries. Supports --name=value and --name value forms plus positional
+// arguments. Parse itself accepts anything; binaries with a fixed flag
+// vocabulary (bepi_cli) pass a schema to Validate afterwards so a typo
+// like --seednode=3 fails fast naming the flag instead of being silently
+// ignored.
 #ifndef BEPI_COMMON_FLAGS_HPP_
 #define BEPI_COMMON_FLAGS_HPP_
 
@@ -7,9 +11,18 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 
 namespace bepi {
+
+/// Value shape a flag accepts, checked by Flags::Validate.
+enum class FlagType { kBool, kInt, kDouble, kString };
+
+struct FlagSpec {
+  std::string name;  // without the leading "--"
+  FlagType type = FlagType::kString;
+};
 
 class Flags {
  public:
@@ -24,6 +37,13 @@ class Flags {
   index_t GetInt(const std::string& name, index_t default_value) const;
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Checks every parsed flag against the schema: a flag absent from
+  /// `specs` fails with InvalidArgument naming it, as does a value that
+  /// does not parse as the declared type in full ("--topk=5x" is an error,
+  /// not 5). Callers exit non-zero on failure; flags the schema knows but
+  /// argv omits are fine. Positional arguments are not checked.
+  Status Validate(const std::vector<FlagSpec>& specs) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -1,0 +1,99 @@
+#include "common/shutdown.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+
+namespace bepi {
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_installed{false};
+int g_pipe[2] = {-1, -1};
+
+void WakePipe() {
+  if (g_pipe[1] < 0) return;
+  const char byte = 1;
+  // EAGAIN (pipe already full) is fine: the poller will wake anyway.
+  ssize_t ignored = write(g_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+void HandleSignal(int sig) {
+  const int saved_errno = errno;
+  if (g_shutdown.exchange(true, std::memory_order_relaxed)) {
+    // Second delivery: restore the default disposition and re-raise so
+    // the operator can always kill a process whose drain has wedged.
+    signal(sig, SIG_DFL);
+    raise(sig);
+    errno = saved_errno;
+    return;
+  }
+  g_signal.store(sig, std::memory_order_relaxed);
+  WakePipe();
+  errno = saved_errno;
+}
+
+}  // namespace
+
+bool InstallShutdownHandler() {
+  if (g_installed.load(std::memory_order_acquire)) return true;
+  if (g_pipe[0] < 0) {
+    if (pipe(g_pipe) != 0) return false;
+    for (int fd : g_pipe) {
+      fcntl(fd, F_SETFL, fcntl(fd, F_GETFL) | O_NONBLOCK);
+      fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+  }
+  struct sigaction sa;
+  sa.sa_handler = HandleSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking reads should wake with EINTR
+  if (sigaction(SIGINT, &sa, nullptr) != 0 ||
+      sigaction(SIGTERM, &sa, nullptr) != 0) {
+    return false;
+  }
+  // A client (or downstream pipe) that disappears before reading its
+  // response must surface as EPIPE on the write path — handled there —
+  // never as a process-killing SIGPIPE.
+  struct sigaction ign;
+  ign.sa_handler = SIG_IGN;
+  sigemptyset(&ign.sa_mask);
+  ign.sa_flags = 0;
+  sigaction(SIGPIPE, &ign, nullptr);
+  g_installed.store(true, std::memory_order_release);
+  return true;
+}
+
+const std::atomic<bool>* ShutdownFlag() { return &g_shutdown; }
+
+bool ShutdownRequested() {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+int ShutdownSignal() { return g_signal.load(std::memory_order_relaxed); }
+
+int ShutdownPipeFd() { return g_pipe[0]; }
+
+void ResetShutdownForTest() {
+  g_shutdown.store(false, std::memory_order_relaxed);
+  g_signal.store(0, std::memory_order_relaxed);
+  if (g_pipe[0] >= 0) {
+    char buf[64];
+    while (read(g_pipe[0], buf, sizeof buf) > 0) {
+    }
+  }
+}
+
+void RequestShutdown(int sig) {
+  if (!g_shutdown.exchange(true, std::memory_order_relaxed)) {
+    g_signal.store(sig, std::memory_order_relaxed);
+    WakePipe();
+  }
+}
+
+}  // namespace bepi

@@ -1,0 +1,49 @@
+// Process-wide, async-signal-safe shutdown state. InstallShutdownHandler()
+// registers SIGINT/SIGTERM handlers that do exactly two signal-safe
+// things: store the signal number into a lock-free atomic and write one
+// byte to a self-pipe. Everything else — draining queues, flushing
+// telemetry, committing checkpoints — happens on normal threads that poll
+// ShutdownRequested() (via CancelToken::LinkFlag) or poll(2) on
+// ShutdownPipeFd().
+//
+// A second delivery of the same signal re-raises with the default
+// disposition, so a wedged drain can still be killed with a second ^C.
+//
+// SIGPIPE is ignored process-wide: a peer vanishing mid-response must
+// surface as EPIPE on the write that noticed, never kill the process.
+#ifndef BEPI_COMMON_SHUTDOWN_HPP_
+#define BEPI_COMMON_SHUTDOWN_HPP_
+
+#include <atomic>
+
+namespace bepi {
+
+/// Install SIGINT/SIGTERM handlers (idempotent). Returns false if the
+/// handlers could not be installed (sigaction/pipe failure).
+bool InstallShutdownHandler();
+
+/// Flag the handlers set; link into a CancelToken with LinkFlag().
+const std::atomic<bool>* ShutdownFlag();
+
+/// True once SIGINT or SIGTERM has been delivered.
+bool ShutdownRequested();
+
+/// The signal that triggered shutdown (SIGINT/SIGTERM), or 0.
+int ShutdownSignal();
+
+/// Read end of the self-pipe: becomes readable on shutdown, so event
+/// loops can poll(2) it alongside their sockets. -1 before
+/// InstallShutdownHandler().
+int ShutdownPipeFd();
+
+/// Test hook: clear the flag/signal and drain the pipe so a later
+/// shutdown can be observed again. Not async-signal-safe.
+void ResetShutdownForTest();
+
+/// Test/worker hook: mark shutdown as requested without an actual signal
+/// (e.g. stdin EOF on a stdio server). Wakes ShutdownPipeFd() pollers.
+void RequestShutdown(int sig);
+
+}  // namespace bepi
+
+#endif  // BEPI_COMMON_SHUTDOWN_HPP_

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kNotConverged:
       return "NotConverged";
     case StatusCode::kIoError:

@@ -17,6 +17,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,  // e.g. memory budget exceeded
   kDeadlineExceeded,   // e.g. preprocessing time budget exceeded
+  kCancelled,          // caller-requested cooperative cancellation
   kNotConverged,       // iterative solver hit its iteration cap
   kIoError,
   kDataLoss,           // stored data failed an integrity (checksum) check
@@ -51,6 +52,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status NotConverged(std::string msg) {
     return Status(StatusCode::kNotConverged, std::move(msg));

@@ -52,11 +52,21 @@ Result<BatchQueryResult> BatchQueryEngine::Run(
     const index_t begin = slot * n / slots;
     const index_t end = (slot + 1) * n / slots;
     GmresWorkspace& ws = workspaces[static_cast<std::size_t>(slot)];
+    QueryControl control;
+    control.cancel = options_.cancel;
     for (index_t i = begin; i < end; ++i) {
       const std::size_t idx = static_cast<std::size_t>(i);
+      if (options_.cancel != nullptr && options_.cancel->Expired()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (i < error_index) {
+          error_index = i;
+          error = options_.cancel->ToStatus("batch query");
+        }
+        return;
+      }
       QueryStats* stats =
           options_.collect_stats ? &result.stats[idx] : nullptr;
-      Result<Vector> r = solver_.Query(seeds[idx], stats, &ws);
+      Result<Vector> r = solver_.Query(seeds[idx], stats, &ws, control);
       if (!r.ok()) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (i < error_index) {

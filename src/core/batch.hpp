@@ -24,6 +24,11 @@ struct BatchQueryOptions {
   int max_concurrency = 0;
   /// Collect one QueryStats per seed into BatchQueryResult::stats.
   bool collect_stats = true;
+  /// Cooperative cancellation, checked between queries and forwarded into
+  /// each solve. An expired token fails the batch with the token's Status
+  /// (batches are all-or-nothing; partial batch results are never
+  /// returned). May be null.
+  const CancelToken* cancel = nullptr;
 };
 
 struct BatchQueryResult {

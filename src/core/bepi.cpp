@@ -56,6 +56,7 @@ Status BepiSolver::Preprocess(const Graph& g, CheckpointManager* checkpoints) {
   dopts.restart_prob = options_.restart_prob;
   dopts.hub_ratio = effective_hub_ratio_;
   dopts.hub_selection = options_.hub_selection;
+  dopts.cancel = options_.cancel;
   if (checkpoints != nullptr) {
     // Every option that shapes the decomposition goes into the fingerprint
     // tag, so checkpoints from a run with different parameters read as
@@ -91,6 +92,11 @@ Status BepiSolver::Preprocess(const Graph& g, CheckpointManager* checkpoints) {
   }
 
   ilu_.reset();
+  // The decomposition's checkpoints are durable past this point; honour a
+  // pending cancellation before the (unresumable) ILU factorization.
+  if (options_.cancel != nullptr && options_.cancel->Expired()) {
+    return options_.cancel->ToStatus("preprocess (ilu)");
+  }
   if (options_.mode == BepiMode::kPreconditioned && dec_.n2 > 0) {
     Timer ilu_timer;
     TraceSpan ilu_span("preprocess.ilu0");
@@ -161,6 +167,12 @@ Result<Vector> BepiSolver::Query(index_t seed, QueryStats* stats) const {
 
 Result<Vector> BepiSolver::Query(index_t seed, QueryStats* stats,
                                  GmresWorkspace* workspace) const {
+  return Query(seed, stats, workspace, QueryControl());
+}
+
+Result<Vector> BepiSolver::Query(index_t seed, QueryStats* stats,
+                                 GmresWorkspace* workspace,
+                                 const QueryControl& control) const {
   if (!preprocessed_) return Status::FailedPrecondition("Preprocess not called");
   if (seed < 0 || seed >= dec_.n) {
     return Status::OutOfRange("seed out of range");
@@ -181,7 +193,7 @@ Result<Vector> BepiSolver::Query(index_t seed, QueryStats* stats,
   } else {
     cq3[static_cast<std::size_t>(pos - n1 - n2)] = c;
   }
-  return SolveFromSlices(cq1, cq2, cq3, stats, workspace);
+  return SolveFromSlices(cq1, cq2, cq3, stats, workspace, control);
 }
 
 Result<Vector> BepiSolver::QueryVector(const Vector& q,
@@ -191,6 +203,12 @@ Result<Vector> BepiSolver::QueryVector(const Vector& q,
 
 Result<Vector> BepiSolver::QueryVector(const Vector& q, QueryStats* stats,
                                        GmresWorkspace* workspace) const {
+  return QueryVector(q, stats, workspace, QueryControl());
+}
+
+Result<Vector> BepiSolver::QueryVector(const Vector& q, QueryStats* stats,
+                                       GmresWorkspace* workspace,
+                                       const QueryControl& control) const {
   if (!preprocessed_) return Status::FailedPrecondition("Preprocess not called");
   if (static_cast<index_t>(q.size()) != dec_.n) {
     return Status::InvalidArgument("personalization vector length mismatch");
@@ -212,14 +230,15 @@ Result<Vector> BepiSolver::QueryVector(const Vector& q, QueryStats* stats,
       cq3[static_cast<std::size_t>(pos - n1 - n2)] = c * v;
     }
   }
-  return SolveFromSlices(cq1, cq2, cq3, stats, workspace);
+  return SolveFromSlices(cq1, cq2, cq3, stats, workspace, control);
 }
 
 Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
                                            const Vector& cq2,
                                            const Vector& cq3,
                                            QueryStats* stats,
-                                           GmresWorkspace* workspace) const {
+                                           GmresWorkspace* workspace,
+                                           const QueryControl& control) const {
   Timer timer;
   TraceSpan query_span("query");
   const index_t n1 = dec_.n1, n2 = dec_.n2, n3 = dec_.n3;
@@ -245,9 +264,27 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
   ropts.gmres_restart = options_.gmres_restart;
   ropts.enable_fallbacks = options_.enable_fallbacks;
   ropts.gmres_workspace = workspace;
+  ropts.cancel = control.cancel;
 
   // Solve S r2 = q2~ through the degradation chain (line 4).
   QueryReport report;
+  // A cancelled solve that exits early (caller did not opt into partial
+  // results) still owes honest stats: the producing attempt's residual is
+  // the error bound of the iterate being discarded.
+  auto cancelled_early = [&]() -> Status {
+    if (stats != nullptr) {
+      stats->seconds = timer.Seconds();
+      stats->total_iterations = report.total_iterations();
+      if (!report.attempts.empty()) {
+        const SolveAttempt& producing = report.attempts.back();
+        stats->iterations = producing.iterations;
+        stats->residual = producing.residual;
+      }
+      stats->outcome = SolveOutcome::kCancelled;
+      stats->report = std::move(report);
+    }
+    return control.cancel->ToStatus("query");
+  };
   Vector r1, r3;
   Vector r2(static_cast<std::size_t>(n2), 0.0);
   bool back_substitute = true;
@@ -262,6 +299,7 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
         BicgstabOptions bi;
         bi.tol = options_.tolerance;
         bi.max_iters = options_.max_iterations;
+        bi.cancel = control.cancel;
         KernelCsrOperator op(kern.schur);
         const Preconditioner* m = ilu_.has_value() ? &*ilu_ : nullptr;
         BEPI_ASSIGN_OR_RETURN(Vector x, Bicgstab(op, q2_tilde, bi, &ss, m));
@@ -272,6 +310,9 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
         attempt.residual = ss.relative_residual;
         report.attempts.push_back(attempt);
         report.final_outcome = ss.outcome;
+        // Same contract as the resilient chain: a cancelled solve hands
+        // back its best iterate and the caller decides below.
+        if (ss.outcome == SolveOutcome::kCancelled) return x;
         if (!ss.converged) {
           return Status::NotConverged(
               "BiCGSTAB Schur solve ended with " +
@@ -287,6 +328,12 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
     schur_span.reset();
     if (schur_solve.ok()) {
       r2 = std::move(schur_solve).value();
+      if (report.final_outcome == SolveOutcome::kCancelled &&
+          control.cancel != nullptr && !control.allow_partial) {
+        // The deadline/cancellation fired and the caller did not opt into
+        // partial results: surface the token's Status instead of a vector.
+        return cancelled_early();
+      }
     } else if (schur_solve.status().code() == StatusCode::kNotConverged &&
                options_.enable_fallbacks && SupportsGlobalPowerFallback(dec_)) {
       // Hop 4: every Krylov stage failed; solve the original reordered
@@ -307,6 +354,10 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
       r2.assign(at(n1), at(n1 + n2));
       r3.assign(at(n1 + n2), at(dec_.n));
       back_substitute = false;
+      if (report.final_outcome == SolveOutcome::kCancelled &&
+          control.cancel != nullptr && !control.allow_partial) {
+        return cancelled_early();
+      }
     } else {
       return schur_solve.status();
     }
@@ -352,6 +403,10 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
     queries->Increment();
     hops->Increment(static_cast<std::uint64_t>(report.fallback_hops()));
     latency->RecordAlways(seconds);
+    if (report.final_outcome == SolveOutcome::kCancelled) {
+      BEPI_METRIC_COUNTER(cancelled, "query.cancelled");
+      cancelled->Increment();
+    }
   }
   query_span.Arg("fallback_hops", report.fallback_hops());
   query_span.Arg("iterations", report.total_iterations());

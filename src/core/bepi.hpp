@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/cancel.hpp"
 #include "core/decomposition.hpp"
 #include "core/rwr.hpp"
 #include "solver/ilu0.hpp"
@@ -48,6 +49,30 @@ struct BepiOptions : RwrOptions {
   /// failed solve surfaces as Status kNotConverged (the pre-resilience
   /// behavior, kept for ablations).
   bool enable_fallbacks = true;
+  /// Cooperative cancellation for *preprocessing* (the CLI links the
+  /// SIGINT/SIGTERM shutdown flag here). Checked at stage boundaries; with
+  /// checkpointing enabled the current stage is committed before the
+  /// Cancelled/DeadlineExceeded Status is returned. Not owned; may be
+  /// null. Query-side cancellation goes through QueryControl instead.
+  const CancelToken* cancel = nullptr;
+};
+
+/// Per-query runtime controls (deadline/cancellation), as opposed to the
+/// numeric configuration in BepiOptions. A default-constructed control is
+/// inert, and a null/never-expiring token leaves the solve bit-identical
+/// to an uncontrolled one — the token is only *polled* at restart-cycle
+/// and power-iteration boundaries, never consulted by the numerics.
+struct QueryControl {
+  /// Cooperative cancellation/deadline. May be null. Not owned; must
+  /// outlive the query.
+  const CancelToken* cancel = nullptr;
+  /// What to do when `cancel` expires mid-solve. False: the query returns
+  /// the token's Status (kDeadlineExceeded or kCancelled) and no vector.
+  /// True: back-substitution completes from the best Schur iterate and
+  /// the query returns that partial vector with stats->outcome ==
+  /// kCancelled and stats->residual as the explicit error bound of the
+  /// interrupted inner solve.
+  bool allow_partial = false;
 };
 
 /// Structural metadata produced by preprocessing; consumed by the
@@ -98,6 +123,15 @@ class BepiSolver final : public RwrSolver {
                        GmresWorkspace* workspace) const;
   Result<Vector> QueryVector(const Vector& q, QueryStats* stats,
                              GmresWorkspace* workspace) const;
+  /// Deadline-aware variants (see QueryControl): the serving path. The
+  /// workspace is left reusable whatever the outcome — cancellation only
+  /// ever stops between restart cycles, never mid-buffer.
+  Result<Vector> Query(index_t seed, QueryStats* stats,
+                       GmresWorkspace* workspace,
+                       const QueryControl& control) const;
+  Result<Vector> QueryVector(const Vector& q, QueryStats* stats,
+                             GmresWorkspace* workspace,
+                             const QueryControl& control) const;
   std::uint64_t PreprocessedBytes() const override;
 
   const BepiPreprocessInfo& info() const { return info_; }
@@ -127,7 +161,8 @@ class BepiSolver final : public RwrSolver {
   /// (c*q sliced along [n1 | n2 | n3] in reordered ids).
   Result<Vector> SolveFromSlices(const Vector& cq1, const Vector& cq2,
                                  const Vector& cq3, QueryStats* stats,
-                                 GmresWorkspace* workspace) const;
+                                 GmresWorkspace* workspace,
+                                 const QueryControl& control) const;
 
   /// Sectioned, per-section-checksummed format (header already consumed).
   static Result<BepiSolver> LoadV3(std::istream& in);

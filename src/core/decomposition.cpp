@@ -311,6 +311,12 @@ Result<HubSpokeDecomposition> BuildDecomposition(
   HubSpokeDecomposition dec;
   dec.n = g.num_nodes();
   Timer timer;
+  const auto cancelled = [&options] {
+    return options.cancel != nullptr && options.cancel->Expired();
+  };
+  const auto cancel_status = [&options](const char* where) {
+    return options.cancel->ToStatus(std::string("preprocess (") + where + ")");
+  };
 
   // One span per pipeline stage, advanced at the same boundaries as the
   // stage timers so the exported trace mirrors the seconds breakdown.
@@ -392,7 +398,12 @@ Result<HubSpokeDecomposition> BuildDecomposition(
         }
       }
       sb_options.round_hook = [&](const SlashBurnResult& partial) -> Status {
-        if (since_round_ckpt.Seconds() < options.checkpoint_interval_seconds) {
+        // A cancellation (SIGINT) commits the round immediately — the
+        // interval only throttles steady-state snapshots — so the resumed
+        // run restarts from this exact round.
+        const bool cancel_now = cancelled();
+        if (!cancel_now &&
+            since_round_ckpt.Seconds() < options.checkpoint_interval_seconds) {
           return Status::Ok();
         }
         std::ostringstream counts;
@@ -406,6 +417,14 @@ Result<HubSpokeDecomposition> BuildDecomposition(
                  {"blocks", EncodeIndexVector(partial.block_sizes)}}),
             kStageSlashBurnRound);
         since_round_ckpt.Restart();
+        if (cancel_now) return cancel_status("slashburn");
+        return Status::Ok();
+      };
+    } else if (options.cancel != nullptr) {
+      // No checkpointing (or non-resumable hub selection): still honour
+      // the token at round boundaries, just without a snapshot to commit.
+      sb_options.round_hook = [&](const SlashBurnResult&) -> Status {
+        if (cancelled()) return cancel_status("slashburn");
         return Status::Ok();
       };
     }
@@ -455,6 +474,9 @@ Result<HubSpokeDecomposition> BuildDecomposition(
     }
   }
   dec.reorder_seconds = timer.Seconds();
+  // Stage boundary: the reorder checkpoint (if any) is durable, so an
+  // interrupted run resumes directly into the factor stage.
+  if (cancelled()) return cancel_status("reorder");
   stage_span->Arg("n1", dec.n1);
   stage_span->Arg("n2", dec.n2);
   stage_span->Arg("n3", dec.n3);
@@ -615,13 +637,19 @@ Result<HubSpokeDecomposition> BuildDecomposition(
       }
       block_start += size;
       ++blocks_done;
+      // Cancellation commits the factor progress made so far (interval
+      // ignored) before aborting, so the resumed run continues from block
+      // blocks_done instead of the last interval snapshot.
+      const bool cancel_now = cancelled();
       if (checkpoints != nullptr && blocks_done < num_blocks &&
-          since_factor_ckpt.Seconds() >= options.checkpoint_interval_seconds) {
+          (cancel_now || since_factor_ckpt.Seconds() >=
+                             options.checkpoint_interval_seconds)) {
         WarnOnCheckpointFailure(
             WriteFactorCheckpoint(checkpoints, blocks_done, l1_coo, u1_coo),
             kStageFactor);
         since_factor_ckpt.Restart();
       }
+      if (cancel_now) return cancel_status("factor");
     }
     batch_begin = batch_end;
   }
@@ -637,6 +665,8 @@ Result<HubSpokeDecomposition> BuildDecomposition(
         kStageFactor);
   }
   dec.factor_seconds = timer.Seconds();
+  // Stage boundary: the assembled factor checkpoint is durable.
+  if (cancelled()) return cancel_status("factor");
   stage_span.emplace("preprocess.schur");
 
   // Step 6: Schur complement S = H22 - H21 (U1^{-1} (L1^{-1} H12)).

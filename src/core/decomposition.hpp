@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "common/cancel.hpp"
 #include "common/status.hpp"
 #include "core/budget.hpp"
 #include "graph/graph.hpp"
@@ -36,6 +37,14 @@ struct DecompositionOptions {
   /// every block (tests); the default keeps overhead well under 5% on
   /// graphs small enough that stages finish quickly anyway.
   double checkpoint_interval_seconds = 0.25;
+  /// Cooperative cancellation (e.g. SIGINT via common/shutdown.hpp),
+  /// polled at stage boundaries, SlashBurn round boundaries and per-block
+  /// LU progress. On expiry the pipeline *first commits the current stage's
+  /// checkpoint* (when a CheckpointManager is supplied) and then returns
+  /// the token's Status, so an interrupted preprocess resumes from where
+  /// it stopped rather than from the last interval-driven snapshot. May be
+  /// null.
+  const CancelToken* cancel = nullptr;
 };
 
 struct HubSpokeDecomposition {

@@ -62,6 +62,7 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
   gm.tol = options_.tol;
   gm.max_iters = options_.max_iters;
   gm.restart = options_.gmres_restart;
+  gm.cancel = options_.cancel;
 
   // Hop 1: the paper's configuration, when the ILU(0) factors exist.
   if (ilu_ != nullptr) {
@@ -74,6 +75,10 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
     FinishHopSpan(&hop_span, attempt);
     Record(report, attempt);
     if (stats.converged) return x;
+    // A cancelled hop ends the chain: degrading further would only burn
+    // more time past the deadline. Hand back the best iterate; the
+    // recorded attempt carries its residual.
+    if (stats.outcome == SolveOutcome::kCancelled) return x;
     if (!options_.enable_fallbacks) {
       return Status::NotConverged("Schur solve (ilu0+gmres) ended with " +
                                   std::string(SolveOutcomeName(stats.outcome)) +
@@ -95,6 +100,7 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
     FinishHopSpan(&hop_span, attempt);
     Record(report, attempt);
     if (stats.converged) return x;
+    if (stats.outcome == SolveOutcome::kCancelled) return x;
     if (!options_.enable_fallbacks && ilu_ == nullptr) {
       return Status::NotConverged("Schur solve (jacobi+gmres) ended with " +
                                   std::string(SolveOutcomeName(stats.outcome)) +
@@ -110,11 +116,13 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
     BicgstabOptions bi;
     bi.tol = options_.tol;
     bi.max_iters = options_.max_iters;
+    bi.cancel = options_.cancel;
     BEPI_ASSIGN_OR_RETURN(Vector x, Bicgstab(op, b, bi, &stats));
     const SolveAttempt attempt = MakeAttempt("bicgstab", stats);
     FinishHopSpan(&hop_span, attempt);
     Record(report, attempt);
     if (stats.converged) return x;
+    if (stats.outcome == SolveOutcome::kCancelled) return x;
   }
 
   return Status::NotConverged(
@@ -194,11 +202,15 @@ Result<Vector> GlobalPowerFallback(const HubSpokeDecomposition& dec,
   FixedPointOptions fp;
   fp.tol = options.tol;
   fp.max_iters = options.max_iters;
+  fp.cancel = options.cancel;
   SolveStats stats;
   BEPI_ASSIGN_OR_RETURN(Vector r, FixedPointIteration(g_op, cq, fp, &stats));
   const SolveAttempt attempt = MakeAttempt("power", stats);
   FinishHopSpan(&fallback_span, attempt);
   Record(report, attempt);
+  // Mirror the Krylov chain's cancellation contract: ok Result, partial
+  // iterate, report->final_outcome == kCancelled.
+  if (stats.outcome == SolveOutcome::kCancelled) return r;
   if (!stats.converged) {
     return Status::NotConverged(
         "global power-iteration fallback exhausted its budget at residual " +

@@ -39,6 +39,11 @@ struct ResilientSolveOptions {
   /// Optional reusable GMRES scratch (see solver/gmres.hpp); not owned,
   /// may be null. One workspace per concurrent solve.
   GmresWorkspace* gmres_workspace = nullptr;
+  /// Cooperative cancellation, forwarded into every hop (GMRES restart
+  /// cycles, BiCGSTAB/power iterations). When the token expires the chain
+  /// stops degrading: the interrupted hop's best iterate is returned with
+  /// the attempt recorded as kCancelled (see Solve). May be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Solves S x = b through the Krylov hops of the degradation chain.
@@ -59,7 +64,11 @@ class ResilientSchurSolver {
   /// Runs hops 1-3, appending one SolveAttempt per hop to `report`.
   /// Returns the first converged solution; a non-ok Status (kNotConverged)
   /// means every Krylov hop failed and the caller should fall back to
-  /// global power iteration (hop 4).
+  /// global power iteration (hop 4). When options.cancel expires mid-hop
+  /// the chain stops immediately and returns that hop's best iterate as an
+  /// ok Result with report->final_outcome == kCancelled — the caller
+  /// decides whether the partial vector (residual in the last attempt) is
+  /// usable.
   Result<Vector> Solve(const Vector& b, QueryReport* report) const;
 
  private:

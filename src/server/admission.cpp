@@ -1,0 +1,92 @@
+#include "server/admission.hpp"
+
+#include <algorithm>
+
+#include "common/metrics.hpp"
+
+namespace bepi {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  if (options_.max_queue == 0) options_.max_queue = 1;
+  if (options_.slots < 1) options_.slots = 1;
+}
+
+Status AdmissionController::Submit(AdmissionJob job, double* retry_after_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      return Status::FailedPrecondition("server is draining");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      if (retry_after_ms != nullptr) *retry_after_ms = EstimateRetryAfterMsLocked();
+      BEPI_METRIC_COUNTER(rejected, "server.rejected_overload");
+      rejected->Increment();
+      return Status::ResourceExhausted(
+          "queue full (" + std::to_string(options_.max_queue) + " waiting)");
+    }
+    queue_.push_back(std::move(job));
+    BEPI_METRIC_GAUGE(depth, "server.queue_depth");
+    depth->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return Status::Ok();
+}
+
+bool AdmissionController::Next(AdmissionJob* job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // draining and dry
+  *job = std::move(queue_.front());
+  queue_.pop_front();
+  BEPI_METRIC_GAUGE(depth, "server.queue_depth");
+  depth->Set(static_cast<double>(queue_.size()));
+  return true;
+}
+
+void AdmissionController::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+std::size_t AdmissionController::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void AdmissionController::RecordServiceSeconds(double seconds) {
+  if (!(seconds >= 0.0)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!have_service_sample_) {
+    ewma_service_seconds_ = seconds;
+    have_service_sample_ = true;
+  } else {
+    constexpr double kAlpha = 0.2;
+    ewma_service_seconds_ =
+        kAlpha * seconds + (1.0 - kAlpha) * ewma_service_seconds_;
+  }
+}
+
+double AdmissionController::EstimateRetryAfterMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EstimateRetryAfterMsLocked();
+}
+
+double AdmissionController::EstimateRetryAfterMsLocked() const {
+  const double service_ms =
+      have_service_sample_ ? ewma_service_seconds_ * 1e3 : 50.0;
+  const double backlog =
+      static_cast<double>(queue_.size() + 1) /
+      static_cast<double>(options_.slots);
+  return std::clamp(service_ms * backlog, 1.0, 60000.0);
+}
+
+}  // namespace bepi

@@ -1,0 +1,82 @@
+// Admission control for the query server: a bounded FIFO of accepted
+// jobs between the protocol reader(s) and the worker slots. The queue
+// depth is the only elastic buffer in the server — when it is full the
+// server sheds load *immediately* with an `overloaded` rejection and a
+// retry-after hint instead of queueing unboundedly (queue time would be
+// silently added to every later request's latency until deadlines made
+// the whole queue useless work).
+//
+// The retry-after hint is an honest estimate: an EWMA of recent service
+// times scaled by the backlog a retrying client would face. Draining is a
+// one-way latch: once BeginDrain() is called nothing is admitted again,
+// workers finish what is queued (the caller bounds that with the drain
+// budget and the per-job cancel tokens) and Next() returns false when the
+// queue runs dry.
+#ifndef BEPI_SERVER_ADMISSION_HPP_
+#define BEPI_SERVER_ADMISSION_HPP_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "common/status.hpp"
+
+namespace bepi {
+
+/// Work accepted into the queue; invoked on a worker thread with that
+/// worker's slot index (workers own per-slot solver workspaces).
+using AdmissionJob = std::function<void(int slot)>;
+
+struct AdmissionOptions {
+  /// Jobs that may wait beyond the ones executing. Full queue = reject.
+  std::size_t max_queue = 64;
+  /// Worker slot count, used only to scale the retry-after estimate.
+  int slots = 1;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Admits `job` or rejects it without blocking. Failure modes:
+  /// kResourceExhausted (queue full; `*retry_after_ms` is set to the
+  /// backlog-drain estimate when non-null) and kUnavailable-equivalent
+  /// kFailedPrecondition (draining — the caller maps it to the protocol's
+  /// "draining" error).
+  Status Submit(AdmissionJob job, double* retry_after_ms);
+
+  /// Worker pop: blocks until a job is available or the drain latch fires
+  /// with an empty queue (returns false — the worker should exit).
+  bool Next(AdmissionJob* job);
+
+  /// Stop admitting and wake every blocked worker. Idempotent.
+  void BeginDrain();
+  bool draining() const;
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return options_.max_queue; }
+
+  /// Feeds the retry-after estimator; called by workers per completed job.
+  void RecordServiceSeconds(double seconds);
+  /// Milliseconds a rejected client should wait before retrying: the
+  /// current backlog divided over the slots, in units of the service-time
+  /// EWMA. Clamped to [1, 60000]; before any completion a 50 ms prior.
+  double EstimateRetryAfterMs() const;
+
+ private:
+  double EstimateRetryAfterMsLocked() const;  // mu_ must be held
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<AdmissionJob> queue_;
+  bool draining_ = false;
+  double ewma_service_seconds_ = 0.0;
+  bool have_service_sample_ = false;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_SERVER_ADMISSION_HPP_

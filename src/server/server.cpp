@@ -1,0 +1,615 @@
+#include "server/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/shutdown.hpp"
+
+namespace bepi {
+
+namespace {
+
+using Clock = CancelToken::Clock;
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendReal(std::string* out, real_t v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", static_cast<double>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+/// One client session: the transport plus the write-side serialization
+/// (reader thread and several workers interleave responses on it) and a
+/// dead latch so a failed write poisons the connection exactly once.
+struct QueryServer::Conn {
+  LineTransport* transport = nullptr;
+  std::unique_ptr<LineTransport> owned;  // socket mode owns its transport
+  std::mutex write_mu;
+  std::atomic<bool> dead{false};
+};
+
+/// Per-worker execution state sampled by the watchdog. The token is held
+/// via shared_ptr under a mutex so a watchdog cancel can never race the
+/// worker releasing the request.
+struct QueryServer::WorkerSlot {
+  GmresWorkspace workspace;
+  std::mutex mu;
+  std::shared_ptr<CancelToken> active_token;      // guarded by mu
+  std::atomic<std::int64_t> busy_since_ns{0};     // 0 = idle
+  std::atomic<bool> wedged{false};
+};
+
+QueryServer::QueryServer(const BepiSolver& solver, ServeOptions options)
+    : solver_(solver),
+      options_(options),
+      admission_([&] {
+        AdmissionOptions a;
+        a.max_queue = static_cast<std::size_t>(
+            std::max<index_t>(1, options.max_queue));
+        a.slots = std::max(1, options.slots);
+        return a;
+      }()) {
+  options_.slots = std::max(1, options_.slots);
+  workers_.reserve(static_cast<std::size_t>(options_.slots));
+  for (int i = 0; i < options_.slots; ++i) {
+    workers_.push_back(std::make_unique<WorkerSlot>());
+  }
+  if (pipe(wake_pipe_) == 0) {
+    for (int fd : wake_pipe_) {
+      fcntl(fd, F_SETFL, fcntl(fd, F_GETFL) | O_NONBLOCK);
+      fcntl(fd, F_SETFD, fcntl(fd, F_GETFD) | FD_CLOEXEC);
+    }
+  } else {
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+  }
+}
+
+QueryServer::~QueryServer() {
+  Drain();
+  for (int fd : wake_pipe_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void QueryServer::RequestDrain() {
+  admission_.BeginDrain();
+  if (wake_pipe_[1] >= 0) {
+    const char b = 1;
+    [[maybe_unused]] ssize_t n = write(wake_pipe_[1], &b, 1);
+  }
+  drain_cv_.notify_all();
+}
+
+// --- worker pool -------------------------------------------------------
+
+void QueryServer::StartWorkers() {
+  if (workers_started_) return;
+  workers_started_ = true;
+  worker_threads_.reserve(workers_.size());
+  for (int i = 0; i < static_cast<int>(workers_.size()); ++i) {
+    worker_threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+}
+
+void QueryServer::WorkerLoop(int slot) {
+  AdmissionJob job;
+  while (admission_.Next(&job)) {
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    BEPI_METRIC_GAUGE(inflight_gauge, "server.inflight");
+    inflight_gauge->Set(static_cast<double>(
+        inflight_.load(std::memory_order_relaxed)));
+    job(slot);
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    inflight_gauge->Set(static_cast<double>(
+        inflight_.load(std::memory_order_relaxed)));
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void QueryServer::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  while (!drained_.load(std::memory_order_relaxed)) {
+    drain_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                 std::max(1.0, options_.watchdog_ms)));
+    if (drained_.load(std::memory_order_relaxed)) break;
+    lock.unlock();
+    const std::int64_t now = NowNs();
+    const std::int64_t wedge_ns =
+        static_cast<std::int64_t>(options_.wedge_ms * 1e6);
+    bool any_wedged = false;
+    for (auto& slot : workers_) {
+      const std::int64_t busy_since =
+          slot->busy_since_ns.load(std::memory_order_relaxed);
+      if (busy_since != 0 && now - busy_since > wedge_ns) {
+        std::lock_guard<std::mutex> slot_lock(slot->mu);
+        // Re-check under the slot lock: the worker may have finished the
+        // wedged job and started a fresh request between the sample above
+        // and here — cancelling *that* token would kill an innocent query.
+        if (slot->busy_since_ns.load(std::memory_order_relaxed) !=
+            busy_since) {
+          continue;
+        }
+        any_wedged = true;
+        if (!slot->wedged.exchange(true, std::memory_order_relaxed)) {
+          watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+          BEPI_METRIC_COUNTER(trips, "server.watchdog_trips");
+          trips->Increment();
+          BEPI_LOG(Warning) << "watchdog: worker busy for "
+                            << static_cast<double>(now - busy_since) / 1e6
+                            << " ms, cancelling its request";
+          if (slot->active_token != nullptr) slot->active_token->Cancel();
+        }
+      }
+    }
+    degraded_.store(any_wedged, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+void QueryServer::Drain() {
+  if (drained_.exchange(true)) return;
+  admission_.BeginDrain();
+  const auto budget = std::chrono::duration<double, std::milli>(
+      std::max(0.0, options_.drain_ms));
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait_for(lock, budget, [this] {
+      return inflight_.load(std::memory_order_relaxed) == 0 &&
+             admission_.depth() == 0;
+    });
+  }
+  // Budget spent (or nothing left): whatever still runs or waits in the
+  // queue now observes cancel_all_ at its next cooperative checkpoint and
+  // winds down with a "cancelled" response.
+  cancel_all_.store(true, std::memory_order_relaxed);
+  drain_cv_.notify_all();
+  if (workers_started_) {
+    for (std::thread& t : worker_threads_) t.join();
+    worker_threads_.clear();
+    if (watchdog_thread_.joinable()) watchdog_thread_.join();
+    workers_started_ = false;
+  }
+}
+
+// --- request handling --------------------------------------------------
+
+void QueryServer::WriteToConn(const std::shared_ptr<Conn>& conn,
+                              const std::string& line) {
+  if (conn->dead.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->dead.load(std::memory_order_relaxed)) return;
+  const Status status = conn->transport->WriteLine(line);
+  if (!status.ok()) {
+    conn->dead.store(true, std::memory_order_relaxed);
+    BEPI_LOG(Warning) << "dropping connection: " << status.ToString();
+  }
+}
+
+std::string QueryServer::HealthState() const {
+  if (admission_.draining()) return "draining";
+  if (degraded_.load(std::memory_order_relaxed)) return "degraded";
+  return "serving";
+}
+
+std::string QueryServer::HealthLine(const std::string& id_json) const {
+  std::string out = "{";
+  if (!id_json.empty()) out += "\"id\":" + id_json + ",";
+  out += "\"ok\":true,\"health\":" + JsonQuote(HealthState());
+  out += ",\"inflight\":" +
+         std::to_string(inflight_.load(std::memory_order_relaxed));
+  out += ",\"queue_depth\":" + std::to_string(admission_.depth());
+  out += ",\"slots\":" + std::to_string(workers_.size());
+  out += "}";
+  return out;
+}
+
+std::string QueryServer::StatsLine(const std::string& id_json) const {
+  const ServerStatsSnapshot s = Stats();
+  Histogram* latency =
+      MetricsRegistry::Global().GetHistogram("server.latency_seconds");
+  const HistogramSnapshot h = latency->Snapshot();
+  std::string out = "{";
+  if (!id_json.empty()) out += "\"id\":" + id_json + ",";
+  out += "\"ok\":true,\"health\":" + JsonQuote(s.health);
+  const auto field = [&out](const char* name, std::uint64_t v) {
+    out += ",\"";
+    out += name;
+    out += "\":" + std::to_string(v);
+  };
+  field("accepted", s.accepted);
+  field("completed", s.completed);
+  field("rejected_overload", s.rejected_overload);
+  field("rejected_invalid", s.rejected_invalid);
+  field("rejected_draining", s.rejected_draining);
+  field("rejected_conns", s.rejected_conns);
+  field("deadline_exceeded", s.deadline_exceeded);
+  field("cancelled", s.cancelled);
+  field("partial", s.partial);
+  field("watchdog_trips", s.watchdog_trips);
+  field("queue_depth", s.queue_depth);
+  field("inflight", s.inflight);
+  char buf[64];
+  std::snprintf(buf, sizeof buf,
+                ",\"latency_ms\":{\"count\":%llu,\"p50\":%.3f,\"p99\":%.3f"
+                ",\"max\":%.3f}",
+                static_cast<unsigned long long>(h.count), h.p50 * 1e3,
+                h.p99 * 1e3, h.max * 1e3);
+  out += buf;
+  out += "}";
+  return out;
+}
+
+ServerStatsSnapshot QueryServer::Stats() const {
+  ServerStatsSnapshot s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.rejected_draining = rejected_draining_.load(std::memory_order_relaxed);
+  s.rejected_conns = rejected_conns_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.partial = partial_.load(std::memory_order_relaxed);
+  s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
+  s.queue_depth = admission_.depth();
+  s.inflight =
+      static_cast<std::uint64_t>(inflight_.load(std::memory_order_relaxed));
+  s.health = HealthState();
+  return s;
+}
+
+void QueryServer::HandleLine(const std::shared_ptr<Conn>& conn,
+                             const std::string& line) {
+  if (line.empty()) return;  // blank lines are keep-alive noise
+  auto parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    BEPI_METRIC_COUNTER(rejected, "server.rejected_invalid");
+    rejected->Increment();
+    const bool schema = parsed.status().code() == StatusCode::kInvalidArgument;
+    WriteToConn(conn, ErrorResponseLine(
+                          "", schema ? protocol_errors::kInvalidArgument
+                                     : protocol_errors::kParse,
+                          parsed.status().message()));
+    return;
+  }
+  const Request req = *parsed;
+  if (req.op == RequestOp::kHealth) {
+    WriteToConn(conn, HealthLine(req.id_json));
+    return;
+  }
+  if (req.op == RequestOp::kStats) {
+    WriteToConn(conn, StatsLine(req.id_json));
+    return;
+  }
+
+  const index_t n = solver_.decomposition().n;
+  if (req.seed < 0 || req.seed >= n) {
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    WriteToConn(conn,
+                ErrorResponseLine(req.id_json,
+                                  protocol_errors::kInvalidArgument,
+                                  "seed " + std::to_string(req.seed) +
+                                      " out of range [0, " +
+                                      std::to_string(n) + ")"));
+    return;
+  }
+
+  auto token = std::make_shared<CancelToken>();
+  const double deadline_ms =
+      req.deadline_ms > 0.0 ? req.deadline_ms : options_.default_deadline_ms;
+  if (deadline_ms > 0.0) {
+    // The clock starts at admission: queue time counts against the
+    // deadline, so a request cannot wait out its own usefulness.
+    token->SetDeadlineAfter(std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::duration<double, std::milli>(deadline_ms)));
+  }
+  token->LinkFlag(&cancel_all_);
+
+  const auto admitted_at = Clock::now();
+  auto server = this;
+  double retry_after_ms = -1.0;
+  const Status admitted = admission_.Submit(
+      [server, conn, req, token, admitted_at](int slot) {
+        server->ExecuteQuery(slot, conn, req, token, admitted_at);
+      },
+      &retry_after_ms);
+  if (!admitted.ok()) {
+    if (admitted.code() == StatusCode::kResourceExhausted) {
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      WriteToConn(conn, ErrorResponseLine(req.id_json,
+                                          protocol_errors::kOverloaded,
+                                          admitted.message(),
+                                          retry_after_ms));
+    } else {
+      rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+      WriteToConn(conn, ErrorResponseLine(req.id_json,
+                                          protocol_errors::kDraining,
+                                          admitted.message()));
+    }
+    return;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  BEPI_METRIC_COUNTER(accepted, "server.accepted");
+  accepted->Increment();
+}
+
+void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
+                               const Request& req,
+                               const std::shared_ptr<CancelToken>& token,
+                               Clock::time_point admitted_at) {
+  WorkerSlot& ws = *workers_[slot];
+  {
+    // Token and busy timestamp change together under mu so the watchdog's
+    // locked re-check can never pair a stale timestamp with a fresh token.
+    std::lock_guard<std::mutex> lock(ws.mu);
+    ws.active_token = token;
+    ws.busy_since_ns.store(NowNs(), std::memory_order_relaxed);
+  }
+
+  QueryStats stats;
+  QueryControl control;
+  control.cancel = token.get();
+  control.allow_partial = req.allow_partial;
+  auto scores = solver_.Query(req.seed, &stats, &ws.workspace, control);
+
+  const double total_seconds =
+      std::chrono::duration<double>(Clock::now() - admitted_at).count();
+  Histogram* latency =
+      MetricsRegistry::Global().GetHistogram("server.latency_seconds");
+  latency->RecordAlways(total_seconds);
+  // Feed the retry-after estimator from full solves only: a burst of
+  // instantly-cancelled requests (deadline already expired, drain) would
+  // otherwise drag the EWMA toward zero and make retry_after_ms
+  // dishonestly small during exactly the overload it describes.
+  if (scores.ok() && stats.outcome != SolveOutcome::kCancelled) {
+    admission_.RecordServiceSeconds(stats.seconds);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(ws.mu);
+    ws.busy_since_ns.store(0, std::memory_order_relaxed);
+    ws.active_token = nullptr;
+  }
+  ws.wedged.store(false, std::memory_order_relaxed);
+
+  if (!scores.ok()) {
+    const StatusCode code = scores.status().code();
+    const char* error = protocol_errors::kInternal;
+    if (code == StatusCode::kDeadlineExceeded) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      BEPI_METRIC_COUNTER(deadline, "server.deadline_exceeded");
+      deadline->Increment();
+      error = protocol_errors::kDeadlineExceeded;
+    } else if (code == StatusCode::kCancelled) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      BEPI_METRIC_COUNTER(cancelled, "server.cancelled");
+      cancelled->Increment();
+      error = protocol_errors::kCancelled;
+    }
+    WriteToConn(conn, ErrorResponseLine(req.id_json, error,
+                                        scores.status().message()));
+    return;
+  }
+
+  const bool is_partial = stats.outcome == SolveOutcome::kCancelled;
+  if (is_partial) partial_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  BEPI_METRIC_COUNTER(completed, "server.completed");
+  completed->Increment();
+
+  std::string out = "{";
+  if (!req.id_json.empty()) out += "\"id\":" + req.id_json + ",";
+  out += "\"ok\":true,\"seed\":" + std::to_string(req.seed);
+  out += ",\"partial\":";
+  out += is_partial ? "true" : "false";
+  out += ",\"outcome\":" + JsonQuote(SolveOutcomeName(stats.outcome));
+  out += ",\"iterations\":" + std::to_string(stats.total_iterations);
+  // %.17g round-trips doubles exactly: these scores are bit-comparable
+  // against a one-shot `bepi_cli query --dump-scores` of the same model.
+  out += ",\"residual\":";
+  AppendReal(&out, stats.residual);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, ",\"ms\":%.3f", total_seconds * 1e3);
+  out += buf;
+  out += ",\"topk\":[";
+  const auto ranking = TopK(*scores, req.topk, req.seed);
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "[" + std::to_string(ranking[i].first) + ",";
+    AppendReal(&out, ranking[i].second);
+    out += "]";
+  }
+  out += "]";
+  if (req.want_scores) {
+    out += ",\"scores\":[";
+    const Vector& v = *scores;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) out += ",";
+      AppendReal(&out, v[i]);
+    }
+    out += "]";
+  }
+  out += "}";
+  WriteToConn(conn, out);
+}
+
+// --- serve loops -------------------------------------------------------
+
+void QueryServer::ReadLoop(const std::shared_ptr<Conn>& conn) {
+  std::string line;
+  while (!conn->dead.load(std::memory_order_relaxed)) {
+    auto got = conn->transport->ReadLine(&line);
+    if (!got.ok()) {
+      const StatusCode code = got.status().code();
+      if (code == StatusCode::kOutOfRange) {
+        // Over-long line: already discarded in bounded memory; the
+        // connection stays usable.
+        rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+        WriteToConn(conn, ErrorResponseLine("", protocol_errors::kParse,
+                                            got.status().message()));
+        continue;
+      }
+      if (code == StatusCode::kCancelled) break;  // drain wake
+      BEPI_LOG(Warning) << "closing connection: " << got.status().ToString();
+      break;
+    }
+    if (!*got) break;  // clean EOF
+    HandleLine(conn, line);
+    if (ShutdownRequested()) break;
+  }
+}
+
+Status QueryServer::ServeStream(std::istream& in, std::ostream& out) {
+  StartWorkers();
+  auto conn = std::make_shared<Conn>();
+  StreamTransport transport(in, out, options_.max_line_bytes);
+  conn->transport = &transport;
+  ReadLoop(conn);
+  // EOF (or a shutdown signal breaking the blocking read) ends the
+  // session: stop admitting, drain, report how it ended.
+  RequestDrain();
+  Drain();
+  if (ShutdownRequested()) {
+    BEPI_LOG(Info) << "drained after signal " << ShutdownSignal();
+  }
+  return Status::Ok();
+}
+
+Status QueryServer::ServeUnixSocket(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  const int listen_fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  fcntl(listen_fd, F_SETFD, fcntl(listen_fd, F_GETFD) | FD_CLOEXEC);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  unlink(path.c_str());  // replace a stale socket file from a crashed run
+  if (bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    const Status status =
+        Status::IoError("bind " + path + ": " + std::strerror(errno));
+    close(listen_fd);
+    return status;
+  }
+  if (listen(listen_fd, 64) != 0) {
+    const Status status =
+        Status::IoError("listen " + path + ": " + std::strerror(errno));
+    close(listen_fd);
+    unlink(path.c_str());
+    return status;
+  }
+
+  StartWorkers();
+  BEPI_LOG(Info) << "serving on " << path << " (" << options_.slots
+                 << " slots, queue " << options_.max_queue << ")";
+
+  // Connection threads are detached and tracked only by this count:
+  // each decrements it (and notifies, under the lock, so the waiter
+  // below cannot race destruction) as its ReadLoop returns, so a
+  // long-running server holds resources for live connections only —
+  // never one dead thread per connection ever accepted.
+  std::mutex conn_mu;
+  std::condition_variable conn_cv;
+  std::size_t live_conns = 0;
+  const std::size_t max_conns =
+      static_cast<std::size_t>(std::max(1, options_.max_conns));
+  while (true) {
+    struct pollfd fds[3];
+    fds[0] = {listen_fd, POLLIN, 0};
+    nfds_t nfds = 1;
+    if (wake_pipe_[0] >= 0) fds[nfds++] = {wake_pipe_[0], POLLIN, 0};
+    const int shutdown_fd = ShutdownPipeFd();
+    if (shutdown_fd >= 0) fds[nfds++] = {shutdown_fd, POLLIN, 0};
+    const int rc = poll(fds, nfds, -1);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        if (ShutdownRequested()) break;
+        continue;
+      }
+      break;
+    }
+    bool woke = false;
+    for (nfds_t i = 1; i < nfds; ++i) {
+      if ((fds[i].revents & POLLIN) != 0) woke = true;
+    }
+    if (woke || ShutdownRequested()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int cfd = accept(listen_fd, nullptr, nullptr);
+    if (cfd < 0) continue;
+    {
+      std::unique_lock<std::mutex> lock(conn_mu);
+      if (live_conns >= max_conns) {
+        lock.unlock();
+        rejected_conns_.fetch_add(1, std::memory_order_relaxed);
+        BEPI_METRIC_COUNTER(shed, "server.rejected_conns");
+        shed->Increment();
+        BEPI_LOG(Warning) << "shedding connection: " << max_conns
+                          << " already open";
+        FdTransport reject(cfd, options_.max_line_bytes,
+                           options_.write_timeout_ms, wake_pipe_[0]);
+        reject.WriteLine(ErrorResponseLine(
+            "", protocol_errors::kOverloaded,
+            "connection limit reached (" + std::to_string(max_conns) + ")",
+            admission_.EstimateRetryAfterMs()));
+        continue;  // FdTransport owns cfd and closes it
+      }
+      ++live_conns;
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->owned = std::make_unique<FdTransport>(
+        cfd, options_.max_line_bytes, options_.write_timeout_ms,
+        wake_pipe_[0]);
+    conn->transport = conn->owned.get();
+    std::thread([this, conn, &conn_mu, &conn_cv, &live_conns] {
+      ReadLoop(conn);
+      std::lock_guard<std::mutex> lock(conn_mu);
+      --live_conns;
+      conn_cv.notify_all();
+    }).detach();
+  }
+
+  close(listen_fd);
+  RequestDrain();  // wakes every FdTransport poller via wake_pipe_
+  Drain();
+  {
+    // Readers woke on wake_pipe_ above and writers are bounded by
+    // write_timeout_ms, so every detached connection thread exits; wait
+    // for the last one before the locals it references go away.
+    std::unique_lock<std::mutex> lock(conn_mu);
+    conn_cv.wait(lock, [&] { return live_conns == 0; });
+  }
+  unlink(path.c_str());
+  if (ShutdownRequested()) {
+    BEPI_LOG(Info) << "drained after signal " << ShutdownSignal();
+  }
+  return Status::Ok();
+}
+
+}  // namespace bepi

@@ -143,6 +143,9 @@ Result<Vector> Bicgstab(const LinearOperator& a, const Vector& b,
   };
 
   for (index_t iter = 0; iter < options.max_iters; ++iter) {
+    if (options.cancel != nullptr && options.cancel->Expired()) {
+      return finish(SolveOutcome::kCancelled);
+    }
     stats->iterations = iter + 1;
     if (restarts_since_progress > kMaxRestarts) {
       // Repeated breakdown restarts with no residual progress: report

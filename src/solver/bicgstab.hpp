@@ -19,6 +19,9 @@ struct BicgstabOptions {
   /// Iteration budget (each iteration costs two matvecs).
   index_t max_iters = 1000;
   bool track_history = false;
+  /// Cooperative cancellation, polled once per iteration. On expiry the
+  /// solve returns the best iterate with outcome kCancelled. May be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Solves A x = b with optional left preconditioning M^{-1} A x = M^{-1} b.

@@ -138,6 +138,22 @@ Result<Vector> Gmres(const LinearOperator& a, const Vector& b,
   };
 
   while (total_iters < options.max_iters) {
+    // Cancellation is honoured only here, at the restart-cycle boundary:
+    // the iterate is in a consistent state and the caller gets the best
+    // solution assembled so far.
+    if (options.cancel != nullptr && options.cancel->Expired()) {
+      stats->outcome = SolveOutcome::kCancelled;
+      stats->iterations = total_iters;
+      // The handed-back iterate owes the caller an honest error bound:
+      // the stored residual is stale (it predates this cycle's updates,
+      // and is 0 when cancellation fires before the first cycle), so
+      // recompute it — one matvec, only ever paid on this path.
+      a.ApplyResidual(x, b, &ws.raw);
+      Vector& r0 = basis_slot(0);
+      ApplyPrecond(m, ws.raw, &r0);
+      stats->relative_residual = Norm2(r0) / b_norm;
+      return x;
+    }
     // One restart cycle: the span carries the residual the cycle started
     // from, so a trace shows the convergence history cycle by cycle.
     TraceSpan cycle_span("gmres.restart_cycle");

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/status.hpp"
 #include "solver/operator.hpp"
 #include "solver/outcome.hpp"
@@ -45,6 +46,11 @@ struct GmresOptions {
   /// last stagnation_window iterations. 0 disables the check.
   index_t stagnation_window = 50;
   real_t stagnation_rtol = 1e-3;
+  /// Cooperative cancellation, polled at every restart-cycle boundary
+  /// (never mid-cycle, so numerics are unaffected until the token fires).
+  /// On expiry the solve returns the best iterate so far with outcome
+  /// kCancelled. May be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Solves A x = b. `m` (may be null) applies left preconditioning:

@@ -14,6 +14,8 @@ const char* SolveOutcomeName(SolveOutcome outcome) {
       return "Breakdown";
     case SolveOutcome::kBudgetExhausted:
       return "BudgetExhausted";
+    case SolveOutcome::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

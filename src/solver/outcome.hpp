@@ -19,6 +19,7 @@ enum class SolveOutcome {
   kDiverged,         // residual or iterate became non-finite (NaN/Inf)
   kBreakdown,        // algorithmic breakdown (zero pivot, lost recurrence)
   kBudgetExhausted,  // hit the iteration cap while still progressing
+  kCancelled,        // cooperative cancellation (CancelToken) fired
 };
 
 /// Human-readable name, e.g. "Stagnated".

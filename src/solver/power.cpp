@@ -35,6 +35,17 @@ Result<Vector> FixedPointIteration(const LinearOperator& g, const Vector& f,
   Vector x = f;
   Vector next(f.size());
   for (index_t iter = 0; iter < options.max_iters; ++iter) {
+    if (options.cancel != nullptr && options.cancel->Expired()) {
+      stats->outcome = SolveOutcome::kCancelled;
+      if (iter == 0) {
+        // No iteration has run, so the stored residual (0) would claim a
+        // converged iterate. Pay one apply for the honest bound of x = f.
+        g.Apply(x, &next);
+        for (std::size_t i = 0; i < f.size(); ++i) next[i] += f[i];
+        stats->relative_residual = DistL2(next, x);
+      }
+      return x;
+    }
     g.Apply(x, &next);
     for (std::size_t i = 0; i < f.size(); ++i) next[i] += f[i];
     const real_t delta = DistL2(next, x);

@@ -15,6 +15,10 @@ struct FixedPointOptions {
   real_t tol = 1e-9;
   index_t max_iters = 10000;
   bool track_history = false;
+  /// Cooperative cancellation, polled once per iteration. On expiry the
+  /// solve returns the current iterate with outcome kCancelled. May be
+  /// null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Iterates x <- G x + f from x0 = f. Returns the final iterate; check

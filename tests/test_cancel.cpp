@@ -1,0 +1,235 @@
+// Cooperative cancellation: CancelToken semantics, solver checkpoints,
+// the partial-result contract, and — run under TSan in CI — concurrent
+// Cancel() against in-flight solves with workspace reuse afterwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "common/cancel.hpp"
+#include "common/shutdown.hpp"
+#include "core/batch.hpp"
+#include "core/bepi.hpp"
+#include "solver/gmres.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(CancelToken, StartsUnexpired) {
+  CancelToken token;
+  EXPECT_FALSE(token.Expired());
+  EXPECT_FALSE(token.has_deadline());
+}
+
+TEST(CancelToken, ExplicitCancelExpires) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.Expired());
+  const Status status = token.ToStatus("work");
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.message().find("work"), std::string::npos);
+}
+
+TEST(CancelToken, DeadlineExpires) {
+  CancelToken token;
+  token.SetDeadlineAfter(-1ns);  // already past
+  EXPECT_TRUE(token.Expired());
+  EXPECT_EQ(token.ToStatus("work").code(), StatusCode::kDeadlineExceeded);
+
+  CancelToken future;
+  future.SetDeadlineAfter(1h);
+  EXPECT_FALSE(future.Expired());
+}
+
+TEST(CancelToken, LinkedFlagExpiresAndMapsToCancelled) {
+  std::atomic<bool> flag{false};
+  CancelToken token;
+  token.LinkFlag(&flag);
+  EXPECT_FALSE(token.Expired());
+  flag.store(true);
+  EXPECT_TRUE(token.Expired());
+  EXPECT_EQ(token.ToStatus("work").code(), StatusCode::kCancelled);
+}
+
+TEST(CancelToken, ExplicitCancelWinsOverDeadlineInToStatus) {
+  CancelToken token;
+  token.SetDeadlineAfter(-1ns);
+  token.Cancel();
+  // Both sources fired; the explicit cancel decides the code.
+  EXPECT_EQ(token.ToStatus("work").code(), StatusCode::kCancelled);
+}
+
+TEST(CancelToken, ResetRearms) {
+  CancelToken token;
+  token.Cancel();
+  token.SetDeadlineAfter(-1ns);
+  token.Reset();
+  EXPECT_FALSE(token.Expired());
+  EXPECT_FALSE(token.has_deadline());
+}
+
+class CancelSolve : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = test::SmallRmat(300, 1800, 0.25, 977);
+    BepiOptions options;
+    options.mode = BepiMode::kPreconditioned;
+    solver_.emplace(options);
+    ASSERT_TRUE(solver_->Preprocess(g_).ok());
+  }
+
+  Graph g_;
+  std::optional<BepiSolver> solver_;
+};
+
+TEST_F(CancelSolve, PreCancelledTokenFailsQueryWithCancelled) {
+  CancelToken token;
+  token.Cancel();
+  QueryControl control;
+  control.cancel = &token;
+  QueryStats stats;
+  GmresWorkspace workspace;
+  auto r = solver_->Query(5, &stats, &workspace, control);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(stats.outcome, SolveOutcome::kCancelled);
+
+  // The workspace survives an aborted solve: the very next query through
+  // it matches an uncontrolled solve bit for bit.
+  auto clean = solver_->Query(5);
+  ASSERT_TRUE(clean.ok());
+  auto reused = solver_->Query(5, &stats, &workspace, QueryControl());
+  ASSERT_TRUE(reused.ok());
+  ASSERT_EQ(clean->size(), reused->size());
+  for (std::size_t i = 0; i < clean->size(); ++i) {
+    EXPECT_EQ((*clean)[i], (*reused)[i]) << "component " << i;
+  }
+}
+
+TEST_F(CancelSolve, ExpiredDeadlineFailsQueryWithDeadlineExceeded) {
+  CancelToken token;
+  token.SetDeadlineAfter(-1ns);
+  QueryControl control;
+  control.cancel = &token;
+  QueryStats stats;
+  auto r = solver_->Query(5, &stats, nullptr, control);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(CancelSolve, AllowPartialReturnsBestIterateWithErrorBound) {
+  CancelToken token;
+  token.Cancel();
+  QueryControl control;
+  control.cancel = &token;
+  control.allow_partial = true;
+  QueryStats stats;
+  auto r = solver_->Query(5, &stats, nullptr, control);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.outcome, SolveOutcome::kCancelled);
+  EXPECT_EQ(r->size(), static_cast<std::size_t>(solver_->decomposition().n));
+  // The reported residual is the explicit error bound of the interrupted
+  // inner solve; an immediately-cancelled solve cannot have converged.
+  EXPECT_GT(stats.residual, 0.0);
+}
+
+TEST_F(CancelSolve, NeverExpiringTokenLeavesSolveBitIdentical) {
+  CancelToken token;
+  token.SetDeadlineAfter(1h);
+  QueryControl control;
+  control.cancel = &token;
+  QueryStats stats;
+  auto controlled = solver_->Query(7, &stats, nullptr, control);
+  auto plain = solver_->Query(7);
+  ASSERT_TRUE(controlled.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(stats.outcome, SolveOutcome::kConverged);
+  ASSERT_EQ(controlled->size(), plain->size());
+  for (std::size_t i = 0; i < plain->size(); ++i) {
+    EXPECT_EQ((*controlled)[i], (*plain)[i]) << "component " << i;
+  }
+}
+
+TEST_F(CancelSolve, BatchFailsAllOrNothingOnExpiredToken) {
+  CancelToken token;
+  token.Cancel();
+  BatchQueryOptions options;
+  options.cancel = &token;
+  BatchQueryEngine engine(*solver_, options);
+  auto batch = engine.Run({1, 2, 3});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(CancelSolve, PreprocessObservesCancelledToken) {
+  CancelToken token;
+  token.Cancel();
+  BepiOptions options;
+  options.mode = BepiMode::kPreconditioned;
+  options.cancel = &token;
+  BepiSolver fresh(options);
+  const Status status = fresh.Preprocess(g_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+}
+
+// The TSan target: one thread fires Cancel() while queries run. Whatever
+// the interleaving, every query either completes converged or reports
+// Cancelled — and the workspace stays reusable afterwards.
+TEST_F(CancelSolve, ConcurrentCancelMidSolveIsClean) {
+  for (int round = 0; round < 8; ++round) {
+    CancelToken token;
+    GmresWorkspace workspace;
+    QueryControl control;
+    control.cancel = &token;
+    std::thread canceller([&token] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      token.Cancel();
+    });
+    bool saw_cancel = false;
+    for (index_t seed = 0; seed < 6; ++seed) {
+      QueryStats stats;
+      auto r = solver_->Query(seed, &stats, &workspace, control);
+      if (!r.ok()) {
+        EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+        saw_cancel = true;
+      } else {
+        EXPECT_EQ(stats.outcome, SolveOutcome::kConverged);
+      }
+    }
+    canceller.join();
+    EXPECT_TRUE(saw_cancel || token.Expired());
+
+    // Post-race bit-identity through the same workspace.
+    auto clean = solver_->Query(3);
+    auto reused = solver_->Query(3, nullptr, &workspace, QueryControl());
+    ASSERT_TRUE(clean.ok());
+    ASSERT_TRUE(reused.ok());
+    for (std::size_t i = 0; i < clean->size(); ++i) {
+      ASSERT_EQ((*clean)[i], (*reused)[i]);
+    }
+  }
+}
+
+TEST(Shutdown, RequestShutdownSetsFlagAndStatus) {
+  ResetShutdownForTest();
+  EXPECT_FALSE(ShutdownRequested());
+  RequestShutdown(15);
+  EXPECT_TRUE(ShutdownRequested());
+  EXPECT_EQ(ShutdownSignal(), 15);
+  // A linked token observes it.
+  CancelToken token;
+  token.LinkFlag(ShutdownFlag());
+  EXPECT_TRUE(token.Expired());
+  EXPECT_EQ(token.ToStatus("work").code(), StatusCode::kCancelled);
+  ResetShutdownForTest();
+  EXPECT_FALSE(ShutdownRequested());
+}
+
+}  // namespace
+}  // namespace bepi

@@ -168,6 +168,59 @@ TEST(Flags, BoolSpellings) {
   EXPECT_FALSE(f.GetBool("d", true));
 }
 
+TEST(Flags, ValidateAcceptsKnownWellTypedFlags) {
+  const char* argv[] = {"prog", "--topk=5", "--tol=1e-9", "--mode=bepi",
+                        "--stats"};
+  Flags f = Flags::Parse(5, const_cast<char**>(argv));
+  EXPECT_TRUE(f.Validate({{"topk", FlagType::kInt},
+                          {"tol", FlagType::kDouble},
+                          {"mode", FlagType::kString},
+                          {"stats", FlagType::kBool},
+                          {"unused", FlagType::kInt}})
+                  .ok());
+}
+
+TEST(Flags, ValidateRejectsUnknownFlagNamingIt) {
+  const char* argv[] = {"prog", "--topk=5", "--seednode=3"};
+  Flags f = Flags::Parse(3, const_cast<char**>(argv));
+  const Status status = f.Validate({{"topk", FlagType::kInt}});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--seednode"), std::string::npos);
+}
+
+TEST(Flags, ValidateRejectsMalformedValueNamingFlagAndType) {
+  const char* argv[] = {"prog", "--topk=5x"};
+  Flags f = Flags::Parse(2, const_cast<char**>(argv));
+  const Status status = f.Validate({{"topk", FlagType::kInt}});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--topk"), std::string::npos);
+  EXPECT_NE(status.message().find("integer"), std::string::npos);
+  EXPECT_NE(status.message().find("5x"), std::string::npos);
+}
+
+TEST(Flags, ValidateRejectsNonNumericDoubleAndBadBool) {
+  const char* argv[] = {"prog", "--tol=fast", "--stats=maybe"};
+  Flags f = Flags::Parse(3, const_cast<char**>(argv));
+  EXPECT_FALSE(f.Validate({{"tol", FlagType::kDouble},
+                           {"stats", FlagType::kBool}})
+                   .ok());
+  EXPECT_FALSE(f.Validate({{"tol", FlagType::kString},
+                           {"stats", FlagType::kBool}})
+                   .ok());
+  EXPECT_TRUE(f.Validate({{"tol", FlagType::kString},
+                          {"stats", FlagType::kString}})
+                  .ok());
+}
+
+TEST(Flags, ValidateEmptySchemaRejectsEverything) {
+  const char* argv[] = {"prog", "--anything"};
+  Flags f = Flags::Parse(2, const_cast<char**>(argv));
+  EXPECT_FALSE(f.Validate({}).ok());
+  const char* argv2[] = {"prog", "positional-only"};
+  Flags f2 = Flags::Parse(2, const_cast<char**>(argv2));
+  EXPECT_TRUE(f2.Validate({}).ok());  // positionals are not schema-checked
+}
+
 TEST(Table, RendersAlignedColumns) {
   Table t({"name", "value"});
   t.AddRow({"alpha", "1"});

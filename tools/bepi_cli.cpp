@@ -15,11 +15,14 @@
 //   bepi_cli preprocess --graph=/tmp/g.txt --model=/tmp/m.txt
 //   bepi_cli query --model=/tmp/m.txt --seed-node=17 --topk=5
 #include <cstdio>
+#include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/cancel.hpp"
 #include "common/faultinject.hpp"
 #include "common/fileio.hpp"
 #include "common/flags.hpp"
@@ -27,6 +30,7 @@
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/sections.hpp"
+#include "common/shutdown.hpp"
 #include "common/table.hpp"
 #include "common/trace.hpp"
 #include "core/batch.hpp"
@@ -36,6 +40,7 @@
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "server/server.hpp"
 #include "sparse/kernel.hpp"
 
 namespace {
@@ -124,6 +129,37 @@ const CommandHelp kCommands[] = {
      "also accepts the preprocess options --mode/--k/--c/--tol.\n"
      "example:\n"
      "  bepi_cli rank --graph=/tmp/g.txt --seed-node=17\n"},
+    {"serve",
+     "serve      --model=FILE [--socket=PATH] [--slots=2] [--max-queue=64]\n"
+     "           [--default-deadline-ms=0] [--drain-ms=5000]",
+     "bepi_cli serve — long-running query server over a saved model\n"
+     "speaks one JSON object per line on stdin/stdout (default) or over a\n"
+     "Unix-domain socket; see docs/OPERATIONS.md for the protocol.\n"
+     "  --model=FILE             model file from `preprocess` (required)\n"
+     "  --socket=PATH            serve a Unix-domain socket instead of\n"
+     "                           stdin/stdout (concurrent connections)\n"
+     "  --slots=N                worker slots answering queries (default 2)\n"
+     "  --max-queue=N            admission queue bound; a full queue sheds\n"
+     "                           load with an `overloaded` response and a\n"
+     "                           retry_after_ms hint (default 64)\n"
+     "  --default-deadline-ms=X  deadline for requests without their own\n"
+     "                           deadline_ms; 0 = none (default 0)\n"
+     "  --drain-ms=X             graceful-drain budget after SIGTERM/SIGINT\n"
+     "                           or EOF before in-flight work is cancelled\n"
+     "                           cooperatively (default 5000)\n"
+     "  --watchdog-ms=X          watchdog sampling interval (default 250)\n"
+     "  --wedge-ms=X             a worker busy on one request longer than\n"
+     "                           this is cancelled and health degrades\n"
+     "                           (default 30000)\n"
+     "  --max-line-bytes=N       inbound request-line cap (default 1MiB)\n"
+     "  --write-timeout-ms=X     drop a socket client that does not drain\n"
+     "                           its responses in time (default 5000)\n"
+     "  --max-conns=N            concurrent socket connection cap; above\n"
+     "                           it a connection gets one `overloaded`\n"
+     "                           line and is closed (default 64)\n"
+     "example:\n"
+     "  echo '{\"op\":\"query\",\"seed\":17}' | \\\n"
+     "    bepi_cli serve --model=/tmp/m.txt\n"},
     {"verify-model",
      "verify-model --model=FILE",
      "bepi_cli verify-model — per-section integrity fsck of a model file\n"
@@ -161,6 +197,87 @@ const char kGlobalFlagsHelp[] =
     "                        JSON on exit (load in ui.perfetto.dev)\n"
     "  --log-level=LEVEL     debug|info|warning|error (default info;\n"
     "                        also settable via BEPI_LOG_LEVEL)\n";
+
+/// Flag vocabulary per subcommand (global flags appended to each), fed to
+/// Flags::Validate so an unknown or malformed flag fails fast naming the
+/// offender instead of being silently ignored.
+std::vector<FlagSpec> WithGlobalFlags(std::vector<FlagSpec> specs) {
+  static const FlagSpec kGlobals[] = {
+      {"threads", FlagType::kInt},
+      {"kernel", FlagType::kString},
+      {"no-fallbacks", FlagType::kBool},
+      {"fault-inject", FlagType::kString},
+      {"metrics-out", FlagType::kString},
+      {"trace-out", FlagType::kString},
+      {"log-level", FlagType::kString},
+  };
+  specs.insert(specs.end(), std::begin(kGlobals), std::end(kGlobals));
+  return specs;
+}
+
+const std::map<std::string, std::vector<FlagSpec>>& CommandFlagSpecs() {
+  static const auto* specs =
+      new std::map<std::string, std::vector<FlagSpec>>{
+          {"generate", WithGlobalFlags({{"out", FlagType::kString},
+                                        {"dataset", FlagType::kString},
+                                        {"scale", FlagType::kDouble},
+                                        {"nodes", FlagType::kInt},
+                                        {"edges", FlagType::kInt},
+                                        {"deadends", FlagType::kDouble},
+                                        {"seed", FlagType::kInt}})},
+          {"stats", WithGlobalFlags({{"graph", FlagType::kString}})},
+          {"preprocess",
+           WithGlobalFlags({{"graph", FlagType::kString},
+                            {"model", FlagType::kString},
+                            {"mode", FlagType::kString},
+                            {"k", FlagType::kDouble},
+                            {"c", FlagType::kDouble},
+                            {"tol", FlagType::kDouble},
+                            {"checkpoint-dir", FlagType::kString}})},
+          {"query", WithGlobalFlags({{"model", FlagType::kString},
+                                     {"seed-node", FlagType::kInt},
+                                     {"seeds-file", FlagType::kString},
+                                     {"topk", FlagType::kInt},
+                                     {"dump-scores", FlagType::kString},
+                                     {"stats", FlagType::kBool},
+                                     {"num-queries", FlagType::kInt}})},
+          {"rank", WithGlobalFlags({{"graph", FlagType::kString},
+                                    {"seed-node", FlagType::kInt},
+                                    {"topk", FlagType::kInt},
+                                    {"mode", FlagType::kString},
+                                    {"k", FlagType::kDouble},
+                                    {"c", FlagType::kDouble},
+                                    {"tol", FlagType::kDouble}})},
+          {"serve",
+           WithGlobalFlags({{"model", FlagType::kString},
+                            {"socket", FlagType::kString},
+                            {"slots", FlagType::kInt},
+                            {"max-queue", FlagType::kInt},
+                            {"default-deadline-ms", FlagType::kDouble},
+                            {"drain-ms", FlagType::kDouble},
+                            {"watchdog-ms", FlagType::kDouble},
+                            {"wedge-ms", FlagType::kDouble},
+                            {"max-line-bytes", FlagType::kInt},
+                            {"write-timeout-ms", FlagType::kDouble},
+                            {"max-conns", FlagType::kInt}})},
+          {"verify-model", WithGlobalFlags({{"model", FlagType::kString}})},
+          {"help", WithGlobalFlags({})},
+      };
+  return *specs;
+}
+
+/// Process-lifetime cancel token observing the SIGINT/SIGTERM flag: every
+/// one-shot command threads it through its solve so a ^C winds down at
+/// the next cooperative checkpoint (committing checkpoint stages, keeping
+/// telemetry flushable) instead of dying mid-write.
+const CancelToken* ShutdownToken() {
+  static CancelToken* token = [] {
+    auto* t = new CancelToken();
+    t->LinkFlag(ShutdownFlag());
+    return t;
+  }();
+  return token;
+}
 
 int Usage() {
   std::fprintf(stderr, "usage: bepi_cli <command> [flags]\n");
@@ -206,6 +323,7 @@ BepiOptions OptionsFromFlags(const Flags& flags) {
   options.restart_prob = flags.GetDouble("c", 0.05);
   options.tolerance = flags.GetDouble("tol", 1e-9);
   options.enable_fallbacks = !flags.Has("no-fallbacks");
+  options.cancel = ShutdownToken();
   return options;
 }
 
@@ -380,10 +498,12 @@ int QueryLatencyStats(const BepiSolver& solver, index_t first_seed,
   double total_seconds = 0.0;
   long long total_iterations = 0;
   long long fallback_hops = 0;
+  QueryControl control;
+  control.cancel = ShutdownToken();
   for (index_t i = 0; i < num_queries; ++i) {
     const index_t seed = (first_seed + i) % n;
     QueryStats stats;
-    auto scores = solver.Query(seed, &stats);
+    auto scores = solver.Query(seed, &stats, nullptr, control);
     if (!scores.ok()) return Fail(scores.status());
     latencies_ms.push_back(stats.seconds * 1e3);
     total_seconds += stats.seconds;
@@ -422,7 +542,9 @@ int QueryBatch(const BepiSolver& solver, const std::string& seeds_path) {
                                      std::to_string(n) + ")"));
     }
   }
-  BatchQueryEngine engine(solver);
+  BatchQueryOptions batch_options;
+  batch_options.cancel = ShutdownToken();
+  BatchQueryEngine engine(solver, batch_options);
   auto batch = engine.Run(*seeds);
   if (!batch.ok()) return Fail(batch.status());
   Table table({"seed", "ms", "iterations", "top node", "score"});
@@ -457,7 +579,9 @@ int CmdQuery(const Flags& flags) {
     return QueryLatencyStats(*solver, seed, flags.GetInt("num-queries", 100));
   }
   QueryStats stats;
-  auto scores = solver->Query(seed, &stats);
+  QueryControl control;
+  control.cancel = ShutdownToken();
+  auto scores = solver->Query(seed, &stats, nullptr, control);
   if (!scores.ok()) return Fail(scores.status());
   std::printf("query took %.3f ms (%lld inner iterations)\n",
               stats.seconds * 1e3, static_cast<long long>(stats.iterations));
@@ -490,10 +614,37 @@ int CmdRank(const Flags& flags) {
   if (!status.ok()) return Fail(status);
   const index_t seed = flags.GetInt("seed-node", 0);
   QueryStats stats;
-  auto scores = solver.Query(seed, &stats);
+  QueryControl control;
+  control.cancel = ShutdownToken();
+  auto scores = solver.Query(seed, &stats, nullptr, control);
   if (!scores.ok()) return Fail(scores.status());
   PrintQueryReport(stats);
   PrintTopK(*scores, seed, flags.GetInt("topk", 10));
+  return 0;
+}
+
+int CmdServe(const Flags& flags) {
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) return Usage();
+  auto solver = BepiSolver::LoadFile(model_path);
+  if (!solver.ok()) return Fail(solver.status());
+  ServeOptions options;
+  options.slots = static_cast<int>(flags.GetInt("slots", 2));
+  options.max_queue = flags.GetInt("max-queue", 64);
+  options.default_deadline_ms = flags.GetDouble("default-deadline-ms", 0.0);
+  options.drain_ms = flags.GetDouble("drain-ms", 5000.0);
+  options.watchdog_ms = flags.GetDouble("watchdog-ms", 250.0);
+  options.wedge_ms = flags.GetDouble("wedge-ms", 30000.0);
+  options.max_line_bytes = static_cast<std::size_t>(
+      flags.GetInt("max-line-bytes", 1 << 20));
+  options.write_timeout_ms = flags.GetDouble("write-timeout-ms", 5000.0);
+  options.max_conns = static_cast<int>(flags.GetInt("max-conns", 64));
+  QueryServer server(*solver, options);
+  const std::string socket_path = flags.GetString("socket", "");
+  const Status status = socket_path.empty()
+                            ? server.ServeStream(std::cin, std::cout)
+                            : server.ServeUnixSocket(socket_path);
+  if (!status.ok()) return Fail(status);
   return 0;
 }
 
@@ -504,6 +655,7 @@ int RunCommand(const std::string& command, const Flags& flags,
   if (command == "preprocess") return CmdPreprocess(flags);
   if (command == "query") return CmdQuery(flags);
   if (command == "rank") return CmdRank(flags);
+  if (command == "serve") return CmdServe(flags);
   if (command == "verify-model") return CmdVerifyModel(flags);
   if (command == "help") return CmdHelp(help_topic);
   return Usage();
@@ -536,6 +688,19 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   bepi::Flags flags = bepi::Flags::Parse(argc - 1, argv + 1);
+  // Schema check before any work: an unknown or malformed flag is a hard
+  // error naming the offender, never a silent no-op.
+  const auto& spec_map = CommandFlagSpecs();
+  const auto spec_it = spec_map.find(command);
+  if (spec_it != spec_map.end()) {
+    const bepi::Status valid = flags.Validate(spec_it->second);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "error: %s\nrun `bepi_cli help %s` for usage.\n",
+                   valid.message().c_str(), command.c_str());
+      return 2;
+    }
+  }
+  bepi::InstallShutdownHandler();
   if (flags.Has("log-level")) {
     const auto level = bepi::ParseLogLevel(flags.GetString("log-level", ""));
     if (!level.has_value()) {
@@ -569,7 +734,12 @@ int main(int argc, char** argv) {
   const std::string help_topic =
       command == "help" && !positional.empty() ? positional[0] : "";
   int rc = RunCommand(command, flags, help_topic);
+  // Telemetry flushes even on a signal-cancelled run: the command wound
+  // down cooperatively, so the registry snapshot is consistent.
   const bepi::Status telemetry = WriteTelemetry(metrics_out, trace_out);
   if (!telemetry.ok() && rc == 0) rc = Fail(telemetry);
+  if (rc != 0 && bepi::ShutdownRequested()) {
+    rc = 128 + bepi::ShutdownSignal();  // conventional ^C exit (130)
+  }
   return rc;
 }

@@ -17,20 +17,29 @@
 #   * kernel paths: preprocessing a small graph must auto-select the
 #     compact 32-bit kernel path, and full-precision score dumps must be
 #     byte-identical across --kernel=compact/wide and --threads=1/4;
-#   * bench artifacts: bench_kernels, bench_fig1_query and
-#     bench_fig5_scalability write BENCH_kernels.json /
-#     BENCH_fig1_query.json / BENCH_parallel_scaling.json (smallest
-#     dataset scale) under build-ci/artifacts/, and all must parse;
+#   * serve: the long-running query server's operational contract —
+#     responses bit-identical to one-shot queries, hostile input and
+#     injected protocol faults answered without killing the process,
+#     sub-solve deadlines reported as deadline_exceeded, a full bounded
+#     queue shedding load as "overloaded", concurrent socket clients,
+#     SIGTERM draining to exit 0 with telemetry flushed, and SIGKILL
+#     leaving the model file untouched;
+#   * bench artifacts: bench_kernels, bench_fig1_query,
+#     bench_fig5_scalability and bench_serve write BENCH_kernels.json /
+#     BENCH_fig1_query.json / BENCH_parallel_scaling.json /
+#     BENCH_serve.json (smallest dataset scale) under
+#     build-ci/artifacts/, and all must parse;
 #   * docs cross-check: tools/check_docs.sh verifies every flag and
 #     BEPI_* variable documented in README/docs against the binary and
 #     the source tree.
 #
 # The "thread" configuration is narrower than the others: it builds only
 # the concurrency-sensitive tests (test_metrics, test_trace,
-# test_parallel, test_trisolve, test_kernel) under TSan and runs them
-# directly — the registry's sharded counters, the per-thread trace
-# buffers, the work-stealing pool and the level-scheduled triangular
-# solves are where new data races would land.
+# test_parallel, test_trisolve, test_kernel, test_cancel, test_server)
+# under TSan and runs them directly — the registry's sharded counters,
+# the per-thread trace buffers, the work-stealing pool, the
+# level-scheduled triangular solves, mid-solve cancellation and the
+# query server's worker pool are where new data races would land.
 #
 # Usage: tools/ci.sh [default|address|undefined|thread ...]
 #   With no arguments all four configurations run.
@@ -167,6 +176,146 @@ smoke_kernel_paths() {
   rm -rf "$work"
 }
 
+smoke_serve() {
+  local cli="$1"
+  local work
+  work="$(mktemp -d)"
+  echo "=== serve smoke test ==="
+  "$cli" generate --out="$work/graph.txt" --nodes=400 --edges=1800 \
+    --deadends=0.2 --seed=7 >/dev/null
+  "$cli" preprocess --graph="$work/graph.txt" --model="$work/model.txt" \
+    >/dev/null
+
+  # 1. Bit-identity: the scores a serve session returns must match a
+  # one-shot query's full-precision dump exactly (both sides print %.17g,
+  # which round-trips doubles, so parsed-float equality is bit equality).
+  "$cli" query --model="$work/model.txt" --seed-node=3 \
+    --dump-scores="$work/direct.txt" >/dev/null
+  printf '{"op":"query","seed":3,"scores":true}\n' |
+    "$cli" serve --model="$work/model.txt" >"$work/serve_scores.out"
+  python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+response = json.loads(open(f"{work}/serve_scores.out").read().splitlines()[0])
+assert response["ok"] and not response["partial"], response
+direct = [float(l) for l in open(f"{work}/direct.txt")]
+assert len(response["scores"]) == len(direct) > 0
+for i, (a, b) in enumerate(zip(response["scores"], direct)):
+    assert a == b, f"score {i} differs: serve={a!r} direct={b!r}"
+print("    serve scores bit-identical to one-shot query --dump-scores")
+EOF
+
+  # 2. Hostile input + injected protocol faults never kill the process:
+  # garbage, an injected corrupted line, an expired deadline and a valid
+  # query all get one JSON response line each, and the session exits 0.
+  printf '%s\n' \
+    'garbage{{{' \
+    '{"op":"query","seed":1}' \
+    '{"op":"query","id":"dl","seed":1,"deadline_ms":0.0001}' \
+    '{"op":"query","id":"ok","seed":1}' |
+    "$cli" serve --model="$work/model.txt" \
+      --fault-inject=server.parse_garbage:1:1 >"$work/hostile.out"
+  python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+lines = [json.loads(l) for l in open(f"{work}/hostile.out")]
+assert len(lines) == 4, lines
+errors = [l.get("error") for l in lines]
+assert errors.count("parse_error") == 2, errors      # garbage + injected
+assert "deadline_exceeded" in errors, errors
+final = [l for l in lines if l.get("id") == "ok"]
+assert final and final[0]["ok"], lines
+print("    garbage, injected faults and a 0.1us deadline all answered;"
+      " session survived")
+EOF
+
+  # 3. Overload: one slot and a one-deep queue against a 500-request
+  # flood must shed load with "overloaded" + retry_after_ms while still
+  # answering every line.
+  awk 'BEGIN { for (i = 0; i < 500; i++) print "{\"op\":\"query\",\"seed\":1}" }' |
+    "$cli" serve --model="$work/model.txt" --slots=1 --max-queue=1 \
+      >"$work/flood.out"
+  python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+lines = [json.loads(l) for l in open(f"{work}/flood.out")]
+assert len(lines) == 500, len(lines)
+shed = [l for l in lines if l.get("error") == "overloaded"]
+served = [l for l in lines if l.get("ok")]
+assert shed, "500-request flood against slots=1/max-queue=1 shed nothing"
+assert all(l["retry_after_ms"] >= 1 for l in shed)
+assert served, "flood starved every request"
+print(f"    flood: {len(served)} served, {len(shed)} shed with retry hints")
+EOF
+
+  # 4. Socket mode: two concurrent clients get valid, identical answers
+  # for the same seed; SIGTERM then drains cleanly — exit 0 with the
+  # metrics flushed to --metrics-out.
+  "$cli" serve --model="$work/model.txt" --socket="$work/serve.sock" \
+    --metrics-out="$work/serve_metrics.json" >/dev/null 2>&1 &
+  local serve_pid=$!
+  local i=0
+  while [ ! -S "$work/serve.sock" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "serve socket never appeared" >&2; exit 1; }
+    sleep 0.05
+  done
+  python3 - "$work" <<'EOF'
+import json, socket, sys, threading
+work = sys.argv[1]
+results = [None, None]
+def client(slot):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(f"{work}/serve.sock")
+    s.sendall(b'{"op":"query","seed":5,"topk":3}\n')
+    buf = b""
+    while b"\n" not in buf:
+        buf += s.recv(4096)
+    s.close()
+    results[slot] = buf.split(b"\n")[0]
+threads = [threading.Thread(target=client, args=(i,)) for i in range(2)]
+for t in threads: t.start()
+for t in threads: t.join()
+parsed = [json.loads(r) for r in results]
+for p in parsed:
+    assert p["ok"], p
+    p.pop("ms")  # wall-clock timing is the one legitimately varying field
+assert parsed[0] == parsed[1], results
+print("    two concurrent socket clients answered identically")
+EOF
+  kill -TERM "$serve_pid"
+  local drain_status=0
+  wait "$serve_pid" || drain_status=$?
+  if [ "$drain_status" -ne 0 ]; then
+    echo "SIGTERM drain exited with $drain_status (want 0)" >&2
+    exit 1
+  fi
+  python3 -c "
+import json, sys
+m = json.load(open('$work/serve_metrics.json'))
+assert m['counters'].get('server.completed', 0) >= 1, m['counters']
+"
+  echo "    SIGTERM drained to exit 0; metrics flushed"
+
+  # 5. SIGKILL mid-serve must leave the model file untouched (the server
+  # only ever reads it).
+  cp "$work/model.txt" "$work/model.before"
+  "$cli" serve --model="$work/model.txt" --socket="$work/kill.sock" \
+    >/dev/null 2>&1 &
+  local kill_pid=$!
+  i=0
+  while [ ! -S "$work/kill.sock" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "serve socket never appeared" >&2; exit 1; }
+    sleep 0.05
+  done
+  kill -KILL "$kill_pid"
+  wait "$kill_pid" 2>/dev/null || true
+  cmp "$work/model.txt" "$work/model.before"
+  echo "    SIGKILL mid-serve left the model byte-identical"
+  rm -rf "$work"
+}
+
 bench_artifacts() {
   local build_dir="$1"
   local out="$build_dir/../artifacts"
@@ -187,6 +336,8 @@ bench_artifacts() {
   "$build_dir/bench/bench_fig5_scalability" --scale=0.05 --slices=2 \
     --queries=2 --threads=4 --batch=8 \
     --json-out="$out/BENCH_parallel_scaling.json" >/dev/null
+  "$build_dir/bench/bench_serve" --scale=0.05 --queries=20 \
+    --json-out="$out/BENCH_serve.json" >/dev/null 2>&1
   python3 - "$out" <<'EOF'
 import json, sys
 out = sys.argv[1]
@@ -198,6 +349,11 @@ results = fig1["results"]
 assert results, "BENCH_fig1_query.json has no results"
 methods = {r["method"] for r in results}
 assert "bepi" in methods, sorted(methods)
+serve = json.load(open(f"{out}/BENCH_serve.json"))
+assert serve["bench"] == "serve", serve.get("bench")
+serve_methods = {r["method"] for r in serve["results"]}
+assert "clients=1" in serve_methods and "clients=8" in serve_methods, \
+    sorted(serve_methods)
 scaling = json.load(open(f"{out}/BENCH_parallel_scaling.json"))
 assert scaling["bench"] == "parallel_scaling", scaling.get("bench")
 srec = scaling["results"]
@@ -231,16 +387,18 @@ for config in "${configs[@]}"; do
     # triangular solves, ILU(0) apply) are the concurrency-bearing
     # surface.
     echo "=== [$config] build (test_metrics, test_trace, test_parallel," \
-      "test_trisolve, test_kernel) ==="
+      "test_trisolve, test_kernel, test_cancel, test_server) ==="
     cmake --build "$build_dir" -j "$jobs" \
       --target test_metrics test_trace test_parallel test_trisolve \
-      test_kernel
+      test_kernel test_cancel test_server
     echo "=== [$config] test ==="
     "$build_dir/tests/test_metrics"
     "$build_dir/tests/test_trace"
     "$build_dir/tests/test_parallel"
     "$build_dir/tests/test_trisolve"
     "$build_dir/tests/test_kernel"
+    "$build_dir/tests/test_cancel"
+    "$build_dir/tests/test_server"
     continue
   fi
   echo "=== [$config] build ==="
@@ -251,6 +409,7 @@ for config in "${configs[@]}"; do
     smoke_kill_resume "$build_dir/tools/bepi_cli"
     smoke_telemetry "$build_dir/tools/bepi_cli"
     smoke_kernel_paths "$build_dir/tools/bepi_cli"
+    smoke_serve "$build_dir/tools/bepi_cli"
     bench_artifacts "$build_dir"
     echo "=== docs cross-check ==="
     tools/check_docs.sh "$build_dir/tools/bepi_cli"
