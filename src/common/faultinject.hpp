@@ -31,6 +31,14 @@ inline constexpr char kGmresNan[] = "gmres.nan";           // poisons a Krylov v
 inline constexpr char kBicgstabBreakdown[] = "bicgstab.breakdown";
 inline constexpr char kBicgstabNan[] = "bicgstab.nan";
 inline constexpr char kEdgeListRead[] = "graph.io.read";   // mid-stream IO error
+// Forces the global power-iteration fallback (degradation-chain hop 4) to
+// exhaust its budget without converging, driving queries down to the
+// Monte-Carlo terminal stage.
+inline constexpr char kPowerStall[] = "power.stall";
+// Kills a Monte-Carlo estimate before any walk runs (engine/mc): the one
+// failure mode the walk engine has, used to prove a query fails honestly
+// when even the terminal stage is broken.
+inline constexpr char kMcWalkStall[] = "mc.walk_stall";
 // Durable-storage sites (common/fileio, core/checkpoint):
 inline constexpr char kFileShortWrite[] = "fileio.short_write";
 // Simulates a crash after the temp file was written but before the rename:

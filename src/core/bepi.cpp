@@ -13,6 +13,7 @@
 #include "common/trace.hpp"
 #include "core/checkpoint.hpp"
 #include "core/resilient.hpp"
+#include "engine/mc/mc.hpp"
 #include "solver/bicgstab.hpp"
 #include "solver/gmres.hpp"
 #include "sparse/io.hpp"
@@ -121,13 +122,13 @@ Status BepiSolver::Preprocess(const Graph& g, CheckpointManager* checkpoints) {
     info_.ilu_seconds = ilu_timer.Seconds();
   }
   inverse_perm_ = InversePermutation(dec_.perm);
-  BindQueryKernels();
+  BindQueryKernels(/*from_load=*/false);
   preprocess_seconds_ = total_timer.Seconds();
   preprocessed_ = true;
   return Status::Ok();
 }
 
-void BepiSolver::BindQueryKernels() {
+void BepiSolver::BindQueryKernels(bool from_load) {
   KernelPath requested = GlobalKernelPath();
   if (requested == KernelPath::kAuto && loaded_path_.has_value()) {
     // The model records the path it was preprocessed with; an unforced
@@ -136,16 +137,22 @@ void BepiSolver::BindQueryKernels() {
   }
   kernels_ = std::make_unique<DecompositionKernels>(
       BindDecompositionKernels(dec_, requested));
-  if (ilu_.has_value()) {
-    if (loaded_lower_.has_value() && loaded_upper_.has_value()) {
-      if (!ilu_->AdoptSchedules(std::move(*loaded_lower_),
-                                std::move(*loaded_upper_), kernels_->path)) {
-        BEPI_LOG(Warning) << "model kernel schedules failed validation "
-                          << "against the recomputed ILU(0) pattern; rebuilt";
-      }
+  if (!ilu_.has_value()) {
+    kernel_schedule_origin_ = "none (no ILU(0) factors)";
+  } else if (loaded_lower_.has_value() && loaded_upper_.has_value()) {
+    if (!ilu_->AdoptSchedules(std::move(*loaded_lower_),
+                              std::move(*loaded_upper_), kernels_->path)) {
+      BEPI_LOG(Warning) << "model kernel schedules failed validation "
+                        << "against the recomputed ILU(0) pattern; rebuilt";
+      kernel_schedule_origin_ = "rebuilt (model schedules failed validation)";
     } else {
-      ilu_->EnableKernels(kernels_->path);
+      kernel_schedule_origin_ = "model (validated)";
     }
+  } else {
+    ilu_->EnableKernels(kernels_->path);
+    kernel_schedule_origin_ = from_load
+                                  ? "rebuilt (model carries no schedules)"
+                                  : "built (preprocess)";
   }
   loaded_path_.reset();
   loaded_lower_.reset();
@@ -335,7 +342,7 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
         return cancelled_early();
       }
     } else if (schur_solve.status().code() == StatusCode::kNotConverged &&
-               options_.enable_fallbacks && SupportsGlobalPowerFallback(dec_)) {
+               options_.enable_fallbacks) {
       // Hop 4: every Krylov stage failed; solve the original reordered
       // system H r = c q by power iteration, which always converges for
       // RWR. The back-substitution lines are skipped — the fallback
@@ -345,18 +352,68 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
       cq.insert(cq.end(), cq1.begin(), cq1.end());
       cq.insert(cq.end(), cq2.begin(), cq2.end());
       cq.insert(cq.end(), cq3.begin(), cq3.end());
-      BEPI_ASSIGN_OR_RETURN(Vector r,
-                            GlobalPowerFallback(dec_, cq, ropts, &report));
-      auto at = [&r](index_t i) {
-        return r.begin() + static_cast<std::ptrdiff_t>(i);
-      };
-      r1.assign(at(0), at(n1));
-      r2.assign(at(n1), at(n1 + n2));
-      r3.assign(at(n1 + n2), at(dec_.n));
-      back_substitute = false;
-      if (report.final_outcome == SolveOutcome::kCancelled &&
-          control.cancel != nullptr && !control.allow_partial) {
-        return cancelled_early();
+      Result<Vector> power =
+          SupportsGlobalPowerFallback(dec_)
+              ? GlobalPowerFallback(dec_, cq, ropts, &report)
+              : Result<Vector>(Status::FailedPrecondition(
+                    "decomposition lacks H11/H22 (model predates format "
+                    "v2); global power fallback unavailable"));
+      if (power.ok()) {
+        Vector r = std::move(power).value();
+        auto at = [&r](index_t i) {
+          return r.begin() + static_cast<std::ptrdiff_t>(i);
+        };
+        r1.assign(at(0), at(n1));
+        r2.assign(at(n1), at(n1 + n2));
+        r3.assign(at(n1 + n2), at(dec_.n));
+        back_substitute = false;
+        if (report.final_outcome == SolveOutcome::kCancelled &&
+            control.cancel != nullptr && !control.allow_partial) {
+          return cancelled_early();
+        }
+      } else if (mc_ != nullptr &&
+                 (power.status().code() == StatusCode::kNotConverged ||
+                  power.status().code() == StatusCode::kFailedPrecondition)) {
+        // Hop 5: the Monte-Carlo terminal stage. Every linear-algebra
+        // stage — all of which share the preprocessed factors — has
+        // failed, so the query is answered from the raw graph instead:
+        // simulated walks, with the estimate's confidence half-width
+        // recorded as the attempt's residual (an explicit error bound in
+        // place of a solver residual).
+        Result<Vector> mc_scores = McTerminalHop(cq, &report, control);
+        if (!mc_scores.ok()) {
+          if (control.cancel != nullptr &&
+              (mc_scores.status().code() == StatusCode::kCancelled ||
+               mc_scores.status().code() == StatusCode::kDeadlineExceeded)) {
+            return cancelled_early();
+          }
+          return mc_scores.status();
+        }
+        // The estimate is already in original node ids; scatter it into
+        // the reordered slices so the reassembly/stats tail below stays
+        // the single exit path.
+        const Vector& scores = mc_scores.value();
+        r1.assign(static_cast<std::size_t>(n1), 0.0);
+        r2.assign(static_cast<std::size_t>(n2), 0.0);
+        r3.assign(static_cast<std::size_t>(n3), 0.0);
+        for (index_t old = 0; old < dec_.n; ++old) {
+          const index_t pos = dec_.perm[static_cast<std::size_t>(old)];
+          const real_t v = scores[static_cast<std::size_t>(old)];
+          if (pos < n1) {
+            r1[static_cast<std::size_t>(pos)] = v;
+          } else if (pos < n1 + n2) {
+            r2[static_cast<std::size_t>(pos - n1)] = v;
+          } else {
+            r3[static_cast<std::size_t>(pos - n1 - n2)] = v;
+          }
+        }
+        back_substitute = false;
+      } else if (power.status().code() == StatusCode::kFailedPrecondition) {
+        // Pre-v2 model and no MC engine attached: the pre-resilience
+        // behavior, surfacing the Krylov chain's verdict.
+        return schur_solve.status();
+      } else {
+        return power.status();
       }
     } else {
       return schur_solve.status();
@@ -429,6 +486,72 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
     stats->report = std::move(report);
   }
   return result;
+}
+
+Status BepiSolver::AttachMcFallback(const McWalkEngine* engine,
+                                    McFallbackOptions options) {
+  if (engine != nullptr && preprocessed_ && engine->num_nodes() != dec_.n) {
+    return Status::InvalidArgument(
+        "mc fallback engine covers " + std::to_string(engine->num_nodes()) +
+        " nodes but the model has " + std::to_string(dec_.n));
+  }
+  if (engine != nullptr && options.walks == 0) {
+    return Status::InvalidArgument("mc fallback walk budget must be positive");
+  }
+  mc_ = engine;
+  mc_fallback_options_ = options;
+  return Status::Ok();
+}
+
+Result<Vector> BepiSolver::McTerminalHop(const Vector& cq, QueryReport* report,
+                                         const QueryControl& control) const {
+  TraceSpan hop_span("query.mc_fallback");
+  // Recover the start distribution q in original ids from the reordered
+  // scaled slices: q[old] = cq[perm[old]] / c.
+  Vector q(static_cast<std::size_t>(dec_.n), 0.0);
+  const real_t inv_c = static_cast<real_t>(1.0) / options_.restart_prob;
+  for (index_t i = 0; i < dec_.n; ++i) {
+    const real_t v = cq[static_cast<std::size_t>(i)];
+    if (v != 0.0) {
+      q[static_cast<std::size_t>(inverse_perm_[static_cast<std::size_t>(i)])] =
+          v * inv_c;
+    }
+  }
+  McOptions mo;
+  mo.restart_prob = options_.restart_prob;
+  mo.walks = mc_fallback_options_.walks;
+  mo.delta = mc_fallback_options_.delta;
+  mo.seed = mc_fallback_options_.seed;
+  mo.cancel = control.cancel;
+  mo.allow_partial = control.allow_partial;
+  Result<McEstimate> est = mc_->EstimateVector(q, mo);
+  SolveAttempt attempt;
+  attempt.stage = "mc";
+  if (est.ok()) {
+    attempt.outcome = est.value().outcome;
+    attempt.iterations = static_cast<index_t>(est.value().walks_completed);
+    attempt.residual = est.value().uniform_eps;
+  } else {
+    const bool token_expired =
+        est.status().code() == StatusCode::kCancelled ||
+        est.status().code() == StatusCode::kDeadlineExceeded;
+    attempt.outcome =
+        token_expired ? SolveOutcome::kCancelled : SolveOutcome::kBreakdown;
+    attempt.iterations = 0;
+    attempt.residual = 1.0;  // an estimate that never ran bounds nothing
+  }
+  if (MetricsEnabled()) {
+    MetricsRegistry::Global().GetCounter("solver.attempts.mc")->Increment();
+  }
+  report->attempts.push_back(attempt);
+  report->final_outcome = attempt.outcome;
+  if (hop_span.active()) {
+    hop_span.Arg("outcome", SolveOutcomeName(attempt.outcome));
+    hop_span.Arg("walks", attempt.iterations);
+    hop_span.Arg("uniform_eps", attempt.residual);
+  }
+  if (!est.ok()) return est.status();
+  return std::move(est).value().scores;
 }
 
 std::uint64_t BepiSolver::PreprocessedBytes() const {
@@ -735,7 +858,7 @@ Status BepiSolver::FinalizeLoaded() {
   info_.n3 = dec_.n3;
   info_.schur_nnz = dec_.schur.nnz();
   info_.ilu_skipped = ilu_skipped;
-  BindQueryKernels();
+  BindQueryKernels(/*from_load=*/true);
   preprocessed_ = true;
   return Status::Ok();
 }

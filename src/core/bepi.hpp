@@ -23,6 +23,16 @@
 namespace bepi {
 
 struct GmresWorkspace;
+class McWalkEngine;
+
+/// Configuration of the Monte-Carlo terminal stage (see AttachMcFallback).
+/// Per-query parameters (restart probability, cancellation, partial-result
+/// policy) come from the query itself; these are the walk-budget knobs.
+struct McFallbackOptions {
+  std::uint64_t walks = 200'000;
+  double delta = 0.01;
+  std::uint64_t seed = 20170514;
+};
 
 enum class BepiMode { kBasic, kSparsified, kPreconditioned };
 
@@ -134,6 +144,26 @@ class BepiSolver final : public RwrSolver {
                              const QueryControl& control) const;
   std::uint64_t PreprocessedBytes() const override;
 
+  /// Arms the Monte-Carlo walk engine (engine/mc) as the terminal stage of
+  /// the degradation chain: when every linear-algebra stage — including
+  /// the global power fallback — has failed, the query is answered by
+  /// simulating walks on the raw graph, with the estimate's confidence
+  /// half-width recorded as the attempt's residual (the explicit error
+  /// bound). The engine must be built over the same graph the model was
+  /// preprocessed from (node counts are checked) and must outlive the
+  /// solver. Pass nullptr to detach.
+  Status AttachMcFallback(const McWalkEngine* engine,
+                          McFallbackOptions options = {});
+  const McWalkEngine* mc_fallback() const { return mc_; }
+
+  /// Where the active ILU(0) level schedules came from, e.g.
+  /// "built (preprocess)", "model (validated)" or "rebuilt (model
+  /// schedules failed validation)" — surfaced by `bepi_cli verify-model`
+  /// so operators can tell a stale schedule section from a healthy one.
+  const std::string& kernel_schedule_origin() const {
+    return kernel_schedule_origin_;
+  }
+
   const BepiPreprocessInfo& info() const { return info_; }
   const HubSpokeDecomposition& decomposition() const { return dec_; }
   /// The ILU(0) preconditioner (present only in kPreconditioned mode).
@@ -172,8 +202,17 @@ class BepiSolver final : public RwrSolver {
   /// Resolves --kernel/BEPI_KERNEL against the matrices, binds the
   /// DecompositionKernels views, arms the ILU(0) level schedules (adopting
   /// loaded ones when valid) and publishes the model.kernel_path gauge.
-  /// Runs at the end of Preprocess and of every Load.
-  void BindQueryKernels();
+  /// Runs at the end of Preprocess and of every Load; `from_load` only
+  /// labels kernel_schedule_origin() honestly.
+  void BindQueryKernels(bool from_load);
+
+  /// Hop 5: answers the query via the attached Monte-Carlo engine. `cq`
+  /// is the scaled start vector in reordered ids; the returned scores are
+  /// in ORIGINAL ids (the engine walks the raw graph). Appends the "mc"
+  /// attempt (iterations = walks, residual = confidence half-width) to
+  /// `report`.
+  Result<Vector> McTerminalHop(const Vector& cq, QueryReport* report,
+                               const QueryControl& control) const;
 
   BepiOptions options_;
   real_t effective_hub_ratio_ = 0.0;
@@ -191,6 +230,10 @@ class BepiSolver final : public RwrSolver {
   Permutation inverse_perm_;  // new -> old
   BepiPreprocessInfo info_;
   bool preprocessed_ = false;
+  std::string kernel_schedule_origin_ = "unbound";
+  /// Terminal-stage walk engine (not owned; null = stage disarmed).
+  const McWalkEngine* mc_ = nullptr;
+  McFallbackOptions mc_fallback_options_;
 };
 
 }  // namespace bepi

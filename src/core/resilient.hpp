@@ -15,6 +15,12 @@
 //   3. BiCGSTAB, no precond (different Krylov recurrence; survives GMRES
 //                            stagnation)
 //   4. power iteration     (always converges; slowest)
+//   5. Monte-Carlo walks   (engine/mc, armed via BepiSolver::
+//                           AttachMcFallback: failure-INDEPENDENT — walks
+//                           the raw graph, sharing none of the
+//                           preprocessed factors hops 1-4 all consume,
+//                           and answers with an explicit confidence bound
+//                           instead of a residual)
 //
 // Every attempt is recorded in a QueryReport so callers can observe which
 // hops ran and why — no recoverable solver failure reaches std::abort.

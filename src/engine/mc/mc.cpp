@@ -1,0 +1,325 @@
+#include "engine/mc/mc.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/faultinject.hpp"
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "common/trace.hpp"
+
+namespace bepi {
+namespace {
+
+/// Seed of walk w's private RNG stream: two SplitMix64 rounds over the
+/// base seed xored with the walk index. Every walk draws from its own
+/// stream regardless of which thread runs it, which is what makes the
+/// estimate a pure function of (seed, walks).
+std::uint64_t WalkSeed(std::uint64_t base, std::uint64_t walk) {
+  std::uint64_t state = base ^ (walk * 0x9e3779b97f4a7c15ULL);
+  (void)SplitMix64(&state);
+  return SplitMix64(&state);
+}
+
+/// Steps after which a still-live walk is killed. P(geometric(c) > k) =
+/// (1-c)^k, so the truncation bias on any score is below (1-c)^cap;
+/// cap = ceil(96/c) puts that under e^-96 < 1e-41 for any c in (0,1).
+index_t DefaultMaxSteps(real_t c) {
+  return static_cast<index_t>(std::ceil(96.0 / static_cast<double>(c)));
+}
+
+}  // namespace
+
+real_t McEstimate::BernsteinBound(index_t v) const {
+  if (walks_completed == 0) return 1.0;
+  const double n = static_cast<double>(scores.size());
+  const double N = static_cast<double>(walks_completed);
+  const double p = static_cast<double>(scores[static_cast<std::size_t>(v)]);
+  // Empirical Bernstein (Maurer & Pontil) for [0,1] samples, with the
+  // sample variance of a Bernoulli written as p(1-p) and delta split
+  // across all n coordinates.
+  const double log_term = std::log(3.0 * n / delta);
+  return static_cast<real_t>(std::sqrt(2.0 * p * (1.0 - p) * log_term / N) +
+                             3.0 * log_term / N);
+}
+
+real_t McEstimate::CheckBound(index_t v) const {
+  return std::min(uniform_eps, BernsteinBound(v));
+}
+
+real_t McWalkEngine::HoeffdingEps(std::uint64_t walks, double delta) {
+  if (walks == 0) return 1.0;
+  return static_cast<real_t>(
+      std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(walks))));
+}
+
+std::uint64_t McWalkEngine::WalksForEps(real_t eps, double delta) {
+  const double e = static_cast<double>(eps);
+  return static_cast<std::uint64_t>(
+      std::ceil(std::log(2.0 / delta) / (2.0 * e * e)));
+}
+
+McWalkEngine::McWalkEngine(const Graph& g) : graph_(g) {
+  const std::vector<real_t>& values = g.adjacency().values();
+  weighted_ = std::any_of(values.begin(), values.end(),
+                          [](real_t w) { return w != 1.0; });
+  if (!weighted_) return;
+  // Within-row prefix sums so a weighted step is one binary search.
+  const std::vector<index_t>& row_ptr = g.adjacency().row_ptr();
+  row_cdf_.resize(values.size());
+  for (index_t u = 0; u < g.num_nodes(); ++u) {
+    real_t acc = 0.0;
+    for (index_t e = row_ptr[static_cast<std::size_t>(u)];
+         e < row_ptr[static_cast<std::size_t>(u) + 1]; ++e) {
+      acc += values[static_cast<std::size_t>(e)];
+      row_cdf_[static_cast<std::size_t>(e)] = acc;
+    }
+  }
+}
+
+index_t McWalkEngine::num_nodes() const { return graph_.num_nodes(); }
+
+Result<McEstimate> McWalkEngine::EstimateSeed(index_t seed,
+                                              const McOptions& options) const {
+  if (seed < 0 || seed >= graph_.num_nodes()) {
+    return Status::OutOfRange("mc: seed out of range");
+  }
+  return Run(seed, nullptr, options);
+}
+
+Result<McEstimate> McWalkEngine::EstimateVector(
+    const Vector& q, const McOptions& options) const {
+  if (static_cast<index_t>(q.size()) != graph_.num_nodes()) {
+    return Status::InvalidArgument("mc: personalization vector length mismatch");
+  }
+  real_t total = 0.0;
+  for (real_t v : q) {
+    if (v < 0.0 || !std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "mc: personalization weights must be non-negative and finite");
+    }
+    total += v;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("mc: personalization vector sums to zero");
+  }
+  // Normalized running CDF over all coordinates; start nodes are sampled
+  // by binary search. Zero entries repeat the previous cumulative value,
+  // so they are never selected.
+  Vector cdf(q.size());
+  real_t acc = 0.0;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    acc += q[i] / total;
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;
+  return Run(-1, &cdf, options);
+}
+
+Result<McEstimate> McWalkEngine::Run(index_t seed, const Vector* start_cdf,
+                                     const McOptions& options) const {
+  if (options.restart_prob <= 0.0 || options.restart_prob >= 1.0) {
+    return Status::InvalidArgument("mc: restart_prob must be in (0, 1)");
+  }
+  if (options.delta <= 0.0 || options.delta >= 1.0) {
+    return Status::InvalidArgument("mc: delta must be in (0, 1)");
+  }
+  if (options.walks == 0) {
+    return Status::InvalidArgument("mc: walk budget must be positive");
+  }
+  if (BEPI_FAULT_INJECTED(fault_sites::kMcWalkStall)) {
+    return Status::Internal("mc: injected walk stall (site mc.walk_stall)");
+  }
+  Timer timer;
+  TraceSpan span("mc.estimate");
+  const index_t n = graph_.num_nodes();
+  const double c = static_cast<double>(options.restart_prob);
+  const index_t batch =
+      std::max<index_t>(1, std::min<index_t>(options.batch_size, 1 << 14));
+  const index_t max_steps = options.max_steps > 0
+                                ? options.max_steps
+                                : DefaultMaxSteps(options.restart_prob);
+
+  // The anytime contract: a target_eps below the budget's own Hoeffding
+  // width shrinks the budget to exactly the walks needed, and a target
+  // the budget cannot reach runs the whole budget (outcome
+  // kBudgetExhausted). Deterministic — derived from options only.
+  std::uint64_t budget = options.walks;
+  bool target_reachable = false;
+  if (options.target_eps > 0.0) {
+    const std::uint64_t needed = WalksForEps(options.target_eps, options.delta);
+    if (needed <= budget) {
+      budget = std::max<std::uint64_t>(1, needed);
+      target_reachable = true;
+    }
+  }
+
+  const std::vector<index_t>& row_ptr = graph_.adjacency().row_ptr();
+  const std::vector<index_t>& col_idx = graph_.adjacency().col_idx();
+
+  // Shared integer deposit counts. Relaxed atomic adds of integers are
+  // exact and commutative, so the merged counts — and the doubles derived
+  // from them — do not depend on thread schedule.
+  std::vector<std::atomic<std::uint64_t>> counts(static_cast<std::size_t>(n));
+  for (auto& slot : counts) slot.store(0, std::memory_order_relaxed);
+  std::atomic<std::uint64_t> walks_done{0};
+  std::atomic<std::uint64_t> steps_done{0};
+
+  // One step-interleaved batch of walks [lo, hi): every live walk advances
+  // one step per round, with the next row prefetched as soon as it is
+  // known, so the per-step cache miss of one walk overlaps the others'.
+  auto run_batch = [&](index_t lo, index_t hi) {
+    if (options.cancel != nullptr && options.cancel->Expired()) {
+      // Skipped batches simply do not count: walks_done stays consistent
+      // with the deposits actually made, keeping the partial bound honest.
+      return;
+    }
+    const std::size_t m = static_cast<std::size_t>(hi - lo);
+    std::vector<Rng> rng;
+    rng.reserve(m);
+    std::vector<index_t> cur(m);
+    std::vector<std::uint32_t> live(m);
+    std::vector<index_t> terminal;
+    terminal.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      rng.emplace_back(WalkSeed(options.seed,
+                                static_cast<std::uint64_t>(lo) + i));
+      if (start_cdf == nullptr) {
+        cur[i] = seed;
+      } else {
+        const double r = rng.back().NextDouble();
+        cur[i] = static_cast<index_t>(
+            std::upper_bound(start_cdf->begin(), start_cdf->end(), r) -
+            start_cdf->begin());
+      }
+      live[i] = static_cast<std::uint32_t>(i);
+    }
+    std::uint64_t local_steps = 0;
+    std::size_t alive = m;
+    for (index_t step = 0; alive > 0 && step <= max_steps; ++step) {
+      std::size_t w = 0;
+      for (std::size_t k = 0; k < alive; ++k) {
+        const std::size_t i = live[k];
+        const index_t u = cur[i];
+        if (rng[i].NextDouble() < c) {
+          terminal.push_back(u);  // restart: the walk ends where it stands
+          continue;
+        }
+        if (step == max_steps) continue;  // safety cap: the walk dies
+        const index_t row_begin = row_ptr[static_cast<std::size_t>(u)];
+        const index_t deg = row_ptr[static_cast<std::size_t>(u) + 1] - row_begin;
+        if (deg == 0) continue;  // deadend: leaked mass, no deposit
+        index_t next;
+        if (!weighted_) {
+          next = col_idx[static_cast<std::size_t>(
+              row_begin + static_cast<index_t>(rng[i].NextBounded(
+                              static_cast<std::uint64_t>(deg))))];
+        } else {
+          const real_t* cdf_begin = row_cdf_.data() + row_begin;
+          const real_t r =
+              static_cast<real_t>(rng[i].NextDouble()) * cdf_begin[deg - 1];
+          next = col_idx[static_cast<std::size_t>(
+              row_begin +
+              (std::upper_bound(cdf_begin, cdf_begin + deg, r) - cdf_begin))];
+        }
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(&row_ptr[static_cast<std::size_t>(next)]);
+        __builtin_prefetch(&col_idx[static_cast<std::size_t>(
+            row_ptr[static_cast<std::size_t>(next)])]);
+#endif
+        cur[i] = next;
+        ++local_steps;
+        live[w++] = static_cast<std::uint32_t>(i);
+      }
+      alive = w;
+    }
+    for (index_t v : terminal) {
+      counts[static_cast<std::size_t>(v)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+    }
+    walks_done.fetch_add(m, std::memory_order_relaxed);
+    steps_done.fetch_add(local_steps, std::memory_order_relaxed);
+  };
+
+  // Rounds bound the cancellation latency; they do not affect results —
+  // per-walk streams and commutative counts make the estimate a function
+  // of which walk indices ran, and an uncancelled run always runs
+  // [0, budget).
+  const std::uint64_t round_size = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(batch) *
+          static_cast<std::uint64_t>(
+              std::max(1, ParallelContext::Global().num_threads())),
+      4096);
+  bool cancelled = false;
+  std::uint64_t launched = 0;
+  while (launched < budget) {
+    if (options.cancel != nullptr && options.cancel->Expired()) {
+      cancelled = true;
+      break;
+    }
+    const std::uint64_t this_round = std::min(budget - launched, round_size);
+    ParallelFor(static_cast<index_t>(launched),
+                static_cast<index_t>(launched + this_round), batch, run_batch);
+    launched += this_round;
+    if (walks_done.load(std::memory_order_relaxed) < launched) {
+      cancelled = true;  // some batches were skipped by an expiring token
+      break;
+    }
+  }
+
+  const std::uint64_t completed = walks_done.load(std::memory_order_relaxed);
+  if (cancelled && (!options.allow_partial || completed == 0)) {
+    return options.cancel->ToStatus("mc estimate");
+  }
+
+  McEstimate est;
+  est.walks_requested = budget;
+  est.walks_completed = completed;
+  est.total_steps = steps_done.load(std::memory_order_relaxed);
+  est.delta = options.delta;
+  est.scores.resize(static_cast<std::size_t>(n));
+  const real_t inv = static_cast<real_t>(1.0) / static_cast<real_t>(completed);
+  for (std::size_t i = 0; i < est.scores.size(); ++i) {
+    est.scores[i] =
+        static_cast<real_t>(counts[i].load(std::memory_order_relaxed)) * inv;
+  }
+  est.hoeffding_eps = HoeffdingEps(completed, options.delta);
+  est.uniform_eps = static_cast<real_t>(
+      std::sqrt(std::log(2.0 * static_cast<double>(n) / options.delta) /
+                (2.0 * static_cast<double>(completed))));
+  if (cancelled) {
+    est.outcome = SolveOutcome::kCancelled;
+  } else if (options.target_eps > 0.0 && !target_reachable) {
+    est.outcome = SolveOutcome::kBudgetExhausted;
+  } else {
+    est.outcome = SolveOutcome::kConverged;
+  }
+  est.seconds = timer.Seconds();
+
+  if (MetricsEnabled()) {
+    BEPI_METRIC_COUNTER(runs, "mc.runs");
+    BEPI_METRIC_COUNTER(walks, "mc.walks");
+    BEPI_METRIC_COUNTER(steps, "mc.steps");
+    runs->Increment();
+    walks->Increment(completed);
+    steps->Increment(est.total_steps);
+    if (cancelled) {
+      BEPI_METRIC_COUNTER(cancelled_runs, "mc.cancelled");
+      cancelled_runs->Increment();
+    }
+  }
+  if (span.active()) {
+    span.Arg("walks", static_cast<std::int64_t>(completed));
+    span.Arg("steps", static_cast<std::int64_t>(est.total_steps));
+    span.Arg("uniform_eps", static_cast<double>(est.uniform_eps));
+    span.Arg("outcome", SolveOutcomeName(est.outcome));
+  }
+  return est;
+}
+
+}  // namespace bepi

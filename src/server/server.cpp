@@ -426,6 +426,11 @@ void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
   out += ",\"partial\":";
   out += is_partial ? "true" : "false";
   out += ",\"outcome\":" + JsonQuote(SolveOutcomeName(stats.outcome));
+  // Which degradation-chain stage produced the answer ("ilu0+gmres" ..
+  // "mc"); operators alert on "mc" = every linear-algebra path is down.
+  if (!stats.report.attempts.empty()) {
+    out += ",\"stage\":" + JsonQuote(stats.report.attempts.back().stage);
+  }
   out += ",\"iterations\":" + std::to_string(stats.total_iterations);
   // %.17g round-trips doubles exactly: these scores are bit-comparable
   // against a one-shot `bepi_cli query --dump-scores` of the same model.
@@ -438,7 +443,9 @@ void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
   const auto ranking = TopK(*scores, req.topk, req.seed);
   for (std::size_t i = 0; i < ranking.size(); ++i) {
     if (i > 0) out += ",";
-    out += "[" + std::to_string(ranking[i].first) + ",";
+    out += "[";
+    out += std::to_string(ranking[i].first);
+    out += ",";
     AppendReal(&out, ranking[i].second);
     out += "]";
   }

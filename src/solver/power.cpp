@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/faultinject.hpp"
 #include "common/metrics.hpp"
 
 namespace bepi {
@@ -34,6 +35,13 @@ Result<Vector> FixedPointIteration(const LinearOperator& g, const Vector& f,
 
   Vector x = f;
   Vector next(f.size());
+  if (BEPI_FAULT_INJECTED(fault_sites::kPowerStall)) {
+    // Behaves exactly like a run whose budget expired before reaching tol:
+    // callers see kBudgetExhausted and degrade past hop 4.
+    stats->relative_residual = 1.0;
+    stats->outcome = SolveOutcome::kBudgetExhausted;
+    return x;
+  }
   for (index_t iter = 0; iter < options.max_iters; ++iter) {
     if (options.cancel != nullptr && options.cancel->Expired()) {
       stats->outcome = SolveOutcome::kCancelled;

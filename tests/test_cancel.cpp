@@ -166,6 +166,84 @@ TEST_F(CancelSolve, BatchFailsAllOrNothingOnExpiredToken) {
   EXPECT_EQ(batch.status().code(), StatusCode::kCancelled);
 }
 
+// --- deadline x linked-flag interaction inside BatchQueryEngine --------
+//
+// A serving batch typically carries a token wearing BOTH a per-request
+// deadline and the process shutdown flag. The two must stay
+// distinguishable (DeadlineExceeded vs Cancelled) and either source
+// firing mid-batch must stop the remaining slots, not just fail the
+// batch after running every query to completion.
+
+TEST_F(CancelSolve, BatchDeadlineWithLinkedFlagArmedMapsToDeadlineExceeded) {
+  std::atomic<bool> shutdown{false};  // armed but never fired
+  CancelToken token;
+  token.LinkFlag(&shutdown);
+  token.SetDeadlineAfter(-1ns);
+  BatchQueryOptions options;
+  options.cancel = &token;
+  BatchQueryEngine engine(*solver_, options);
+  auto batch = engine.Run({1, 2, 3});
+  ASSERT_FALSE(batch.ok());
+  // The deadline is the sole cause; the linked flag must not masquerade
+  // the failure as an operator cancellation.
+  EXPECT_EQ(batch.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(CancelSolve, BatchLinkedFlagFiringMidBatchMapsToCancelled) {
+  std::atomic<bool> shutdown{false};
+  CancelToken token;
+  token.LinkFlag(&shutdown);
+  token.SetDeadlineAfter(1h);  // armed, far away: must not decide the code
+  BatchQueryOptions options;
+  options.cancel = &token;
+  BatchQueryEngine engine(*solver_, options);
+  std::vector<index_t> seeds;
+  for (int i = 0; i < 600; ++i) seeds.push_back(i % 300);
+  std::thread signaller([&shutdown] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    shutdown.store(true);
+  });
+  auto batch = engine.Run(seeds);
+  signaller.join();
+  if (!batch.ok()) {
+    EXPECT_EQ(batch.status().code(), StatusCode::kCancelled);
+  }
+  // Whatever the race outcome, the engine is reusable with a fresh token.
+  CancelToken fresh;
+  BatchQueryOptions clean_options;
+  clean_options.cancel = &fresh;
+  BatchQueryEngine clean(*solver_, clean_options);
+  EXPECT_TRUE(clean.Run({1, 2, 3}).ok());
+}
+
+TEST_F(CancelSolve, BatchDeadlineFiringMidBatchCancelsRemainingSlots) {
+  std::vector<index_t> seeds;
+  for (int i = 0; i < 3000; ++i) seeds.push_back(i % 300);
+
+  BatchQueryEngine unlimited(*solver_, BatchQueryOptions{});
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(unlimited.Run(seeds).ok());
+  const auto full = std::chrono::steady_clock::now() - t0;
+
+  std::atomic<bool> shutdown{false};
+  CancelToken token;
+  token.LinkFlag(&shutdown);
+  token.SetDeadlineAfter(full / 20);
+  BatchQueryOptions options;
+  options.cancel = &token;
+  BatchQueryEngine engine(*solver_, options);
+  const auto t1 = std::chrono::steady_clock::now();
+  auto batch = engine.Run(seeds);
+  const auto controlled = std::chrono::steady_clock::now() - t1;
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kDeadlineExceeded);
+  // The deadline fired ~5% in; if the remaining slots had run to
+  // completion anyway, the controlled batch would cost about as much as
+  // the full one. Generous margin for scheduler noise and TSan.
+  EXPECT_LT(controlled, full * 3 / 4)
+      << "batch kept solving after its deadline fired";
+}
+
 TEST_F(CancelSolve, PreprocessObservesCancelledToken) {
   CancelToken token;
   token.Cancel();

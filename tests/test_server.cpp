@@ -7,7 +7,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -490,6 +493,48 @@ TEST_F(ServerTest, GarbageNeverKillsTheSession) {
   EXPECT_TRUE(Contains(lines, "out of range"));
   // The session survived everything and answered the real query.
   EXPECT_TRUE(Contains(lines, "\"id\":\"ok\",\"ok\":true"));
+}
+
+// Replays the checked-in regression corpus (tests/data/protocol_corpus):
+// every line is a historically-nasty input — garbage bytes, numeric
+// overflow, lone UTF-16 surrogates, duplicate keys, depth bombs, an
+// overlong line. Each must draw a valid-JSON error response, and the
+// session must stay healthy enough to answer a real query afterwards.
+// New parser regressions get appended to the corpus, not inlined here.
+TEST_F(ServerTest, ProtocolCorpusReplayNeverKillsTheSession) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(BEPI_TEST_DATA_DIR) / "protocol_corpus";
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".jsonl") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty()) << "empty corpus dir: " << dir;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    ASSERT_TRUE(in.good()) << file;
+    std::vector<std::string> requests;
+    std::string line;
+    while (std::getline(in, line)) requests.push_back(line);
+    ASSERT_FALSE(requests.empty()) << file;
+    const std::size_t corpus_lines = requests.size();
+    requests.push_back(R"({"op":"query","id":"corpus-tail","seed":3})");
+    ServeOptions options;
+    options.max_line_bytes = 4096;  // the corpus overlong line exceeds this
+    auto lines = Serve(requests, options);
+    ASSERT_EQ(lines.size(), requests.size()) << file;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      EXPECT_TRUE(test::IsValidJson(lines[i]))
+          << file << " line " << (i + 1) << ": " << lines[i];
+    }
+    for (std::size_t i = 0; i < corpus_lines; ++i) {
+      EXPECT_NE(lines[i].find("\"error\":"), std::string::npos)
+          << file << " line " << (i + 1) << " was accepted: " << lines[i];
+    }
+    EXPECT_NE(lines.back().find("\"id\":\"corpus-tail\",\"ok\":true"),
+              std::string::npos)
+        << file << ": session did not survive the corpus";
+  }
 }
 
 TEST_F(ServerTest, OverlongLineGetsBoundedErrorResponse) {

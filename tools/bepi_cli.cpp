@@ -7,16 +7,21 @@
 //   preprocess --graph=graph.txt --model=model.txt
 //              [--mode=bepi|bepi-s|bepi-b] [--k=0.2] [--c=0.05]
 //   query      --model=model.txt --seed-node=ID [--topk=10]
+//              or --engine=mc --graph=graph.txt --seed-node=ID (walk-based)
 //   rank       --graph=graph.txt --seed-node=ID [--topk=10]  (one-shot)
+//   crosscheck --graph=graph.txt  (exact vs Monte-Carlo oracle)
 //   verify-model --model=model.txt   (per-section integrity fsck)
 //
 // Example:
 //   bepi_cli generate --out=/tmp/g.txt --dataset=Slashdot-sim
 //   bepi_cli preprocess --graph=/tmp/g.txt --model=/tmp/m.txt
 //   bepi_cli query --model=/tmp/m.txt --seed-node=17 --topk=5
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,6 +42,7 @@
 #include "core/bepi.hpp"
 #include "core/checkpoint.hpp"
 #include "core/datasets.hpp"
+#include "engine/mc/mc.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -101,9 +107,11 @@ const CommandHelp kCommands[] = {
      "  bepi_cli preprocess --graph=/tmp/g.txt --model=/tmp/m.txt\n"},
     {"query",
      "query      --model=FILE (--seed-node=ID | --seeds-file=FILE)\n"
-     "           [--topk=10] [--stats --num-queries=N]",
+     "           [--topk=10] [--stats --num-queries=N]\n"
+     "           [--engine=mc --graph=FILE --walks=N --eps=E]",
      "bepi_cli query — answer RWR queries against a saved model\n"
-     "  --model=FILE       model file from `preprocess` (required)\n"
+     "  --model=FILE       model file from `preprocess` (required unless\n"
+     "                     --engine=mc)\n"
      "  --seed-node=ID     single seed: print its top-k ranking\n"
      "  --seeds-file=FILE  batch mode: one seed id per line ('#' comments\n"
      "                     and blank lines ignored), answered concurrently\n"
@@ -117,9 +125,57 @@ const CommandHelp kCommands[] = {
      "  --stats            latency percentiles over --num-queries\n"
      "                     consecutive seeds instead of a ranking\n"
      "  --num-queries=N    sample size for --stats (default 100)\n"
+     "  --engine=NAME      exact (default; the model's solver chain) or mc\n"
+     "                     (Monte-Carlo walks on the raw graph — needs\n"
+     "                     --graph, not --model; anytime semantics: walks\n"
+     "                     until --eps, the walk budget or --deadline-ms,\n"
+     "                     then answers with a confidence bound)\n"
+     "  --graph=FILE       edge list for the walk engine. With --engine=mc\n"
+     "                     it replaces the model; with the exact engine it\n"
+     "                     additionally arms the Monte-Carlo terminal\n"
+     "                     fallback stage of the degradation chain\n"
+     "  --walks=N          walk budget (default 100000)\n"
+     "  --eps=E            anytime target: stop when the per-coordinate\n"
+     "                     Hoeffding half-width reaches E (default 0 = run\n"
+     "                     the whole budget)\n"
+     "  --delta=D          confidence level 1-D for all bounds (default\n"
+     "                     0.01)\n"
+     "  --walk-seed=S      base seed of the per-walk RNG streams (default\n"
+     "                     20170514); results are bit-identical for a\n"
+     "                     fixed (seed, walks) at any --threads\n"
+     "  --deadline-ms=X    mc engine: wall-clock budget; on expiry the\n"
+     "                     current estimate is returned with its honest\n"
+     "                     (wider) bound (default 0 = none)\n"
+     "  --c=X              mc engine: restart probability (default 0.05)\n"
      "examples:\n"
      "  bepi_cli query --model=/tmp/m.txt --seed-node=17 --topk=5\n"
-     "  bepi_cli query --model=/tmp/m.txt --seeds-file=seeds.txt --threads=8\n"},
+     "  bepi_cli query --model=/tmp/m.txt --seeds-file=seeds.txt --threads=8\n"
+     "  bepi_cli query --engine=mc --graph=/tmp/g.txt --seed-node=17 \\\n"
+     "    --walks=200000 --eps=0.002\n"},
+    {"crosscheck",
+     "crosscheck --graph=FILE [--seeds=3] [--walks=200000] [--delta=0.001]",
+     "bepi_cli crosscheck — verify the linear-algebra engines against the\n"
+     "Monte-Carlo walk oracle. Preprocesses --graph in-process, answers\n"
+     "each check seed through the solver chain (whatever stage of the\n"
+     "degradation chain survives --fault-inject) AND through independent\n"
+     "walks, then fails loudly if any node's scores disagree by more than\n"
+     "the combined confidence bound — a self-verification layer for CI.\n"
+     "  --graph=FILE     input edge list (required)\n"
+     "  --seeds=N        number of deterministic check seeds (default 3)\n"
+     "  --seed-node=ID   check one specific seed instead\n"
+     "  --walks=N        oracle walk budget per seed (default 200000)\n"
+     "  --delta=D        oracle confidence level 1-D (default 0.001)\n"
+     "  --walk-seed=S    oracle RNG base seed (default 987654321; kept\n"
+     "                   distinct from the fallback stage's default so a\n"
+     "                   chain that bottoms out in MC is still checked\n"
+     "                   against independent randomness)\n"
+     "also accepts the preprocess options --mode/--k/--c/--tol.\n"
+     "exit status: 0 = every engine agreed within bounds, 1 = violation\n"
+     "(prints the worst offending node, diff and allowed bound).\n"
+     "example:\n"
+     "  bepi_cli crosscheck --graph=/tmp/g.txt --seeds=5\n"
+     "  bepi_cli crosscheck --graph=/tmp/g.txt \\\n"
+     "    --fault-inject=ilu0.factor,gmres.stagnate,bicgstab.breakdown\n"},
     {"rank",
      "rank       --graph=FILE --seed-node=ID [--topk=10]",
      "bepi_cli rank — one-shot preprocess + query (no model file)\n"
@@ -157,6 +213,17 @@ const CommandHelp kCommands[] = {
      "  --max-conns=N            concurrent socket connection cap; above\n"
      "                           it a connection gets one `overloaded`\n"
      "                           line and is closed (default 64)\n"
+     "  --graph=FILE             arm the Monte-Carlo terminal fallback:\n"
+     "                           when every linear-algebra stage fails, a\n"
+     "                           query is answered by walks on this raw\n"
+     "                           edge list with the confidence half-width\n"
+     "                           reported in the `residual` field and\n"
+     "                           \"stage\":\"mc\" in the response\n"
+     "  --walks=N                fallback walk budget (default 200000)\n"
+     "  --delta=D                fallback confidence level 1-D (default\n"
+     "                           0.01)\n"
+     "  --walk-seed=S            fallback walk RNG base seed (default\n"
+     "                           20170514)\n"
      "example:\n"
      "  echo '{\"op\":\"query\",\"seed\":17}' | \\\n"
      "    bepi_cli serve --model=/tmp/m.txt\n"},
@@ -165,7 +232,10 @@ const CommandHelp kCommands[] = {
      "bepi_cli verify-model — per-section integrity fsck of a model file\n"
      "  --model=FILE     model path (required)\n"
      "checks every v3 section against its stored CRC32C; pre-v3 models\n"
-     "get a full load check instead.\n"
+     "get a full load check instead. Also loads the model and reports\n"
+     "where the ILU(0) kernel level schedules came from — `model\n"
+     "(validated)` for a healthy kernel section vs `rebuilt (...)` for an\n"
+     "absent or stale one — so operators can tell the two apart.\n"
      "example:\n"
      "  bepi_cli verify-model --model=/tmp/m.txt\n"},
     {"help",
@@ -240,7 +310,26 @@ const std::map<std::string, std::vector<FlagSpec>>& CommandFlagSpecs() {
                                      {"topk", FlagType::kInt},
                                      {"dump-scores", FlagType::kString},
                                      {"stats", FlagType::kBool},
-                                     {"num-queries", FlagType::kInt}})},
+                                     {"num-queries", FlagType::kInt},
+                                     {"engine", FlagType::kString},
+                                     {"graph", FlagType::kString},
+                                     {"walks", FlagType::kInt},
+                                     {"eps", FlagType::kDouble},
+                                     {"delta", FlagType::kDouble},
+                                     {"walk-seed", FlagType::kInt},
+                                     {"deadline-ms", FlagType::kDouble},
+                                     {"c", FlagType::kDouble}})},
+          {"crosscheck",
+           WithGlobalFlags({{"graph", FlagType::kString},
+                            {"seeds", FlagType::kInt},
+                            {"seed-node", FlagType::kInt},
+                            {"walks", FlagType::kInt},
+                            {"delta", FlagType::kDouble},
+                            {"walk-seed", FlagType::kInt},
+                            {"mode", FlagType::kString},
+                            {"k", FlagType::kDouble},
+                            {"c", FlagType::kDouble},
+                            {"tol", FlagType::kDouble}})},
           {"rank", WithGlobalFlags({{"graph", FlagType::kString},
                                     {"seed-node", FlagType::kInt},
                                     {"topk", FlagType::kInt},
@@ -259,7 +348,11 @@ const std::map<std::string, std::vector<FlagSpec>>& CommandFlagSpecs() {
                             {"wedge-ms", FlagType::kDouble},
                             {"max-line-bytes", FlagType::kInt},
                             {"write-timeout-ms", FlagType::kDouble},
-                            {"max-conns", FlagType::kInt}})},
+                            {"max-conns", FlagType::kInt},
+                            {"graph", FlagType::kString},
+                            {"walks", FlagType::kInt},
+                            {"delta", FlagType::kDouble},
+                            {"walk-seed", FlagType::kInt}})},
           {"verify-model", WithGlobalFlags({{"model", FlagType::kString}})},
           {"help", WithGlobalFlags({})},
       };
@@ -346,6 +439,22 @@ void PrintTopK(const Vector& scores, index_t seed, index_t topk) {
                   Table::Num(ranking[i].second, 6)});
   }
   table.Print();
+}
+
+/// Shared --walks/--eps/--delta/--walk-seed/--c vocabulary of the walk
+/// engine (query --engine=mc, crosscheck, and the serve/query fallback).
+McOptions McOptionsFromFlags(const Flags& flags, std::uint64_t default_walks,
+                             std::uint64_t default_seed) {
+  McOptions options;
+  options.restart_prob = flags.GetDouble("c", 0.05);
+  options.walks =
+      static_cast<std::uint64_t>(flags.GetInt(
+          "walks", static_cast<index_t>(default_walks)));
+  options.target_eps = flags.GetDouble("eps", 0.0);
+  options.delta = flags.GetDouble("delta", 0.01);
+  options.seed = static_cast<std::uint64_t>(
+      flags.GetInt("walk-seed", static_cast<index_t>(default_seed)));
+  return options;
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -456,6 +565,8 @@ int CmdVerifyModel(const Flags& flags) {
     if (!solver.ok()) return Fail(solver.status());
     std::printf("load check passed (n=%lld)\n",
                 static_cast<long long>(solver->decomposition().n));
+    std::printf("kernel schedules: %s\n",
+                solver->kernel_schedule_origin().c_str());
     return 0;
   }
   std::istringstream in(*content);
@@ -481,6 +592,14 @@ int CmdVerifyModel(const Flags& flags) {
   table.Print();
   if (!report.overall.ok()) return Fail(report.overall);
   std::printf("all sections verified\n");
+  // Checksums prove the bytes are intact; only a real load proves the
+  // kernel section's level schedules still match the recomputed ILU(0)
+  // pattern. Report which one the query path would actually run with.
+  std::istringstream reload(*content);
+  auto solver = BepiSolver::Load(reload);
+  if (!solver.ok()) return Fail(solver.status());
+  std::printf("kernel schedules: %s\n",
+              solver->kernel_schedule_origin().c_str());
   return 0;
 }
 
@@ -564,7 +683,64 @@ int QueryBatch(const BepiSolver& solver, const std::string& seeds_path) {
   return 0;
 }
 
+/// Full-precision dump: round-trips every double exactly, so `cmp` of
+/// two dumps is a bit-identity check on the score vectors.
+int DumpScores(const Vector& scores, const std::string& dump_path) {
+  AtomicFileWriter writer(dump_path);
+  if (!writer.status().ok()) return Fail(writer.status());
+  char line[64];
+  for (real_t s : scores) {
+    std::snprintf(line, sizeof(line), "%.17g\n", s);
+    writer.stream() << line;
+  }
+  Status status = writer.Commit();
+  if (!status.ok()) return Fail(status);
+  std::printf("scores written to %s\n", dump_path.c_str());
+  return 0;
+}
+
+/// `query --engine=mc`: anytime Monte-Carlo answer straight off the raw
+/// graph — no model, no preprocessed factors, just walks plus a bound.
+int CmdQueryMc(const Flags& flags) {
+  auto g = LoadGraphFlag(flags);
+  if (!g.ok()) return Fail(g.status());
+  if (!flags.Has("seed-node")) return Usage();
+  const index_t seed = flags.GetInt("seed-node", 0);
+  McWalkEngine engine(*g);
+  McOptions options = McOptionsFromFlags(flags, /*default_walks=*/100'000,
+                                         /*default_seed=*/20170514);
+  CancelToken token;
+  token.LinkFlag(ShutdownFlag());
+  const double deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  if (deadline_ms > 0.0) {
+    token.SetDeadlineAfter(std::chrono::nanoseconds(
+        static_cast<std::int64_t>(deadline_ms * 1e6)));
+  }
+  options.cancel = &token;
+  options.allow_partial = true;
+  auto est = engine.EstimateSeed(seed, options);
+  if (!est.ok()) return Fail(est.status());
+  std::printf(
+      "mc estimate: %llu walks (%llu steps) in %.3f ms, outcome %s\n",
+      static_cast<unsigned long long>(est->walks_completed),
+      static_cast<unsigned long long>(est->total_steps), est->seconds * 1e3,
+      SolveOutcomeName(est->outcome));
+  std::printf(
+      "confidence (>= %.5g): per-coordinate +/-%.3g, sup-norm +/-%.3g\n",
+      1.0 - est->delta, static_cast<double>(est->hoeffding_eps),
+      static_cast<double>(est->uniform_eps));
+  PrintTopK(est->scores, seed, flags.GetInt("topk", 10));
+  const std::string dump_path = flags.GetString("dump-scores", "");
+  if (!dump_path.empty()) return DumpScores(est->scores, dump_path);
+  return 0;
+}
+
 int CmdQuery(const Flags& flags) {
+  const std::string engine_name = flags.GetString("engine", "exact");
+  if (engine_name == "mc") return CmdQueryMc(flags);
+  if (engine_name != "exact") {
+    return Fail(Status::InvalidArgument("--engine must be exact or mc"));
+  }
   const std::string model_path = flags.GetString("model", "");
   const std::string seeds_file = flags.GetString("seeds-file", "");
   if (model_path.empty() ||
@@ -573,6 +749,24 @@ int CmdQuery(const Flags& flags) {
   }
   auto solver = BepiSolver::LoadFile(model_path);
   if (!solver.ok()) return Fail(solver.status());
+  // --graph alongside the exact engine arms the Monte-Carlo terminal
+  // stage: the graph and engine must outlive every query below.
+  std::optional<Graph> fallback_graph;
+  std::optional<McWalkEngine> fallback_engine;
+  if (flags.Has("graph")) {
+    auto g = LoadGraphFlag(flags);
+    if (!g.ok()) return Fail(g.status());
+    fallback_graph.emplace(std::move(*g));
+    fallback_engine.emplace(*fallback_graph);
+    const McOptions mo = McOptionsFromFlags(flags, /*default_walks=*/200'000,
+                                            /*default_seed=*/20170514);
+    McFallbackOptions fo;
+    fo.walks = mo.walks;
+    fo.delta = mo.delta;
+    fo.seed = mo.seed;
+    Status attached = solver->AttachMcFallback(&*fallback_engine, fo);
+    if (!attached.ok()) return Fail(attached);
+  }
   if (!seeds_file.empty()) return QueryBatch(*solver, seeds_file);
   const index_t seed = flags.GetInt("seed-node", 0);
   if (flags.Has("stats")) {
@@ -586,22 +780,16 @@ int CmdQuery(const Flags& flags) {
   std::printf("query took %.3f ms (%lld inner iterations)\n",
               stats.seconds * 1e3, static_cast<long long>(stats.iterations));
   PrintQueryReport(stats);
+  if (!stats.report.attempts.empty() &&
+      stats.report.attempts.back().stage == "mc") {
+    std::printf("mc terminal stage answered: %lld walks, "
+                "error bound +/-%.3g\n",
+                static_cast<long long>(stats.iterations),
+                static_cast<double>(stats.residual));
+  }
   PrintTopK(*scores, seed, flags.GetInt("topk", 10));
   const std::string dump_path = flags.GetString("dump-scores", "");
-  if (!dump_path.empty()) {
-    // Full-precision dump: round-trips every double exactly, so `cmp` of
-    // two dumps is a bit-identity check on the score vectors.
-    AtomicFileWriter writer(dump_path);
-    if (!writer.status().ok()) return Fail(writer.status());
-    char line[64];
-    for (real_t s : *scores) {
-      std::snprintf(line, sizeof(line), "%.17g\n", s);
-      writer.stream() << line;
-    }
-    Status status = writer.Commit();
-    if (!status.ok()) return Fail(status);
-    std::printf("scores written to %s\n", dump_path.c_str());
-  }
+  if (!dump_path.empty()) return DumpScores(*scores, dump_path);
   return 0;
 }
 
@@ -623,11 +811,131 @@ int CmdRank(const Flags& flags) {
   return 0;
 }
 
+/// `crosscheck`: the self-verification layer. Solves each check seed via
+/// the solver chain AND via independent Monte-Carlo walks, then verifies
+/// |exact - mc| <= mc confidence bound + the solver's own reported
+/// residual/bound, per node. Any violation is a loud failure: either an
+/// engine is wrong or a bound is dishonest, and both matter.
+int CmdCrosscheck(const Flags& flags) {
+  auto g = LoadGraphFlag(flags);
+  if (!g.ok()) return Fail(g.status());
+  BepiOptions options = OptionsFromFlags(flags);
+  BepiSolver solver(options);
+  Status status = solver.Preprocess(*g);
+  if (!status.ok()) return Fail(status);
+  McWalkEngine engine(*g);
+  // Arm the terminal stage so a fault-injected chain still answers; its
+  // default walk seed (20170514) is distinct from the oracle's default
+  // below, so even a chain that bottoms out in MC is checked against
+  // independent randomness.
+  McFallbackOptions fo;
+  fo.delta = flags.GetDouble("delta", 0.001);
+  status = solver.AttachMcFallback(&engine, fo);
+  if (!status.ok()) return Fail(status);
+
+  McOptions oracle = McOptionsFromFlags(flags, /*default_walks=*/200'000,
+                                        /*default_seed=*/987654321);
+  oracle.restart_prob = options.restart_prob;
+  oracle.delta = flags.GetDouble("delta", 0.001);
+  oracle.cancel = ShutdownToken();
+
+  const index_t n = g->num_nodes();
+  std::vector<index_t> seeds;
+  if (flags.Has("seed-node")) {
+    seeds.push_back(flags.GetInt("seed-node", 0));
+  } else {
+    const index_t count = std::max<index_t>(1, flags.GetInt("seeds", 3));
+    for (index_t i = 0; i < count; ++i) {
+      seeds.push_back((i * 7919 + 1) % n);  // deterministic spread
+    }
+  }
+
+  Table table({"seed", "stage", "max |diff|", "allowed", "verdict"});
+  int violations = 0;
+  for (index_t seed : seeds) {
+    QueryStats stats;
+    QueryControl control;
+    control.cancel = ShutdownToken();
+    auto exact = solver.Query(seed, &stats, nullptr, control);
+    if (!exact.ok()) return Fail(exact.status());
+    auto est = engine.EstimateSeed(seed, oracle);
+    if (!est.ok()) return Fail(est.status());
+    // The solver side's own error contribution: a converged Krylov/power
+    // attempt reports a residual ~tol; an MC terminal attempt reports its
+    // confidence half-width. Either way it belongs in the allowed band.
+    const real_t solver_bound = stats.residual;
+    real_t worst_diff = 0.0, worst_allowed = 0.0;
+    index_t worst_node = -1;
+    bool seed_ok = true;
+    for (index_t v = 0; v < n; ++v) {
+      const real_t diff =
+          std::abs((*exact)[static_cast<std::size_t>(v)] -
+                   est->scores[static_cast<std::size_t>(v)]);
+      const real_t allowed = est->CheckBound(v) + solver_bound + 1e-12;
+      if (diff > worst_diff) {
+        worst_diff = diff;
+        worst_allowed = allowed;
+        worst_node = v;
+      }
+      if (diff > allowed) seed_ok = false;
+    }
+    if (!seed_ok) ++violations;
+    const std::string stage = stats.report.attempts.empty()
+                                  ? "direct"
+                                  : stats.report.attempts.back().stage;
+    table.AddRow({Table::Int(seed), stage, Table::Num(worst_diff, 6),
+                  Table::Num(worst_allowed, 6),
+                  seed_ok ? "ok" : "VIOLATION"});
+    if (!seed_ok) {
+      std::fprintf(stderr,
+                   "seed %lld: node %lld differs by %.6g > allowed %.6g "
+                   "(chain: %s)\n",
+                   static_cast<long long>(seed),
+                   static_cast<long long>(worst_node),
+                   static_cast<double>(worst_diff),
+                   static_cast<double>(worst_allowed),
+                   stats.report.Summary().c_str());
+    }
+  }
+  table.Print();
+  if (violations > 0) {
+    std::fprintf(stderr,
+                 "CROSSCHECK FAILED: %d of %zu seeds outside the combined "
+                 "confidence bound — an engine is wrong or a bound is "
+                 "dishonest\n",
+                 violations, seeds.size());
+    return 1;
+  }
+  std::printf("crosscheck passed: %zu seed%s, engines agree within "
+              "confidence bounds (oracle: %llu walks, delta=%.3g)\n",
+              seeds.size(), seeds.size() == 1 ? "" : "s",
+              static_cast<unsigned long long>(oracle.walks), oracle.delta);
+  return 0;
+}
+
 int CmdServe(const Flags& flags) {
   const std::string model_path = flags.GetString("model", "");
   if (model_path.empty()) return Usage();
   auto solver = BepiSolver::LoadFile(model_path);
   if (!solver.ok()) return Fail(solver.status());
+  // --graph arms the Monte-Carlo terminal stage; graph and engine must
+  // outlive the server (declared before it, destroyed after).
+  std::optional<Graph> fallback_graph;
+  std::optional<McWalkEngine> fallback_engine;
+  if (flags.Has("graph")) {
+    auto g = LoadGraphFlag(flags);
+    if (!g.ok()) return Fail(g.status());
+    fallback_graph.emplace(std::move(*g));
+    fallback_engine.emplace(*fallback_graph);
+    const McOptions mo = McOptionsFromFlags(flags, /*default_walks=*/200'000,
+                                            /*default_seed=*/20170514);
+    McFallbackOptions fo;
+    fo.walks = mo.walks;
+    fo.delta = mo.delta;
+    fo.seed = mo.seed;
+    Status attached = solver->AttachMcFallback(&*fallback_engine, fo);
+    if (!attached.ok()) return Fail(attached);
+  }
   ServeOptions options;
   options.slots = static_cast<int>(flags.GetInt("slots", 2));
   options.max_queue = flags.GetInt("max-queue", 64);
@@ -655,6 +963,7 @@ int RunCommand(const std::string& command, const Flags& flags,
   if (command == "preprocess") return CmdPreprocess(flags);
   if (command == "query") return CmdQuery(flags);
   if (command == "rank") return CmdRank(flags);
+  if (command == "crosscheck") return CmdCrosscheck(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "verify-model") return CmdVerifyModel(flags);
   if (command == "help") return CmdHelp(help_topic);

@@ -5,8 +5,8 @@
 # fault-injection tests (test_durability, test_checkpoint) run under all
 # sanitizer configurations as part of the normal ctest pass.
 #
-# After a default-configuration build, four smoke tests run against the
-# real binaries:
+# After a default-configuration build, several smoke tests run against
+# the real binaries:
 #   * kill-and-resume: preprocessing is SIGKILLed at every checkpoint
 #     commit in turn (checkpoint.crash fault site), resumed until it
 #     completes, and the resumed model must be byte-identical to a
@@ -24,22 +24,29 @@
 #     queue shedding load as "overloaded", concurrent socket clients,
 #     SIGTERM draining to exit 0 with telemetry flushed, and SIGKILL
 #     leaving the model file untouched;
+#   * crosscheck: the Monte-Carlo oracle against the exact solve on two
+#     example graphs, then with every linear-algebra stage fault-injected
+#     so the degradation chain must bottom out in the MC terminal stage
+#     and still answer (CLI and serve) with a bounded-error reply;
 #   * bench artifacts: bench_kernels, bench_fig1_query,
-#     bench_fig5_scalability and bench_serve write BENCH_kernels.json /
-#     BENCH_fig1_query.json / BENCH_parallel_scaling.json /
-#     BENCH_serve.json (smallest dataset scale) under
-#     build-ci/artifacts/, and all must parse;
+#     bench_fig5_scalability, bench_serve and bench_mc write
+#     BENCH_kernels.json / BENCH_fig1_query.json /
+#     BENCH_parallel_scaling.json / BENCH_serve.json / BENCH_mc.json
+#     (smallest dataset scale) under build-ci/artifacts/, and all must
+#     parse — the mc artifact additionally asserts every estimate stayed
+#     within its confidence bound and was bit-identical across threads;
 #   * docs cross-check: tools/check_docs.sh verifies every flag and
 #     BEPI_* variable documented in README/docs against the binary and
 #     the source tree.
 #
 # The "thread" configuration is narrower than the others: it builds only
 # the concurrency-sensitive tests (test_metrics, test_trace,
-# test_parallel, test_trisolve, test_kernel, test_cancel, test_server)
-# under TSan and runs them directly — the registry's sharded counters,
-# the per-thread trace buffers, the work-stealing pool, the
-# level-scheduled triangular solves, mid-solve cancellation and the
-# query server's worker pool are where new data races would land.
+# test_parallel, test_trisolve, test_kernel, test_cancel, test_mc,
+# test_server) under TSan and runs them directly — the registry's
+# sharded counters, the per-thread trace buffers, the work-stealing
+# pool, the level-scheduled triangular solves, mid-solve cancellation,
+# the Monte-Carlo walk engine's atomic visit counters and the query
+# server's worker pool are where new data races would land.
 #
 # Usage: tools/ci.sh [default|address|undefined|thread ...]
 #   With no arguments all four configurations run.
@@ -173,6 +180,61 @@ smoke_kernel_paths() {
   cmp "$work/scores_compact_1.txt" "$work/scores_wide_4.txt"
   echo "    compact auto-selected; scores bit-identical across" \
     "--kernel compact/wide and --threads 1/4"
+  rm -rf "$work"
+}
+
+smoke_crosscheck() {
+  local cli="$1"
+  local work
+  work="$(mktemp -d)"
+  echo "=== crosscheck smoke test ==="
+  # 1. Healthy path: the Monte-Carlo oracle against the exact (linear-
+  # algebra) solve on two example graphs. crosscheck exits non-zero if
+  # any per-node difference leaves the MC confidence interval.
+  "$cli" generate --out="$work/graph.txt" --nodes=400 --edges=1800 \
+    --deadends=0.2 --seed=7 >/dev/null
+  "$cli" crosscheck --graph="$work/graph.txt" --seeds=3 --walks=100000 \
+    >/dev/null
+  "$cli" generate --out="$work/dense.txt" --nodes=200 --edges=3000 \
+    --seed=11 >/dev/null
+  "$cli" crosscheck --graph="$work/dense.txt" --seeds=2 --walks=100000 \
+    >/dev/null
+  echo "    MC oracle agrees with the exact solve on both example graphs"
+
+  # 2. Every linear-algebra stage fault-injected: the degradation chain
+  # must bottom out in the MC terminal stage and still answer with a
+  # bounded-error reply — over the CLI and over serve.
+  local faults="ilu0.factor,gmres.stagnate,bicgstab.breakdown,power.stall"
+  "$cli" preprocess --graph="$work/graph.txt" --model="$work/model.txt" \
+    >/dev/null
+  # Seed 5 is not a deadend in this graph: a deadend seed's RWR vector is
+  # identically zero, the Schur solve then converges in 0 iterations and
+  # the chain never needs to degrade.
+  BEPI_FAULT_INJECT="$faults" "$cli" query --model="$work/model.txt" \
+    --graph="$work/graph.txt" --seed-node=5 >"$work/faulted.out"
+  grep -q "mc -> Converged" "$work/faulted.out"
+  grep -q "mc terminal stage answered" "$work/faulted.out"
+  # The crosscheck verb itself must also pass in this regime: the oracle
+  # walks an independent RNG stream, so MC-vs-MC still validates bounds.
+  BEPI_FAULT_INJECT="$faults" "$cli" crosscheck --graph="$work/graph.txt" \
+    --seeds=2 --walks=150000 >"$work/faulted_cc.out"
+  grep -q "mc" "$work/faulted_cc.out"
+  printf '{"op":"query","seed":5}\n' |
+    BEPI_FAULT_INJECT="$faults" "$cli" serve --model="$work/model.txt" \
+      --graph="$work/graph.txt" >"$work/serve_mc.out" 2>/dev/null ||
+    true
+  python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+line = open(f"{work}/serve_mc.out").read().splitlines()[0]
+response = json.loads(line)
+assert response["ok"], response
+assert response["stage"] == "mc", response
+assert response["outcome"] == "Converged", response
+assert 0.0 < response["residual"] < 0.1, response  # the confidence bound
+print("    chain bottomed out in MC over serve: stage=mc, "
+      f"bound +/-{response['residual']:.4f}")
+EOF
   rm -rf "$work"
 }
 
@@ -338,6 +400,8 @@ bench_artifacts() {
     --json-out="$out/BENCH_parallel_scaling.json" >/dev/null
   "$build_dir/bench/bench_serve" --scale=0.05 --queries=20 \
     --json-out="$out/BENCH_serve.json" >/dev/null 2>&1
+  "$build_dir/bench/bench_mc" --scale=0.05 --queries=2 --walks=50000 \
+    --json-out="$out/BENCH_mc.json" >/dev/null
   python3 - "$out" <<'EOF'
 import json, sys
 out = sys.argv[1]
@@ -362,8 +426,17 @@ widths = {r["method"] for r in srec}
 assert "threads=1" in widths and "threads=4" in widths, sorted(widths)
 ident = [r for r in srec if r["metric"] == "bit_identical"]
 assert ident and all(r["value"] == 1.0 for r in ident), ident
+mc = json.load(open(f"{out}/BENCH_mc.json"))
+assert mc["bench"] == "mc", mc.get("bench")
+mrec = mc["results"]
+assert mrec, "BENCH_mc.json has no results"
+in_bound = [r for r in mrec if r["metric"] == "within_bound"]
+assert in_bound and all(r["value"] == 1.0 for r in in_bound), in_bound
+mc_ident = [r for r in mrec if r["metric"] == "bit_identical"]
+assert mc_ident and all(r["value"] == 1.0 for r in mc_ident), mc_ident
 print(f"    {len(kernels['benchmarks'])} kernel benchmarks, "
-      f"{len(results)} fig1 records, {len(srec)} scaling records")
+      f"{len(results)} fig1 records, {len(srec)} scaling records, "
+      f"{len(mrec)} mc records")
 EOF
 }
 
@@ -387,10 +460,10 @@ for config in "${configs[@]}"; do
     # triangular solves, ILU(0) apply) are the concurrency-bearing
     # surface.
     echo "=== [$config] build (test_metrics, test_trace, test_parallel," \
-      "test_trisolve, test_kernel, test_cancel, test_server) ==="
+      "test_trisolve, test_kernel, test_cancel, test_mc, test_server) ==="
     cmake --build "$build_dir" -j "$jobs" \
       --target test_metrics test_trace test_parallel test_trisolve \
-      test_kernel test_cancel test_server
+      test_kernel test_cancel test_mc test_server
     echo "=== [$config] test ==="
     "$build_dir/tests/test_metrics"
     "$build_dir/tests/test_trace"
@@ -398,6 +471,7 @@ for config in "${configs[@]}"; do
     "$build_dir/tests/test_trisolve"
     "$build_dir/tests/test_kernel"
     "$build_dir/tests/test_cancel"
+    "$build_dir/tests/test_mc"
     "$build_dir/tests/test_server"
     continue
   fi
@@ -410,6 +484,7 @@ for config in "${configs[@]}"; do
     smoke_telemetry "$build_dir/tools/bepi_cli"
     smoke_kernel_paths "$build_dir/tools/bepi_cli"
     smoke_serve "$build_dir/tools/bepi_cli"
+    smoke_crosscheck "$build_dir/tools/bepi_cli"
     bench_artifacts "$build_dir"
     echo "=== docs cross-check ==="
     tools/check_docs.sh "$build_dir/tools/bepi_cli"
