@@ -1,0 +1,161 @@
+// Observability overhead: the cost of leaving the forensics machinery on.
+// Alternating rounds of identical query batches run with everything off
+// (metrics collection disabled, flight recorder disabled — the
+// one-relaxed-load fast path) and with everything on (metrics + the
+// always-on flight recorder, whose stage-hop events the solver records on
+// every query). The headline number is the relative overhead of the
+// instrumented configuration, estimated as the median over per-query
+// pairs of the on/off time ratio: each pair solves the same seed node
+// twice back to back, once per configuration, so frequency drift and
+// neighbor bursts at any timescale above one query cancel inside the
+// ratio; the order flips every pair so the cache-warmth advantage of
+// going second alternates sides; and the median over hundreds of pairs
+// discards the ones a burst split down the middle. (Coarser estimators —
+// min-of-rounds per config, or per-round pairing — still flap by several
+// percent on a shared CI box.) Also measured: one Prometheus render
+// (the serve `metrics` verb's work per scrape), the raw per-event cost of
+// FlightRecorder::Record, and — the contract that actually matters —
+// bit-identity of the scores with the machinery on and off.
+//
+// Usage: bench_observability [--scale=1.0] [--queries=50] [--rounds=5]
+//        [--json-out=BENCH_observability.json]
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/flightrec.hpp"
+#include "common/metrics.hpp"
+#include "common/promtext.hpp"
+#include "core/bepi.hpp"
+
+namespace {
+
+using namespace bepi;
+
+/// One timed query; checks it converged.
+double TimedQuery(const BepiSolver& solver, index_t node) {
+  const Timer timer;
+  auto r = solver.Query(node);
+  BEPI_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  return timer.Seconds();
+}
+
+void SetObservability(bool on) {
+  SetMetricsEnabled(on);
+  FlightRecorder::SetEnabled(on);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bepi;
+  Flags flags = Flags::Parse(argc, argv);
+  bench::BenchConfig config = bench::BenchConfig::FromFlags(flags);
+  const index_t queries =
+      static_cast<index_t>(flags.GetInt("queries", 50));
+  const int rounds = static_cast<int>(flags.GetInt("rounds", 5));
+  bench::PrintBanner("observability overhead", config);
+  bench::BenchJsonWriter json("observability");
+
+  const DatasetSpec spec = PaperDatasets().front();
+  Graph g = bench::LoadDataset(spec, config);
+  BepiOptions options;
+  options.hub_ratio = spec.hub_ratio;
+  options.memory_budget_bytes = config.budget_bytes;
+  BepiSolver solver(options);
+  {
+    const Status status = solver.Preprocess(g);
+    BEPI_CHECK_MSG(status.ok(), status.ToString().c_str());
+  }
+
+  // Bit-identity first: the machinery must not perturb the numerics.
+  const index_t probe = g.num_nodes() / 2;
+  SetObservability(false);
+  auto plain = solver.Query(probe);
+  BEPI_CHECK_MSG(plain.ok(), plain.status().ToString().c_str());
+  SetObservability(true);
+  auto instrumented = solver.Query(probe);
+  BEPI_CHECK_MSG(instrumented.ok(),
+                 instrumented.status().ToString().c_str());
+  bool identical =
+      std::memcmp(plain->data(), instrumented->data(),
+                  plain->size() * sizeof(real_t)) == 0;
+  json.Add(spec.name, "forensics", "bit_identical", identical ? 1.0 : 0.0);
+
+  // Paired per-query measurement: the same node solved twice back to
+  // back, once per configuration, in alternating order; each pair yields
+  // one on/off ratio. `rounds` here multiplies the pair count. Totals are
+  // kept for the absolute per-query numbers in the report.
+  const index_t pairs = queries * static_cast<index_t>(rounds);
+  Rng rng(config.seed);
+  double total_off = 0.0, total_on = 0.0;
+  std::vector<double> ratios;
+  ratios.reserve(static_cast<std::size_t>(pairs));
+  for (index_t i = 0; i < pairs; ++i) {
+    const index_t node = rng.UniformIndex(0, g.num_nodes() - 1);
+    double off, on;
+    if (i % 2 == 0) {
+      SetObservability(false);
+      off = TimedQuery(solver, node);
+      SetObservability(true);
+      on = TimedQuery(solver, node);
+    } else {
+      SetObservability(true);
+      on = TimedQuery(solver, node);
+      SetObservability(false);
+      off = TimedQuery(solver, node);
+    }
+    total_off += off;
+    total_on += on;
+    ratios.push_back(on / off);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const std::size_t mid = ratios.size() / 2;
+  const double median_ratio =
+      ratios.size() % 2 == 1
+          ? ratios[mid]
+          : 0.5 * (ratios[mid - 1] + ratios[mid]);
+  const double per_query_off = total_off / static_cast<double>(pairs);
+  const double per_query_on = total_on / static_cast<double>(pairs);
+  const double overhead_pct = (median_ratio - 1.0) * 100.0;
+
+  // One scrape: what the serve `metrics` verb does per poll.
+  const Timer scrape_timer;
+  const std::string exposition = RenderPrometheusText();
+  const double scrape_seconds = scrape_timer.Seconds();
+  BEPI_CHECK(!exposition.empty());
+
+  // Raw record cost, the per-event price of the always-on recorder.
+  constexpr int kRecords = 1'000'000;
+  const Timer record_timer;
+  for (int i = 0; i < kRecords; ++i) {
+    FlightRecord(FlightEventType::kStageHop, "bench", "ilu0+gmres", i);
+  }
+  const double record_ns = record_timer.Seconds() * 1e9 / kRecords;
+  SetObservability(false);
+
+  Table table({"dataset", "config", "per-query ms", "overhead %",
+               "identical"});
+  table.AddRow({spec.name, "off", Table::Num(per_query_off * 1e3), "-", "-"});
+  table.AddRow({spec.name, "metrics+flightrec",
+             Table::Num(per_query_on * 1e3), Table::Num(overhead_pct, 2),
+             identical ? "yes" : "NO"});
+  table.Print();
+  std::printf("\nscrape (prometheus render): %.3f ms for %zu bytes\n",
+              scrape_seconds * 1e3, exposition.size());
+  std::printf("flight-recorder record: %.1f ns/event\n", record_ns);
+
+  json.Add(spec.name, "off", "per_query_seconds", per_query_off);
+  json.Add(spec.name, "on", "per_query_seconds", per_query_on);
+  json.Add(spec.name, "forensics", "overhead_percent", overhead_pct);
+  json.Add(spec.name, "scrape", "seconds", scrape_seconds);
+  json.Add(spec.name, "flightrec", "record_ns", record_ns);
+  json.WriteIfRequested(flags);
+
+  BEPI_CHECK_MSG(identical,
+                 "scores differ with observability on (bit-identity "
+                 "contract violated)");
+  return 0;
+}

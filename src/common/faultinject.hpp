@@ -54,6 +54,10 @@ inline constexpr char kCheckpointCrash[] = "checkpoint.crash";
 inline constexpr char kServerParseGarbage[] = "server.parse_garbage";
 inline constexpr char kServerShortRead[] = "server.short_read";
 inline constexpr char kServerSlowClient[] = "server.slow_client";
+// Stalls a worker at the top of ExecuteQuery (sleeping in 10 ms slices
+// until its token is cancelled, with a hard 10 s cap) so a test can trip
+// the watchdog — and its flight-recorder auto-dump — deterministically.
+inline constexpr char kServerExecStall[] = "server.exec_stall";
 }  // namespace fault_sites
 
 class FaultInjector {

@@ -1,0 +1,109 @@
+// Always-on flight recorder for the serve path: a bounded, lock-free
+// in-memory log of the last N noteworthy events (admission, shedding,
+// degradation-chain hops, cancellation, injected faults, watchdog trips)
+// that can be dumped as Perfetto-loadable JSON *after* something went
+// wrong — unlike trace spans, nothing has to be armed in advance.
+//
+// Design (mirrors the metrics/tracing cost contract in DESIGN.md):
+//   * Disabled fast path is one relaxed atomic load + branch (FlightRecord
+//     inline). The recorder is off by default and switched on by
+//     `bepi_cli serve`.
+//   * Each thread records into its own fixed-size ring of seqlock-guarded
+//     slots; every slot field is a relaxed std::atomic word, so concurrent
+//     Snapshot()/DumpJson() from another thread is data-race-free without
+//     any lock on the record path. A torn slot (writer mid-update or
+//     lapped by ring wrap) is simply skipped by the reader.
+//   * Rings have a fixed byte budget (default 32 KiB per thread); once
+//     full, the oldest events are overwritten and counted as dropped.
+#ifndef BEPI_COMMON_FLIGHTREC_HPP_
+#define BEPI_COMMON_FLIGHTREC_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace bepi {
+
+enum class FlightEventType : std::uint8_t {
+  kAdmit = 0,   // request admitted to the worker queue
+  kShed,        // request rejected (overload / draining / bad input / conns)
+  kStageHop,    // one degradation-chain attempt finished (arg = hop ns)
+  kCancel,      // a CancelToken was fired on a request
+  kDeadline,    // a request ended with its deadline exceeded
+  kFault,       // a deterministic fault-injection site fired
+  kWatchdog,    // the watchdog declared a worker slot wedged
+  kSlowQuery,   // a request crossed the --slow-ms threshold (arg = total ns)
+  kComplete,    // a request finished and its response was written
+  kShutdown,    // the serve loop observed a shutdown/drain request
+  kDump,        // a flight-recorder dump was taken (marks self-reference)
+};
+
+/// Stable lowercase name, e.g. "stage_hop"; used as the Perfetto event name.
+const char* FlightEventTypeName(FlightEventType type);
+
+/// One decoded event, as returned by Snapshot(). request_id / detail are
+/// truncated to 23 bytes at record time.
+struct FlightEvent {
+  std::int64_t ts_ns = 0;  // steady-clock ns since the recorder epoch
+  FlightEventType type = FlightEventType::kAdmit;
+  std::int64_t arg = 0;  // event-specific payload (ns, seed, count, ...)
+  std::string request_id;
+  std::string detail;
+  int tid = 0;  // recorder thread ordinal (not an OS tid)
+};
+
+class FlightRecorder {
+ public:
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// Enabling (re)marks the epoch; events record relative to it.
+  static void SetEnabled(bool on);
+
+  /// Per-thread ring budget in bytes. Applied when a thread's ring is
+  /// created (first record on that thread); clamped to at least 16 slots.
+  /// Call before recording starts — existing rings keep their size.
+  static void SetThreadBudgetBytes(std::size_t bytes);
+  static std::size_t ThreadBudgetBytes();
+
+  /// Records one event. Call via the FlightRecord() wrapper so the
+  /// disabled path stays a single relaxed load + branch. Null request_id /
+  /// detail are recorded as empty strings.
+  static void Record(FlightEventType type, const char* request_id,
+                     const char* detail, std::int64_t arg);
+
+  /// All currently readable events across every thread ring, sorted by
+  /// timestamp. Torn slots are skipped.
+  static std::vector<FlightEvent> Snapshot();
+
+  /// Events overwritten by ring wrap (or skipped as torn) since the last
+  /// ResetForTest, summed over all rings.
+  static std::uint64_t DroppedEvents();
+
+  /// Writes the ring contents as Perfetto-loadable trace-event JSON
+  /// (instant events, one timeline row per recorder thread).
+  static Status DumpJson(std::ostream& out);
+  static Status DumpJsonFile(const std::string& path);
+
+  /// Clears every ring and the drop counters. Test support; racy against
+  /// concurrent recorders only in the benign lose-an-event sense.
+  static void ResetForTest();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+/// The one call sites use. Disabled cost: one relaxed load + branch.
+inline void FlightRecord(FlightEventType type, const char* request_id,
+                         const char* detail, std::int64_t arg = 0) {
+  if (!FlightRecorder::Enabled()) return;
+  FlightRecorder::Record(type, request_id, detail, arg);
+}
+
+}  // namespace bepi
+
+#endif  // BEPI_COMMON_FLIGHTREC_HPP_

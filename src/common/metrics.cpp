@@ -1,8 +1,13 @@
 #include "common/metrics.hpp"
 
+#include <dirent.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 namespace bepi {
@@ -175,6 +180,83 @@ void Histogram::Reset() {
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  exemplar_ = HistogramExemplar();
+}
+
+void Histogram::SnapshotBuckets(std::vector<std::uint64_t>* out) const {
+  out->resize(static_cast<std::size_t>(kNumBuckets));
+  for (int i = 0; i < kNumBuckets; ++i) {
+    (*out)[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+}
+
+void Histogram::SetExemplar(double value, const std::string& label) {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  exemplar_.valid = true;
+  exemplar_.value = value;
+  exemplar_.ts_unix_seconds =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  exemplar_.label = label;
+}
+
+HistogramExemplar Histogram::exemplar() const {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  return exemplar_;
+}
+
+namespace {
+
+// Captured at static-initialization time so process.uptime_seconds spans
+// (close to) the whole process lifetime, not the time since first scrape.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+/// Reads a "<Key>:  <value> kB" line from /proc/self/status; 0 if absent.
+double ProcStatusKb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double kb = 0.0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      kb = std::strtod(line + key_len + 1, nullptr);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+double CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0.0;
+  double count = 0.0;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    count += 1.0;  // includes the dirfd opendir itself holds
+  }
+  ::closedir(dir);
+  return count;
+}
+
+}  // namespace
+
+void SampleProcessGauges() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("process.rss_bytes")
+      ->SetAlways(ProcStatusKb("VmRSS") * 1024.0);
+  registry.GetGauge("process.peak_rss_bytes")
+      ->SetAlways(ProcStatusKb("VmHWM") * 1024.0);
+  registry.GetGauge("process.open_fds")->SetAlways(CountOpenFds());
+  registry.GetGauge("process.uptime_seconds")
+      ->SetAlways(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - g_process_start)
+                      .count());
 }
 
 double ExactQuantile(std::vector<double> values, double q) {
@@ -214,6 +296,9 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 std::string MetricsRegistry::SnapshotJson() const {
+  // Refresh the self-gauges before taking the lock (SampleProcessGauges
+  // registers through Global() and would deadlock under it).
+  if (this == &Global()) SampleProcessGauges();
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
   out << "{\n  \"counters\": {";
@@ -254,10 +339,58 @@ std::string MetricsRegistry::SnapshotJson() const {
     AppendJsonNumber(&out, snap.p95);
     out << ", \"p99\": ";
     AppendJsonNumber(&out, snap.p99);
+    // Raw non-empty buckets as cumulative [upper_bound, count] pairs so a
+    // snapshot file round-trips into Prometheus `le` buckets
+    // (bepi_cli metrics-export).
+    out << ", \"buckets\": [";
+    std::vector<std::uint64_t> counts;
+    histogram->SnapshotBuckets(&counts);
+    std::uint64_t cumulative = 0;
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const std::uint64_t c = counts[static_cast<std::size_t>(i)];
+      if (c == 0) continue;
+      cumulative += c;
+      if (!first_bucket) out << ", ";
+      first_bucket = false;
+      out << "[";
+      AppendJsonNumber(&out, Histogram::BucketUpperBound(i));
+      out << ", " << cumulative << "]";
+    }
+    out << "]";
+    const HistogramExemplar exemplar = histogram->exemplar();
+    if (exemplar.valid) {
+      out << ", \"exemplar\": {\"value\": ";
+      AppendJsonNumber(&out, exemplar.value);
+      out << ", \"ts\": ";
+      AppendJsonNumber(&out, exemplar.ts_unix_seconds);
+      out << ", \"label\": ";
+      AppendJsonString(&out, exemplar.label);
+      out << "}";
+    }
     out << "}";
   }
   out << (first ? "" : "\n  ") << "}\n}\n";
   return out.str();
+}
+
+void MetricsRegistry::VisitCounters(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) fn(name, *counter);
+}
+
+void MetricsRegistry::VisitGauges(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, gauge] : gauges_) fn(name, *gauge);
+}
+
+void MetricsRegistry::VisitHistograms(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, histogram] : histograms_) fn(name, *histogram);
 }
 
 void MetricsRegistry::ResetAll() {

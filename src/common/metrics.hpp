@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -105,6 +106,10 @@ class Gauge {
     value_.store(v, std::memory_order_relaxed);
   }
 
+  /// Set regardless of the global switch (process self-gauges sampled at
+  /// snapshot time must appear even when collection is off).
+  void SetAlways(double v) { value_.store(v, std::memory_order_relaxed); }
+
   double value() const { return value_.load(std::memory_order_relaxed); }
   const std::string& name() const { return name_; }
   void Reset() { value_.store(0.0, std::memory_order_relaxed); }
@@ -123,6 +128,17 @@ struct HistogramSnapshot {
   double p90 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+};
+
+/// One tagged sample attached to a histogram (OpenMetrics-style): the
+/// serve path pins the request_id of a slow query to its latency sample so
+/// a scrape links the aggregate tail back to one forensically-traceable
+/// request. Only the most recent exemplar is kept.
+struct HistogramExemplar {
+  bool valid = false;
+  double value = 0.0;
+  double ts_unix_seconds = 0.0;
+  std::string label;  // e.g. the request_id
 };
 
 /// Log-bucketed histogram for positive measurements (latencies in seconds,
@@ -152,6 +168,15 @@ class Histogram {
   const std::string& name() const { return name_; }
   void Reset();
 
+  /// Copies the raw per-bucket counts (size kNumBuckets, relaxed loads).
+  /// The Prometheus renderer folds these into cumulative `le` buckets.
+  void SnapshotBuckets(std::vector<std::uint64_t>* out) const;
+
+  /// Attaches/replaces the exemplar. Takes a small mutex — call off the
+  /// hot path only (the slow-query threshold already gates it).
+  void SetExemplar(double value, const std::string& label);
+  HistogramExemplar exemplar() const;
+
   /// Index of the bucket `v` lands in (exposed for tests).
   static int BucketIndex(double v);
   /// Upper bound of bucket `index` (the value quantiles report).
@@ -164,12 +189,21 @@ class Histogram {
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
   std::vector<std::atomic<std::uint64_t>> buckets_;
+  mutable std::mutex exemplar_mutex_;
+  HistogramExemplar exemplar_;
 };
 
 /// Exact quantile of an unsorted sample (nearest-rank); the reference the
 /// histogram's bucketed quantiles are tested against, and the estimator
 /// used where the full sample is available (bepi_cli query --stats).
 double ExactQuantile(std::vector<double> values, double q);
+
+/// Samples the process self-gauges — process.rss_bytes,
+/// process.peak_rss_bytes, process.open_fds, process.uptime_seconds —
+/// from /proc into the global registry (SetAlways, so they appear in any
+/// snapshot regardless of the collection switch). Called by SnapshotJson
+/// and the Prometheus renderer; cheap enough to call per scrape.
+void SampleProcessGauges();
 
 /// Named-instrument registry. Instruments live until process exit; the
 /// pointers returned by Get* are stable and safe to cache.
@@ -182,8 +216,20 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name);
 
   /// One JSON object with "counters", "gauges" and "histograms" maps,
-  /// sorted by name. Histograms serialize their HistogramSnapshot.
+  /// sorted by name. Histograms serialize their HistogramSnapshot plus
+  /// cumulative non-empty buckets (and the exemplar when set).
   std::string SnapshotJson() const;
+
+  /// Iterates instruments in name order under the registry lock; the
+  /// Prometheus renderer (common/promtext.hpp) is the main consumer. The
+  /// callback must not call back into the registry.
+  void VisitCounters(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void VisitGauges(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void VisitHistograms(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const;
 
   /// Zeroes every instrument (tests and long-lived servers).
   void ResetAll();

@@ -1,0 +1,165 @@
+#include "common/promtext.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bepi {
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  if (std::isnan(v)) {
+    *out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    *out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendUint(std::string* out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+/// Label-value escaping per the exposition format: \\, \", \n.
+void AppendLabelValue(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+void AppendHeader(std::string* out, const std::string& name,
+                  const std::string& raw_name, const char* type) {
+  *out += "# HELP " + name + " bepi metric " + raw_name + "\n";
+  *out += "# TYPE " + name + " " + type + "\n";
+}
+
+void AppendExemplar(std::string* out, const HistogramExemplar& exemplar) {
+  *out += " # {request_id=\"";
+  AppendLabelValue(out, exemplar.label);
+  *out += "\"} ";
+  AppendDouble(out, exemplar.value);
+  *out += ' ';
+  AppendDouble(out, exemplar.ts_unix_seconds);
+}
+
+}  // namespace
+
+std::string PrometheusSanitizeName(const std::string& name) {
+  std::string out = "bepi_";
+  out.reserve(name.size() + 5);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void PrometheusAppendCounter(std::string* out, const std::string& raw_name,
+                             std::uint64_t value) {
+  const std::string name = PrometheusSanitizeName(raw_name);
+  AppendHeader(out, name, raw_name, "counter");
+  *out += name + " ";
+  AppendUint(out, value);
+  *out += '\n';
+}
+
+void PrometheusAppendGauge(std::string* out, const std::string& raw_name,
+                           double value) {
+  const std::string name = PrometheusSanitizeName(raw_name);
+  AppendHeader(out, name, raw_name, "gauge");
+  *out += name + " ";
+  AppendDouble(out, value);
+  *out += '\n';
+}
+
+void PrometheusAppendHistogram(std::string* out, const std::string& raw_name,
+                               const std::vector<PromBucket>& buckets,
+                               double sum, std::uint64_t count,
+                               const HistogramExemplar& exemplar) {
+  const std::string name = PrometheusSanitizeName(raw_name);
+  AppendHeader(out, name, raw_name, "histogram");
+  bool exemplar_used = false;
+  for (const PromBucket& bucket : buckets) {
+    *out += name + "_bucket{le=\"";
+    AppendDouble(out, bucket.le);
+    *out += "\"} ";
+    AppendUint(out, bucket.cumulative);
+    if (exemplar.valid && !exemplar_used && exemplar.value <= bucket.le) {
+      AppendExemplar(out, exemplar);
+      exemplar_used = true;
+    }
+    *out += '\n';
+  }
+  // Under a concurrent recorder the bucket array is bumped before the
+  // count, so the bucket totals can momentarily exceed `count`; pin +Inf
+  // (and _count, which the spec requires to match it) to whichever is
+  // larger so the cumulative series stays monotone.
+  std::uint64_t inf_count = count;
+  if (!buckets.empty()) {
+    inf_count = std::max(inf_count, buckets.back().cumulative);
+  }
+  *out += name + "_bucket{le=\"+Inf\"} ";
+  AppendUint(out, inf_count);
+  if (exemplar.valid && !exemplar_used) AppendExemplar(out, exemplar);
+  *out += '\n';
+  *out += name + "_sum ";
+  AppendDouble(out, sum);
+  *out += '\n';
+  *out += name + "_count ";
+  AppendUint(out, inf_count);
+  *out += '\n';
+}
+
+std::string RenderPrometheusText() {
+  SampleProcessGauges();
+  std::string out;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.VisitCounters(
+      [&out](const std::string& name, const Counter& counter) {
+        PrometheusAppendCounter(&out, name, counter.value());
+      });
+  registry.VisitGauges([&out](const std::string& name, const Gauge& gauge) {
+    PrometheusAppendGauge(&out, name, gauge.value());
+  });
+  registry.VisitHistograms(
+      [&out](const std::string& name, const Histogram& histogram) {
+        const HistogramSnapshot snap = histogram.Snapshot();
+        std::vector<std::uint64_t> counts;
+        histogram.SnapshotBuckets(&counts);
+        std::vector<PromBucket> buckets;
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          const std::uint64_t c = counts[static_cast<std::size_t>(i)];
+          if (c == 0) continue;
+          cumulative += c;
+          buckets.push_back(
+              PromBucket{Histogram::BucketUpperBound(i), cumulative});
+        }
+        PrometheusAppendHistogram(&out, name, buckets, snap.sum, snap.count,
+                                  histogram.exemplar());
+      });
+  return out;
+}
+
+}  // namespace bepi

@@ -1,0 +1,55 @@
+// Prometheus text exposition (format v0.0.4) for the metrics registry.
+//
+// The registry's dotted names are sanitized into a `bepi_`-prefixed
+// metric namespace (`query.latency_seconds` → `bepi_query_latency_seconds`)
+// and the log-bucketed histograms are folded into cumulative `le` buckets:
+// only non-empty bucket boundaries are emitted (the log layout has 2050
+// buckets — a dense rendering would be scrape-hostile), always followed by
+// the mandatory `+Inf` bucket, `_sum` and `_count` series. A histogram's
+// exemplar (OpenMetrics `# {label="…"} value ts` suffix, attached to the
+// first bucket that covers it) links the aggregate to one request_id.
+//
+// Consumers: the serve `metrics` verb (scrape endpoint), `bepi_cli
+// metrics-export` (same rendering from a --metrics-out snapshot file, via
+// the Append* building blocks), and tools/ci.sh's strict parser.
+#ifndef BEPI_COMMON_PROMTEXT_HPP_
+#define BEPI_COMMON_PROMTEXT_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace bepi {
+
+/// One cumulative histogram bucket: count of samples with value <= le.
+struct PromBucket {
+  double le = 0.0;
+  std::uint64_t cumulative = 0;
+};
+
+/// `bepi_` + the name with every character outside [a-zA-Z0-9_:] replaced
+/// by '_' (so `solver.attempts.ilu0+gmres` → `bepi_solver_attempts_ilu0_gmres`).
+std::string PrometheusSanitizeName(const std::string& name);
+
+/// Building blocks shared by the live renderer and metrics-export. Each
+/// appends the `# HELP` / `# TYPE` header and the sample lines for one
+/// metric; `raw_name` is the registry's dotted name.
+void PrometheusAppendCounter(std::string* out, const std::string& raw_name,
+                             std::uint64_t value);
+void PrometheusAppendGauge(std::string* out, const std::string& raw_name,
+                           double value);
+/// `buckets` must be cumulative and sorted by le; the `+Inf` bucket is
+/// added from `count` automatically and must not be included.
+void PrometheusAppendHistogram(std::string* out, const std::string& raw_name,
+                               const std::vector<PromBucket>& buckets,
+                               double sum, std::uint64_t count,
+                               const HistogramExemplar& exemplar);
+
+/// Renders the whole global registry (self-gauges freshly sampled).
+std::string RenderPrometheusText();
+
+}  // namespace bepi
+
+#endif  // BEPI_COMMON_PROMTEXT_HPP_

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/fileio.hpp"
+#include "common/flightrec.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/sections.hpp"
@@ -248,6 +249,9 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
                                            const QueryControl& control) const {
   Timer timer;
   TraceSpan query_span("query");
+  if (control.request_id != nullptr) {
+    query_span.Arg("request_id", std::string(control.request_id));
+  }
   const index_t n1 = dec_.n1, n2 = dec_.n2, n3 = dec_.n3;
 
   // Everything below runs on the bound kernel views (compact or wide —
@@ -272,6 +276,7 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
   ropts.enable_fallbacks = options_.enable_fallbacks;
   ropts.gmres_workspace = workspace;
   ropts.cancel = control.cancel;
+  ropts.request_id = control.request_id;
 
   // Solve S r2 = q2~ through the degradation chain (line 4).
   QueryReport report;
@@ -302,6 +307,7 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
       if (options_.inner_solver == BepiInnerSolver::kBicgstab) {
         // Ablation path: BiCGSTAB as the primary inner solver. A failure
         // still drops into the global power fallback below.
+        Timer hop_timer;
         SolveStats ss;
         BicgstabOptions bi;
         bi.tol = options_.tolerance;
@@ -315,6 +321,10 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
         attempt.outcome = ss.outcome;
         attempt.iterations = ss.iterations;
         attempt.residual = ss.relative_residual;
+        attempt.seconds = hop_timer.Seconds();
+        FlightRecord(FlightEventType::kStageHop, control.request_id,
+                     attempt.stage.c_str(),
+                     static_cast<std::int64_t>(attempt.seconds * 1e9));
         report.attempts.push_back(attempt);
         report.final_outcome = ss.outcome;
         // Same contract as the resilient chain: a cancelled solve hands
@@ -457,11 +467,14 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
     BEPI_METRIC_COUNTER(queries, "query.count");
     BEPI_METRIC_COUNTER(hops, "query.fallback_hops");
     BEPI_METRIC_HISTOGRAM(latency, "query.latency_seconds");
+    // Registered outside the conditional so the key exists in every
+    // instrumented snapshot (the docs glossary cross-check relies on a
+    // deterministic key set).
+    BEPI_METRIC_COUNTER(cancelled, "query.cancelled");
     queries->Increment();
     hops->Increment(static_cast<std::uint64_t>(report.fallback_hops()));
     latency->RecordAlways(seconds);
     if (report.final_outcome == SolveOutcome::kCancelled) {
-      BEPI_METRIC_COUNTER(cancelled, "query.cancelled");
       cancelled->Increment();
     }
   }
@@ -506,6 +519,7 @@ Status BepiSolver::AttachMcFallback(const McWalkEngine* engine,
 Result<Vector> BepiSolver::McTerminalHop(const Vector& cq, QueryReport* report,
                                          const QueryControl& control) const {
   TraceSpan hop_span("query.mc_fallback");
+  Timer hop_timer;
   // Recover the start distribution q in original ids from the reordered
   // scaled slices: q[old] = cq[perm[old]] / c.
   Vector q(static_cast<std::size_t>(dec_.n), 0.0);
@@ -540,15 +554,21 @@ Result<Vector> BepiSolver::McTerminalHop(const Vector& cq, QueryReport* report,
     attempt.iterations = 0;
     attempt.residual = 1.0;  // an estimate that never ran bounds nothing
   }
+  attempt.seconds = hop_timer.Seconds();
   if (MetricsEnabled()) {
     MetricsRegistry::Global().GetCounter("solver.attempts.mc")->Increment();
   }
+  FlightRecord(FlightEventType::kStageHop, control.request_id, "mc",
+               static_cast<std::int64_t>(attempt.seconds * 1e9));
   report->attempts.push_back(attempt);
   report->final_outcome = attempt.outcome;
   if (hop_span.active()) {
     hop_span.Arg("outcome", SolveOutcomeName(attempt.outcome));
     hop_span.Arg("walks", attempt.iterations);
     hop_span.Arg("uniform_eps", attempt.residual);
+    if (control.request_id != nullptr) {
+      hop_span.Arg("request_id", std::string(control.request_id));
+    }
   }
   if (!est.ok()) return est.status();
   return std::move(est).value().scores;

@@ -83,6 +83,11 @@ struct QueryControl {
   /// kCancelled and stats->residual as the explicit error bound of the
   /// interrupted inner solve.
   bool allow_partial = false;
+  /// Trace context from the serve path: attached to the query's trace
+  /// spans and flight-recorder stage-hop events so one request can be
+  /// followed across the whole degradation chain. Not owned; must outlive
+  /// the query. May be null (non-serve callers).
+  const char* request_id = nullptr;
 };
 
 /// Structural metadata produced by preprocessing; consumed by the

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 
+#include "common/flightrec.hpp"
 #include "common/metrics.hpp"
+#include "common/timer.hpp"
 #include "common/trace.hpp"
 #include "solver/bicgstab.hpp"
 #include "solver/gmres.hpp"
@@ -12,16 +15,19 @@
 namespace bepi {
 namespace {
 
-SolveAttempt MakeAttempt(const char* stage, const SolveStats& stats) {
+SolveAttempt MakeAttempt(const char* stage, const SolveStats& stats,
+                         double seconds) {
   SolveAttempt attempt;
   attempt.stage = stage;
   attempt.outcome = stats.outcome;
   attempt.iterations = stats.iterations;
   attempt.residual = stats.relative_residual;
+  attempt.seconds = seconds;
   return attempt;
 }
 
-void Record(QueryReport* report, const SolveAttempt& attempt) {
+void Record(QueryReport* report, const SolveAttempt& attempt,
+            const char* request_id) {
   if (MetricsEnabled()) {
     // Dynamic name lookup is fine here: one registry probe per solver
     // attempt, orders of magnitude colder than the inner iterations.
@@ -29,18 +35,22 @@ void Record(QueryReport* report, const SolveAttempt& attempt) {
         .GetCounter("solver.attempts." + attempt.stage)
         ->Increment();
   }
+  FlightRecord(FlightEventType::kStageHop, request_id, attempt.stage.c_str(),
+               static_cast<std::int64_t>(attempt.seconds * 1e9));
   if (report == nullptr) return;
   report->attempts.push_back(attempt);
   report->final_outcome = attempt.outcome;
 }
 
 /// Closes a per-hop trace span with the attempt's verdict attached.
-void FinishHopSpan(TraceSpan* span, const SolveAttempt& attempt) {
+void FinishHopSpan(TraceSpan* span, const SolveAttempt& attempt,
+                   const char* request_id) {
   if (!span->active()) return;
   span->Arg("stage", attempt.stage);
   span->Arg("outcome", SolveOutcomeName(attempt.outcome));
   span->Arg("iterations", attempt.iterations);
   span->Arg("residual", attempt.residual);
+  if (request_id != nullptr) span->Arg("request_id", std::string(request_id));
 }
 
 }  // namespace
@@ -67,13 +77,15 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
   // Hop 1: the paper's configuration, when the ILU(0) factors exist.
   if (ilu_ != nullptr) {
     TraceSpan hop_span("schur.hop");
+    Timer hop_timer;
     SolveStats stats;
     BEPI_ASSIGN_OR_RETURN(Vector x, Gmres(op, b, gm, &stats, ilu_,
                                           /*x0=*/nullptr,
                                           options_.gmres_workspace));
-    const SolveAttempt attempt = MakeAttempt("ilu0+gmres", stats);
-    FinishHopSpan(&hop_span, attempt);
-    Record(report, attempt);
+    const SolveAttempt attempt =
+        MakeAttempt("ilu0+gmres", stats, hop_timer.Seconds());
+    FinishHopSpan(&hop_span, attempt, options_.request_id);
+    Record(report, attempt, options_.request_id);
     if (stats.converged) return x;
     // A cancelled hop ends the chain: degrading further would only burn
     // more time past the deadline. Hand back the best iterate; the
@@ -91,14 +103,16 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
   // this hop survives any ILU(0) breakdown or ILU-induced NaN.
   {
     TraceSpan hop_span("schur.hop");
+    Timer hop_timer;
     SolveStats stats;
     JacobiPreconditioner jacobi(schur_);
     BEPI_ASSIGN_OR_RETURN(Vector x, Gmres(op, b, gm, &stats, &jacobi,
                                           /*x0=*/nullptr,
                                           options_.gmres_workspace));
-    const SolveAttempt attempt = MakeAttempt("jacobi+gmres", stats);
-    FinishHopSpan(&hop_span, attempt);
-    Record(report, attempt);
+    const SolveAttempt attempt =
+        MakeAttempt("jacobi+gmres", stats, hop_timer.Seconds());
+    FinishHopSpan(&hop_span, attempt, options_.request_id);
+    Record(report, attempt, options_.request_id);
     if (stats.converged) return x;
     if (stats.outcome == SolveOutcome::kCancelled) return x;
     if (!options_.enable_fallbacks && ilu_ == nullptr) {
@@ -112,15 +126,17 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
   // does not share GMRES's restart-stagnation failure mode.
   {
     TraceSpan hop_span("schur.hop");
+    Timer hop_timer;
     SolveStats stats;
     BicgstabOptions bi;
     bi.tol = options_.tol;
     bi.max_iters = options_.max_iters;
     bi.cancel = options_.cancel;
     BEPI_ASSIGN_OR_RETURN(Vector x, Bicgstab(op, b, bi, &stats));
-    const SolveAttempt attempt = MakeAttempt("bicgstab", stats);
-    FinishHopSpan(&hop_span, attempt);
-    Record(report, attempt);
+    const SolveAttempt attempt =
+        MakeAttempt("bicgstab", stats, hop_timer.Seconds());
+    FinishHopSpan(&hop_span, attempt, options_.request_id);
+    Record(report, attempt, options_.request_id);
     if (stats.converged) return x;
     if (stats.outcome == SolveOutcome::kCancelled) return x;
   }
@@ -198,6 +214,7 @@ Result<Vector> GlobalPowerFallback(const HubSpokeDecomposition& dec,
         "power fallback unavailable");
   }
   TraceSpan fallback_span("query.power_fallback");
+  Timer hop_timer;
   BlockComplementOperator g_op(dec);
   FixedPointOptions fp;
   fp.tol = options.tol;
@@ -205,9 +222,9 @@ Result<Vector> GlobalPowerFallback(const HubSpokeDecomposition& dec,
   fp.cancel = options.cancel;
   SolveStats stats;
   BEPI_ASSIGN_OR_RETURN(Vector r, FixedPointIteration(g_op, cq, fp, &stats));
-  const SolveAttempt attempt = MakeAttempt("power", stats);
-  FinishHopSpan(&fallback_span, attempt);
-  Record(report, attempt);
+  const SolveAttempt attempt = MakeAttempt("power", stats, hop_timer.Seconds());
+  FinishHopSpan(&fallback_span, attempt, options.request_id);
+  Record(report, attempt, options.request_id);
   // Mirror the Krylov chain's cancellation contract: ok Result, partial
   // iterate, report->final_outcome == kCancelled.
   if (stats.outcome == SolveOutcome::kCancelled) return r;

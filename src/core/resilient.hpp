@@ -50,6 +50,10 @@ struct ResilientSolveOptions {
   /// stops degrading: the interrupted hop's best iterate is returned with
   /// the attempt recorded as kCancelled (see Solve). May be null.
   const CancelToken* cancel = nullptr;
+  /// Request id of the serve request driving this solve (see
+  /// server/protocol.hpp); attached to flight-recorder stage-hop events
+  /// and hop trace spans. May be null outside the serve path.
+  const char* request_id = nullptr;
 };
 
 /// Solves S x = b through the Krylov hops of the degradation chain.

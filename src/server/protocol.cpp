@@ -314,9 +314,23 @@ std::string JsonQuote(const std::string& s) {
 namespace {
 
 constexpr std::size_t kMaxIdChars = 128;
+constexpr std::size_t kMaxRequestIdChars = 64;
 
 Status BadArg(const std::string& what) {
   return Status::InvalidArgument(what);
+}
+
+/// request_id charset is deliberately narrow — it lands verbatim in log
+/// lines, flight-recorder slots and Prometheus exemplar labels.
+bool ValidRequestId(const std::string& s) {
+  if (s.empty() || s.size() > kMaxRequestIdChars) return false;
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == ':' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -346,6 +360,10 @@ Result<Request> ParseRequest(const std::string& line) {
     req.op = RequestOp::kHealth;
   } else if (op->string_value == "stats") {
     req.op = RequestOp::kStats;
+  } else if (op->string_value == "metrics") {
+    req.op = RequestOp::kMetrics;
+  } else if (op->string_value == "dump") {
+    req.op = RequestOp::kDump;
   } else {
     return BadArg("unknown op \"" + op->string_value + "\"");
   }
@@ -367,6 +385,16 @@ Result<Request> ParseRequest(const std::string& line) {
       } else {
         return BadArg("\"id\" must be a string or an integer");
       }
+      continue;
+    }
+    if (key == "request_id") {
+      if (value.type != JsonValue::Type::kString ||
+          !ValidRequestId(value.string_value)) {
+        return BadArg("\"request_id\" must be 1-" +
+                      std::to_string(kMaxRequestIdChars) +
+                      " characters of [A-Za-z0-9._:-]");
+      }
+      req.request_id = value.string_value;
       continue;
     }
     if (req.op != RequestOp::kQuery) {
@@ -416,10 +444,14 @@ Result<Request> ParseRequest(const std::string& line) {
 std::string ErrorResponseLine(const std::string& id_json,
                               const std::string& error,
                               const std::string& message,
-                              double retry_after_ms) {
+                              double retry_after_ms,
+                              const std::string& request_id) {
   std::string out = "{";
   if (!id_json.empty()) out += "\"id\":" + id_json + ",";
   out += "\"ok\":false,\"error\":" + JsonQuote(error);
+  if (!request_id.empty()) {
+    out += ",\"request_id\":" + JsonQuote(request_id);
+  }
   if (retry_after_ms >= 0.0) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.0f", retry_after_ms);

@@ -3,9 +3,17 @@
 //
 // Requests:
 //   {"op":"query","seed":3}                                  minimal
-//   {"op":"query","id":"a1","seed":3,"topk":5,
+//   {"op":"query","id":"a1","request_id":"r-7","seed":3,"topk":5,
 //    "deadline_ms":50,"allow_partial":true,"scores":true}    everything
 //   {"op":"health"}   {"op":"stats"}                         probes
+//   {"op":"metrics"}  {"op":"dump"}                          observability
+//
+// "request_id" is the trace context: client-supplied (or minted by the
+// server when absent), echoed in the response, threaded through
+// QueryControl into solver trace spans, flight-recorder events and the
+// slow-query log. "metrics" returns the registry as Prometheus text
+// exposition; "dump" returns the flight-recorder rings as
+// Perfetto-loadable JSON.
 //
 // Responses echo "id" when the request carried one and always have an
 // "ok" boolean; failures add "error" (a stable snake_case code) and a
@@ -65,15 +73,18 @@ std::string JsonQuote(const std::string& s);
 
 // --- Requests ----------------------------------------------------------
 
-enum class RequestOp { kQuery, kHealth, kStats };
+enum class RequestOp { kQuery, kHealth, kStats, kMetrics, kDump };
 
-/// A validated request. For kHealth/kStats only `op` and `id_json` are
-/// meaningful.
+/// A validated request. For kHealth/kStats/kMetrics/kDump only `op`,
+/// `id_json` and `request_id` are meaningful.
 struct Request {
   RequestOp op = RequestOp::kQuery;
   /// The request's "id" re-serialized (string or integer), empty when
   /// absent; responses echo it verbatim.
   std::string id_json;
+  /// Trace context: [A-Za-z0-9._:-]{1,64}, empty when the client sent
+  /// none (the server then mints one). Echoed in the response.
+  std::string request_id;
   index_t seed = 0;
   index_t topk = 10;
   double deadline_ms = 0.0;  // 0 = no per-request deadline
@@ -99,11 +110,13 @@ inline constexpr char kInternal[] = "internal";
 Result<Request> ParseRequest(const std::string& line);
 
 /// One-line error response. `retry_after_ms` >= 0 adds the backpressure
-/// hint (overloaded responses). `id_json` may be empty.
+/// hint (overloaded responses). A non-empty `request_id` is echoed so a
+/// failed request stays traceable. `id_json` may be empty.
 std::string ErrorResponseLine(const std::string& id_json,
                               const std::string& error,
                               const std::string& message,
-                              double retry_after_ms = -1.0);
+                              double retry_after_ms = -1.0,
+                              const std::string& request_id = "");
 
 // --- Transports --------------------------------------------------------
 

@@ -11,10 +11,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
+#include <thread>
 
+#include "common/faultinject.hpp"
+#include "common/flightrec.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/promtext.hpp"
 #include "common/shutdown.hpp"
+#include "solver/outcome.hpp"
 
 namespace bepi {
 
@@ -32,6 +38,32 @@ void AppendReal(std::string* out, real_t v) {
   char buf[48];
   std::snprintf(buf, sizeof buf, "%.17g", static_cast<double>(v));
   *out += buf;
+}
+
+std::int64_t ToNs(double seconds) {
+  return static_cast<std::int64_t>(seconds * 1e9);
+}
+
+/// The response's "timing" object: where this request's wall time went
+/// (queue wait, solve, total) plus one entry per degradation-chain hop
+/// with its own wall time, outcome and iteration count.
+void AppendTimingJson(std::string* out, std::int64_t queue_ns,
+                      std::int64_t solve_ns, std::int64_t total_ns,
+                      const QueryReport& report) {
+  *out += "\"timing\":{\"queue_ns\":" + std::to_string(queue_ns);
+  *out += ",\"solve_ns\":" + std::to_string(solve_ns);
+  *out += ",\"total_ns\":" + std::to_string(total_ns);
+  *out += ",\"stages\":[";
+  for (std::size_t i = 0; i < report.attempts.size(); ++i) {
+    const SolveAttempt& a = report.attempts[i];
+    if (i > 0) *out += ",";
+    *out += "{\"stage\":" + JsonQuote(a.stage);
+    *out += ",\"ns\":" + std::to_string(ToNs(a.seconds));
+    *out += ",\"outcome\":" + JsonQuote(SolveOutcomeName(a.outcome));
+    *out += ",\"iterations\":" + std::to_string(a.iterations);
+    *out += "}";
+  }
+  *out += "]}";
 }
 
 }  // namespace
@@ -53,6 +85,7 @@ struct QueryServer::WorkerSlot {
   GmresWorkspace workspace;
   std::mutex mu;
   std::shared_ptr<CancelToken> active_token;      // guarded by mu
+  std::string active_request_id;                  // guarded by mu
   std::atomic<std::int64_t> busy_since_ns{0};     // 0 = idle
   std::atomic<bool> wedged{false};
 };
@@ -80,6 +113,18 @@ QueryServer::QueryServer(const BepiSolver& solver, ServeOptions options)
   } else {
     wake_pipe_[0] = wake_pipe_[1] = -1;
   }
+  // Register every server metric up front so the snapshot's key set is
+  // deterministic (the docs glossary cross-check diffs it against the
+  // OPERATIONS.md table) rather than depending on which paths ran.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (const char* name :
+       {"server.accepted", "server.completed", "server.rejected_invalid",
+        "server.rejected_conns", "server.deadline_exceeded",
+        "server.cancelled", "server.watchdog_trips", "server.slow_queries"}) {
+    registry.GetCounter(name);
+  }
+  registry.GetGauge("server.inflight");
+  registry.GetHistogram("server.latency_seconds");
 }
 
 QueryServer::~QueryServer() {
@@ -103,6 +148,11 @@ void QueryServer::RequestDrain() {
 void QueryServer::StartWorkers() {
   if (workers_started_) return;
   workers_started_ = true;
+  // The flight recorder is always on while serving: its record path is a
+  // handful of relaxed atomic stores into per-thread rings, cheap enough
+  // to leave running so the buffer already holds the story when an
+  // incident (watchdog trip, fatal signal) asks for a dump.
+  FlightRecorder::SetEnabled(true);
   worker_threads_.reserve(workers_.size());
   for (int i = 0; i < static_cast<int>(workers_.size()); ++i) {
     worker_threads_.emplace_back([this, i] { WorkerLoop(i); });
@@ -158,8 +208,16 @@ void QueryServer::WatchdogLoop() {
           trips->Increment();
           BEPI_LOG(Warning) << "watchdog: worker busy for "
                             << static_cast<double>(now - busy_since) / 1e6
-                            << " ms, cancelling its request";
+                            << " ms, cancelling its request (request_id="
+                            << slot->active_request_id << ")";
+          FlightRecord(FlightEventType::kWatchdog,
+                       slot->active_request_id.c_str(), "worker wedged",
+                       now - busy_since);
           if (slot->active_token != nullptr) slot->active_token->Cancel();
+          // Watchdog degradation is the incident the recorder exists for:
+          // persist the rings now, while the wedged request's hop trail is
+          // still in the buffer.
+          DumpFlightRecorder("watchdog trip");
         }
       }
     }
@@ -248,6 +306,7 @@ std::string QueryServer::StatsLine(const std::string& id_json) const {
   field("cancelled", s.cancelled);
   field("partial", s.partial);
   field("watchdog_trips", s.watchdog_trips);
+  field("slow_queries", s.slow_queries);
   field("queue_depth", s.queue_depth);
   field("inflight", s.inflight);
   char buf[64];
@@ -273,11 +332,63 @@ ServerStatsSnapshot QueryServer::Stats() const {
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.partial = partial_.load(std::memory_order_relaxed);
   s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
+  s.slow_queries = slow_queries_.load(std::memory_order_relaxed);
   s.queue_depth = admission_.depth();
   s.inflight =
       static_cast<std::uint64_t>(inflight_.load(std::memory_order_relaxed));
   s.health = HealthState();
   return s;
+}
+
+std::string QueryServer::MetricsLine(const std::string& id_json) const {
+  // The whole registry as Prometheus text exposition, carried as one JSON
+  // string field so the line protocol stays one-object-per-line. Answered
+  // inline on the reader thread like health/stats: scrapes must not queue
+  // behind the very overload they are trying to observe.
+  std::string out = "{";
+  if (!id_json.empty()) out += "\"id\":" + id_json + ",";
+  out += "\"ok\":true,\"metrics\":" + JsonQuote(RenderPrometheusText());
+  out += "}";
+  return out;
+}
+
+std::string QueryServer::DumpLine(const std::string& id_json) const {
+  std::ostringstream trace;
+  const Status status = FlightRecorder::DumpJson(trace);
+  if (!status.ok()) {
+    return ErrorResponseLine(id_json, protocol_errors::kInternal,
+                             status.message());
+  }
+  FlightRecord(FlightEventType::kDump, nullptr, "dump verb");
+  // DumpJson pretty-prints across lines for dump files; the line protocol
+  // is one object per line, so flatten the raw newlines (in-string ones
+  // are escaped and unaffected).
+  std::string flat = trace.str();
+  std::replace(flat.begin(), flat.end(), '\n', ' ');
+  while (!flat.empty() && flat.back() == ' ') flat.pop_back();
+  std::string out = "{";
+  if (!id_json.empty()) out += "\"id\":" + id_json + ",";
+  out += "\"ok\":true,\"flightrec\":" + flat;
+  out += "}";
+  return out;
+}
+
+std::string QueryServer::MintRequestId() {
+  return "srv-" +
+         std::to_string(request_seq_.fetch_add(1, std::memory_order_relaxed));
+}
+
+void QueryServer::DumpFlightRecorder(const char* why) {
+  if (options_.flight_dump_path.empty()) return;
+  FlightRecord(FlightEventType::kDump, nullptr, why);
+  const Status status =
+      FlightRecorder::DumpJsonFile(options_.flight_dump_path);
+  if (status.ok()) {
+    BEPI_LOG(Warning) << "flight recorder dumped to "
+                      << options_.flight_dump_path << " (" << why << ")";
+  } else {
+    BEPI_LOG(Warning) << "flight recorder dump failed: " << status.ToString();
+  }
 }
 
 void QueryServer::HandleLine(const std::shared_ptr<Conn>& conn,
@@ -295,7 +406,7 @@ void QueryServer::HandleLine(const std::shared_ptr<Conn>& conn,
                           parsed.status().message()));
     return;
   }
-  const Request req = *parsed;
+  Request req = *parsed;
   if (req.op == RequestOp::kHealth) {
     WriteToConn(conn, HealthLine(req.id_json));
     return;
@@ -304,16 +415,31 @@ void QueryServer::HandleLine(const std::shared_ptr<Conn>& conn,
     WriteToConn(conn, StatsLine(req.id_json));
     return;
   }
+  if (req.op == RequestOp::kMetrics) {
+    WriteToConn(conn, MetricsLine(req.id_json));
+    return;
+  }
+  if (req.op == RequestOp::kDump) {
+    WriteToConn(conn, DumpLine(req.id_json));
+    return;
+  }
+
+  // Trace context: every query carries a request_id from here on —
+  // client-supplied or server-minted — and every response echoes it.
+  if (req.request_id.empty()) req.request_id = MintRequestId();
 
   const index_t n = solver_.decomposition().n;
   if (req.seed < 0 || req.seed >= n) {
     rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    FlightRecord(FlightEventType::kShed, req.request_id.c_str(),
+                 "seed out of range", req.seed);
     WriteToConn(conn,
                 ErrorResponseLine(req.id_json,
                                   protocol_errors::kInvalidArgument,
                                   "seed " + std::to_string(req.seed) +
                                       " out of range [0, " +
-                                      std::to_string(n) + ")"));
+                                      std::to_string(n) + ")",
+                                  -1.0, req.request_id));
     return;
   }
 
@@ -339,21 +465,28 @@ void QueryServer::HandleLine(const std::shared_ptr<Conn>& conn,
   if (!admitted.ok()) {
     if (admitted.code() == StatusCode::kResourceExhausted) {
       rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      FlightRecord(FlightEventType::kShed, req.request_id.c_str(),
+                   "overloaded", static_cast<std::int64_t>(retry_after_ms));
       WriteToConn(conn, ErrorResponseLine(req.id_json,
                                           protocol_errors::kOverloaded,
                                           admitted.message(),
-                                          retry_after_ms));
+                                          retry_after_ms, req.request_id));
     } else {
       rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+      FlightRecord(FlightEventType::kShed, req.request_id.c_str(),
+                   "draining");
       WriteToConn(conn, ErrorResponseLine(req.id_json,
                                           protocol_errors::kDraining,
-                                          admitted.message()));
+                                          admitted.message(), -1.0,
+                                          req.request_id));
     }
     return;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
   BEPI_METRIC_COUNTER(accepted, "server.accepted");
   accepted->Increment();
+  FlightRecord(FlightEventType::kAdmit, req.request_id.c_str(), "",
+               req.seed);
 }
 
 void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
@@ -361,19 +494,42 @@ void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
                                const std::shared_ptr<CancelToken>& token,
                                Clock::time_point admitted_at) {
   WorkerSlot& ws = *workers_[slot];
+  const std::int64_t exec_start_ns = NowNs();
+  const std::int64_t admitted_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          admitted_at.time_since_epoch())
+          .count();
+  const std::int64_t queue_ns = exec_start_ns - admitted_ns;
   {
     // Token and busy timestamp change together under mu so the watchdog's
     // locked re-check can never pair a stale timestamp with a fresh token.
     std::lock_guard<std::mutex> lock(ws.mu);
     ws.active_token = token;
-    ws.busy_since_ns.store(NowNs(), std::memory_order_relaxed);
+    ws.active_request_id = req.request_id;
+    ws.busy_since_ns.store(exec_start_ns, std::memory_order_relaxed);
+  }
+
+  // Deterministic watchdog driver: appear wedged (sleeping, not spinning)
+  // until the watchdog cancels this request's token, so tests can trip the
+  // trip-and-dump path on a timescale they control. Hard 10 s cap in case
+  // nobody is watching.
+  if (BEPI_FAULT_INJECTED(fault_sites::kServerExecStall)) {
+    FlightRecord(FlightEventType::kFault, req.request_id.c_str(),
+                 fault_sites::kServerExecStall);
+    const auto stall_start = Clock::now();
+    while (!token->Expired() &&
+           Clock::now() - stall_start < std::chrono::seconds(10)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
   }
 
   QueryStats stats;
   QueryControl control;
   control.cancel = token.get();
   control.allow_partial = req.allow_partial;
+  control.request_id = req.request_id.c_str();
   auto scores = solver_.Query(req.seed, &stats, &ws.workspace, control);
+  const std::int64_t solve_ns = NowNs() - exec_start_ns;
 
   const double total_seconds =
       std::chrono::duration<double>(Clock::now() - admitted_at).count();
@@ -392,9 +548,12 @@ void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
     std::lock_guard<std::mutex> lock(ws.mu);
     ws.busy_since_ns.store(0, std::memory_order_relaxed);
     ws.active_token = nullptr;
+    ws.active_request_id.clear();
   }
   ws.wedged.store(false, std::memory_order_relaxed);
 
+  std::string out;
+  bool succeeded = false;
   if (!scores.ok()) {
     const StatusCode code = scores.status().code();
     const char* error = protocol_errors::kInternal;
@@ -403,64 +562,104 @@ void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
       BEPI_METRIC_COUNTER(deadline, "server.deadline_exceeded");
       deadline->Increment();
       error = protocol_errors::kDeadlineExceeded;
+      FlightRecord(FlightEventType::kDeadline, req.request_id.c_str(), "",
+                   solve_ns);
     } else if (code == StatusCode::kCancelled) {
       cancelled_.fetch_add(1, std::memory_order_relaxed);
       BEPI_METRIC_COUNTER(cancelled, "server.cancelled");
       cancelled->Increment();
       error = protocol_errors::kCancelled;
+      FlightRecord(FlightEventType::kCancel, req.request_id.c_str(), "",
+                   solve_ns);
     }
-    WriteToConn(conn, ErrorResponseLine(req.id_json, error,
-                                        scores.status().message()));
-    return;
-  }
+    out = ErrorResponseLine(req.id_json, error, scores.status().message(),
+                            -1.0, req.request_id);
+  } else {
+    succeeded = true;
+    const bool is_partial = stats.outcome == SolveOutcome::kCancelled;
+    if (is_partial) partial_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    BEPI_METRIC_COUNTER(completed, "server.completed");
+    completed->Increment();
 
-  const bool is_partial = stats.outcome == SolveOutcome::kCancelled;
-  if (is_partial) partial_.fetch_add(1, std::memory_order_relaxed);
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  BEPI_METRIC_COUNTER(completed, "server.completed");
-  completed->Increment();
-
-  std::string out = "{";
-  if (!req.id_json.empty()) out += "\"id\":" + req.id_json + ",";
-  out += "\"ok\":true,\"seed\":" + std::to_string(req.seed);
-  out += ",\"partial\":";
-  out += is_partial ? "true" : "false";
-  out += ",\"outcome\":" + JsonQuote(SolveOutcomeName(stats.outcome));
-  // Which degradation-chain stage produced the answer ("ilu0+gmres" ..
-  // "mc"); operators alert on "mc" = every linear-algebra path is down.
-  if (!stats.report.attempts.empty()) {
-    out += ",\"stage\":" + JsonQuote(stats.report.attempts.back().stage);
-  }
-  out += ",\"iterations\":" + std::to_string(stats.total_iterations);
-  // %.17g round-trips doubles exactly: these scores are bit-comparable
-  // against a one-shot `bepi_cli query --dump-scores` of the same model.
-  out += ",\"residual\":";
-  AppendReal(&out, stats.residual);
-  char buf[48];
-  std::snprintf(buf, sizeof buf, ",\"ms\":%.3f", total_seconds * 1e3);
-  out += buf;
-  out += ",\"topk\":[";
-  const auto ranking = TopK(*scores, req.topk, req.seed);
-  for (std::size_t i = 0; i < ranking.size(); ++i) {
-    if (i > 0) out += ",";
-    out += "[";
-    out += std::to_string(ranking[i].first);
+    out = "{";
+    if (!req.id_json.empty()) out += "\"id\":" + req.id_json + ",";
+    out += "\"ok\":true,\"request_id\":" + JsonQuote(req.request_id);
+    out += ",\"seed\":" + std::to_string(req.seed);
+    out += ",\"partial\":";
+    out += is_partial ? "true" : "false";
+    out += ",\"outcome\":" + JsonQuote(SolveOutcomeName(stats.outcome));
+    // Which degradation-chain stage produced the answer ("ilu0+gmres" ..
+    // "mc"); operators alert on "mc" = every linear-algebra path is down.
+    if (!stats.report.attempts.empty()) {
+      out += ",\"stage\":" + JsonQuote(stats.report.attempts.back().stage);
+    }
+    out += ",\"iterations\":" + std::to_string(stats.total_iterations);
+    // %.17g round-trips doubles exactly: these scores are bit-comparable
+    // against a one-shot `bepi_cli query --dump-scores` of the same model.
+    out += ",\"residual\":";
+    AppendReal(&out, stats.residual);
+    char buf[48];
+    std::snprintf(buf, sizeof buf, ",\"ms\":%.3f", total_seconds * 1e3);
+    out += buf;
     out += ",";
-    AppendReal(&out, ranking[i].second);
-    out += "]";
-  }
-  out += "]";
-  if (req.want_scores) {
-    out += ",\"scores\":[";
-    const Vector& v = *scores;
-    for (std::size_t i = 0; i < v.size(); ++i) {
+    AppendTimingJson(&out, queue_ns, solve_ns,
+                     NowNs() - admitted_ns, stats.report);
+    out += ",\"topk\":[";
+    const auto ranking = TopK(*scores, req.topk, req.seed);
+    for (std::size_t i = 0; i < ranking.size(); ++i) {
       if (i > 0) out += ",";
-      AppendReal(&out, v[i]);
+      out += "[";
+      out += std::to_string(ranking[i].first);
+      out += ",";
+      AppendReal(&out, ranking[i].second);
+      out += "]";
     }
     out += "]";
+    if (req.want_scores) {
+      out += ",\"scores\":[";
+      const Vector& v = *scores;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) out += ",";
+        AppendReal(&out, v[i]);
+      }
+      out += "]";
+    }
+    out += "}";
   }
-  out += "}";
+
+  const std::int64_t write_start_ns = NowNs();
   WriteToConn(conn, out);
+  const std::int64_t write_ns = NowNs() - write_start_ns;
+  const std::int64_t total_ns = NowNs() - admitted_ns;
+  const char* stage = stats.report.attempts.empty()
+                          ? "-"
+                          : stats.report.attempts.back().stage.c_str();
+  if (succeeded) {
+    FlightRecord(FlightEventType::kComplete, req.request_id.c_str(), stage,
+                 total_ns);
+  }
+
+  // Slow-query forensics: one structured line per offender with the full
+  // breakdown (the response's timing object cannot carry write_ns — the
+  // response is serialized before the write), and the offender's
+  // request_id pinned to the latency histogram as its exemplar so a scrape
+  // showing a fat tail names a concrete request to go look up.
+  if (options_.slow_ms > 0.0 &&
+      static_cast<double>(total_ns) / 1e6 > options_.slow_ms) {
+    slow_queries_.fetch_add(1, std::memory_order_relaxed);
+    BEPI_METRIC_COUNTER(slow, "server.slow_queries");
+    slow->Increment();
+    latency->SetExemplar(static_cast<double>(total_ns) / 1e9,
+                         req.request_id);
+    FlightRecord(FlightEventType::kSlowQuery, req.request_id.c_str(), stage,
+                 total_ns);
+    BEPI_LOG(Warning) << "slow query: request_id=" << req.request_id
+                      << " seed=" << req.seed << " stage=" << stage
+                      << " queue_ns=" << queue_ns << " solve_ns=" << solve_ns
+                      << " write_ns=" << write_ns << " total_ns=" << total_ns
+                      << " chain=[" << stats.report.Summary() << "]";
+  }
 }
 
 // --- serve loops -------------------------------------------------------
@@ -497,10 +696,12 @@ Status QueryServer::ServeStream(std::istream& in, std::ostream& out) {
   ReadLoop(conn);
   // EOF (or a shutdown signal breaking the blocking read) ends the
   // session: stop admitting, drain, report how it ended.
+  FlightRecord(FlightEventType::kShutdown, nullptr, "stream eof/drain");
   RequestDrain();
   Drain();
   if (ShutdownRequested()) {
     BEPI_LOG(Info) << "drained after signal " << ShutdownSignal();
+    DumpFlightRecorder("fatal signal");
   }
   return Status::Ok();
 }
@@ -603,6 +804,7 @@ Status QueryServer::ServeUnixSocket(const std::string& path) {
   }
 
   close(listen_fd);
+  FlightRecord(FlightEventType::kShutdown, nullptr, "socket drain");
   RequestDrain();  // wakes every FdTransport poller via wake_pipe_
   Drain();
   {
@@ -615,6 +817,7 @@ Status QueryServer::ServeUnixSocket(const std::string& path) {
   unlink(path.c_str());
   if (ShutdownRequested()) {
     BEPI_LOG(Info) << "drained after signal " << ShutdownSignal();
+    DumpFlightRecorder("fatal signal");
   }
   return Status::Ok();
 }

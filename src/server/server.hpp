@@ -69,6 +69,15 @@ struct ServeOptions {
   /// is answered with one "overloaded" line and closed immediately, so
   /// per-connection thread/stack use stays bounded. Minimum 1.
   int max_conns = 64;
+  /// Slow-query threshold: a query whose wall time (admission to write)
+  /// exceeds this gets one structured log line with its full timing
+  /// breakdown and its request_id becomes the latency histogram's
+  /// exemplar. 0 disables the slow-query log.
+  double slow_ms = 0.0;
+  /// Where the flight recorder is dumped (Perfetto-loadable JSON) on a
+  /// watchdog trip or a fatal-signal drain. Empty disables auto-dumps;
+  /// the "dump" verb still works.
+  std::string flight_dump_path = "bepi-flightrec.json";
 };
 
 /// Point-in-time server state, for the "stats" verb and tests. Counters
@@ -84,6 +93,7 @@ struct ServerStatsSnapshot {
   std::uint64_t cancelled = 0;
   std::uint64_t partial = 0;
   std::uint64_t watchdog_trips = 0;
+  std::uint64_t slow_queries = 0;  // queries past the slow_ms threshold
   std::uint64_t queue_depth = 0;
   std::uint64_t inflight = 0;
   std::string health;  // "serving" | "draining" | "degraded"
@@ -132,7 +142,14 @@ class QueryServer {
   void WriteToConn(const std::shared_ptr<Conn>& conn, const std::string& line);
   std::string HealthLine(const std::string& id_json) const;
   std::string StatsLine(const std::string& id_json) const;
+  std::string MetricsLine(const std::string& id_json) const;
+  std::string DumpLine(const std::string& id_json) const;
   std::string HealthState() const;
+  /// Server-minted trace id ("srv-<n>") for requests without one.
+  std::string MintRequestId();
+  /// Auto-dump the flight recorder to options_.flight_dump_path (at most
+  /// once per process incident burst; logs the destination).
+  void DumpFlightRecorder(const char* why);
 
   const BepiSolver& solver_;
   ServeOptions options_;
@@ -158,7 +175,9 @@ class QueryServer {
   std::atomic<std::uint64_t> accepted_{0}, completed_{0},
       rejected_overload_{0}, rejected_invalid_{0}, rejected_draining_{0},
       rejected_conns_{0}, deadline_exceeded_{0}, cancelled_{0}, partial_{0},
-      watchdog_trips_{0};
+      watchdog_trips_{0}, slow_queries_{0};
+  /// Sequence for server-minted request ids.
+  std::atomic<std::uint64_t> request_seq_{0};
 };
 
 }  // namespace bepi

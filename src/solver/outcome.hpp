@@ -40,6 +40,7 @@ struct SolveAttempt {
   SolveOutcome outcome = SolveOutcome::kBudgetExhausted;
   index_t iterations = 0;
   real_t residual = 0.0;
+  double seconds = 0.0;  // wall-clock spent inside this hop
 };
 
 }  // namespace bepi

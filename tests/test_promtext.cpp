@@ -1,0 +1,218 @@
+// Prometheus text exposition (common/promtext.hpp): name sanitization,
+// golden sample lines, cumulative-bucket monotonicity (including under a
+// concurrent recorder), exemplar placement, and the live-registry render
+// with process self-gauges.
+#include "common/promtext.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace bepi {
+namespace {
+
+/// Splits exposition text into lines (no trailing empty line).
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+/// Strict structural check of one exposition block: every line is either
+/// a # HELP/# TYPE comment or `name[{labels}] value [exemplar]`, HELP and
+/// TYPE precede their samples, and histogram bucket series are cumulative.
+void CheckExpositionWellFormed(const std::string& text) {
+  std::string last_type;
+  for (const std::string& line : Lines(text)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const auto last_space = line.rfind(' ');
+      last_type = line.substr(last_space + 1);
+      EXPECT_TRUE(last_type == "counter" || last_type == "gauge" ||
+                  last_type == "histogram")
+          << line;
+      continue;
+    }
+    EXPECT_EQ(line.compare(0, 5, "bepi_"), 0) << line;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+TEST(PrometheusSanitizeName, PrefixesAndReplacesInvalidChars) {
+  EXPECT_EQ(PrometheusSanitizeName("server.latency_seconds"),
+            "bepi_server_latency_seconds");
+  EXPECT_EQ(PrometheusSanitizeName("solver.attempts.ilu0+gmres"),
+            "bepi_solver_attempts_ilu0_gmres");
+  EXPECT_EQ(PrometheusSanitizeName("a:b"), "bepi_a:b");
+}
+
+TEST(PromText, CounterGolden) {
+  std::string out;
+  PrometheusAppendCounter(&out, "server.accepted", 42);
+  EXPECT_EQ(out,
+            "# HELP bepi_server_accepted bepi metric server.accepted\n"
+            "# TYPE bepi_server_accepted counter\n"
+            "bepi_server_accepted 42\n");
+}
+
+TEST(PromText, GaugeGolden) {
+  std::string out;
+  PrometheusAppendGauge(&out, "process.open_fds", 17.0);
+  EXPECT_EQ(out,
+            "# HELP bepi_process_open_fds bepi metric process.open_fds\n"
+            "# TYPE bepi_process_open_fds gauge\n"
+            "bepi_process_open_fds 17\n");
+}
+
+TEST(PromText, HistogramGoldenWithExemplar) {
+  std::vector<PromBucket> buckets = {{0.001, 3}, {0.01, 7}, {0.1, 9}};
+  HistogramExemplar exemplar;
+  exemplar.valid = true;
+  exemplar.value = 0.005;  // lands in the le="0.01" bucket
+  exemplar.ts_unix_seconds = 1700000000.0;
+  exemplar.label = "srv-3";
+  std::string out;
+  PrometheusAppendHistogram(&out, "server.latency_seconds", buckets, 0.25, 9,
+                            exemplar);
+  const auto lines = Lines(out);
+  ASSERT_EQ(lines.size(), 8u);
+  EXPECT_EQ(lines[2], "bepi_server_latency_seconds_bucket{le=\"0.001\"} 3");
+  // The exemplar attaches to the first bucket whose bound covers it.
+  EXPECT_EQ(lines[3].rfind("bepi_server_latency_seconds_bucket{le=\"0.01\"} "
+                           "7 # {request_id=\"srv-3\"} 0.005",
+                           0),
+            0u)
+      << lines[3];
+  EXPECT_EQ(lines[5], "bepi_server_latency_seconds_bucket{le=\"+Inf\"} 9");
+  EXPECT_EQ(lines[6], "bepi_server_latency_seconds_sum 0.25");
+  EXPECT_EQ(lines[7], "bepi_server_latency_seconds_count 9");
+}
+
+TEST(PromText, ExemplarBeyondLastBucketAttachesToInf) {
+  std::vector<PromBucket> buckets = {{0.001, 1}};
+  HistogramExemplar exemplar;
+  exemplar.valid = true;
+  exemplar.value = 5.0;
+  exemplar.label = "big";
+  std::string out;
+  PrometheusAppendHistogram(&out, "h", buckets, 5.0, 2, exemplar);
+  EXPECT_NE(out.find("bepi_h_bucket{le=\"+Inf\"} 2 # {request_id=\"big\"}"),
+            std::string::npos)
+      << out;
+}
+
+TEST(PromText, LabelValuesAreEscaped) {
+  HistogramExemplar exemplar;
+  exemplar.valid = true;
+  exemplar.value = 1.0;
+  exemplar.label = "a\"b\\c\nd";
+  std::string out;
+  PrometheusAppendHistogram(&out, "h", {}, 1.0, 1, exemplar);
+  EXPECT_NE(out.find("{request_id=\"a\\\"b\\\\c\\nd\"}"), std::string::npos)
+      << out;
+}
+
+// Under a concurrent recorder the per-bucket array is bumped before the
+// count, so a snapshot can catch buckets summing past `count`. The +Inf
+// bucket and _count must be pinned to the larger of the two or the series
+// would be non-monotone (Prometheus rejects such scrapes).
+TEST(PromText, CountLaggingBucketsStaysMonotone) {
+  std::vector<PromBucket> buckets = {{0.001, 5}, {0.01, 12}};
+  std::string out;
+  PrometheusAppendHistogram(&out, "h", buckets, 1.0, /*count=*/10,
+                            HistogramExemplar{});
+  EXPECT_NE(out.find("bepi_h_bucket{le=\"+Inf\"} 12"), std::string::npos);
+  EXPECT_NE(out.find("bepi_h_count 12"), std::string::npos);
+}
+
+TEST(PromText, RenderLiveRegistryIncludesSelfGauges) {
+  SetMetricsEnabled(true);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("promtest.calls")->Increment(3);
+  registry.GetHistogram("promtest.latency")->RecordAlways(0.002);
+  const std::string text = RenderPrometheusText();
+  SetMetricsEnabled(false);
+  CheckExpositionWellFormed(text);
+  EXPECT_NE(text.find("bepi_promtest_calls 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bepi_promtest_latency histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("bepi_promtest_latency_count 1"), std::string::npos);
+  // Process self-gauges are sampled at render time, collection switch or
+  // not; a live process always has a positive RSS and at least stdio open.
+  for (const char* gauge :
+       {"bepi_process_rss_bytes", "bepi_process_peak_rss_bytes",
+        "bepi_process_open_fds", "bepi_process_uptime_seconds"}) {
+    EXPECT_NE(text.find(gauge), std::string::npos) << gauge;
+  }
+  const auto pos = text.find("\nbepi_process_rss_bytes ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_GT(std::stod(text.substr(pos + 24)), 0.0);
+}
+
+/// Parses every `<name>_bucket{le="..."} N` line of `text` for histogram
+/// `name` and asserts the cumulative counts are non-decreasing and capped
+/// by the +Inf bucket, which must equal `<name>_count`.
+void CheckHistogramMonotone(const std::string& text, const std::string& name) {
+  const std::string prefix = name + "_bucket{le=\"";
+  std::uint64_t prev = 0;
+  std::uint64_t inf = 0;
+  bool saw_inf = false;
+  for (const std::string& line : Lines(text)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    const auto close = line.find("\"} ");
+    ASSERT_NE(close, std::string::npos) << line;
+    std::uint64_t value =
+        static_cast<std::uint64_t>(std::stod(line.substr(close + 3)));
+    ASSERT_GE(value, prev) << "non-monotone: " << line;
+    prev = value;
+    if (line.compare(prefix.size(), 4, "+Inf") == 0) {
+      inf = value;
+      saw_inf = true;
+    }
+  }
+  ASSERT_TRUE(saw_inf) << "no +Inf bucket for " << name;
+  const auto count_pos = text.find(name + "_count ");
+  ASSERT_NE(count_pos, std::string::npos);
+  EXPECT_EQ(static_cast<std::uint64_t>(std::stod(
+                text.substr(count_pos + name.size() + 7))),
+            inf);
+}
+
+// The TSan/stress target: renders scrape after scrape while writer
+// threads hammer the histogram, asserting every rendered series is
+// internally consistent (monotone, +Inf == _count).
+TEST(PromText, ConcurrentRecordingNeverBreaksMonotonicity) {
+  Histogram* h =
+      MetricsRegistry::Global().GetHistogram("promtest.concurrent");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([h, &stop, t] {
+      double v = 1e-6 * (t + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        h->RecordAlways(v);
+        v = v * 1.7 + 1e-9;
+        if (v > 100.0) v = 1e-6 * (t + 1);
+      }
+    });
+  }
+  for (int round = 0; round < 25; ++round) {
+    const std::string text = RenderPrometheusText();
+    CheckHistogramMonotone(text, "bepi_promtest_concurrent");
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+}
+
+}  // namespace
+}  // namespace bepi

@@ -8,17 +8,24 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/faultinject.hpp"
+#include "common/flightrec.hpp"
+#include "common/metrics.hpp"
 #include "common/shutdown.hpp"
 #include "core/bepi.hpp"
+#include "engine/mc/mc.hpp"
 #include "server/admission.hpp"
 #include "server/protocol.hpp"
 #include "server/server.hpp"
@@ -806,6 +813,259 @@ TEST_F(ServerTest, OverloadShedsWithRetryAfterHint) {
     }
   }
   EXPECT_TRUE(saw_overload);
+}
+
+// --- observability -----------------------------------------------------
+
+TEST_F(ServerTest, RequestIdIsEchoedWhenSupplied) {
+  auto lines =
+      Serve({R"({"op":"query","id":"q","request_id":"trace-42","seed":3})"});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"request_id\":\"trace-42\""), std::string::npos)
+      << lines[0];
+}
+
+TEST_F(ServerTest, RequestIdIsMintedWhenAbsent) {
+  auto lines = Serve({R"({"op":"query","seed":3})"});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"request_id\":\"srv-"), std::string::npos)
+      << lines[0];
+}
+
+TEST_F(ServerTest, RequestIdEchoedOnErrorsToo) {
+  auto lines = Serve(
+      {R"({"op":"query","request_id":"bad-seed","seed":99999})",
+       R"({"op":"query","request_id":"dead","seed":3,"deadline_ms":1e-6})"});
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(Contains(lines, "\"request_id\":\"bad-seed\""));
+  EXPECT_TRUE(Contains(lines, "\"request_id\":\"dead\""));
+}
+
+TEST_F(ServerTest, MalformedRequestIdIsRejected) {
+  auto lines = Serve({R"({"op":"query","request_id":"no spaces!","seed":3})",
+                      std::string(R"({"op":"query","request_id":")") +
+                          std::string(65, 'x') + R"(","seed":3})"});
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& l : lines) {
+    EXPECT_NE(l.find("\"error\":\"invalid_argument\""), std::string::npos)
+        << l;
+  }
+}
+
+TEST_F(ServerTest, ResponseCarriesTimingBreakdown) {
+  auto lines = Serve({R"({"op":"query","seed":5})"});
+  ASSERT_EQ(lines.size(), 1u);
+  auto parsed = ParseJson(lines[0], 16);
+  ASSERT_TRUE(parsed.ok()) << lines[0];
+  const auto& timing = parsed->object_value.at("timing");
+  ASSERT_EQ(timing.type, JsonValue::Type::kObject);
+  EXPECT_GE(timing.object_value.at("queue_ns").number_value, 0.0);
+  EXPECT_GT(timing.object_value.at("solve_ns").number_value, 0.0);
+  EXPECT_GE(timing.object_value.at("total_ns").number_value,
+            timing.object_value.at("solve_ns").number_value);
+  const auto& stages = timing.object_value.at("stages").array_value;
+  ASSERT_FALSE(stages.empty());
+  EXPECT_EQ(stages[0].object_value.at("stage").string_value, "ilu0+gmres");
+  EXPECT_EQ(stages[0].object_value.at("outcome").string_value, "Converged");
+  EXPECT_GE(stages[0].object_value.at("ns").number_value, 0.0);
+  EXPECT_GT(stages[0].object_value.at("iterations").number_value, 0.0);
+}
+
+TEST_F(ServerTest, MetricsVerbAnswersPrometheusInline) {
+  auto lines = Serve({R"({"op":"query","seed":2})",
+                      R"({"op":"metrics","id":"m"})"});
+  ASSERT_EQ(lines.size(), 2u);
+  // The metrics verb is answered inline on the reader thread while the
+  // query runs in a worker, so the scrape can land first.
+  const std::string& scrape =
+      lines[0].find("\"metrics\":") != std::string::npos ? lines[0]
+                                                         : lines[1];
+  auto parsed = ParseJson(scrape, 16);
+  ASSERT_TRUE(parsed.ok()) << scrape;
+  EXPECT_TRUE(parsed->object_value.at("ok").bool_value);
+  const std::string& text =
+      parsed->object_value.at("metrics").string_value;
+  EXPECT_NE(text.find("# TYPE bepi_server_latency_seconds histogram"),
+            std::string::npos);
+  // Eager registration in the server constructor makes the key set
+  // deterministic, scrape-time code paths notwithstanding.
+  for (const char* name :
+       {"bepi_server_accepted", "bepi_server_completed",
+        "bepi_server_watchdog_trips", "bepi_server_slow_queries",
+        "bepi_process_rss_bytes"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(ServerTest, DumpVerbReturnsFlightRecorderTrace) {
+  FlightRecorder::ResetForTest();
+  // Two sessions: the first completes a traced query (ServeStream drains
+  // before returning, so its hops are in the rings); the second dumps.
+  Serve({R"({"op":"query","request_id":"dumpme","seed":4})"});
+  auto lines = Serve({R"({"op":"dump","id":"d"})"});
+  ASSERT_EQ(lines.size(), 1u);
+  auto parsed = ParseJson(lines[0], 32);
+  ASSERT_TRUE(parsed.ok()) << lines[0];
+  EXPECT_TRUE(parsed->object_value.at("ok").bool_value);
+  const auto& trace = parsed->object_value.at("flightrec");
+  ASSERT_EQ(trace.type, JsonValue::Type::kObject);
+  const auto& events = trace.object_value.at("traceEvents").array_value;
+  bool saw_admit = false, saw_hop = false, saw_complete = false;
+  for (const JsonValue& e : events) {
+    const auto& args = e.object_value.at("args").object_value;
+    if (args.at("request_id").string_value != "dumpme") continue;
+    const std::string& name = e.object_value.at("name").string_value;
+    if (name == "admit") saw_admit = true;
+    if (name == "stage_hop") saw_hop = true;
+    if (name == "complete") saw_complete = true;
+  }
+  EXPECT_TRUE(saw_admit);
+  EXPECT_TRUE(saw_hop);
+  EXPECT_TRUE(saw_complete);
+}
+
+// The acceptance scenario: with every linear-algebra stage fault-injected,
+// one request degrades ilu0+gmres -> jacobi+gmres -> bicgstab -> power ->
+// mc. The response's timing must name all five stages with per-stage
+// wall-clock, the flight recorder must hold the same hop sequence under
+// the request_id, and the slow-query log machinery must attribute it.
+TEST_F(ServerTest, FullDegradationChainIsObservableEndToEnd) {
+  FlightRecorder::ResetForTest();
+  BepiOptions options;
+  options.mode = BepiMode::kPreconditioned;
+  BepiSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(*graph_).ok());
+  McWalkEngine engine(*graph_);
+  ASSERT_TRUE(solver.AttachMcFallback(&engine, {}).ok());
+
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("gmres.stagnate,bicgstab.breakdown,power.stall")
+                  .ok());
+  ServeOptions serve_options;
+  serve_options.slots = 1;
+  serve_options.slow_ms = 1e-6;  // everything is an offender
+  serve_options.flight_dump_path.clear();
+  QueryServer server(solver, serve_options);
+  std::istringstream in(
+      "{\"op\":\"query\",\"request_id\":\"chain-1\",\"seed\":6}\n");
+  std::ostringstream out;
+  ASSERT_TRUE(server.ServeStream(in, out).ok());
+  FaultInjector::Global().Reset();
+
+  std::string line = out.str();
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  auto parsed = ParseJson(line, 16);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_EQ(parsed->object_value.at("request_id").string_value, "chain-1");
+  EXPECT_EQ(parsed->object_value.at("stage").string_value, "mc");
+  const auto& stages =
+      parsed->object_value.at("timing").object_value.at("stages").array_value;
+  const std::vector<std::string> expected = {
+      "ilu0+gmres", "jacobi+gmres", "bicgstab", "power", "mc"};
+  ASSERT_EQ(stages.size(), expected.size()) << line;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(stages[i].object_value.at("stage").string_value, expected[i]);
+    EXPECT_GE(stages[i].object_value.at("ns").number_value, 0.0);
+  }
+
+  // The flight recorder reconstructs the same hop sequence by request_id.
+  std::vector<std::string> hops;
+  for (const FlightEvent& e : FlightRecorder::Snapshot()) {
+    if (e.type == FlightEventType::kStageHop && e.request_id == "chain-1") {
+      hops.push_back(e.detail);
+    }
+  }
+  EXPECT_EQ(hops, expected);
+
+  // And the slow-query log counted the offender (the structured line went
+  // to the warning log; the counter and exemplar are its observable side).
+  EXPECT_GE(server.Stats().slow_queries, 1u);
+  const HistogramExemplar exemplar =
+      MetricsRegistry::Global()
+          .GetHistogram("server.latency_seconds")
+          ->exemplar();
+  ASSERT_TRUE(exemplar.valid);
+  EXPECT_EQ(exemplar.label, "chain-1");
+}
+
+// Holds one request's bytes, then blocks further reads until released —
+// keeps the serve session open (no EOF, no drain) so the watchdog can
+// patrol while the worker is wedged.
+class GatedStreamBuf : public std::streambuf {
+ public:
+  explicit GatedStreamBuf(std::string first) : first_(std::move(first)) {
+    setg(first_.data(), first_.data(), first_.data() + first_.size());
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ protected:
+  int_type underflow() override {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return released_; });
+    return traits_type::eof();
+  }
+
+ private:
+  std::string first_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+TEST_F(ServerTest, WatchdogTripAutoDumpsFlightRecorder) {
+  FlightRecorder::ResetForTest();
+  FaultInjector::Global().Reset();
+  // One stalled request: the worker naps until the watchdog cancels it.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("server.exec_stall:0:1").ok());
+  const std::string dump_path =
+      ::testing::TempDir() + "/bepi_watchdog_dump_test.json";
+  std::remove(dump_path.c_str());
+  ServeOptions options;
+  options.slots = 1;
+  options.watchdog_ms = 10.0;
+  options.wedge_ms = 50.0;
+  options.flight_dump_path = dump_path;
+  QueryServer server(*solver_, options);
+  GatedStreamBuf gate(
+      "{\"op\":\"query\",\"request_id\":\"wedge-1\",\"seed\":1}\n");
+  std::istream in(&gate);
+  std::ostringstream out;
+  std::thread session([&] { ASSERT_TRUE(server.ServeStream(in, out).ok()); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.Stats().watchdog_trips == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  gate.Release();
+  session.join();
+  FaultInjector::Global().Reset();
+  EXPECT_GE(server.Stats().watchdog_trips, 1u);
+  // The stalled request was cancelled and answered honestly.
+  EXPECT_NE(out.str().find("\"request_id\":\"wedge-1\""), std::string::npos)
+      << out.str();
+  // The trip auto-dumped a Perfetto trace naming the wedged request.
+  std::ifstream dumped(dump_path);
+  ASSERT_TRUE(dumped.good()) << dump_path;
+  std::stringstream content;
+  content << dumped.rdbuf();
+  EXPECT_TRUE(test::IsValidJson(content.str()));
+  EXPECT_NE(content.str().find("watchdog"), std::string::npos);
+  EXPECT_NE(content.str().find("wedge-1"), std::string::npos);
+  std::remove(dump_path.c_str());
+}
+
+TEST_F(ServerTest, StatsLineIncludesSlowQueries) {
+  auto lines = Serve({R"({"op":"stats"})"});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"slow_queries\":"), std::string::npos)
+      << lines[0];
 }
 
 }  // namespace

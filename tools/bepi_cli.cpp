@@ -34,6 +34,7 @@
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/promtext.hpp"
 #include "common/sections.hpp"
 #include "common/shutdown.hpp"
 #include "common/table.hpp"
@@ -224,9 +225,36 @@ const CommandHelp kCommands[] = {
      "                           0.01)\n"
      "  --walk-seed=S            fallback walk RNG base seed (default\n"
      "                           20170514)\n"
+     "  --slow-ms=X              slow-query log: a query whose wall time\n"
+     "                           (admission to response write) exceeds X\n"
+     "                           logs one structured line with its full\n"
+     "                           timing breakdown and pins its request_id\n"
+     "                           to the latency histogram as the exemplar\n"
+     "                           (default 0 = disabled)\n"
+     "  --flight-dump=PATH       where the always-on flight recorder is\n"
+     "                           dumped (Perfetto-loadable JSON) on a\n"
+     "                           watchdog trip or fatal-signal drain\n"
+     "                           (default bepi-flightrec.json; empty\n"
+     "                           disables auto-dumps — the `dump` verb\n"
+     "                           still works)\n"
      "example:\n"
      "  echo '{\"op\":\"query\",\"seed\":17}' | \\\n"
      "    bepi_cli serve --model=/tmp/m.txt\n"},
+    {"metrics-export",
+     "metrics-export --snapshot=FILE [--out=FILE]",
+     "bepi_cli metrics-export — render a --metrics-out snapshot file as\n"
+     "Prometheus text exposition (format 0.0.4)\n"
+     "  --snapshot=FILE  metrics snapshot JSON written by --metrics-out\n"
+     "                   (required)\n"
+     "  --out=FILE       destination path; stdout when omitted\n"
+     "counters and gauges become `bepi_<name>` series; histograms become\n"
+     "cumulative `le` bucket series with _sum/_count (and the recorded\n"
+     "exemplar, when one exists). A live server answers the `metrics`\n"
+     "verb with the same text; this command covers one-shot runs.\n"
+     "example:\n"
+     "  bepi_cli query --model=/tmp/m.txt --seed-node=3 \\\n"
+     "    --metrics-out=/tmp/metrics.json\n"
+     "  bepi_cli metrics-export --snapshot=/tmp/metrics.json\n"},
     {"verify-model",
      "verify-model --model=FILE",
      "bepi_cli verify-model — per-section integrity fsck of a model file\n"
@@ -352,7 +380,12 @@ const std::map<std::string, std::vector<FlagSpec>>& CommandFlagSpecs() {
                             {"graph", FlagType::kString},
                             {"walks", FlagType::kInt},
                             {"delta", FlagType::kDouble},
-                            {"walk-seed", FlagType::kInt}})},
+                            {"walk-seed", FlagType::kInt},
+                            {"slow-ms", FlagType::kDouble},
+                            {"flight-dump", FlagType::kString}})},
+          {"metrics-export",
+           WithGlobalFlags({{"snapshot", FlagType::kString},
+                            {"out", FlagType::kString}})},
           {"verify-model", WithGlobalFlags({{"model", FlagType::kString}})},
           {"help", WithGlobalFlags({})},
       };
@@ -947,12 +980,114 @@ int CmdServe(const Flags& flags) {
       flags.GetInt("max-line-bytes", 1 << 20));
   options.write_timeout_ms = flags.GetDouble("write-timeout-ms", 5000.0);
   options.max_conns = static_cast<int>(flags.GetInt("max-conns", 64));
+  options.slow_ms = flags.GetDouble("slow-ms", 0.0);
+  options.flight_dump_path =
+      flags.GetString("flight-dump", "bepi-flightrec.json");
   QueryServer server(*solver, options);
   const std::string socket_path = flags.GetString("socket", "");
   const Status status = socket_path.empty()
                             ? server.ServeStream(std::cin, std::cout)
                             : server.ServeUnixSocket(socket_path);
   if (!status.ok()) return Fail(status);
+  return 0;
+}
+
+/// Renders a --metrics-out snapshot file as Prometheus text exposition.
+/// The snapshot's histograms carry cumulative [upper_bound, count] bucket
+/// pairs exactly so this command can reconstruct the `le` series offline —
+/// the same renderer the server's `metrics` verb uses live.
+int CmdMetricsExport(const Flags& flags) {
+  const std::string snapshot_path = flags.GetString("snapshot", "");
+  if (snapshot_path.empty()) return Usage();
+  auto text = ReadFileToString(snapshot_path);
+  if (!text.ok()) return Fail(text.status());
+  auto parsed = ParseJson(*text);
+  if (!parsed.ok()) return Fail(parsed.status());
+  if (parsed->type != JsonValue::Type::kObject) {
+    return Fail(Status::InvalidArgument(snapshot_path +
+                                        ": snapshot root is not an object"));
+  }
+  const auto section = [&](const char* name) -> const JsonValue* {
+    const auto it = parsed->object_value.find(name);
+    if (it == parsed->object_value.end() ||
+        it->second.type != JsonValue::Type::kObject) {
+      return nullptr;
+    }
+    return &it->second;
+  };
+  const auto number = [](const JsonValue& obj, const char* key,
+                         double fallback) {
+    const auto it = obj.object_value.find(key);
+    return it != obj.object_value.end() &&
+                   it->second.type == JsonValue::Type::kNumber
+               ? it->second.number_value
+               : fallback;
+  };
+  std::string out;
+  if (const JsonValue* counters = section("counters")) {
+    for (const auto& [name, v] : counters->object_value) {
+      if (v.type != JsonValue::Type::kNumber) continue;
+      PrometheusAppendCounter(&out, name,
+                              static_cast<std::uint64_t>(v.number_value));
+    }
+  }
+  if (const JsonValue* gauges = section("gauges")) {
+    for (const auto& [name, v] : gauges->object_value) {
+      if (v.type != JsonValue::Type::kNumber) continue;
+      PrometheusAppendGauge(&out, name, v.number_value);
+    }
+  }
+  if (const JsonValue* histograms = section("histograms")) {
+    for (const auto& [name, h] : histograms->object_value) {
+      if (h.type != JsonValue::Type::kObject) continue;
+      std::vector<PromBucket> buckets;
+      const auto bit = h.object_value.find("buckets");
+      if (bit != h.object_value.end() &&
+          bit->second.type == JsonValue::Type::kArray) {
+        for (const JsonValue& pair : bit->second.array_value) {
+          if (pair.type != JsonValue::Type::kArray ||
+              pair.array_value.size() != 2 ||
+              pair.array_value[0].type != JsonValue::Type::kNumber ||
+              pair.array_value[1].type != JsonValue::Type::kNumber) {
+            return Fail(Status::DataLoss(snapshot_path + ": histogram " +
+                                         name + " has a malformed bucket"));
+          }
+          buckets.push_back(PromBucket{
+              pair.array_value[0].number_value,
+              static_cast<std::uint64_t>(pair.array_value[1].number_value)});
+        }
+      }
+      HistogramExemplar exemplar;
+      const auto eit = h.object_value.find("exemplar");
+      if (eit != h.object_value.end() &&
+          eit->second.type == JsonValue::Type::kObject) {
+        const JsonValue& e = eit->second;
+        exemplar.valid = true;
+        exemplar.value = number(e, "value", 0.0);
+        exemplar.ts_unix_seconds = number(e, "ts", 0.0);
+        const auto lit = e.object_value.find("label");
+        if (lit != e.object_value.end() &&
+            lit->second.type == JsonValue::Type::kString) {
+          exemplar.label = lit->second.string_value;
+        }
+      }
+      PrometheusAppendHistogram(
+          &out, name, buckets, number(h, "sum", 0.0),
+          static_cast<std::uint64_t>(number(h, "count", 0.0)), exemplar);
+    }
+  }
+  const std::string out_path = flags.GetString("out", "");
+  if (out_path.empty()) {
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
+  }
+  AtomicFileWriter writer(out_path);
+  if (!writer.status().ok()) return Fail(writer.status());
+  writer.stream() << out;
+  const Status committed = writer.Commit();
+  if (!committed.ok()) return Fail(committed);
+  std::fprintf(stderr, "prometheus exposition written to %s\n",
+               out_path.c_str());
   return 0;
 }
 
@@ -965,6 +1100,7 @@ int RunCommand(const std::string& command, const Flags& flags,
   if (command == "rank") return CmdRank(flags);
   if (command == "crosscheck") return CmdCrosscheck(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "metrics-export") return CmdMetricsExport(flags);
   if (command == "verify-model") return CmdVerifyModel(flags);
   if (command == "help") return CmdHelp(help_topic);
   return Usage();

@@ -4,7 +4,11 @@
 # (bepi_cli help output, a Flags lookup in the source tree, a known
 # third-party flag, or a getenv/macro in the source), and every
 # environment variable the code actually reads must be documented in
-# docs/OPERATIONS.md. Run by tools/ci.sh in the default configuration.
+# docs/OPERATIONS.md. The metric glossary in docs/OPERATIONS.md is
+# additionally cross-checked both ways: every key the binary's
+# --metrics-out snapshots emit must have a glossary row, and every
+# glossary row must name a metric registered in src/. Run by
+# tools/ci.sh in the default configuration.
 #
 # Usage: tools/check_docs.sh [path/to/bepi_cli]
 set -euo pipefail
@@ -119,6 +123,70 @@ if [ -n "$missing_cmds" ]; then
   echo "$missing_cmds" >&2
   exit 1
 fi
+
+# --- Metric glossary -------------------------------------------------------
+# Both directions against the "## Metric glossary" table in
+# docs/OPERATIONS.md:
+#  1. every metric key that instrumented runs (preprocess, a fully
+#     fault-injected query, a serve session) actually emit in their
+#     --metrics-out snapshots must match a glossary row — rows may use
+#     <placeholder> wildcards like solver.attempts.<stage>;
+#  2. every glossary row must correspond to a metric name registered
+#     somewhere in src/ (BEPI_METRIC_* / Get{Counter,Gauge,Histogram}),
+#     so a renamed or deleted metric cannot linger in the docs.
+"$cli" generate --out="$workdir/g.txt" --nodes=400 --edges=1800 \
+  --deadends=0.2 --seed=7 >/dev/null
+"$cli" preprocess --graph="$workdir/g.txt" --model="$workdir/m.txt" \
+  --metrics-out="$workdir/metrics_pre.json" >/dev/null 2>&1
+BEPI_FAULT_INJECT=gmres.stagnate,bicgstab.breakdown,power.stall \
+  "$cli" query --model="$workdir/m.txt" --graph="$workdir/g.txt" \
+  --seed-node=5 --metrics-out="$workdir/metrics_query.json" >/dev/null 2>&1
+printf '{"op":"query","seed":1}\n' |
+  "$cli" serve --model="$workdir/m.txt" --slow-ms=0.000001 \
+    --metrics-out="$workdir/metrics_serve.json" >/dev/null 2>&1
+grep -rhE 'BEPI_METRIC_|GetCounter\(|GetGauge\(|GetHistogram\(' src |
+  grep -oE '"[a-z][a-z0-9_.+]+"' | tr -d '"' | sort -u \
+  >"$workdir/registered_metrics.txt"
+python3 - "$workdir" <<'EOF'
+import json, re, sys
+work = sys.argv[1]
+doc = open("docs/OPERATIONS.md").read()
+section = re.search(r"## Metric glossary\n(.*?)(?:\n## |\Z)", doc, re.S)
+assert section, "docs/OPERATIONS.md has no '## Metric glossary' section"
+rows = re.findall(r"`([a-z][a-z0-9_.+]*(?:<[a-z]+>)?[a-z0-9_.+]*)`",
+                  section.group(1))
+rows = sorted(set(r for r in rows if "." in r))
+assert rows, "metric glossary has no rows"
+
+def to_regex(row):
+    parts = re.split(r"(<[^>]+>)", row)
+    return re.compile("^" + "".join(
+        "[A-Za-z0-9_+]+" if p.startswith("<") else re.escape(p)
+        for p in parts) + "$")
+
+patterns = [(row, to_regex(row)) for row in rows]
+emitted = set()
+for run in ("pre", "query", "serve"):
+    snap = json.load(open(f"{work}/metrics_{run}.json"))
+    for kind in ("counters", "gauges", "histograms"):
+        emitted |= set(snap.get(kind, {}))
+undocumented = [k for k in sorted(emitted)
+                if not any(p.match(k) for _, p in patterns)]
+assert not undocumented, (
+    f"metrics emitted but absent from the glossary: {undocumented}")
+registered = set(open(f"{work}/registered_metrics.txt").read().split())
+stale = []
+for row, _ in patterns:
+    prefix = row.split("<")[0]
+    if "<" in row:
+        if not any(n.startswith(prefix) for n in registered):
+            stale.append(row)
+    elif row not in registered:
+        stale.append(row)
+assert not stale, f"glossary rows with no registered metric: {stale}"
+print(f"check_docs: metric glossary covers all {len(emitted)} emitted "
+      f"keys; all {len(patterns)} glossary rows are registered in src/")
+EOF
 
 echo "check_docs: $(wc -l <"$workdir/doc_flags.txt") flags and" \
   "$(wc -l <"$workdir/doc_envs.txt") BEPI_* names verified across" \

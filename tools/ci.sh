@@ -28,13 +28,25 @@
 #     example graphs, then with every linear-algebra stage fault-injected
 #     so the degradation chain must bottom out in the MC terminal stage
 #     and still answer (CLI and serve) with a bounded-error reply;
+#   * observability: a request_id-tagged flood scraped mid-flight with the
+#     metrics verb and re-rendered offline via metrics-export (both must
+#     pass a strict Prometheus text-format parse with cumulative buckets
+#     and a request_id exemplar), the fully fault-injected degradation
+#     chain with the response's per-stage timing, the flight-recorder hop
+#     trail and the slow-query log all agreeing on one request_id, a
+#     watchdog trip auto-dumping a Perfetto trace, and score bit-identity
+#     with the forensics features on and off;
 #   * bench artifacts: bench_kernels, bench_fig1_query,
-#     bench_fig5_scalability, bench_serve and bench_mc write
-#     BENCH_kernels.json / BENCH_fig1_query.json /
-#     BENCH_parallel_scaling.json / BENCH_serve.json / BENCH_mc.json
-#     (smallest dataset scale) under build-ci/artifacts/, and all must
-#     parse — the mc artifact additionally asserts every estimate stayed
-#     within its confidence bound and was bit-identical across threads;
+#     bench_fig5_scalability, bench_serve, bench_mc and
+#     bench_observability write BENCH_kernels.json / BENCH_fig1_query.json
+#     / BENCH_parallel_scaling.json / BENCH_serve.json / BENCH_mc.json /
+#     BENCH_observability.json (smallest dataset scale, except the
+#     observability overhead run which needs full-size queries) under
+#     build-ci/artifacts/, and all must parse — the mc artifact
+#     additionally asserts every estimate stayed within its confidence
+#     bound and was bit-identical across threads, and the observability
+#     artifact asserts bit-identical scores and <2% query overhead with
+#     the forensics machinery on;
 #   * docs cross-check: tools/check_docs.sh verifies every flag and
 #     BEPI_* variable documented in README/docs against the binary and
 #     the source tree.
@@ -42,11 +54,13 @@
 # The "thread" configuration is narrower than the others: it builds only
 # the concurrency-sensitive tests (test_metrics, test_trace,
 # test_parallel, test_trisolve, test_kernel, test_cancel, test_mc,
-# test_server) under TSan and runs them directly — the registry's
-# sharded counters, the per-thread trace buffers, the work-stealing
-# pool, the level-scheduled triangular solves, mid-solve cancellation,
-# the Monte-Carlo walk engine's atomic visit counters and the query
-# server's worker pool are where new data races would land.
+# test_server, test_flightrec, test_promtext) under TSan and runs them
+# directly — the registry's sharded counters, the per-thread trace
+# buffers, the work-stealing pool, the level-scheduled triangular
+# solves, mid-solve cancellation, the Monte-Carlo walk engine's atomic
+# visit counters, the query server's worker pool, the flight recorder's
+# seqlock rings and the concurrent Prometheus render are where new data
+# races would land.
 #
 # Usage: tools/ci.sh [default|address|undefined|thread ...]
 #   With no arguments all four configurations run.
@@ -210,8 +224,10 @@ smoke_crosscheck() {
   # Seed 5 is not a deadend in this graph: a deadend seed's RWR vector is
   # identically zero, the Schur solve then converges in 0 iterations and
   # the chain never needs to degrade.
+  # Both streams: the ranking and "mc terminal stage answered" go to
+  # stdout, the "solver chain: ..." hop summary to stderr.
   BEPI_FAULT_INJECT="$faults" "$cli" query --model="$work/model.txt" \
-    --graph="$work/graph.txt" --seed-node=5 >"$work/faulted.out"
+    --graph="$work/graph.txt" --seed-node=5 >"$work/faulted.out" 2>&1
   grep -q "mc -> Converged" "$work/faulted.out"
   grep -q "mc terminal stage answered" "$work/faulted.out"
   # The crosscheck verb itself must also pass in this regime: the oracle
@@ -341,7 +357,12 @@ for t in threads: t.join()
 parsed = [json.loads(r) for r in results]
 for p in parsed:
     assert p["ok"], p
-    p.pop("ms")  # wall-clock timing is the one legitimately varying field
+    # Per-request context legitimately varies: wall-clock timings and the
+    # server-minted request_id. Everything else — scores included — must
+    # be identical.
+    p.pop("ms")
+    p.pop("timing")
+    assert p.pop("request_id").startswith("srv-"), p
 assert parsed[0] == parsed[1], results
 print("    two concurrent socket clients answered identically")
 EOF
@@ -378,6 +399,180 @@ assert m['counters'].get('server.completed', 0) >= 1, m['counters']
   rm -rf "$work"
 }
 
+smoke_observability() {
+  local cli="$1"
+  local work
+  work="$(mktemp -d)"
+  echo "=== observability smoke test ==="
+  "$cli" generate --out="$work/graph.txt" --nodes=400 --edges=1800 \
+    --deadends=0.2 --seed=7 >/dev/null
+  "$cli" preprocess --graph="$work/graph.txt" --model="$work/model.txt" \
+    >/dev/null
+
+  # 1. Flood with client request_ids, scrape mid-flood with the metrics
+  # verb, then render the drained --metrics-out snapshot offline with
+  # metrics-export. Both expositions must pass a strict text-format parse
+  # (every line a well-formed comment or sample, histogram buckets
+  # cumulative, +Inf == _count), and the tiny --slow-ms threshold must
+  # have pinned a request_id exemplar to the latency histogram and logged
+  # slow-query lines carrying the same ids.
+  (
+    awk 'BEGIN { for (i = 0; i < 200; i++)
+      printf "{\"op\":\"query\",\"request_id\":\"flood-%d\",\"seed\":1}\n", i }'
+    sleep 1 # metrics answers inline; let the accepted queries finish first
+    printf '{"op":"metrics","id":"m"}\n'
+  ) | "$cli" serve --model="$work/model.txt" --slots=2 --max-queue=4 \
+    --slow-ms=0.000001 --metrics-out="$work/snapshot.json" \
+    >"$work/flood.out" 2>"$work/flood.log"
+  "$cli" metrics-export --snapshot="$work/snapshot.json" \
+    --out="$work/exported.prom" >/dev/null
+  grep -q 'slow query: request_id=flood-' "$work/flood.log"
+  python3 - "$work" <<'EOF'
+import json, re, sys
+work = sys.argv[1]
+
+def parse_exposition(text):
+    """Strict Prometheus text-format 0.0.4 parse; returns family->type."""
+    sample = re.compile(
+        r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? '
+        r'(-?[0-9.eE+-]+|NaN|\+Inf|-Inf)'
+        r'( # \{[^}]*\} (-?[0-9.eE+-]+|NaN|\+Inf|-Inf)( [0-9.eE+-]+)?)?$')
+    families, buckets, counts = {}, {}, {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in ("counter", "gauge", "histogram"), line
+            families[name] = kind
+            continue
+        m = sample.match(line)
+        assert m, f"malformed exposition line: {line!r}"
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        assert name.startswith("bepi_"), line
+        if name.endswith("_bucket"):
+            le = re.search(r'le="([^"]+)"', labels).group(1)
+            buckets.setdefault(name[:-7], []).append((le, float(value)))
+        elif name.endswith("_count"):
+            counts[name[:-6]] = float(value)
+    for hist, series in buckets.items():
+        values = [v for _, v in series]
+        assert values == sorted(values), f"{hist} buckets not cumulative"
+        assert series[-1][0] == "+Inf", f"{hist} missing +Inf bucket"
+        assert series[-1][1] == counts[hist], f"{hist} +Inf != _count"
+    return families
+
+lines = [json.loads(l) for l in open(f"{work}/flood.out")]
+assert len(lines) == 201, len(lines)
+scrape = [l for l in lines if l.get("id") == "m"]
+assert scrape and scrape[0]["ok"], "metrics verb got no response"
+live = parse_exposition(scrape[0]["metrics"])
+assert live.get("bepi_server_latency_seconds") == "histogram", live
+for family in ("bepi_server_accepted", "bepi_server_slow_queries",
+               "bepi_process_rss_bytes", "bepi_process_open_fds"):
+    assert family in live, f"live scrape missing {family}"
+# Every query is an offender under --slow-ms=1ns: the exemplar is a
+# flood request_id on the latency histogram.
+assert re.search(r'_bucket\{le="[^"]+"\} \d+ # \{request_id="flood-\d+"\}',
+                 scrape[0]["metrics"]), "no request_id exemplar in scrape"
+exported = parse_exposition(open(f"{work}/exported.prom").read())
+assert exported.get("bepi_server_latency_seconds") == "histogram", exported
+missing = {f for f, k in live.items() if k != "gauge"} - set(exported)
+assert not missing, f"metrics-export lost families: {sorted(missing)}"
+# Responses echo the client's request_id and carry per-stage timing.
+served = [l for l in lines if l.get("ok") and "timing" in l]
+assert served, "flood produced no timed responses"
+assert all(l["request_id"].startswith("flood-") for l in served)
+stages = served[0]["timing"]["stages"]
+assert stages and stages[0]["stage"] == "ilu0+gmres", stages
+slow_ids = set(re.findall(r"slow query: request_id=(\S+)",
+                          open(f"{work}/flood.log").read()))
+assert slow_ids & {l["request_id"] for l in served}, "slow log ids differ"
+print(f"    flood: {len(served)} timed responses, strict exposition parse "
+      f"ok (live + metrics-export), {len(slow_ids)} slow-query log lines")
+EOF
+
+  # 2. The acceptance scenario: every linear-algebra stage fault-injected,
+  # one request degrades ilu0+gmres -> jacobi+gmres -> bicgstab -> power
+  # -> mc. The response's timing must name all five stages, the flight-
+  # recorder dump must reconstruct the same hop sequence under the
+  # request_id, and the slow-query log must attribute the same request.
+  local faults="gmres.stagnate,bicgstab.breakdown,power.stall"
+  (
+    printf '{"op":"query","request_id":"chain-1","seed":5}\n'
+    sleep 2 # the dump verb answers inline; let the query finish first
+    printf '{"op":"dump","id":"d"}\n'
+  ) | BEPI_FAULT_INJECT="$faults" "$cli" serve --model="$work/model.txt" \
+    --graph="$work/graph.txt" --slow-ms=0.000001 \
+    >"$work/chain.out" 2>"$work/chain.log"
+  grep -q 'slow query: request_id=chain-1' "$work/chain.log"
+  python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+lines = [json.loads(l) for l in open(f"{work}/chain.out")]
+expected = ["ilu0+gmres", "jacobi+gmres", "bicgstab", "power", "mc"]
+response = [l for l in lines if l.get("request_id") == "chain-1"][0]
+assert response["ok"] and response["stage"] == "mc", response
+stages = response["timing"]["stages"]
+assert [s["stage"] for s in stages] == expected, stages
+assert all(s["ns"] >= 0 for s in stages), stages
+dump = [l for l in lines if l.get("id") == "d"][0]
+hops = [e["args"]["detail"] for e in dump["flightrec"]["traceEvents"]
+        if e["name"] == "stage_hop"
+        and e["args"]["request_id"] == "chain-1"]
+assert hops == expected, hops
+print("    5-stage chain: response timing names every stage; flight "
+      "recorder reconstructs the hop sequence by request_id")
+EOF
+
+  # 3. Watchdog trip auto-dump: a worker stalled by server.exec_stall past
+  # --wedge-ms gets cancelled and the rings are persisted to --flight-dump
+  # while the wedged request's trail is still in the buffer.
+  (
+    printf '{"op":"query","request_id":"wedge-1","seed":5}\n'
+    sleep 1 # hold the session open so the watchdog patrols pre-drain
+  ) | "$cli" serve --model="$work/model.txt" \
+    --fault-inject=server.exec_stall:0:1 --watchdog-ms=10 --wedge-ms=50 \
+    --flight-dump="$work/wedge_dump.json" \
+    >"$work/wedge.out" 2>"$work/wedge.log"
+  grep -q 'request_id=wedge-1' "$work/wedge.log"
+  python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+dump = json.load(open(f"{work}/wedge_dump.json"))
+events = dump["traceEvents"]
+names = {e["name"] for e in events
+         if e["args"].get("request_id") == "wedge-1"}
+assert "watchdog" in names, sorted(names)
+response = json.loads(open(f"{work}/wedge.out").read().splitlines()[0])
+assert response["request_id"] == "wedge-1", response
+assert response.get("error") in ("cancelled", "deadline_exceeded"), response
+print("    watchdog trip auto-dumped a trace naming the wedged request")
+EOF
+
+  # 4. Bit-identity: the forensics features on the hot path (slow-query
+  # accounting, flight recording, request tracing) must not perturb the
+  # answers. Full-precision scores with and without them are compared
+  # exactly (%.17g round-trips doubles).
+  printf '{"op":"query","seed":3,"scores":true}\n' |
+    "$cli" serve --model="$work/model.txt" >"$work/plain.out" 2>/dev/null
+  printf '{"op":"query","seed":3,"scores":true}\n' |
+    "$cli" serve --model="$work/model.txt" --slow-ms=0.000001 \
+      --flight-dump="$work/fr.json" >"$work/instr.out" 2>/dev/null
+  python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+plain = json.loads(open(f"{work}/plain.out").read().splitlines()[0])
+instr = json.loads(open(f"{work}/instr.out").read().splitlines()[0])
+assert plain["ok"] and instr["ok"]
+assert len(plain["scores"]) == len(instr["scores"]) > 0
+for i, (a, b) in enumerate(zip(plain["scores"], instr["scores"])):
+    assert a == b, f"score {i} differs under instrumentation: {a!r} {b!r}"
+print("    scores bit-identical with observability features on and off")
+EOF
+  rm -rf "$work"
+}
+
 bench_artifacts() {
   local build_dir="$1"
   local out="$build_dir/../artifacts"
@@ -402,6 +597,11 @@ bench_artifacts() {
     --json-out="$out/BENCH_serve.json" >/dev/null 2>&1
   "$build_dir/bench/bench_mc" --scale=0.05 --queries=2 --walks=50000 \
     --json-out="$out/BENCH_mc.json" >/dev/null
+  # Full-scale queries here: the per-query instrumentation cost is a few
+  # microseconds flat, so on toy queries it reads as tens of percent while
+  # on real ones it is noise. The <2% gate is only meaningful at scale 1.
+  "$build_dir/bench/bench_observability" --scale=1.0 --queries=50 --rounds=9 \
+    --json-out="$out/BENCH_observability.json" >/dev/null
   python3 - "$out" <<'EOF'
 import json, sys
 out = sys.argv[1]
@@ -434,9 +634,16 @@ in_bound = [r for r in mrec if r["metric"] == "within_bound"]
 assert in_bound and all(r["value"] == 1.0 for r in in_bound), in_bound
 mc_ident = [r for r in mrec if r["metric"] == "bit_identical"]
 assert mc_ident and all(r["value"] == 1.0 for r in mc_ident), mc_ident
+obs = json.load(open(f"{out}/BENCH_observability.json"))
+assert obs["bench"] == "observability", obs.get("bench")
+orec = obs["results"]
+obs_ident = [r for r in orec if r["metric"] == "bit_identical"]
+assert obs_ident and all(r["value"] == 1.0 for r in obs_ident), obs_ident
+overhead = [r for r in orec if r["metric"] == "overhead_percent"]
+assert overhead and all(r["value"] < 2.0 for r in overhead), overhead
 print(f"    {len(kernels['benchmarks'])} kernel benchmarks, "
       f"{len(results)} fig1 records, {len(srec)} scaling records, "
-      f"{len(mrec)} mc records")
+      f"{len(mrec)} mc records, {len(orec)} observability records")
 EOF
 }
 
@@ -460,10 +667,12 @@ for config in "${configs[@]}"; do
     # triangular solves, ILU(0) apply) are the concurrency-bearing
     # surface.
     echo "=== [$config] build (test_metrics, test_trace, test_parallel," \
-      "test_trisolve, test_kernel, test_cancel, test_mc, test_server) ==="
+      "test_trisolve, test_kernel, test_cancel, test_mc, test_server," \
+      "test_flightrec, test_promtext) ==="
     cmake --build "$build_dir" -j "$jobs" \
       --target test_metrics test_trace test_parallel test_trisolve \
-      test_kernel test_cancel test_mc test_server
+      test_kernel test_cancel test_mc test_server test_flightrec \
+      test_promtext
     echo "=== [$config] test ==="
     "$build_dir/tests/test_metrics"
     "$build_dir/tests/test_trace"
@@ -473,6 +682,8 @@ for config in "${configs[@]}"; do
     "$build_dir/tests/test_cancel"
     "$build_dir/tests/test_mc"
     "$build_dir/tests/test_server"
+    "$build_dir/tests/test_flightrec"
+    "$build_dir/tests/test_promtext"
     continue
   fi
   echo "=== [$config] build ==="
@@ -485,6 +696,7 @@ for config in "${configs[@]}"; do
     smoke_kernel_paths "$build_dir/tools/bepi_cli"
     smoke_serve "$build_dir/tools/bepi_cli"
     smoke_crosscheck "$build_dir/tools/bepi_cli"
+    smoke_observability "$build_dir/tools/bepi_cli"
     bench_artifacts "$build_dir"
     echo "=== docs cross-check ==="
     tools/check_docs.sh "$build_dir/tools/bepi_cli"
