@@ -7,6 +7,7 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
@@ -23,11 +24,36 @@ Result<BatchQueryResult> BatchQueryEngine::Run(
     const std::vector<index_t>& seeds) const {
   Timer timer;
   TraceSpan batch_span("query.batch");
-  const index_t n = static_cast<index_t>(seeds.size());
 
   BatchQueryResult result;
   result.vectors.resize(seeds.size());
   if (options_.collect_stats) result.stats.resize(seeds.size());
+
+  // Duplicate seeds solve once: an RWR query is a pure function of
+  // (model, seed), so later occurrences reuse the first occurrence's
+  // result instead of re-streaming the matrices — the same key identity
+  // the serve-path score cache (server/cache.hpp) is built on. Solving
+  // runs over the deduplicated list; the fan-out below copies each unique
+  // result into every requesting position.
+  std::vector<index_t> unique_seeds;
+  std::vector<std::size_t> unique_of(seeds.size());
+  std::vector<index_t> first_occurrence;
+  {
+    std::unordered_map<index_t, std::size_t> seen;
+    seen.reserve(seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      const auto [it, inserted] = seen.emplace(seeds[i], unique_seeds.size());
+      if (inserted) {
+        unique_seeds.push_back(seeds[i]);
+        first_occurrence.push_back(static_cast<index_t>(i));
+      }
+      unique_of[i] = it->second;
+    }
+  }
+  const index_t n = static_cast<index_t>(unique_seeds.size());
+  std::vector<Vector> unique_vectors(unique_seeds.size());
+  std::vector<QueryStats> unique_stats(
+      options_.collect_stats ? unique_seeds.size() : 0);
 
   ThreadPool* pool = ParallelContext::Global().pool();
   index_t slots = options_.max_concurrency > 0
@@ -54,28 +80,32 @@ Result<BatchQueryResult> BatchQueryEngine::Run(
     GmresWorkspace& ws = workspaces[static_cast<std::size_t>(slot)];
     QueryControl control;
     control.cancel = options_.cancel;
-    for (index_t i = begin; i < end; ++i) {
-      const std::size_t idx = static_cast<std::size_t>(i);
+    for (index_t u = begin; u < end; ++u) {
+      const std::size_t idx = static_cast<std::size_t>(u);
+      // Failures report the unique seed's first occurrence so the
+      // "first failure in seed order" contract survives deduplication
+      // (every occurrence of a failing seed would fail identically).
+      const index_t orig = first_occurrence[idx];
       if (options_.cancel != nullptr && options_.cancel->Expired()) {
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (i < error_index) {
-          error_index = i;
+        if (orig < error_index) {
+          error_index = orig;
           error = options_.cancel->ToStatus("batch query");
         }
         return;
       }
       QueryStats* stats =
-          options_.collect_stats ? &result.stats[idx] : nullptr;
-      Result<Vector> r = solver_.Query(seeds[idx], stats, &ws, control);
+          options_.collect_stats ? &unique_stats[idx] : nullptr;
+      Result<Vector> r = solver_.Query(unique_seeds[idx], stats, &ws, control);
       if (!r.ok()) {
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (i < error_index) {
-          error_index = i;
+        if (orig < error_index) {
+          error_index = orig;
           error = r.status();
         }
         return;  // abandon this slot's remaining seeds
       }
-      result.vectors[idx] = std::move(r).value();
+      unique_vectors[idx] = std::move(r).value();
     }
   };
 
@@ -103,8 +133,16 @@ Result<BatchQueryResult> BatchQueryEngine::Run(
                                     error.message());
   }
 
+  // Fan the unique results out to every requesting position.
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::size_t u = unique_of[i];
+    result.vectors[i] = unique_vectors[u];
+    if (options_.collect_stats) result.stats[i] = unique_stats[u];
+  }
+
   result.seconds = timer.Seconds();
-  batch_span.Arg("seeds", n);
+  batch_span.Arg("seeds", static_cast<index_t>(seeds.size()));
+  batch_span.Arg("unique_seeds", n);
   batch_span.Arg("slots", slots);
   return result;
 }

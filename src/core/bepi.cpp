@@ -16,6 +16,7 @@
 #include "core/resilient.hpp"
 #include "engine/mc/mc.hpp"
 #include "solver/bicgstab.hpp"
+#include "solver/block_gmres.hpp"
 #include "solver/gmres.hpp"
 #include "sparse/io.hpp"
 
@@ -499,6 +500,253 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
     stats->report = std::move(report);
   }
   return result;
+}
+
+Status BepiSolver::QueryMulti(const std::vector<MultiQueryItem>& items,
+                              std::vector<MultiQueryResult>* results) const {
+  if (!preprocessed_) return Status::FailedPrecondition("Preprocess not called");
+  BEPI_CHECK(results != nullptr);
+  results->clear();
+  results->resize(items.size());
+  Timer timer;
+
+  // The scalar escape hatch: one ordinary Query with the item's own
+  // controls. Used for every item when the block path does not apply, and
+  // per column when a blocked solve does not converge — either way the
+  // item gets exactly the single-query code path and its full degradation
+  // chain.
+  auto solo = [&](std::size_t j) {
+    MultiQueryResult& res = (*results)[j];
+    Result<Vector> r = Query(items[j].seed, &res.stats, /*workspace=*/nullptr,
+                             items[j].control);
+    if (r.ok()) {
+      res.scores = std::move(r).value();
+      res.status = Status::Ok();
+    } else {
+      res.status = r.status();
+    }
+    res.coalesced = false;
+  };
+
+  // The block path only covers the preconditioned-GMRES Schur solve; a
+  // degenerate partition (no Schur system) or the BiCGSTAB ablation
+  // solver, like a width-1 batch, gains nothing from coalescing.
+  if (items.size() < 2 || dec_.n2 == 0 ||
+      options_.inner_solver == BepiInnerSolver::kBicgstab) {
+    for (std::size_t j = 0; j < items.size(); ++j) solo(j);
+    return Status::Ok();
+  }
+
+  TraceSpan multi_span("query.multi");
+  multi_span.Arg("width", static_cast<index_t>(items.size()));
+  const real_t c = options_.restart_prob;
+  const index_t n1 = dec_.n1, n2 = dec_.n2, n3 = dec_.n3;
+  BEPI_CHECK(kernels_ != nullptr);
+  const DecompositionKernels& kern = *kernels_;
+
+  std::vector<std::size_t> blockable;
+  blockable.reserve(items.size());
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    if (items[j].seed < 0 || items[j].seed >= dec_.n) {
+      (*results)[j].status = Status::OutOfRange("seed out of range");
+      continue;
+    }
+    blockable.push_back(j);
+  }
+  if (blockable.size() < 2) {
+    for (std::size_t j : blockable) solo(j);
+    return Status::Ok();
+  }
+
+  // Row-major panels of the partitioned scaled start vectors: one column
+  // per blockable seed, a single entry c at the reordered position
+  // (Algorithm 4 lines 1-2, k seeds at once).
+  const index_t kb = static_cast<index_t>(blockable.size());
+  const std::size_t kbz = static_cast<std::size_t>(kb);
+  std::vector<real_t> cq1_panel(static_cast<std::size_t>(n1) * kbz, 0.0);
+  // q2t starts as the c*q2 panel and becomes the blocked q2~ in place.
+  std::vector<real_t> q2t(static_cast<std::size_t>(n2) * kbz, 0.0);
+  std::vector<index_t> pos_of(kbz);
+  for (std::size_t jj = 0; jj < kbz; ++jj) {
+    const index_t pos =
+        dec_.perm[static_cast<std::size_t>(items[blockable[jj]].seed)];
+    pos_of[jj] = pos;
+    if (pos < n1) {
+      cq1_panel[static_cast<std::size_t>(pos) * kbz + jj] = c;
+    } else if (pos < n1 + n2) {
+      q2t[static_cast<std::size_t>(pos - n1) * kbz + jj] = c;
+    }
+  }
+
+  // Blocked rhs build: q2~ = c q2 - H21 (H11^{-1} (c q1)), two SpMMs and
+  // one SpMM-add instead of 3k SpMVs (Algorithm 4 line 3, per column
+  // bit-identical to the scalar build).
+  std::vector<real_t> panel_tmp;
+  {
+    TraceSpan rhs_span("query.rhs_build");
+    if (n1 > 0) {
+      std::vector<real_t> hinv(static_cast<std::size_t>(n1) * kbz);
+      kern.ApplyH11InverseMulti(cq1_panel.data(), kb, hinv.data(), &panel_tmp);
+      kern.h21.MultiplyAddMulti(-1.0, hinv.data(), kb, q2t.data());
+    }
+  }
+
+  // Lockstep blocked Schur solve of the primary preconditioned hop.
+  std::vector<Vector> rhs_cols(kbz, Vector(static_cast<std::size_t>(n2)));
+  for (std::size_t jj = 0; jj < kbz; ++jj) {
+    for (index_t i = 0; i < n2; ++i) {
+      rhs_cols[jj][static_cast<std::size_t>(i)] =
+          q2t[static_cast<std::size_t>(i) * kbz + jj];
+    }
+  }
+  KernelCsrOperator schur_op(kern.schur);
+  std::optional<JacobiPreconditioner> jacobi;
+  const Preconditioner* precond = preconditioner();
+  const char* stage = "ilu0+gmres";
+  if (precond == nullptr) {
+    jacobi.emplace(dec_.schur);
+    precond = &*jacobi;
+    stage = "jacobi+gmres";
+  }
+  BlockGmresOptions bopts;
+  bopts.tol = options_.tolerance;
+  bopts.max_iters = options_.max_iterations;
+  bopts.restart = options_.gmres_restart;
+  std::vector<BlockGmresRhs> brhs(kbz);
+  for (std::size_t jj = 0; jj < kbz; ++jj) {
+    brhs[jj].b = &rhs_cols[jj];
+    brhs[jj].cancel = items[blockable[jj]].control.cancel;
+  }
+  std::vector<BlockGmresColumn> bcols;
+  Timer hop_timer;
+  const Status block_status =
+      BlockGmres(schur_op, brhs, bopts, precond, &bcols);
+  const double hop_seconds = hop_timer.Seconds();
+  if (!block_status.ok()) {
+    // Shape mismatches cannot happen for a bound model; degrade to the
+    // scalar path rather than failing the whole batch.
+    for (std::size_t j : blockable) solo(j);
+    return Status::Ok();
+  }
+
+  // Split the verdicts: converged columns proceed to the blocked
+  // back-substitution, everything else re-solves through the scalar chain
+  // so one stalled/faulted/cancelled seed never poisons its batch.
+  std::vector<std::size_t> conv;
+  conv.reserve(kbz);
+  for (std::size_t jj = 0; jj < kbz; ++jj) {
+    if (bcols[jj].stats.converged &&
+        bcols[jj].stats.outcome == SolveOutcome::kConverged) {
+      conv.push_back(jj);
+    } else {
+      solo(blockable[jj]);
+    }
+  }
+  if (conv.empty()) return Status::Ok();
+
+  // Blocked back-substitution (Algorithm 4 lines 5-6 over panels):
+  //   r1 = H11^{-1} (c q1 - H12 r2),  r3 = c q3 - H31 r1 - H32 r2.
+  const index_t kc = static_cast<index_t>(conv.size());
+  const std::size_t kcz = static_cast<std::size_t>(kc);
+  std::vector<real_t> r2_panel(static_cast<std::size_t>(n2) * kcz);
+  for (std::size_t q = 0; q < kcz; ++q) {
+    const Vector& x = bcols[conv[q]].x;
+    for (index_t i = 0; i < n2; ++i) {
+      r2_panel[static_cast<std::size_t>(i) * kcz + q] =
+          x[static_cast<std::size_t>(i)];
+    }
+  }
+  std::vector<real_t> r1_panel, r3_panel;
+  {
+    TraceSpan backsub_span("query.back_substitution");
+    if (n1 > 0) {
+      std::vector<real_t> rhs1(static_cast<std::size_t>(n1) * kcz, 0.0);
+      for (std::size_t q = 0; q < kcz; ++q) {
+        const index_t pos = pos_of[conv[q]];
+        if (pos < n1) rhs1[static_cast<std::size_t>(pos) * kcz + q] = c;
+      }
+      kern.h12.MultiplyAddMulti(-1.0, r2_panel.data(), kc, rhs1.data());
+      r1_panel.resize(static_cast<std::size_t>(n1) * kcz);
+      kern.ApplyH11InverseMulti(rhs1.data(), kc, r1_panel.data(), &panel_tmp);
+    }
+    r3_panel.assign(static_cast<std::size_t>(n3) * kcz, 0.0);
+    for (std::size_t q = 0; q < kcz; ++q) {
+      const index_t pos = pos_of[conv[q]];
+      if (pos >= n1 + n2) {
+        r3_panel[static_cast<std::size_t>(pos - n1 - n2) * kcz + q] = c;
+      }
+    }
+    if (n3 > 0) {
+      if (n1 > 0) kern.h31.MultiplyAddMulti(-1.0, r1_panel.data(), kc,
+                                            r3_panel.data());
+      kern.h32.MultiplyAddMulti(-1.0, r2_panel.data(), kc, r3_panel.data());
+    }
+  }
+
+  // Reassemble each converged column (line 7) and fill its stats exactly
+  // the way the scalar tail does for a primary-hop success.
+  const double seconds = timer.Seconds();
+  for (std::size_t q = 0; q < kcz; ++q) {
+    const std::size_t jj = conv[q];
+    const std::size_t j = blockable[jj];
+    MultiQueryResult& res = (*results)[j];
+    res.coalesced = true;
+    res.status = Status::Ok();
+    res.scores.resize(static_cast<std::size_t>(dec_.n));
+    for (index_t i = 0; i < n1; ++i) {
+      res.scores[static_cast<std::size_t>(
+          inverse_perm_[static_cast<std::size_t>(i)])] =
+          r1_panel[static_cast<std::size_t>(i) * kcz + q];
+    }
+    for (index_t i = 0; i < n2; ++i) {
+      res.scores[static_cast<std::size_t>(
+          inverse_perm_[static_cast<std::size_t>(n1 + i)])] =
+          r2_panel[static_cast<std::size_t>(i) * kcz + q];
+    }
+    for (index_t i = 0; i < n3; ++i) {
+      res.scores[static_cast<std::size_t>(
+          inverse_perm_[static_cast<std::size_t>(n1 + n2 + i)])] =
+          r3_panel[static_cast<std::size_t>(i) * kcz + q];
+    }
+
+    SolveAttempt attempt;
+    attempt.stage = stage;
+    attempt.outcome = SolveOutcome::kConverged;
+    attempt.iterations = bcols[jj].stats.iterations;
+    attempt.residual = bcols[jj].stats.relative_residual;
+    // Wall time the request spent waiting on the shared blocked solve —
+    // the latency it observed, not a per-column slice of the work.
+    attempt.seconds = hop_seconds;
+    const char* request_id = items[j].control.request_id;
+    if (MetricsEnabled()) {
+      MetricsRegistry::Global()
+          .GetCounter("solver.attempts." + attempt.stage)
+          ->Increment();
+    }
+    FlightRecord(FlightEventType::kStageHop, request_id, attempt.stage.c_str(),
+                 static_cast<std::int64_t>(attempt.seconds * 1e9));
+
+    QueryReport report;
+    report.attempts.push_back(attempt);
+    report.final_outcome = SolveOutcome::kConverged;
+    if (MetricsEnabled()) {
+      BEPI_METRIC_COUNTER(queries, "query.count");
+      BEPI_METRIC_COUNTER(hops, "query.fallback_hops");
+      BEPI_METRIC_HISTOGRAM(latency, "query.latency_seconds");
+      BEPI_METRIC_COUNTER(cancelled, "query.cancelled");
+      (void)cancelled;
+      queries->Increment();
+      hops->Increment(static_cast<std::uint64_t>(report.fallback_hops()));
+      latency->RecordAlways(seconds);
+    }
+    res.stats.seconds = seconds;
+    res.stats.total_iterations = report.total_iterations();
+    res.stats.iterations = attempt.iterations;
+    res.stats.residual = attempt.residual;
+    res.stats.outcome = attempt.outcome;
+    res.stats.report = std::move(report);
+  }
+  return Status::Ok();
 }
 
 Status BepiSolver::AttachMcFallback(const McWalkEngine* engine,

@@ -90,6 +90,26 @@ struct QueryControl {
   const char* request_id = nullptr;
 };
 
+/// One seed of a coalesced multi-seed query (BepiSolver::QueryMulti):
+/// the seed plus the same per-request controls Query takes.
+struct MultiQueryItem {
+  index_t seed = 0;
+  QueryControl control;
+};
+
+/// Per-seed verdict of QueryMulti. `scores`/`stats` are meaningful only
+/// when `status` is ok, and are — by contract — bit-identical to what
+/// Query(seed, ...) returns for the same seed: `coalesced` columns were
+/// solved by the lockstep block path whose per-column arithmetic matches
+/// the scalar solve exactly, and non-coalesced columns were literally
+/// re-solved through the scalar path (the full degradation chain).
+struct MultiQueryResult {
+  Status status = Status::Ok();
+  Vector scores;
+  QueryStats stats;
+  bool coalesced = false;
+};
+
 /// Structural metadata produced by preprocessing; consumed by the
 /// benchmark harnesses (Tables 2-4, Figures 4, 6, 8).
 struct BepiPreprocessInfo {
@@ -147,6 +167,20 @@ class BepiSolver final : public RwrSolver {
   Result<Vector> QueryVector(const Vector& q, QueryStats* stats,
                              GmresWorkspace* workspace,
                              const QueryControl& control) const;
+  /// Coalesced multi-seed query: answers every item, streaming the Schur
+  /// matrix ONCE per block-GMRES step for all seeds (sparse/kernel.hpp
+  /// SpMM panels) instead of once per seed — the bandwidth amortization
+  /// the serve batcher (server/server.hpp) is built on. Only the primary
+  /// preconditioned GMRES hop is blocked; any seed whose column does not
+  /// converge there (stagnation, NaN, cancellation, injected faults,
+  /// breakdown) is transparently re-solved through the ordinary scalar
+  /// Query path — its own degradation chain, its own QueryControl — so a
+  /// misbehaving seed degrades alone and every returned vector is
+  /// bit-identical to a solo Query of the same seed. The returned Status
+  /// covers batch-level preconditions only; per-seed failures land in
+  /// each MultiQueryResult::status.
+  Status QueryMulti(const std::vector<MultiQueryItem>& items,
+                    std::vector<MultiQueryResult>* results) const;
   std::uint64_t PreprocessedBytes() const override;
 
   /// Arms the Monte-Carlo walk engine (engine/mc) as the terminal stage of
@@ -170,6 +204,7 @@ class BepiSolver final : public RwrSolver {
   }
 
   const BepiPreprocessInfo& info() const { return info_; }
+  const BepiOptions& options() const { return options_; }
   const HubSpokeDecomposition& decomposition() const { return dec_; }
   /// The ILU(0) preconditioner (present only in kPreconditioned mode).
   const Ilu0* preconditioner() const {

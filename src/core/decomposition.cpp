@@ -263,6 +263,15 @@ Vector DecompositionKernels::ApplyH11Inverse(const Vector& v) const {
   return u1_inv.Multiply(l1_inv.Multiply(v));
 }
 
+void DecompositionKernels::ApplyH11InverseMulti(const real_t* v, index_t k,
+                                                real_t* out,
+                                                std::vector<real_t>* tmp) const {
+  tmp->resize(static_cast<std::size_t>(l1_inv.rows()) *
+              static_cast<std::size_t>(k));
+  l1_inv.MultiplyMulti(v, k, tmp->data());
+  u1_inv.MultiplyMulti(tmp->data(), k, out);
+}
+
 std::uint64_t DecompositionKernels::OwnedBytes() const {
   return l1_inv.ByteSize() + u1_inv.ByteSize() + h12.ByteSize() +
          h21.ByteSize() + h31.ByteSize() + h32.ByteSize() + schur.ByteSize();

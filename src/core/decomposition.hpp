@@ -102,6 +102,13 @@ struct DecompositionKernels {
   /// U1^{-1} (L1^{-1} v) through the bound kernels.
   Vector ApplyH11Inverse(const Vector& v) const;
 
+  /// Panel form over k row-major right-hand sides (sparse/kernel.hpp
+  /// MultiplyMulti): `v` and `out` are n1 x k row-major, `tmp` is caller
+  /// scratch (resized here). Each panel column is bit-identical to
+  /// ApplyH11Inverse on that column alone.
+  void ApplyH11InverseMulti(const real_t* v, index_t k, real_t* out,
+                            std::vector<real_t>* tmp) const;
+
   /// Bytes owned on top of the decomposition (the compact index sidecars).
   std::uint64_t OwnedBytes() const;
 };

@@ -1,6 +1,7 @@
 #include "server/admission.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/metrics.hpp"
 
@@ -31,6 +32,39 @@ Status AdmissionController::Submit(AdmissionJob job, double* retry_after_ms) {
   }
   cv_.notify_one();
   return Status::Ok();
+}
+
+bool AdmissionController::NextBatch(std::vector<AdmissionJob>* jobs,
+                                    std::size_t max_batch, double window_ms) {
+  jobs->clear();
+  if (max_batch < 1) max_batch = 1;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // draining and dry
+  const auto take = [&] {
+    while (!queue_.empty() && jobs->size() < max_batch) {
+      jobs->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  };
+  take();
+  if (jobs->size() < max_batch && window_ms > 0.0 && !draining_) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(window_ms));
+    while (jobs->size() < max_batch) {
+      const bool signalled = cv_.wait_until(lock, deadline, [this] {
+        return draining_ || !queue_.empty();
+      });
+      if (!signalled) break;  // window expired
+      take();
+      if (draining_) break;
+    }
+  }
+  BEPI_METRIC_GAUGE(depth, "server.queue_depth");
+  depth->Set(static_cast<double>(queue_.size()));
+  return true;
 }
 
 bool AdmissionController::Next(AdmissionJob* job) {

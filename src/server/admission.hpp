@@ -20,6 +20,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <vector>
 
 #include "common/status.hpp"
 
@@ -50,6 +51,17 @@ class AdmissionController {
   /// Worker pop: blocks until a job is available or the drain latch fires
   /// with an empty queue (returns false — the worker should exit).
   bool Next(AdmissionJob* job);
+
+  /// Batching pop for the coalescing scheduler: blocks like Next for the
+  /// first job, then greedily takes whatever else is already queued and —
+  /// when still under `max_batch` and `window_ms` > 0 — keeps waiting up
+  /// to `window_ms` (measured from the first pop) for more arrivals. The
+  /// window trades a bounded latency add for batch width; window 0 is
+  /// pure opportunistic coalescing (whatever backlog exists right now,
+  /// zero added latency). During drain nothing waits: the batch is
+  /// whatever is left. Returns false exactly when Next would.
+  bool NextBatch(std::vector<AdmissionJob>* jobs, std::size_t max_batch,
+                 double window_ms);
 
   /// Stop admitting and wake every blocked worker. Idempotent.
   void BeginDrain();

@@ -1,0 +1,141 @@
+// Hot-seed score cache for the serve path: an LRU of fully-solved RWR
+// score vectors keyed by (model fingerprint, seed) under a byte budget.
+//
+// An RWR query is a pure function of (model, seed, c, eps) — the same
+// identity the batch engine's within-batch dedupe rests on — so a cached
+// vector answers a repeat query byte-for-byte identically to re-solving
+// it, including the %.17g-rendered topk/scores/residual fields of the
+// serve response. Two entry grades share one LRU chain:
+//
+//   * full:    the complete score vector plus a precomputed top-K prefix.
+//     Serves any request (arbitrary topk, want_scores).
+//   * compact: the top-K prefix only (K = kCompactTopK). When the budget
+//     forces a full entry out, it is demoted to compact and re-inserted
+//     at the MRU end — a hot seed keeps answering topk<=K requests for a
+//     ~1000x smaller footprint — and only a compact entry reached again
+//     by the LRU scan is dropped outright.
+//
+// TopK (core/rwr.hpp) orders by (score desc, node asc) — a strict total
+// order — so the stored top-K list serves any smaller topk as an exact
+// prefix of what TopK would return on the full vector.
+//
+// Thread-safe: one mutex, reads copy out under it. Only *converged* full
+// solves may be inserted (partial or degraded-stochastic results must
+// not be replayed to later requests). Insert/Lookup maintain the
+// server.cache.{hits,misses,evictions,bytes} metrics; a zero budget
+// disables the cache entirely (no lookups counted, nothing stored).
+#ifndef BEPI_SERVER_CACHE_HPP_
+#define BEPI_SERVER_CACHE_HPP_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/dense.hpp"
+
+namespace bepi {
+
+class BepiSolver;
+
+/// Structural + numeric identity of a loaded model: node/block counts,
+/// Schur nnz, restart probability and tolerance bits. Two models with the
+/// same fingerprint answer every seed identically (for cache purposes);
+/// a reloaded or re-preprocessed model fingerprints differently and its
+/// lookups miss without any explicit flush.
+std::uint64_t ModelFingerprint(const BepiSolver& solver);
+
+/// What a cache hit hands the response assembler: the request's exact
+/// topk ranking, the full vector when the request wants raw scores, and
+/// the original solve's iteration count and residual (replayed verbatim
+/// so those response fields stay bit-identical to the cold solve).
+struct ScoreCacheHit {
+  std::vector<std::pair<index_t, real_t>> topk;
+  Vector scores;  // filled only when want_scores was requested
+  index_t iterations = 0;
+  real_t residual = 0.0;
+};
+
+class ScoreCache {
+ public:
+  /// Compact entries keep this many (node, score) pairs.
+  static constexpr index_t kCompactTopK = 100;
+
+  /// `max_bytes` 0 disables the cache (every Lookup returns false
+  /// uncounted, Insert is a no-op). Metrics are registered either way so
+  /// the exposition's key set stays deterministic.
+  explicit ScoreCache(std::uint64_t max_bytes);
+
+  ScoreCache(const ScoreCache&) = delete;
+  ScoreCache& operator=(const ScoreCache&) = delete;
+
+  /// Answers (fingerprint, seed) if cached and the entry can serve the
+  /// request: a full entry serves anything; a compact entry serves
+  /// topk <= kCompactTopK without want_scores. Counts one hit or miss.
+  bool Lookup(std::uint64_t fingerprint, index_t seed, index_t topk,
+              bool want_scores, ScoreCacheHit* hit);
+
+  /// Caches a converged solve's full vector (the top-K prefix is computed
+  /// here, excluding `seed` like the serve response does) and shrinks to
+  /// the byte budget. Re-inserting an existing key refreshes it.
+  void Insert(std::uint64_t fingerprint, index_t seed, const Vector& scores,
+              index_t iterations, real_t residual);
+
+  /// Drops everything (model reload / fingerprint rotation). Dropped
+  /// entries count as evictions.
+  void Invalidate();
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  std::uint64_t bytes() const;
+  std::uint64_t max_bytes() const { return max_bytes_; }
+  bool enabled() const { return max_bytes_ > 0; }
+
+ private:
+  struct Key {
+    std::uint64_t fingerprint;
+    index_t seed;
+    bool operator==(const Key& o) const {
+      return fingerprint == o.fingerprint && seed == o.seed;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // Splitmix-style finalizer over the two halves.
+      std::uint64_t h = k.fingerprint ^
+                        (static_cast<std::uint64_t>(k.seed) * 0x9e3779b97f4a7c15ULL);
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Entry {
+    Key key;
+    Vector scores;  // empty once demoted to compact
+    std::vector<std::pair<index_t, real_t>> topk;
+    index_t iterations = 0;
+    real_t residual = 0.0;
+  };
+
+  static std::uint64_t EntryBytes(const Entry& e);
+  void ShrinkLocked();   // mu_ held
+  void PublishLocked();  // mu_ held: push bytes_ to the gauge
+
+  const std::uint64_t max_bytes_;
+  mutable std::mutex mu_;
+  /// MRU at front. The map's values point at list nodes (stable under
+  /// splice).
+  std::list<Entry> lru_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+}  // namespace bepi
+
+#endif  // BEPI_SERVER_CACHE_HPP_

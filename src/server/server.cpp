@@ -13,6 +13,7 @@
 #include <cstring>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 
 #include "common/faultinject.hpp"
 #include "common/flightrec.hpp"
@@ -31,6 +32,12 @@ using Clock = CancelToken::Clock;
 std::int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              Clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t ToEpochNs(Clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
       .count();
 }
 
@@ -78,15 +85,26 @@ struct QueryServer::Conn {
   std::atomic<bool> dead{false};
 };
 
-/// Per-worker execution state sampled by the watchdog. The token is held
-/// via shared_ptr under a mutex so a watchdog cancel can never race the
-/// worker releasing the request.
+/// Per-worker execution state sampled by the watchdog. The tokens are
+/// held via shared_ptr under a mutex so a watchdog cancel can never race
+/// the worker releasing the request; a coalesced batch parks every
+/// member's token here so a wedged blocked solve cancels them all.
 struct QueryServer::WorkerSlot {
+  /// One accepted query parked here between admission and the coalesced
+  /// solve (CollectPending -> ExecuteBatch).
+  struct PendingQuery {
+    std::shared_ptr<Conn> conn;
+    Request req;
+    std::shared_ptr<CancelToken> token;
+    Clock::time_point admitted_at;
+  };
+
   GmresWorkspace workspace;
+  std::vector<PendingQuery> pending;  // worker-thread-only scratch
   std::mutex mu;
-  std::shared_ptr<CancelToken> active_token;      // guarded by mu
-  std::string active_request_id;                  // guarded by mu
-  std::atomic<std::int64_t> busy_since_ns{0};     // 0 = idle
+  std::vector<std::shared_ptr<CancelToken>> active_tokens;  // guarded by mu
+  std::string active_request_id;                            // guarded by mu
+  std::atomic<std::int64_t> busy_since_ns{0};               // 0 = idle
   std::atomic<bool> wedged{false};
 };
 
@@ -99,7 +117,9 @@ QueryServer::QueryServer(const BepiSolver& solver, ServeOptions options)
             std::max<index_t>(1, options.max_queue));
         a.slots = std::max(1, options.slots);
         return a;
-      }()) {
+      }()),
+      cache_(static_cast<std::uint64_t>(std::max(0, options.cache_mb)) << 20),
+      fingerprint_(ModelFingerprint(solver)) {
   options_.slots = std::max(1, options_.slots);
   workers_.reserve(static_cast<std::size_t>(options_.slots));
   for (int i = 0; i < options_.slots; ++i) {
@@ -125,6 +145,7 @@ QueryServer::QueryServer(const BepiSolver& solver, ServeOptions options)
   }
   registry.GetGauge("server.inflight");
   registry.GetHistogram("server.latency_seconds");
+  registry.GetHistogram("server.batch_width");
 }
 
 QueryServer::~QueryServer() {
@@ -161,14 +182,23 @@ void QueryServer::StartWorkers() {
 }
 
 void QueryServer::WorkerLoop(int slot) {
-  AdmissionJob job;
-  while (admission_.Next(&job)) {
-    inflight_.fetch_add(1, std::memory_order_relaxed);
+  // The coalescing scheduler: pull up to batch_max accepted queries in
+  // one pop (waiting batch_window_ms for stragglers when configured),
+  // park them on this slot, then answer the whole batch — cache hits
+  // immediately, the rest through one coalesced Schur solve.
+  std::vector<AdmissionJob> jobs;
+  const std::size_t max_batch =
+      static_cast<std::size_t>(std::max(1, options_.batch_max));
+  while (admission_.NextBatch(&jobs, max_batch, options_.batch_window_ms)) {
+    const int width = static_cast<int>(jobs.size());
+    inflight_.fetch_add(width, std::memory_order_relaxed);
     BEPI_METRIC_GAUGE(inflight_gauge, "server.inflight");
     inflight_gauge->Set(static_cast<double>(
         inflight_.load(std::memory_order_relaxed)));
-    job(slot);
-    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    workers_[slot]->pending.clear();
+    for (AdmissionJob& job : jobs) job(slot);
+    ExecuteBatch(slot);
+    inflight_.fetch_sub(width, std::memory_order_relaxed);
     inflight_gauge->Set(static_cast<double>(
         inflight_.load(std::memory_order_relaxed)));
     {
@@ -208,12 +238,17 @@ void QueryServer::WatchdogLoop() {
           trips->Increment();
           BEPI_LOG(Warning) << "watchdog: worker busy for "
                             << static_cast<double>(now - busy_since) / 1e6
-                            << " ms, cancelling its request (request_id="
-                            << slot->active_request_id << ")";
+                            << " ms, cancelling its request(s) (request_id="
+                            << slot->active_request_id << ", "
+                            << slot->active_tokens.size() << " token(s))";
           FlightRecord(FlightEventType::kWatchdog,
                        slot->active_request_id.c_str(), "worker wedged",
                        now - busy_since);
-          if (slot->active_token != nullptr) slot->active_token->Cancel();
+          // A coalesced batch wedges as a unit: cancel every member so
+          // none of them is left waiting on the stuck solve.
+          for (const auto& token : slot->active_tokens) {
+            if (token != nullptr) token->Cancel();
+          }
           // Watchdog degradation is the incident the recorder exists for:
           // persist the rings now, while the wedged request's hop trail is
           // still in the buffer.
@@ -309,7 +344,12 @@ std::string QueryServer::StatsLine(const std::string& id_json) const {
   field("slow_queries", s.slow_queries);
   field("queue_depth", s.queue_depth);
   field("inflight", s.inflight);
-  char buf[64];
+  field("coalesced", s.coalesced);
+  field("cache_hits", s.cache_hits);
+  field("cache_misses", s.cache_misses);
+  field("cache_evictions", s.cache_evictions);
+  field("cache_bytes", s.cache_bytes);
+  char buf[160];
   std::snprintf(buf, sizeof buf,
                 ",\"latency_ms\":{\"count\":%llu,\"p50\":%.3f,\"p99\":%.3f"
                 ",\"max\":%.3f}",
@@ -336,6 +376,11 @@ ServerStatsSnapshot QueryServer::Stats() const {
   s.queue_depth = admission_.depth();
   s.inflight =
       static_cast<std::uint64_t>(inflight_.load(std::memory_order_relaxed));
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_evictions = cache_.evictions();
+  s.cache_bytes = cache_.bytes();
   s.health = HealthState();
   return s;
 }
@@ -459,7 +504,7 @@ void QueryServer::HandleLine(const std::shared_ptr<Conn>& conn,
   double retry_after_ms = -1.0;
   const Status admitted = admission_.Submit(
       [server, conn, req, token, admitted_at](int slot) {
-        server->ExecuteQuery(slot, conn, req, token, admitted_at);
+        server->CollectPending(slot, conn, req, token, admitted_at);
       },
       &retry_after_ms);
   if (!admitted.ok()) {
@@ -489,22 +534,242 @@ void QueryServer::HandleLine(const std::shared_ptr<Conn>& conn,
                req.seed);
 }
 
+void QueryServer::CollectPending(int slot, std::shared_ptr<Conn> conn,
+                                 Request req,
+                                 std::shared_ptr<CancelToken> token,
+                                 Clock::time_point admitted_at) {
+  workers_[slot]->pending.push_back(WorkerSlot::PendingQuery{
+      std::move(conn), std::move(req), std::move(token), admitted_at});
+}
+
+void QueryServer::ExecuteBatch(int slot) {
+  WorkerSlot& ws = *workers_[slot];
+  std::vector<WorkerSlot::PendingQuery> batch = std::move(ws.pending);
+  ws.pending.clear();
+  if (batch.empty()) return;
+  BEPI_METRIC_HISTOGRAM(width_hist, "server.batch_width");
+  width_hist->RecordAlways(static_cast<double>(batch.size()));
+  if (batch.size() == 1) {
+    // A batch of one takes the scalar path verbatim — cache lookup,
+    // per-slot workspace reuse and all — so an unloaded server behaves
+    // exactly like the pre-batching one.
+    const WorkerSlot::PendingQuery& pq = batch.front();
+    ExecuteQuery(slot, pq.conn, pq.req, pq.token, pq.admitted_at);
+    return;
+  }
+
+  // Cache pass first: hits leave without occupying the slot, and what
+  // remains is exactly the work that needs a solver.
+  std::vector<std::size_t> missed;
+  missed.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const WorkerSlot::PendingQuery& pq = batch[i];
+    const std::int64_t queue_ns = NowNs() - ToEpochNs(pq.admitted_at);
+    if (!TryCacheHit(pq.conn, pq.req, queue_ns, pq.admitted_at)) {
+      missed.push_back(i);
+    }
+  }
+  if (missed.empty()) return;
+  if (missed.size() == 1) {
+    // Everything else hit: the lone miss takes the scalar path (its
+    // lookup already counted, so ExecuteQuery must not repeat it).
+    const WorkerSlot::PendingQuery& pq = batch[missed[0]];
+    ExecuteQuery(slot, pq.conn, pq.req, pq.token, pq.admitted_at,
+                 /*try_cache=*/false);
+    return;
+  }
+
+  const std::int64_t exec_start_ns = NowNs();
+  {
+    // Tokens and busy timestamp change together under mu so the
+    // watchdog's locked re-check can never pair a stale timestamp with
+    // fresh tokens. The whole batch wedges (and is cancelled) as a unit.
+    std::lock_guard<std::mutex> lock(ws.mu);
+    ws.active_tokens.clear();
+    for (const std::size_t i : missed) {
+      ws.active_tokens.push_back(batch[i].token);
+    }
+    ws.active_request_id = batch[missed.front()].req.request_id;
+    ws.busy_since_ns.store(exec_start_ns, std::memory_order_relaxed);
+  }
+
+  if (BEPI_FAULT_INJECTED(fault_sites::kServerExecStall)) {
+    FlightRecord(FlightEventType::kFault,
+                 batch[missed.front()].req.request_id.c_str(),
+                 fault_sites::kServerExecStall);
+    const auto stall_start = Clock::now();
+    while (!batch[missed.front()].token->Expired() &&
+           Clock::now() - stall_start < std::chrono::seconds(10)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  // Duplicate seeds within the batch solve once: group members share the
+  // first occurrence's result when it converges cleanly.
+  std::vector<std::vector<std::size_t>> groups;
+  {
+    std::unordered_map<index_t, std::size_t> group_of;
+    group_of.reserve(missed.size());
+    for (const std::size_t i : missed) {
+      const auto [it, inserted] =
+          group_of.emplace(batch[i].req.seed, groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(i);
+    }
+  }
+
+  std::vector<MultiQueryItem> items;
+  items.reserve(groups.size());
+  for (const auto& group : groups) {
+    const WorkerSlot::PendingQuery& primary = batch[group.front()];
+    MultiQueryItem item;
+    item.seed = primary.req.seed;
+    item.control.cancel = primary.token.get();
+    item.control.allow_partial = primary.req.allow_partial;
+    item.control.request_id = primary.req.request_id.c_str();
+    items.push_back(item);
+  }
+  std::vector<MultiQueryResult> results;
+  const Status batch_status = solver_.QueryMulti(items, &results);
+  const std::int64_t solve_ns = NowNs() - exec_start_ns;
+
+  {
+    std::lock_guard<std::mutex> lock(ws.mu);
+    ws.busy_since_ns.store(0, std::memory_order_relaxed);
+    ws.active_tokens.clear();
+    ws.active_request_id.clear();
+  }
+  ws.wedged.store(false, std::memory_order_relaxed);
+
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::size_t m = 0; m < groups[g].size(); ++m) {
+      const WorkerSlot::PendingQuery& pq = batch[groups[g][m]];
+      const std::int64_t queue_ns = exec_start_ns - ToEpochNs(pq.admitted_at);
+      if (!batch_status.ok()) {
+        // Batch-level precondition failure (cannot normally happen for
+        // seeds validated at admission): every member gets the error.
+        FinishQuery(pq.conn, pq.req, batch_status, QueryStats(),
+                    /*coalesced=*/false, /*insert_cache=*/false, queue_ns,
+                    solve_ns, pq.admitted_at);
+        continue;
+      }
+      const MultiQueryResult& r = results[g];
+      const bool shareable =
+          r.status.ok() && r.stats.outcome == SolveOutcome::kConverged;
+      if (m == 0 || shareable) {
+        Result<Vector> scores =
+            r.status.ok() ? Result<Vector>(r.scores) : Result<Vector>(r.status);
+        FinishQuery(pq.conn, pq.req, scores, r.stats, r.coalesced,
+                    /*insert_cache=*/m == 0, queue_ns, solve_ns,
+                    pq.admitted_at);
+      } else {
+        // Duplicate of a primary that failed or only partially finished:
+        // re-solve under this request's own token and partial policy so a
+        // member with a healthy deadline is not poisoned by the
+        // primary's cancellation.
+        QueryStats dup_stats;
+        QueryControl control;
+        control.cancel = pq.token.get();
+        control.allow_partial = pq.req.allow_partial;
+        control.request_id = pq.req.request_id.c_str();
+        const std::int64_t dup_start_ns = NowNs();
+        auto dup =
+            solver_.Query(pq.req.seed, &dup_stats, &ws.workspace, control);
+        FinishQuery(pq.conn, pq.req, dup, dup_stats, /*coalesced=*/false,
+                    /*insert_cache=*/true, queue_ns, NowNs() - dup_start_ns,
+                    pq.admitted_at);
+      }
+    }
+  }
+}
+
+bool QueryServer::TryCacheHit(const std::shared_ptr<Conn>& conn,
+                              const Request& req, std::int64_t queue_ns,
+                              Clock::time_point admitted_at) {
+  if (!cache_.enabled()) return false;
+  ScoreCacheHit hit;
+  if (!cache_.Lookup(fingerprint_, req.seed, req.topk, req.want_scores,
+                     &hit)) {
+    return false;
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  BEPI_METRIC_COUNTER(completed, "server.completed");
+  completed->Increment();
+  const std::int64_t admitted_ns = ToEpochNs(admitted_at);
+  const double total_seconds =
+      std::chrono::duration<double>(Clock::now() - admitted_at).count();
+  Histogram* latency =
+      MetricsRegistry::Global().GetHistogram("server.latency_seconds");
+  latency->RecordAlways(total_seconds);
+  // Deliberately NOT fed into the retry-after EWMA: hits are orders of
+  // magnitude cheaper than solves, and the hint must describe the cost a
+  // rejected (cache-missing) retry would actually pay.
+
+  // Only converged un-degraded solves are inserted, so a hit replays
+  // outcome "converged" with the original solve's iteration count and
+  // residual byte-for-byte; "stage":"cache" is what marks it a hit.
+  std::string out = "{";
+  if (!req.id_json.empty()) out += "\"id\":" + req.id_json + ",";
+  out += "\"ok\":true,\"request_id\":" + JsonQuote(req.request_id);
+  out += ",\"seed\":" + std::to_string(req.seed);
+  out += ",\"partial\":false";
+  out += ",\"outcome\":" + JsonQuote(SolveOutcomeName(SolveOutcome::kConverged));
+  out += ",\"stage\":\"cache\"";
+  out += ",\"iterations\":" + std::to_string(hit.iterations);
+  out += ",\"residual\":";
+  AppendReal(&out, hit.residual);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, ",\"ms\":%.3f", total_seconds * 1e3);
+  out += buf;
+  out += ",";
+  QueryReport cache_report;
+  SolveAttempt attempt;
+  attempt.stage = "cache";
+  attempt.outcome = SolveOutcome::kConverged;
+  attempt.iterations = hit.iterations;
+  attempt.residual = hit.residual;
+  attempt.seconds = 0.0;
+  cache_report.attempts.push_back(std::move(attempt));
+  AppendTimingJson(&out, queue_ns, 0, NowNs() - admitted_ns, cache_report);
+  out += ",\"topk\":[";
+  for (std::size_t i = 0; i < hit.topk.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "[";
+    out += std::to_string(hit.topk[i].first);
+    out += ",";
+    AppendReal(&out, hit.topk[i].second);
+    out += "]";
+  }
+  out += "]";
+  if (req.want_scores) {
+    out += ",\"scores\":[";
+    for (std::size_t i = 0; i < hit.scores.size(); ++i) {
+      if (i > 0) out += ",";
+      AppendReal(&out, hit.scores[i]);
+    }
+    out += "]";
+  }
+  out += "}";
+  WriteToConn(conn, out);
+  FlightRecord(FlightEventType::kComplete, req.request_id.c_str(), "cache",
+               NowNs() - admitted_ns);
+  return true;
+}
+
 void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
                                const Request& req,
                                const std::shared_ptr<CancelToken>& token,
-                               Clock::time_point admitted_at) {
+                               Clock::time_point admitted_at, bool try_cache) {
   WorkerSlot& ws = *workers_[slot];
   const std::int64_t exec_start_ns = NowNs();
-  const std::int64_t admitted_ns =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          admitted_at.time_since_epoch())
-          .count();
+  const std::int64_t admitted_ns = ToEpochNs(admitted_at);
   const std::int64_t queue_ns = exec_start_ns - admitted_ns;
+  if (try_cache && TryCacheHit(conn, req, queue_ns, admitted_at)) return;
   {
     // Token and busy timestamp change together under mu so the watchdog's
     // locked re-check can never pair a stale timestamp with a fresh token.
     std::lock_guard<std::mutex> lock(ws.mu);
-    ws.active_token = token;
+    ws.active_tokens.assign(1, token);
     ws.active_request_id = req.request_id;
     ws.busy_since_ns.store(exec_start_ns, std::memory_order_relaxed);
   }
@@ -531,6 +796,26 @@ void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
   auto scores = solver_.Query(req.seed, &stats, &ws.workspace, control);
   const std::int64_t solve_ns = NowNs() - exec_start_ns;
 
+  {
+    std::lock_guard<std::mutex> lock(ws.mu);
+    ws.busy_since_ns.store(0, std::memory_order_relaxed);
+    ws.active_tokens.clear();
+    ws.active_request_id.clear();
+  }
+  ws.wedged.store(false, std::memory_order_relaxed);
+
+  FinishQuery(conn, req, scores, stats, /*coalesced=*/false,
+              /*insert_cache=*/true, queue_ns, solve_ns, admitted_at);
+}
+
+void QueryServer::FinishQuery(const std::shared_ptr<Conn>& conn,
+                              const Request& req,
+                              const Result<Vector>& scores,
+                              const QueryStats& stats, bool coalesced,
+                              bool insert_cache, std::int64_t queue_ns,
+                              std::int64_t solve_ns,
+                              Clock::time_point admitted_at) {
+  const std::int64_t admitted_ns = ToEpochNs(admitted_at);
   const double total_seconds =
       std::chrono::duration<double>(Clock::now() - admitted_at).count();
   Histogram* latency =
@@ -543,14 +828,6 @@ void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
   if (scores.ok() && stats.outcome != SolveOutcome::kCancelled) {
     admission_.RecordServiceSeconds(stats.seconds);
   }
-
-  {
-    std::lock_guard<std::mutex> lock(ws.mu);
-    ws.busy_since_ns.store(0, std::memory_order_relaxed);
-    ws.active_token = nullptr;
-    ws.active_request_id.clear();
-  }
-  ws.wedged.store(false, std::memory_order_relaxed);
 
   std::string out;
   bool succeeded = false;
@@ -581,6 +858,15 @@ void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
     completed_.fetch_add(1, std::memory_order_relaxed);
     BEPI_METRIC_COUNTER(completed, "server.completed");
     completed->Increment();
+    if (coalesced) coalesced_.fetch_add(1, std::memory_order_relaxed);
+    // Only clean converged primary-hop solves enter the cache: a partial,
+    // degraded or stochastic (mc) answer must never be replayed to a
+    // later request as if it were the healthy-path result.
+    if (insert_cache && stats.outcome == SolveOutcome::kConverged &&
+        stats.report.attempts.size() <= 1) {
+      cache_.Insert(fingerprint_, req.seed, *scores, stats.total_iterations,
+                    stats.residual);
+    }
 
     out = "{";
     if (!req.id_json.empty()) out += "\"id\":" + req.id_json + ",";
@@ -588,6 +874,7 @@ void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
     out += ",\"seed\":" + std::to_string(req.seed);
     out += ",\"partial\":";
     out += is_partial ? "true" : "false";
+    if (coalesced) out += ",\"coalesced\":true";
     out += ",\"outcome\":" + JsonQuote(SolveOutcomeName(stats.outcome));
     // Which degradation-chain stage produced the answer ("ilu0+gmres" ..
     // "mc"); operators alert on "mc" = every linear-algebra path is down.

@@ -39,6 +39,7 @@
 #include "common/cancel.hpp"
 #include "core/bepi.hpp"
 #include "server/admission.hpp"
+#include "server/cache.hpp"
 #include "server/protocol.hpp"
 #include "solver/gmres.hpp"
 
@@ -78,6 +79,19 @@ struct ServeOptions {
   /// watchdog trip or a fatal-signal drain. Empty disables auto-dumps;
   /// the "dump" verb still works.
   std::string flight_dump_path = "bepi-flightrec.json";
+  /// Hot-seed score cache budget in MiB (server/cache.hpp). A repeated
+  /// (model, seed) query is answered from memory, byte-identical to a
+  /// cold solve. 0 disables the cache.
+  int cache_mb = 0;
+  /// Coalescing scheduler: most queries one worker slot pulls and solves
+  /// as a single blocked Schur solve (BepiSolver::QueryMulti). 1 disables
+  /// coalescing entirely (the pre-batching scalar path).
+  int batch_max = 8;
+  /// How long a slot that popped one query waits for more to coalesce
+  /// with it, in milliseconds. 0 (the default) batches opportunistically:
+  /// only backlog that already queued up is coalesced and no request is
+  /// ever delayed. > 0 trades that bounded wait for wider batches.
+  double batch_window_ms = 0.0;
 };
 
 /// Point-in-time server state, for the "stats" verb and tests. Counters
@@ -96,6 +110,13 @@ struct ServerStatsSnapshot {
   std::uint64_t slow_queries = 0;  // queries past the slow_ms threshold
   std::uint64_t queue_depth = 0;
   std::uint64_t inflight = 0;
+  // Hot-seed score cache (server/cache.hpp); all zero when disabled.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_bytes = 0;
+  /// Queries answered by a coalesced multi-seed solve (batch width >= 2).
+  std::uint64_t coalesced = 0;
   std::string health;  // "serving" | "draining" | "degraded"
 };
 
@@ -135,10 +156,37 @@ class QueryServer {
 
   void ReadLoop(const std::shared_ptr<Conn>& conn);
   void HandleLine(const std::shared_ptr<Conn>& conn, const std::string& line);
+  /// `try_cache` is false when ExecuteBatch already ran (and missed) the
+  /// cache lookup for this request, so it is not double-counted.
   void ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
                     const Request& req,
                     const std::shared_ptr<CancelToken>& token,
-                    CancelToken::Clock::time_point admitted_at);
+                    CancelToken::Clock::time_point admitted_at,
+                    bool try_cache = true);
+  /// The admission jobs the coalescing scheduler submits: each deposits
+  /// one accepted query into its slot's pending list; the worker then
+  /// solves the whole list as one batch (ExecuteBatch).
+  void CollectPending(int slot, std::shared_ptr<Conn> conn, Request req,
+                      std::shared_ptr<CancelToken> token,
+                      CancelToken::Clock::time_point admitted_at);
+  /// Answers everything CollectPending queued on `slot`: cache hits
+  /// immediately, one remaining query via the scalar path, two or more
+  /// via a coalesced BepiSolver::QueryMulti with per-seed dedupe.
+  void ExecuteBatch(int slot);
+  /// Answers `req` from the hot-seed cache when possible (counts the
+  /// hit/miss). Returns false on a miss — the caller must solve.
+  bool TryCacheHit(const std::shared_ptr<Conn>& conn, const Request& req,
+                   std::int64_t queue_ns,
+                   CancelToken::Clock::time_point admitted_at);
+  /// Shared response tail of every solved query (scalar or coalesced):
+  /// error mapping, counters, latency recording, response assembly and
+  /// write, slow-query forensics, and — for converged full solves when
+  /// `insert_cache` — the hot-seed cache insert.
+  void FinishQuery(const std::shared_ptr<Conn>& conn, const Request& req,
+                   const Result<Vector>& scores, const QueryStats& stats,
+                   bool coalesced, bool insert_cache, std::int64_t queue_ns,
+                   std::int64_t solve_ns,
+                   CancelToken::Clock::time_point admitted_at);
   void WriteToConn(const std::shared_ptr<Conn>& conn, const std::string& line);
   std::string HealthLine(const std::string& id_json) const;
   std::string StatsLine(const std::string& id_json) const;
@@ -154,6 +202,9 @@ class QueryServer {
   const BepiSolver& solver_;
   ServeOptions options_;
   AdmissionController admission_;
+  /// Hot-seed score cache, keyed under the loaded model's fingerprint.
+  ScoreCache cache_;
+  const std::uint64_t fingerprint_;
   std::vector<std::unique_ptr<WorkerSlot>> workers_;
   std::vector<std::thread> worker_threads_;
   std::thread watchdog_thread_;
@@ -175,7 +226,7 @@ class QueryServer {
   std::atomic<std::uint64_t> accepted_{0}, completed_{0},
       rejected_overload_{0}, rejected_invalid_{0}, rejected_draining_{0},
       rejected_conns_{0}, deadline_exceeded_{0}, cancelled_{0}, partial_{0},
-      watchdog_trips_{0}, slow_queries_{0};
+      watchdog_trips_{0}, slow_queries_{0}, coalesced_{0};
   /// Sequence for server-minted request ids.
   std::atomic<std::uint64_t> request_seq_{0};
 };

@@ -1,0 +1,356 @@
+#include "solver/block_gmres.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/faultinject.hpp"
+#include "common/metrics.hpp"
+
+namespace bepi {
+namespace {
+
+void ApplyPrecond(const Preconditioner* m, const Vector& r, Vector* z) {
+  if (m == nullptr) {
+    *z = r;
+  } else {
+    m->Apply(r, z);
+  }
+}
+
+/// Everything one column owns. The scalar solver's workspace struct is
+/// reused verbatim so the per-column buffers (basis, Hessenberg, Givens,
+/// stagnation window) are exactly the ones the scalar code manipulates.
+struct Column {
+  const Vector* b = nullptr;
+  const CancelToken* cancel = nullptr;
+  BlockGmresColumn* out = nullptr;
+  GmresWorkspace ws;
+  real_t b_norm = 0.0;
+  real_t best_so_far = std::numeric_limits<real_t>::infinity();
+  index_t total_iters = 0;
+  index_t cycles = 0;
+  index_t k = 0;        // Arnoldi step within the current cycle
+  bool active = false;  // still being iterated by the block
+  bool in_cycle = false;
+};
+
+Vector& BasisSlot(Column* c, std::size_t i) {
+  if (c->ws.basis.size() <= i) c->ws.basis.resize(i + 1);
+  return c->ws.basis[i];
+}
+
+/// The scalar solver's stagnation detector, verbatim, over this column's
+/// own window.
+bool Stagnated(Column* c, const BlockGmresOptions& options, real_t rel) {
+  if (options.stagnation_window <= 0) return false;
+  c->best_so_far = std::min(c->best_so_far, rel);
+  c->ws.best_rel.push_back(c->best_so_far);
+  const std::size_t w = static_cast<std::size_t>(options.stagnation_window);
+  if (c->ws.best_rel.size() <= w) return false;
+  const real_t before = c->ws.best_rel[c->ws.best_rel.size() - 1 - w];
+  return c->best_so_far > (1.0 - options.stagnation_rtol) * before;
+}
+
+void Retire(Column* c, SolveOutcome outcome) {
+  c->out->stats.outcome = outcome;
+  c->out->stats.iterations = c->total_iters;
+  c->active = false;
+  c->in_cycle = false;
+}
+
+}  // namespace
+
+Status BlockGmres(const LinearOperator& a, const std::vector<BlockGmresRhs>& rhs,
+                  const BlockGmresOptions& options, const Preconditioner* m,
+                  std::vector<BlockGmresColumn>* columns) {
+  const index_t n = a.size();
+  if (rhs.empty()) return Status::InvalidArgument("block GMRES needs >= 1 rhs");
+  if (m == nullptr) {
+    return Status::InvalidArgument("block GMRES requires a preconditioner");
+  }
+  if (m->size() != n) {
+    return Status::InvalidArgument("block GMRES preconditioner size mismatch");
+  }
+  for (const BlockGmresRhs& r : rhs) {
+    if (r.b == nullptr || static_cast<index_t>(r.b->size()) != n) {
+      return Status::InvalidArgument("block GMRES rhs size mismatch");
+    }
+  }
+  if (options.restart < 1) {
+    return Status::InvalidArgument("block GMRES restart must be >= 1");
+  }
+
+  columns->clear();
+  columns->resize(rhs.size());
+  const index_t restart = std::min<index_t>(options.restart, n);
+  const std::size_t mdim = static_cast<std::size_t>(restart);
+
+  std::vector<Column> cols(rhs.size());
+  for (std::size_t j = 0; j < rhs.size(); ++j) {
+    Column& c = cols[j];
+    c.b = rhs[j].b;
+    c.cancel = rhs[j].cancel;
+    c.out = &(*columns)[j];
+    c.out->x.assign(static_cast<std::size_t>(n), 0.0);
+    c.out->stats = SolveStats();
+
+    // Reference norm ||M^{-1} b|| and the scalar solver's trivial-solve /
+    // injected-fault early exits, per column.
+    ApplyPrecond(m, *c.b, &c.ws.mb);
+    c.b_norm = Norm2(c.ws.mb);
+    if (c.b_norm == 0.0) {
+      c.out->stats.converged = true;
+      Retire(&c, SolveOutcome::kConverged);
+      continue;
+    }
+    if (!std::isfinite(c.b_norm)) {
+      Retire(&c, SolveOutcome::kDiverged);
+      continue;
+    }
+    if (BEPI_FAULT_INJECTED(fault_sites::kGmresStagnate)) {
+      c.out->stats.relative_residual = std::numeric_limits<real_t>::infinity();
+      Retire(&c, SolveOutcome::kStagnated);
+      continue;
+    }
+    c.ws.best_rel.clear();
+    if (options.stagnation_window > 0) {
+      c.ws.best_rel.reserve(static_cast<std::size_t>(
+          std::min<index_t>(options.max_iters, 100000)));
+    }
+    if (c.ws.h.size() < mdim + 1) c.ws.h.resize(mdim + 1);
+    for (std::size_t i = 0; i < mdim + 1; ++i) c.ws.h[i].assign(mdim, 0.0);
+    c.ws.cs.assign(mdim, 0.0);
+    c.ws.sn.assign(mdim, 0.0);
+    c.ws.g.assign(mdim + 1, 0.0);
+    c.ws.tmp.resize(static_cast<std::size_t>(n));
+    c.active = true;
+  }
+
+  // Lockstep iteration: alternate a per-column restart-cycle boundary with
+  // a run of coalesced Arnoldi steps until every column has retired.
+  std::vector<real_t> panel_x, panel_y;
+  std::vector<Column*> stepping;
+  index_t spmm_steps = 0;
+  for (;;) {
+    bool any_active = false;
+    for (Column& c : cols) any_active = any_active || c.active;
+    if (!any_active) break;
+
+    // --- restart-cycle boundary, one column at a time -------------------
+    for (Column& c : cols) {
+      if (!c.active) continue;
+      if (c.total_iters >= options.max_iters) {
+        // The scalar solver's post-loop tail: budget exhausted.
+        c.out->stats.converged =
+            c.out->stats.relative_residual <= options.tol;
+        Retire(&c, c.out->stats.converged ? SolveOutcome::kConverged
+                                          : SolveOutcome::kBudgetExhausted);
+        continue;
+      }
+      if (c.cancel != nullptr && c.cancel->Expired()) {
+        // Honest error bound for the handed-back iterate, recomputed the
+        // way the scalar solver does on this path.
+        a.ApplyResidual(c.out->x, *c.b, &c.ws.raw);
+        Vector& r0 = BasisSlot(&c, 0);
+        ApplyPrecond(m, c.ws.raw, &r0);
+        c.out->stats.relative_residual = Norm2(r0) / c.b_norm;
+        Retire(&c, SolveOutcome::kCancelled);
+        continue;
+      }
+      ++c.cycles;
+      a.ApplyResidual(c.out->x, *c.b, &c.ws.raw);
+      Vector& r = BasisSlot(&c, 0);
+      ApplyPrecond(m, c.ws.raw, &r);
+      const real_t beta = Norm2(r);
+      if (!std::isfinite(beta)) {
+        c.out->stats.relative_residual = beta / c.b_norm;
+        Retire(&c, SolveOutcome::kDiverged);
+        continue;
+      }
+      c.out->stats.relative_residual = beta / c.b_norm;
+      if (MetricsEnabled()) {
+        BEPI_METRIC_HISTOGRAM(cycle_residual, "gmres.cycle_start_residual");
+        cycle_residual->RecordAlways(c.out->stats.relative_residual);
+      }
+      if (c.out->stats.relative_residual <= options.tol) {
+        c.out->stats.converged = true;
+        Retire(&c, SolveOutcome::kConverged);
+        continue;
+      }
+      Scale(1.0 / beta, &r);
+      std::fill(c.ws.g.begin(), c.ws.g.end(), 0.0);
+      c.ws.g[0] = beta;
+      c.k = 0;
+      c.in_cycle = true;
+    }
+
+    // --- coalesced Arnoldi steps ---------------------------------------
+    for (;;) {
+      stepping.clear();
+      for (Column& c : cols) {
+        if (c.active && c.in_cycle) stepping.push_back(&c);
+      }
+      if (stepping.empty()) break;
+      const index_t kw = static_cast<index_t>(stepping.size());
+      ++spmm_steps;
+
+      // One panel apply for every active column's newest basis vector.
+      // Pack/unpack is pure data movement; the per-column arithmetic all
+      // happens on the columns' own vectors below.
+      panel_x.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(kw));
+      panel_y.resize(panel_x.size());
+      for (index_t j = 0; j < kw; ++j) {
+        const Vector& v =
+            stepping[static_cast<std::size_t>(j)]
+                ->ws.basis[static_cast<std::size_t>(
+                    stepping[static_cast<std::size_t>(j)]->k)];
+        for (index_t i = 0; i < n; ++i) {
+          panel_x[static_cast<std::size_t>(i) * static_cast<std::size_t>(kw) +
+                  static_cast<std::size_t>(j)] = v[static_cast<std::size_t>(i)];
+        }
+      }
+      a.ApplyMulti(panel_x.data(), kw, panel_y.data());
+
+      for (index_t j = 0; j < kw; ++j) {
+        Column& c = *stepping[static_cast<std::size_t>(j)];
+        const index_t k = c.k;
+        std::vector<std::vector<real_t>>& h = c.ws.h;
+        Vector& cs = c.ws.cs;
+        Vector& sn = c.ws.sn;
+        Vector& g = c.ws.g;
+        std::vector<Vector>& basis = c.ws.basis;
+
+        // w = M^{-1} A v_k: the operator product comes out of the panel,
+        // the preconditioner applies per column (triangular solves have no
+        // useful panel form).
+        for (index_t i = 0; i < n; ++i) {
+          c.ws.tmp[static_cast<std::size_t>(i)] =
+              panel_y[static_cast<std::size_t>(i) * static_cast<std::size_t>(kw) +
+                      static_cast<std::size_t>(j)];
+        }
+        Vector& w = BasisSlot(&c, static_cast<std::size_t>(k) + 1);
+        ApplyPrecond(m, c.ws.tmp, &w);
+        if (n > 0 && BEPI_FAULT_INJECTED(fault_sites::kGmresNan)) {
+          w[0] = std::numeric_limits<real_t>::quiet_NaN();
+        }
+        for (index_t i = 0; i <= k; ++i) {
+          const real_t hik = Dot(w, basis[static_cast<std::size_t>(i)]);
+          h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = hik;
+          Axpy(-hik, basis[static_cast<std::size_t>(i)], &w);
+        }
+        const real_t hk1k = Norm2(w);
+        if (!std::isfinite(hk1k)) {
+          Retire(&c, SolveOutcome::kDiverged);
+          continue;
+        }
+        h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = hk1k;
+
+        for (index_t i = 0; i < k; ++i) {
+          const real_t hi =
+              h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+          const real_t hi1 =
+              h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(k)];
+          h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] =
+              cs[static_cast<std::size_t>(i)] * hi +
+              sn[static_cast<std::size_t>(i)] * hi1;
+          h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(k)] =
+              -sn[static_cast<std::size_t>(i)] * hi +
+              cs[static_cast<std::size_t>(i)] * hi1;
+        }
+        const real_t hkk =
+            h[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)];
+        const real_t denom = std::hypot(hkk, hk1k);
+        if (denom == 0.0) {
+          cs[static_cast<std::size_t>(k)] = 1.0;
+          sn[static_cast<std::size_t>(k)] = 0.0;
+        } else {
+          cs[static_cast<std::size_t>(k)] = hkk / denom;
+          sn[static_cast<std::size_t>(k)] = hk1k / denom;
+        }
+        h[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)] =
+            cs[static_cast<std::size_t>(k)] * hkk +
+            sn[static_cast<std::size_t>(k)] * hk1k;
+        h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = 0.0;
+        const real_t gk = g[static_cast<std::size_t>(k)];
+        g[static_cast<std::size_t>(k)] = cs[static_cast<std::size_t>(k)] * gk;
+        g[static_cast<std::size_t>(k) + 1] =
+            -sn[static_cast<std::size_t>(k)] * gk;
+
+        const real_t rel =
+            std::fabs(g[static_cast<std::size_t>(k) + 1]) / c.b_norm;
+        if (!std::isfinite(rel)) {
+          Retire(&c, SolveOutcome::kDiverged);
+          continue;
+        }
+        const bool stagnation = Stagnated(&c, options, rel);
+        const bool breakdown = hk1k == 0.0;
+        if (rel <= options.tol || breakdown || stagnation ||
+            k + 1 == restart) {
+          const index_t dim = k + 1;
+          c.ws.y.resize(static_cast<std::size_t>(dim));
+          Vector& y = c.ws.y;
+          for (index_t i = dim - 1; i >= 0; --i) {
+            real_t sum = g[static_cast<std::size_t>(i)];
+            for (index_t jj = i + 1; jj < dim; ++jj) {
+              sum -= h[static_cast<std::size_t>(i)][static_cast<std::size_t>(jj)] *
+                     y[static_cast<std::size_t>(jj)];
+            }
+            const real_t hii =
+                h[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+            y[static_cast<std::size_t>(i)] = hii != 0.0 ? sum / hii : 0.0;
+          }
+          for (index_t i = 0; i < dim; ++i) {
+            Axpy(y[static_cast<std::size_t>(i)],
+                 basis[static_cast<std::size_t>(i)], &c.out->x);
+          }
+          ++c.total_iters;
+          c.out->stats.relative_residual = rel;
+          if (rel <= options.tol) {
+            c.out->stats.converged = true;
+            Retire(&c, SolveOutcome::kConverged);
+          } else if (stagnation) {
+            Retire(&c, SolveOutcome::kStagnated);
+          } else if (breakdown && k + 1 < restart) {
+            // The scalar solver restarts from an early Arnoldi breakdown
+            // mid-cycle; restarting here would desynchronize this column
+            // from the lockstep cycle, so hand it back for a scalar
+            // re-solve instead (the caller's fallback path).
+            Retire(&c, SolveOutcome::kBreakdown);
+          } else {
+            c.in_cycle = false;  // aligned restart: wait at the boundary
+          }
+          continue;
+        }
+        Scale(1.0 / hk1k, &w);
+        ++c.k;
+        ++c.total_iters;
+        if (c.total_iters >= options.max_iters) {
+          // The scalar loop condition fails here; the budget verdict is
+          // rendered at the cycle boundary, like the scalar tail.
+          c.in_cycle = false;
+        }
+      }
+    }
+  }
+
+  if (MetricsEnabled()) {
+    BEPI_METRIC_COUNTER(gmres_solves, "gmres.solves");
+    BEPI_METRIC_COUNTER(gmres_iters, "gmres.iterations");
+    BEPI_METRIC_COUNTER(gmres_cycles, "gmres.restart_cycles");
+    BEPI_METRIC_COUNTER(block_steps, "block_gmres.panel_steps");
+    std::uint64_t iters = 0, cycles = 0;
+    for (const Column& c : cols) {
+      iters += static_cast<std::uint64_t>(c.total_iters);
+      cycles += static_cast<std::uint64_t>(c.cycles);
+    }
+    gmres_solves->Increment(static_cast<std::uint64_t>(cols.size()));
+    gmres_iters->Increment(iters);
+    gmres_cycles->Increment(cycles);
+    block_steps->Increment(static_cast<std::uint64_t>(spmm_steps));
+  }
+  return Status::Ok();
+}
+
+}  // namespace bepi

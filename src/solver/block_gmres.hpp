@@ -1,0 +1,75 @@
+// Lockstep blocked GMRES: k *independent* restarted GMRES solves against
+// one matrix stream. Each right-hand side keeps its own Krylov basis,
+// Hessenberg matrix, Givens rotations and stagnation window — nothing is
+// shared numerically — but the Arnoldi matrix applies of all still-active
+// columns are coalesced into a single panel ApplyMulti (SpMM), so the
+// bandwidth-bound index/value traffic of the operator is paid once per
+// step instead of once per column.
+//
+// Bit-identity contract: a column that this driver reports as kConverged
+// produced exactly the floating-point operation sequence the scalar Gmres
+// (solver/gmres.hpp) would have produced for that rhs alone, so its
+// solution is bitwise equal to the single-rhs solve. This holds because
+// (a) ApplyMulti keeps each panel column bit-identical to Apply (see
+// LinearOperator::ApplyMulti), (b) all per-column dense work (MGS,
+// Givens, norms, triangular solve) runs on that column's own vectors with
+// the scalar code's exact order, and (c) restart-cycle boundaries stay
+// aligned across active columns — a column only ever *leaves* the block
+// (converged, stagnated, diverged, cancelled, early breakdown), never
+// rejoins, so the lockstep schedule cannot perturb its arithmetic.
+//
+// Columns that end any other way (including the rare early Arnoldi
+// breakdown, which the scalar code would restart from mid-cycle) are
+// handed back unconverged; the caller re-solves them through the ordinary
+// single-rhs degradation chain, which reproduces the scalar behaviour by
+// definition. See BepiSolver::QueryMulti (core/bepi.hpp).
+#ifndef BEPI_SOLVER_BLOCK_GMRES_HPP_
+#define BEPI_SOLVER_BLOCK_GMRES_HPP_
+
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/status.hpp"
+#include "solver/gmres.hpp"
+#include "solver/operator.hpp"
+#include "solver/outcome.hpp"
+
+namespace bepi {
+
+struct BlockGmresOptions {
+  real_t tol = 1e-9;
+  index_t max_iters = 1000;
+  index_t restart = 100;
+  index_t stagnation_window = 50;
+  real_t stagnation_rtol = 1e-3;
+};
+
+/// One right-hand side of a block solve. `b` must stay alive for the
+/// duration of the call; `cancel` (may be null) is polled for this column
+/// at its restart-cycle boundaries, exactly like GmresOptions::cancel.
+struct BlockGmresRhs {
+  const Vector* b = nullptr;
+  const CancelToken* cancel = nullptr;
+};
+
+/// Per-column verdict: the iterate and the same SolveStats the scalar
+/// Gmres fills. stats.outcome == kConverged marks a column whose x is
+/// bitwise the scalar solve's solution; any other outcome means the
+/// caller should re-solve that rhs through the scalar path.
+struct BlockGmresColumn {
+  Vector x;
+  SolveStats stats;
+};
+
+/// Solves A x_j = b_j for every column in `rhs`, left-preconditioned by
+/// `m` (required: the serve batcher only blocks the preconditioned hops,
+/// and the unpreconditioned scalar path fuses its first Arnoldi dot in a
+/// way a panel kernel cannot reproduce). Shape errors return a Status;
+/// solver failures are per-column outcomes in `columns`.
+Status BlockGmres(const LinearOperator& a, const std::vector<BlockGmresRhs>& rhs,
+                  const BlockGmresOptions& options, const Preconditioner* m,
+                  std::vector<BlockGmresColumn>* columns);
+
+}  // namespace bepi
+
+#endif  // BEPI_SOLVER_BLOCK_GMRES_HPP_

@@ -18,6 +18,18 @@ real_t LinearOperator::ApplyAndDot(const Vector& x, const Vector& d,
   return Dot(*y, d);
 }
 
+void LinearOperator::ApplyMulti(const real_t* x, index_t k, real_t* y) const {
+  BEPI_CHECK(k >= 1);
+  const std::size_t n = static_cast<std::size_t>(size());
+  const std::size_t kk = static_cast<std::size_t>(k);
+  Vector xj(n), yj;
+  for (std::size_t j = 0; j < kk; ++j) {
+    for (std::size_t i = 0; i < n; ++i) xj[i] = x[i * kk + j];
+    Apply(xj, &yj);
+    for (std::size_t i = 0; i < n; ++i) y[i * kk + j] = yj[i];
+  }
+}
+
 JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) {
   BEPI_CHECK(a.rows() == a.cols());
   inv_diag_.assign(static_cast<std::size_t>(a.rows()), 1.0);

@@ -25,6 +25,15 @@ class LinearOperator {
   /// overrides must return the bitwise-same value as Dot(*y, d).
   virtual real_t ApplyAndDot(const Vector& x, const Vector& d,
                              Vector* y) const;
+
+  /// Panel apply: Y = A X over k right-hand sides stored row-major
+  /// (x[i*k + j] is element i of column j; y likewise). The default
+  /// gathers each column, calls Apply, and scatters the result back —
+  /// bit-identical to k single applies by construction. Operators with a
+  /// real SpMM (KernelCsrOperator) override it to stream the matrix once
+  /// for all k columns; any override must keep each panel column
+  /// bit-identical to Apply on that column alone.
+  virtual void ApplyMulti(const real_t* x, index_t k, real_t* y) const;
 };
 
 /// Wraps an explicit CSR matrix as an operator (no copy; the matrix must
@@ -67,6 +76,9 @@ class KernelCsrOperator final : public LinearOperator {
   real_t ApplyAndDot(const Vector& x, const Vector& d,
                      Vector* y) const override {
     return k_.MultiplyDot(x, d, y);
+  }
+  void ApplyMulti(const real_t* x, index_t k, real_t* y) const override {
+    k_.MultiplyMulti(x, k, y);
   }
 
  private:

@@ -27,6 +27,23 @@ inline void CountSpmv(index_t nnz) {
   spmv_flops->Increment(2 * static_cast<std::uint64_t>(nnz));
 }
 
+/// Streamed bytes of a plain (non-fused) kernel SpMV under the same
+/// traffic model as CountFused/CountSpmm, so scalar and panel solves are
+/// comparable on one axis (bench_batch_serve plots exactly this). Fused
+/// ops count under spmv.fused.bytes instead — the three byte counters
+/// partition the kernel-layer matrix traffic, never overlapping.
+inline void CountSpmvBytes(index_t rows, index_t cols, index_t nnz,
+                           bool compact) {
+  if (!MetricsEnabled()) return;
+  BEPI_METRIC_COUNTER(spmv_bytes, "spmv.bytes");
+  const std::uint64_t idx = compact ? 4 : 8;
+  spmv_bytes->Increment(
+      static_cast<std::uint64_t>(nnz) * (idx + sizeof(real_t)) +
+      static_cast<std::uint64_t>(rows + 1) * idx +
+      (static_cast<std::uint64_t>(cols) + static_cast<std::uint64_t>(rows)) *
+          sizeof(real_t));
+}
+
 /// Fused-kernel tallies: calls, useful FLOPs and streamed bytes under a
 /// simple traffic model (index + value arrays once, the dense operand
 /// vectors once). The bytes counter is what makes the compact path's
@@ -48,6 +65,35 @@ inline void CountFused(index_t rows, index_t cols, index_t nnz,
        vec_reads * static_cast<std::uint64_t>(rows)) *
           sizeof(real_t));
 }
+
+/// Panel-kernel tallies, mirroring CountSpmv/CountFused: one SpMM call
+/// streams the matrix once for k right-hand sides, so the per-column
+/// byte cost visible in spmm.bytes falls as k grows (the amortization
+/// the serve batcher exists to exploit). The traffic model charges the
+/// index/value arrays once and the dense panels once each.
+inline void CountSpmm(index_t rows, index_t cols, index_t nnz, index_t k,
+                      bool compact) {
+  if (!MetricsEnabled()) return;
+  BEPI_METRIC_COUNTER(spmm_calls, "spmm.calls");
+  BEPI_METRIC_COUNTER(spmm_cols, "spmm.columns");
+  BEPI_METRIC_COUNTER(spmm_flops, "spmm.flops");
+  BEPI_METRIC_COUNTER(spmm_bytes, "spmm.bytes");
+  const std::uint64_t idx = compact ? 4 : 8;
+  spmm_calls->Increment();
+  spmm_cols->Increment(static_cast<std::uint64_t>(k));
+  spmm_flops->Increment(2 * static_cast<std::uint64_t>(nnz) *
+                        static_cast<std::uint64_t>(k));
+  spmm_bytes->Increment(
+      static_cast<std::uint64_t>(nnz) * (idx + sizeof(real_t)) +
+      static_cast<std::uint64_t>(rows + 1) * idx +
+      (static_cast<std::uint64_t>(cols) + static_cast<std::uint64_t>(rows)) *
+          static_cast<std::uint64_t>(k) * sizeof(real_t));
+}
+
+/// Panel columns are processed in register-friendly groups of this width;
+/// the grouping only affects which columns share a pass over a row, never
+/// the per-column accumulation order, so it is invisible to results.
+constexpr index_t kSpmmColChunk = 16;
 
 /// Matrices below this many non-zeros are not worth farming out (matches
 /// the CsrMatrix SpMV threshold so wide/compact parallelize alike).
@@ -157,6 +203,64 @@ real_t SpmvDot(const P* row_ptr, const I* col_idx, const real_t* values,
                            });
 }
 
+/// Row-major panel SpMM: for each row, each column j of the chunk keeps
+/// its own accumulator and adds values[p] * x[col_idx[p]*k + j] in p
+/// order — the exact addition sequence RowDot performs for that column —
+/// before the single store (SpmmInto) or fused alpha-add (SpmmAdd).
+template <typename P, typename I>
+void SpmmInto(const P* row_ptr, const I* col_idx, const real_t* values,
+              index_t rows, index_t nnz, const real_t* x, index_t k,
+              real_t* y) {
+  ParallelOverRowsT(row_ptr, rows, nnz, [&](index_t rb, index_t re) {
+    real_t acc[kSpmmColChunk];
+    for (index_t r = rb; r < re; ++r) {
+      real_t* yr = y + static_cast<std::size_t>(r) * static_cast<std::size_t>(k);
+      const std::size_t p0 = static_cast<std::size_t>(row_ptr[r]);
+      const std::size_t p1 = static_cast<std::size_t>(row_ptr[r + 1]);
+      for (index_t jb = 0; jb < k; jb += kSpmmColChunk) {
+        const index_t jw = std::min<index_t>(kSpmmColChunk, k - jb);
+        for (index_t j = 0; j < jw; ++j) acc[j] = 0.0;
+        for (std::size_t p = p0; p < p1; ++p) {
+          const real_t v = values[p];
+          const real_t* xc = x +
+                             static_cast<std::size_t>(col_idx[p]) *
+                                 static_cast<std::size_t>(k) +
+                             static_cast<std::size_t>(jb);
+          for (index_t j = 0; j < jw; ++j) acc[j] += v * xc[j];
+        }
+        for (index_t j = 0; j < jw; ++j) yr[jb + j] = acc[j];
+      }
+    }
+  });
+}
+
+template <typename P, typename I>
+void SpmmAdd(const P* row_ptr, const I* col_idx, const real_t* values,
+             index_t rows, index_t nnz, real_t alpha, const real_t* x,
+             index_t k, real_t* y) {
+  ParallelOverRowsT(row_ptr, rows, nnz, [&](index_t rb, index_t re) {
+    real_t acc[kSpmmColChunk];
+    for (index_t r = rb; r < re; ++r) {
+      real_t* yr = y + static_cast<std::size_t>(r) * static_cast<std::size_t>(k);
+      const std::size_t p0 = static_cast<std::size_t>(row_ptr[r]);
+      const std::size_t p1 = static_cast<std::size_t>(row_ptr[r + 1]);
+      for (index_t jb = 0; jb < k; jb += kSpmmColChunk) {
+        const index_t jw = std::min<index_t>(kSpmmColChunk, k - jb);
+        for (index_t j = 0; j < jw; ++j) acc[j] = 0.0;
+        for (std::size_t p = p0; p < p1; ++p) {
+          const real_t v = values[p];
+          const real_t* xc = x +
+                             static_cast<std::size_t>(col_idx[p]) *
+                                 static_cast<std::size_t>(k) +
+                             static_cast<std::size_t>(jb);
+          for (index_t j = 0; j < jw; ++j) acc[j] += v * xc[j];
+        }
+        for (index_t j = 0; j < jw; ++j) yr[jb + j] += alpha * acc[j];
+      }
+    }
+  });
+}
+
 std::atomic<KernelPath>& GlobalKernelPathStorage() {
   static std::atomic<KernelPath> path{[] {
     const char* env = std::getenv("BEPI_KERNEL");
@@ -237,6 +341,7 @@ Vector KernelCsr::Multiply(const Vector& x) const {
 void KernelCsr::MultiplyInto(const Vector& x, Vector* y) const {
   BEPI_CHECK(static_cast<index_t>(x.size()) == cols_);
   CountSpmv(nnz_);
+  CountSpmvBytes(rows_, cols_, nnz_, compact_);
   y->resize(static_cast<std::size_t>(rows_));
   if (compact_) {
     SpmvInto(row_ptr32_.data(), col_idx32_.data(), values_, rows_, nnz_,
@@ -251,6 +356,7 @@ void KernelCsr::MultiplyAdd(real_t alpha, const Vector& x, Vector* y) const {
   BEPI_CHECK(static_cast<index_t>(x.size()) == cols_);
   BEPI_CHECK(static_cast<index_t>(y->size()) == rows_);
   CountSpmv(nnz_);
+  CountSpmvBytes(rows_, cols_, nnz_, compact_);
   if (compact_) {
     SpmvAdd(row_ptr32_.data(), col_idx32_.data(), values_, rows_, nnz_, alpha,
             x.data(), y->data());
@@ -292,6 +398,29 @@ real_t KernelCsr::MultiplyDot(const Vector& x, const Vector& d,
   }
   return SpmvDot(row_ptr64_, col_idx64_, values_, rows_, x.data(), d.data(),
                  y->data());
+}
+
+void KernelCsr::MultiplyMulti(const real_t* x, index_t k, real_t* y) const {
+  BEPI_CHECK(k >= 1);
+  CountSpmm(rows_, cols_, nnz_, k, compact_);
+  if (compact_) {
+    SpmmInto(row_ptr32_.data(), col_idx32_.data(), values_, rows_, nnz_, x, k,
+             y);
+  } else {
+    SpmmInto(row_ptr64_, col_idx64_, values_, rows_, nnz_, x, k, y);
+  }
+}
+
+void KernelCsr::MultiplyAddMulti(real_t alpha, const real_t* x, index_t k,
+                                 real_t* y) const {
+  BEPI_CHECK(k >= 1);
+  CountSpmm(rows_, cols_, nnz_, k, compact_);
+  if (compact_) {
+    SpmmAdd(row_ptr32_.data(), col_idx32_.data(), values_, rows_, nnz_, alpha,
+            x, k, y);
+  } else {
+    SpmmAdd(row_ptr64_, col_idx64_, values_, rows_, nnz_, alpha, x, k, y);
+  }
 }
 
 std::uint64_t KernelCsr::ByteSize() const {

@@ -97,6 +97,23 @@ class KernelCsr {
   /// to MultiplyInto followed by Dot, at any thread count.
   real_t MultiplyDot(const Vector& x, const Vector& d, Vector* y) const;
 
+  /// SpMM over a row-major k-RHS panel: Y = A X, where `x` holds cols()
+  /// rows of k contiguous values (x[i*k + j] is column j of right-hand
+  /// side i) and `y` likewise holds rows() rows of k values. The matrix
+  /// is streamed ONCE for all k columns — the whole point: amortizing the
+  /// bandwidth-bound index/value traffic that a per-column SpMV loop pays
+  /// k times. Each output column accumulates its per-row sum in exactly
+  /// the order RowDot uses, so column j of the panel is bit-identical to
+  /// MultiplyInto run on column j alone, at any k and any thread count.
+  void MultiplyMulti(const real_t* x, index_t k, real_t* y) const;
+
+  /// Panel form of MultiplyAdd: Y += alpha * A X. Per-column arithmetic
+  /// (row sum accumulated first, then one fused y += alpha*sum) matches
+  /// MultiplyAdd exactly, so each panel column stays bit-identical to the
+  /// single-vector kernel.
+  void MultiplyAddMulti(real_t alpha, const real_t* x, index_t k,
+                        real_t* y) const;
+
   /// Bytes owned by this view: the uint32 sidecar arrays on the compact
   /// path, zero on the wide path (which stores only pointers).
   std::uint64_t ByteSize() const;

@@ -1,0 +1,477 @@
+// The serve-path hot-seed score cache (server/cache.hpp) and the
+// coalescing scheduler around it: hits replay the cold solve's bytes
+// exactly, eviction demotes-then-drops under byte pressure, fingerprint
+// rotation invalidates without a flush, concurrent readers/writers are
+// race-free (TSan), and batched/cached serve responses are bit-identical
+// to scalar serving.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bepi.hpp"
+#include "core/rwr.hpp"
+#include "server/cache.hpp"
+#include "server/server.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+Vector DeterministicScores(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Vector v(static_cast<std::size_t>(n));
+  real_t sum = 0.0;
+  for (auto& x : v) {
+    x = rng.NextDouble();
+    sum += x;
+  }
+  for (auto& x : v) x /= sum;  // looks like a probability vector
+  return v;
+}
+
+// --- ScoreCache unit ---------------------------------------------------
+
+TEST(ScoreCache, HitReplaysInsertedSolveExactly) {
+  ScoreCache cache(std::uint64_t{1} << 20);
+  const Vector scores = DeterministicScores(50, 42);
+  cache.Insert(/*fingerprint=*/7, /*seed=*/3, scores, /*iterations=*/12,
+               /*residual=*/1.25e-10);
+
+  ScoreCacheHit hit;
+  ASSERT_TRUE(cache.Lookup(7, 3, /*topk=*/10, /*want_scores=*/true, &hit));
+  EXPECT_EQ(hit.scores, scores);
+  EXPECT_EQ(hit.iterations, 12);
+  EXPECT_EQ(hit.residual, 1.25e-10);
+  EXPECT_EQ(hit.topk, TopK(scores, 10, 3));
+
+  // A topk longer than the stored prefix is recomputed from the full
+  // vector — still exactly TopK's answer.
+  ScoreCacheHit wide;
+  ASSERT_TRUE(cache.Lookup(7, 3, 60, false, &wide));
+  EXPECT_EQ(wide.topk, TopK(scores, 60, 3));
+  EXPECT_TRUE(wide.scores.empty());  // not requested
+
+  // Wrong fingerprint or seed misses.
+  ScoreCacheHit none;
+  EXPECT_FALSE(cache.Lookup(8, 3, 10, false, &none));
+  EXPECT_FALSE(cache.Lookup(7, 4, 10, false, &none));
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_GT(cache.bytes(), 0u);
+}
+
+TEST(ScoreCache, ZeroBudgetDisablesEverything) {
+  ScoreCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  const Vector scores = DeterministicScores(20, 1);
+  cache.Insert(1, 2, scores, 3, 1e-9);
+  ScoreCacheHit hit;
+  EXPECT_FALSE(cache.Lookup(1, 2, 5, false, &hit));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ScoreCache, DemotesThenDropsUnderBytePressure) {
+  const index_t n = 1000;
+  // Measure one full entry's footprint, then budget 2.5 of them: four
+  // inserts must demote the two oldest to compact to fit.
+  std::uint64_t full_bytes = 0;
+  {
+    ScoreCache probe(std::uint64_t{1} << 30);
+    probe.Insert(1, 0, DeterministicScores(n, 0), 1, 1e-9);
+    full_bytes = probe.bytes();
+  }
+  const std::uint64_t budget = full_bytes * 5 / 2;
+  ScoreCache cache(budget);
+  std::vector<Vector> inserted;
+  for (index_t seed = 1; seed <= 4; ++seed) {
+    inserted.push_back(DeterministicScores(n, static_cast<std::uint64_t>(seed)));
+    cache.Insert(/*fingerprint=*/9, seed, inserted.back(), seed, 1e-9);
+  }
+  EXPECT_LE(cache.bytes(), budget);
+  EXPECT_EQ(cache.evictions(), 2u);
+
+  // The two newest entries are still full; the two oldest were demoted
+  // to compact top-K prefixes.
+  ScoreCacheHit hit;
+  ASSERT_TRUE(cache.Lookup(9, 4, 10, /*want_scores=*/true, &hit));
+  EXPECT_EQ(hit.scores, inserted[3]);
+  ASSERT_TRUE(cache.Lookup(9, 3, 10, true, &hit));
+  EXPECT_EQ(hit.scores, inserted[2]);
+
+  // Demoted entries refuse requests they can no longer answer exactly...
+  EXPECT_FALSE(cache.Lookup(9, 1, 10, /*want_scores=*/true, &hit));
+  EXPECT_FALSE(
+      cache.Lookup(9, 1, ScoreCache::kCompactTopK + 1, /*want_scores=*/false,
+                   &hit));
+  // ...but still serve any topk <= K as the exact TopK prefix.
+  ASSERT_TRUE(cache.Lookup(9, 2, 25, /*want_scores=*/false, &hit));
+  EXPECT_EQ(hit.topk, TopK(inserted[1], 25, 2));
+  EXPECT_EQ(hit.iterations, 2);
+
+  // A compact entry that falls to the LRU tail again is dropped outright:
+  // shrink the working set with a tiny-budget cache.
+  ScoreCache tiny(full_bytes + full_bytes / 2);  // fits one full + change
+  for (index_t seed = 1; seed <= 3; ++seed) {
+    tiny.Insert(9, seed, DeterministicScores(n, static_cast<std::uint64_t>(seed)),
+                seed, 1e-9);
+  }
+  EXPECT_LE(tiny.bytes(), full_bytes + full_bytes / 2);
+  EXPECT_GT(tiny.evictions(), 0u);
+}
+
+TEST(ScoreCache, InvalidateDropsEverythingAndCountsEvictions) {
+  ScoreCache cache(std::uint64_t{1} << 20);
+  for (index_t seed = 0; seed < 5; ++seed) {
+    cache.Insert(11, seed, DeterministicScores(40, 7), 1, 1e-9);
+  }
+  EXPECT_GT(cache.bytes(), 0u);
+  cache.Invalidate();
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.evictions(), 5u);
+  ScoreCacheHit hit;
+  EXPECT_FALSE(cache.Lookup(11, 0, 5, false, &hit));
+}
+
+TEST(ScoreCache, ConcurrentReadersAndWritersAreRaceFree) {
+  // Small budget keeps the LRU churning (demotions + drops) while four
+  // readers hammer Lookup. The assertion is TSan/ASan cleanliness plus
+  // self-consistency of whatever a hit returns.
+  ScoreCache cache(std::uint64_t{48} << 10);
+  const index_t n = 400;
+  std::vector<Vector> truth;
+  for (index_t s = 0; s < 8; ++s) {
+    truth.push_back(DeterministicScores(n, 100 + static_cast<std::uint64_t>(s)));
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < 400; ++i) {
+      const index_t seed = static_cast<index_t>(i % 8);
+      cache.Insert(5, seed, truth[static_cast<std::size_t>(seed)],
+                   /*iterations=*/seed + 1, 1e-9);
+      if (i % 97 == 0) cache.Invalidate();
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      ScoreCacheHit hit;
+      for (int i = 0; i < 1500; ++i) {
+        const index_t seed = static_cast<index_t>((i + t) % 8);
+        const bool want_scores = (i % 3) == 0;
+        if (cache.Lookup(5, seed, 10, want_scores, &hit)) {
+          ASSERT_EQ(hit.iterations, seed + 1);
+          ASSERT_EQ(hit.topk,
+                    TopK(truth[static_cast<std::size_t>(seed)], 10, seed));
+          if (want_scores) {
+            ASSERT_EQ(hit.scores, truth[static_cast<std::size_t>(seed)]);
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(cache.hits() + cache.misses(), 4u * 1500u);
+}
+
+// --- Model fingerprint -------------------------------------------------
+
+TEST(ModelFingerprint, StableAcrossSaveLoadDistinctAcrossModels) {
+  Graph g = test::SmallRmat(80, 400, 0.2, 31);
+  BepiOptions options;
+  options.mode = BepiMode::kPreconditioned;
+  BepiSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  const std::uint64_t fp = ModelFingerprint(solver);
+
+  // Save/Load round trip reproduces the exact model — same fingerprint,
+  // so a server restarted from the shipped model file keys the same.
+  std::stringstream blob;
+  ASSERT_TRUE(solver.Save(blob).ok());
+  auto loaded = BepiSolver::Load(blob);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(ModelFingerprint(*loaded), fp);
+
+  // A different restart probability is a different function: lookups
+  // against the old fingerprint must miss.
+  BepiOptions other = options;
+  other.restart_prob = 0.25;
+  BepiSolver reweighted(other);
+  ASSERT_TRUE(reweighted.Preprocess(g).ok());
+  EXPECT_NE(ModelFingerprint(reweighted), fp);
+
+  // As is a structurally different graph under identical options.
+  Graph g2 = test::SmallRmat(90, 450, 0.2, 32);
+  BepiSolver other_graph(options);
+  ASSERT_TRUE(other_graph.Preprocess(g2).ok());
+  EXPECT_NE(ModelFingerprint(other_graph), fp);
+}
+
+// --- Serve-level fixture -----------------------------------------------
+
+class CacheServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new Graph(test::SmallRmat(200, 1200, 0.2, 1009));
+    BepiOptions options;
+    options.mode = BepiMode::kPreconditioned;
+    solver_ = new BepiSolver(options);
+    ASSERT_TRUE(solver_->Preprocess(*graph_).ok());
+    // The coalescing assertions below assume a non-empty hub block (the
+    // block path bails out to scalar solves when n2 == 0).
+    ASSERT_GT(solver_->decomposition().n2, 0);
+  }
+  static void TearDownTestSuite() {
+    delete solver_;
+    delete graph_;
+    solver_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  std::vector<std::string> Serve(const std::vector<std::string>& requests,
+                                 ServeOptions options = {}) {
+    std::string input;
+    for (const std::string& r : requests) input += r + "\n";
+    std::istringstream in(input);
+    std::ostringstream out;
+    QueryServer server(*solver_, options);
+    EXPECT_TRUE(server.ServeStream(in, out).ok());
+    std::vector<std::string> lines;
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line)) lines.push_back(line);
+    return lines;
+  }
+
+  /// The raw text of `key`'s value in a one-line JSON response: balanced
+  /// for arrays/objects, up to the next delimiter for scalars. Byte-exact
+  /// comparisons on these slices are the bit-identity check — no parsing,
+  /// no reformatting.
+  static std::string JsonSlice(const std::string& line,
+                               const std::string& key) {
+    const std::string pat = "\"" + key + "\":";
+    const std::size_t pos = line.find(pat);
+    if (pos == std::string::npos) return "";
+    std::size_t i = pos + pat.size();
+    const std::size_t start = i;
+    int depth = 0;
+    bool in_str = false;
+    for (; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_str) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_str = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_str = true;
+        continue;
+      }
+      if (c == '[' || c == '{') {
+        ++depth;
+      } else if (c == ']' || c == '}') {
+        if (depth == 0) break;  // end of enclosing container: scalar done
+        if (--depth == 0) {
+          ++i;  // include the closing bracket of this value
+          break;
+        }
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+    }
+    return line.substr(start, i - start);
+  }
+
+  /// Finds the (unique) response line carrying "id":<id>.
+  static const std::string& ById(const std::vector<std::string>& lines,
+                                 int id) {
+    const std::string needle = "\"id\":" + std::to_string(id) + ",";
+    for (const std::string& l : lines) {
+      if (l.find(needle) != std::string::npos) return l;
+    }
+    static const std::string empty;
+    ADD_FAILURE() << "no response with id " << id;
+    return empty;
+  }
+
+  static Graph* graph_;
+  static BepiSolver* solver_;
+};
+
+Graph* CacheServeTest::graph_ = nullptr;
+BepiSolver* CacheServeTest::solver_ = nullptr;
+
+// --- QueryMulti contract ----------------------------------------------
+
+TEST_F(CacheServeTest, QueryMultiMatchesScalarQueryBitwise) {
+  const std::vector<index_t> seeds = {1, 5, 9, 13, 42};
+  std::vector<MultiQueryItem> items;
+  for (index_t s : seeds) items.push_back(MultiQueryItem{s, QueryControl{}});
+  std::vector<MultiQueryResult> results;
+  ASSERT_TRUE(solver_->QueryMulti(items, &results).ok());
+  ASSERT_EQ(results.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok()) << "seed " << seeds[i];
+    QueryStats scalar_stats;
+    auto scalar = solver_->Query(seeds[i], &scalar_stats);
+    ASSERT_TRUE(scalar.ok());
+    // Bit-identical vectors, not approximately equal: the block path's
+    // per-column arithmetic must match the scalar solve exactly.
+    EXPECT_EQ(results[i].scores, *scalar) << "seed " << seeds[i];
+    EXPECT_EQ(results[i].stats.total_iterations, scalar_stats.total_iterations);
+    EXPECT_EQ(results[i].stats.residual, scalar_stats.residual);
+    EXPECT_TRUE(results[i].coalesced) << "seed " << seeds[i];
+  }
+}
+
+// --- Cache on the serve path ------------------------------------------
+
+TEST_F(CacheServeTest, RepeatQueryHitsCacheWithIdenticalPayload) {
+  // slots=1, batch_max=1 forces strictly sequential execution, so the
+  // second request is a guaranteed cache hit rather than a coalesce.
+  ServeOptions options;
+  options.slots = 1;
+  options.batch_max = 1;
+  options.cache_mb = 8;
+  // Run the stream by hand so the counters can be read from a snapshot
+  // AFTER it drains (the stats verb itself answers immediately and can
+  // overtake in-flight queries).
+  std::istringstream in(
+      "{\"op\":\"query\",\"id\":1,\"seed\":17,\"topk\":7,\"scores\":true}\n"
+      "{\"op\":\"query\",\"id\":2,\"seed\":17,\"topk\":7,\"scores\":true}\n");
+  std::ostringstream out;
+  QueryServer server(*solver_, options);
+  ASSERT_TRUE(server.ServeStream(in, out).ok());
+  std::vector<std::string> lines;
+  {
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  const std::string& cold = ById(lines, 1);
+  const std::string& hot = ById(lines, 2);
+  EXPECT_TRUE(test::IsValidJson(cold)) << cold;
+  EXPECT_TRUE(test::IsValidJson(hot)) << hot;
+  EXPECT_NE(cold.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(hot.find("\"ok\":true"), std::string::npos);
+
+  // The hit is visibly a hit...
+  EXPECT_NE(hot.find("\"stage\":\"cache\""), std::string::npos) << hot;
+  EXPECT_EQ(cold.find("\"stage\":\"cache\""), std::string::npos) << cold;
+  EXPECT_NE(hot.find("\"outcome\":\"Converged\""), std::string::npos) << hot;
+
+  // ...and its numeric payload is byte-for-byte the cold solve's.
+  for (const char* key : {"topk", "scores", "iterations", "residual"}) {
+    const std::string a = JsonSlice(cold, key);
+    const std::string b = JsonSlice(hot, key);
+    ASSERT_FALSE(a.empty()) << key;
+    EXPECT_EQ(a, b) << key;
+  }
+
+  const ServerStatsSnapshot snap = server.Stats();
+  EXPECT_EQ(snap.cache_hits, 1u);
+  EXPECT_EQ(snap.cache_misses, 1u);
+  EXPECT_GT(snap.cache_bytes, 0u);
+}
+
+TEST_F(CacheServeTest, CacheMissesWhenDisabled) {
+  ServeOptions options;
+  options.slots = 1;
+  options.batch_max = 1;
+  options.cache_mb = 0;
+  std::istringstream in(
+      "{\"op\":\"query\",\"id\":1,\"seed\":17}\n"
+      "{\"op\":\"query\",\"id\":2,\"seed\":17}\n");
+  std::ostringstream out;
+  QueryServer server(*solver_, options);
+  ASSERT_TRUE(server.ServeStream(in, out).ok());
+  std::vector<std::string> lines;
+  std::istringstream split(out.str());
+  std::string line;
+  while (std::getline(split, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(ById(lines, 2).find("\"stage\":\"cache\""), std::string::npos);
+  const ServerStatsSnapshot snap = server.Stats();
+  EXPECT_EQ(snap.cache_hits, 0u);
+  EXPECT_EQ(snap.cache_misses, 0u);
+  EXPECT_EQ(snap.cache_bytes, 0u);
+}
+
+// --- Coalesced batches on the serve path ------------------------------
+
+TEST_F(CacheServeTest, CoalescedBatchMatchesScalarServeBitwise) {
+  // Scalar reference: one seed per session line, coalescing off.
+  ServeOptions scalar_opts;
+  scalar_opts.slots = 1;
+  scalar_opts.batch_max = 1;
+  const std::vector<index_t> unique_seeds = {3, 9, 14};
+  std::vector<std::string> scalar_reqs;
+  for (std::size_t i = 0; i < unique_seeds.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  R"({"op":"query","id":%d,"seed":%d,"scores":true})",
+                  static_cast<int>(i + 1), static_cast<int>(unique_seeds[i]));
+    scalar_reqs.push_back(buf);
+  }
+  auto scalar_lines = Serve(scalar_reqs, scalar_opts);
+  ASSERT_EQ(scalar_lines.size(), unique_seeds.size());
+
+  // Batched run: five requests (two duplicate seeds among them) into one
+  // slot with a generous coalescing window, so they form one batch.
+  ServeOptions batch_opts;
+  batch_opts.slots = 1;
+  batch_opts.batch_max = 8;
+  batch_opts.batch_window_ms = 500.0;
+  const std::vector<index_t> batch_seeds = {3, 9, 3, 14, 9};
+  std::vector<std::string> batch_reqs;
+  for (std::size_t i = 0; i < batch_seeds.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  R"({"op":"query","id":%d,"seed":%d,"scores":true})",
+                  static_cast<int>(i + 1), static_cast<int>(batch_seeds[i]));
+    batch_reqs.push_back(buf);
+  }
+  auto batch_lines = Serve(batch_reqs, batch_opts);
+  ASSERT_EQ(batch_lines.size(), batch_seeds.size());
+
+  int coalesced_responses = 0;
+  for (std::size_t i = 0; i < batch_seeds.size(); ++i) {
+    const std::string& got = ById(batch_lines, static_cast<int>(i + 1));
+    EXPECT_TRUE(test::IsValidJson(got)) << got;
+    EXPECT_NE(got.find("\"ok\":true"), std::string::npos) << got;
+    if (got.find("\"coalesced\":true") != std::string::npos) {
+      ++coalesced_responses;
+    }
+    // Locate the scalar reference for this seed and compare payloads
+    // byte-for-byte (duplicates included: within-batch dedupe must hand
+    // every member the same converged answer).
+    std::size_t ref = 0;
+    while (unique_seeds[ref] != batch_seeds[i]) ++ref;
+    const std::string& want =
+        ById(scalar_lines, static_cast<int>(ref + 1));
+    for (const char* key : {"topk", "scores", "iterations", "residual",
+                            "outcome"}) {
+      const std::string a = JsonSlice(want, key);
+      const std::string b = JsonSlice(got, key);
+      ASSERT_FALSE(a.empty()) << key;
+      EXPECT_EQ(a, b) << "seed " << batch_seeds[i] << " key " << key;
+    }
+  }
+  // The reader thread feeds an in-memory stream, so all five requests
+  // land well inside the 500 ms window: at worst the first executes solo
+  // and the remaining four coalesce.
+  EXPECT_GE(coalesced_responses, 2) << "batching never engaged";
+}
+
+}  // namespace
+}  // namespace bepi

@@ -112,6 +112,64 @@ TEST_F(KernelTest, FusedKernelsMatchUnfusedBitwise) {
   }
 }
 
+TEST_F(KernelTest, SpmmPanelColumnsMatchSpmvBitwise) {
+  // The multi-RHS contract (MultiplyMulti / MultiplyAddMulti): column j of
+  // a row-major k-wide panel is bit-identical to the scalar kernel applied
+  // to that column alone, for both index paths, any thread count, and
+  // panel widths straddling the internal column-chunk size.
+  Rng rng(41);
+  const index_t rows = 70, cols = 55;
+  const CsrMatrix m = test::RandomSparse(rows, cols, 0.1, &rng);
+  for (int threads : {1, 4}) {
+    ASSERT_TRUE(ParallelContext::Global().SetNumThreads(threads).ok());
+    for (KernelPath path : {KernelPath::kWide, KernelPath::kCompact}) {
+      const KernelCsr k = KernelCsr::Bind(m, path);
+      for (index_t width : {1, 3, 16, 21}) {
+        Rng col_rng(1000 + width);
+        std::vector<Vector> xs, ys;
+        for (index_t j = 0; j < width; ++j) {
+          xs.push_back(test::RandomVector(cols, &col_rng));
+          ys.push_back(test::RandomVector(rows, &col_rng));
+        }
+        std::vector<real_t> panel_x(static_cast<std::size_t>(cols) * width);
+        std::vector<real_t> panel_y(static_cast<std::size_t>(rows) * width);
+        for (index_t i = 0; i < cols; ++i) {
+          for (index_t j = 0; j < width; ++j) {
+            panel_x[static_cast<std::size_t>(i) * width + j] =
+                xs[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+          }
+        }
+        k.MultiplyMulti(panel_x.data(), width, panel_y.data());
+        for (index_t j = 0; j < width; ++j) {
+          Vector y(static_cast<std::size_t>(rows));
+          k.MultiplyInto(xs[static_cast<std::size_t>(j)], &y);
+          for (index_t i = 0; i < rows; ++i) {
+            ASSERT_EQ(panel_y[static_cast<std::size_t>(i) * width + j],
+                      y[static_cast<std::size_t>(i)])
+                << "col " << j << " row " << i << " width " << width;
+          }
+        }
+        for (index_t i = 0; i < rows; ++i) {
+          for (index_t j = 0; j < width; ++j) {
+            panel_y[static_cast<std::size_t>(i) * width + j] =
+                ys[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+          }
+        }
+        k.MultiplyAddMulti(-0.5, panel_x.data(), width, panel_y.data());
+        for (index_t j = 0; j < width; ++j) {
+          Vector y = ys[static_cast<std::size_t>(j)];
+          k.MultiplyAdd(-0.5, xs[static_cast<std::size_t>(j)], &y);
+          for (index_t i = 0; i < rows; ++i) {
+            ASSERT_EQ(panel_y[static_cast<std::size_t>(i) * width + j],
+                      y[static_cast<std::size_t>(i)])
+                << "col " << j << " row " << i << " width " << width;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST_F(KernelTest, CsrMatrixFusedMethodsDelegate) {
   Rng rng(41);
   const index_t n = 50;

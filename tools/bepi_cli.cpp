@@ -237,6 +237,19 @@ const CommandHelp kCommands[] = {
      "                           (default bepi-flightrec.json; empty\n"
      "                           disables auto-dumps — the `dump` verb\n"
      "                           still works)\n"
+     "  --cache-mb=N             hot-seed score cache budget in MiB; a\n"
+     "                           repeated (model, seed) query is answered\n"
+     "                           from memory, byte-identical to a cold\n"
+     "                           solve, with \"stage\":\"cache\" in the\n"
+     "                           response (default 0 = disabled)\n"
+     "  --batch-max=K            most queries one worker slot coalesces\n"
+     "                           into a single blocked Schur solve that\n"
+     "                           streams the matrix once for all of them\n"
+     "                           (default 8; 1 disables coalescing)\n"
+     "  --batch-window-ms=X      how long a slot that popped one query\n"
+     "                           waits for more to coalesce with it\n"
+     "                           (default 0 = only already-queued backlog\n"
+     "                           is coalesced, no added latency)\n"
      "example:\n"
      "  echo '{\"op\":\"query\",\"seed\":17}' | \\\n"
      "    bepi_cli serve --model=/tmp/m.txt\n"},
@@ -382,7 +395,10 @@ const std::map<std::string, std::vector<FlagSpec>>& CommandFlagSpecs() {
                             {"delta", FlagType::kDouble},
                             {"walk-seed", FlagType::kInt},
                             {"slow-ms", FlagType::kDouble},
-                            {"flight-dump", FlagType::kString}})},
+                            {"flight-dump", FlagType::kString},
+                            {"cache-mb", FlagType::kInt},
+                            {"batch-max", FlagType::kInt},
+                            {"batch-window-ms", FlagType::kDouble}})},
           {"metrics-export",
            WithGlobalFlags({{"snapshot", FlagType::kString},
                             {"out", FlagType::kString}})},
@@ -983,6 +999,9 @@ int CmdServe(const Flags& flags) {
   options.slow_ms = flags.GetDouble("slow-ms", 0.0);
   options.flight_dump_path =
       flags.GetString("flight-dump", "bepi-flightrec.json");
+  options.cache_mb = static_cast<int>(flags.GetInt("cache-mb", 0));
+  options.batch_max = static_cast<int>(flags.GetInt("batch-max", 8));
+  options.batch_window_ms = flags.GetDouble("batch-window-ms", 0.0);
   QueryServer server(*solver, options);
   const std::string socket_path = flags.GetString("socket", "");
   const Status status = socket_path.empty()

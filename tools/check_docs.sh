@@ -26,7 +26,7 @@ if [ -z "$cli" ] || [ ! -x "$cli" ]; then
   exit 2
 fi
 
-docs=(README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OPERATIONS.md)
+docs=(README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OPERATIONS.md docs/SERVING.md)
 for doc in "${docs[@]}"; do
   if [ ! -f "$doc" ]; then
     echo "check_docs: missing documentation file $doc" >&2
@@ -186,6 +186,60 @@ for row, _ in patterns:
 assert not stale, f"glossary rows with no registered metric: {stale}"
 print(f"check_docs: metric glossary covers all {len(emitted)} emitted "
       f"keys; all {len(patterns)} glossary rows are registered in src/")
+EOF
+
+# --- Serve protocol reference ----------------------------------------------
+# docs/SERVING.md is the wire reference for `serve`, cross-checked both
+# ways against the binary and the protocol implementation:
+#  1. its flag table must list exactly the serve-specific flags that
+#     `bepi_cli help serve` prints (before the "global flags" section);
+#  2. every request key ParseRequest accepts, every response key the
+#     server emits, and every stable error code must appear backticked
+#     in SERVING.md — so a new or renamed field cannot ship undocumented;
+#  3. every first-column `field` in SERVING.md's tables must be parsed
+#     or emitted somewhere in src/server/ — so a stale field cannot
+#     linger in the docs.
+"$cli" help serve >"$workdir/help_serve.txt" 2>&1 || true
+python3 - "$workdir" <<'EOF'
+import re, sys
+work = sys.argv[1]
+doc = open("docs/SERVING.md").read()
+src = ""
+for f in ("server.cpp", "server.hpp", "protocol.cpp", "protocol.hpp",
+          "admission.cpp", "admission.hpp", "cache.cpp", "cache.hpp"):
+    src += open(f"src/server/{f}").read()
+
+# Flags: help serve's serve-specific section vs the SERVING.md table.
+help_text = open(f"{work}/help_serve.txt").read()
+serve_help = help_text.split("global flags:")[0]
+help_flags = set(re.findall(r"--[a-z][a-z0-9-]+", serve_help))
+doc_flags = set(re.findall(r"^\| `(--[a-z][a-z0-9-]+)", doc, re.M))
+assert doc_flags == help_flags, (
+    "SERVING.md flag table out of sync with `bepi_cli help serve`: "
+    f"missing {sorted(help_flags - doc_flags)}, "
+    f"stale {sorted(doc_flags - help_flags)}")
+
+# Protocol schema: request keys, emitted response keys, error codes.
+request_keys = set(re.findall(r'key == "([a-z_]+)"', src)) | {"op"}
+emitted_keys = (set(re.findall(r'\\"([a-z][a-z0-9_]*)\\":', src)) |
+                set(re.findall(r'field\("([a-z0-9_]+)"', src)))
+error_codes = set(
+    re.findall(r'inline constexpr char k\w+\[\] = "([a-z_]+)"', src))
+known = request_keys | emitted_keys | error_codes
+documented = set(re.findall(r"`([a-z][a-z0-9_]*)`", doc))
+undocumented = sorted((request_keys | emitted_keys | error_codes)
+                      - documented)
+assert not undocumented, (
+    f"protocol names absent from SERVING.md: {undocumented}")
+table_fields = set(re.findall(r"^\| `([a-z][a-z0-9_]*)`", doc, re.M))
+stale = sorted(table_fields - known)
+assert not stale, (
+    f"SERVING.md documents fields src/server/ never parses or emits: "
+    f"{stale}")
+print(f"check_docs: SERVING.md covers all {len(help_flags)} serve flags, "
+      f"{len(request_keys)} request keys, {len(emitted_keys)} response "
+      f"keys and {len(error_codes)} error codes; all "
+      f"{len(table_fields)} table fields are real")
 EOF
 
 echo "check_docs: $(wc -l <"$workdir/doc_flags.txt") flags and" \

@@ -24,6 +24,14 @@
 #     queue shedding load as "overloaded", concurrent socket clients,
 #     SIGTERM draining to exit 0 with telemetry flushed, and SIGKILL
 #     leaving the model file untouched;
+#   * batch serve: the coalescing scheduler and the hot-seed score cache
+#     against an interactive two-wave session — wave 1 floods duplicate
+#     and distinct seeds into one batch window and every coalesced
+#     response must be bit-identical to a one-shot `query --dump-scores`
+#     of the same seed; wave 2 repeats the seeds and must be answered
+#     entirely from the cache (stage "cache", counters to match); then a
+#     faulted batch (gmres.stagnate on one column) must degrade that
+#     column alone while the rest stay coalesced, all still identical;
 #   * crosscheck: the Monte-Carlo oracle against the exact solve on two
 #     example graphs, then with every linear-algebra stage fault-injected
 #     so the degradation chain must bottom out in the MC terminal stage
@@ -37,16 +45,19 @@
 #     watchdog trip auto-dumping a Perfetto trace, and score bit-identity
 #     with the forensics features on and off;
 #   * bench artifacts: bench_kernels, bench_fig1_query,
-#     bench_fig5_scalability, bench_serve, bench_mc and
-#     bench_observability write BENCH_kernels.json / BENCH_fig1_query.json
-#     / BENCH_parallel_scaling.json / BENCH_serve.json / BENCH_mc.json /
+#     bench_fig5_scalability, bench_serve, bench_batch_serve, bench_mc
+#     and bench_observability write BENCH_kernels.json /
+#     BENCH_fig1_query.json / BENCH_parallel_scaling.json /
+#     BENCH_serve.json / BENCH_batch_serve.json / BENCH_mc.json /
 #     BENCH_observability.json (smallest dataset scale, except the
 #     observability overhead run which needs full-size queries) under
 #     build-ci/artifacts/, and all must parse — the mc artifact
 #     additionally asserts every estimate stayed within its confidence
-#     bound and was bit-identical across threads, and the observability
-#     artifact asserts bit-identical scores and <2% query overhead with
-#     the forensics machinery on;
+#     bound and was bit-identical across threads, the batch-serve
+#     artifact asserts per-query stream bytes fall monotonically with
+#     the batch width and cache hits beat cold solves, and the
+#     observability artifact asserts bit-identical scores and <2% query
+#     overhead with the forensics machinery on;
 #   * docs cross-check: tools/check_docs.sh verifies every flag and
 #     BEPI_* variable documented in README/docs against the binary and
 #     the source tree.
@@ -54,13 +65,14 @@
 # The "thread" configuration is narrower than the others: it builds only
 # the concurrency-sensitive tests (test_metrics, test_trace,
 # test_parallel, test_trisolve, test_kernel, test_cancel, test_mc,
-# test_server, test_flightrec, test_promtext) under TSan and runs them
-# directly — the registry's sharded counters, the per-thread trace
-# buffers, the work-stealing pool, the level-scheduled triangular
+# test_server, test_cache, test_flightrec, test_promtext) under TSan and
+# runs them directly — the registry's sharded counters, the per-thread
+# trace buffers, the work-stealing pool, the level-scheduled triangular
 # solves, mid-solve cancellation, the Monte-Carlo walk engine's atomic
-# visit counters, the query server's worker pool, the flight recorder's
-# seqlock rings and the concurrent Prometheus render are where new data
-# races would land.
+# visit counters, the query server's worker pool, the score cache's LRU
+# under concurrent readers/writers, the flight recorder's seqlock rings
+# and the concurrent Prometheus render are where new data races would
+# land.
 #
 # Usage: tools/ci.sh [default|address|undefined|thread ...]
 #   With no arguments all four configurations run.
@@ -399,6 +411,115 @@ assert m['counters'].get('server.completed', 0) >= 1, m['counters']
   rm -rf "$work"
 }
 
+smoke_batch_serve() {
+  local cli="$1"
+  local work
+  work="$(mktemp -d)"
+  echo "=== batch-serve smoke test ==="
+  "$cli" generate --out="$work/graph.txt" --nodes=400 --edges=1800 \
+    --deadends=0.2 --seed=7 >/dev/null
+  "$cli" preprocess --graph="$work/graph.txt" --model="$work/model.txt" \
+    >/dev/null
+  # One-shot full-precision references (%.17g round-trips doubles, so
+  # parsed-float equality below is bit equality).
+  local s
+  for s in 3 9; do
+    "$cli" query --model="$work/model.txt" --seed-node="$s" \
+      --dump-scores="$work/direct_$s.txt" >/dev/null
+  done
+
+  # 1. Two-wave interactive session against one serve process: wave 1
+  # floods duplicate + distinct seeds into a single batch window (every
+  # response must match the one-shot dumps exactly, and the distinct
+  # seeds must coalesce); wave 2 repeats the seeds after wave 1 finished,
+  # so every answer must come from the score cache with the same bytes.
+  python3 - "$work" "$cli" <<'EOF'
+import json, subprocess, sys
+work, cli = sys.argv[1], sys.argv[2]
+direct = {s: [float(l) for l in open(f"{work}/direct_{s}.txt")]
+          for s in (3, 9)}
+proc = subprocess.Popen(
+    [cli, "serve", f"--model={work}/model.txt", "--slots=1",
+     "--batch-max=8", "--batch-window-ms=500", "--cache-mb=16"],
+    stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+    stderr=subprocess.DEVNULL, text=True)
+
+def wave(seeds):
+    for i, seed in enumerate(seeds):
+        proc.stdin.write(json.dumps(
+            {"op": "query", "id": i, "seed": seed, "scores": True}) + "\n")
+    proc.stdin.flush()
+    responses = {}
+    for _ in seeds:
+        r = json.loads(proc.stdout.readline())
+        responses[r["id"]] = r
+    for i, seed in enumerate(seeds):
+        r = responses[i]
+        assert r["ok"] and not r["partial"], r
+        assert r["scores"] == direct[seed], f"seed {seed} differs from dump"
+    return responses
+
+wave1 = wave([3, 9, 3, 9, 3])
+coalesced = [r for r in wave1.values() if r.get("coalesced")]
+assert len(coalesced) >= 2, "batch window never coalesced wave 1"
+assert all(r["outcome"] == "Converged" for r in wave1.values())
+
+wave2 = wave([3, 9, 3, 9])
+assert all(r["stage"] == "cache" for r in wave2.values()), \
+    "wave 2 was not answered from the cache"
+
+proc.stdin.write('{"op":"stats","id":"s"}\n')
+proc.stdin.flush()
+stats = json.loads(proc.stdout.readline())
+assert stats["cache_hits"] == 4, stats
+assert stats["cache_misses"] >= 2, stats
+assert stats["coalesced"] >= 2, stats
+proc.stdin.close()
+assert proc.wait() == 0
+print(f"    wave 1: {len(coalesced)} coalesced responses, all bit-identical"
+      f" to dumps; wave 2: 4/4 cache hits; stats counters agree")
+EOF
+
+  # 2. A faulted column degrades alone: gmres.stagnate fires once, so one
+  # column of the blocked solve stalls and is re-solved through the
+  # scalar chain while the rest of the batch stays coalesced. Every
+  # response must still be bit-identical to the one-shot dumps.
+  python3 - "$work" "$cli" <<'EOF'
+import json, subprocess, sys
+work, cli = sys.argv[1], sys.argv[2]
+direct = {s: [float(l) for l in open(f"{work}/direct_{s}.txt")]
+          for s in (3, 9)}
+proc = subprocess.Popen(
+    [cli, "serve", f"--model={work}/model.txt", "--slots=1",
+     "--batch-max=8", "--batch-window-ms=500",
+     "--fault-inject=gmres.stagnate:0:1"],
+    stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+    stderr=subprocess.DEVNULL, text=True)
+seeds = [3, 9, 3, 9]
+for i, seed in enumerate(seeds):
+    proc.stdin.write(json.dumps(
+        {"op": "query", "id": i, "seed": seed, "scores": True}) + "\n")
+proc.stdin.flush()
+responses = {}
+for _ in seeds:
+    r = json.loads(proc.stdout.readline())
+    responses[r["id"]] = r
+proc.stdin.close()
+assert proc.wait() == 0
+flags = {r.get("coalesced", False) for r in responses.values()}
+assert flags == {True, False}, \
+    f"expected a mix of coalesced and retried columns, got {flags}"
+for i, seed in enumerate(seeds):
+    r = responses[i]
+    assert r["ok"] and not r["partial"], r
+    assert r["scores"] == direct[seed], f"seed {seed} differs under fault"
+print("    faulted column degraded alone (coalesced flags "
+      f"{sorted(r.get('coalesced', False) for r in responses.values())}); "
+      "all responses bit-identical to dumps")
+EOF
+  rm -rf "$work"
+}
+
 smoke_observability() {
   local cli="$1"
   local work
@@ -595,6 +716,8 @@ bench_artifacts() {
     --json-out="$out/BENCH_parallel_scaling.json" >/dev/null
   "$build_dir/bench/bench_serve" --scale=0.05 --queries=20 \
     --json-out="$out/BENCH_serve.json" >/dev/null 2>&1
+  "$build_dir/bench/bench_batch_serve" --scale=0.05 --queries=16 \
+    --repeats=2 --json-out="$out/BENCH_batch_serve.json" >/dev/null 2>&1
   "$build_dir/bench/bench_mc" --scale=0.05 --queries=2 --walks=50000 \
     --json-out="$out/BENCH_mc.json" >/dev/null
   # Full-scale queries here: the per-query instrumentation cost is a few
@@ -618,6 +741,20 @@ assert serve["bench"] == "serve", serve.get("bench")
 serve_methods = {r["method"] for r in serve["results"]}
 assert "clients=1" in serve_methods and "clients=8" in serve_methods, \
     sorted(serve_methods)
+batch = json.load(open(f"{out}/BENCH_batch_serve.json"))
+assert batch["bench"] == "batch_serve", batch.get("bench")
+brec = batch["results"]
+stream = {r["method"]: r["value"] for r in brec
+          if r["metric"] == "stream_bytes_per_query"}
+widths = [f"k={k}" for k in (1, 2, 4, 8, 16)]
+assert all(w in stream for w in widths), sorted(stream)
+per_query = [stream[w] for w in widths]
+assert per_query == sorted(per_query, reverse=True), \
+    f"per-query stream bytes must fall with batch width: {per_query}"
+cache = {r["metric"]: r["value"] for r in brec if r["method"] == "cache"}
+assert cache["hit_p50_ms"] < cache["cold_p50_ms"], cache
+assert cache["p50_speedup"] > 1.5, cache  # >=10x at scale 1; toy graphs
+                                          # are protocol-bound
 scaling = json.load(open(f"{out}/BENCH_parallel_scaling.json"))
 assert scaling["bench"] == "parallel_scaling", scaling.get("bench")
 srec = scaling["results"]
@@ -668,11 +805,11 @@ for config in "${configs[@]}"; do
     # surface.
     echo "=== [$config] build (test_metrics, test_trace, test_parallel," \
       "test_trisolve, test_kernel, test_cancel, test_mc, test_server," \
-      "test_flightrec, test_promtext) ==="
+      "test_cache, test_flightrec, test_promtext) ==="
     cmake --build "$build_dir" -j "$jobs" \
       --target test_metrics test_trace test_parallel test_trisolve \
-      test_kernel test_cancel test_mc test_server test_flightrec \
-      test_promtext
+      test_kernel test_cancel test_mc test_server test_cache \
+      test_flightrec test_promtext
     echo "=== [$config] test ==="
     "$build_dir/tests/test_metrics"
     "$build_dir/tests/test_trace"
@@ -682,6 +819,7 @@ for config in "${configs[@]}"; do
     "$build_dir/tests/test_cancel"
     "$build_dir/tests/test_mc"
     "$build_dir/tests/test_server"
+    "$build_dir/tests/test_cache"
     "$build_dir/tests/test_flightrec"
     "$build_dir/tests/test_promtext"
     continue
@@ -695,6 +833,7 @@ for config in "${configs[@]}"; do
     smoke_telemetry "$build_dir/tools/bepi_cli"
     smoke_kernel_paths "$build_dir/tools/bepi_cli"
     smoke_serve "$build_dir/tools/bepi_cli"
+    smoke_batch_serve "$build_dir/tools/bepi_cli"
     smoke_crosscheck "$build_dir/tools/bepi_cli"
     smoke_observability "$build_dir/tools/bepi_cli"
     bench_artifacts "$build_dir"
