@@ -25,8 +25,13 @@ Result<BatchQueryResult> BatchQueryEngine::Run(
   Timer timer;
   TraceSpan batch_span("query.batch");
 
+  const bool topk_mode = options_.topk.k > 0;
   BatchQueryResult result;
-  result.vectors.resize(seeds.size());
+  if (topk_mode) {
+    result.topk.resize(seeds.size());
+  } else {
+    result.vectors.resize(seeds.size());
+  }
   if (options_.collect_stats) result.stats.resize(seeds.size());
 
   // Duplicate seeds solve once: an RWR query is a pure function of
@@ -51,7 +56,8 @@ Result<BatchQueryResult> BatchQueryEngine::Run(
     }
   }
   const index_t n = static_cast<index_t>(unique_seeds.size());
-  std::vector<Vector> unique_vectors(unique_seeds.size());
+  std::vector<Vector> unique_vectors(topk_mode ? 0 : unique_seeds.size());
+  std::vector<TopKResult> unique_topk(topk_mode ? unique_seeds.size() : 0);
   std::vector<QueryStats> unique_stats(
       options_.collect_stats ? unique_seeds.size() : 0);
 
@@ -80,6 +86,7 @@ Result<BatchQueryResult> BatchQueryEngine::Run(
     GmresWorkspace& ws = workspaces[static_cast<std::size_t>(slot)];
     QueryControl control;
     control.cancel = options_.cancel;
+    control.warm_start_mc = options_.warm_start_mc;
     for (index_t u = begin; u < end; ++u) {
       const std::size_t idx = static_cast<std::size_t>(u);
       // Failures report the unique seed's first occurrence so the
@@ -96,6 +103,21 @@ Result<BatchQueryResult> BatchQueryEngine::Run(
       }
       QueryStats* stats =
           options_.collect_stats ? &unique_stats[idx] : nullptr;
+      if (topk_mode) {
+        Result<TopKResult> r =
+            solver_.QueryTopK(unique_seeds[idx], options_.topk, stats, &ws,
+                              control);
+        if (!r.ok()) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (orig < error_index) {
+            error_index = orig;
+            error = r.status();
+          }
+          return;  // abandon this slot's remaining seeds
+        }
+        unique_topk[idx] = std::move(r).value();
+        continue;
+      }
       Result<Vector> r = solver_.Query(unique_seeds[idx], stats, &ws, control);
       if (!r.ok()) {
         std::lock_guard<std::mutex> lock(error_mutex);
@@ -136,7 +158,11 @@ Result<BatchQueryResult> BatchQueryEngine::Run(
   // Fan the unique results out to every requesting position.
   for (std::size_t i = 0; i < seeds.size(); ++i) {
     const std::size_t u = unique_of[i];
-    result.vectors[i] = unique_vectors[u];
+    if (topk_mode) {
+      result.topk[i] = unique_topk[u];
+    } else {
+      result.vectors[i] = unique_vectors[u];
+    }
     if (options_.collect_stats) result.stats[i] = unique_stats[u];
   }
 

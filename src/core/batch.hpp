@@ -29,16 +29,30 @@ struct BatchQueryOptions {
   /// (batches are all-or-nothing; partial batch results are never
   /// returned). May be null.
   const CancelToken* cancel = nullptr;
+  /// Batch-wide top-k execution (core/topk.hpp). topk.k == 0 (default)
+  /// answers densely and fills BatchQueryResult::vectors; topk.k >= 1
+  /// runs every seed through BepiSolver::QueryTopK with exactly these
+  /// options (including `exclude`, applied to every seed verbatim) and
+  /// fills BatchQueryResult::topk instead, leaving vectors empty.
+  TopKOptions topk;
+  /// Forwarded into every query's QueryControl::warm_start_mc (seed the
+  /// Schur solve from the attached MC engine; off by default — a warm
+  /// start changes the iterate sequence, so the bit-identity contract
+  /// only holds on the default path).
+  bool warm_start_mc = false;
 };
 
 struct BatchQueryResult {
   /// vectors[i] is the RWR vector for seeds[i] (positional order is
-  /// preserved regardless of completion order).
+  /// preserved regardless of completion order). Empty in top-k mode.
   std::vector<Vector> vectors;
+  /// topk[i] is the ranked answer for seeds[i] when options.topk.k >= 1.
+  std::vector<TopKResult> topk;
   std::vector<QueryStats> stats;  // empty when collect_stats is false
   double seconds = 0.0;           // wall time for the whole batch
   double throughput_qps() const {
-    return seconds > 0.0 ? static_cast<double>(vectors.size()) / seconds : 0.0;
+    const std::size_t queries = vectors.empty() ? topk.size() : vectors.size();
+    return seconds > 0.0 ? static_cast<double>(queries) / seconds : 0.0;
   }
 };
 

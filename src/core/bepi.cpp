@@ -1,5 +1,7 @@
 #include "core/bepi.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iterator>
 #include <sstream>
@@ -14,6 +16,7 @@
 #include "common/trace.hpp"
 #include "core/checkpoint.hpp"
 #include "core/resilient.hpp"
+#include "core/topk.hpp"
 #include "engine/mc/mc.hpp"
 #include "solver/bicgstab.hpp"
 #include "solver/block_gmres.hpp"
@@ -139,6 +142,10 @@ void BepiSolver::BindQueryKernels(bool from_load) {
   }
   kernels_ = std::make_unique<DecompositionKernels>(
       BindDecompositionKernels(dec_, requested));
+  // Bound tables for top-k pruning and eps error propagation: one O(nnz)
+  // pass over the back-substitution matrices, negligible next to the
+  // decomposition itself and valid until the matrices change.
+  topk_tables_ = std::make_unique<TopKBoundTables>(BuildTopKBoundTables(dec_));
   if (!ilu_.has_value()) {
     kernel_schedule_origin_ = "none (no ILU(0) factors)";
   } else if (loaded_lower_.has_value() && loaded_upper_.has_value()) {
@@ -205,6 +212,55 @@ Result<Vector> BepiSolver::Query(index_t seed, QueryStats* stats,
   return SolveFromSlices(cq1, cq2, cq3, stats, workspace, control);
 }
 
+Result<TopKResult> BepiSolver::QueryTopK(index_t seed, const TopKOptions& opts,
+                                         QueryStats* stats,
+                                         GmresWorkspace* workspace,
+                                         const QueryControl& control) const {
+  if (!preprocessed_) return Status::FailedPrecondition("Preprocess not called");
+  if (seed < 0 || seed >= dec_.n) {
+    return Status::OutOfRange("seed out of range");
+  }
+  if (opts.k < 1 || opts.k > dec_.n) {
+    return Status::InvalidArgument(
+        "top_k must be in [1, " + std::to_string(dec_.n) + "], got " +
+        std::to_string(opts.k));
+  }
+  QueryControl ctl = control;
+  if (opts.mode == TopKMode::kEps) {
+    if (!std::isfinite(opts.eps) || !(opts.eps > 0.0)) {
+      return Status::InvalidArgument("eps must be finite and > 0");
+    }
+    ctl.eps = opts.eps;
+  }
+  const real_t c = options_.restart_prob;
+  const index_t n1 = dec_.n1, n2 = dec_.n2;
+  const index_t pos = dec_.perm[static_cast<std::size_t>(seed)];
+  Vector cq1(static_cast<std::size_t>(dec_.n1), 0.0);
+  Vector cq2(static_cast<std::size_t>(dec_.n2), 0.0);
+  Vector cq3(static_cast<std::size_t>(dec_.n3), 0.0);
+  if (pos < n1) {
+    cq1[static_cast<std::size_t>(pos)] = c;
+  } else if (pos < n1 + n2) {
+    cq2[static_cast<std::size_t>(pos - n1)] = c;
+  } else {
+    cq3[static_cast<std::size_t>(pos - n1 - n2)] = c;
+  }
+  QueryStats local_stats;
+  QueryStats* st = stats != nullptr ? stats : &local_stats;
+  TopKResult out;
+  BEPI_ASSIGN_OR_RETURN(
+      Vector full, SolveFromSlices(cq1, cq2, cq3, st, workspace, ctl, &opts,
+                                   &out));
+  if (out.pruned) return out;
+  // A terminal stage (power iteration, MC walks) built the full vector:
+  // sort it the way the dense caller would, with the producing attempt's
+  // residual / confidence half-width as the honest bound.
+  out.entries = TopK(full, opts.k, opts.exclude);
+  out.error_bound = st->error_bound > 0.0 ? st->error_bound : st->residual;
+  CountTopKDenseFallback();
+  return out;
+}
+
 Result<Vector> BepiSolver::QueryVector(const Vector& q,
                                        QueryStats* stats) const {
   return QueryVector(q, stats, /*workspace=*/nullptr);
@@ -242,12 +298,73 @@ Result<Vector> BepiSolver::QueryVector(const Vector& q, QueryStats* stats,
   return SolveFromSlices(cq1, cq2, cq3, stats, workspace, control);
 }
 
+real_t BepiSolver::EpsErrorBound(const Vector& q2_tilde,
+                                 const Vector& r2) const {
+  if (dec_.n2 == 0) return 0.0;
+  // One extra SpMV: the TRUE residual of the returned iterate (GMRES only
+  // tracks the preconditioned recurrence residual), so the reported bound
+  // never depends on the preconditioner being well-behaved.
+  Vector rho(static_cast<std::size_t>(dec_.n2));
+  kernels_->schur.ResidualInto(r2, q2_tilde, &rho);
+  real_t norm1 = 0.0;
+  for (real_t v : rho) norm1 += std::abs(v);
+  return ScoreErrorBound(*topk_tables_, norm1, options_.restart_prob);
+}
+
+bool BepiSolver::McWarmStart(const Vector& cq1, const Vector& cq2,
+                             const Vector& cq3, const QueryControl& control,
+                             Vector* x0) const {
+  if (!control.warm_start_mc || mc_ == nullptr || dec_.n2 == 0) return false;
+  TraceSpan warm_span("query.mc_warm_start");
+  // Recover q in original ids from the scaled slices (same mapping as
+  // McTerminalHop) and run a deliberately small walk budget: the estimate
+  // only has to land GMRES inside the basin where one restart cycle
+  // finishes the job, not meet a confidence target.
+  const real_t inv_c = static_cast<real_t>(1.0) / options_.restart_prob;
+  Vector q(static_cast<std::size_t>(dec_.n), 0.0);
+  const index_t n1 = dec_.n1, n2 = dec_.n2;
+  auto scatter = [&](const Vector& slice, index_t offset) {
+    for (std::size_t i = 0; i < slice.size(); ++i) {
+      if (slice[i] != 0.0) {
+        q[static_cast<std::size_t>(
+            inverse_perm_[static_cast<std::size_t>(offset) + i])] =
+            slice[i] * inv_c;
+      }
+    }
+  };
+  scatter(cq1, 0);
+  scatter(cq2, n1);
+  scatter(cq3, n1 + n2);
+  McOptions mo;
+  mo.restart_prob = options_.restart_prob;
+  mo.walks = std::min<std::uint64_t>(mc_fallback_options_.walks, 20'000);
+  mo.delta = mc_fallback_options_.delta;
+  mo.seed = mc_fallback_options_.seed;
+  mo.cancel = control.cancel;
+  mo.allow_partial = true;
+  Result<McEstimate> est = mc_->EstimateVector(q, mo);
+  if (!est.ok()) return false;
+  const Vector& scores = est.value().scores;
+  x0->assign(static_cast<std::size_t>(n2), 0.0);
+  for (index_t j = 0; j < n2; ++j) {
+    (*x0)[static_cast<std::size_t>(j)] = scores[static_cast<std::size_t>(
+        inverse_perm_[static_cast<std::size_t>(n1 + j)])];
+  }
+  if (MetricsEnabled()) {
+    BEPI_METRIC_COUNTER(warm, "query.mc_warm_starts");
+    warm->Increment();
+  }
+  return true;
+}
+
 Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
                                            const Vector& cq2,
                                            const Vector& cq3,
                                            QueryStats* stats,
                                            GmresWorkspace* workspace,
-                                           const QueryControl& control) const {
+                                           const QueryControl& control,
+                                           const TopKOptions* topk,
+                                           TopKResult* topk_out) const {
   Timer timer;
   TraceSpan query_span("query");
   if (control.request_id != nullptr) {
@@ -271,13 +388,18 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
   }
 
   ResilientSolveOptions ropts;
-  ropts.tol = options_.tolerance;
+  // Eps mode (QueryControl::eps > 0) truncates the Schur solve at the
+  // user's tolerance; the honest sup-norm consequence is computed from the
+  // true residual below and reported in stats->error_bound.
+  ropts.tol = control.eps > 0.0 ? control.eps : options_.tolerance;
   ropts.max_iters = options_.max_iterations;
   ropts.gmres_restart = options_.gmres_restart;
   ropts.enable_fallbacks = options_.enable_fallbacks;
   ropts.gmres_workspace = workspace;
   ropts.cancel = control.cancel;
   ropts.request_id = control.request_id;
+  Vector warm_x0;
+  if (McWarmStart(cq1, cq2, cq3, control, &warm_x0)) ropts.x0 = &warm_x0;
 
   // Solve S r2 = q2~ through the degradation chain (line 4).
   QueryReport report;
@@ -311,7 +433,7 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
         Timer hop_timer;
         SolveStats ss;
         BicgstabOptions bi;
-        bi.tol = options_.tolerance;
+        bi.tol = ropts.tol;
         bi.max_iters = options_.max_iterations;
         bi.cancel = control.cancel;
         KernelCsrOperator op(kern.schur);
@@ -431,7 +553,63 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
     }
   }
 
-  if (back_substitute) {
+  // The honest eps-mode bound is computed from the iterate the Krylov
+  // chain actually hands to back-substitution, partial iterates included.
+  real_t eps_bound = 0.0;
+  if (control.eps > 0.0 && back_substitute) {
+    eps_bound = EpsErrorBound(q2_tilde, r2);
+  }
+  // Terminal-stage answers (power/MC full vectors) owe a bound too when
+  // one was asked for. The MC half-width already is a per-coordinate
+  // bound; the power stage's scalar residual is NOT, so recompute the
+  // true full-system residual rho = c q - H r and bound via ||rho||_1/c.
+  real_t terminal_bound = 0.0;
+  if (!back_substitute && (control.eps > 0.0 || topk != nullptr) &&
+      !report.attempts.empty()) {
+    const SolveAttempt& producing = report.attempts.back();
+    if (producing.stage != "power" || !SupportsGlobalPowerFallback(dec_)) {
+      terminal_bound = producing.residual;
+    } else {
+      Vector rho1 = cq1, rho2 = cq2, rho3 = cq3;
+      if (n1 > 0) {
+        dec_.h11.MultiplyAdd(-1.0, r1, &rho1);
+        if (n2 > 0) dec_.h12.MultiplyAdd(-1.0, r2, &rho1);
+        if (n3 > 0) dec_.h31.MultiplyAdd(-1.0, r1, &rho3);
+      }
+      if (n2 > 0) {
+        if (n1 > 0) dec_.h21.MultiplyAdd(-1.0, r1, &rho2);
+        dec_.h22.MultiplyAdd(-1.0, r2, &rho2);
+        if (n3 > 0) dec_.h32.MultiplyAdd(-1.0, r2, &rho3);
+      }
+      real_t norm1 = 0.0;
+      for (real_t v : rho1) norm1 += std::abs(v);
+      for (real_t v : rho2) norm1 += std::abs(v);
+      for (index_t i = 0; i < n3; ++i) {
+        norm1 += std::abs(rho3[static_cast<std::size_t>(i)] -
+                          r3[static_cast<std::size_t>(i)]);
+      }
+      terminal_bound = FullSystemScoreBound(norm1, options_.restart_prob);
+    }
+  }
+  bool topk_answered = false;
+  if (topk != nullptr && back_substitute) {
+    // Pruned top-k back-substitution: valid for ANY Schur iterate the
+    // chain returns (whichever hop produced it, converged or partial),
+    // because the dense path would back-substitute the very same r2 — the
+    // pruning bounds only have to contain that dense result.
+    TraceSpan topk_span("query.topk_backsub");
+    real_t bound = eps_bound;
+    if (bound == 0.0 && report.final_outcome == SolveOutcome::kCancelled) {
+      // Exact-mode partial result: the truncation error is real, report
+      // the same residual-derived bound eps mode would.
+      bound = EpsErrorBound(q2_tilde, r2);
+    }
+    *topk_out = PrunedTopK(dec_, *topk_tables_, inverse_perm_,
+                           kern.schur.compact(), cq1, cq3, r2, bound, *topk);
+    topk_span.Arg("candidates", topk_out->candidates);
+    topk_span.Arg("pruned_rows", topk_out->pruned_rows);
+    topk_answered = true;
+  } else if (back_substitute) {
     TraceSpan backsub_span("query.back_substitution");
     // r1 = U1^{-1} (L1^{-1} (c q1 - H12 r2))  (line 5).
     if (n1 > 0) {
@@ -447,21 +625,26 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
     }
   }
 
-  // Concatenate and undo the node reordering (line 7).
-  Vector result(static_cast<std::size_t>(dec_.n));
-  for (index_t i = 0; i < n1; ++i) {
-    result[static_cast<std::size_t>(inverse_perm_[static_cast<std::size_t>(i)])] =
-        r1[static_cast<std::size_t>(i)];
-  }
-  for (index_t i = 0; i < n2; ++i) {
-    result[static_cast<std::size_t>(
-        inverse_perm_[static_cast<std::size_t>(n1 + i)])] =
-        r2[static_cast<std::size_t>(i)];
-  }
-  for (index_t i = 0; i < n3; ++i) {
-    result[static_cast<std::size_t>(
-        inverse_perm_[static_cast<std::size_t>(n1 + n2 + i)])] =
-        r3[static_cast<std::size_t>(i)];
+  // Concatenate and undo the node reordering (line 7). A pruned top-k
+  // answer skips this: its deliverable is topk_out's sorted pairs.
+  Vector result;
+  if (!topk_answered) {
+    result.resize(static_cast<std::size_t>(dec_.n));
+    for (index_t i = 0; i < n1; ++i) {
+      result[static_cast<std::size_t>(
+          inverse_perm_[static_cast<std::size_t>(i)])] =
+          r1[static_cast<std::size_t>(i)];
+    }
+    for (index_t i = 0; i < n2; ++i) {
+      result[static_cast<std::size_t>(
+          inverse_perm_[static_cast<std::size_t>(n1 + i)])] =
+          r2[static_cast<std::size_t>(i)];
+    }
+    for (index_t i = 0; i < n3; ++i) {
+      result[static_cast<std::size_t>(
+          inverse_perm_[static_cast<std::size_t>(n1 + n2 + i)])] =
+          r3[static_cast<std::size_t>(i)];
+    }
   }
   const double seconds = timer.Seconds();
   if (MetricsEnabled()) {
@@ -492,6 +675,13 @@ Result<Vector> BepiSolver::SolveFromSlices(const Vector& cq1,
       stats->iterations = producing.iterations;
       stats->residual = producing.residual;
       stats->outcome = producing.outcome;
+      // Eps mode owes a sup-norm bound however the query was answered:
+      // the residual-derived one when back-substitution ran, the
+      // producing stage's own error metric (power residual, MC confidence
+      // half-width) when a terminal stage built the vector directly.
+      if (control.eps > 0.0 || (topk != nullptr && !back_substitute)) {
+        stats->error_bound = back_substitute ? eps_bound : terminal_bound;
+      }
     } else {
       stats->iterations = 0;
       stats->residual = 0.0;
@@ -517,6 +707,19 @@ Status BepiSolver::QueryMulti(const std::vector<MultiQueryItem>& items,
   // chain.
   auto solo = [&](std::size_t j) {
     MultiQueryResult& res = (*results)[j];
+    if (items[j].topk.k > 0) {
+      Result<TopKResult> r = QueryTopK(items[j].seed, items[j].topk,
+                                       &res.stats, /*workspace=*/nullptr,
+                                       items[j].control);
+      if (r.ok()) {
+        res.topk = std::move(r).value();
+        res.status = Status::Ok();
+      } else {
+        res.status = r.status();
+      }
+      res.coalesced = false;
+      return;
+    }
     Result<Vector> r = Query(items[j].seed, &res.stats, /*workspace=*/nullptr,
                              items[j].control);
     if (r.ok()) {
@@ -549,6 +752,23 @@ Status BepiSolver::QueryMulti(const std::vector<MultiQueryItem>& items,
   for (std::size_t j = 0; j < items.size(); ++j) {
     if (items[j].seed < 0 || items[j].seed >= dec_.n) {
       (*results)[j].status = Status::OutOfRange("seed out of range");
+      continue;
+    }
+    // Eps-mode top-k items solve solo: their truncated tolerance must not
+    // leak into the lockstep solve of coalesced neighbors. Invalid k also
+    // routes through solo so QueryTopK's validation names the error.
+    // Exact top-k items stay blockable — only their back-substitution
+    // differs from a dense column.
+    const TopKOptions& tk = items[j].topk;
+    if (tk.k > 0 && (tk.mode == TopKMode::kEps || tk.k > dec_.n)) {
+      solo(j);
+      continue;
+    }
+    // A warm-started item's iterate sequence differs from the zero-start
+    // blocked solve; keep the bit-identical-to-solo contract by solving it
+    // solo.
+    if (items[j].control.warm_start_mc && mc_ != nullptr) {
+      solo(j);
       continue;
     }
     blockable.push_back(j);
@@ -644,71 +864,18 @@ Status BepiSolver::QueryMulti(const std::vector<MultiQueryItem>& items,
   }
   if (conv.empty()) return Status::Ok();
 
-  // Blocked back-substitution (Algorithm 4 lines 5-6 over panels):
-  //   r1 = H11^{-1} (c q1 - H12 r2),  r3 = c q3 - H31 r1 - H32 r2.
-  const index_t kc = static_cast<index_t>(conv.size());
-  const std::size_t kcz = static_cast<std::size_t>(kc);
-  std::vector<real_t> r2_panel(static_cast<std::size_t>(n2) * kcz);
-  for (std::size_t q = 0; q < kcz; ++q) {
-    const Vector& x = bcols[conv[q]].x;
-    for (index_t i = 0; i < n2; ++i) {
-      r2_panel[static_cast<std::size_t>(i) * kcz + q] =
-          x[static_cast<std::size_t>(i)];
-    }
-  }
-  std::vector<real_t> r1_panel, r3_panel;
-  {
-    TraceSpan backsub_span("query.back_substitution");
-    if (n1 > 0) {
-      std::vector<real_t> rhs1(static_cast<std::size_t>(n1) * kcz, 0.0);
-      for (std::size_t q = 0; q < kcz; ++q) {
-        const index_t pos = pos_of[conv[q]];
-        if (pos < n1) rhs1[static_cast<std::size_t>(pos) * kcz + q] = c;
-      }
-      kern.h12.MultiplyAddMulti(-1.0, r2_panel.data(), kc, rhs1.data());
-      r1_panel.resize(static_cast<std::size_t>(n1) * kcz);
-      kern.ApplyH11InverseMulti(rhs1.data(), kc, r1_panel.data(), &panel_tmp);
-    }
-    r3_panel.assign(static_cast<std::size_t>(n3) * kcz, 0.0);
-    for (std::size_t q = 0; q < kcz; ++q) {
-      const index_t pos = pos_of[conv[q]];
-      if (pos >= n1 + n2) {
-        r3_panel[static_cast<std::size_t>(pos - n1 - n2) * kcz + q] = c;
-      }
-    }
-    if (n3 > 0) {
-      if (n1 > 0) kern.h31.MultiplyAddMulti(-1.0, r1_panel.data(), kc,
-                                            r3_panel.data());
-      kern.h32.MultiplyAddMulti(-1.0, r2_panel.data(), kc, r3_panel.data());
-    }
+  // Exact top-k columns skip the dense panel back-substitution: each gets
+  // a pruned per-column pass over its converged r2 instead (bit-identical
+  // to the solo path by BlockGmres's per-column contract).
+  std::vector<std::size_t> conv_dense, conv_topk;
+  for (std::size_t jj : conv) {
+    (items[blockable[jj]].topk.k > 0 ? conv_topk : conv_dense).push_back(jj);
   }
 
-  // Reassemble each converged column (line 7) and fill its stats exactly
-  // the way the scalar tail does for a primary-hop success.
+  // Fills attempt/report/metrics/stats for a coalesced primary-hop
+  // success, identically for dense and top-k columns.
   const double seconds = timer.Seconds();
-  for (std::size_t q = 0; q < kcz; ++q) {
-    const std::size_t jj = conv[q];
-    const std::size_t j = blockable[jj];
-    MultiQueryResult& res = (*results)[j];
-    res.coalesced = true;
-    res.status = Status::Ok();
-    res.scores.resize(static_cast<std::size_t>(dec_.n));
-    for (index_t i = 0; i < n1; ++i) {
-      res.scores[static_cast<std::size_t>(
-          inverse_perm_[static_cast<std::size_t>(i)])] =
-          r1_panel[static_cast<std::size_t>(i) * kcz + q];
-    }
-    for (index_t i = 0; i < n2; ++i) {
-      res.scores[static_cast<std::size_t>(
-          inverse_perm_[static_cast<std::size_t>(n1 + i)])] =
-          r2_panel[static_cast<std::size_t>(i) * kcz + q];
-    }
-    for (index_t i = 0; i < n3; ++i) {
-      res.scores[static_cast<std::size_t>(
-          inverse_perm_[static_cast<std::size_t>(n1 + n2 + i)])] =
-          r3_panel[static_cast<std::size_t>(i) * kcz + q];
-    }
-
+  const auto finish_col = [&](std::size_t jj, MultiQueryResult* res) {
     SolveAttempt attempt;
     attempt.stage = stage;
     attempt.outcome = SolveOutcome::kConverged;
@@ -717,7 +884,7 @@ Status BepiSolver::QueryMulti(const std::vector<MultiQueryItem>& items,
     // Wall time the request spent waiting on the shared blocked solve —
     // the latency it observed, not a per-column slice of the work.
     attempt.seconds = hop_seconds;
-    const char* request_id = items[j].control.request_id;
+    const char* request_id = items[blockable[jj]].control.request_id;
     if (MetricsEnabled()) {
       MetricsRegistry::Global()
           .GetCounter("solver.attempts." + attempt.stage)
@@ -739,12 +906,100 @@ Status BepiSolver::QueryMulti(const std::vector<MultiQueryItem>& items,
       hops->Increment(static_cast<std::uint64_t>(report.fallback_hops()));
       latency->RecordAlways(seconds);
     }
-    res.stats.seconds = seconds;
-    res.stats.total_iterations = report.total_iterations();
-    res.stats.iterations = attempt.iterations;
-    res.stats.residual = attempt.residual;
-    res.stats.outcome = attempt.outcome;
-    res.stats.report = std::move(report);
+    res->coalesced = true;
+    res->status = Status::Ok();
+    res->stats.seconds = seconds;
+    res->stats.total_iterations = report.total_iterations();
+    res->stats.iterations = attempt.iterations;
+    res->stats.residual = attempt.residual;
+    res->stats.outcome = attempt.outcome;
+    res->stats.report = std::move(report);
+  };
+
+  // Blocked back-substitution (Algorithm 4 lines 5-6 over panels):
+  //   r1 = H11^{-1} (c q1 - H12 r2),  r3 = c q3 - H31 r1 - H32 r2.
+  if (!conv_dense.empty()) {
+    const index_t kc = static_cast<index_t>(conv_dense.size());
+    const std::size_t kcz = static_cast<std::size_t>(kc);
+    std::vector<real_t> r2_panel(static_cast<std::size_t>(n2) * kcz);
+    for (std::size_t q = 0; q < kcz; ++q) {
+      const Vector& x = bcols[conv_dense[q]].x;
+      for (index_t i = 0; i < n2; ++i) {
+        r2_panel[static_cast<std::size_t>(i) * kcz + q] =
+            x[static_cast<std::size_t>(i)];
+      }
+    }
+    std::vector<real_t> r1_panel, r3_panel;
+    {
+      TraceSpan backsub_span("query.back_substitution");
+      if (n1 > 0) {
+        std::vector<real_t> rhs1(static_cast<std::size_t>(n1) * kcz, 0.0);
+        for (std::size_t q = 0; q < kcz; ++q) {
+          const index_t pos = pos_of[conv_dense[q]];
+          if (pos < n1) rhs1[static_cast<std::size_t>(pos) * kcz + q] = c;
+        }
+        kern.h12.MultiplyAddMulti(-1.0, r2_panel.data(), kc, rhs1.data());
+        r1_panel.resize(static_cast<std::size_t>(n1) * kcz);
+        kern.ApplyH11InverseMulti(rhs1.data(), kc, r1_panel.data(),
+                                  &panel_tmp);
+      }
+      r3_panel.assign(static_cast<std::size_t>(n3) * kcz, 0.0);
+      for (std::size_t q = 0; q < kcz; ++q) {
+        const index_t pos = pos_of[conv_dense[q]];
+        if (pos >= n1 + n2) {
+          r3_panel[static_cast<std::size_t>(pos - n1 - n2) * kcz + q] = c;
+        }
+      }
+      if (n3 > 0) {
+        if (n1 > 0) kern.h31.MultiplyAddMulti(-1.0, r1_panel.data(), kc,
+                                              r3_panel.data());
+        kern.h32.MultiplyAddMulti(-1.0, r2_panel.data(), kc, r3_panel.data());
+      }
+    }
+
+    // Reassemble each dense converged column (line 7) and fill its stats
+    // exactly the way the scalar tail does for a primary-hop success.
+    for (std::size_t q = 0; q < kcz; ++q) {
+      const std::size_t jj = conv_dense[q];
+      MultiQueryResult& res = (*results)[blockable[jj]];
+      res.scores.resize(static_cast<std::size_t>(dec_.n));
+      for (index_t i = 0; i < n1; ++i) {
+        res.scores[static_cast<std::size_t>(
+            inverse_perm_[static_cast<std::size_t>(i)])] =
+            r1_panel[static_cast<std::size_t>(i) * kcz + q];
+      }
+      for (index_t i = 0; i < n2; ++i) {
+        res.scores[static_cast<std::size_t>(
+            inverse_perm_[static_cast<std::size_t>(n1 + i)])] =
+            r2_panel[static_cast<std::size_t>(i) * kcz + q];
+      }
+      for (index_t i = 0; i < n3; ++i) {
+        res.scores[static_cast<std::size_t>(
+            inverse_perm_[static_cast<std::size_t>(n1 + n2 + i)])] =
+            r3_panel[static_cast<std::size_t>(i) * kcz + q];
+      }
+      finish_col(jj, &res);
+    }
+  }
+
+  // Exact top-k columns: pruned back-substitution over each converged r2
+  // column. score_bound 0 — the column met the solver tolerance, so the
+  // hub scores are as exact as a solo converged solve's.
+  for (std::size_t jj : conv_topk) {
+    const std::size_t j = blockable[jj];
+    MultiQueryResult& res = (*results)[j];
+    const index_t pos = pos_of[jj];
+    Vector cq1_j(static_cast<std::size_t>(n1), 0.0);
+    Vector cq3_j(static_cast<std::size_t>(n3), 0.0);
+    if (pos < n1) {
+      cq1_j[static_cast<std::size_t>(pos)] = c;
+    } else if (pos >= n1 + n2) {
+      cq3_j[static_cast<std::size_t>(pos - n1 - n2)] = c;
+    }
+    res.topk = PrunedTopK(dec_, *topk_tables_, inverse_perm_,
+                          kern.schur.compact(), cq1_j, cq3_j, bcols[jj].x,
+                          /*score_bound=*/0.0, items[j].topk);
+    finish_col(jj, &res);
   }
   return Status::Ok();
 }
@@ -993,6 +1248,18 @@ Status BepiSolver::Save(std::ostream& out) const {
     }
     BEPI_RETURN_IF_ERROR(writer.Add("kernel", payload.str()));
   }
+  // Spoke block layout, consumed by the top-k pruning tables
+  // (core/topk.hpp). Trailing like "kernel" so pre-topk readers drain it
+  // untouched; loaders of older files fall back to a single coarse block.
+  if (!dec_.block_sizes.empty()) {
+    std::ostringstream payload;
+    payload << dec_.block_sizes.size() << "\n";
+    for (std::size_t b = 0; b < dec_.block_sizes.size(); ++b) {
+      payload << dec_.block_sizes[b]
+              << (b + 1 == dec_.block_sizes.size() ? '\n' : ' ');
+    }
+    BEPI_RETURN_IF_ERROR(writer.Add("blocks", payload.str()));
+  }
   BEPI_RETURN_IF_ERROR(writer.Finish());
   if (!out) return Status::IoError("failed writing BePI model stream");
   return Status::Ok();
@@ -1040,7 +1307,39 @@ Result<BepiSolver> BepiSolver::LoadV3(std::istream& in) {
   // unknown is skipped for forward compatibility.
   while (!reader.done()) {
     BEPI_ASSIGN_OR_RETURN(std::optional<Section> extra, reader.Next());
-    if (!extra.has_value() || extra->name != "kernel") continue;
+    if (!extra.has_value()) continue;
+    if (extra->name == "blocks") {
+      // Spoke block layout for the top-k pruning tables. Strictly
+      // optional: a malformed or missing section only costs pruning
+      // granularity (single-block fallback), never the load.
+      std::istringstream blocks_in(extra->payload);
+      std::int64_t nb = 0;
+      blocks_in >> nb;
+      const std::int64_t limit =
+          static_cast<std::int64_t>(extra->payload.size());
+      if (!blocks_in || nb < 0 || nb > limit / 2 + 1) {
+        BEPI_LOG(Warning) << "malformed model blocks section; ignoring";
+        continue;
+      }
+      std::vector<index_t> sizes(static_cast<std::size_t>(nb));
+      index_t sum = 0;
+      bool valid = true;
+      for (index_t& s : sizes) {
+        if (!(blocks_in >> s) || s <= 0) {
+          valid = false;
+          break;
+        }
+        sum += s;
+      }
+      if (!valid || sum != dec.n1) {
+        BEPI_LOG(Warning) << "model blocks section does not tile the spoke "
+                             "partition; ignoring";
+        continue;
+      }
+      dec.block_sizes = std::move(sizes);
+      continue;
+    }
+    if (extra->name != "kernel") continue;
     std::istringstream kernel_in(extra->payload);
     std::string tag, path_name;
     if (kernel_in >> tag >> path_name && tag == "path") {

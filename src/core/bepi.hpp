@@ -18,6 +18,7 @@
 #include "common/cancel.hpp"
 #include "core/decomposition.hpp"
 #include "core/rwr.hpp"
+#include "core/topk.hpp"
 #include "solver/ilu0.hpp"
 
 namespace bepi {
@@ -88,6 +89,19 @@ struct QueryControl {
   /// followed across the whole degradation chain. Not owned; must outlive
   /// the query. May be null (non-serve callers).
   const char* request_id = nullptr;
+  /// Bounded-error approximate mode: when > 0 the Schur solve stops at
+  /// this relative residual tolerance instead of the model's, and a clean
+  /// solve computes its true residual and reports the propagated sup-norm
+  /// per-score bound in QueryStats::error_bound (core/topk.hpp
+  /// ScoreErrorBound — the bound crosscheck verifies against the MC
+  /// oracle). 0 leaves the solve bit-identical to the default path.
+  real_t eps = 0.0;
+  /// Seed the Schur solve's initial iterate from a cheap Monte-Carlo
+  /// estimate (the attached AttachMcFallback engine) instead of zero —
+  /// ROADMAP item 3's warm start, off by default because a nonzero x0
+  /// changes the iterate sequence (fewer restart cycles, different bits).
+  /// Ignored when no MC engine is attached.
+  bool warm_start_mc = false;
 };
 
 /// One seed of a coalesced multi-seed query (BepiSolver::QueryMulti):
@@ -95,6 +109,13 @@ struct QueryControl {
 struct MultiQueryItem {
   index_t seed = 0;
   QueryControl control;
+  /// Top-k execution request (core/topk.hpp). topk.k == 0 (the default)
+  /// answers densely; topk.k >= 1 makes the result's `topk` field the
+  /// deliverable (scores stays empty). Exact-mode top-k items still join
+  /// the blocked Schur solve — only their back-substitution is pruned per
+  /// column — while eps-mode items solve solo (their truncated tolerance
+  /// must not leak into coalesced neighbors).
+  TopKOptions topk;
 };
 
 /// Per-seed verdict of QueryMulti. `scores`/`stats` are meaningful only
@@ -108,6 +129,8 @@ struct MultiQueryResult {
   Vector scores;
   QueryStats stats;
   bool coalesced = false;
+  /// Filled (and `scores` left empty) when the item requested top-k.
+  TopKResult topk;
 };
 
 /// Structural metadata produced by preprocessing; consumed by the
@@ -181,6 +204,20 @@ class BepiSolver final : public RwrSolver {
   /// each MultiQueryResult::status.
   Status QueryMulti(const std::vector<MultiQueryItem>& items,
                     std::vector<MultiQueryResult>* results) const;
+  /// Top-k query (core/topk.hpp): a converged Schur solve followed by
+  /// pruned back-substitution that touches only rows which could enter the
+  /// top k. Exact mode returns entries byte-identical to
+  /// TopK(Query(seed), k, opts.exclude); eps mode stops the Schur solve at
+  /// opts.eps and reports the honest per-score bound in
+  /// TopKResult::error_bound (mirrored into stats->error_bound). When the
+  /// solve degrades off the clean converged path (fallback hops, partial
+  /// results, the BiCGSTAB ablation, power/MC stages) the query still
+  /// answers — a full solve is sorted instead, with the producing
+  /// attempt's residual as the bound and TopKResult::pruned == false.
+  Result<TopKResult> QueryTopK(index_t seed, const TopKOptions& opts,
+                               QueryStats* stats = nullptr,
+                               GmresWorkspace* workspace = nullptr,
+                               const QueryControl& control = {}) const;
   std::uint64_t PreprocessedBytes() const override;
 
   /// Arms the Monte-Carlo walk engine (engine/mc) as the terminal stage of
@@ -228,11 +265,28 @@ class BepiSolver final : public RwrSolver {
 
  private:
   /// Runs Algorithm 4 given the already-partitioned scaled start vector
-  /// (c*q sliced along [n1 | n2 | n3] in reordered ids).
+  /// (c*q sliced along [n1 | n2 | n3] in reordered ids). With a non-null
+  /// `topk`, a Schur iterate that reaches back-substitution is answered by
+  /// the pruned top-k path instead: `*topk_out` is filled (pruned == true)
+  /// and the returned vector is empty. Degraded paths that produce the
+  /// full vector directly (power, MC) ignore `topk` and return the vector
+  /// for the caller to sort.
   Result<Vector> SolveFromSlices(const Vector& cq1, const Vector& cq2,
                                  const Vector& cq3, QueryStats* stats,
                                  GmresWorkspace* workspace,
-                                 const QueryControl& control) const;
+                                 const QueryControl& control,
+                                 const TopKOptions* topk = nullptr,
+                                 TopKResult* topk_out = nullptr) const;
+
+  /// Shared eps-mode epilogue: computes the true Schur residual of `r2`
+  /// against `q2_tilde` and returns the propagated sup-norm score bound.
+  real_t EpsErrorBound(const Vector& q2_tilde, const Vector& r2) const;
+
+  /// Cheap MC estimate of the hub slice used as the GMRES initial iterate
+  /// (QueryControl::warm_start_mc). Returns false (x0 untouched) when no
+  /// engine is attached or the estimate fails.
+  bool McWarmStart(const Vector& cq1, const Vector& cq2, const Vector& cq3,
+                   const QueryControl& control, Vector* x0) const;
 
   /// Sectioned, per-section-checksummed format (header already consumed).
   static Result<BepiSolver> LoadV3(std::istream& in);
@@ -267,6 +321,9 @@ class BepiSolver final : public RwrSolver {
   /// BindQueryKernels.
   std::optional<KernelPath> loaded_path_;
   std::optional<LevelSchedule> loaded_lower_, loaded_upper_;
+  /// Absolute-row-sum tables for top-k pruning and eps error bounds
+  /// (core/topk.hpp); rebuilt alongside the kernels in BindQueryKernels.
+  std::unique_ptr<TopKBoundTables> topk_tables_;
   Permutation inverse_perm_;  // new -> old
   BepiPreprocessInfo info_;
   bool preprocessed_ = false;

@@ -80,7 +80,7 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
     Timer hop_timer;
     SolveStats stats;
     BEPI_ASSIGN_OR_RETURN(Vector x, Gmres(op, b, gm, &stats, ilu_,
-                                          /*x0=*/nullptr,
+                                          options_.x0,
                                           options_.gmres_workspace));
     const SolveAttempt attempt =
         MakeAttempt("ilu0+gmres", stats, hop_timer.Seconds());
@@ -107,7 +107,7 @@ Result<Vector> ResilientSchurSolver::Solve(const Vector& b,
     SolveStats stats;
     JacobiPreconditioner jacobi(schur_);
     BEPI_ASSIGN_OR_RETURN(Vector x, Gmres(op, b, gm, &stats, &jacobi,
-                                          /*x0=*/nullptr,
+                                          options_.x0,
                                           options_.gmres_workspace));
     const SolveAttempt attempt =
         MakeAttempt("jacobi+gmres", stats, hop_timer.Seconds());

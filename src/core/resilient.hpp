@@ -54,6 +54,11 @@ struct ResilientSolveOptions {
   /// server/protocol.hpp); attached to flight-recorder stage-hop events
   /// and hop trace spans. May be null outside the serve path.
   const char* request_id = nullptr;
+  /// Initial iterate for the GMRES hops (may be null = start from zero).
+  /// The MC warm start (QueryControl::warm_start_mc) lands here; a
+  /// nonzero guess changes the iterate sequence, so the default path
+  /// never sets it. Not owned; must outlive the solve.
+  const Vector* x0 = nullptr;
 };
 
 /// Solves S x = b through the Krylov hops of the degradation chain.

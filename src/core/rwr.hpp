@@ -69,6 +69,11 @@ struct QueryStats {
   /// Verdict of the solve that produced the result (direct methods and
   /// solvers without structured reporting leave kConverged).
   SolveOutcome outcome = SolveOutcome::kConverged;
+  /// Sup-norm bound on the per-score error of the returned vector vs the
+  /// true RWR solution, derived from the true Schur residual (see
+  /// core/topk.hpp ScoreErrorBound). Only eps-mode queries
+  /// (QueryControl::eps > 0 or TopKMode::kEps) fill it; 0 otherwise.
+  real_t error_bound = 0.0;
   /// Degradation-chain trace (empty for solvers that do not report one).
   QueryReport report;
 };

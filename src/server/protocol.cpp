@@ -369,6 +369,10 @@ Result<Request> ParseRequest(const std::string& line) {
   }
 
   bool saw_seed = false;
+  bool saw_topk = false;
+  bool saw_top_k = false;
+  bool saw_mode = false;
+  bool saw_eps = false;
   for (const auto& [key, value] : root.object_value) {
     if (key == "op") continue;
     if (key == "id") {
@@ -415,6 +419,36 @@ Result<Request> ParseRequest(const std::string& line) {
         return BadArg("\"topk\" must be an integer in [0, 1e9]");
       }
       req.topk = static_cast<index_t>(value.number_value);
+      saw_topk = true;
+    } else if (key == "top_k") {
+      if (value.type != JsonValue::Type::kNumber ||
+          !value.number_is_integral || value.number_value < 1 ||
+          value.number_value > 1e9) {
+        return BadArg("\"top_k\" must be an integer in [1, 1e9]");
+      }
+      req.top_k = static_cast<index_t>(value.number_value);
+      saw_top_k = true;
+    } else if (key == "mode") {
+      if (value.type != JsonValue::Type::kString) {
+        return BadArg("\"mode\" must be \"exact\" or \"eps\"");
+      }
+      if (value.string_value == "exact") {
+        req.mode_eps = false;
+      } else if (value.string_value == "eps") {
+        req.mode_eps = true;
+      } else {
+        return BadArg("\"mode\" must be \"exact\" or \"eps\", got \"" +
+                      value.string_value + "\"");
+      }
+      saw_mode = true;
+    } else if (key == "eps") {
+      if (value.type != JsonValue::Type::kNumber ||
+          !std::isfinite(value.number_value) ||
+          !(value.number_value > 0.0)) {
+        return BadArg("\"eps\" must be a finite number > 0");
+      }
+      req.eps = value.number_value;
+      saw_eps = true;
     } else if (key == "deadline_ms") {
       if (value.type != JsonValue::Type::kNumber ||
           !(value.number_value > 0.0) || value.number_value > 86400000.0) {
@@ -437,6 +471,23 @@ Result<Request> ParseRequest(const std::string& line) {
   }
   if (req.op == RequestOp::kQuery && !saw_seed) {
     return BadArg("query requires an integer \"seed\"");
+  }
+  // Cross-field checks for the top-k query mode: each error names the
+  // offending key so a client can fix the exact field.
+  if (saw_mode && !saw_top_k) {
+    return BadArg("\"mode\" requires \"top_k\"");
+  }
+  if (saw_eps && !req.mode_eps) {
+    return BadArg("\"eps\" requires \"mode\":\"eps\"");
+  }
+  if (req.mode_eps && !saw_eps) {
+    return BadArg("\"mode\":\"eps\" requires \"eps\"");
+  }
+  if (saw_top_k && req.want_scores) {
+    return BadArg("\"top_k\" is incompatible with \"scores\":true");
+  }
+  if (saw_top_k && saw_topk) {
+    return BadArg("\"top_k\" is incompatible with \"topk\"");
   }
   return req;
 }

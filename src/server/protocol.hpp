@@ -5,8 +5,19 @@
 //   {"op":"query","seed":3}                                  minimal
 //   {"op":"query","id":"a1","request_id":"r-7","seed":3,"topk":5,
 //    "deadline_ms":50,"allow_partial":true,"scores":true}    everything
+//   {"op":"query","seed":3,"top_k":10}                       pruned top-k
+//   {"op":"query","seed":3,"top_k":10,"mode":"eps",
+//    "eps":1e-6}                                             bounded-error
 //   {"op":"health"}   {"op":"stats"}                         probes
 //   {"op":"metrics"}  {"op":"dump"}                          observability
+//
+// "topk" (render count) truncates the ranking attached to a full solve;
+// "top_k" (query mode) routes the request through the pruned
+// back-substitution top-k engine instead — the response's "topk" array
+// then holds exactly k sorted [node,score] pairs, plus "mode" and (for
+// mode "eps") a per-score error "bound". "top_k" is incompatible with
+// "scores":true (the pruned path never materializes the full vector) and
+// with "topk". "mode":"eps" requires "eps" (finite, > 0) and vice versa.
 //
 // "request_id" is the trace context: client-supplied (or minted by the
 // server when absent), echoed in the response, threaded through
@@ -87,6 +98,14 @@ struct Request {
   std::string request_id;
   index_t seed = 0;
   index_t topk = 10;
+  /// Top-k query mode ("top_k" key): 0 = dense solve (default); >= 1
+  /// routes through the pruned top-k engine. The parser enforces
+  /// [1, 1e9]; the server additionally rejects top_k > n.
+  index_t top_k = 0;
+  /// "mode":"eps" — stop the Schur solve at `eps` and report a per-score
+  /// error bound. Only meaningful when top_k > 0.
+  bool mode_eps = false;
+  double eps = 0.0;
   double deadline_ms = 0.0;  // 0 = no per-request deadline
   bool allow_partial = false;
   bool want_scores = false;

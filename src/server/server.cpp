@@ -487,6 +487,21 @@ void QueryServer::HandleLine(const std::shared_ptr<Conn>& conn,
                                   -1.0, req.request_id));
     return;
   }
+  // The parser caps top_k at 1e9 without knowing the model; n is only
+  // known here.
+  if (req.top_k > n) {
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    FlightRecord(FlightEventType::kShed, req.request_id.c_str(),
+                 "top_k out of range", req.top_k);
+    WriteToConn(conn,
+                ErrorResponseLine(req.id_json,
+                                  protocol_errors::kInvalidArgument,
+                                  "top_k " + std::to_string(req.top_k) +
+                                      " out of range [1, " +
+                                      std::to_string(n) + "]",
+                                  -1.0, req.request_id));
+    return;
+  }
 
   auto token = std::make_shared<CancelToken>();
   const double deadline_ms =
@@ -611,6 +626,14 @@ void QueryServer::ExecuteBatch(int slot) {
     std::unordered_map<index_t, std::size_t> group_of;
     group_of.reserve(missed.size());
     for (const std::size_t i : missed) {
+      // Top-k deliverables never share: their answer shape depends on
+      // (k, mode, eps), not just the seed. Each gets a singleton group —
+      // exact-mode items still join the blocked Schur solve inside
+      // QueryMulti; only their back-substitution is per-column.
+      if (batch[i].req.top_k > 0) {
+        groups.emplace_back(1, i);
+        continue;
+      }
       const auto [it, inserted] =
           group_of.emplace(batch[i].req.seed, groups.size());
       if (inserted) groups.emplace_back();
@@ -627,6 +650,13 @@ void QueryServer::ExecuteBatch(int slot) {
     item.control.cancel = primary.token.get();
     item.control.allow_partial = primary.req.allow_partial;
     item.control.request_id = primary.req.request_id.c_str();
+    if (primary.req.top_k > 0) {
+      item.topk.k = primary.req.top_k;
+      item.topk.mode =
+          primary.req.mode_eps ? TopKMode::kEps : TopKMode::kExact;
+      item.topk.eps = static_cast<real_t>(primary.req.eps);
+      item.topk.exclude = primary.req.seed;
+    }
     items.push_back(item);
   }
   std::vector<MultiQueryResult> results;
@@ -654,14 +684,16 @@ void QueryServer::ExecuteBatch(int slot) {
         continue;
       }
       const MultiQueryResult& r = results[g];
+      const bool is_topk = pq.req.top_k > 0;  // singleton group by construction
       const bool shareable =
           r.status.ok() && r.stats.outcome == SolveOutcome::kConverged;
       if (m == 0 || shareable) {
         Result<Vector> scores =
             r.status.ok() ? Result<Vector>(r.scores) : Result<Vector>(r.status);
         FinishQuery(pq.conn, pq.req, scores, r.stats, r.coalesced,
-                    /*insert_cache=*/m == 0, queue_ns, solve_ns,
-                    pq.admitted_at);
+                    /*insert_cache=*/m == 0 && !is_topk, queue_ns, solve_ns,
+                    pq.admitted_at,
+                    is_topk && r.status.ok() ? &r.topk : nullptr);
       } else {
         // Duplicate of a primary that failed or only partially finished:
         // re-solve under this request's own token and partial policy so a
@@ -687,8 +719,15 @@ bool QueryServer::TryCacheHit(const std::shared_ptr<Conn>& conn,
                               const Request& req, std::int64_t queue_ns,
                               Clock::time_point admitted_at) {
   if (!cache_.enabled()) return false;
+  // Eps-mode answers depend on the request's eps (truncated solve, its
+  // own bound): never served from — and never counted against — the
+  // cache. Exact top-k answers ARE the cached ranking's prefix: a
+  // demoted compact entry keeps serving top_k <= kCompactTopK.
+  if (req.mode_eps) return false;
+  const index_t lookup_k = req.top_k > 0 ? req.top_k : req.topk;
+  const bool lookup_scores = req.top_k > 0 ? false : req.want_scores;
   ScoreCacheHit hit;
-  if (!cache_.Lookup(fingerprint_, req.seed, req.topk, req.want_scores,
+  if (!cache_.Lookup(fingerprint_, req.seed, lookup_k, lookup_scores,
                      &hit)) {
     return false;
   }
@@ -741,6 +780,7 @@ bool QueryServer::TryCacheHit(const std::shared_ptr<Conn>& conn,
     out += "]";
   }
   out += "]";
+  if (req.top_k > 0) out += ",\"mode\":\"exact\"";
   if (req.want_scores) {
     out += ",\"scores\":[";
     for (std::size_t i = 0; i < hit.scores.size(); ++i) {
@@ -793,7 +833,19 @@ void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
   control.cancel = token.get();
   control.allow_partial = req.allow_partial;
   control.request_id = req.request_id.c_str();
-  auto scores = solver_.Query(req.seed, &stats, &ws.workspace, control);
+  Result<Vector> scores = Vector();
+  Result<TopKResult> tk = TopKResult();
+  if (req.top_k > 0) {
+    TopKOptions opts;
+    opts.k = req.top_k;
+    opts.mode = req.mode_eps ? TopKMode::kEps : TopKMode::kExact;
+    opts.eps = static_cast<real_t>(req.eps);
+    opts.exclude = req.seed;  // match the dense response's TopK(..., seed)
+    tk = solver_.QueryTopK(req.seed, opts, &stats, &ws.workspace, control);
+    if (!tk.ok()) scores = Result<Vector>(tk.status());
+  } else {
+    scores = solver_.Query(req.seed, &stats, &ws.workspace, control);
+  }
   const std::int64_t solve_ns = NowNs() - exec_start_ns;
 
   {
@@ -805,7 +857,9 @@ void QueryServer::ExecuteQuery(int slot, const std::shared_ptr<Conn>& conn,
   ws.wedged.store(false, std::memory_order_relaxed);
 
   FinishQuery(conn, req, scores, stats, /*coalesced=*/false,
-              /*insert_cache=*/true, queue_ns, solve_ns, admitted_at);
+              /*insert_cache=*/req.top_k == 0, queue_ns, solve_ns,
+              admitted_at,
+              req.top_k > 0 && tk.ok() ? &*tk : nullptr);
 }
 
 void QueryServer::FinishQuery(const std::shared_ptr<Conn>& conn,
@@ -814,7 +868,8 @@ void QueryServer::FinishQuery(const std::shared_ptr<Conn>& conn,
                               const QueryStats& stats, bool coalesced,
                               bool insert_cache, std::int64_t queue_ns,
                               std::int64_t solve_ns,
-                              Clock::time_point admitted_at) {
+                              Clock::time_point admitted_at,
+                              const TopKResult* topk) {
   const std::int64_t admitted_ns = ToEpochNs(admitted_at);
   const double total_seconds =
       std::chrono::duration<double>(Clock::now() - admitted_at).count();
@@ -893,7 +948,10 @@ void QueryServer::FinishQuery(const std::shared_ptr<Conn>& conn,
     AppendTimingJson(&out, queue_ns, solve_ns,
                      NowNs() - admitted_ns, stats.report);
     out += ",\"topk\":[";
-    const auto ranking = TopK(*scores, req.topk, req.seed);
+    // A top-k-mode deliverable already carries its sorted (node, score)
+    // pairs; a dense solve is ranked (and truncated) here.
+    const auto& ranking =
+        topk != nullptr ? topk->entries : TopK(*scores, req.topk, req.seed);
     for (std::size_t i = 0; i < ranking.size(); ++i) {
       if (i > 0) out += ",";
       out += "[";
@@ -903,6 +961,14 @@ void QueryServer::FinishQuery(const std::shared_ptr<Conn>& conn,
       out += "]";
     }
     out += "]";
+    if (topk != nullptr) {
+      out += ",\"mode\":";
+      out += req.mode_eps ? "\"eps\"" : "\"exact\"";
+      if (req.mode_eps) {
+        out += ",\"bound\":";
+        AppendReal(&out, topk->error_bound);
+      }
+    }
     if (req.want_scores) {
       out += ",\"scores\":[";
       const Vector& v = *scores;

@@ -315,7 +315,8 @@ BepiSolver* CacheServeTest::solver_ = nullptr;
 TEST_F(CacheServeTest, QueryMultiMatchesScalarQueryBitwise) {
   const std::vector<index_t> seeds = {1, 5, 9, 13, 42};
   std::vector<MultiQueryItem> items;
-  for (index_t s : seeds) items.push_back(MultiQueryItem{s, QueryControl{}});
+  for (index_t s : seeds)
+    items.push_back(MultiQueryItem{s, QueryControl{}, TopKOptions{}});
   std::vector<MultiQueryResult> results;
   ASSERT_TRUE(solver_->QueryMulti(items, &results).ok());
   ASSERT_EQ(results.size(), seeds.size());
@@ -471,6 +472,114 @@ TEST_F(CacheServeTest, CoalescedBatchMatchesScalarServeBitwise) {
   // land well inside the 500 ms window: at worst the first executes solo
   // and the remaining four coalesce.
   EXPECT_GE(coalesced_responses, 2) << "batching never engaged";
+}
+
+// --- Top-k query mode on the serve path --------------------------------
+
+TEST_F(CacheServeTest, TopKModeMatchesDenseRenderingBitwise) {
+  // A top_k request's pruned answer must render byte-for-byte the same
+  // "topk" array a dense solve's TopK rendering produces for the same k.
+  ServeOptions options;
+  options.slots = 1;
+  options.batch_max = 1;
+  auto lines = Serve({R"({"op":"query","id":1,"seed":17,"topk":7})",
+                      R"({"op":"query","id":2,"seed":17,"top_k":7})"},
+                     options);
+  ASSERT_EQ(lines.size(), 2u);
+  const std::string& dense = ById(lines, 1);
+  const std::string& topk = ById(lines, 2);
+  EXPECT_TRUE(test::IsValidJson(topk)) << topk;
+  EXPECT_NE(topk.find("\"ok\":true"), std::string::npos) << topk;
+  EXPECT_NE(topk.find("\"mode\":\"exact\""), std::string::npos) << topk;
+  EXPECT_EQ(dense.find("\"mode\""), std::string::npos) << dense;
+  const std::string a = JsonSlice(dense, "topk");
+  const std::string b = JsonSlice(topk, "topk");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(CacheServeTest, EpsTopKCarriesModeAndBound) {
+  ServeOptions options;
+  options.slots = 1;
+  options.batch_max = 1;
+  auto lines = Serve(
+      {R"({"op":"query","id":1,"seed":17,"top_k":5,"mode":"eps","eps":1e-4})"},
+      options);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(test::IsValidJson(lines[0])) << lines[0];
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"mode\":\"eps\""), std::string::npos) << lines[0];
+  const std::string bound = JsonSlice(lines[0], "bound");
+  ASSERT_FALSE(bound.empty()) << lines[0];
+  EXPECT_GT(std::stod(bound), 0.0);
+}
+
+TEST_F(CacheServeTest, ExactTopKServedFromCache) {
+  // A dense solve populates the cache; a later exact top_k request for
+  // the same seed is answered from it ("stage":"cache") with the same
+  // pairs a cold pruned query returns.
+  ServeOptions options;
+  options.slots = 1;
+  options.batch_max = 1;
+  options.cache_mb = 8;
+  std::istringstream in(
+      "{\"op\":\"query\",\"id\":1,\"seed\":17}\n"
+      "{\"op\":\"query\",\"id\":2,\"seed\":17,\"top_k\":7}\n");
+  std::ostringstream out;
+  QueryServer server(*solver_, options);
+  ASSERT_TRUE(server.ServeStream(in, out).ok());
+  std::vector<std::string> lines;
+  {
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  const std::string& hot = ById(lines, 2);
+  EXPECT_NE(hot.find("\"stage\":\"cache\""), std::string::npos) << hot;
+  EXPECT_NE(hot.find("\"mode\":\"exact\""), std::string::npos) << hot;
+  const ServerStatsSnapshot snap = server.Stats();
+  EXPECT_EQ(snap.cache_hits, 1u);
+
+  // Cold pruned reference (no cache): identical pairs, byte-for-byte.
+  ServeOptions cold_opts;
+  cold_opts.slots = 1;
+  cold_opts.batch_max = 1;
+  auto cold =
+      Serve({R"({"op":"query","id":1,"seed":17,"top_k":7})"}, cold_opts);
+  ASSERT_EQ(cold.size(), 1u);
+  EXPECT_EQ(JsonSlice(cold[0], "topk"), JsonSlice(hot, "topk"));
+}
+
+TEST_F(CacheServeTest, EpsTopKBypassesCache) {
+  // Eps answers depend on the request's eps; they are never served from
+  // the cache (and never counted against it), and never inserted.
+  ServeOptions options;
+  options.slots = 1;
+  options.batch_max = 1;
+  options.cache_mb = 8;
+  std::istringstream in(
+      "{\"op\":\"query\",\"id\":1,\"seed\":17}\n"
+      "{\"op\":\"query\",\"id\":2,\"seed\":17,\"top_k\":5,\"mode\":\"eps\","
+      "\"eps\":1e-4}\n"
+      "{\"op\":\"query\",\"id\":3,\"seed\":17,\"top_k\":5,\"mode\":\"eps\","
+      "\"eps\":1e-4}\n");
+  std::ostringstream out;
+  QueryServer server(*solver_, options);
+  ASSERT_TRUE(server.ServeStream(in, out).ok());
+  std::vector<std::string> lines;
+  {
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(ById(lines, 2).find("\"stage\":\"cache\""), std::string::npos);
+  EXPECT_EQ(ById(lines, 3).find("\"stage\":\"cache\""), std::string::npos);
+  const ServerStatsSnapshot snap = server.Stats();
+  EXPECT_EQ(snap.cache_hits, 0u);
+  // Only the dense query's lookup counted: eps requests bypass entirely.
+  EXPECT_EQ(snap.cache_misses, 1u);
 }
 
 }  // namespace

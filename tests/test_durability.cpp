@@ -345,8 +345,8 @@ TEST_F(ModelV3Test, SaveProducesVerifiableSections) {
   const IntegrityReport report = CheckIntegrity(in, "BEPI-MODEL");
   EXPECT_TRUE(report.overall.ok()) << report.overall.ToString();
   EXPECT_TRUE(report.manifest_ok);
-  // options + perm + 9 matrices + kernel path/schedules.
-  EXPECT_EQ(report.sections.size(), 12u);
+  // options + perm + 9 matrices + kernel path/schedules + spoke blocks.
+  EXPECT_EQ(report.sections.size(), 13u);
 }
 
 TEST_F(ModelV3Test, RoundTripIsBitwiseIdentical) {

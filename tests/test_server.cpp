@@ -143,6 +143,59 @@ TEST(ParseRequest, SchemaViolationsAreInvalidArgument) {
   }
 }
 
+TEST(ParseRequest, TopKModeFieldsParse) {
+  auto exact = ParseRequest(R"({"op":"query","seed":3,"top_k":25})");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->top_k, 25);
+  EXPECT_FALSE(exact->mode_eps);
+  EXPECT_EQ(exact->eps, 0.0);
+
+  auto explicit_exact =
+      ParseRequest(R"({"op":"query","seed":3,"top_k":25,"mode":"exact"})");
+  ASSERT_TRUE(explicit_exact.ok());
+  EXPECT_FALSE(explicit_exact->mode_eps);
+
+  auto eps = ParseRequest(
+      R"({"op":"query","seed":3,"top_k":5,"mode":"eps","eps":1e-6})");
+  ASSERT_TRUE(eps.ok());
+  EXPECT_EQ(eps->top_k, 5);
+  EXPECT_TRUE(eps->mode_eps);
+  EXPECT_DOUBLE_EQ(eps->eps, 1e-6);
+
+  // Plain queries are unaffected: top_k defaults to 0 (dense mode).
+  auto dense = ParseRequest(R"({"op":"query","seed":3})");
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(dense->top_k, 0);
+}
+
+TEST(ParseRequest, TopKModeRejectionsNameTheOffender) {
+  // Every malformed top-k request is rejected with a message naming the
+  // offending key, so clients can fix the exact field.
+  const struct {
+    const char* line;
+    const char* named;
+  } cases[] = {
+      {R"({"op":"query","seed":3,"top_k":0})", "top_k"},
+      {R"({"op":"query","seed":3,"top_k":1.5})", "top_k"},
+      {R"({"op":"query","seed":3,"top_k":"five"})", "top_k"},
+      {R"({"op":"query","seed":3,"top_k":5,"mode":"banana"})", "mode"},
+      {R"({"op":"query","seed":3,"top_k":5,"mode":"eps"})", "eps"},
+      {R"({"op":"query","seed":3,"top_k":5,"mode":"eps","eps":0})", "eps"},
+      {R"({"op":"query","seed":3,"top_k":5,"mode":"eps","eps":-1})", "eps"},
+      {R"({"op":"query","seed":3,"eps":0.001})", "eps"},
+      {R"({"op":"query","seed":3,"mode":"exact"})", "mode"},
+      {R"({"op":"query","seed":3,"top_k":5,"scores":true})", "top_k"},
+      {R"({"op":"query","seed":3,"top_k":5,"topk":2})", "top_k"},
+  };
+  for (const auto& c : cases) {
+    auto r = ParseRequest(c.line);
+    ASSERT_FALSE(r.ok()) << "accepted: " << c.line;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << c.line;
+    EXPECT_NE(r.status().message().find(c.named), std::string::npos)
+        << c.line << " -> " << r.status().message();
+  }
+}
+
 TEST(ParseRequest, SyntaxErrorsAreDataLoss) {
   for (const char* bad : {"", "garbage", "[1,2]", "\"str\"", "{{}}"}) {
     auto r = ParseRequest(bad);

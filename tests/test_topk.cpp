@@ -1,0 +1,331 @@
+// Exact top-k with pruned back-substitution and the bounded-error (eps)
+// query mode: bound containment, byte-for-byte parity with the sorted
+// dense solve across kernel paths and thread counts, eps-bound honesty
+// against the exact solution, and tie determinism at the k boundary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/faultinject.hpp"
+#include "common/parallel.hpp"
+#include "core/bepi.hpp"
+#include "core/topk.hpp"
+#include "engine/mc/mc.hpp"
+#include "sparse/kernel.hpp"
+#include "test_util.hpp"
+
+namespace bepi {
+namespace {
+
+/// %.17g rendering — the CLI's dump format, where "byte-identical" is
+/// defined for the exact-mode parity contract.
+std::string Fmt(real_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+class TopKTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetGlobalKernelPath(KernelPath::kAuto);
+    ASSERT_TRUE(ParallelContext::Global().SetNumThreads(0).ok());
+  }
+};
+
+TEST_F(TopKTest, BoundTablesContainTrueScores) {
+  const Graph g = test::SmallRmat(250, 1400, 0.2, 21);
+  BepiSolver solver{BepiOptions{}};
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  // Every node's true score must sit inside the pruning interval the
+  // tables would assign it before any spoke block is computed: spokes in
+  // [-R1RowBound, R1RowBound] unless seed-block, deadends around c*q3.
+  // Exercised indirectly but exhaustively: the pruned top-k over every
+  // seed must return a superset-derived answer equal to the dense sort.
+  for (index_t seed : {0, 7, 100, 249}) {
+    QueryStats stats;
+    const auto dense = solver.Query(seed, &stats);
+    ASSERT_TRUE(dense.ok());
+    const auto expect = TopK(*dense, 10);
+    TopKOptions opts;
+    opts.k = 10;
+    const auto got = solver.QueryTopK(seed, opts);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->entries.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got->entries[i].first, expect[i].first) << "rank " << i;
+      // Bitwise, not approximate: the pruned path replays the dense
+      // arithmetic row by row.
+      EXPECT_EQ(got->entries[i].second, expect[i].second) << "rank " << i;
+    }
+  }
+}
+
+TEST_F(TopKTest, ExactParityAcrossKernelPathsAndThreads) {
+  const Graph g = test::SmallRmat(300, 1800, 0.15, 11);
+  // Reference: dense solve on the default configuration, sorted.
+  std::vector<std::pair<index_t, real_t>> expect;
+  {
+    BepiSolver solver{BepiOptions{}};
+    ASSERT_TRUE(solver.Preprocess(g).ok());
+    const auto dense = solver.Query(5);
+    ASSERT_TRUE(dense.ok());
+    expect = TopK(*dense, 25);
+  }
+  for (KernelPath path : {KernelPath::kCompact, KernelPath::kWide}) {
+    SetGlobalKernelPath(path);
+    BepiSolver solver{BepiOptions{}};
+    ASSERT_TRUE(solver.Preprocess(g).ok());
+    for (int threads : {1, 4}) {
+      ASSERT_TRUE(ParallelContext::Global().SetNumThreads(threads).ok());
+      TopKOptions opts;
+      opts.k = 25;
+      const auto got = solver.QueryTopK(5, opts);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got->entries.size(), expect.size());
+      for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(got->entries[i].first, expect[i].first)
+            << "path=" << KernelPathName(path) << " threads=" << threads
+            << " rank=" << i;
+        EXPECT_EQ(Fmt(got->entries[i].second), Fmt(expect[i].second))
+            << "path=" << KernelPathName(path) << " threads=" << threads
+            << " rank=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(TopKTest, PruningActuallySkipsRowsAndCountsBytes) {
+  const Graph g = test::SmallRmat(400, 1800, 0.2, 7);
+  BepiSolver solver{BepiOptions{}};
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  TopKOptions opts;
+  opts.k = 5;
+  const auto got = solver.QueryTopK(17, opts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->pruned);
+  EXPECT_EQ(got->entries.size(), 5u);
+  EXPECT_GT(got->bytes_touched, 0u);
+  EXPECT_EQ(got->candidates + got->pruned_rows,
+            solver.info().n1 + solver.info().n3);
+}
+
+TEST_F(TopKTest, InvalidKAndEpsAreRejectedByName) {
+  const Graph g = test::SmallRmat(60, 250, 0.1, 3);
+  BepiSolver solver{BepiOptions{}};
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  TopKOptions opts;
+  opts.k = 0;
+  auto r = solver.QueryTopK(1, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("top_k"), std::string::npos);
+  opts.k = 1000;  // > n
+  r = solver.QueryTopK(1, opts);
+  EXPECT_FALSE(r.ok());
+  opts.k = 5;
+  opts.mode = TopKMode::kEps;
+  opts.eps = 0.0;
+  r = solver.QueryTopK(1, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("eps"), std::string::npos);
+  opts.eps = -1.0;
+  EXPECT_FALSE(solver.QueryTopK(1, opts).ok());
+}
+
+TEST_F(TopKTest, EpsBoundIsHonestAgainstExactSolution) {
+  const Graph g = test::SmallRmat(250, 1200, 0.2, 13);
+  BepiSolver solver{BepiOptions{}};
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  for (index_t seed : {2, 50, 120}) {
+    const auto exact = solver.Query(seed);
+    ASSERT_TRUE(exact.ok());
+    TopKOptions opts;
+    opts.k = 10;
+    opts.mode = TopKMode::kEps;
+    opts.eps = 1e-4;
+    QueryStats stats;
+    const auto got = solver.QueryTopK(seed, opts, &stats);
+    ASSERT_TRUE(got.ok());
+    ASSERT_GT(got->error_bound, 0.0);
+    EXPECT_EQ(stats.error_bound, got->error_bound);
+    // Every returned score is within the reported bound of the truth.
+    // (The exact reference itself is converged far below eps.)
+    for (const auto& [node, score] : got->entries) {
+      EXPECT_LE(std::abs(score - (*exact)[static_cast<std::size_t>(node)]),
+                got->error_bound)
+          << "seed " << seed << " node " << node;
+    }
+  }
+}
+
+TEST_F(TopKTest, TieAtBoundaryIsDeterministicById) {
+  // A graph with symmetric structure produces genuinely tied scores; the
+  // contract is the TopK comparator's: score descending, id ascending.
+  const Graph g = test::PaperExampleGraph();
+  BepiSolver solver{BepiOptions{}};
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  const auto dense = solver.Query(0);
+  ASSERT_TRUE(dense.ok());
+  for (index_t k = 1; k <= 8; ++k) {
+    const auto expect = TopK(*dense, k);
+    TopKOptions opts;
+    opts.k = k;
+    const auto got = solver.QueryTopK(0, opts);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->entries.size(), expect.size()) << "k=" << k;
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got->entries[i].first, expect[i].first) << "k=" << k;
+      EXPECT_EQ(got->entries[i].second, expect[i].second) << "k=" << k;
+    }
+  }
+}
+
+TEST_F(TopKTest, ExcludeSeedMatchesDenseExclusion) {
+  const Graph g = test::SmallRmat(200, 900, 0.15, 29);
+  BepiSolver solver{BepiOptions{}};
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  const auto dense = solver.Query(9);
+  ASSERT_TRUE(dense.ok());
+  const auto expect = TopK(*dense, 12, /*exclude=*/9);
+  TopKOptions opts;
+  opts.k = 12;
+  opts.exclude = 9;
+  const auto got = solver.QueryTopK(9, opts);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->entries.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(got->entries[i].first, expect[i].first);
+    EXPECT_EQ(got->entries[i].second, expect[i].second);
+    EXPECT_NE(got->entries[i].first, 9);
+  }
+}
+
+TEST_F(TopKTest, QueryMultiMixesTopKAndDenseColumns) {
+  const Graph g = test::SmallRmat(300, 1500, 0.2, 17);
+  BepiSolver solver{BepiOptions{}};
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  std::vector<MultiQueryItem> items;
+  // Dense, exact top-k, dense, eps top-k, exact top-k.
+  items.push_back(MultiQueryItem{3, QueryControl{}, TopKOptions{}});
+  TopKOptions t1;
+  t1.k = 8;
+  items.push_back(MultiQueryItem{41, QueryControl{}, t1});
+  items.push_back(MultiQueryItem{77, QueryControl{}, TopKOptions{}});
+  TopKOptions t2;
+  t2.k = 8;
+  t2.mode = TopKMode::kEps;
+  t2.eps = 1e-5;
+  items.push_back(MultiQueryItem{120, QueryControl{}, t2});
+  TopKOptions t3;
+  t3.k = 3;
+  items.push_back(MultiQueryItem{200, QueryControl{}, t3});
+  std::vector<MultiQueryResult> results;
+  ASSERT_TRUE(solver.QueryMulti(items, &results).ok());
+  ASSERT_EQ(results.size(), items.size());
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    ASSERT_TRUE(results[j].status.ok()) << "item " << j;
+  }
+  // Dense columns: bit-identical to scalar Query.
+  for (std::size_t j : {std::size_t{0}, std::size_t{2}}) {
+    const auto scalar = solver.Query(items[j].seed);
+    ASSERT_TRUE(scalar.ok());
+    EXPECT_EQ(results[j].scores, *scalar) << "item " << j;
+  }
+  // Exact top-k columns: identical to the solo top-k (and hence to the
+  // sorted dense solve); dense scores stay empty.
+  for (std::size_t j : {std::size_t{1}, std::size_t{4}}) {
+    EXPECT_TRUE(results[j].scores.empty()) << "item " << j;
+    const auto solo = solver.QueryTopK(items[j].seed, items[j].topk);
+    ASSERT_TRUE(solo.ok());
+    ASSERT_EQ(results[j].topk.entries.size(), solo->entries.size());
+    for (std::size_t i = 0; i < solo->entries.size(); ++i) {
+      EXPECT_EQ(results[j].topk.entries[i].first, solo->entries[i].first);
+      EXPECT_EQ(results[j].topk.entries[i].second, solo->entries[i].second);
+    }
+  }
+  // Eps column: bound reported, scores within it of the exact solve.
+  EXPECT_GT(results[3].topk.error_bound, 0.0);
+  const auto exact = solver.Query(items[3].seed);
+  ASSERT_TRUE(exact.ok());
+  for (const auto& [node, score] : results[3].topk.entries) {
+    EXPECT_LE(std::abs(score - (*exact)[static_cast<std::size_t>(node)]),
+              results[3].topk.error_bound);
+  }
+}
+
+TEST_F(TopKTest, McWarmStartMatchesDefaultAnswerWithinTolerance) {
+  const Graph g = test::SmallRmat(250, 1200, 0.2, 19);
+  BepiOptions options;
+  BepiSolver solver(options);
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  McWalkEngine mc(g);
+  ASSERT_TRUE(solver.AttachMcFallback(&mc, McFallbackOptions{}).ok());
+  const auto cold = solver.Query(33);
+  ASSERT_TRUE(cold.ok());
+  QueryControl ctl;
+  ctl.warm_start_mc = true;
+  QueryStats stats;
+  const auto warm = solver.Query(33, &stats, nullptr, ctl);
+  ASSERT_TRUE(warm.ok());
+  // Different iterate sequence, same converged answer up to tolerance.
+  real_t max_diff = 0.0;
+  for (std::size_t i = 0; i < cold->size(); ++i) {
+    max_diff = std::max(max_diff, std::abs((*cold)[i] - (*warm)[i]));
+  }
+  EXPECT_LT(max_diff, 1e-7);
+  // And with the control off the path is untouched (bit identity).
+  const auto again = solver.Query(33);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *cold);
+}
+
+TEST_F(TopKTest, DenseFallbackStillAnswersWithBound) {
+  // Degrade every Krylov stage of the Schur chain: the query falls to the
+  // power stage, which produces a full vector, so the top-k answer comes
+  // back as a dense-sort fallback that still carries an explicit bound.
+  const Graph g = test::SmallRmat(250, 1200, 0.2, 13);
+  BepiSolver solver{BepiOptions{}};
+  ASSERT_TRUE(solver.Preprocess(g).ok());
+  ASSERT_GT(solver.info().n2, 0) << "graph must decompose with hubs";
+  // Pick a seed whose Schur solve actually iterates: a deadend (or a
+  // spoke block disconnected from the hubs) has q2~ = 0 and exits before
+  // any fault site, which would leave nothing to degrade.
+  index_t seed = -1;
+  for (index_t s = 0; s < 250; ++s) {
+    QueryStats probe;
+    ASSERT_TRUE(solver.Query(s, &probe).ok());
+    if (probe.iterations > 0) {
+      seed = s;
+      break;
+    }
+  }
+  ASSERT_GE(seed, 0);
+  FaultInjector::Global().Arm(fault_sites::kGmresStagnate);
+  FaultInjector::Global().Arm(fault_sites::kBicgstabBreakdown);
+  TopKOptions opts;
+  opts.k = 6;
+  opts.mode = TopKMode::kEps;
+  opts.eps = 1e-3;
+  QueryStats stats;
+  const auto got = solver.QueryTopK(seed, opts, &stats);
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->entries.size(), 6u);
+  EXPECT_FALSE(got->pruned);
+  EXPECT_GT(got->error_bound, 0.0);
+  // The faulted-stage answer still matches a clean dense solve's top-k
+  // node set within the reported bound.
+  const auto clean = solver.Query(seed);
+  ASSERT_TRUE(clean.ok());
+  for (const auto& [node, score] : got->entries) {
+    EXPECT_LE(std::abs(score - (*clean)[static_cast<std::size_t>(node)]),
+              got->error_bound + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace bepi

@@ -119,6 +119,23 @@ const CommandHelp kCommands[] = {
      "                     over the thread pool (--threads) with reused\n"
      "                     per-slot solver workspaces\n"
      "  --topk=K           ranking length (default 10)\n"
+     "  --top-k=K          top-k QUERY mode: answer with the k best nodes\n"
+     "                     via pruned back-substitution instead of a full\n"
+     "                     vector. Exact by default (scores byte-identical\n"
+     "                     to sorting a --dump-scores solve); add --eps=E\n"
+     "                     for the bounded-error mode (the Schur solve\n"
+     "                     stops at E and the answer carries an explicit\n"
+     "                     per-score error bound)\n"
+     "  --topk-via=V       pruned (default) or dense: dense forces the\n"
+     "                     full-solve + sort baseline — CI cmps its\n"
+     "                     --dump-topk file against the pruned one\n"
+     "  --dump-topk=FILE   write the ranking as 'node score' lines at full\n"
+     "                     precision (byte-comparable across --topk-via,\n"
+     "                     --kernel and --threads)\n"
+     "  --warm-start=mc    seed the Schur solve from a cheap Monte-Carlo\n"
+     "                     estimate (needs --graph; off by default — a\n"
+     "                     warm start changes the iterate sequence, so\n"
+     "                     bit-identity only holds on the default path)\n"
      "  --dump-scores=FILE single-seed mode: also write every node's score,\n"
      "                     one per line in node order, at full precision\n"
      "                     (for bit-identity checks across --kernel and\n"
@@ -164,6 +181,11 @@ const CommandHelp kCommands[] = {
      "  --graph=FILE     input edge list (required)\n"
      "  --seeds=N        number of deterministic check seeds (default 3)\n"
      "  --seed-node=ID   check one specific seed instead\n"
+     "  --query-eps=E    run the solver side in bounded-error mode: the\n"
+     "                   Schur solve stops at E and the reported per-score\n"
+     "                   error bound joins the allowed band — so this\n"
+     "                   verifies the eps-mode bound itself against the\n"
+     "                   oracle (default 0 = full-tolerance solve)\n"
      "  --walks=N        oracle walk budget per seed (default 200000)\n"
      "  --delta=D        oracle confidence level 1-D (default 0.001)\n"
      "  --walk-seed=S    oracle RNG base seed (default 987654321; kept\n"
@@ -349,6 +371,10 @@ const std::map<std::string, std::vector<FlagSpec>>& CommandFlagSpecs() {
                                      {"seed-node", FlagType::kInt},
                                      {"seeds-file", FlagType::kString},
                                      {"topk", FlagType::kInt},
+                                     {"top-k", FlagType::kInt},
+                                     {"topk-via", FlagType::kString},
+                                     {"dump-topk", FlagType::kString},
+                                     {"warm-start", FlagType::kString},
                                      {"dump-scores", FlagType::kString},
                                      {"stats", FlagType::kBool},
                                      {"num-queries", FlagType::kInt},
@@ -364,6 +390,7 @@ const std::map<std::string, std::vector<FlagSpec>>& CommandFlagSpecs() {
            WithGlobalFlags({{"graph", FlagType::kString},
                             {"seeds", FlagType::kInt},
                             {"seed-node", FlagType::kInt},
+                            {"query-eps", FlagType::kDouble},
                             {"walks", FlagType::kInt},
                             {"delta", FlagType::kDouble},
                             {"walk-seed", FlagType::kInt},
@@ -694,9 +721,114 @@ int QueryLatencyStats(const BepiSolver& solver, index_t first_seed,
   return 0;
 }
 
+/// --warm-start vocabulary: absent/empty = cold (default), "mc" = seed
+/// the Schur solve from the attached Monte-Carlo engine (needs --graph).
+Result<bool> WarmStartFromFlags(const Flags& flags) {
+  const std::string ws = flags.GetString("warm-start", "");
+  if (ws.empty()) return false;
+  if (ws == "mc") return true;
+  return Status::InvalidArgument("--warm-start must be \"mc\", got \"" + ws +
+                                 "\"");
+}
+
+/// Per-query top-k options from the --top-k/--eps flags (exact mode
+/// unless --eps > 0).
+TopKOptions TopKOptionsFromFlags(const Flags& flags) {
+  TopKOptions opts;
+  opts.k = flags.GetInt("top-k", 10);
+  const double eps = flags.GetDouble("eps", 0.0);
+  if (eps > 0.0) {
+    opts.mode = TopKMode::kEps;
+    opts.eps = static_cast<real_t>(eps);
+  }
+  return opts;
+}
+
+/// Full-precision ranking dump, one "node score" line per entry: `cmp` of
+/// a pruned dump against a --topk-via=dense dump of the same query is the
+/// exact-mode byte-identity check smoke_topk runs in CI.
+int DumpTopKFile(const std::vector<std::pair<index_t, real_t>>& entries,
+                 const std::string& dump_path) {
+  AtomicFileWriter writer(dump_path);
+  if (!writer.status().ok()) return Fail(writer.status());
+  char line[80];
+  for (const auto& [node, score] : entries) {
+    std::snprintf(line, sizeof(line), "%lld %.17g\n",
+                  static_cast<long long>(node), static_cast<double>(score));
+    writer.stream() << line;
+  }
+  Status status = writer.Commit();
+  if (!status.ok()) return Fail(status);
+  std::printf("ranking written to %s\n", dump_path.c_str());
+  return 0;
+}
+
+/// `query --top-k`: single-seed top-k query. --topk-via=pruned (default)
+/// runs the pruned back-substitution; --topk-via=dense forces the
+/// full-solve + sort baseline the pruned path must match byte-for-byte.
+int QueryTopKSingle(const BepiSolver& solver, const Flags& flags,
+                    index_t seed) {
+  TopKOptions opts = TopKOptionsFromFlags(flags);
+  const std::string via = flags.GetString("topk-via", "pruned");
+  if (via != "pruned" && via != "dense") {
+    return Fail(Status::InvalidArgument(
+        "--topk-via must be \"pruned\" or \"dense\", got \"" + via + "\""));
+  }
+  auto warm = WarmStartFromFlags(flags);
+  if (!warm.ok()) return Fail(warm.status());
+  QueryStats stats;
+  QueryControl control;
+  control.cancel = ShutdownToken();
+  control.warm_start_mc = *warm;
+  TopKResult result;
+  if (via == "dense") {
+    const index_t n = solver.decomposition().n;
+    if (opts.k < 1 || opts.k > n) {
+      return Fail(Status::InvalidArgument(
+          "--top-k must be in [1, " + std::to_string(n) + "], got " +
+          std::to_string(opts.k)));
+    }
+    control.eps = opts.eps;
+    auto scores = solver.Query(seed, &stats, nullptr, control);
+    if (!scores.ok()) return Fail(scores.status());
+    result.entries = TopK(*scores, opts.k, opts.exclude);
+    if (opts.mode == TopKMode::kEps) result.error_bound = stats.error_bound;
+  } else {
+    auto r = solver.QueryTopK(seed, opts, &stats, nullptr, control);
+    if (!r.ok()) return Fail(r.status());
+    result = std::move(*r);
+  }
+  std::printf("top-%lld query (%s mode, via %s) took %.3f ms\n",
+              static_cast<long long>(opts.k), TopKModeName(opts.mode),
+              via.c_str(), stats.seconds * 1e3);
+  PrintQueryReport(stats);
+  if (result.pruned) {
+    std::printf("pruned %lld rows, computed %lld candidates "
+                "(%llu bytes touched)\n",
+                static_cast<long long>(result.pruned_rows),
+                static_cast<long long>(result.candidates),
+                static_cast<unsigned long long>(result.bytes_touched));
+  }
+  if (opts.mode == TopKMode::kEps) {
+    std::printf("per-score error bound: +/-%.3g\n",
+                static_cast<double>(result.error_bound));
+  }
+  Table table({"rank", "node", "score"});
+  for (std::size_t i = 0; i < result.entries.size(); ++i) {
+    table.AddRow({Table::Int(static_cast<long long>(i) + 1),
+                  Table::Int(result.entries[i].first),
+                  Table::Num(result.entries[i].second, 6)});
+  }
+  table.Print();
+  const std::string dump_path = flags.GetString("dump-topk", "");
+  if (!dump_path.empty()) return DumpTopKFile(result.entries, dump_path);
+  return 0;
+}
+
 /// `query --seeds-file`: answers every seed in the file concurrently via
 /// BatchQueryEngine and prints one summary row per seed plus throughput.
-int QueryBatch(const BepiSolver& solver, const std::string& seeds_path) {
+int QueryBatch(const BepiSolver& solver, const Flags& flags,
+               const std::string& seeds_path) {
   auto seeds = ReadSeedsFile(seeds_path);
   if (!seeds.ok()) return Fail(seeds.status());
   if (seeds->empty()) {
@@ -712,12 +844,19 @@ int QueryBatch(const BepiSolver& solver, const std::string& seeds_path) {
   }
   BatchQueryOptions batch_options;
   batch_options.cancel = ShutdownToken();
+  auto warm = WarmStartFromFlags(flags);
+  if (!warm.ok()) return Fail(warm.status());
+  batch_options.warm_start_mc = *warm;
+  if (flags.Has("top-k")) batch_options.topk = TopKOptionsFromFlags(flags);
+  const bool topk_mode = batch_options.topk.k > 0;
   BatchQueryEngine engine(solver, batch_options);
   auto batch = engine.Run(*seeds);
   if (!batch.ok()) return Fail(batch.status());
   Table table({"seed", "ms", "iterations", "top node", "score"});
   for (std::size_t i = 0; i < seeds->size(); ++i) {
-    const auto top = TopK(batch->vectors[i], 1, (*seeds)[i]);
+    const auto top = topk_mode
+                         ? batch->topk[i].entries
+                         : TopK(batch->vectors[i], 1, (*seeds)[i]);
     table.AddRow({Table::Int((*seeds)[i]),
                   Table::Num(batch->stats[i].seconds * 1e3, 3),
                   Table::Int(batch->stats[i].total_iterations),
@@ -816,14 +955,18 @@ int CmdQuery(const Flags& flags) {
     Status attached = solver->AttachMcFallback(&*fallback_engine, fo);
     if (!attached.ok()) return Fail(attached);
   }
-  if (!seeds_file.empty()) return QueryBatch(*solver, seeds_file);
+  if (!seeds_file.empty()) return QueryBatch(*solver, flags, seeds_file);
   const index_t seed = flags.GetInt("seed-node", 0);
   if (flags.Has("stats")) {
     return QueryLatencyStats(*solver, seed, flags.GetInt("num-queries", 100));
   }
+  if (flags.Has("top-k")) return QueryTopKSingle(*solver, flags, seed);
   QueryStats stats;
   QueryControl control;
   control.cancel = ShutdownToken();
+  auto warm = WarmStartFromFlags(flags);
+  if (!warm.ok()) return Fail(warm.status());
+  control.warm_start_mc = *warm;
   auto scores = solver->Query(seed, &stats, nullptr, control);
   if (!scores.ok()) return Fail(scores.status());
   std::printf("query took %.3f ms (%lld inner iterations)\n",
@@ -901,18 +1044,24 @@ int CmdCrosscheck(const Flags& flags) {
 
   Table table({"seed", "stage", "max |diff|", "allowed", "verdict"});
   int violations = 0;
+  const double query_eps = flags.GetDouble("query-eps", 0.0);
   for (index_t seed : seeds) {
     QueryStats stats;
     QueryControl control;
     control.cancel = ShutdownToken();
+    control.eps = static_cast<real_t>(query_eps);
     auto exact = solver.Query(seed, &stats, nullptr, control);
     if (!exact.ok()) return Fail(exact.status());
     auto est = engine.EstimateSeed(seed, oracle);
     if (!est.ok()) return Fail(est.status());
     // The solver side's own error contribution: a converged Krylov/power
     // attempt reports a residual ~tol; an MC terminal attempt reports its
-    // confidence half-width. Either way it belongs in the allowed band.
-    const real_t solver_bound = stats.residual;
+    // confidence half-width. With --query-eps the truncated solve's
+    // propagated per-score bound takes their place — so a dishonest
+    // eps-mode bound fails this check exactly like a wrong engine.
+    const real_t solver_bound =
+        query_eps > 0.0 && stats.error_bound > 0.0 ? stats.error_bound
+                                                   : stats.residual;
     real_t worst_diff = 0.0, worst_allowed = 0.0;
     index_t worst_node = -1;
     bool seed_ok = true;

@@ -36,6 +36,12 @@
 #     example graphs, then with every linear-algebra stage fault-injected
 #     so the degradation chain must bottom out in the MC terminal stage
 #     and still answer (CLI and serve) with a bounded-error reply;
+#   * top-k: exact-mode `query --top-k` dumps must be byte-identical to
+#     sorting a full dense solve (--topk-via=dense) across
+#     --kernel=compact/wide and --threads=1/4 on two example graphs,
+#     crosscheck --query-eps verifies the eps-mode per-score bound
+#     against the MC oracle, and a fully faulted chain must still answer
+#     a top-k query with an explicit bound;
 #   * observability: a request_id-tagged flood scraped mid-flight with the
 #     metrics verb and re-rendered offline via metrics-export (both must
 #     pass a strict Prometheus text-format parse with cumulative buckets
@@ -45,19 +51,22 @@
 #     watchdog trip auto-dumping a Perfetto trace, and score bit-identity
 #     with the forensics features on and off;
 #   * bench artifacts: bench_kernels, bench_fig1_query,
-#     bench_fig5_scalability, bench_serve, bench_batch_serve, bench_mc
-#     and bench_observability write BENCH_kernels.json /
+#     bench_fig5_scalability, bench_serve, bench_batch_serve, bench_mc,
+#     bench_topk and bench_observability write BENCH_kernels.json /
 #     BENCH_fig1_query.json / BENCH_parallel_scaling.json /
 #     BENCH_serve.json / BENCH_batch_serve.json / BENCH_mc.json /
-#     BENCH_observability.json (smallest dataset scale, except the
-#     observability overhead run which needs full-size queries) under
-#     build-ci/artifacts/, and all must parse — the mc artifact
-#     additionally asserts every estimate stayed within its confidence
-#     bound and was bit-identical across threads, the batch-serve
-#     artifact asserts per-query stream bytes fall monotonically with
-#     the batch width and cache hits beat cold solves, and the
-#     observability artifact asserts bit-identical scores and <2% query
-#     overhead with the forensics machinery on;
+#     BENCH_topk.json / BENCH_observability.json (smallest dataset
+#     scale, except the observability overhead run which needs full-size
+#     queries) under build-ci/artifacts/, and all must parse — the mc
+#     artifact additionally asserts every estimate stayed within its
+#     confidence bound and was bit-identical across threads, the
+#     batch-serve artifact asserts per-query stream bytes fall
+#     monotonically with the batch width and cache hits beat cold
+#     solves, the topk artifact asserts exact-mode answers matched the
+#     dense sort and the k=1 pruned back-substitution cleared the
+#     byte-reduction floor (>=1.2x fewer bytes than the dense baseline),
+#     and the observability artifact asserts bit-identical scores and
+#     <2% query overhead with the forensics machinery on;
 #   * docs cross-check: tools/check_docs.sh verifies every flag and
 #     BEPI_* variable documented in README/docs against the binary and
 #     the source tree.
@@ -65,14 +74,15 @@
 # The "thread" configuration is narrower than the others: it builds only
 # the concurrency-sensitive tests (test_metrics, test_trace,
 # test_parallel, test_trisolve, test_kernel, test_cancel, test_mc,
-# test_server, test_cache, test_flightrec, test_promtext) under TSan and
-# runs them directly — the registry's sharded counters, the per-thread
-# trace buffers, the work-stealing pool, the level-scheduled triangular
-# solves, mid-solve cancellation, the Monte-Carlo walk engine's atomic
-# visit counters, the query server's worker pool, the score cache's LRU
-# under concurrent readers/writers, the flight recorder's seqlock rings
-# and the concurrent Prometheus render are where new data races would
-# land.
+# test_topk, test_server, test_cache, test_flightrec, test_promtext)
+# under TSan and runs them directly — the registry's sharded counters,
+# the per-thread trace buffers, the work-stealing pool, the
+# level-scheduled triangular solves, mid-solve cancellation, the
+# Monte-Carlo walk engine's atomic visit counters, the batch engine's
+# parallel top-k slots, the query server's worker pool, the score
+# cache's LRU under concurrent readers/writers, the flight recorder's
+# seqlock rings and the concurrent Prometheus render are where new data
+# races would land.
 #
 # Usage: tools/ci.sh [default|address|undefined|thread ...]
 #   With no arguments all four configurations run.
@@ -263,6 +273,58 @@ assert 0.0 < response["residual"] < 0.1, response  # the confidence bound
 print("    chain bottomed out in MC over serve: stage=mc, "
       f"bound +/-{response['residual']:.4f}")
 EOF
+  rm -rf "$work"
+}
+
+smoke_topk() {
+  local cli="$1"
+  local work
+  work="$(mktemp -d)"
+  echo "=== top-k smoke test ==="
+  # 1. Exact mode is bitwise exact: the pruned top-k dump must be byte-
+  # identical to sorting a full dense solve (--topk-via=dense), across
+  # both kernel paths and thread counts, on a deadend-heavy and a dense
+  # example graph. The dumps are full-precision (%.17g round-trips
+  # doubles), so cmp checks bit equality, not a tolerance.
+  "$cli" generate --out="$work/spoke.txt" --nodes=400 --edges=1800 \
+    --deadends=0.2 --seed=7 >/dev/null
+  "$cli" generate --out="$work/dense.txt" --nodes=200 --edges=3000 \
+    --seed=11 >/dev/null
+  local name kernel threads
+  for name in spoke dense; do
+    "$cli" preprocess --graph="$work/$name.txt" --model="$work/$name.model" \
+      >/dev/null
+    "$cli" query --model="$work/$name.model" --seed-node=3 --top-k=25 \
+      --topk-via=dense --dump-topk="$work/${name}_ref.txt" >/dev/null
+    for kernel in compact wide; do
+      for threads in 1 4; do
+        "$cli" query --model="$work/$name.model" --seed-node=3 --top-k=25 \
+          --kernel="$kernel" --threads="$threads" \
+          --dump-topk="$work/${name}_${kernel}_${threads}.txt" >/dev/null
+        cmp "$work/${name}_ref.txt" "$work/${name}_${kernel}_${threads}.txt"
+      done
+    done
+  done
+  echo "    exact top-k byte-identical to dense solve + sort across" \
+    "--kernel compact/wide and --threads 1/4 on both graphs"
+
+  # 2. Eps mode's per-score bound must be honest: crosscheck --query-eps
+  # runs every query in eps mode and fails if any node's deviation from
+  # the MC oracle exceeds the reported bound plus the MC half-width.
+  "$cli" crosscheck --graph="$work/spoke.txt" --seeds=2 --walks=100000 \
+    --query-eps=1e-4 >/dev/null
+  echo "    eps-mode per-score bound verified against the MC oracle"
+
+  # 3. A fully faulted chain must still answer a top-k query: the MC
+  # terminal stage produces the full vector, the CLI sorts it, and eps
+  # mode keeps carrying an explicit per-score bound.
+  local faults="ilu0.factor,gmres.stagnate,bicgstab.breakdown,power.stall"
+  BEPI_FAULT_INJECT="$faults" "$cli" query --model="$work/spoke.model" \
+    --graph="$work/spoke.txt" --seed-node=5 --top-k=10 --eps=1e-3 \
+    >"$work/faulted_topk.out" 2>&1
+  grep -q "mc -> Converged" "$work/faulted_topk.out"
+  grep -q "per-score error bound" "$work/faulted_topk.out"
+  echo "    faulted chain still answered top-k with an explicit bound"
   rm -rf "$work"
 }
 
@@ -720,6 +782,8 @@ bench_artifacts() {
     --repeats=2 --json-out="$out/BENCH_batch_serve.json" >/dev/null 2>&1
   "$build_dir/bench/bench_mc" --scale=0.05 --queries=2 --walks=50000 \
     --json-out="$out/BENCH_mc.json" >/dev/null
+  "$build_dir/bench/bench_topk" --scale=0.05 --queries=2 \
+    --json-out="$out/BENCH_topk.json" >/dev/null
   # Full-scale queries here: the per-query instrumentation cost is a few
   # microseconds flat, so on toy queries it reads as tens of percent while
   # on real ones it is noise. The <2% gate is only meaningful at scale 1.
@@ -771,6 +835,20 @@ in_bound = [r for r in mrec if r["metric"] == "within_bound"]
 assert in_bound and all(r["value"] == 1.0 for r in in_bound), in_bound
 mc_ident = [r for r in mrec if r["metric"] == "bit_identical"]
 assert mc_ident and all(r["value"] == 1.0 for r in mc_ident), mc_ident
+topk = json.load(open(f"{out}/BENCH_topk.json"))
+assert topk["bench"] == "topk", topk.get("bench")
+trec = topk["results"]
+assert trec, "BENCH_topk.json has no results"
+exact = [r for r in trec if r["metric"] == "exact_match"]
+assert exact and all(r["value"] == 1.0 for r in exact), exact
+# The byte-reduction floor: at k=1 the pruned back-substitution must
+# stream meaningfully fewer bytes than the dense baseline on every
+# dataset (observed 1.6x-44x at this scale; real graphs are higher).
+redux = [r for r in trec
+         if r["method"] == "k=1" and r["metric"] == "byte_reduction"]
+assert redux and all(r["value"] >= 1.2 for r in redux), redux
+warm = [r for r in trec if r["metric"] == "iterations_saved_frac"]
+assert warm and all(r["value"] >= 0.0 for r in warm), warm
 obs = json.load(open(f"{out}/BENCH_observability.json"))
 assert obs["bench"] == "observability", obs.get("bench")
 orec = obs["results"]
@@ -780,7 +858,8 @@ overhead = [r for r in orec if r["metric"] == "overhead_percent"]
 assert overhead and all(r["value"] < 2.0 for r in overhead), overhead
 print(f"    {len(kernels['benchmarks'])} kernel benchmarks, "
       f"{len(results)} fig1 records, {len(srec)} scaling records, "
-      f"{len(mrec)} mc records, {len(orec)} observability records")
+      f"{len(mrec)} mc records, {len(trec)} topk records, "
+      f"{len(orec)} observability records")
 EOF
 }
 
@@ -804,11 +883,11 @@ for config in "${configs[@]}"; do
     # triangular solves, ILU(0) apply) are the concurrency-bearing
     # surface.
     echo "=== [$config] build (test_metrics, test_trace, test_parallel," \
-      "test_trisolve, test_kernel, test_cancel, test_mc, test_server," \
-      "test_cache, test_flightrec, test_promtext) ==="
+      "test_trisolve, test_kernel, test_cancel, test_mc, test_topk," \
+      "test_server, test_cache, test_flightrec, test_promtext) ==="
     cmake --build "$build_dir" -j "$jobs" \
       --target test_metrics test_trace test_parallel test_trisolve \
-      test_kernel test_cancel test_mc test_server test_cache \
+      test_kernel test_cancel test_mc test_topk test_server test_cache \
       test_flightrec test_promtext
     echo "=== [$config] test ==="
     "$build_dir/tests/test_metrics"
@@ -818,6 +897,7 @@ for config in "${configs[@]}"; do
     "$build_dir/tests/test_kernel"
     "$build_dir/tests/test_cancel"
     "$build_dir/tests/test_mc"
+    "$build_dir/tests/test_topk"
     "$build_dir/tests/test_server"
     "$build_dir/tests/test_cache"
     "$build_dir/tests/test_flightrec"
@@ -835,6 +915,7 @@ for config in "${configs[@]}"; do
     smoke_serve "$build_dir/tools/bepi_cli"
     smoke_batch_serve "$build_dir/tools/bepi_cli"
     smoke_crosscheck "$build_dir/tools/bepi_cli"
+    smoke_topk "$build_dir/tools/bepi_cli"
     smoke_observability "$build_dir/tools/bepi_cli"
     bench_artifacts "$build_dir"
     echo "=== docs cross-check ==="
